@@ -1,0 +1,70 @@
+#ifndef LEGO_BENCH_BENCH_UTIL_H_
+#define LEGO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/sqlancer_like.h"
+#include "baselines/sqlsmith_like.h"
+#include "baselines/squirrel_like.h"
+#include "fuzz/campaign.h"
+#include "fuzz/harness.h"
+#include "lego/lego_fuzzer.h"
+#include "minidb/profile.h"
+
+namespace lego::bench {
+
+/// Builds a fuzzer by display name. "lego-" is the ablation.
+inline std::unique_ptr<fuzz::Fuzzer> MakeFuzzer(
+    const std::string& name, const minidb::DialectProfile& profile,
+    uint64_t seed) {
+  if (name == "lego" || name == "lego-") {
+    core::LegoOptions options;
+    options.sequence_algorithms_enabled = (name == "lego");
+    options.rng_seed = seed;
+    return std::make_unique<core::LegoFuzzer>(profile, options);
+  }
+  if (name == "squirrel") {
+    return std::make_unique<baselines::SquirrelLikeFuzzer>(profile, seed);
+  }
+  if (name == "sqlancer") {
+    return std::make_unique<baselines::SqlancerLikeFuzzer>(profile, seed);
+  }
+  if (name == "sqlsmith") {
+    return std::make_unique<baselines::SqlsmithLikeFuzzer>(profile, seed);
+  }
+  return nullptr;
+}
+
+/// Runs one campaign of `executions` runs.
+inline fuzz::CampaignResult RunOne(const std::string& fuzzer_name,
+                                   const minidb::DialectProfile& profile,
+                                   int executions, uint64_t seed,
+                                   bool stop_when_all_found = false) {
+  auto fuzzer = MakeFuzzer(fuzzer_name, profile, seed);
+  fuzz::ExecutionHarness harness(profile);
+  fuzz::CampaignOptions options;
+  options.max_executions = executions;
+  options.snapshot_every = std::max(1, executions / 10);
+  options.stop_when_all_bugs_found = stop_when_all_found;
+  return fuzz::RunCampaign(fuzzer.get(), &harness, options);
+}
+
+/// Paper target names for each profile, for side-by-side reporting.
+inline const char* PaperNameOf(const std::string& profile) {
+  if (profile == "pglite") return "PostgreSQL";
+  if (profile == "mylite") return "MySQL";
+  if (profile == "marialite") return "MariaDB";
+  if (profile == "comdlite") return "Comdb2";
+  return "?";
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace lego::bench
+
+#endif  // LEGO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Microbenchmarks for the minidb substrate: storage, index, executor, and
+// the harness hot loop (executions/second is the fuzzing budget currency).
+
+#include <benchmark/benchmark.h>
+
+#include "fuzz/harness.h"
+#include "minidb/btree.h"
+#include "minidb/database.h"
+#include "sql/parser.h"
+
+namespace {
+
+using lego::minidb::BTreeIndex;
+using lego::minidb::Database;
+using lego::minidb::RowId;
+using lego::minidb::Value;
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    BTreeIndex tree;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(Value::Int(i * 2654435761 % 100000),
+                  RowId{0, static_cast<uint32_t>(i)});
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeFind(benchmark::State& state) {
+  BTreeIndex tree;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    tree.Insert(Value::Int(i), RowId{0, static_cast<uint32_t>(i)});
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    auto rids = tree.Find(Value::Int(probe++ % state.range(0)));
+    benchmark::DoNotOptimize(rids);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeFind)->Arg(10000);
+
+void BM_InsertStatement(benchmark::State& state) {
+  Database db;
+  (void)db.ExecuteScript("CREATE TABLE t (a INT, b TEXT);");
+  auto insert =
+      lego::sql::Parser::ParseStatement("INSERT INTO t VALUES (1, 'x')");
+  for (auto _ : state) {
+    auto result = db.Execute(**insert);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertStatement);
+
+void BM_SelectSeqScan(benchmark::State& state) {
+  Database db;
+  (void)db.ExecuteScript("CREATE TABLE t (a INT, b INT);");
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)db.ExecuteScript("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 0);");
+  }
+  auto select =
+      lego::sql::Parser::ParseStatement("SELECT a FROM t WHERE b = 1");
+  for (auto _ : state) {
+    auto result = db.Execute(**select);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectSeqScan)->Arg(256);
+
+void BM_SelectIndexScan(benchmark::State& state) {
+  Database db;
+  (void)db.ExecuteScript(
+      "CREATE TABLE t (a INT, b INT); CREATE INDEX ta ON t (a);");
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)db.ExecuteScript("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 0);");
+  }
+  auto select =
+      lego::sql::Parser::ParseStatement("SELECT b FROM t WHERE a = 77");
+  for (auto _ : state) {
+    auto result = db.Execute(**select);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectIndexScan)->Arg(256);
+
+void BM_TransactionSnapshotRoundtrip(benchmark::State& state) {
+  Database db;
+  (void)db.ExecuteScript("CREATE TABLE t (a INT);");
+  for (int i = 0; i < 64; ++i) {
+    (void)db.ExecuteScript("INSERT INTO t VALUES (1);");
+  }
+  for (auto _ : state) {
+    auto result = db.ExecuteScript(
+        "BEGIN; INSERT INTO t VALUES (2); ROLLBACK;");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionSnapshotRoundtrip);
+
+void BM_HarnessRunTestCase(benchmark::State& state) {
+  lego::fuzz::ExecutionHarness harness(
+      lego::minidb::DialectProfile::PgLite());
+  auto tc = lego::fuzz::TestCase::FromSql(
+      "CREATE TABLE t1 (v1 INT, v2 INT);"
+      "INSERT INTO t1 VALUES (1, 1);"
+      "INSERT INTO t1 VALUES (2, 1);"
+      "SELECT * FROM t1 ORDER BY v1;"
+      "SELECT v2 FROM t1 WHERE v1 = 1;");
+  for (auto _ : state) {
+    auto result = harness.Run(*tc);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["execs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HarnessRunTestCase);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+#include "baselines/sqlancer_like.h"
+
+namespace lego::baselines {
+
+using sql::StatementType;
+
+SqlancerLikeFuzzer::SqlancerLikeFuzzer(const minidb::DialectProfile& profile,
+                                       uint64_t rng_seed)
+    : profile_(profile), rng_(rng_seed), generator_(&profile, &rng_) {
+  // Pivoted query synthesis issues plain SELECTs (no aggregates/windows).
+  generator_.set_fancy_selects(false);
+}
+
+fuzz::TestCase SqlancerLikeFuzzer::Next() {
+  // Fixed-order rule template (each optional stage fires with its own
+  // probability, but the ORDER never varies — this is what limits the SQL
+  // Type Sequences rule-based generation can produce, paper §V-C):
+  //
+  //   [SET] CREATE TABLE [COMMENT] [CREATE INDEX] [CREATE VIEW]
+  //   INSERT{1..4} [UPDATE] [INSERT] SELECT{2..4} [DELETE]
+  core::SchemaContext ctx;
+  std::vector<sql::StmtPtr> stmts;
+  auto emit = [&](sql::StmtPtr stmt) {
+    ctx.Apply(*stmt);
+    stmts.push_back(std::move(stmt));
+  };
+  auto stage = [&](StatementType type, double p) {
+    if (!profile_.Supports(type)) return;
+    if (!rng_.NextBool(p)) return;
+    emit(generator_.Generate(type, &ctx));
+  };
+
+  stage(StatementType::kSet, 0.3);
+  emit(generator_.Generate(StatementType::kCreateTable, &ctx));
+  stage(StatementType::kComment, 0.15);
+  stage(StatementType::kCreateIndex, 0.5);
+  stage(StatementType::kCreateView, 0.3);
+
+  size_t inserts = 1 + rng_.NextBelow(4);
+  for (size_t i = 0; i < inserts; ++i) {
+    emit(generator_.Generate(StatementType::kInsert, &ctx));
+  }
+  stage(StatementType::kUpdate, 0.4);
+  stage(StatementType::kInsert, 0.3);
+
+  // The first SELECT of the probe block is a constant query (no FROM): it
+  // always succeeds, pinning the template order in the execution trace even
+  // when data statements are rejected.
+  {
+    auto guard = std::make_unique<sql::SelectStmt>();
+    sql::SelectItem item;
+    item.expr = sql::Literal::Int(static_cast<int64_t>(rng_.NextBelow(100)));
+    guard->core.items.push_back(std::move(item));
+    emit(std::move(guard));
+  }
+  size_t selects = 1 + rng_.NextBelow(3);
+  for (size_t i = 0; i < selects; ++i) {
+    emit(generator_.GenerateSelect(&ctx, 1, /*fancy=*/false));
+  }
+  stage(StatementType::kDelete, 0.3);
+  return fuzz::TestCase(std::move(stmts));
+}
+
+}  // namespace lego::baselines

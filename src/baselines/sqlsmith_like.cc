@@ -1,0 +1,29 @@
+#include "baselines/sqlsmith_like.h"
+
+#include "fuzz/seeds.h"
+#include "sql/parser.h"
+
+namespace lego::baselines {
+
+SqlsmithLikeFuzzer::SqlsmithLikeFuzzer(const minidb::DialectProfile& profile,
+                                       uint64_t rng_seed)
+    : profile_(profile), rng_(rng_seed), generator_(&profile, &rng_) {}
+
+void SqlsmithLikeFuzzer::Prepare(fuzz::ExecutionHarness* harness) {
+  // SQLsmith fuzzes an existing database: install the setup schema on the
+  // harness and mirror it into the generator's symbolic context.
+  std::string setup = fuzz::SetupSchemaFor(profile_.name);
+  harness->set_setup_script(setup);
+  auto stmts = sql::Parser::ParseScript(setup);
+  if (stmts.ok()) {
+    for (const auto& stmt : *stmts) schema_.Apply(*stmt);
+  }
+}
+
+fuzz::TestCase SqlsmithLikeFuzzer::Next() {
+  std::vector<sql::StmtPtr> stmts;
+  stmts.push_back(generator_.GenerateSelect(&schema_, 2, /*fancy=*/true));
+  return fuzz::TestCase(std::move(stmts));
+}
+
+}  // namespace lego::baselines

@@ -1,0 +1,46 @@
+#include "baselines/squirrel_like.h"
+
+#include "fuzz/seeds.h"
+
+namespace lego::baselines {
+
+SquirrelLikeFuzzer::SquirrelLikeFuzzer(const minidb::DialectProfile& profile,
+                                       uint64_t rng_seed)
+    : profile_(profile),
+      rng_(rng_seed),
+      instantiator_(&profile, &library_, &rng_),
+      mutator_(&profile, &instantiator_, &rng_, /*fancy_selects=*/false) {}
+
+void SquirrelLikeFuzzer::Prepare(fuzz::ExecutionHarness* harness) {
+  (void)harness;
+  for (const std::string& script : fuzz::SeedScriptsFor(profile_.name)) {
+    auto tc = fuzz::TestCase::FromSql(script);
+    if (tc.ok()) replay_queue_.push_back(std::move(*tc));
+  }
+}
+
+fuzz::TestCase SquirrelLikeFuzzer::Next() {
+  if (!replay_queue_.empty()) {
+    fuzz::TestCase tc = std::move(replay_queue_.front());
+    replay_queue_.pop_front();
+    return tc;
+  }
+  fuzz::Seed* seed = corpus_.Select(&rng_);
+  if (seed == nullptr) {
+    // Degenerate cold start (no seeds parsed): a trivial probe.
+    auto tc = fuzz::TestCase::FromSql("SELECT 1;");
+    return tc.ok() ? std::move(*tc) : fuzz::TestCase();
+  }
+  current_seed_ = seed;
+  return mutator_.ConventionalMutate(seed->test_case);
+}
+
+void SquirrelLikeFuzzer::OnResult(const fuzz::TestCase& tc,
+                                  const fuzz::ExecResult& result) {
+  if (!result.new_coverage) return;
+  corpus_.Add(tc.Clone());
+  library_.AddTestCase(tc);
+  if (current_seed_ != nullptr) ++current_seed_->discoveries;
+}
+
+}  // namespace lego::baselines

@@ -1,0 +1,7 @@
+#include "coverage/coverage.h"
+
+namespace lego::cov {
+
+thread_local CoverageMap* CoverageRuntime::active_ = nullptr;
+
+}  // namespace lego::cov

@@ -1,0 +1,160 @@
+#ifndef LEGO_COVERAGE_COVERAGE_H_
+#define LEGO_COVERAGE_COVERAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace lego::cov {
+
+/// AFL-style edge-coverage map for one execution. Probes report a location
+/// id; the map records the (prev >> 1) ^ cur edge and bumps an 8-bit
+/// saturating counter. After a run, ClassifyCounts() folds raw counts into
+/// AFL's hit-count buckets so "same edge, new hit-count magnitude" also
+/// registers as new coverage.
+class CoverageMap {
+ public:
+  static constexpr size_t kSize = 1 << 16;
+
+  CoverageMap() { Reset(); }
+
+  /// Clears all counters and the edge-chain state.
+  void Reset() {
+    map_.fill(0);
+    prev_loc_ = 0;
+  }
+
+  /// Records a hit of probe `loc` (called via LEGO_COV()).
+  void Hit(uint64_t loc) {
+    size_t edge = static_cast<size_t>((prev_loc_ ^ loc) & (kSize - 1));
+    if (map_[edge] != 0xff) ++map_[edge];
+    prev_loc_ = loc >> 1;
+  }
+
+  /// Folds raw hit counts into AFL bucket bitmasks (1,2,3,4-7,8-15,16-31,
+  /// 32-127,128+ -> single bits).
+  void ClassifyCounts() {
+    for (auto& c : map_) c = Bucket(c);
+  }
+
+  /// Number of edges with any hits.
+  size_t CountNonZero() const {
+    size_t n = 0;
+    for (uint8_t c : map_) n += (c != 0);
+    return n;
+  }
+
+  const uint8_t* data() const { return map_.data(); }
+
+  static uint8_t Bucket(uint8_t count) {
+    if (count == 0) return 0;
+    if (count == 1) return 1;
+    if (count == 2) return 2;
+    if (count == 3) return 4;
+    if (count <= 7) return 8;
+    if (count <= 15) return 16;
+    if (count <= 31) return 32;
+    if (count <= 127) return 64;
+    return 128;
+  }
+
+ private:
+  std::array<uint8_t, kSize> map_;
+  uint64_t prev_loc_;
+};
+
+/// Accumulated ("virgin") coverage across a whole campaign. Merging a
+/// classified run map reports whether the run contributed any new edge or
+/// new hit-count bucket.
+class GlobalCoverage {
+ public:
+  GlobalCoverage() { Reset(); }
+
+  void Reset() {
+    virgin_.fill(0);
+    covered_edges_ = 0;
+  }
+
+  /// Merges `run` (must already be classified); returns true if any new
+  /// coverage bit appeared.
+  bool MergeDetectNew(const CoverageMap& run) {
+    bool new_cov = false;
+    const uint8_t* rd = run.data();
+    for (size_t i = 0; i < CoverageMap::kSize; ++i) {
+      uint8_t bits = rd[i];
+      if (bits == 0) continue;
+      uint8_t& v = virgin_[i];
+      if ((bits & ~v) != 0) {
+        if (v == 0) ++covered_edges_;
+        v |= bits;
+        new_cov = true;
+      }
+    }
+    return new_cov;
+  }
+
+  /// Number of distinct edges ever covered ("branches" in the paper's
+  /// terminology).
+  size_t CoveredEdges() const { return covered_edges_; }
+
+ private:
+  std::array<uint8_t, CoverageMap::kSize> virgin_;
+  size_t covered_edges_;
+};
+
+/// Process-wide sink the LEGO_COV() probes write into. The execution harness
+/// points this at a fresh CoverageMap around each test-case execution.
+class CoverageRuntime {
+ public:
+  static void SetActiveMap(CoverageMap* map) { active_ = map; }
+  static CoverageMap* active_map() { return active_; }
+
+  static void Hit(uint64_t id) {
+    if (active_ != nullptr) active_->Hit(id);
+  }
+
+ private:
+  static thread_local CoverageMap* active_;
+};
+
+/// RAII scope that routes probe hits into `map` for its lifetime.
+class CoverageScope {
+ public:
+  explicit CoverageScope(CoverageMap* map)
+      : saved_(CoverageRuntime::active_map()) {
+    CoverageRuntime::SetActiveMap(map);
+  }
+  ~CoverageScope() { CoverageRuntime::SetActiveMap(saved_); }
+
+  CoverageScope(const CoverageScope&) = delete;
+  CoverageScope& operator=(const CoverageScope&) = delete;
+
+ private:
+  CoverageMap* saved_;
+};
+
+}  // namespace lego::cov
+
+/// Instrumentation probe: drop one at each interesting control-flow point in
+/// the target engine. The id is a compile-time hash of file:line, so probe
+/// identity is stable across runs.
+#define LEGO_COV()                                                       \
+  do {                                                                   \
+    constexpr uint64_t _lego_cov_id =                                    \
+        ::lego::HashMix(::lego::Fnv1a64(__FILE__), __LINE__);            \
+    ::lego::cov::CoverageRuntime::Hit(_lego_cov_id);                     \
+  } while (0)
+
+/// Probe variant keyed by a runtime value (e.g. statement type), so distinct
+/// dispatch targets at one source line count as distinct branches.
+#define LEGO_COV_KEYED(key)                                              \
+  do {                                                                   \
+    constexpr uint64_t _lego_cov_id =                                    \
+        ::lego::HashMix(::lego::Fnv1a64(__FILE__), __LINE__);            \
+    ::lego::cov::CoverageRuntime::Hit(                                   \
+        ::lego::HashMix(_lego_cov_id, static_cast<uint64_t>(key)));      \
+  } while (0)
+
+#endif  // LEGO_COVERAGE_COVERAGE_H_

@@ -1,0 +1,309 @@
+#include "faults/bug_catalog.h"
+
+#include "util/hash.h"
+
+namespace lego::faults {
+
+namespace {
+
+using minidb::ExecFeature;
+using sql::StatementType;
+
+constexpr StatementType CT = StatementType::kCreateTable;
+constexpr StatementType CI = StatementType::kCreateIndex;
+constexpr StatementType CV = StatementType::kCreateView;
+constexpr StatementType CTR = StatementType::kCreateTrigger;
+constexpr StatementType CSQ = StatementType::kCreateSequence;
+constexpr StatementType CR = StatementType::kCreateRule;
+constexpr StatementType CU = StatementType::kCreateUser;
+constexpr StatementType DT = StatementType::kDropTable;
+constexpr StatementType DI = StatementType::kDropIndex;
+constexpr StatementType DV = StatementType::kDropView;
+constexpr StatementType DTR = StatementType::kDropTrigger;
+constexpr StatementType AT = StatementType::kAlterTable;
+constexpr StatementType TR = StatementType::kTruncate;
+constexpr StatementType INS = StatementType::kInsert;
+constexpr StatementType UPD = StatementType::kUpdate;
+constexpr StatementType DEL = StatementType::kDelete;
+constexpr StatementType REP = StatementType::kReplace;
+constexpr StatementType CPY = StatementType::kCopy;
+constexpr StatementType SEL = StatementType::kSelect;
+constexpr StatementType VAL = StatementType::kValues;
+constexpr StatementType WTH = StatementType::kWith;
+constexpr StatementType GRT = StatementType::kGrant;
+constexpr StatementType REV = StatementType::kRevoke;
+constexpr StatementType BEG = StatementType::kBegin;
+constexpr StatementType COM = StatementType::kCommit;
+constexpr StatementType ROL = StatementType::kRollback;
+constexpr StatementType SVP = StatementType::kSavepoint;
+constexpr StatementType REL = StatementType::kRelease;
+constexpr StatementType RBT = StatementType::kRollbackTo;
+constexpr StatementType SET = StatementType::kSet;
+constexpr StatementType SHW = StatementType::kShow;
+constexpr StatementType EXP = StatementType::kExplain;
+constexpr StatementType ANA = StatementType::kAnalyze;
+constexpr StatementType VAC = StatementType::kVacuum;
+constexpr StatementType RIX = StatementType::kReindex;
+constexpr StatementType CHK = StatementType::kCheckpoint;
+constexpr StatementType NOT = StatementType::kNotify;
+constexpr StatementType LSN = StatementType::kListen;
+constexpr StatementType ULS = StatementType::kUnlisten;
+constexpr StatementType CMT = StatementType::kComment;
+constexpr StatementType ASY = StatementType::kAlterSystem;
+
+BugDef B(const char* id, const char* profile, const char* component,
+         const char* kind, std::vector<StatementType> seq,
+         const char* identifier = "",
+         std::optional<ExecFeature> feature = std::nullopt) {
+  BugDef bug;
+  bug.id = id;
+  bug.profile = profile;
+  bug.component = component;
+  bug.kind = kind;
+  bug.sequence = std::move(seq);
+  bug.feature = feature;
+  bug.identifier = identifier;
+  return bug;
+}
+
+std::vector<BugDef> BuildCatalog() {
+  std::vector<BugDef> bugs;
+  bugs.reserve(102);
+
+  // ----------------------------------------------------------------- pglite
+  // 6 bugs: Optimizer BOF(1) AF(1) SEGV(2), Parser AF(1), DML AF(1).
+  // PG-OPT-01 is the paper's §V-B case study: a DML rewritten to NOTIFY by
+  // an INSTEAD rule inside a WITH clause leaves a NULL jointree and the
+  // planner crashes in replace_empty_jointree.
+  bugs.push_back(B("PG-OPT-01", "pglite", "Optimizer", "SEGV", {NOT, WTH},
+                   "BUG #17097", ExecFeature::kRuleRewrite));
+  bugs.push_back(B("PG-OPT-02", "pglite", "Optimizer", "SEGV",
+                   {CR, CPY, SEL}, "BUG #17151"));
+  bugs.push_back(B("PG-OPT-03", "pglite", "Optimizer", "BOF", {CI, ANA, SEL},
+                   "BUG #110303", ExecFeature::kIndexScanUsed));
+  bugs.push_back(B("PG-OPT-04", "pglite", "Optimizer", "AF", {CV, AT, SEL},
+                   "BUG #17152", ExecFeature::kViewExpansion));
+  bugs.push_back(B("PG-PARSE-01", "pglite", "Parser", "AF", {LSN, ULS, LSN},
+                   "BUG #17094"));
+  bugs.push_back(B("PG-DML-01", "pglite", "DML", "AF", {TR, INS, CPY},
+                   "BUG #17067"));
+
+  // ----------------------------------------------------------------- mylite
+  // 21 bugs: Optimizer 12, DML 3, Auth 3, Storage 3.
+  bugs.push_back(B("MY-OPT-01", "mylite", "Optimizer", "BOF", {CT, INS, SEL},
+                   "CVE-2021-2357", ExecFeature::kWindowFunction));
+  bugs.push_back(B("MY-OPT-02", "mylite", "Optimizer", "BOF", {CI, UPD, SEL},
+                   "CVE-2021-2055", ExecFeature::kIndexScanUsed));
+  bugs.push_back(B("MY-OPT-03", "mylite", "Optimizer", "BOF", {ANA, SEL},
+                   "CVE-2021-2230", ExecFeature::kHashJoinUsed));
+  bugs.push_back(B("MY-OPT-04", "mylite", "Optimizer", "SBOF", {CV, SEL},
+                   "CVE-2021-2169", ExecFeature::kSetOperation));
+  bugs.push_back(B("MY-OPT-05", "mylite", "Optimizer", "NPD", {AT, SEL},
+                   "CVE-2021-2444", ExecFeature::kGroupBy));
+  bugs.push_back(B("MY-OPT-06", "mylite", "Optimizer", "NPD", {CV, DT, SEL}));
+  bugs.push_back(B("MY-OPT-07", "mylite", "Optimizer", "NPD", {SVP, SEL}, "",
+                   ExecFeature::kSubquery));
+  bugs.push_back(B("MY-OPT-08", "mylite", "Optimizer", "NPD", {SET, EXP}));
+  bugs.push_back(B("MY-OPT-09", "mylite", "Optimizer", "HBOF", {CSQ, SEL}, "",
+                   ExecFeature::kOrderBy));
+  bugs.push_back(B("MY-OPT-10", "mylite", "Optimizer", "UAF", {DI, SEL}, "",
+                   ExecFeature::kOrderBy));
+  bugs.push_back(B("MY-OPT-11", "mylite", "Optimizer", "AF", {EXP, EXP}));
+  bugs.push_back(B("MY-OPT-12", "mylite", "Optimizer", "AF", {VAL, SEL}, "",
+                   ExecFeature::kDistinct));
+  bugs.push_back(B("MY-DML-01", "mylite", "DML", "SBOF", {REP, REP, SEL},
+                   "CVE-2021-35645"));
+  bugs.push_back(B("MY-DML-02", "mylite", "DML", "SEGV", {CTR, INS}, "",
+                   ExecFeature::kTriggerFired));
+  bugs.push_back(B("MY-DML-03", "mylite", "DML", "SEGV", {AT, UPD, DEL}));
+  bugs.push_back(B("MY-AUTH-01", "mylite", "Auth", "SBOF", {CU, GRT, SET},
+                   "CVE-2021-35643"));
+  // MY-AUTH-02 mirrors the paper's Fig. 3 synthetic seed: CREATE TABLE ->
+  // INSERT -> CREATE TRIGGER -> SELECT.
+  bugs.push_back(B("MY-AUTH-02", "mylite", "Auth", "SEGV",
+                   {INS, CTR, SEL}, "CVE-2021-35643"));
+  bugs.push_back(B("MY-AUTH-03", "mylite", "Auth", "SEGV", {REV, SEL}));
+  bugs.push_back(B("MY-STOR-01", "mylite", "Storage", "SEGV", {VAC, UPD},
+                   "CVE-2021-35641"));
+  bugs.push_back(B("MY-STOR-02", "mylite", "Storage", "AF", {TR, RIX}));
+  bugs.push_back(B("MY-STOR-03", "mylite", "Storage", "AF", {CHK, ASY, INS}));
+
+  // -------------------------------------------------------------- marialite
+  // 42 bugs: Optimizer 9, DML 4, Parser 4, Storage 13, Item 10, Lock 2.
+  bugs.push_back(B("MA-OPT-01", "marialite", "Optimizer", "NPD",
+                   {CT, INS, SEL}, "CVE-2022-27376", ExecFeature::kGroupBy));
+  bugs.push_back(B("MA-OPT-02", "marialite", "Optimizer", "NPD",
+                   {INS, CI, SEL}, "CVE-2022-27379",
+                   ExecFeature::kIndexScanUsed));
+  bugs.push_back(B("MA-OPT-03", "marialite", "Optimizer", "BOF", {SEL, SEL},
+                   "CVE-2022-27380", ExecFeature::kWindowFunction));
+  bugs.push_back(B("MA-OPT-04", "marialite", "Optimizer", "UAP", {UPD, SEL},
+                   "MDEV-26403", ExecFeature::kHashJoinUsed));
+  bugs.push_back(B("MA-OPT-05", "marialite", "Optimizer", "UAP", {ANA, EXP},
+                   "MDEV-26432"));
+  bugs.push_back(B("MA-OPT-06", "marialite", "Optimizer", "UAP", {CV, SEL},
+                   "MDEV-26418", ExecFeature::kViewExpansion));
+  bugs.push_back(B("MA-OPT-07", "marialite", "Optimizer", "SEGV", {DEL, SEL},
+                   "MDEV-26416", ExecFeature::kOrderBy));
+  bugs.push_back(B("MA-OPT-08", "marialite", "Optimizer", "SEGV", {SET, SEL},
+                   "MDEV-26419", ExecFeature::kSetOperation));
+  bugs.push_back(B("MA-OPT-09", "marialite", "Optimizer", "AF",
+                   {CSQ, INS, SEL}, "MDEV-26430", ExecFeature::kAggregate));
+  bugs.push_back(B("MA-DML-01", "marialite", "DML", "BOF", {INS, UPD, DEL},
+                   "CVE-2022-27377"));
+  bugs.push_back(B("MA-DML-02", "marialite", "DML", "UAP", {REP, UPD},
+                   "CVE-2022-27378"));
+  bugs.push_back(B("MA-DML-03", "marialite", "DML", "AF", {BEG, INS, ROL},
+                   "MDEV-26120", ExecFeature::kInTransaction));
+  bugs.push_back(B("MA-DML-04", "marialite", "DML", "SEGV", {WTH, DEL},
+                   "MDEV-25994"));
+  bugs.push_back(B("MA-PARSE-01", "marialite", "Parser", "BOF", {CMT, DEL},
+                   "CVE-2022-27383"));
+  bugs.push_back(B("MA-PARSE-02", "marialite", "Parser", "UAF",
+                   {CTR, DTR, INS}, "MDEV-26355"));
+  bugs.push_back(B("MA-PARSE-03", "marialite", "Parser", "UAF", {SVP, RBT},
+                   "MDEV-26313", ExecFeature::kInTransaction));
+  bugs.push_back(B("MA-PARSE-04", "marialite", "Parser", "SEGV", {EXP, INS},
+                   "MDEV-26410"));
+  bugs.push_back(B("MA-STOR-01", "marialite", "Storage", "SEGV",
+                   {CI, INS, TR}, "CVE-2022-27385"));
+  bugs.push_back(B("MA-STOR-02", "marialite", "Storage", "SEGV", {VAC, SEL},
+                   "CVE-2022-27386"));
+  bugs.push_back(B("MA-STOR-03", "marialite", "Storage", "SEGV", {TR, INS},
+                   "MDEV-26404"));
+  bugs.push_back(B("MA-STOR-04", "marialite", "Storage", "SEGV", {AT, INS},
+                   "MDEV-26408"));
+  bugs.push_back(B("MA-STOR-05", "marialite", "Storage", "SEGV", {RIX, UPD},
+                   "MDEV-26412"));
+  bugs.push_back(B("MA-STOR-06", "marialite", "Storage", "SEGV", {DI, INS},
+                   "MDEV-26421"));
+  bugs.push_back(B("MA-STOR-07", "marialite", "Storage", "SEGV", {CHK, VAC},
+                   "MDEV-26434"));
+  bugs.push_back(B("MA-STOR-08", "marialite", "Storage", "UAP",
+                   {DEL, VAC, SEL}, "MDEV-26436"));
+  bugs.push_back(B("MA-STOR-09", "marialite", "Storage", "UAP", {AT, AT},
+                   "MDEV-26420"));
+  bugs.push_back(B("MA-STOR-10", "marialite", "Storage", "UAF",
+                   {DT, CT, INS}, "MDEV-26431"));
+  bugs.push_back(B("MA-STOR-11", "marialite", "Storage", "UAF", {ROL, INS},
+                   "MDEV-26433"));
+  bugs.push_back(B("MA-STOR-12", "marialite", "Storage", "BOF",
+                   {INS, INS, AT}, "MDEV-26408"));
+  bugs.push_back(B("MA-STOR-13", "marialite", "Storage", "BOF", {CSQ, AT},
+                   "MDEV-26432"));
+  bugs.push_back(B("MA-ITEM-01", "marialite", "Item", "AF", {SEL, INS},
+                   "MDEV-26405", ExecFeature::kSubquery));
+  bugs.push_back(B("MA-ITEM-02", "marialite", "Item", "AF", {SET, UPD},
+                   "MDEV-26407"));
+  bugs.push_back(B("MA-ITEM-03", "marialite", "Item", "AF", {VAL, INS},
+                   "MDEV-26411"));
+  bugs.push_back(B("MA-ITEM-04", "marialite", "Item", "AF", {UPD, SEL},
+                   "MDEV-26414", ExecFeature::kAggregate));
+  bugs.push_back(B("MA-ITEM-05", "marialite", "Item", "SEGV", {INS, SEL},
+                   "MDEV-26438", ExecFeature::kHaving));
+  bugs.push_back(B("MA-ITEM-06", "marialite", "Item", "SEGV", {SHW, SEL},
+                   "MDEV-26428"));
+  bugs.push_back(B("MA-ITEM-07", "marialite", "Item", "SEGV", {CV, UPD, SEL},
+                   "MDEV-26417", ExecFeature::kViewExpansion));
+  bugs.push_back(B("MA-ITEM-08", "marialite", "Item", "UAP", {DEL, INS, SEL},
+                   "MDEV-26434", ExecFeature::kDistinct));
+  bugs.push_back(B("MA-ITEM-09", "marialite", "Item", "UAP", {GRT, SEL},
+                   "MDEV-26437"));
+  bugs.push_back(B("MA-ITEM-10", "marialite", "Item", "UAF", {DV, CV, SEL},
+                   "MDEV-26427"));
+  bugs.push_back(B("MA-LOCK-01", "marialite", "Lock", "SEGV",
+                   {BEG, SVP, REL}, "MDEV-26425"));
+  bugs.push_back(B("MA-LOCK-02", "marialite", "Lock", "SEGV",
+                   {BEG, TR, COM}, "MDEV-26424"));
+
+  // --------------------------------------------------------------- comdlite
+  // 33 bugs: Bdb UB(6); Berkdb BOF(1) UB(7); Csc2 BOF(1); Db UB(4) UAF(1)
+  // SEGV(3); Mem BOF(1) HBOF(1) SEGV(1); Sqlite UB(5) SEGV(2).
+  bugs.push_back(B("CD-BDB-01", "comdlite", "Bdb", "UB", {BEG, INS, COM},
+                   "CVE-2020-26746"));
+  bugs.push_back(B("CD-BDB-02", "comdlite", "Bdb", "UB", {BEG, DEL, ROL},
+                   "CVE-2020-26746"));
+  bugs.push_back(B("CD-BDB-03", "comdlite", "Bdb", "UB", {SVP, UPD},
+                   "CVE-2020-26746"));
+  bugs.push_back(B("CD-BDB-04", "comdlite", "Bdb", "UB", {CI, REP, SEL},
+                   "CVE-2020-26746"));
+  bugs.push_back(B("CD-BDB-05", "comdlite", "Bdb", "UB", {SEL, ANA, UPD},
+                   "CVE-2020-26746"));
+  bugs.push_back(B("CD-BDB-06", "comdlite", "Bdb", "UB", {TR, SEL},
+                   "CVE-2020-26746", ExecFeature::kEmptyInput));
+  bugs.push_back(B("CD-BRK-01", "comdlite", "Berkdb", "BOF", {CI, INS, DEL},
+                   "CVE-2020-26745"));
+  bugs.push_back(B("CD-BRK-02", "comdlite", "Berkdb", "UB", {UPD, UPD, SEL},
+                   "CVE-2020-26745", ExecFeature::kOrderBy));
+  bugs.push_back(B("CD-BRK-03", "comdlite", "Berkdb", "UB", {DEL, INS, UPD},
+                   "CVE-2020-26745"));
+  bugs.push_back(B("CD-BRK-04", "comdlite", "Berkdb", "UB", {AT, DEL, INS},
+                   "CVE-2020-26745"));
+  bugs.push_back(B("CD-BRK-05", "comdlite", "Berkdb", "UB", {WTH, INS, SEL},
+                   "CVE-2020-26745"));
+  bugs.push_back(B("CD-BRK-06", "comdlite", "Berkdb", "UB", {VAL, UPD, INS},
+                   "CVE-2020-26745"));
+  bugs.push_back(B("CD-BRK-07", "comdlite", "Berkdb", "UB", {EXP, DEL, UPD},
+                   "CVE-2020-26745"));
+  bugs.push_back(B("CD-BRK-08", "comdlite", "Berkdb", "UB", {REP, SEL},
+                   "CVE-2020-26745", ExecFeature::kJoin));
+  bugs.push_back(B("CD-CSC-01", "comdlite", "Csc2", "BOF", {CT, AT, INS},
+                   "CVE-2020-26744"));
+  bugs.push_back(B("CD-DB-01", "comdlite", "Db", "UB", {SET, INS, DEL},
+                   "CVE-2020-26743"));
+  bugs.push_back(B("CD-DB-02", "comdlite", "Db", "UB", {CV, DEL, SEL},
+                   "CVE-2020-26743"));
+  bugs.push_back(B("CD-DB-03", "comdlite", "Db", "UB", {SEL, DEL, SEL},
+                   "CVE-2020-26743"));
+  bugs.push_back(B("CD-DB-04", "comdlite", "Db", "UB", {CTR, UPD},
+                   "CVE-2020-26743", ExecFeature::kTriggerFired));
+  bugs.push_back(B("CD-DB-05", "comdlite", "Db", "UAF", {DTR, INS, UPD}));
+  bugs.push_back(B("CD-DB-06", "comdlite", "Db", "SEGV", {CTR, INS, INS}, "",
+                   ExecFeature::kTriggerFired));
+  bugs.push_back(B("CD-DB-07", "comdlite", "Db", "SEGV", {ROL, SEL, INS}));
+  bugs.push_back(B("CD-DB-08", "comdlite", "Db", "SEGV", {WTH, UPD, SEL}));
+  bugs.push_back(B("CD-MEM-01", "comdlite", "Mem", "BOF", {INS, TR, INS},
+                   "CVE-2020-26741"));
+  bugs.push_back(B("CD-MEM-02", "comdlite", "Mem", "HBOF", {DEL, REP, UPD},
+                   "CVE-2020-26742"));
+  bugs.push_back(B("CD-MEM-03", "comdlite", "Mem", "SEGV", {DI, SEL, UPD}));
+  bugs.push_back(B("CD-SQL-01", "comdlite", "Sqlite", "UB", {INS, SEL}, "",
+                   ExecFeature::kGroupBy));
+  bugs.push_back(B("CD-SQL-02", "comdlite", "Sqlite", "UB", {SEL, SEL}, "",
+                   ExecFeature::kSetOperation));
+  bugs.push_back(B("CD-SQL-03", "comdlite", "Sqlite", "UB", {CV, SEL}, "",
+                   ExecFeature::kViewExpansion));
+  bugs.push_back(B("CD-SQL-04", "comdlite", "Sqlite", "UB", {UPD, SEL}, "",
+                   ExecFeature::kSubquery));
+  bugs.push_back(B("CD-SQL-05", "comdlite", "Sqlite", "UB", {BEG, SEL, COM}));
+  bugs.push_back(B("CD-SQL-06", "comdlite", "Sqlite", "SEGV", {INS, WTH, SEL}));
+  bugs.push_back(B("CD-SQL-07", "comdlite", "Sqlite", "SEGV", {ANA, SEL}, "",
+                   ExecFeature::kIndexScanUsed));
+
+  return bugs;
+}
+
+}  // namespace
+
+uint64_t BugDef::StackHash() const {
+  uint64_t h = Fnv1a64(id);
+  h = HashMix(h, Fnv1a64(component, h));
+  h = HashMix(h, Fnv1a64(kind, h));
+  return h;
+}
+
+const std::vector<BugDef>& BugCatalog() {
+  static const std::vector<BugDef>* kCatalog =
+      new std::vector<BugDef>(BuildCatalog());
+  return *kCatalog;
+}
+
+std::vector<const BugDef*> BugsForProfile(const std::string& profile) {
+  std::vector<const BugDef*> out;
+  for (const BugDef& bug : BugCatalog()) {
+    if (bug.profile == profile) out.push_back(&bug);
+  }
+  return out;
+}
+
+}  // namespace lego::faults

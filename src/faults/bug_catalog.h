@@ -1,0 +1,40 @@
+#ifndef LEGO_FAULTS_BUG_CATALOG_H_
+#define LEGO_FAULTS_BUG_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+#include "sql/statement_type.h"
+
+namespace lego::faults {
+
+/// One injected vulnerability. A bug fires when `sequence` occurs as a
+/// contiguous subsequence of the session's executed-type trace and, if
+/// `feature` is set, the trace entry matching the final element carries that
+/// feature. This encodes the paper's observation that its bugs are triggered
+/// by unexpected SQL Type Sequences (§V-B).
+struct BugDef {
+  std::string id;         // stable id, e.g. "MY-OPT-03"
+  std::string profile;    // pglite | mylite | marialite | comdlite
+  std::string component;  // Optimizer, Parser, DML, Storage, ...
+  std::string kind;       // SEGV, UAF, BOF, SBOF, HBOF, AF, NPD, UAP, UB
+  std::vector<sql::StatementType> sequence;
+  std::optional<minidb::ExecFeature> feature;
+  std::string identifier;  // CVE / tracker id from the paper, or ""
+
+  /// Deterministic synthetic call-stack hash (dedup key).
+  uint64_t StackHash() const;
+};
+
+/// The full 102-bug inventory mirroring the paper's Table I distribution:
+/// 6 pglite, 21 mylite, 42 marialite, 33 comdlite.
+const std::vector<BugDef>& BugCatalog();
+
+/// Bugs injected into `profile`.
+std::vector<const BugDef*> BugsForProfile(const std::string& profile);
+
+}  // namespace lego::faults
+
+#endif  // LEGO_FAULTS_BUG_CATALOG_H_

@@ -1,0 +1,61 @@
+#include "faults/bug_engine.h"
+
+namespace lego::faults {
+
+BugEngine::BugEngine(const std::string& profile_name)
+    : bugs_(BugsForProfile(profile_name)) {}
+
+bool BugEngine::Matches(const BugDef& bug,
+                        const std::vector<sql::StatementType>& trace,
+                        const std::vector<minidb::FeatureSet>& features,
+                        size_t min_end) {
+  const size_t n = bug.sequence.size();
+  if (n == 0 || trace.size() < n) return false;
+  // A match must END at index >= min_end so each statement is examined once.
+  size_t first_end = std::max(min_end, n - 1);
+  for (size_t end = first_end; end < trace.size(); ++end) {
+    size_t start = end + 1 - n;
+    bool match = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (trace[start + i] != bug.sequence[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (bug.feature.has_value() &&
+        !features[end].test(static_cast<size_t>(*bug.feature))) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::optional<minidb::CrashInfo> BugEngine::Check(
+    const minidb::Database& db) {
+  const auto& trace = db.session().type_trace;
+  const auto& features = db.session().feature_trace;
+  if (trace.size() <= last_checked_) {
+    // Session was reset under us; start over.
+    last_checked_ = 0;
+  }
+  size_t min_end = last_checked_;
+  last_checked_ = trace.size();
+  for (const BugDef* bug : bugs_) {
+    if (Matches(*bug, trace, features, min_end)) {
+      minidb::CrashInfo crash;
+      crash.bug_id = bug->id;
+      crash.component = bug->component;
+      crash.kind = bug->kind;
+      crash.stack_hash = bug->StackHash();
+      crash.message = "injected " + bug->kind + " (" +
+                      (bug->identifier.empty() ? "unreported" : bug->identifier) +
+                      ") reached via SQL type sequence";
+      return crash;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lego::faults

@@ -1,0 +1,49 @@
+#ifndef LEGO_FAULTS_BUG_ENGINE_H_
+#define LEGO_FAULTS_BUG_ENGINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faults/bug_catalog.h"
+#include "minidb/database.h"
+
+namespace lego::faults {
+
+/// The fault-injection oracle: a FaultHook that watches a Database session's
+/// executed-type trace and raises a synthetic crash when an injected bug's
+/// trigger condition is met. This is the reproduction's stand-in for running
+/// the targets under AddressSanitizer.
+class BugEngine : public minidb::FaultHook {
+ public:
+  /// Arms the bugs injected into `profile_name`.
+  explicit BugEngine(const std::string& profile_name);
+
+  /// Checks the (suffix of the) trace against every armed bug; first match
+  /// wins. Stateless across calls except `last_checked_` which avoids
+  /// re-reporting a match that existed before the latest statement.
+  std::optional<minidb::CrashInfo> Check(const minidb::Database& db) override;
+
+  /// Must be called when the harness resets the session between test cases.
+  void ResetSession() { last_checked_ = 0; }
+
+  /// All bugs armed for this engine.
+  const std::vector<const BugDef*>& bugs() const { return bugs_; }
+
+  /// Pure matcher: does `bug` fire against this trace? Exposed for tests
+  /// and for baselines' post-hoc analysis.
+  static bool Matches(const BugDef& bug,
+                      const std::vector<sql::StatementType>& trace,
+                      const std::vector<minidb::FeatureSet>& features,
+                      size_t min_end);
+
+ private:
+  std::vector<const BugDef*> bugs_;
+  /// Trace length already examined; only matches ending beyond this point
+  /// are reported (each new statement is checked once).
+  size_t last_checked_ = 0;
+};
+
+}  // namespace lego::faults
+
+#endif  // LEGO_FAULTS_BUG_ENGINE_H_

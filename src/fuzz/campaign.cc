@@ -1,0 +1,65 @@
+#include "fuzz/campaign.h"
+
+#include "faults/bug_catalog.h"
+
+namespace lego::fuzz {
+
+CampaignResult RunCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
+                           const CampaignOptions& options) {
+  CampaignResult result;
+  result.fuzzer = fuzzer->name();
+  result.profile = harness->profile().name;
+
+  const size_t total_bugs = harness->bug_engine().bugs().size();
+  fuzzer->Prepare(harness);
+
+  for (int i = 0; i < options.max_executions; ++i) {
+    TestCase tc = fuzzer->Next();
+
+    // Affinity accounting (Table II): adjacent distinct type pairs contained
+    // in generated test cases.
+    auto types = tc.TypeSequence();
+    for (size_t t = 1; t < types.size(); ++t) {
+      if (types[t - 1] == types[t]) continue;
+      result.affinities.emplace(static_cast<int>(types[t - 1]),
+                                static_cast<int>(types[t]));
+    }
+
+    ExecResult exec = harness->Run(tc);
+    ++result.executions;
+    result.statement_errors += exec.errors;
+    result.statements_executed += exec.executed;
+    if (exec.crashed) {
+      ++result.crashes_total;
+      if (result.crash_hashes.insert(exec.crash.stack_hash).second) {
+        result.bug_ids.insert(exec.crash.bug_id);
+        ++result.bugs_by_component[exec.crash.component];
+      }
+    }
+    fuzzer->OnResult(tc, exec);
+
+    if (options.snapshot_every > 0 &&
+        result.executions % options.snapshot_every == 0) {
+      result.coverage_curve.emplace_back(result.executions,
+                                         harness->CoveredEdges());
+    }
+    if (options.stop_when_all_bugs_found &&
+        result.bug_ids.size() >= total_bugs) {
+      break;
+    }
+    if (options.max_statements > 0 &&
+        result.statements_executed + result.statement_errors >=
+            options.max_statements) {
+      break;
+    }
+  }
+
+  result.edges = harness->CoveredEdges();
+  if (result.coverage_curve.empty() ||
+      result.coverage_curve.back().first != result.executions) {
+    result.coverage_curve.emplace_back(result.executions, result.edges);
+  }
+  return result;
+}
+
+}  // namespace lego::fuzz

@@ -1,0 +1,58 @@
+#ifndef LEGO_FUZZ_CAMPAIGN_H_
+#define LEGO_FUZZ_CAMPAIGN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/harness.h"
+
+namespace lego::fuzz {
+
+/// Campaign configuration. Budgets are execution counts — the scaled-down
+/// equivalent of the paper's wall-clock budgets.
+struct CampaignOptions {
+  int max_executions = 20000;
+  /// When > 0, the campaign additionally stops once this many statements
+  /// have been processed (executed or rejected). This models a wall-clock
+  /// budget: longer test cases consume it faster, reproducing the paper's
+  /// observation that large LEN degrades fuzzing throughput (§VI).
+  int64_t max_statements = 0;
+  /// Record a (executions, edges) point every this many executions.
+  int snapshot_every = 1000;
+  /// Stop early once every injected bug has been found (off by default).
+  bool stop_when_all_bugs_found = false;
+};
+
+/// Aggregated campaign outcome: everything the paper's tables/figures need.
+struct CampaignResult {
+  std::string fuzzer;
+  std::string profile;
+  int executions = 0;
+  size_t edges = 0;  // final branch coverage
+  std::vector<std::pair<int, size_t>> coverage_curve;
+  /// Deduplicated crashes, keyed the way the paper dedups: by call-stack
+  /// hash (ours are synthetic).
+  std::set<uint64_t> crash_hashes;
+  std::set<std::string> bug_ids;
+  /// Distinct adjacent type pairs (t1 != t2) over all generated test cases —
+  /// the paper's Table II "type-affinities generated" metric.
+  std::set<std::pair<int, int>> affinities;
+  int crashes_total = 0;
+  int statement_errors = 0;
+  int statements_executed = 0;
+
+  /// Bugs found per component, for Table I style reporting.
+  std::map<std::string, int> bugs_by_component;
+};
+
+/// Runs `fuzzer` against `harness` for the configured budget.
+CampaignResult RunCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
+                           const CampaignOptions& options);
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_CAMPAIGN_H_

@@ -1,0 +1,46 @@
+#include "fuzz/corpus.h"
+
+namespace lego::fuzz {
+
+Seed* Corpus::Add(TestCase tc) {
+  Seed seed;
+  seed.test_case = std::move(tc);
+  seed.id = next_id_++;
+  seed.favored = true;
+  seeds_.push_back(std::move(seed));
+  return &seeds_.back();
+}
+
+Seed* Corpus::Select(Rng* rng) {
+  if (seeds_.empty()) return nullptr;
+  // Favored (never-picked) seeds first, oldest first.
+  for (Seed& seed : seeds_) {
+    if (seed.favored) {
+      seed.favored = false;
+      ++seed.times_selected;
+      return &seed;
+    }
+  }
+  // Weighted pick: productive seeds weigh more, over-fuzzed ones less.
+  std::vector<double> weights(seeds_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    const Seed& s = seeds_[i];
+    double w = 1.0 + 2.0 * s.discoveries;
+    w /= 1.0 + 0.25 * s.times_selected;
+    weights[i] = w;
+    total += w;
+  }
+  double pick = rng->NextDouble() * total;
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) {
+      ++seeds_[i].times_selected;
+      return &seeds_[i];
+    }
+  }
+  ++seeds_.back().times_selected;
+  return &seeds_.back();
+}
+
+}  // namespace lego::fuzz

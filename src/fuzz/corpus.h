@@ -1,0 +1,46 @@
+#ifndef LEGO_FUZZ_CORPUS_H_
+#define LEGO_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "fuzz/testcase.h"
+#include "util/random.h"
+
+namespace lego::fuzz {
+
+/// One corpus entry with scheduling bookkeeping.
+struct Seed {
+  TestCase test_case;
+  int id = 0;
+  int times_selected = 0;
+  int discoveries = 0;   // mutants of this seed that found new coverage
+  bool favored = false;  // newly added seeds are favored until first pick
+};
+
+/// The seed pool. Seeds live in a deque so Seed pointers handed out by
+/// Select()/Add() stay valid as the corpus grows. Selection is energy-based: favored (fresh) seeds first,
+/// then a weighted pick that prefers productive and under-fuzzed seeds —
+/// the scheduling half of an AFL-style mutation loop.
+class Corpus {
+ public:
+  /// Adds a seed (typically one whose execution covered new branches).
+  Seed* Add(TestCase tc);
+
+  /// Picks the next seed to mutate. Returns nullptr when empty.
+  Seed* Select(Rng* rng);
+
+  size_t size() const { return seeds_.size(); }
+  bool empty() const { return seeds_.empty(); }
+  const std::deque<Seed>& seeds() const { return seeds_; }
+  std::deque<Seed>* mutable_seeds() { return &seeds_; }
+
+ private:
+  std::deque<Seed> seeds_;
+  int next_id_ = 0;
+};
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_CORPUS_H_

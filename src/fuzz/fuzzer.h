@@ -1,0 +1,33 @@
+#ifndef LEGO_FUZZ_FUZZER_H_
+#define LEGO_FUZZ_FUZZER_H_
+
+#include <string>
+
+#include "fuzz/harness.h"
+#include "fuzz/testcase.h"
+
+namespace lego::fuzz {
+
+/// Common interface for all fuzzers (LEGO, LEGO-, and the baselines). The
+/// campaign driver alternates Next() / OnResult() so every fuzzer pays the
+/// same per-execution accounting.
+class Fuzzer {
+ public:
+  virtual ~Fuzzer() = default;
+
+  /// Display name ("lego", "squirrel", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before the campaign; load seeds, set up generators.
+  virtual void Prepare(ExecutionHarness* harness) = 0;
+
+  /// Produces the next test case to execute.
+  virtual TestCase Next() = 0;
+
+  /// Feedback for the test case most recently returned by Next().
+  virtual void OnResult(const TestCase& tc, const ExecResult& result) = 0;
+};
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_FUZZER_H_

@@ -1,0 +1,50 @@
+#include "fuzz/harness.h"
+
+namespace lego::fuzz {
+
+ExecutionHarness::ExecutionHarness(const minidb::DialectProfile& profile)
+    : profile_(profile), db_(&profile), bug_engine_(profile.name) {
+  db_.set_fault_hook(&bug_engine_);
+}
+
+ExecResult ExecutionHarness::Run(const TestCase& tc) {
+  ExecResult result;
+  ++executions_;
+
+  // Fresh instance per test case (each input carries its own DDL).
+  db_.ResetAll();
+  bug_engine_.ResetSession();
+
+  cov::CoverageMap run_map;
+  cov::CoverageScope scope(&run_map);
+
+  if (!setup_script_.empty()) {
+    db_.set_fault_hook(nullptr);
+    (void)db_.ExecuteScript(setup_script_);
+    db_.session().type_trace.clear();
+    db_.session().feature_trace.clear();
+    db_.set_fault_hook(&bug_engine_);
+    bug_engine_.ResetSession();
+  }
+
+  for (const sql::StmtPtr& stmt : tc.statements()) {
+    auto st = db_.Execute(*stmt);
+    if (st.ok()) {
+      ++result.executed;
+      continue;
+    }
+    if (st.status().IsCrash()) {
+      result.crashed = true;
+      result.crash = *db_.last_crash();
+      break;  // the "server process" died
+    }
+    ++result.errors;
+  }
+
+  run_map.ClassifyCounts();
+  result.new_coverage = global_coverage_.MergeDetectNew(run_map);
+  result.total_edges = global_coverage_.CoveredEdges();
+  return result;
+}
+
+}  // namespace lego::fuzz

@@ -1,0 +1,67 @@
+#ifndef LEGO_FUZZ_HARNESS_H_
+#define LEGO_FUZZ_HARNESS_H_
+
+#include <memory>
+#include <string>
+
+#include "coverage/coverage.h"
+#include "faults/bug_engine.h"
+#include "fuzz/testcase.h"
+#include "minidb/database.h"
+#include "minidb/profile.h"
+
+namespace lego::fuzz {
+
+/// Outcome of executing one test case.
+struct ExecResult {
+  bool new_coverage = false;
+  bool crashed = false;
+  minidb::CrashInfo crash;
+  int executed = 0;   // statements that ran successfully
+  int errors = 0;     // statements rejected (syntax/semantic/runtime)
+  size_t total_edges = 0;  // campaign-global edge count after this run
+};
+
+/// In-process execution harness (the AFL++ persistent-mode stand-in): runs
+/// each test case against a fresh database instance of one dialect profile,
+/// with edge-coverage feedback and the fault-injection oracle armed.
+class ExecutionHarness {
+ public:
+  explicit ExecutionHarness(const minidb::DialectProfile& profile);
+
+  /// Optional script executed after each reset, before the test case, with
+  /// the oracle disarmed and the trace cleared (models fuzzing against a
+  /// pre-populated schema, as SQLsmith does).
+  void set_setup_script(std::string script) {
+    setup_script_ = std::move(script);
+  }
+
+  /// Executes `tc` against a fresh database. Coverage accumulates into the
+  /// campaign-global map; `new_coverage` reflects it.
+  ExecResult Run(const TestCase& tc);
+
+  /// Total distinct edges ("branches") covered so far.
+  size_t CoveredEdges() const { return global_coverage_.CoveredEdges(); }
+
+  /// Resets accumulated coverage (fresh campaign).
+  void ResetCoverage() { global_coverage_.Reset(); }
+
+  const minidb::DialectProfile& profile() const { return profile_; }
+  const faults::BugEngine& bug_engine() const { return bug_engine_; }
+  minidb::Database& database() { return db_; }
+
+  /// Number of Run() calls so far.
+  int executions() const { return executions_; }
+
+ private:
+  const minidb::DialectProfile& profile_;
+  minidb::Database db_;
+  faults::BugEngine bug_engine_;
+  cov::GlobalCoverage global_coverage_;
+  std::string setup_script_;
+  int executions_ = 0;
+};
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_HARNESS_H_

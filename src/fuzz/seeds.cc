@@ -1,0 +1,180 @@
+#include "fuzz/seeds.h"
+
+namespace lego::fuzz {
+
+namespace {
+
+// Generic seeds shared by every profile (only universally supported types).
+const std::vector<std::string> kCommonSeeds = {
+    // The paper's Fig. 1 running example.
+    "CREATE TABLE t1 (v1 INT, v2 INT);\n"
+    "INSERT INTO t1 VALUES (1, 1);\n"
+    "INSERT INTO t1 VALUES (2, 1);\n"
+    "SELECT * FROM t1 ORDER BY v1;\n"
+    "SELECT v2 FROM t1 WHERE v1 = 1;",
+
+    "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT NOT NULL);\n"
+    "INSERT INTO kv VALUES (1, 'one');\n"
+    "INSERT INTO kv VALUES (2, 'two');\n"
+    "UPDATE kv SET v = 'uno' WHERE k = 1;\n"
+    "SELECT k, v FROM kv WHERE k < 10;",
+
+    "CREATE TABLE lhs (k INT, a INT);\n"
+    "CREATE TABLE rhs (k INT, b INT);\n"
+    "INSERT INTO lhs VALUES (1, 10);\n"
+    "INSERT INTO rhs VALUES (1, 20);\n"
+    "SELECT lhs.a, rhs.b FROM lhs JOIN rhs ON lhs.k = rhs.k;\n"
+    "SELECT lhs.k, a FROM lhs LEFT JOIN rhs ON lhs.k = rhs.k WHERE a BETWEEN 1 AND 100;",
+};
+
+const std::vector<std::string>& PgSeeds() {
+  static const auto* kSeeds = new std::vector<std::string>([] {
+    std::vector<std::string> seeds = kCommonSeeds;
+    seeds.push_back(
+        "CREATE TABLE t4 (x INT, y TEXT DEFAULT 'd');\n"
+        "INSERT INTO t4 (x) VALUES (3);\n"
+        "CREATE VIEW w4 AS SELECT x FROM t4;\n"
+        "SELECT * FROM w4;");
+    seeds.push_back(
+        "CREATE TABLE agg (g INT, v INT);\n"
+        "INSERT INTO agg VALUES (1, 10);\n"
+        "INSERT INTO agg VALUES (1, 20);\n"
+        "INSERT INTO agg VALUES (2, 5);\n"
+        "SELECT g, SUM(v) FROM agg GROUP BY g HAVING SUM(v) > 6;");
+    seeds.push_back(
+        "CREATE TABLE tx (x INT UNIQUE);\n"
+        "BEGIN;\n"
+        "INSERT INTO tx VALUES (1);\n"
+        "COMMIT;\n"
+        "SELECT x FROM tx;");
+    return seeds;
+  }());
+  return *kSeeds;
+}
+
+const std::vector<std::string>& MySeeds() {
+  static const auto* kSeeds = new std::vector<std::string>([] {
+    std::vector<std::string> seeds = kCommonSeeds;
+    // The paper's Fig. 3 synthetic seed shape:
+    // CREATE TABLE -> INSERT -> CREATE TRIGGER -> SELECT.
+    seeds.push_back(
+        "CREATE TABLE v0 (v1 INT, v2 TEXT);\n"
+        "INSERT INTO v0 VALUES (1, 'name1');\n"
+        "CREATE TRIGGER tg0 AFTER UPDATE ON v0 FOR EACH ROW "
+        "INSERT INTO v0 VALUES (2, 'x');\n"
+        "SELECT * FROM v0;");
+    seeds.push_back(
+        "CREATE TABLE m2 (a INT, b INT);\n"
+        "INSERT INTO m2 VALUES (1, 2);\n"
+        "ALTER TABLE m2 ADD COLUMN c INT;\n"
+        "SELECT a, COUNT(*) FROM m2 GROUP BY a;");
+    seeds.push_back(
+        "CREATE TABLE m3 (k INT PRIMARY KEY, v TEXT);\n"
+        "REPLACE INTO m3 VALUES (1, 'a');\n"
+        "REPLACE INTO m3 VALUES (1, 'b');\n"
+        "SELECT v FROM m3;");
+    return seeds;
+  }());
+  return *kSeeds;
+}
+
+const std::vector<std::string>& MariaSeeds() {
+  static const auto* kSeeds = new std::vector<std::string>([] {
+    std::vector<std::string> seeds = kCommonSeeds;
+    seeds.push_back(
+        "CREATE TABLE r1 (g INT, v INT);\n"
+        "INSERT INTO r1 VALUES (1, 10);\n"
+        "SELECT g, COUNT(*) FROM r1 GROUP BY g;");
+    seeds.push_back(
+        "CREATE TABLE r2 (a INT, b INT);\n"
+        "INSERT INTO r2 VALUES (1, 2);\n"
+        "CREATE INDEX ix2 ON r2 (a);\n"
+        "SELECT b FROM r2 WHERE a = 1;");
+    seeds.push_back(
+        "CREATE TABLE r3 (x INT);\n"
+        "INSERT INTO r3 VALUES (5);\n"
+        "CREATE VIEW w3 AS SELECT x FROM r3;\n"
+        "SELECT * FROM w3;");
+    seeds.push_back(
+        "CREATE TABLE r4 (x INT);\n"
+        "INSERT INTO r4 VALUES (1);\n"
+        "INSERT INTO r4 VALUES (2);\n"
+        "DELETE FROM r4 WHERE x = 1;\n"
+        "SELECT x FROM r4 ORDER BY x;");
+    seeds.push_back(
+        "CREATE TABLE r5 (x INT, y INT);\n"
+        "INSERT INTO r5 VALUES (1, 1);\n"
+        "UPDATE r5 SET y = 2 WHERE x = 1;\n"
+        "DELETE FROM r5 WHERE y = 2;");
+    seeds.push_back(
+        "CREATE TABLE r6 (x INT);\n"
+        "BEGIN;\n"
+        "INSERT INTO r6 VALUES (9);\n"
+        "ROLLBACK;");
+    seeds.push_back(
+        "CREATE TABLE r7 (x INT);\n"
+        "INSERT INTO r7 VALUES (1);\n"
+        "TRUNCATE TABLE r7;\n"
+        "INSERT INTO r7 VALUES (2);");
+    seeds.push_back(
+        "CREATE TABLE r8 (x INT);\n"
+        "ALTER TABLE r8 ADD COLUMN y INT;\n"
+        "INSERT INTO r8 VALUES (1, 2);\n"
+        "SELECT y FROM r8;");
+    return seeds;
+  }());
+  return *kSeeds;
+}
+
+const std::vector<std::string>& ComdSeeds() {
+  static const auto* kSeeds = new std::vector<std::string>{
+      "CREATE TABLE c1 (a INT, b INT);\n"
+      "INSERT INTO c1 VALUES (1, 2);\n"
+      "INSERT INTO c1 VALUES (3, 4);\n"
+      "SELECT a, b FROM c1 WHERE a > 1;",
+
+      "CREATE TABLE c2 (k INT PRIMARY KEY, v INT);\n"
+      "INSERT INTO c2 VALUES (1, 10);\n"
+      "UPDATE c2 SET v = 20 WHERE k = 1;\n"
+      "SELECT v FROM c2 WHERE k = 1;",
+
+      "CREATE TABLE c3 (x INT);\n"
+      "CREATE INDEX ic3 ON c3 (x);\n"
+      "INSERT INTO c3 VALUES (7);\n"
+      "SELECT x FROM c3 WHERE x = 7;",
+
+      "CREATE TABLE c4 (x INT, y INT);\n"
+      "INSERT INTO c4 VALUES (1, 1);\n"
+      "DELETE FROM c4 WHERE y = 1;\n"
+      "INSERT INTO c4 VALUES (2, 2);",
+  };
+  return *kSeeds;
+}
+
+}  // namespace
+
+const std::vector<std::string>& SeedScriptsFor(const std::string& profile) {
+  if (profile == "pglite") return PgSeeds();
+  if (profile == "mylite") return MySeeds();
+  if (profile == "marialite") return MariaSeeds();
+  if (profile == "comdlite") return ComdSeeds();
+  static const std::vector<std::string>* kEmpty =
+      new std::vector<std::string>();
+  return *kEmpty;
+}
+
+std::string SetupSchemaFor(const std::string& profile) {
+  (void)profile;
+  // A small universal schema: two plain tables, one indexed column, data.
+  return
+      "CREATE TABLE s1 (a INT, b INT, c TEXT);\n"
+      "CREATE TABLE s2 (k INT PRIMARY KEY, v TEXT);\n"
+      "CREATE INDEX s1_a ON s1 (a);\n"
+      "INSERT INTO s1 VALUES (1, 10, 'x');\n"
+      "INSERT INTO s1 VALUES (2, 20, 'y');\n"
+      "INSERT INTO s1 VALUES (3, 30, 'z');\n"
+      "INSERT INTO s2 VALUES (1, 'one');\n"
+      "INSERT INTO s2 VALUES (2, 'two');";
+}
+
+}  // namespace lego::fuzz

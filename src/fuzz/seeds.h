@@ -1,0 +1,21 @@
+#ifndef LEGO_FUZZ_SEEDS_H_
+#define LEGO_FUZZ_SEEDS_H_
+
+#include <string>
+#include <vector>
+
+namespace lego::fuzz {
+
+/// Built-in initial seed scripts for one dialect profile. The mutation-based
+/// fuzzers (SQUIRREL-like, LEGO, LEGO-) start from these — the equivalent of
+/// the seed corpora shipped with the original tools. Each script uses only
+/// statement types the profile supports.
+const std::vector<std::string>& SeedScriptsFor(const std::string& profile);
+
+/// A small pre-populated schema, used as the harness setup script for
+/// fuzzers that assume an existing database (SQLsmith).
+std::string SetupSchemaFor(const std::string& profile);
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_SEEDS_H_

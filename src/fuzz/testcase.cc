@@ -1,0 +1,36 @@
+#include "fuzz/testcase.h"
+
+#include "sql/parser.h"
+
+namespace lego::fuzz {
+
+StatusOr<TestCase> TestCase::FromSql(std::string_view script) {
+  LEGO_ASSIGN_OR_RETURN(std::vector<sql::StmtPtr> stmts,
+                        sql::Parser::ParseScript(script));
+  return TestCase(std::move(stmts));
+}
+
+TestCase TestCase::Clone() const {
+  std::vector<sql::StmtPtr> stmts;
+  stmts.reserve(statements_.size());
+  for (const auto& s : statements_) stmts.push_back(s->Clone());
+  return TestCase(std::move(stmts));
+}
+
+std::vector<sql::StatementType> TestCase::TypeSequence() const {
+  std::vector<sql::StatementType> types;
+  types.reserve(statements_.size());
+  for (const auto& s : statements_) types.push_back(s->type());
+  return types;
+}
+
+std::string TestCase::ToSql() const {
+  std::string out;
+  for (const auto& s : statements_) {
+    s->PrintTo(&out);
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace lego::fuzz

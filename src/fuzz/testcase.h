@@ -1,0 +1,43 @@
+#ifndef LEGO_FUZZ_TESTCASE_H_
+#define LEGO_FUZZ_TESTCASE_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lego::fuzz {
+
+/// One fuzzing input: an ordered list of SQL statements. The SQL Type
+/// Sequence of the test case (paper §II) is the sequence of its statements'
+/// type tags.
+class TestCase {
+ public:
+  TestCase() = default;
+  explicit TestCase(std::vector<sql::StmtPtr> statements)
+      : statements_(std::move(statements)) {}
+
+  /// Parses a semicolon-separated script.
+  static StatusOr<TestCase> FromSql(std::string_view script);
+
+  TestCase Clone() const;
+
+  const std::vector<sql::StmtPtr>& statements() const { return statements_; }
+  std::vector<sql::StmtPtr>* mutable_statements() { return &statements_; }
+  size_t size() const { return statements_.size(); }
+  bool empty() const { return statements_.empty(); }
+
+  /// The SQL Type Sequence.
+  std::vector<sql::StatementType> TypeSequence() const;
+
+  /// Renders back to a script ("stmt;\nstmt;\n...").
+  std::string ToSql() const;
+
+ private:
+  std::vector<sql::StmtPtr> statements_;
+};
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_TESTCASE_H_

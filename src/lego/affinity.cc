@@ -1,0 +1,57 @@
+#include "lego/affinity.h"
+
+namespace lego::core {
+
+std::vector<TypeAffinityMap::Affinity> TypeAffinityMap::Analyze(
+    const std::vector<sql::StatementType>& type_sequence) {
+  std::vector<Affinity> discovered;
+  // Algorithm 2: lastType starts NULL; equal adjacent types are skipped
+  // (composing one type repeatedly does not add sequence abundance).
+  bool have_last = false;
+  sql::StatementType last = sql::StatementType::kNumTypes;
+  for (sql::StatementType current : type_sequence) {
+    if (have_last && last != current) {
+      if (Add(last, current)) discovered.emplace_back(last, current);
+    }
+    last = current;
+    have_last = true;
+  }
+  return discovered;
+}
+
+bool TypeAffinityMap::Add(sql::StatementType t1, sql::StatementType t2) {
+  auto [it, inserted] = map_[t1].insert(t2);
+  (void)it;
+  if (inserted) ++count_;
+  return inserted;
+}
+
+bool TypeAffinityMap::Contains(sql::StatementType t1,
+                               sql::StatementType t2) const {
+  auto it = map_.find(t1);
+  return it != map_.end() && it->second.count(t2) > 0;
+}
+
+const std::set<sql::StatementType>& TypeAffinityMap::SuccessorsOf(
+    sql::StatementType t1) const {
+  static const std::set<sql::StatementType>* kEmpty =
+      new std::set<sql::StatementType>();
+  auto it = map_.find(t1);
+  return it == map_.end() ? *kEmpty : it->second;
+}
+
+std::vector<TypeAffinityMap::Affinity> TypeAffinityMap::All() const {
+  std::vector<Affinity> out;
+  out.reserve(count_);
+  for (const auto& [t1, succ] : map_) {
+    for (sql::StatementType t2 : succ) out.emplace_back(t1, t2);
+  }
+  return out;
+}
+
+void TypeAffinityMap::Clear() {
+  map_.clear();
+  count_ = 0;
+}
+
+}  // namespace lego::core

@@ -1,0 +1,51 @@
+#ifndef LEGO_LEGO_AFFINITY_H_
+#define LEGO_LEGO_AFFINITY_H_
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sql/statement_type.h"
+
+namespace lego::core {
+
+/// A type-affinity is a chronological relation (t1, t2): statements of type
+/// t2 may meaningfully follow statements of type t1 (paper §III-A1). This
+/// map is the paper's `T`: key = t1, value = set of t2.
+class TypeAffinityMap {
+ public:
+  using Affinity = std::pair<sql::StatementType, sql::StatementType>;
+
+  /// Paper Algorithm 2: scans the type sequence of a test case and records
+  /// every adjacent pair with differing types. Returns the affinities that
+  /// were new to this map, in discovery order.
+  std::vector<Affinity> Analyze(
+      const std::vector<sql::StatementType>& type_sequence);
+
+  /// Adds one affinity; returns true if it was new.
+  bool Add(sql::StatementType t1, sql::StatementType t2);
+
+  /// True if (t1, t2) is known.
+  bool Contains(sql::StatementType t1, sql::StatementType t2) const;
+
+  /// Successors of `t1` (empty set if none).
+  const std::set<sql::StatementType>& SuccessorsOf(
+      sql::StatementType t1) const;
+
+  /// Total number of (t1, t2) pairs — the paper's Table II metric.
+  size_t Count() const { return count_; }
+
+  /// All affinities in key order.
+  std::vector<Affinity> All() const;
+
+  void Clear();
+
+ private:
+  std::map<sql::StatementType, std::set<sql::StatementType>> map_;
+  size_t count_ = 0;
+};
+
+}  // namespace lego::core
+
+#endif  // LEGO_LEGO_AFFINITY_H_

@@ -1,0 +1,36 @@
+#include "lego/ast_library.h"
+
+namespace lego::core {
+
+void AstLibrary::AddStatement(const sql::Statement& stmt) {
+  size_t slot = static_cast<size_t>(stmt.type());
+  if (slot >= skeletons_.size()) return;
+  auto& bucket = skeletons_[slot];
+  if (bucket.size() < cap_) {
+    bucket.push_back(stmt.Clone());
+    return;
+  }
+  // Ring replacement keeps the library fresh once full.
+  bucket[replace_cursor_[slot] % cap_] = stmt.Clone();
+  ++replace_cursor_[slot];
+}
+
+void AstLibrary::AddTestCase(const fuzz::TestCase& tc) {
+  for (const auto& stmt : tc.statements()) AddStatement(*stmt);
+}
+
+sql::StmtPtr AstLibrary::Sample(sql::StatementType type, Rng* rng) const {
+  size_t slot = static_cast<size_t>(type);
+  if (slot >= skeletons_.size()) return nullptr;
+  const auto& bucket = skeletons_[slot];
+  if (bucket.empty()) return nullptr;
+  return bucket[rng->NextBelow(bucket.size())]->Clone();
+}
+
+size_t AstLibrary::TotalCount() const {
+  size_t n = 0;
+  for (const auto& bucket : skeletons_) n += bucket.size();
+  return n;
+}
+
+}  // namespace lego::core

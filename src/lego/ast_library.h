@@ -1,0 +1,45 @@
+#ifndef LEGO_LEGO_AST_LIBRARY_H_
+#define LEGO_LEGO_AST_LIBRARY_H_
+
+#include <array>
+#include <vector>
+
+#include "fuzz/testcase.h"
+#include "sql/ast.h"
+#include "util/random.h"
+
+namespace lego::core {
+
+/// The global AST-structure library (paper §III-B instantiation, step 1):
+/// when a seed covers new branches, LEGO parses its statements and stores
+/// their AST skeletons per type; instantiation samples a type-matched
+/// structure at random. Bounded per type with ring replacement so hot types
+/// keep fresh structures without unbounded growth.
+class AstLibrary {
+ public:
+  explicit AstLibrary(size_t cap_per_type = 64) : cap_(cap_per_type) {}
+
+  /// Stores a deep copy of `stmt` under its type.
+  void AddStatement(const sql::Statement& stmt);
+
+  /// Stores every statement of `tc`.
+  void AddTestCase(const fuzz::TestCase& tc);
+
+  /// A deep copy of a random stored skeleton of `type`; nullptr when the
+  /// library has none.
+  sql::StmtPtr Sample(sql::StatementType type, Rng* rng) const;
+
+  size_t CountFor(sql::StatementType type) const {
+    return skeletons_[static_cast<size_t>(type)].size();
+  }
+  size_t TotalCount() const;
+
+ private:
+  size_t cap_;
+  std::array<std::vector<sql::StmtPtr>, sql::kNumStatementTypes> skeletons_;
+  std::array<size_t, sql::kNumStatementTypes> replace_cursor_ = {};
+};
+
+}  // namespace lego::core
+
+#endif  // LEGO_LEGO_AST_LIBRARY_H_

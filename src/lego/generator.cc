@@ -1,0 +1,800 @@
+#include "lego/generator.h"
+
+#include <algorithm>
+
+namespace lego::core {
+
+namespace {
+
+using sql::StatementType;
+
+sql::SqlType RandomSqlType(Rng* rng) {
+  switch (rng->NextBelow(4)) {
+    case 0: return sql::SqlType::kInt;
+    case 1: return sql::SqlType::kReal;
+    case 2: return sql::SqlType::kText;
+    default: return sql::SqlType::kBool;
+  }
+}
+
+std::vector<SymbolicColumn> ColumnsOfSelect(const sql::SelectStmt& select) {
+  std::vector<SymbolicColumn> cols;
+  size_t i = 0;
+  for (const auto& item : select.core.items) {
+    SymbolicColumn col;
+    if (!item.alias.empty()) {
+      col.name = item.alias;
+    } else if (item.expr->kind() == sql::ExprKind::kColumnRef) {
+      col.name = static_cast<const sql::ColumnRef&>(*item.expr).column();
+    } else {
+      col.name = "column" + std::to_string(i + 1);
+    }
+    cols.push_back(std::move(col));
+    ++i;
+  }
+  return cols;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SchemaContext
+// ---------------------------------------------------------------------------
+
+void SchemaContext::Apply(const sql::Statement& stmt) {
+  switch (stmt.type()) {
+    case StatementType::kCreateTable: {
+      const auto& s = static_cast<const sql::CreateTableStmt&>(stmt);
+      SymbolicTable table;
+      table.name = s.name;
+      for (const auto& col : s.columns) {
+        table.columns.push_back({col.name, col.type});
+      }
+      relations_[s.name] = std::move(table);
+      break;
+    }
+    case StatementType::kCreateView: {
+      const auto& s = static_cast<const sql::CreateViewStmt&>(stmt);
+      SymbolicTable view;
+      view.name = s.name;
+      view.is_view = true;
+      view.columns = ColumnsOfSelect(*s.select);
+      relations_[s.name] = std::move(view);
+      views_.insert(s.name);
+      break;
+    }
+    case StatementType::kCreateIndex:
+      indexes_.insert(static_cast<const sql::CreateIndexStmt&>(stmt).name);
+      break;
+    case StatementType::kCreateTrigger:
+      triggers_.insert(static_cast<const sql::CreateTriggerStmt&>(stmt).name);
+      break;
+    case StatementType::kCreateRule:
+      rules_.insert(static_cast<const sql::CreateRuleStmt&>(stmt).name);
+      break;
+    case StatementType::kCreateSequence:
+      sequences_.insert(
+          static_cast<const sql::CreateSequenceStmt&>(stmt).name);
+      break;
+    case StatementType::kCreateUser:
+      users_.insert(static_cast<const sql::CreateUserStmt&>(stmt).name);
+      break;
+    case StatementType::kDropTable:
+      relations_.erase(static_cast<const sql::DropStmt&>(stmt).name());
+      break;
+    case StatementType::kDropView: {
+      const std::string& name = static_cast<const sql::DropStmt&>(stmt).name();
+      relations_.erase(name);
+      views_.erase(name);
+      break;
+    }
+    case StatementType::kDropIndex:
+      indexes_.erase(static_cast<const sql::DropStmt&>(stmt).name());
+      break;
+    case StatementType::kDropTrigger:
+      triggers_.erase(static_cast<const sql::DropStmt&>(stmt).name());
+      break;
+    case StatementType::kDropRule:
+      rules_.erase(static_cast<const sql::DropStmt&>(stmt).name());
+      break;
+    case StatementType::kDropSequence:
+      sequences_.erase(static_cast<const sql::DropStmt&>(stmt).name());
+      break;
+    case StatementType::kDropUser:
+      users_.erase(static_cast<const sql::DropUserStmt&>(stmt).name);
+      break;
+    case StatementType::kAlterTable: {
+      const auto& s = static_cast<const sql::AlterTableStmt&>(stmt);
+      auto it = relations_.find(s.table);
+      if (it == relations_.end()) break;
+      SymbolicTable& table = it->second;
+      switch (s.action) {
+        case sql::AlterAction::kAddColumn:
+          table.columns.push_back({s.new_column.name, s.new_column.type});
+          break;
+        case sql::AlterAction::kDropColumn:
+          for (size_t i = 0; i < table.columns.size(); ++i) {
+            if (table.columns[i].name == s.old_name) {
+              table.columns.erase(table.columns.begin() +
+                                  static_cast<long>(i));
+              break;
+            }
+          }
+          break;
+        case sql::AlterAction::kRenameColumn:
+          for (auto& col : table.columns) {
+            if (col.name == s.old_name) col.name = s.new_name;
+          }
+          break;
+        case sql::AlterAction::kRenameTable: {
+          SymbolicTable moved = std::move(table);
+          moved.name = s.new_name;
+          relations_.erase(it);
+          relations_[s.new_name] = std::move(moved);
+          break;
+        }
+      }
+      break;
+    }
+    case StatementType::kBegin:
+      in_txn_ = true;
+      break;
+    case StatementType::kCommit:
+    case StatementType::kRollback:
+      in_txn_ = false;
+      savepoints_.clear();
+      break;
+    case StatementType::kSavepoint:
+      savepoints_.insert(static_cast<const sql::NamedStmt&>(stmt).name());
+      break;
+    case StatementType::kRelease:
+      savepoints_.erase(static_cast<const sql::NamedStmt&>(stmt).name());
+      break;
+    default:
+      break;
+  }
+}
+
+const SymbolicTable* SchemaContext::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+const SymbolicTable* SchemaContext::RandomTable(Rng* rng) const {
+  std::vector<const SymbolicTable*> tables;
+  for (const auto& [name, rel] : relations_) {
+    if (!rel.is_view && !rel.columns.empty()) tables.push_back(&rel);
+  }
+  if (tables.empty()) return nullptr;
+  return tables[rng->NextBelow(tables.size())];
+}
+
+const SymbolicTable* SchemaContext::RandomRelation(Rng* rng) const {
+  std::vector<const SymbolicTable*> rels;
+  for (const auto& [name, rel] : relations_) {
+    if (!rel.columns.empty()) rels.push_back(&rel);
+  }
+  if (rels.empty()) return nullptr;
+  return rels[rng->NextBelow(rels.size())];
+}
+
+bool SchemaContext::HasTables() const {
+  for (const auto& [name, rel] : relations_) {
+    if (!rel.is_view) return true;
+  }
+  return false;
+}
+
+std::string SchemaContext::FreshName(const char* prefix) {
+  return std::string(prefix) + std::to_string(counter_++);
+}
+
+// ---------------------------------------------------------------------------
+// StatementGenerator
+// ---------------------------------------------------------------------------
+
+const SymbolicColumn* StatementGenerator::RandomColumn(
+    const SymbolicTable& table) {
+  if (table.columns.empty()) return nullptr;
+  return &table.columns[rng_->NextBelow(table.columns.size())];
+}
+
+std::string StatementGenerator::PickName(const std::set<std::string>& names,
+                                         const char* fallback) {
+  if (names.empty()) return fallback;
+  size_t pick = rng_->NextBelow(names.size());
+  auto it = names.begin();
+  std::advance(it, static_cast<long>(pick));
+  return *it;
+}
+
+sql::ExprPtr StatementGenerator::RandomLiteral(sql::SqlType type) {
+  if (rng_->NextBool(0.08)) return sql::Literal::Null();
+  switch (type) {
+    case sql::SqlType::kInt:
+      return sql::Literal::Int(rng_->NextInRange(-100, 100));
+    case sql::SqlType::kReal:
+      return sql::Literal::Real(
+          static_cast<double>(rng_->NextInRange(-1000, 1000)) / 8.0);
+    case sql::SqlType::kText:
+      return sql::Literal::Text(rng_->NextIdentifier(6));
+    case sql::SqlType::kBool:
+      return sql::Literal::Bool(rng_->NextBool());
+  }
+  return sql::Literal::Null();
+}
+
+sql::ExprPtr StatementGenerator::RandomScalar(const SymbolicTable* table,
+                                              int depth) {
+  if (depth <= 0 || table == nullptr || table->columns.empty() ||
+      rng_->NextBool(0.35)) {
+    return RandomLiteral(RandomSqlType(rng_));
+  }
+  switch (rng_->NextBelow(5)) {
+    case 0: {
+      const SymbolicColumn* col = RandomColumn(*table);
+      return std::make_unique<sql::ColumnRef>("", col->name);
+    }
+    case 1: {
+      auto op = rng_->NextBool() ? sql::BinaryOp::kAdd : sql::BinaryOp::kMul;
+      return std::make_unique<sql::BinaryExpr>(
+          op, RandomScalar(table, depth - 1), RandomScalar(table, depth - 1));
+    }
+    case 2: {
+      std::vector<sql::ExprPtr> args;
+      args.push_back(RandomScalar(table, depth - 1));
+      const char* fns[] = {"ABS", "LENGTH", "UPPER", "LOWER", "TYPEOF"};
+      return std::make_unique<sql::FunctionCall>(
+          fns[rng_->NextBelow(5)], std::move(args));
+    }
+    case 3: {
+      std::vector<std::pair<sql::ExprPtr, sql::ExprPtr>> whens;
+      whens.emplace_back(RandomPredicate(*table, depth - 1),
+                         RandomScalar(table, depth - 1));
+      return std::make_unique<sql::CaseExpr>(nullptr, std::move(whens),
+                                             RandomScalar(table, depth - 1));
+    }
+    default:
+      return std::make_unique<sql::CastExpr>(RandomScalar(table, depth - 1),
+                                             RandomSqlType(rng_));
+  }
+}
+
+sql::ExprPtr StatementGenerator::RandomPredicate(const SymbolicTable& table,
+                                                 int depth) {
+  if (table.columns.empty()) return sql::Literal::Bool(true);
+  const SymbolicColumn* col = RandomColumn(table);
+  auto col_ref = [&]() {
+    return std::make_unique<sql::ColumnRef>("", col->name);
+  };
+  if (depth > 0 && rng_->NextBool(0.25)) {
+    auto op = rng_->NextBool() ? sql::BinaryOp::kAnd : sql::BinaryOp::kOr;
+    return std::make_unique<sql::BinaryExpr>(op,
+                                             RandomPredicate(table, depth - 1),
+                                             RandomPredicate(table, depth - 1));
+  }
+  switch (rng_->NextBelow(6)) {
+    case 0: {
+      static const sql::BinaryOp kOps[] = {
+          sql::BinaryOp::kEq, sql::BinaryOp::kNe, sql::BinaryOp::kLt,
+          sql::BinaryOp::kLe, sql::BinaryOp::kGt, sql::BinaryOp::kGe};
+      return std::make_unique<sql::BinaryExpr>(kOps[rng_->NextBelow(6)],
+                                               col_ref(),
+                                               RandomLiteral(col->type));
+    }
+    case 1:
+      return std::make_unique<sql::IsNullExpr>(col_ref(), rng_->NextBool());
+    case 2: {
+      std::vector<sql::ExprPtr> list;
+      size_t n = 1 + rng_->NextBelow(3);
+      for (size_t i = 0; i < n; ++i) list.push_back(RandomLiteral(col->type));
+      return std::make_unique<sql::InListExpr>(col_ref(), std::move(list),
+                                               rng_->NextBool(0.2));
+    }
+    case 3:
+      return std::make_unique<sql::BetweenExpr>(col_ref(),
+                                                RandomLiteral(col->type),
+                                                RandomLiteral(col->type),
+                                                rng_->NextBool(0.2));
+    case 4:
+      if (col->type == sql::SqlType::kText) {
+        return std::make_unique<sql::LikeExpr>(
+            col_ref(),
+            sql::Literal::Text("%" + rng_->NextIdentifier(3) + "%"),
+            rng_->NextBool(0.2));
+      }
+      [[fallthrough]];
+    default:
+      return std::make_unique<sql::BinaryExpr>(sql::BinaryOp::kEq, col_ref(),
+                                               RandomLiteral(col->type));
+  }
+}
+
+sql::ColumnDef StatementGenerator::RandomColumnDef(SchemaContext* ctx) {
+  sql::ColumnDef def(ctx->FreshName("c"), RandomSqlType(rng_));
+  if (rng_->NextBool(0.12)) def.unique = true;
+  if (rng_->NextBool(0.12)) def.not_null = true;
+  if (rng_->NextBool(0.15)) def.default_value = RandomLiteral(def.type);
+  return def;
+}
+
+std::unique_ptr<sql::SelectStmt> StatementGenerator::GenerateSelect(
+    SchemaContext* ctx, int depth, bool fancy) {
+  auto select = std::make_unique<sql::SelectStmt>();
+  const SymbolicTable* table = ctx->RandomRelation(rng_);
+
+  if (table == nullptr) {
+    sql::SelectItem item;
+    item.expr = RandomLiteral(RandomSqlType(rng_));
+    select->core.items.push_back(std::move(item));
+    return select;
+  }
+
+  // FROM: one table, sometimes a join.
+  auto from = std::make_unique<sql::BaseTableRef>(table->name);
+  const SymbolicTable* right = nullptr;
+  if (fancy && rng_->NextBool(0.25)) {
+    right = ctx->RandomRelation(rng_);
+    if (right != nullptr && !right->columns.empty() &&
+        right->name != table->name) {
+      sql::JoinType jt = rng_->NextBool(0.3) ? sql::JoinType::kLeft
+                                             : sql::JoinType::kInner;
+      auto on = std::make_unique<sql::BinaryExpr>(
+          sql::BinaryOp::kEq,
+          std::make_unique<sql::ColumnRef>(table->name,
+                                           table->columns[0].name),
+          std::make_unique<sql::ColumnRef>(right->name,
+                                           right->columns[0].name));
+      select->core.from = std::make_unique<sql::JoinRef>(
+          jt, std::move(from),
+          std::make_unique<sql::BaseTableRef>(right->name), std::move(on));
+    } else {
+      right = nullptr;
+      select->core.from = std::move(from);
+    }
+  } else {
+    select->core.from = std::move(from);
+  }
+
+  bool aggregated = fancy && rng_->NextBool(0.25);
+  if (aggregated && !table->columns.empty()) {
+    // SELECT g, AGG(x) FROM t GROUP BY g [HAVING ...].
+    const SymbolicColumn* g = RandomColumn(*table);
+    const SymbolicColumn* x = RandomColumn(*table);
+    sql::SelectItem key;
+    key.expr = std::make_unique<sql::ColumnRef>("", g->name);
+    select->core.items.push_back(std::move(key));
+    const char* aggs[] = {"COUNT", "SUM", "MIN", "MAX", "AVG"};
+    std::vector<sql::ExprPtr> args;
+    args.push_back(std::make_unique<sql::ColumnRef>("", x->name));
+    auto agg = std::make_unique<sql::FunctionCall>(
+        aggs[rng_->NextBelow(5)], std::move(args));
+    if (rng_->NextBool(0.2)) agg->set_distinct(true);
+    sql::SelectItem val;
+    val.expr = std::move(agg);
+    select->core.items.push_back(std::move(val));
+    select->core.group_by.push_back(
+        std::make_unique<sql::ColumnRef>("", g->name));
+    if (rng_->NextBool(0.3)) {
+      std::vector<sql::ExprPtr> hargs;
+      hargs.push_back(std::make_unique<sql::ColumnRef>("", x->name));
+      auto inner = std::make_unique<sql::FunctionCall>("COUNT",
+                                                       std::move(hargs));
+      select->core.having = std::make_unique<sql::BinaryExpr>(
+          sql::BinaryOp::kGt, std::move(inner), sql::Literal::Int(0));
+    }
+  } else {
+    // Plain projection: star or 1-3 expressions.
+    if (rng_->NextBool(0.3)) {
+      sql::SelectItem item;
+      item.expr = std::make_unique<sql::Star>();
+      select->core.items.push_back(std::move(item));
+    } else {
+      size_t n = 1 + rng_->NextBelow(3);
+      for (size_t i = 0; i < n; ++i) {
+        sql::SelectItem item;
+        item.expr = RandomScalar(table, 2);
+        select->core.items.push_back(std::move(item));
+      }
+    }
+    // Window function sometimes.
+    if (fancy && profile_->supports_window_functions &&
+        rng_->NextBool(0.12) && !table->columns.empty()) {
+      const char* wins[] = {"ROW_NUMBER", "RANK", "LEAD", "LAG"};
+      const char* name = wins[rng_->NextBelow(4)];
+      std::vector<sql::ExprPtr> args;
+      if (name[0] == 'L') {
+        args.push_back(
+            std::make_unique<sql::ColumnRef>("",
+                                             RandomColumn(*table)->name));
+      }
+      auto win = std::make_unique<sql::FunctionCall>(name, std::move(args));
+      auto spec = std::make_unique<sql::WindowSpec>();
+      spec->order_by.emplace_back(
+          std::make_unique<sql::ColumnRef>("", RandomColumn(*table)->name),
+          rng_->NextBool(0.3));
+      win->set_window(std::move(spec));
+      sql::SelectItem item;
+      item.expr = std::move(win);
+      select->core.items.push_back(std::move(item));
+    }
+    if (fancy && rng_->NextBool(0.15)) select->core.distinct = true;
+  }
+
+  if (rng_->NextBool(0.55)) {
+    select->core.where = RandomPredicate(*table, depth);
+  }
+  // Correlated-free scalar subquery in the WHERE, occasionally.
+  if (fancy && depth > 0 && rng_->NextBool(0.1)) {
+    auto sub = GenerateSelect(ctx, depth - 1, false);
+    auto exists = std::make_unique<sql::ExistsExpr>(std::move(sub),
+                                                    rng_->NextBool(0.2));
+    if (select->core.where != nullptr) {
+      select->core.where = std::make_unique<sql::BinaryExpr>(
+          sql::BinaryOp::kAnd, std::move(select->core.where),
+          std::move(exists));
+    } else {
+      select->core.where = std::move(exists);
+    }
+  }
+
+  // Compound arm.
+  if (fancy && profile_->supports_set_operations && rng_->NextBool(0.1)) {
+    auto arm = GenerateSelect(ctx, 0, false);
+    if (arm->core.items.size() == select->core.items.size() &&
+        arm->compounds.empty()) {
+      static const sql::SetOpKind kKinds[] = {
+          sql::SetOpKind::kUnion, sql::SetOpKind::kUnionAll,
+          sql::SetOpKind::kExcept, sql::SetOpKind::kIntersect};
+      select->compounds.emplace_back(kKinds[rng_->NextBelow(4)],
+                                     std::move(arm->core));
+    }
+  }
+
+  if (rng_->NextBool(0.35) && !table->columns.empty()) {
+    sql::OrderByItem item;
+    item.expr = std::make_unique<sql::ColumnRef>(
+        "", RandomColumn(*table)->name);
+    item.desc = rng_->NextBool(0.4);
+    select->order_by.push_back(std::move(item));
+  }
+  if (rng_->NextBool(0.2)) {
+    select->limit = sql::Literal::Int(rng_->NextInRange(0, 16));
+  }
+  return select;
+}
+
+sql::StmtPtr StatementGenerator::Generate(StatementType type,
+                                          SchemaContext* ctx) {
+  const SymbolicTable* table = ctx->RandomTable(rng_);
+  auto table_name = [&]() -> std::string {
+    return table != nullptr ? table->name : "t0";
+  };
+
+  switch (type) {
+    case StatementType::kCreateTable: {
+      auto stmt = std::make_unique<sql::CreateTableStmt>();
+      stmt->name = ctx->FreshName("t");
+      stmt->temporary = rng_->NextBool(0.08);
+      size_t n = 1 + rng_->NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        stmt->columns.push_back(RandomColumnDef(ctx));
+      }
+      if (rng_->NextBool(0.25)) stmt->columns[0].primary_key = true;
+      return stmt;
+    }
+    case StatementType::kCreateIndex: {
+      auto stmt = std::make_unique<sql::CreateIndexStmt>();
+      stmt->name = ctx->FreshName("ix");
+      stmt->table = table_name();
+      stmt->unique = rng_->NextBool(0.2);
+      if (table != nullptr && !table->columns.empty()) {
+        stmt->columns.push_back(RandomColumn(*table)->name);
+      } else {
+        stmt->columns.push_back("c0");
+      }
+      return stmt;
+    }
+    case StatementType::kCreateView: {
+      auto stmt = std::make_unique<sql::CreateViewStmt>();
+      stmt->name = ctx->FreshName("v");
+      stmt->or_replace = rng_->NextBool(0.15);
+      stmt->select = GenerateSelect(ctx, 1, false);
+      return stmt;
+    }
+    case StatementType::kCreateTrigger: {
+      auto stmt = std::make_unique<sql::CreateTriggerStmt>();
+      stmt->name = ctx->FreshName("tg");
+      stmt->timing = rng_->NextBool(0.3) ? sql::TriggerTiming::kBefore
+                                         : sql::TriggerTiming::kAfter;
+      stmt->event = static_cast<sql::TriggerEvent>(rng_->NextBelow(3));
+      stmt->table = table_name();
+      stmt->for_each_row = rng_->NextBool(0.8);
+      stmt->body = Generate(StatementType::kInsert, ctx);
+      return stmt;
+    }
+    case StatementType::kCreateSequence: {
+      auto stmt = std::make_unique<sql::CreateSequenceStmt>();
+      stmt->name = ctx->FreshName("sq");
+      stmt->start = rng_->NextInRange(-4, 16);
+      stmt->increment = rng_->NextBool(0.2) ? -1 : 1;
+      return stmt;
+    }
+    case StatementType::kCreateRule: {
+      auto stmt = std::make_unique<sql::CreateRuleStmt>();
+      stmt->name = ctx->FreshName("rl");
+      stmt->or_replace = rng_->NextBool(0.3);
+      stmt->event = static_cast<sql::TriggerEvent>(rng_->NextBelow(3));
+      stmt->table = table_name();
+      stmt->instead = true;
+      switch (rng_->NextBelow(3)) {
+        case 0:
+          stmt->action = nullptr;  // DO INSTEAD NOTHING
+          break;
+        case 1: {
+          if (profile_->supports_notify) {
+            auto notify = std::make_unique<sql::NotifyStmt>();
+            notify->channel = ctx->FreshName("ch");
+            stmt->action = std::move(notify);
+          } else {
+            stmt->action = nullptr;
+          }
+          break;
+        }
+        default:
+          stmt->action = Generate(StatementType::kDelete, ctx);
+          break;
+      }
+      return stmt;
+    }
+    case StatementType::kCreateUser: {
+      auto stmt = std::make_unique<sql::CreateUserStmt>();
+      stmt->name = ctx->FreshName("u");
+      return stmt;
+    }
+    case StatementType::kDropTable:
+      return std::make_unique<sql::DropStmt>(type, table_name(),
+                                             rng_->NextBool(0.3));
+    case StatementType::kDropIndex:
+      return std::make_unique<sql::DropStmt>(
+          type, PickName(ctx->indexes(), "ix0"), rng_->NextBool(0.3));
+    case StatementType::kDropView:
+      return std::make_unique<sql::DropStmt>(
+          type, PickName(ctx->views(), "v0"), rng_->NextBool(0.3));
+    case StatementType::kDropTrigger:
+      return std::make_unique<sql::DropStmt>(
+          type, PickName(ctx->triggers(), "tg0"), rng_->NextBool(0.3));
+    case StatementType::kDropSequence:
+      return std::make_unique<sql::DropStmt>(
+          type, PickName(ctx->sequences(), "sq0"), rng_->NextBool(0.3));
+    case StatementType::kDropRule:
+      return std::make_unique<sql::DropStmt>(
+          type, PickName(ctx->rules(), "rl0"), rng_->NextBool(0.3));
+    case StatementType::kDropUser: {
+      auto stmt = std::make_unique<sql::DropUserStmt>();
+      stmt->name = PickName(ctx->users(), "u0");
+      stmt->if_exists = rng_->NextBool(0.3);
+      return stmt;
+    }
+    case StatementType::kAlterTable: {
+      auto stmt = std::make_unique<sql::AlterTableStmt>();
+      stmt->table = table_name();
+      switch (rng_->NextBelow(4)) {
+        case 0:
+          stmt->action = sql::AlterAction::kAddColumn;
+          stmt->new_column = RandomColumnDef(ctx);
+          stmt->new_column.not_null = false;  // addable to non-empty tables
+          break;
+        case 1:
+          stmt->action = sql::AlterAction::kDropColumn;
+          stmt->old_name = (table != nullptr && !table->columns.empty())
+                               ? RandomColumn(*table)->name
+                               : "c0";
+          break;
+        case 2:
+          stmt->action = sql::AlterAction::kRenameColumn;
+          stmt->old_name = (table != nullptr && !table->columns.empty())
+                               ? RandomColumn(*table)->name
+                               : "c0";
+          stmt->new_name = ctx->FreshName("c");
+          break;
+        default:
+          stmt->action = sql::AlterAction::kRenameTable;
+          stmt->new_name = ctx->FreshName("t");
+          break;
+      }
+      return stmt;
+    }
+    case StatementType::kTruncate: {
+      auto stmt = std::make_unique<sql::TruncateStmt>();
+      stmt->table = table_name();
+      return stmt;
+    }
+    case StatementType::kInsert:
+    case StatementType::kReplace: {
+      auto stmt = std::make_unique<sql::InsertStmt>();
+      stmt->replace = (type == StatementType::kReplace);
+      stmt->table = table_name();
+      stmt->or_ignore = !stmt->replace && rng_->NextBool(0.15);
+      size_t width = (table != nullptr) ? table->columns.size() : 2;
+      size_t nrows = 1 + rng_->NextBelow(5);
+      for (size_t r = 0; r < nrows; ++r) {
+        std::vector<sql::ExprPtr> row;
+        for (size_t c = 0; c < width; ++c) {
+          sql::SqlType t = (table != nullptr) ? table->columns[c].type
+                                              : sql::SqlType::kInt;
+          row.push_back(RandomLiteral(t));
+        }
+        stmt->rows.push_back(std::move(row));
+      }
+      return stmt;
+    }
+    case StatementType::kUpdate: {
+      auto stmt = std::make_unique<sql::UpdateStmt>();
+      stmt->table = table_name();
+      if (table != nullptr && !table->columns.empty()) {
+        const SymbolicColumn* col = RandomColumn(*table);
+        stmt->assignments.emplace_back(col->name, RandomLiteral(col->type));
+        if (rng_->NextBool(0.6)) {
+          stmt->where = RandomPredicate(*table, 1);
+        }
+      } else {
+        stmt->assignments.emplace_back("c0", sql::Literal::Int(1));
+      }
+      return stmt;
+    }
+    case StatementType::kDelete: {
+      auto stmt = std::make_unique<sql::DeleteStmt>();
+      stmt->table = table_name();
+      if (table != nullptr && rng_->NextBool(0.7)) {
+        stmt->where = RandomPredicate(*table, 1);
+      }
+      return stmt;
+    }
+    case StatementType::kCopy: {
+      auto stmt = std::make_unique<sql::CopyStmt>();
+      if (rng_->NextBool(0.3)) {
+        stmt->query = GenerateSelect(ctx, 0, false);
+      } else {
+        stmt->table = table_name();
+      }
+      stmt->to_stdout = true;
+      stmt->csv = rng_->NextBool(0.5);
+      stmt->header = rng_->NextBool(0.3);
+      return stmt;
+    }
+    case StatementType::kSelect:
+      return GenerateSelect(ctx, 1, fancy_selects_);
+    case StatementType::kValues: {
+      auto stmt = std::make_unique<sql::ValuesStmt>();
+      size_t width = 1 + rng_->NextBelow(3);
+      size_t nrows = 1 + rng_->NextBelow(2);
+      for (size_t r = 0; r < nrows; ++r) {
+        std::vector<sql::ExprPtr> row;
+        for (size_t c = 0; c < width; ++c) {
+          row.push_back(RandomLiteral(RandomSqlType(rng_)));
+        }
+        stmt->rows.push_back(std::move(row));
+      }
+      return stmt;
+    }
+    case StatementType::kWith: {
+      auto stmt = std::make_unique<sql::WithStmt>();
+      sql::CommonTableExpr cte;
+      cte.name = ctx->FreshName("w");
+      if (rng_->NextBool(0.3) && ctx->HasTables()) {
+        cte.statement = Generate(StatementType::kInsert, ctx);
+      } else {
+        cte.statement = GenerateSelect(ctx, 0, false);
+      }
+      stmt->ctes.push_back(std::move(cte));
+      switch (rng_->NextBelow(3)) {
+        case 0:
+          stmt->body = Generate(StatementType::kDelete, ctx);
+          break;
+        case 1:
+          stmt->body = Generate(StatementType::kUpdate, ctx);
+          break;
+        default:
+          stmt->body = GenerateSelect(ctx, 0, false);
+          break;
+      }
+      return stmt;
+    }
+    case StatementType::kGrant: {
+      auto stmt = std::make_unique<sql::GrantStmt>();
+      stmt->privilege = static_cast<sql::Privilege>(rng_->NextBelow(5));
+      stmt->table = table_name();
+      stmt->user = PickName(ctx->users(), "u0");
+      return stmt;
+    }
+    case StatementType::kRevoke: {
+      auto stmt = std::make_unique<sql::RevokeStmt>();
+      stmt->privilege = static_cast<sql::Privilege>(rng_->NextBelow(5));
+      stmt->table = table_name();
+      stmt->user = PickName(ctx->users(), "u0");
+      return stmt;
+    }
+    case StatementType::kBegin:
+    case StatementType::kCommit:
+    case StatementType::kRollback:
+    case StatementType::kCheckpoint:
+      return std::make_unique<sql::SimpleStmt>(type);
+    case StatementType::kSavepoint:
+      return std::make_unique<sql::NamedStmt>(type, ctx->FreshName("sp"));
+    case StatementType::kRelease:
+    case StatementType::kRollbackTo:
+      return std::make_unique<sql::NamedStmt>(
+          type, PickName(ctx->savepoints(), "sp0"));
+    case StatementType::kListen:
+    case StatementType::kUnlisten:
+      return std::make_unique<sql::NamedStmt>(type,
+                                              "ch" + std::to_string(
+                                                  rng_->NextBelow(4)));
+    case StatementType::kPragma:
+    case StatementType::kSet: {
+      auto stmt = std::make_unique<sql::PragmaStmt>();
+      stmt->is_set = (type == StatementType::kSet);
+      static const char* kNames[] = {"foreign_keys", "optimizer_trace",
+                                     "sort_buffer", "explicit_defaults",
+                                     "join_limit"};
+      stmt->name = kNames[rng_->NextBelow(5)];
+      stmt->value = sql::Literal::Int(rng_->NextInRange(0, 4));
+      stmt->session_scope = stmt->is_set && rng_->NextBool(0.3);
+      return stmt;
+    }
+    case StatementType::kShow: {
+      auto stmt = std::make_unique<sql::ShowStmt>();
+      static const char* kWhats[] = {"TABLES", "VIEWS", "INDEXES", "TRIGGERS"};
+      stmt->what = kWhats[rng_->NextBelow(4)];
+      return stmt;
+    }
+    case StatementType::kExplain: {
+      auto stmt = std::make_unique<sql::ExplainStmt>();
+      stmt->analyze = rng_->NextBool(0.25);
+      stmt->target = GenerateSelect(ctx, 0, fancy_selects_);
+      return stmt;
+    }
+    case StatementType::kAnalyze:
+      return std::make_unique<sql::MaintenanceStmt>(
+          type, rng_->NextBool(0.5) ? table_name() : "");
+    case StatementType::kVacuum:
+      return std::make_unique<sql::MaintenanceStmt>(
+          type, rng_->NextBool(0.5) ? table_name() : "");
+    case StatementType::kReindex:
+      return std::make_unique<sql::MaintenanceStmt>(
+          type, PickName(ctx->indexes(), ""));
+    case StatementType::kNotify: {
+      auto stmt = std::make_unique<sql::NotifyStmt>();
+      stmt->channel = "ch" + std::to_string(rng_->NextBelow(4));
+      if (rng_->NextBool(0.3)) stmt->payload = rng_->NextIdentifier(5);
+      return stmt;
+    }
+    case StatementType::kComment: {
+      auto stmt = std::make_unique<sql::CommentStmt>();
+      stmt->table = table_name();
+      stmt->text = rng_->NextIdentifier(8);
+      return stmt;
+    }
+    case StatementType::kAlterSystem: {
+      auto stmt = std::make_unique<sql::AlterSystemStmt>();
+      if (rng_->NextBool(0.5)) {
+        stmt->action = "SET";
+        stmt->name = "checkpoint_interval";
+        stmt->value = sql::Literal::Int(rng_->NextInRange(1, 64));
+      } else {
+        stmt->action = rng_->NextBool(0.5) ? "FLUSH" : "MAJOR FREEZE";
+      }
+      return stmt;
+    }
+    case StatementType::kDiscard: {
+      auto stmt = std::make_unique<sql::DiscardStmt>();
+      stmt->all = rng_->NextBool(0.5);
+      return stmt;
+    }
+    default:
+      return std::make_unique<sql::SimpleStmt>(StatementType::kCheckpoint);
+  }
+}
+
+}  // namespace lego::core

@@ -1,0 +1,112 @@
+#ifndef LEGO_LEGO_GENERATOR_H_
+#define LEGO_LEGO_GENERATOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minidb/profile.h"
+#include "sql/ast.h"
+#include "util/random.h"
+
+namespace lego::core {
+
+struct SymbolicColumn {
+  std::string name;
+  sql::SqlType type = sql::SqlType::kInt;
+};
+
+/// One relation (table or view) as tracked during instantiation.
+struct SymbolicTable {
+  std::string name;
+  std::vector<SymbolicColumn> columns;
+  bool is_view = false;
+};
+
+/// Symbolic schema state threaded through instantiation: which objects exist
+/// after each statement of the test case so far. This is the "dependency
+/// analysis" half of the paper's instantiation step — statements are fixed
+/// up against this context so tables exist before use.
+class SchemaContext {
+ public:
+  /// Applies the schema effects of `stmt` (DDL registration, ALTER edits,
+  /// transaction state, savepoints). DML/DQL have no schema effect.
+  void Apply(const sql::Statement& stmt);
+
+  const SymbolicTable* Find(const std::string& name) const;
+  /// A uniformly random base table; nullptr when none exist.
+  const SymbolicTable* RandomTable(Rng* rng) const;
+  /// A uniformly random table or view; nullptr when none exist.
+  const SymbolicTable* RandomRelation(Rng* rng) const;
+
+  bool HasTables() const;
+  std::string FreshName(const char* prefix);
+
+  const std::set<std::string>& indexes() const { return indexes_; }
+  const std::set<std::string>& triggers() const { return triggers_; }
+  const std::set<std::string>& rules() const { return rules_; }
+  const std::set<std::string>& sequences() const { return sequences_; }
+  const std::set<std::string>& users() const { return users_; }
+  const std::set<std::string>& savepoints() const { return savepoints_; }
+  const std::set<std::string>& views() const { return views_; }
+  bool in_transaction() const { return in_txn_; }
+
+ private:
+  std::map<std::string, SymbolicTable> relations_;
+  std::set<std::string> views_;
+  std::set<std::string> indexes_;
+  std::set<std::string> triggers_;
+  std::set<std::string> rules_;
+  std::set<std::string> sequences_;
+  std::set<std::string> users_;
+  std::set<std::string> savepoints_;
+  bool in_txn_ = false;
+  int counter_ = 0;
+};
+
+/// Random statement factory: produces a plausible statement of a requested
+/// type against the current schema context. Used as the skeleton fallback by
+/// LEGO's instantiator and as the whole generator by the rule-based
+/// baselines.
+class StatementGenerator {
+ public:
+  StatementGenerator(const minidb::DialectProfile* profile, Rng* rng)
+      : profile_(profile), rng_(rng) {}
+
+  /// When false, Generate(kSelect) produces plain selects only (projection,
+  /// WHERE, ORDER BY/LIMIT) — the shape the intra-statement baselines emit.
+  void set_fancy_selects(bool fancy) { fancy_selects_ = fancy; }
+
+  /// Generates one statement of `type`. The result references objects from
+  /// `ctx` where possible; the caller applies it to the context afterwards.
+  sql::StmtPtr Generate(sql::StatementType type, SchemaContext* ctx);
+
+  /// Generates a SELECT over the context's relations. `fancy` enables
+  /// aggregates/windows/compounds/subqueries per the profile.
+  std::unique_ptr<sql::SelectStmt> GenerateSelect(SchemaContext* ctx,
+                                                  int depth, bool fancy);
+
+  /// A literal of the given SQL type (occasionally NULL).
+  sql::ExprPtr RandomLiteral(sql::SqlType type);
+
+  /// A boolean predicate over `table`'s columns.
+  sql::ExprPtr RandomPredicate(const SymbolicTable& table, int depth);
+
+  /// A scalar expression (column refs when `table` given, else literals).
+  sql::ExprPtr RandomScalar(const SymbolicTable* table, int depth);
+
+ private:
+  sql::ColumnDef RandomColumnDef(SchemaContext* ctx);
+  const SymbolicColumn* RandomColumn(const SymbolicTable& table);
+  std::string PickName(const std::set<std::string>& names,
+                       const char* fallback);
+
+  const minidb::DialectProfile* profile_;
+  Rng* rng_;
+  bool fancy_selects_ = true;
+};
+
+}  // namespace lego::core
+
+#endif  // LEGO_LEGO_GENERATOR_H_

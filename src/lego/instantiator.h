@@ -1,0 +1,53 @@
+#ifndef LEGO_LEGO_INSTANTIATOR_H_
+#define LEGO_LEGO_INSTANTIATOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/testcase.h"
+#include "lego/ast_library.h"
+#include "lego/generator.h"
+#include "minidb/profile.h"
+#include "sql/statement_type.h"
+#include "util/random.h"
+
+namespace lego::core {
+
+/// Turns a synthesized SQL Type Sequence into an executable test case
+/// (paper §III-B instantiation): for each entry, sample a type-matched AST
+/// skeleton from the library (or generate a fresh one), then run dependency
+/// analysis against the symbolic schema context and refill names/data so the
+/// test case is semantically valid — tables exist before use, column
+/// references resolve, VALUES rows match table width.
+class Instantiator {
+ public:
+  Instantiator(const minidb::DialectProfile* profile, AstLibrary* library,
+               Rng* rng)
+      : profile_(profile), library_(library), rng_(rng),
+        generator_(profile, rng) {}
+
+  /// Instantiates `sequence` into a test case. Randomness means repeated
+  /// calls on the same sequence yield different structures (the paper
+  /// instantiates each sequence multiple times).
+  fuzz::TestCase Instantiate(
+      const std::vector<sql::StatementType>& sequence);
+
+  /// Dependency analysis + refill for one statement against `ctx`; exposed
+  /// for the mutators, which fix mutated statements the same way.
+  void FixStatement(sql::Statement* stmt, SchemaContext* ctx);
+
+ private:
+  /// Rewrites FROM-clause base tables that don't exist to context relations
+  /// and re-targets dangling column references to in-scope columns.
+  void FixReferences(sql::Statement* stmt, SchemaContext* ctx);
+
+  const minidb::DialectProfile* profile_;
+  AstLibrary* library_;
+  Rng* rng_;
+  StatementGenerator generator_;
+};
+
+}  // namespace lego::core
+
+#endif  // LEGO_LEGO_INSTANTIATOR_H_

@@ -1,0 +1,112 @@
+#include "lego/lego_fuzzer.h"
+
+#include <algorithm>
+
+#include "fuzz/seeds.h"
+
+namespace lego::core {
+
+LegoFuzzer::LegoFuzzer(const minidb::DialectProfile& profile,
+                       LegoOptions options)
+    : profile_(profile),
+      options_(options),
+      rng_(options.rng_seed),
+      library_(),
+      instantiator_(&profile, &library_, &rng_),
+      mutator_(&profile, &instantiator_, &rng_),
+      synthesizer_(options.max_sequence_length) {
+  // Every enabled type is a synthesis root: any type may start a sequence
+  // (CREATE TABLE is the common case, but SET/PRAGMA/BEGIN prologues are
+  // routine in real test cases).
+  for (sql::StatementType t : profile_.EnabledTypes()) {
+    synthesizer_.AddStartType(t);
+  }
+}
+
+void LegoFuzzer::Prepare(fuzz::ExecutionHarness* harness) {
+  (void)harness;
+  for (const std::string& script : fuzz::SeedScriptsFor(profile_.name)) {
+    auto tc = fuzz::TestCase::FromSql(script);
+    if (tc.ok()) queue_.push_back(std::move(*tc));
+  }
+}
+
+fuzz::TestCase LegoFuzzer::Next() {
+  // Interleave exploitation (synthesized/probe queue) with exploration
+  // (mutating corpus seeds): draining the queue exclusively would starve
+  // the proactive affinity analysis that feeds it.
+  if (!queue_.empty() && (corpus_.empty() || rng_.NextBool(0.6))) {
+    fuzz::TestCase tc = std::move(queue_.front());
+    queue_.pop_front();
+    return tc;
+  }
+  fuzz::Seed* seed = corpus_.Select(&rng_);
+  if (seed == nullptr) {
+    // Cold start: instantiate a short random sequence.
+    std::vector<sql::StatementType> seq = {
+        sql::StatementType::kCreateTable, sql::StatementType::kInsert,
+        sql::StatementType::kSelect};
+    return instantiator_.Instantiate(seq);
+  }
+  current_seed_ = seed;
+
+  if (options_.sequence_algorithms_enabled && rng_.NextBool(0.5)) {
+    // Step 1 (Fig. 4): proactive sequence-oriented mutation over one
+    // statement position (Algorithm 1 produces the sub/ins/del probes).
+    size_t position = mutation_cursor_++ % std::max<size_t>(1, seed->test_case.size());
+    auto mutants =
+        mutator_.SequenceOrientedMutants(seed->test_case, position);
+    for (auto& m : mutants) queue_.push_back(std::move(m));
+    if (!queue_.empty()) {
+      fuzz::TestCase tc = std::move(queue_.front());
+      queue_.pop_front();
+      return tc;
+    }
+  }
+  // Conventional syntax-preserving mutation on top of sequences (paper §II:
+  // fine mutations deepen exploration once breadth is covered).
+  return mutator_.ConventionalMutate(seed->test_case);
+}
+
+void LegoFuzzer::EnqueueSynthesized(sql::StatementType t1,
+                                    sql::StatementType t2) {
+  auto sequences = synthesizer_.OnNewAffinity(t1, t2, affinity_map_);
+  // Instantiate breadth-first: short sequences first. The depth-first
+  // enumeration order of Algorithm 3 would otherwise spend the whole
+  // consumption cap on deep expansions of the first few successors.
+  std::stable_sort(sequences.begin(), sequences.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() < b.size();
+                   });
+  int consumed = 0;
+  for (const auto& seq : sequences) {
+    if (consumed >= options_.max_sequences_per_affinity) break;
+    ++consumed;
+    for (int k = 0; k < options_.instantiations_per_sequence; ++k) {
+      if (queue_.size() >= options_.max_queue) return;
+      queue_.push_back(instantiator_.Instantiate(seq));
+    }
+  }
+}
+
+void LegoFuzzer::OnResult(const fuzz::TestCase& tc,
+                          const fuzz::ExecResult& result) {
+  if (!result.new_coverage) return;
+
+  // New-coverage inputs join the corpus and donate their AST structures.
+  corpus_.Add(tc.Clone());
+  library_.AddTestCase(tc);
+  if (current_seed_ != nullptr) ++current_seed_->discoveries;
+
+  if (!options_.sequence_algorithms_enabled) return;
+
+  // Step 2 (Fig. 4): affinities of coverage-increasing inputs are analyzed
+  // (Algorithm 2) and each new one triggers progressive synthesis
+  // (Algorithm 3) of the sequences that contain it.
+  auto new_affinities = affinity_map_.Analyze(tc.TypeSequence());
+  for (const auto& [t1, t2] : new_affinities) {
+    EnqueueSynthesized(t1, t2);
+  }
+}
+
+}  // namespace lego::core

@@ -1,0 +1,130 @@
+#include "lego/mutation.h"
+
+namespace lego::core {
+
+namespace {
+
+using sql::StatementType;
+
+}  // namespace
+
+sql::StatementType SequenceMutator::RandomType() {
+  const auto types = profile_->EnabledTypes();
+  return types[rng_->NextBelow(types.size())];
+}
+
+void SequenceMutator::Refix(fuzz::TestCase* tc) {
+  SchemaContext ctx;
+  for (auto& stmt : *tc->mutable_statements()) {
+    instantiator_->FixStatement(stmt.get(), &ctx);
+    ctx.Apply(*stmt);
+  }
+}
+
+std::vector<fuzz::TestCase> SequenceMutator::SequenceOrientedMutants(
+    const fuzz::TestCase& seed, size_t position) {
+  std::vector<fuzz::TestCase> mutants;
+  if (seed.empty() || position >= seed.size()) return mutants;
+
+  // Build the schema context up to (but excluding) the mutated statement so
+  // the replacement/insertion is generated against live dependencies.
+  auto context_at = [&](size_t end) {
+    SchemaContext ctx;
+    for (size_t i = 0; i < end; ++i) ctx.Apply(*seed.statements()[i]);
+    return ctx;
+  };
+
+  StatementGenerator generator(profile_, rng_);
+  generator.set_fancy_selects(fancy_selects_);
+
+  // 1) Substitution: change the statement's type.
+  {
+    StatementType current = seed.statements()[position]->type();
+    StatementType replacement = RandomType();
+    for (int tries = 0; replacement == current && tries < 4; ++tries) {
+      replacement = RandomType();
+    }
+    if (replacement != current) {
+      fuzz::TestCase mutant = seed.Clone();
+      SchemaContext ctx = context_at(position);
+      (*mutant.mutable_statements())[position] =
+          generator.Generate(replacement, &ctx);
+      Refix(&mutant);
+      mutants.push_back(std::move(mutant));
+    }
+  }
+
+  // 2) Insertion: add a random statement after the current one.
+  {
+    fuzz::TestCase mutant = seed.Clone();
+    SchemaContext ctx = context_at(position + 1);
+    sql::StmtPtr inserted = generator.Generate(RandomType(), &ctx);
+    auto* stmts = mutant.mutable_statements();
+    stmts->insert(stmts->begin() + static_cast<long>(position) + 1,
+                  std::move(inserted));
+    Refix(&mutant);
+    mutants.push_back(std::move(mutant));
+  }
+
+  // 3) Deletion: remove the current statement.
+  if (seed.size() > 1) {
+    fuzz::TestCase mutant = seed.Clone();
+    auto* stmts = mutant.mutable_statements();
+    stmts->erase(stmts->begin() + static_cast<long>(position));
+    Refix(&mutant);
+    mutants.push_back(std::move(mutant));
+  }
+
+  return mutants;
+}
+
+fuzz::TestCase SequenceMutator::ConventionalMutate(
+    const fuzz::TestCase& seed) {
+  fuzz::TestCase mutant = seed.Clone();
+  if (mutant.empty()) return mutant;
+  size_t position = rng_->NextBelow(mutant.size());
+  auto* stmts = mutant.mutable_statements();
+  sql::Statement* stmt = (*stmts)[position].get();
+
+  // SELECT statements get clause-level tweaks; everything else gets a
+  // same-type structural replacement (the type sequence never changes).
+  if (stmt->type() == StatementType::kSelect && rng_->NextBool(0.5)) {
+    auto* select = static_cast<sql::SelectStmt*>(stmt);
+    switch (rng_->NextBelow(4)) {
+      case 0:
+        select->core.distinct = !select->core.distinct;
+        break;
+      case 1:
+        if (select->order_by.empty()) {
+          sql::OrderByItem item;
+          item.expr = sql::Literal::Int(1);
+          item.desc = rng_->NextBool(0.5);
+          select->order_by.push_back(std::move(item));
+        } else {
+          select->order_by.clear();
+        }
+        break;
+      case 2:
+        if (select->limit == nullptr) {
+          select->limit = sql::Literal::Int(rng_->NextInRange(0, 8));
+        } else {
+          select->limit = nullptr;
+          select->offset = nullptr;
+        }
+        break;
+      default:
+        select->core.where = nullptr;  // drop the filter
+        break;
+    }
+  } else {
+    SchemaContext ctx;
+    for (size_t i = 0; i < position; ++i) ctx.Apply(*(*stmts)[i]);
+    StatementGenerator generator(profile_, rng_);
+    generator.set_fancy_selects(fancy_selects_);
+    (*stmts)[position] = generator.Generate(stmt->type(), &ctx);
+  }
+  Refix(&mutant);
+  return mutant;
+}
+
+}  // namespace lego::core

@@ -1,0 +1,57 @@
+#ifndef LEGO_LEGO_MUTATION_H_
+#define LEGO_LEGO_MUTATION_H_
+
+#include <vector>
+
+#include "fuzz/testcase.h"
+#include "lego/instantiator.h"
+#include "minidb/profile.h"
+#include "util/random.h"
+
+namespace lego::core {
+
+/// Mutators over test cases.
+///
+/// SequenceOrientedMutants implements paper Algorithm 1: for a statement
+/// position, produce a substitution (type changed), an insertion (random
+/// type inserted after), and a deletion — each followed by the SQUIRREL-style
+/// dependency re-analysis and data refill so the mutants stay semantically
+/// plausible. These mutants are the probes whose coverage feedback drives
+/// type-affinity analysis.
+///
+/// ConventionalMutate preserves the SQL Type Sequence and only changes the
+/// structure/data inside one statement — exactly what the paper says
+/// existing mutation-based fuzzers (SQUIRREL) are limited to.
+class SequenceMutator {
+ public:
+  SequenceMutator(const minidb::DialectProfile* profile,
+                  Instantiator* instantiator, Rng* rng,
+                  bool fancy_selects = true)
+      : profile_(profile), instantiator_(instantiator), rng_(rng),
+        fancy_selects_(fancy_selects) {}
+
+  /// Algorithm 1 applied to statement position `position` of `seed`
+  /// (substitution, insertion, deletion). Empty when the seed is empty.
+  std::vector<fuzz::TestCase> SequenceOrientedMutants(
+      const fuzz::TestCase& seed, size_t position);
+
+  /// One syntax-preserving mutant: same type sequence, different inner
+  /// structure or data.
+  fuzz::TestCase ConventionalMutate(const fuzz::TestCase& seed);
+
+ private:
+  /// Re-runs dependency analysis over all statements (fresh schema context).
+  void Refix(fuzz::TestCase* tc);
+
+  /// A random statement type enabled by the profile.
+  sql::StatementType RandomType();
+
+  const minidb::DialectProfile* profile_;
+  Instantiator* instantiator_;
+  Rng* rng_;
+  bool fancy_selects_;
+};
+
+}  // namespace lego::core
+
+#endif  // LEGO_LEGO_MUTATION_H_

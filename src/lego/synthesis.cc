@@ -1,0 +1,61 @@
+#include "lego/synthesis.h"
+
+namespace lego::core {
+
+void SequenceSynthesizer::AddStartType(sql::StatementType t) {
+  auto key = std::make_pair(t, 1);
+  if (prefix_.count(key)) return;  // already a root
+  Record({t});
+}
+
+bool SequenceSynthesizer::Record(
+    const std::vector<sql::StatementType>& seq) {
+  if (sequences_.size() >= kMaxSequences) return false;
+  sequences_.push_back(seq);
+  prefix_[{seq.back(), static_cast<int>(seq.size())}].push_back(
+      sequences_.size() - 1);
+  return true;
+}
+
+std::vector<std::vector<sql::StatementType>>
+SequenceSynthesizer::OnNewAffinity(sql::StatementType t1,
+                                   sql::StatementType t2,
+                                   const TypeAffinityMap& affinities) {
+  std::vector<std::vector<sql::StatementType>> out;
+  size_t first_new = sequences_.size();
+
+  for (int level = 1; level <= max_len_ - 1; ++level) {
+    auto it = prefix_.find({t1, level});
+    if (it == prefix_.end() || it->second.empty()) continue;
+    // Copy: Record() appends to PS entries while we iterate.
+    std::vector<size_t> prefix_indexes = it->second;
+    for (size_t seq_index : prefix_indexes) {
+      // Only extend prefixes that existed before this call — new sequences
+      // already contain t1 -> t2.
+      if (seq_index >= first_new) continue;
+      std::vector<sql::StatementType> seq = sequences_[seq_index];
+      seq.push_back(t2);
+      if (!Record(seq)) return out;
+      out.push_back(seq);
+      ListSeq(level + 1, t2, &seq, affinities, &out);
+      if (sequences_.size() >= kMaxSequences) return out;
+    }
+  }
+  return out;
+}
+
+void SequenceSynthesizer::ListSeq(
+    int level, sql::StatementType node_type,
+    std::vector<sql::StatementType>* seq, const TypeAffinityMap& affinities,
+    std::vector<std::vector<sql::StatementType>>* out) {
+  if (level >= max_len_) return;
+  for (sql::StatementType next : affinities.SuccessorsOf(node_type)) {
+    if (sequences_.size() >= kMaxSequences) return;
+    seq->push_back(next);
+    ListSeq(level + 1, next, seq, affinities, out);
+    if (Record(*seq)) out->push_back(*seq);
+    seq->pop_back();
+  }
+}
+
+}  // namespace lego::core

@@ -1,0 +1,70 @@
+#ifndef LEGO_LEGO_SYNTHESIS_H_
+#define LEGO_LEGO_SYNTHESIS_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "lego/affinity.h"
+#include "sql/statement_type.h"
+
+namespace lego::core {
+
+/// Progressive sequence synthesis (paper §III-B, Algorithm 3).
+///
+/// Maintains the paper's data structures:
+///  - S:  every synthesized SQL Type Sequence (length <= LEN);
+///  - PS: the Prefix Sequence index, mapping (ending type, length) to the
+///        indexes in S of sequences with that ending type and length.
+///
+/// When a new affinity t1 -> t2 is discovered, only the *new* sequences that
+/// contain it are enumerated: every known prefix ending in t1 is extended
+/// with t2 and then expanded with all known affinities up to LEN.
+class SequenceSynthesizer {
+ public:
+  /// Hard cap on |S|; prevents the combinatorial blow-up the paper's C1
+  /// identifies from exhausting memory at dense affinity maps.
+  static constexpr size_t kMaxSequences = 200000;
+
+  explicit SequenceSynthesizer(int max_len) : max_len_(max_len) {}
+
+  /// Registers a starting statement type: seeds S with the length-1
+  /// sequence [t] so prefixes ending in t exist.
+  void AddStartType(sql::StatementType t);
+
+  /// Algorithm 3. Returns the sequences newly synthesized for affinity
+  /// t1 -> t2 (each has length in [2, LEN]). `affinities` is the paper's T.
+  std::vector<std::vector<sql::StatementType>> OnNewAffinity(
+      sql::StatementType t1, sql::StatementType t2,
+      const TypeAffinityMap& affinities);
+
+  /// Total sequences synthesized so far (including length-1 roots).
+  size_t TotalSequences() const { return sequences_.size(); }
+
+  int max_len() const { return max_len_; }
+
+  /// Read-only view of S (tests).
+  const std::vector<std::vector<sql::StatementType>>& sequences() const {
+    return sequences_;
+  }
+
+ private:
+  /// Appends `seq` to S and records it in PS. Returns false at the cap.
+  bool Record(const std::vector<sql::StatementType>& seq);
+
+  /// Paper's listSeq: depth-first expansion of `seq` (ending in nodeType,
+  /// length `level`) with every known affinity, recording each extension.
+  void ListSeq(int level, sql::StatementType node_type,
+               std::vector<sql::StatementType>* seq,
+               const TypeAffinityMap& affinities,
+               std::vector<std::vector<sql::StatementType>>* out);
+
+  int max_len_;
+  std::vector<std::vector<sql::StatementType>> sequences_;  // S
+  // PS: (type, length) -> indexes into S.
+  std::map<std::pair<sql::StatementType, int>, std::vector<size_t>> prefix_;
+};
+
+}  // namespace lego::core
+
+#endif  // LEGO_LEGO_SYNTHESIS_H_

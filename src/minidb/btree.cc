@@ -1,0 +1,338 @@
+#include "minidb/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lego::minidb {
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  std::vector<Value> keys;
+  // Internal nodes: children.size() == keys.size() + 1.
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaves: postings[i] holds the row ids for keys[i].
+  std::vector<std::vector<RowId>> postings;
+  Node* next = nullptr;  // leaf chain
+};
+
+BTreeIndex::BTreeIndex() : root_(std::make_unique<BTreeIndex::Node>()) {}
+BTreeIndex::~BTreeIndex() = default;
+BTreeIndex::BTreeIndex(BTreeIndex&&) noexcept = default;
+BTreeIndex& BTreeIndex::operator=(BTreeIndex&&) noexcept = default;
+
+BTreeIndex::BTreeIndex(const BTreeIndex& other) { CopyFrom(other); }
+
+BTreeIndex& BTreeIndex::operator=(const BTreeIndex& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+void BTreeIndex::CopyFrom(const BTreeIndex& other) {
+  root_ = CloneNode(*other.root_);
+  entries_ = other.entries_;
+  RelinkLeaves(root_.get());
+}
+
+std::unique_ptr<BTreeIndex::Node> BTreeIndex::CloneNode(const Node& n) {
+  auto c = std::make_unique<Node>();
+  c->leaf = n.leaf;
+  c->keys = n.keys;
+  c->postings = n.postings;
+  c->children.reserve(n.children.size());
+  for (const auto& ch : n.children) c->children.push_back(CloneNode(*ch));
+  return c;
+}
+
+void BTreeIndex::RelinkLeaves(Node* root) {
+  // Rebuild the leaf chain with an in-order walk.
+  std::vector<Node*> leaves;
+  // Collect via explicit DFS preserving left-to-right order.
+  struct Frame {
+    Node* node;
+    size_t child = 0;
+  };
+  std::vector<Frame> frames = {{root, 0}};
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.node->leaf) {
+      leaves.push_back(f.node);
+      frames.pop_back();
+      continue;
+    }
+    if (f.child >= f.node->children.size()) {
+      frames.pop_back();
+      continue;
+    }
+    Node* next = f.node->children[f.child].get();
+    ++f.child;
+    frames.push_back({next, 0});
+  }
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    leaves[i]->next = (i + 1 < leaves.size()) ? leaves[i + 1] : nullptr;
+  }
+}
+
+namespace {
+
+/// First index i with keys[i] >= key.
+size_t LowerBound(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index i with keys[i] > key.
+size_t UpperBound(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+void BTreeIndex::Insert(const Value& key, RowId rid) {
+  // Iterative descent, remembering the path for splits.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (!node->leaf) {
+    path.push_back(node);
+    size_t i = UpperBound(node->keys, key);
+    node = node->children[i].get();
+  }
+
+  size_t i = LowerBound(node->keys, key);
+  if (i < node->keys.size() && node->keys[i].Compare(key) == 0) {
+    node->postings[i].push_back(rid);
+    ++entries_;
+    return;
+  }
+  node->keys.insert(node->keys.begin() + i, key);
+  node->postings.insert(node->postings.begin() + i, std::vector<RowId>{rid});
+  ++entries_;
+
+  // Split up the path while nodes overflow.
+  Node* cur = node;
+  while (cur->keys.size() > kMaxKeys) {
+    size_t mid = cur->keys.size() / 2;
+    auto right = std::make_unique<Node>();
+    right->leaf = cur->leaf;
+    Value separator;
+    if (cur->leaf) {
+      separator = cur->keys[mid];
+      right->keys.assign(std::make_move_iterator(cur->keys.begin() + mid),
+                         std::make_move_iterator(cur->keys.end()));
+      right->postings.assign(
+          std::make_move_iterator(cur->postings.begin() + mid),
+          std::make_move_iterator(cur->postings.end()));
+      cur->keys.resize(mid);
+      cur->postings.resize(mid);
+      right->next = cur->next;
+      cur->next = right.get();
+    } else {
+      separator = cur->keys[mid];
+      right->keys.assign(std::make_move_iterator(cur->keys.begin() + mid + 1),
+                         std::make_move_iterator(cur->keys.end()));
+      for (size_t c = mid + 1; c < cur->children.size(); ++c) {
+        right->children.push_back(std::move(cur->children[c]));
+      }
+      cur->keys.resize(mid);
+      cur->children.resize(mid + 1);
+    }
+
+    if (path.empty()) {
+      // Split the root: grow the tree by one level.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->keys.push_back(std::move(separator));
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(right));
+      root_ = std::move(new_root);
+      break;
+    }
+    Node* parent = path.back();
+    path.pop_back();
+    size_t pos = UpperBound(parent->keys, separator);
+    // Find the child slot of `cur` to insert right after it. Key-based
+    // position is correct because separator >= all keys in cur.
+    size_t child_pos = pos;
+    for (size_t c = 0; c < parent->children.size(); ++c) {
+      if (parent->children[c].get() == cur) {
+        child_pos = c;
+        break;
+      }
+    }
+    parent->keys.insert(parent->keys.begin() + child_pos, std::move(separator));
+    parent->children.insert(parent->children.begin() + child_pos + 1,
+                            std::move(right));
+    cur = parent;
+  }
+}
+
+bool BTreeIndex::Erase(const Value& key, RowId rid) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t i = UpperBound(node->keys, key);
+    node = node->children[i].get();
+  }
+  size_t i = LowerBound(node->keys, key);
+  if (i >= node->keys.size() || node->keys[i].Compare(key) != 0) return false;
+  auto& posting = node->postings[i];
+  auto it = std::find(posting.begin(), posting.end(), rid);
+  if (it == posting.end()) return false;
+  posting.erase(it);
+  --entries_;
+  if (posting.empty()) {
+    node->keys.erase(node->keys.begin() + i);
+    node->postings.erase(node->postings.begin() + i);
+    // Lazy deletion: no rebalancing. REINDEX rebuilds compactly.
+  }
+  return true;
+}
+
+std::vector<RowId> BTreeIndex::Find(const Value& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t i = UpperBound(node->keys, key);
+    node = node->children[i].get();
+  }
+  size_t i = LowerBound(node->keys, key);
+  if (i < node->keys.size() && node->keys[i].Compare(key) == 0) {
+    return node->postings[i];
+  }
+  return {};
+}
+
+std::vector<RowId> BTreeIndex::Range(const Value* lo, bool lo_inclusive,
+                                     const Value* hi,
+                                     bool hi_inclusive) const {
+  std::vector<RowId> out;
+  const Node* node = root_.get();
+  if (lo != nullptr) {
+    while (!node->leaf) {
+      size_t i = UpperBound(node->keys, *lo);
+      node = node->children[i].get();
+    }
+  } else {
+    while (!node->leaf) node = node->children.front().get();
+  }
+  size_t i = 0;
+  if (lo != nullptr) {
+    i = lo_inclusive ? LowerBound(node->keys, *lo)
+                     : UpperBound(node->keys, *lo);
+  }
+  while (node != nullptr) {
+    for (; i < node->keys.size(); ++i) {
+      if (hi != nullptr) {
+        int c = node->keys[i].Compare(*hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return out;
+      }
+      out.insert(out.end(), node->postings[i].begin(),
+                 node->postings[i].end());
+    }
+    node = node->next;
+    i = 0;
+  }
+  return out;
+}
+
+size_t BTreeIndex::KeyCount() const {
+  size_t n = 0;
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next) n += node->keys.size();
+  return n;
+}
+
+size_t BTreeIndex::Height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+void BTreeIndex::Clear() {
+  root_ = std::make_unique<Node>();
+  entries_ = 0;
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  // Walk the whole tree checking ordering and fanout.
+  struct Walker {
+    bool ok = true;
+    size_t leaf_depth = 0;
+
+    void Walk(const Node& n, const Value* lo, const Value* hi, size_t depth) {
+      if (!ok) return;
+      for (size_t i = 0; i + 1 < n.keys.size(); ++i) {
+        if (n.keys[i].Compare(n.keys[i + 1]) >= 0) {
+          ok = false;
+          return;
+        }
+      }
+      for (const Value& k : n.keys) {
+        if (lo != nullptr && k.Compare(*lo) < 0) ok = false;
+        if (hi != nullptr && k.Compare(*hi) > 0) ok = false;
+      }
+      if (!ok) return;
+      if (n.leaf) {
+        if (n.postings.size() != n.keys.size()) ok = false;
+        for (const auto& p : n.postings) {
+          if (p.empty()) ok = false;
+        }
+        if (leaf_depth == 0) {
+          leaf_depth = depth;
+        } else if (leaf_depth != depth) {
+          ok = false;  // all leaves must be at the same depth
+        }
+        return;
+      }
+      if (n.children.size() != n.keys.size() + 1) {
+        ok = false;
+        return;
+      }
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        const Value* clo = (i == 0) ? lo : &n.keys[i - 1];
+        const Value* chi = (i == n.keys.size()) ? hi : &n.keys[i];
+        Walk(*n.children[i], clo, chi, depth + 1);
+      }
+    }
+  };
+  Walker w;
+  w.Walk(*root_, nullptr, nullptr, 1);
+  if (!w.ok) return false;
+
+  // Leaf chain must visit keys in nondecreasing order and count entries_.
+  size_t counted = 0;
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  const Value* prev = nullptr;
+  for (; node != nullptr; node = node->next) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (prev != nullptr && prev->Compare(node->keys[i]) >= 0) return false;
+      prev = &node->keys[i];
+      counted += node->postings[i].size();
+    }
+  }
+  return counted == entries_;
+}
+
+}  // namespace lego::minidb

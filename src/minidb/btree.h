@@ -1,0 +1,76 @@
+#ifndef LEGO_MINIDB_BTREE_H_
+#define LEGO_MINIDB_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "minidb/row.h"
+#include "minidb/value.h"
+
+namespace lego::minidb {
+
+/// In-memory B+Tree mapping Value keys to row locations. Duplicate keys are
+/// supported (secondary indexes). Leaves are chained for range scans.
+/// Deletion is lazy (entries are removed but underfull nodes are not
+/// rebalanced), which matches the access patterns of a fuzzing workload;
+/// REINDEX rebuilds the tree from scratch.
+class BTreeIndex {
+ public:
+  /// Maximum keys per node before a split.
+  static constexpr size_t kMaxKeys = 32;
+
+  BTreeIndex();
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex& other);
+  BTreeIndex& operator=(const BTreeIndex& other);
+  BTreeIndex(BTreeIndex&&) noexcept;
+  BTreeIndex& operator=(BTreeIndex&&) noexcept;
+
+  /// Adds (key, rid). Duplicates of the same key accumulate.
+  void Insert(const Value& key, RowId rid);
+
+  /// Removes one (key, rid) entry. Returns false if absent.
+  bool Erase(const Value& key, RowId rid);
+
+  /// All row ids with exactly `key`.
+  std::vector<RowId> Find(const Value& key) const;
+
+  /// True if at least one entry has `key`.
+  bool Contains(const Value& key) const { return !Find(key).empty(); }
+
+  /// Row ids with lo <= key <= hi (bounds optional; inclusive flags apply
+  /// only when the bound is present). Results come back in key order.
+  std::vector<RowId> Range(const Value* lo, bool lo_inclusive, const Value* hi,
+                           bool hi_inclusive) const;
+
+  /// Total number of (key, rid) entries.
+  size_t EntryCount() const { return entries_; }
+
+  /// Number of distinct keys.
+  size_t KeyCount() const;
+
+  /// Tree height (1 = single leaf).
+  size_t Height() const;
+
+  /// Drops everything.
+  void Clear();
+
+  /// Validates B+Tree invariants (key ordering, fanout, leaf chain); for
+  /// tests. Returns false on corruption.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  void CopyFrom(const BTreeIndex& other);
+  static std::unique_ptr<Node> CloneNode(const Node& n);
+  static void RelinkLeaves(Node* root);
+
+  std::unique_ptr<Node> root_;
+  size_t entries_ = 0;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_BTREE_H_

@@ -1,0 +1,187 @@
+#ifndef LEGO_MINIDB_CATALOG_H_
+#define LEGO_MINIDB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minidb/btree.h"
+#include "minidb/heap_table.h"
+#include "minidb/value.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lego::minidb {
+
+/// One column of a stored table. AST fragments (default expressions) are
+/// shared immutable, which makes catalog snapshots cheap.
+struct ColumnInfo {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool primary_key = false;
+  bool unique = false;
+  bool not_null = false;
+  std::shared_ptr<const sql::Expr> default_value;  // may be null
+};
+
+/// Ordered column list of a table.
+struct TableSchema {
+  std::vector<ColumnInfo> columns;
+
+  /// Index of `name` or -1.
+  int FindColumn(const std::string& name) const;
+};
+
+/// A secondary (or primary) index. Composite declarations are accepted but
+/// keyed on the first column (documented simplification); the full column
+/// list is retained for SHOW/validation.
+struct IndexInfo {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+  BTreeIndex tree;
+};
+
+/// A stored table: schema + heap + bookkeeping.
+struct TableInfo {
+  std::string name;
+  TableSchema schema;
+  HeapTable heap;
+  std::vector<std::string> index_names;
+  bool temporary = false;
+  std::string comment;
+  /// Row count recorded by the last ANALYZE; -1 when never analyzed. The
+  /// planner consults this for join-strategy choice.
+  int64_t analyzed_row_count = -1;
+};
+
+struct ViewInfo {
+  std::string name;
+  std::shared_ptr<const sql::SelectStmt> select;
+};
+
+struct TriggerInfo {
+  std::string name;
+  std::string table;
+  sql::TriggerTiming timing = sql::TriggerTiming::kAfter;
+  sql::TriggerEvent event = sql::TriggerEvent::kInsert;
+  bool for_each_row = true;
+  std::shared_ptr<const sql::Statement> body;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string table;
+  sql::TriggerEvent event = sql::TriggerEvent::kInsert;
+  bool instead = true;
+  std::shared_ptr<const sql::Statement> action;  // null = DO INSTEAD NOTHING
+};
+
+struct SequenceInfo {
+  std::string name;
+  int64_t start = 1;
+  int64_t increment = 1;
+  int64_t current = 0;
+  bool started = false;
+};
+
+/// Privilege bitmask per (user, table).
+using PrivMask = uint8_t;
+constexpr PrivMask kPrivSelect = 1 << 0;
+constexpr PrivMask kPrivInsert = 1 << 1;
+constexpr PrivMask kPrivUpdate = 1 << 2;
+constexpr PrivMask kPrivDelete = 1 << 3;
+constexpr PrivMask kPrivAll =
+    kPrivSelect | kPrivInsert | kPrivUpdate | kPrivDelete;
+
+/// Converts an AST privilege to its mask bit(s).
+PrivMask MaskOf(sql::Privilege p);
+
+/// The database catalog: all persistent objects. Copyable — snapshot-based
+/// transactions deep-copy the catalog (heap/index payloads are value types,
+/// AST bodies are shared immutable pointers).
+class Catalog {
+ public:
+  // --- tables ---
+  Status CreateTable(TableInfo table);
+  StatusOr<TableInfo*> GetTable(const std::string& name);
+  StatusOr<const TableInfo*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  /// Drops the table and cascades to its indexes, triggers, and rules.
+  Status DropTable(const std::string& name);
+  Status RenameTable(const std::string& old_name, const std::string& new_name);
+  std::vector<std::string> TableNames() const;
+
+  // --- indexes ---
+  Status CreateIndex(IndexInfo index);
+  StatusOr<IndexInfo*> GetIndex(const std::string& name);
+  bool HasIndex(const std::string& name) const;
+  Status DropIndex(const std::string& name);
+  std::vector<std::string> IndexNames() const;
+  /// All indexes attached to `table`.
+  std::vector<IndexInfo*> IndexesOf(const std::string& table);
+
+  // --- views ---
+  Status CreateView(ViewInfo view, bool or_replace);
+  const ViewInfo* GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  Status DropView(const std::string& name);
+  std::vector<std::string> ViewNames() const;
+
+  // --- triggers ---
+  Status CreateTrigger(TriggerInfo trigger);
+  bool HasTrigger(const std::string& name) const;
+  Status DropTrigger(const std::string& name);
+  std::vector<std::string> TriggerNames() const;
+  /// Triggers on `table` for `event` with the given timing, in name order.
+  std::vector<const TriggerInfo*> TriggersFor(const std::string& table,
+                                              sql::TriggerEvent event,
+                                              sql::TriggerTiming timing) const;
+
+  // --- rules ---
+  Status CreateRule(RuleInfo rule, bool or_replace);
+  bool HasRule(const std::string& name) const;
+  Status DropRule(const std::string& name);
+  /// The INSTEAD rule on (table, event) if any.
+  const RuleInfo* RuleFor(const std::string& table,
+                          sql::TriggerEvent event) const;
+  std::vector<std::string> RuleNames() const;
+
+  // --- sequences ---
+  Status CreateSequence(SequenceInfo seq);
+  StatusOr<SequenceInfo*> GetSequence(const std::string& name);
+  bool HasSequence(const std::string& name) const;
+  Status DropSequence(const std::string& name);
+
+  // --- users & privileges ---
+  Status CreateUser(const std::string& name, bool if_not_exists);
+  Status DropUser(const std::string& name, bool if_exists);
+  bool HasUser(const std::string& name) const;
+  void Grant(const std::string& user, const std::string& table, PrivMask mask);
+  void Revoke(const std::string& user, const std::string& table,
+              PrivMask mask);
+  /// True if `user` holds all bits of `mask` on `table`. The superuser
+  /// ("root") always passes.
+  bool HasPrivilege(const std::string& user, const std::string& table,
+                    PrivMask mask) const;
+
+  /// Drops all temporary tables (DISCARD TEMP / session reset).
+  void DropTemporaryTables();
+
+ private:
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, IndexInfo> indexes_;
+  std::map<std::string, ViewInfo> views_;
+  std::map<std::string, TriggerInfo> triggers_;
+  std::map<std::string, RuleInfo> rules_;
+  std::map<std::string, SequenceInfo> sequences_;
+  std::set<std::string> users_;
+  std::map<std::string, std::map<std::string, PrivMask>> privileges_;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_CATALOG_H_

@@ -1,0 +1,130 @@
+#include "minidb/database.h"
+
+#include "coverage/coverage.h"
+#include "minidb/executor.h"
+#include "sql/parser.h"
+
+namespace lego::minidb {
+
+Database::Database(const DialectProfile* profile) : profile_(profile) {}
+
+StatusOr<ResultSet> Database::Execute(const sql::Statement& stmt) {
+  Executor executor(this);
+  auto result = executor.Execute(stmt);
+  if (!result.ok()) return result;
+
+  // Record the executed statement into the session trace, then consult the
+  // fault oracle (the ASAN stand-in).
+  session_.type_trace.push_back(stmt.type());
+  session_.feature_trace.push_back(executor.features());
+  if (fault_hook_ != nullptr) {
+    std::optional<CrashInfo> crash = fault_hook_->Check(*this);
+    if (crash.has_value()) {
+      LEGO_COV();
+      last_crash_ = crash;
+      return StatusOr<ResultSet>(Status::Crash(
+          crash->kind + " in " + crash->component + " (" + crash->bug_id +
+          "): " + crash->message));
+    }
+  }
+  return result;
+}
+
+StatusOr<Database::ScriptResult> Database::ExecuteScript(
+    std::string_view sql_text) {
+  LEGO_ASSIGN_OR_RETURN(std::vector<sql::StmtPtr> stmts,
+                        sql::Parser::ParseScript(sql_text));
+  ScriptResult result;
+  for (const sql::StmtPtr& stmt : stmts) {
+    auto st = Execute(*stmt);
+    if (st.ok()) {
+      ++result.executed;
+      continue;
+    }
+    if (st.status().IsCrash()) {
+      result.crashed = true;
+      return result;
+    }
+    ++result.errors;
+  }
+  return result;
+}
+
+void Database::ResetSession() {
+  if (session_.in_transaction) {
+    (void)TxnRollback();
+  }
+  session_ = SessionState{};
+  last_crash_.reset();
+  catalog_.DropTemporaryTables();
+}
+
+void Database::ResetAll() {
+  catalog_ = Catalog();
+  session_ = SessionState{};
+  last_crash_.reset();
+  txn_snapshot_.reset();
+  savepoints_.clear();
+}
+
+Status Database::TxnBegin() {
+  if (session_.in_transaction) {
+    return Status::TransactionError("a transaction is already in progress");
+  }
+  txn_snapshot_ = catalog_;
+  session_.in_transaction = true;
+  return Status::OK();
+}
+
+Status Database::TxnCommit() {
+  if (!session_.in_transaction) {
+    return Status::TransactionError("no transaction in progress");
+  }
+  txn_snapshot_.reset();
+  savepoints_.clear();
+  session_.in_transaction = false;
+  return Status::OK();
+}
+
+Status Database::TxnRollback() {
+  if (!session_.in_transaction) {
+    return Status::TransactionError("no transaction in progress");
+  }
+  catalog_ = std::move(*txn_snapshot_);
+  txn_snapshot_.reset();
+  savepoints_.clear();
+  session_.in_transaction = false;
+  return Status::OK();
+}
+
+Status Database::TxnSavepoint(const std::string& name) {
+  if (!session_.in_transaction) {
+    return Status::TransactionError("SAVEPOINT requires a transaction");
+  }
+  savepoints_.emplace_back(name, catalog_);
+  return Status::OK();
+}
+
+Status Database::TxnRelease(const std::string& name) {
+  for (auto it = savepoints_.rbegin(); it != savepoints_.rend(); ++it) {
+    if (it->first == name) {
+      // Release this savepoint and everything nested inside it.
+      savepoints_.erase(it.base() - 1, savepoints_.end());
+      return Status::OK();
+    }
+  }
+  return Status::TransactionError("savepoint '" + name + "' does not exist");
+}
+
+Status Database::TxnRollbackTo(const std::string& name) {
+  for (auto it = savepoints_.rbegin(); it != savepoints_.rend(); ++it) {
+    if (it->first == name) {
+      catalog_ = it->second;  // keep the savepoint itself (SQL semantics)
+      savepoints_.erase(it.base(), savepoints_.end());
+      return Status::OK();
+    }
+  }
+  return Status::TransactionError("savepoint '" + name + "' does not exist");
+}
+
+}  // namespace lego::minidb

@@ -1,0 +1,154 @@
+#ifndef LEGO_MINIDB_DATABASE_H_
+#define LEGO_MINIDB_DATABASE_H_
+
+#include <bitset>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minidb/catalog.h"
+#include "minidb/profile.h"
+#include "minidb/relation.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lego::minidb {
+
+/// Result of one statement: a (possibly empty) relation plus side-channel
+/// notes (EXPLAIN text, COPY output, NOTIFY deliveries) and DML row counts.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  std::vector<std::string> notes;
+  int64_t affected_rows = 0;
+};
+
+/// Execution-observable features of one statement; fault-injection triggers
+/// may require them in addition to a type subsequence.
+enum class ExecFeature : uint8_t {
+  kGroupBy,
+  kOrderBy,
+  kWindowFunction,
+  kJoin,
+  kHashJoinUsed,
+  kIndexScanUsed,
+  kSubquery,
+  kSetOperation,
+  kAggregate,
+  kDistinct,
+  kHaving,
+  kCte,
+  kViewExpansion,
+  kRuleRewrite,
+  kTriggerFired,
+  kInTransaction,
+  kTemporaryTable,
+  kEmptyInput,
+  kNumFeatures,
+};
+
+using FeatureSet = std::bitset<static_cast<size_t>(ExecFeature::kNumFeatures)>;
+
+/// A synthetic crash raised by the fault-injection oracle (the stand-in for
+/// an ASAN-detected memory error in a real DBMS).
+struct CrashInfo {
+  std::string bug_id;      // stable identifier, e.g. "MY-OPT-03"
+  std::string component;   // Optimizer, Parser, Storage, ...
+  std::string kind;        // SEGV, UAF, HBOF, ...
+  uint64_t stack_hash = 0; // synthetic call-stack hash used for dedup
+  std::string message;
+};
+
+class Database;
+
+/// Oracle interface consulted after each successfully executed statement.
+/// Implemented by faults::BugEngine.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Returns a crash if the session's execution trace has just met some
+  /// bug's trigger condition.
+  virtual std::optional<CrashInfo> Check(const Database& db) = 0;
+};
+
+/// Per-connection state: executed-type trace, per-statement features,
+/// settings, notifications, transaction bookkeeping.
+struct SessionState {
+  /// Executed statement types (top level plus fired rule/trigger bodies),
+  /// in execution order — the trace fault triggers match against.
+  std::vector<sql::StatementType> type_trace;
+  /// Feature sets parallel to type_trace.
+  std::vector<FeatureSet> feature_trace;
+
+  std::map<std::string, Value> settings;
+  std::string current_user = "root";
+  std::set<std::string> listening;
+  std::vector<std::string> notifications;  // delivered "channel:payload"
+
+  bool in_transaction = false;
+};
+
+/// The minidb engine facade: a single-connection relational database
+/// configured by a dialect profile. This is the fuzzing target.
+class Database {
+ public:
+  explicit Database(const DialectProfile* profile = &DialectProfile::PgLite());
+
+  /// Executes one parsed statement. Crash statuses (code kCrash) indicate
+  /// the fault oracle fired; `last_crash()` then holds the details.
+  StatusOr<ResultSet> Execute(const sql::Statement& stmt);
+
+  /// Parses and executes a whole script. Statement-level errors are counted
+  /// and skipped (matching how a fuzzer drives a real server); a crash stops
+  /// the script. A script-level syntax error is returned directly.
+  struct ScriptResult {
+    int executed = 0;
+    int errors = 0;
+    bool crashed = false;
+  };
+  StatusOr<ScriptResult> ExecuteScript(std::string_view sql);
+
+  /// Clears session state (trace, settings, notifications) and aborts any
+  /// open transaction; the catalog is kept.
+  void ResetSession();
+
+  /// Drops everything: fresh catalog + fresh session.
+  void ResetAll();
+
+  const DialectProfile& profile() const { return *profile_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  SessionState& session() { return session_; }
+  const SessionState& session() const { return session_; }
+
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  const std::optional<CrashInfo>& last_crash() const { return last_crash_; }
+
+ private:
+  friend class Executor;
+
+  // Transaction control (invoked by the executor).
+  Status TxnBegin();
+  Status TxnCommit();
+  Status TxnRollback();
+  Status TxnSavepoint(const std::string& name);
+  Status TxnRelease(const std::string& name);
+  Status TxnRollbackTo(const std::string& name);
+
+  const DialectProfile* profile_;
+  Catalog catalog_;
+  SessionState session_;
+  FaultHook* fault_hook_ = nullptr;
+  std::optional<CrashInfo> last_crash_;
+
+  /// Snapshot-based transactions: BEGIN copies the catalog; ROLLBACK
+  /// restores it. Savepoints stack additional snapshots.
+  std::optional<Catalog> txn_snapshot_;
+  std::vector<std::pair<std::string, Catalog>> savepoints_;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_DATABASE_H_

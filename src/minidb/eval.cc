@@ -1,0 +1,593 @@
+#include "minidb/eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coverage/coverage.h"
+#include "util/string_util.h"
+
+namespace lego::minidb {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+Tribool ValueToTribool(const Value& v) {
+  if (v.is_null()) return Tribool::kUnknown;
+  return v.AsBool() ? Tribool::kTrue : Tribool::kFalse;
+}
+
+bool BothNumeric(const Value& a, const Value& b) {
+  auto numeric = [](const Value& v) {
+    return v.type() == ValueType::kInt || v.type() == ValueType::kReal ||
+           v.type() == ValueType::kBool;
+  };
+  return numeric(a) && numeric(b);
+}
+
+/// SQL comparison with light coercion: numeric-vs-numeric compares
+/// numerically; text-vs-numeric coerces the text side to a number (MySQL
+/// flavor); otherwise the total order applies.
+int CompareSql(const Value& a, const Value& b) {
+  if (BothNumeric(a, b)) {
+    double x = a.AsReal();
+    double y = b.AsReal();
+    if (x == y) return 0;
+    return x < y ? -1 : 1;
+  }
+  if (a.type() == ValueType::kText && BothNumeric(b, b)) {
+    double x = a.AsReal();
+    double y = b.AsReal();
+    if (x == y) return 0;
+    return x < y ? -1 : 1;
+  }
+  if (b.type() == ValueType::kText && BothNumeric(a, a)) {
+    double x = a.AsReal();
+    double y = b.AsReal();
+    if (x == y) return 0;
+    return x < y ? -1 : 1;
+  }
+  return a.Compare(b);
+}
+
+StatusOr<Value> EvalArithmetic(BinaryOp op, const Value& lhs,
+                               const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  bool integer_math = lhs.type() != ValueType::kReal &&
+                      rhs.type() != ValueType::kReal &&
+                      lhs.type() != ValueType::kText &&
+                      rhs.type() != ValueType::kText;
+  if (integer_math) {
+    LEGO_COV();
+    // Wrapping semantics via unsigned arithmetic (no UB on overflow).
+    uint64_t a = static_cast<uint64_t>(lhs.AsInt());
+    uint64_t b = static_cast<uint64_t>(rhs.AsInt());
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int(static_cast<int64_t>(a + b));
+      case BinaryOp::kSub: return Value::Int(static_cast<int64_t>(a - b));
+      case BinaryOp::kMul: return Value::Int(static_cast<int64_t>(a * b));
+      case BinaryOp::kDiv:
+        if (rhs.AsInt() == 0) {
+          return Status::ExecutionError("division by zero");
+        }
+        if (lhs.AsInt() == INT64_MIN && rhs.AsInt() == -1) {
+          return Value::Int(INT64_MIN);  // avoid overflow trap
+        }
+        return Value::Int(lhs.AsInt() / rhs.AsInt());
+      case BinaryOp::kMod:
+        if (rhs.AsInt() == 0) {
+          return Status::ExecutionError("modulo by zero");
+        }
+        if (lhs.AsInt() == INT64_MIN && rhs.AsInt() == -1) {
+          return Value::Int(0);
+        }
+        return Value::Int(lhs.AsInt() % rhs.AsInt());
+      default: break;
+    }
+  }
+  LEGO_COV();
+  double a = lhs.AsReal();
+  double b = rhs.AsReal();
+  switch (op) {
+    case BinaryOp::kAdd: return Value::Real(a + b);
+    case BinaryOp::kSub: return Value::Real(a - b);
+    case BinaryOp::kMul: return Value::Real(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0.0) return Status::ExecutionError("division by zero");
+      return Value::Real(a / b);
+    case BinaryOp::kMod:
+      if (b == 0.0) return Status::ExecutionError("modulo by zero");
+      return Value::Real(std::fmod(a, b));
+    default: break;
+  }
+  return Status::Internal("unexpected arithmetic operator");
+}
+
+StatusOr<Value> EvalScalarFunction(const sql::FunctionCall& fn,
+                                   const EvalContext& ctx,
+                                   const std::vector<Value>& args) {
+  const std::string& name = fn.name();
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::SemanticError("function " + name + " expects " +
+                                   std::to_string(n) + " argument(s)");
+    }
+    return Status::OK();
+  };
+
+  if (name == "ABS") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (args[0].is_null()) return Value::Null();
+    if (args[0].type() == ValueType::kInt) {
+      int64_t v = args[0].int_value();
+      return Value::Int(v == INT64_MIN ? INT64_MAX : (v < 0 ? -v : v));
+    }
+    return Value::Real(std::fabs(args[0].AsReal()));
+  }
+  if (name == "LENGTH") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::Int(static_cast<int64_t>(args[0].ToText().size()));
+  }
+  if (name == "UPPER") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::Text(ToUpper(args[0].ToText()));
+  }
+  if (name == "LOWER") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::Text(ToLower(args[0].ToText()));
+  }
+  if (name == "SUBSTR" || name == "SUBSTRING") {
+    if (args.size() != 2 && args.size() != 3) {
+      return Status::SemanticError("SUBSTR expects 2 or 3 arguments");
+    }
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    std::string s = args[0].ToText();
+    int64_t start = args[1].AsInt();
+    int64_t len = args.size() == 3 ? args[2].AsInt()
+                                   : static_cast<int64_t>(s.size());
+    if (start > 0) --start;  // SQL is 1-based
+    if (start < 0) start = std::max<int64_t>(0, static_cast<int64_t>(s.size()) + start);
+    if (start >= static_cast<int64_t>(s.size()) || len <= 0) {
+      return Value::Text("");
+    }
+    len = std::min<int64_t>(len, static_cast<int64_t>(s.size()) - start);
+    return Value::Text(s.substr(static_cast<size_t>(start),
+                                static_cast<size_t>(len)));
+  }
+  if (name == "COALESCE") {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (name == "NULLIF") {
+    LEGO_RETURN_IF_ERROR(need(2));
+    if (!args[0].is_null() && !args[1].is_null() &&
+        CompareSql(args[0], args[1]) == 0) {
+      return Value::Null();
+    }
+    return args[0];
+  }
+  if (name == "IFNULL") {
+    LEGO_RETURN_IF_ERROR(need(2));
+    return args[0].is_null() ? args[1] : args[0];
+  }
+  if (name == "TYPEOF") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    return Value::Text(std::string(ValueTypeName(args[0].type())));
+  }
+  if (name == "ROUND") {
+    if (args.size() != 1 && args.size() != 2) {
+      return Status::SemanticError("ROUND expects 1 or 2 arguments");
+    }
+    if (args[0].is_null()) return Value::Null();
+    double v = args[0].AsReal();
+    int64_t digits = args.size() == 2 ? args[1].AsInt() : 0;
+    digits = std::clamp<int64_t>(digits, -15, 15);
+    double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Real(std::round(v * scale) / scale);
+  }
+  if (name == "SIGN") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (args[0].is_null()) return Value::Null();
+    double v = args[0].AsReal();
+    return Value::Int(v > 0 ? 1 : (v < 0 ? -1 : 0));
+  }
+  if (name == "MOD") {
+    LEGO_RETURN_IF_ERROR(need(2));
+    return EvalArithmetic(BinaryOp::kMod, args[0], args[1]);
+  }
+  if (name == "TRIM") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::Text(std::string(Trim(args[0].ToText())));
+  }
+  if (name == "REPLACE") {
+    LEGO_RETURN_IF_ERROR(need(3));
+    if (args[0].is_null() || args[1].is_null() || args[2].is_null()) {
+      return Value::Null();
+    }
+    std::string s = args[0].ToText();
+    std::string from = args[1].ToText();
+    std::string to = args[2].ToText();
+    if (from.empty()) return Value::Text(std::move(s));
+    std::string out;
+    size_t pos = 0;
+    while (true) {
+      size_t hit = s.find(from, pos);
+      if (hit == std::string::npos) {
+        out += s.substr(pos);
+        break;
+      }
+      out += s.substr(pos, hit - pos);
+      out += to;
+      pos = hit + from.size();
+    }
+    return Value::Text(std::move(out));
+  }
+  if (name == "GREATEST" || name == "LEAST") {
+    if (args.empty()) {
+      return Status::SemanticError(name + " expects arguments");
+    }
+    const Value* best = nullptr;
+    for (const Value& v : args) {
+      if (v.is_null()) return Value::Null();
+      if (best == nullptr) {
+        best = &v;
+        continue;
+      }
+      int c = CompareSql(v, *best);
+      if ((name == "GREATEST" && c > 0) || (name == "LEAST" && c < 0)) {
+        best = &v;
+      }
+    }
+    return *best;
+  }
+  if (name == "NEXTVAL") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (ctx.hooks == nullptr) {
+      return Status::ExecutionError("sequences unavailable in this context");
+    }
+    LEGO_ASSIGN_OR_RETURN(int64_t v,
+                          ctx.hooks->SequenceNextVal(args[0].ToText()));
+    return Value::Int(v);
+  }
+  if (name == "CURRVAL") {
+    LEGO_RETURN_IF_ERROR(need(1));
+    if (ctx.hooks == nullptr) {
+      return Status::ExecutionError("sequences unavailable in this context");
+    }
+    LEGO_ASSIGN_OR_RETURN(int64_t v,
+                          ctx.hooks->SequenceCurrVal(args[0].ToText()));
+    return Value::Int(v);
+  }
+  return Status::SemanticError("unknown function " + name);
+}
+
+}  // namespace
+
+StatusOr<Value> EvalContext::ResolveColumn(const std::string& qualifier,
+                                           const std::string& name) const {
+  for (const EvalContext* c = this; c != nullptr; c = c->outer) {
+    if (c->rel == nullptr || c->row == nullptr) continue;
+    bool ambiguous = false;
+    int idx = c->rel->FindColumn(qualifier, name, &ambiguous);
+    if (ambiguous) {
+      return StatusOr<Value>(
+          Status::SemanticError("ambiguous column reference '" + name + "'"));
+    }
+    if (idx >= 0) {
+      if (static_cast<size_t>(idx) >= c->row->size()) {
+        return StatusOr<Value>(Status::Internal("row narrower than schema"));
+      }
+      return (*c->row)[static_cast<size_t>(idx)];
+    }
+  }
+  std::string full = qualifier.empty() ? name : qualifier + "." + name;
+  return StatusOr<Value>(
+      Status::SemanticError("column '" + full + "' does not exist"));
+}
+
+bool Evaluator::IsAggregateFunction(const std::string& name) {
+  return name == "COUNT" || name == "SUM" || name == "AVG" || name == "MIN" ||
+         name == "MAX" || name == "TOTAL" || name == "GROUP_CONCAT";
+}
+
+bool Evaluator::IsWindowFunction(const std::string& name) {
+  return name == "ROW_NUMBER" || name == "RANK" || name == "DENSE_RANK" ||
+         name == "LEAD" || name == "LAG" || name == "NTILE";
+}
+
+bool Evaluator::LikeMatch(const std::string& text,
+                          const std::string& pattern) {
+  // Iterative matcher with backtracking over '%'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+StatusOr<Tribool> Evaluator::EvalPredicate(const Expr& expr,
+                                           const EvalContext& ctx) {
+  LEGO_ASSIGN_OR_RETURN(Value v, Eval(expr, ctx));
+  return ValueToTribool(v);
+}
+
+StatusOr<Value> Evaluator::Eval(const Expr& expr, const EvalContext& ctx) {
+  // Node overrides short-circuit: aggregate/window results computed by the
+  // executor are injected by node identity.
+  if (ctx.node_overrides != nullptr) {
+    auto it = ctx.node_overrides->find(&expr);
+    if (it != ctx.node_overrides->end()) return it->second;
+  }
+
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      LEGO_COV();
+      return Value::FromLiteral(static_cast<const sql::Literal&>(expr));
+    }
+    case ExprKind::kColumnRef: {
+      LEGO_COV();
+      const auto& ref = static_cast<const sql::ColumnRef&>(expr);
+      return ctx.ResolveColumn(ref.table(), ref.column());
+    }
+    case ExprKind::kStar:
+      return Status::SemanticError("'*' is not valid here");
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const sql::UnaryExpr&>(expr);
+      LEGO_ASSIGN_OR_RETURN(Value v, Eval(un.operand(), ctx));
+      if (un.op() == sql::UnaryOp::kNeg) {
+        LEGO_COV();
+        if (v.is_null()) return Value::Null();
+        if (v.type() == ValueType::kInt) {
+          int64_t x = v.int_value();
+          return Value::Int(x == INT64_MIN ? INT64_MIN : -x);
+        }
+        return Value::Real(-v.AsReal());
+      }
+      LEGO_COV();
+      Tribool t = ValueToTribool(v);
+      if (t == Tribool::kUnknown) return Value::Null();
+      return Value::Bool(t == Tribool::kFalse);
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+      BinaryOp op = bin.op();
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        LEGO_COV_KEYED(static_cast<int>(op));
+        LEGO_ASSIGN_OR_RETURN(Tribool lhs, EvalPredicate(bin.lhs(), ctx));
+        // Short-circuit per three-valued logic.
+        if (op == BinaryOp::kAnd && lhs == Tribool::kFalse) {
+          return Value::Bool(false);
+        }
+        if (op == BinaryOp::kOr && lhs == Tribool::kTrue) {
+          return Value::Bool(true);
+        }
+        LEGO_ASSIGN_OR_RETURN(Tribool rhs, EvalPredicate(bin.rhs(), ctx));
+        if (op == BinaryOp::kAnd) {
+          if (rhs == Tribool::kFalse) return Value::Bool(false);
+          if (lhs == Tribool::kUnknown || rhs == Tribool::kUnknown) {
+            return Value::Null();
+          }
+          return Value::Bool(true);
+        }
+        if (rhs == Tribool::kTrue) return Value::Bool(true);
+        if (lhs == Tribool::kUnknown || rhs == Tribool::kUnknown) {
+          return Value::Null();
+        }
+        return Value::Bool(false);
+      }
+      LEGO_ASSIGN_OR_RETURN(Value lhs, Eval(bin.lhs(), ctx));
+      LEGO_ASSIGN_OR_RETURN(Value rhs, Eval(bin.rhs(), ctx));
+      switch (op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          LEGO_COV_KEYED(static_cast<int>(op));
+          return EvalArithmetic(op, lhs, rhs);
+        case BinaryOp::kConcat:
+          LEGO_COV();
+          if (lhs.is_null() || rhs.is_null()) return Value::Null();
+          return Value::Text(lhs.ToText() + rhs.ToText());
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          LEGO_COV_KEYED(static_cast<int>(op));
+          if (lhs.is_null() || rhs.is_null()) return Value::Null();
+          int c = CompareSql(lhs, rhs);
+          bool r = false;
+          switch (op) {
+            case BinaryOp::kEq: r = (c == 0); break;
+            case BinaryOp::kNe: r = (c != 0); break;
+            case BinaryOp::kLt: r = (c < 0); break;
+            case BinaryOp::kLe: r = (c <= 0); break;
+            case BinaryOp::kGt: r = (c > 0); break;
+            case BinaryOp::kGe: r = (c >= 0); break;
+            default: break;
+          }
+          return Value::Bool(r);
+        }
+        default:
+          return Status::Internal("unexpected binary operator");
+      }
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& fn = static_cast<const sql::FunctionCall&>(expr);
+      if (IsAggregateFunction(fn.name())) {
+        // Reached only when no override was injected: aggregate used
+        // outside an aggregating query.
+        return Status::SemanticError("aggregate function " + fn.name() +
+                                     " used outside aggregation");
+      }
+      if (IsWindowFunction(fn.name()) || fn.window() != nullptr) {
+        return Status::SemanticError("window function " + fn.name() +
+                                     " used outside a windowed SELECT");
+      }
+      LEGO_COV();
+      std::vector<Value> args;
+      args.reserve(fn.args().size());
+      for (const auto& a : fn.args()) {
+        LEGO_ASSIGN_OR_RETURN(Value v, Eval(*a, ctx));
+        args.push_back(std::move(v));
+      }
+      return EvalScalarFunction(fn, ctx, args);
+    }
+    case ExprKind::kCase: {
+      LEGO_COV();
+      const auto& ce = static_cast<const sql::CaseExpr&>(expr);
+      if (ce.operand() != nullptr) {
+        LEGO_ASSIGN_OR_RETURN(Value base, Eval(*ce.operand(), ctx));
+        for (const auto& [when, then] : ce.whens()) {
+          LEGO_ASSIGN_OR_RETURN(Value w, Eval(*when, ctx));
+          if (!base.is_null() && !w.is_null() && CompareSql(base, w) == 0) {
+            return Eval(*then, ctx);
+          }
+        }
+      } else {
+        for (const auto& [when, then] : ce.whens()) {
+          LEGO_ASSIGN_OR_RETURN(Tribool t, EvalPredicate(*when, ctx));
+          if (t == Tribool::kTrue) return Eval(*then, ctx);
+        }
+      }
+      if (ce.else_expr() != nullptr) return Eval(*ce.else_expr(), ctx);
+      return Value::Null();
+    }
+    case ExprKind::kInList: {
+      LEGO_COV();
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      LEGO_ASSIGN_OR_RETURN(Value needle, Eval(in.needle(), ctx));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (const auto& item : in.list()) {
+        LEGO_ASSIGN_OR_RETURN(Value v, Eval(*item, ctx));
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (CompareSql(needle, v) == 0) {
+          return Value::Bool(!in.negated());
+        }
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(in.negated());
+    }
+    case ExprKind::kInSubquery: {
+      LEGO_COV();
+      const auto& in = static_cast<const sql::InSubqueryExpr&>(expr);
+      if (ctx.runner == nullptr) {
+        return Status::ExecutionError("subqueries unavailable here");
+      }
+      LEGO_ASSIGN_OR_RETURN(Value needle, Eval(in.needle(), ctx));
+      LEGO_ASSIGN_OR_RETURN(Relation rel,
+                            ctx.runner->RunSubquery(in.subquery(), &ctx));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (const Row& row : rel.rows) {
+        if (row.empty()) continue;
+        if (row[0].is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (CompareSql(needle, row[0]) == 0) {
+          return Value::Bool(!in.negated());
+        }
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(in.negated());
+    }
+    case ExprKind::kBetween: {
+      LEGO_COV();
+      const auto& bt = static_cast<const sql::BetweenExpr&>(expr);
+      LEGO_ASSIGN_OR_RETURN(Value v, Eval(bt.operand(), ctx));
+      LEGO_ASSIGN_OR_RETURN(Value lo, Eval(bt.lo(), ctx));
+      LEGO_ASSIGN_OR_RETURN(Value hi, Eval(bt.hi(), ctx));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      bool in_range = CompareSql(v, lo) >= 0 && CompareSql(v, hi) <= 0;
+      return Value::Bool(bt.negated() ? !in_range : in_range);
+    }
+    case ExprKind::kLike: {
+      LEGO_COV();
+      const auto& lk = static_cast<const sql::LikeExpr&>(expr);
+      LEGO_ASSIGN_OR_RETURN(Value v, Eval(lk.operand(), ctx));
+      LEGO_ASSIGN_OR_RETURN(Value p, Eval(lk.pattern(), ctx));
+      if (v.is_null() || p.is_null()) return Value::Null();
+      bool m = LikeMatch(v.ToText(), p.ToText());
+      return Value::Bool(lk.negated() ? !m : m);
+    }
+    case ExprKind::kIsNull: {
+      LEGO_COV();
+      const auto& is = static_cast<const sql::IsNullExpr&>(expr);
+      LEGO_ASSIGN_OR_RETURN(Value v, Eval(is.operand(), ctx));
+      return Value::Bool(is.negated() ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kExists: {
+      LEGO_COV();
+      const auto& ex = static_cast<const sql::ExistsExpr&>(expr);
+      if (ctx.runner == nullptr) {
+        return Status::ExecutionError("subqueries unavailable here");
+      }
+      LEGO_ASSIGN_OR_RETURN(Relation rel,
+                            ctx.runner->RunSubquery(ex.subquery(), &ctx));
+      bool has = !rel.rows.empty();
+      return Value::Bool(ex.negated() ? !has : has);
+    }
+    case ExprKind::kCast: {
+      LEGO_COV();
+      const auto& cast = static_cast<const sql::CastExpr&>(expr);
+      LEGO_ASSIGN_OR_RETURN(Value v, Eval(cast.operand(), ctx));
+      return v.CastTo(FromSqlType(cast.target()));
+    }
+    case ExprKind::kScalarSubquery: {
+      LEGO_COV();
+      const auto& sub = static_cast<const sql::ScalarSubquery&>(expr);
+      if (ctx.runner == nullptr) {
+        return Status::ExecutionError("subqueries unavailable here");
+      }
+      LEGO_ASSIGN_OR_RETURN(Relation rel,
+                            ctx.runner->RunSubquery(sub.subquery(), &ctx));
+      if (rel.rows.empty()) return Value::Null();
+      if (rel.rows.size() > 1) {
+        return Status::ExecutionError(
+            "scalar subquery returned more than one row");
+      }
+      if (rel.rows[0].empty()) return Value::Null();
+      return rel.rows[0][0];
+    }
+    case ExprKind::kSessionVar: {
+      LEGO_COV();
+      const auto& sv = static_cast<const sql::SessionVar&>(expr);
+      if (ctx.hooks == nullptr) return Value::Null();
+      return ctx.hooks->GetSessionVar(sv.name());
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace lego::minidb

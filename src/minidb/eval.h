@@ -1,0 +1,80 @@
+#ifndef LEGO_MINIDB_EVAL_H_
+#define LEGO_MINIDB_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "minidb/relation.h"
+#include "minidb/value.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lego::minidb {
+
+class EvalContext;
+
+/// Callback the evaluator uses to run subqueries (EXISTS, IN (SELECT..),
+/// scalar subqueries). Implemented by the executor; the outer context is
+/// passed through so correlated column references resolve.
+class SubqueryRunner {
+ public:
+  virtual ~SubqueryRunner() = default;
+  virtual StatusOr<Relation> RunSubquery(const sql::SelectStmt& stmt,
+                                         const EvalContext* outer) = 0;
+};
+
+/// Callbacks for session-scoped evaluation: @@vars and sequences.
+class EvalHooks {
+ public:
+  virtual ~EvalHooks() = default;
+  virtual Value GetSessionVar(const std::string& name) = 0;
+  virtual StatusOr<int64_t> SequenceNextVal(const std::string& name) = 0;
+  virtual StatusOr<int64_t> SequenceCurrVal(const std::string& name) = 0;
+};
+
+/// Everything needed to evaluate an expression against one row. Contexts
+/// chain via `outer` for correlated subqueries.
+class EvalContext {
+ public:
+  /// Schema that describes `row`'s columns (rows of `rel` are not used).
+  const Relation* rel = nullptr;
+  const Row* row = nullptr;
+  /// Enclosing row context for correlated subqueries (may be null).
+  const EvalContext* outer = nullptr;
+  SubqueryRunner* runner = nullptr;
+  EvalHooks* hooks = nullptr;
+  /// Precomputed values for specific AST nodes — aggregate results and
+  /// window-function outputs are injected here by the executor.
+  const std::map<const sql::Expr*, Value>* node_overrides = nullptr;
+
+  /// Resolves a column reference, walking outward through `outer`.
+  StatusOr<Value> ResolveColumn(const std::string& qualifier,
+                                const std::string& name) const;
+};
+
+/// SQL three-valued boolean.
+enum class Tribool : uint8_t { kFalse, kTrue, kUnknown };
+
+/// The expression evaluator. Stateless; all state flows via EvalContext.
+class Evaluator {
+ public:
+  /// Evaluates `expr` to a value. NULL propagation follows SQL semantics.
+  static StatusOr<Value> Eval(const sql::Expr& expr, const EvalContext& ctx);
+
+  /// Evaluates `expr` as a predicate (NULL -> unknown).
+  static StatusOr<Tribool> EvalPredicate(const sql::Expr& expr,
+                                         const EvalContext& ctx);
+
+  /// SQL LIKE with % and _ wildcards.
+  static bool LikeMatch(const std::string& text, const std::string& pattern);
+
+  /// True if `name` is an aggregate function (COUNT, SUM, ...).
+  static bool IsAggregateFunction(const std::string& name);
+
+  /// True if `name` is a window-capable ranking/navigation function.
+  static bool IsWindowFunction(const std::string& name);
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_EVAL_H_

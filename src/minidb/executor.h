@@ -1,0 +1,141 @@
+#ifndef LEGO_MINIDB_EXECUTOR_H_
+#define LEGO_MINIDB_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+#include "minidb/eval.h"
+#include "minidb/plan.h"
+#include "util/status.h"
+
+namespace lego::minidb {
+
+/// Executes statements against a Database. One Executor lives for the
+/// duration of one top-level statement; it carries CTE bindings, recursion
+/// depth, and the feature set being collected for the fault oracle.
+class Executor : public SubqueryRunner, public EvalHooks {
+ public:
+  /// Maximum trigger/rule/subquery/view nesting before execution aborts.
+  static constexpr int kMaxDepth = 8;
+  /// Per-statement cap on trigger body firings.
+  static constexpr int kMaxTriggerFirings = 16;
+
+  explicit Executor(Database* db) : db_(db) {}
+
+  /// Runs one statement; records fired sub-statement types into the session
+  /// trace and collected features into `features()`.
+  StatusOr<ResultSet> Execute(const sql::Statement& stmt);
+
+  /// Features observed while executing the last statement.
+  const FeatureSet& features() const { return features_; }
+
+  // --- SubqueryRunner ---
+  StatusOr<Relation> RunSubquery(const sql::SelectStmt& stmt,
+                                 const EvalContext* outer) override;
+
+  // --- EvalHooks ---
+  Value GetSessionVar(const std::string& name) override;
+  StatusOr<int64_t> SequenceNextVal(const std::string& name) override;
+  StatusOr<int64_t> SequenceCurrVal(const std::string& name) override;
+
+ private:
+  void SetFeature(ExecFeature f) {
+    features_.set(static_cast<size_t>(f));
+  }
+
+  Status CheckDepth() {
+    if (depth_ > kMaxDepth) {
+      return Status::ExecutionError("statement nesting too deep");
+    }
+    return Status::OK();
+  }
+
+  /// Records a fired sub-statement (rule action / trigger body) type into
+  /// the session trace.
+  void TraceSubStatement(sql::StatementType type);
+
+  /// Privilege check for `table` with the session's current user.
+  Status CheckPrivilege(const std::string& table, PrivMask mask);
+
+  // Statement handlers.
+  StatusOr<ResultSet> ExecCreateTable(const sql::CreateTableStmt& stmt);
+  StatusOr<ResultSet> ExecCreateIndex(const sql::CreateIndexStmt& stmt);
+  StatusOr<ResultSet> ExecCreateView(const sql::CreateViewStmt& stmt);
+  StatusOr<ResultSet> ExecCreateTrigger(const sql::CreateTriggerStmt& stmt);
+  StatusOr<ResultSet> ExecCreateSequence(const sql::CreateSequenceStmt& stmt);
+  StatusOr<ResultSet> ExecCreateRule(const sql::CreateRuleStmt& stmt);
+  StatusOr<ResultSet> ExecDrop(const sql::DropStmt& stmt);
+  StatusOr<ResultSet> ExecAlterTable(const sql::AlterTableStmt& stmt);
+  StatusOr<ResultSet> ExecTruncate(const sql::TruncateStmt& stmt);
+  StatusOr<ResultSet> ExecInsert(const sql::InsertStmt& stmt);
+  StatusOr<ResultSet> ExecUpdate(const sql::UpdateStmt& stmt);
+  StatusOr<ResultSet> ExecDelete(const sql::DeleteStmt& stmt);
+  StatusOr<ResultSet> ExecCopy(const sql::CopyStmt& stmt);
+  StatusOr<ResultSet> ExecSelect(const sql::SelectStmt& stmt);
+  StatusOr<ResultSet> ExecValues(const sql::ValuesStmt& stmt);
+  StatusOr<ResultSet> ExecWith(const sql::WithStmt& stmt);
+  StatusOr<ResultSet> ExecGrant(const sql::GrantStmt& stmt);
+  StatusOr<ResultSet> ExecRevoke(const sql::RevokeStmt& stmt);
+  StatusOr<ResultSet> ExecCreateUser(const sql::CreateUserStmt& stmt);
+  StatusOr<ResultSet> ExecDropUser(const sql::DropUserStmt& stmt);
+  StatusOr<ResultSet> ExecTcl(const sql::Statement& stmt);
+  StatusOr<ResultSet> ExecPragma(const sql::PragmaStmt& stmt);
+  StatusOr<ResultSet> ExecShow(const sql::ShowStmt& stmt);
+  StatusOr<ResultSet> ExecExplain(const sql::ExplainStmt& stmt);
+  StatusOr<ResultSet> ExecMaintenance(const sql::MaintenanceStmt& stmt);
+  StatusOr<ResultSet> ExecNotify(const sql::NotifyStmt& stmt);
+  StatusOr<ResultSet> ExecComment(const sql::CommentStmt& stmt);
+  StatusOr<ResultSet> ExecAlterSystem(const sql::AlterSystemStmt& stmt);
+  StatusOr<ResultSet> ExecDiscard(const sql::DiscardStmt& stmt);
+  StatusOr<ResultSet> ExecCheckpoint();
+
+  // SELECT machinery.
+  StatusOr<Relation> EvalSelect(const sql::SelectStmt& stmt,
+                                const EvalContext* outer);
+  StatusOr<Relation> EvalSelectCore(const sql::SelectCore& core,
+                                    const sql::SelectStmt& stmt,
+                                    bool is_first_core,
+                                    const EvalContext* outer);
+  StatusOr<Relation> MaterializePlan(const PlanNode& node,
+                                     const EvalContext* outer);
+  StatusOr<Relation> NestedLoopJoin(const PlanNode& node, const Relation& left,
+                                    const Relation& right, Relation rel,
+                                    const EvalContext* outer);
+  StatusOr<Relation> ApplyAggregation(const sql::SelectCore& core,
+                                      Relation input,
+                                      const EvalContext* outer);
+  StatusOr<Relation> ApplyProjection(const sql::SelectCore& core,
+                                     const Relation& input,
+                                     const EvalContext* outer);
+  StatusOr<std::vector<std::map<const sql::Expr*, Value>>>
+  ComputeWindowOverrides(const std::vector<const sql::FunctionCall*>& windows,
+                         const Relation& input, const EvalContext* outer);
+  Status ApplyOrderByLimit(const sql::SelectStmt& stmt, Relation* rel,
+                           const EvalContext* outer);
+
+  // DML helpers.
+  StatusOr<Row> BuildInsertRow(const TableInfo& table,
+                               const std::vector<std::string>& columns,
+                               const std::vector<Value>& values);
+  Status CheckConstraints(TableInfo* table, const Row& row,
+                          const RowId* ignore_rid);
+  Status IndexInsert(TableInfo* table, const Row& row, RowId rid);
+  Status IndexErase(TableInfo* table, const Row& row, RowId rid);
+  Status FireTriggers(const std::string& table, sql::TriggerEvent event,
+                      sql::TriggerTiming timing, int64_t affected);
+  /// Runs a rule action / trigger body statement at increased depth.
+  Status RunNested(const sql::Statement& stmt);
+
+  Database* db_;
+  FeatureSet features_;
+  int depth_ = 0;
+  int trigger_firings_ = 0;
+  /// Materialized CTEs visible to the current WITH body (name -> relation).
+  std::map<std::string, Relation> cte_bindings_;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_EXECUTOR_H_

@@ -1,0 +1,93 @@
+#include "minidb/heap_table.h"
+
+namespace lego::minidb {
+
+RowId HeapTable::Insert(Row row) {
+  if (pages_.empty() || pages_.back().rows.size() >= kRowsPerPage) {
+    pages_.emplace_back();
+  }
+  Page& page = pages_.back();
+  // Reuse a tombstoned slot on the tail page first.
+  if (dead_slots_ > 0) {
+    for (size_t i = 0; i < page.rows.size(); ++i) {
+      if (!page.live[i]) {
+        page.rows[i] = std::move(row);
+        page.live[i] = 1;
+        ++live_rows_;
+        --dead_slots_;
+        return RowId{static_cast<uint32_t>(pages_.size() - 1),
+                     static_cast<uint32_t>(i)};
+      }
+    }
+  }
+  page.rows.push_back(std::move(row));
+  page.live.push_back(1);
+  ++live_rows_;
+  return RowId{static_cast<uint32_t>(pages_.size() - 1),
+               static_cast<uint32_t>(page.rows.size() - 1)};
+}
+
+bool HeapTable::Delete(RowId id) {
+  if (id.page >= pages_.size()) return false;
+  Page& page = pages_[id.page];
+  if (id.slot >= page.rows.size() || !page.live[id.slot]) return false;
+  page.live[id.slot] = 0;
+  page.rows[id.slot].clear();
+  --live_rows_;
+  ++dead_slots_;
+  return true;
+}
+
+bool HeapTable::Update(RowId id, Row row) {
+  if (id.page >= pages_.size()) return false;
+  Page& page = pages_[id.page];
+  if (id.slot >= page.rows.size() || !page.live[id.slot]) return false;
+  page.rows[id.slot] = std::move(row);
+  return true;
+}
+
+const Row* HeapTable::Get(RowId id) const {
+  if (id.page >= pages_.size()) return nullptr;
+  const Page& page = pages_[id.page];
+  if (id.slot >= page.rows.size() || !page.live[id.slot]) return nullptr;
+  return &page.rows[id.slot];
+}
+
+void HeapTable::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    const Page& page = pages_[p];
+    for (uint32_t s = 0; s < page.rows.size(); ++s) {
+      if (!page.live[s]) continue;
+      if (!fn(RowId{p, s}, page.rows[s])) return;
+    }
+  }
+}
+
+double HeapTable::DeadFraction() const {
+  size_t total = live_rows_ + dead_slots_;
+  return total == 0 ? 0.0 : static_cast<double>(dead_slots_) / total;
+}
+
+void HeapTable::Vacuum() {
+  std::vector<Page> compacted;
+  for (Page& page : pages_) {
+    for (size_t i = 0; i < page.rows.size(); ++i) {
+      if (!page.live[i]) continue;
+      if (compacted.empty() || compacted.back().rows.size() >= kRowsPerPage) {
+        compacted.emplace_back();
+      }
+      compacted.back().rows.push_back(std::move(page.rows[i]));
+      compacted.back().live.push_back(1);
+    }
+  }
+  pages_ = std::move(compacted);
+  dead_slots_ = 0;
+}
+
+void HeapTable::Clear() {
+  pages_.clear();
+  live_rows_ = 0;
+  dead_slots_ = 0;
+}
+
+}  // namespace lego::minidb

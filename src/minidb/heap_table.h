@@ -1,0 +1,73 @@
+#ifndef LEGO_MINIDB_HEAP_TABLE_H_
+#define LEGO_MINIDB_HEAP_TABLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "minidb/row.h"
+
+namespace lego::minidb {
+
+/// Page-structured row store. Rows live in fixed-capacity pages with a
+/// per-slot liveness bit; deletes tombstone slots and VACUUM compacts pages.
+/// The structure deliberately mirrors a slotted-page heap so scans, row ids,
+/// and vacuum behave like a real engine's.
+class HeapTable {
+ public:
+  static constexpr uint32_t kRowsPerPage = 64;
+
+  HeapTable() = default;
+
+  /// Deep copy (used by snapshot-based transactions).
+  HeapTable(const HeapTable&) = default;
+  HeapTable& operator=(const HeapTable&) = default;
+  HeapTable(HeapTable&&) = default;
+  HeapTable& operator=(HeapTable&&) = default;
+
+  /// Appends `row`, reusing a tombstoned slot if one exists on the last
+  /// page; returns its location.
+  RowId Insert(Row row);
+
+  /// Tombstones the slot. Returns false if already dead or out of range.
+  bool Delete(RowId id);
+
+  /// Replaces the row in place. Returns false if the slot is dead.
+  bool Update(RowId id, Row row);
+
+  /// Fetches a live row; returns nullptr for dead/out-of-range slots.
+  const Row* Get(RowId id) const;
+
+  /// Invokes `fn(id, row)` for every live row in physical order; stops early
+  /// if fn returns false.
+  void Scan(const std::function<bool(RowId, const Row&)>& fn) const;
+
+  /// Number of live rows.
+  size_t LiveRowCount() const { return live_rows_; }
+
+  /// Number of allocated pages.
+  size_t PageCount() const { return pages_.size(); }
+
+  /// Fraction of allocated slots that are dead (0 when empty).
+  double DeadFraction() const;
+
+  /// Compacts pages, dropping tombstones. Invalidates all RowIds; the caller
+  /// must rebuild indexes afterwards.
+  void Vacuum();
+
+  /// Drops all rows and pages.
+  void Clear();
+
+ private:
+  struct Page {
+    std::vector<Row> rows;        // size == live.size()
+    std::vector<uint8_t> live;    // 1 = live, 0 = tombstone
+  };
+
+  std::vector<Page> pages_;
+  size_t live_rows_ = 0;
+  size_t dead_slots_ = 0;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_HEAP_TABLE_H_

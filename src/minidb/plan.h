@@ -1,0 +1,73 @@
+#ifndef LEGO_MINIDB_PLAN_H_
+#define LEGO_MINIDB_PLAN_H_
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace lego::minidb {
+
+/// How a base table is read.
+enum class ScanMethod : uint8_t { kSeqScan, kIndexEqual, kIndexRange };
+
+/// Join algorithm chosen by the planner.
+enum class JoinStrategy : uint8_t { kNestedLoop, kHashJoin };
+
+/// One node of the FROM-clause access plan. Raw pointers reference the
+/// statement's AST and live only for the duration of statement execution.
+struct PlanNode {
+  enum class Kind : uint8_t { kScan, kJoin, kSubquery, kView, kCte };
+
+  Kind kind = Kind::kScan;
+
+  // --- kScan ---
+  std::string table;
+  std::string alias;  // exposure name ("" = table name)
+  ScanMethod method = ScanMethod::kSeqScan;
+  std::string index_name;
+  const sql::Expr* eq_probe = nullptr;    // kIndexEqual probe value
+  const sql::Expr* range_lo = nullptr;    // kIndexRange bounds (may be null)
+  bool lo_inclusive = true;
+  const sql::Expr* range_hi = nullptr;
+  bool hi_inclusive = true;
+
+  // --- kJoin ---
+  JoinStrategy strategy = JoinStrategy::kNestedLoop;
+  sql::JoinType join_type = sql::JoinType::kInner;
+  const sql::Expr* join_on = nullptr;       // full ON predicate (may be null)
+  const sql::Expr* hash_left_key = nullptr; // equi-key evaluated on left rows
+  const sql::Expr* hash_right_key = nullptr;
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  // --- kSubquery / kView / kCte ---
+  const sql::SelectStmt* subselect = nullptr;  // kSubquery, kView
+  std::string cte_name;                        // kCte
+
+  /// Human-readable plan line(s), two-space indented per level; used by
+  /// EXPLAIN.
+  void Describe(int indent, std::string* out) const;
+};
+
+/// Access + shape summary for one SELECT. Shape flags drive both execution
+/// and EXPLAIN output.
+struct SelectPlan {
+  std::unique_ptr<PlanNode> from;  // null when the SELECT has no FROM
+  const sql::Expr* filter = nullptr;
+  bool has_aggregate = false;
+  bool has_group_by = false;
+  bool has_having = false;
+  bool distinct = false;
+  bool has_order_by = false;
+  bool has_limit = false;
+  bool has_window = false;
+  bool has_compound = false;
+
+  /// Multi-line EXPLAIN rendering.
+  std::string Describe() const;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_PLAN_H_

@@ -1,0 +1,328 @@
+#include "minidb/planner.h"
+
+#include <vector>
+
+#include "coverage/coverage.h"
+
+namespace lego::minidb {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+/// True when `expr` can be evaluated with no row context (literals and
+/// arithmetic over them) — usable as an index probe.
+bool IsConstExpr(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kUnary:
+      return IsConstExpr(static_cast<const sql::UnaryExpr&>(expr).operand());
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+      return IsConstExpr(bin.lhs()) && IsConstExpr(bin.rhs());
+    }
+    case ExprKind::kCast:
+      return IsConstExpr(static_cast<const sql::CastExpr&>(expr).operand());
+    default:
+      return false;
+  }
+}
+
+/// Splits an AND chain into conjuncts.
+void CollectConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+    if (bin.op() == BinaryOp::kAnd) {
+      CollectConjuncts(bin.lhs(), out);
+      CollectConjuncts(bin.rhs(), out);
+      return;
+    }
+  }
+  out->push_back(&expr);
+}
+
+/// If `expr` is `<col> <cmp> <const>` (either side), fills the out params and
+/// returns true. `op` is normalized so the column is on the left.
+bool MatchColumnComparison(const Expr& expr, const sql::ColumnRef** col,
+                           const Expr** constant, BinaryOp* op) {
+  if (expr.kind() != ExprKind::kBinary) return false;
+  const auto& bin = static_cast<const sql::BinaryExpr&>(expr);
+  BinaryOp o = bin.op();
+  if (o != BinaryOp::kEq && o != BinaryOp::kLt && o != BinaryOp::kLe &&
+      o != BinaryOp::kGt && o != BinaryOp::kGe) {
+    return false;
+  }
+  auto mirror = [](BinaryOp x) {
+    switch (x) {
+      case BinaryOp::kLt: return BinaryOp::kGt;
+      case BinaryOp::kLe: return BinaryOp::kGe;
+      case BinaryOp::kGt: return BinaryOp::kLt;
+      case BinaryOp::kGe: return BinaryOp::kLe;
+      default: return x;
+    }
+  };
+  if (bin.lhs().kind() == ExprKind::kColumnRef && IsConstExpr(bin.rhs())) {
+    *col = static_cast<const sql::ColumnRef*>(&bin.lhs());
+    *constant = &bin.rhs();
+    *op = o;
+    return true;
+  }
+  if (bin.rhs().kind() == ExprKind::kColumnRef && IsConstExpr(bin.lhs())) {
+    *col = static_cast<const sql::ColumnRef*>(&bin.rhs());
+    *constant = &bin.lhs();
+    *op = mirror(o);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<SelectPlan> Planner::PlanCore(const sql::SelectCore& core) const {
+  SelectPlan plan;
+  if (core.from != nullptr) {
+    LEGO_ASSIGN_OR_RETURN(plan.from,
+                          PlanTableRef(*core.from, core.where.get()));
+  }
+  plan.filter = core.where.get();
+  plan.has_group_by = !core.group_by.empty();
+  plan.has_having = core.having != nullptr;
+  plan.distinct = core.distinct;
+  return plan;
+}
+
+StatusOr<SelectPlan> Planner::PlanSelect(const sql::SelectStmt& stmt) const {
+  LEGO_ASSIGN_OR_RETURN(SelectPlan plan, PlanCore(stmt.core));
+  plan.has_order_by = !stmt.order_by.empty();
+  plan.has_limit = stmt.limit != nullptr || stmt.offset != nullptr;
+  plan.has_compound = !stmt.compounds.empty();
+  return plan;
+}
+
+StatusOr<std::unique_ptr<PlanNode>> Planner::PlanTableRef(
+    const sql::TableRef& ref, const sql::Expr* where) const {
+  switch (ref.kind()) {
+    case sql::TableRefKind::kBaseTable: {
+      const auto& base = static_cast<const sql::BaseTableRef&>(ref);
+      auto node = std::make_unique<PlanNode>();
+      node->table = base.name();
+      node->alias = base.alias().empty() ? base.name() : base.alias();
+      if (ctes_ != nullptr && ctes_->count(base.name())) {
+        LEGO_COV();
+        node->kind = PlanNode::Kind::kCte;
+        node->cte_name = base.name();
+        return node;
+      }
+      if (const ViewInfo* view = catalog_->GetView(base.name())) {
+        LEGO_COV();
+        node->kind = PlanNode::Kind::kView;
+        node->subselect = view->select.get();
+        return node;
+      }
+      if (!catalog_->HasTable(base.name())) {
+        return StatusOr<std::unique_ptr<PlanNode>>(Status::NotFound(
+            "relation '" + base.name() + "' does not exist"));
+      }
+      node->kind = PlanNode::Kind::kScan;
+      node->method = ScanMethod::kSeqScan;
+      ChooseAccessPath(node.get(), where);
+      return node;
+    }
+    case sql::TableRefKind::kSubquery: {
+      LEGO_COV();
+      const auto& sub = static_cast<const sql::SubqueryRef&>(ref);
+      auto node = std::make_unique<PlanNode>();
+      node->kind = PlanNode::Kind::kSubquery;
+      node->alias = sub.alias();
+      node->subselect = &sub.select();
+      return node;
+    }
+    case sql::TableRefKind::kJoin: {
+      const auto& join = static_cast<const sql::JoinRef&>(ref);
+      auto node = std::make_unique<PlanNode>();
+      node->kind = PlanNode::Kind::kJoin;
+      node->join_type = join.join_type();
+      node->join_on = join.on();
+      LEGO_ASSIGN_OR_RETURN(node->left, PlanTableRef(join.left(), where));
+      LEGO_ASSIGN_OR_RETURN(node->right, PlanTableRef(join.right(), where));
+
+      // Strategy: hash join for equi-joins over column refs when both
+      // inputs clear the size threshold; LEFT joins hash too (null-padding
+      // handled by the executor); CROSS joins always nest.
+      node->strategy = JoinStrategy::kNestedLoop;
+      if (join.on() != nullptr &&
+          join.on()->kind() == ExprKind::kBinary) {
+        const auto& on = static_cast<const sql::BinaryExpr&>(*join.on());
+        if (on.op() == BinaryOp::kEq &&
+            on.lhs().kind() == ExprKind::kColumnRef &&
+            on.rhs().kind() == ExprKind::kColumnRef) {
+          int64_t lrows = EstimateRows(*node->left);
+          int64_t rrows = EstimateRows(*node->right);
+          if (lrows >= kHashJoinThreshold && rrows >= kHashJoinThreshold) {
+            LEGO_COV();
+            node->strategy = JoinStrategy::kHashJoin;
+            node->hash_left_key = &on.lhs();
+            node->hash_right_key = &on.rhs();
+          } else {
+            LEGO_COV();
+          }
+        }
+      }
+      return node;
+    }
+  }
+  return StatusOr<std::unique_ptr<PlanNode>>(
+      Status::Internal("unknown table ref kind"));
+}
+
+void Planner::ChooseAccessPath(PlanNode* node, const sql::Expr* where) const {
+  if (where == nullptr) return;
+  auto table = catalog_->GetTable(node->table);
+  if (!table.ok()) return;
+
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*where, &conjuncts);
+
+  auto indexes = const_cast<Catalog*>(catalog_)->IndexesOf(node->table);
+  if (indexes.empty()) return;
+
+  // Prefer equality probes; fall back to a single range bound.
+  for (const Expr* conjunct : conjuncts) {
+    const sql::ColumnRef* col = nullptr;
+    const Expr* constant = nullptr;
+    BinaryOp op;
+    if (!MatchColumnComparison(*conjunct, &col, &constant, &op)) continue;
+    // Qualified references must name this scan's exposure alias or table.
+    if (!col->table().empty() && col->table() != node->alias &&
+        col->table() != node->table) {
+      continue;
+    }
+    for (const IndexInfo* index : indexes) {
+      if (index->columns.empty() || index->columns[0] != col->column()) {
+        continue;
+      }
+      if (op == BinaryOp::kEq) {
+        LEGO_COV();
+        node->method = ScanMethod::kIndexEqual;
+        node->index_name = index->name;
+        node->eq_probe = constant;
+        return;  // equality probe wins outright
+      }
+      if (node->method != ScanMethod::kSeqScan) continue;
+      LEGO_COV();
+      node->method = ScanMethod::kIndexRange;
+      node->index_name = index->name;
+      if (op == BinaryOp::kGt || op == BinaryOp::kGe) {
+        node->range_lo = constant;
+        node->lo_inclusive = (op == BinaryOp::kGe);
+      } else {
+        node->range_hi = constant;
+        node->hi_inclusive = (op == BinaryOp::kLe);
+      }
+      // Keep scanning conjuncts: a matching equality may still upgrade us,
+      // or the opposite bound may tighten the range.
+    }
+  }
+}
+
+int64_t Planner::EstimateRows(const PlanNode& node) const {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan: {
+      auto table = catalog_->GetTable(node.table);
+      if (!table.ok()) return 0;
+      if ((*table)->analyzed_row_count >= 0) {
+        LEGO_COV();
+        return (*table)->analyzed_row_count;
+      }
+      return static_cast<int64_t>((*table)->heap.LiveRowCount());
+    }
+    case PlanNode::Kind::kCte: {
+      auto it = ctes_->find(node.cte_name);
+      return it == ctes_->end()
+                 ? 0
+                 : static_cast<int64_t>(it->second.rows.size());
+    }
+    case PlanNode::Kind::kJoin: {
+      int64_t l = EstimateRows(*node.left);
+      int64_t r = EstimateRows(*node.right);
+      return l > (INT64_MAX / (r > 0 ? r : 1)) ? INT64_MAX : l * std::max<int64_t>(r, 1);
+    }
+    default:
+      // Subqueries/views: assume big enough to hash.
+      return kHashJoinThreshold;
+  }
+}
+
+// --------------------------- plan description ------------------------------
+
+void PlanNode::Describe(int indent, std::string* out) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case Kind::kScan:
+      *out += pad;
+      switch (method) {
+        case ScanMethod::kSeqScan:
+          *out += "SeqScan on " + table;
+          break;
+        case ScanMethod::kIndexEqual:
+          *out += "IndexScan (eq) on " + table + " using " + index_name;
+          break;
+        case ScanMethod::kIndexRange:
+          *out += "IndexScan (range) on " + table + " using " + index_name;
+          break;
+      }
+      if (alias != table) *out += " as " + alias;
+      *out += "\n";
+      break;
+    case Kind::kJoin:
+      *out += pad;
+      *out += (strategy == JoinStrategy::kHashJoin) ? "HashJoin" : "NestedLoopJoin";
+      switch (join_type) {
+        case sql::JoinType::kInner: *out += " (inner)"; break;
+        case sql::JoinType::kLeft: *out += " (left)"; break;
+        case sql::JoinType::kCross: *out += " (cross)"; break;
+      }
+      *out += "\n";
+      left->Describe(indent + 1, out);
+      right->Describe(indent + 1, out);
+      break;
+    case Kind::kSubquery:
+      *out += pad + "SubqueryScan as " + alias + "\n";
+      break;
+    case Kind::kView:
+      *out += pad + "ViewScan " + table + "\n";
+      break;
+    case Kind::kCte:
+      *out += pad + "CteScan " + cte_name + "\n";
+      break;
+  }
+}
+
+std::string SelectPlan::Describe() const {
+  std::string out;
+  int indent = 0;
+  auto emit = [&](const std::string& line) {
+    out += std::string(static_cast<size_t>(indent) * 2, ' ') + line + "\n";
+    ++indent;
+  };
+  if (has_limit) emit("Limit");
+  if (has_order_by) emit("Sort");
+  if (distinct) emit("Distinct");
+  if (has_compound) emit("SetOp");
+  if (has_window) emit("Window");
+  if (has_aggregate || has_group_by) {
+    emit(has_group_by ? "HashAggregate" : "Aggregate");
+  }
+  if (filter != nullptr) emit("Filter");
+  if (from != nullptr) {
+    from->Describe(indent, &out);
+  } else {
+    out += std::string(static_cast<size_t>(indent) * 2, ' ') + "Result\n";
+  }
+  return out;
+}
+
+}  // namespace lego::minidb

@@ -1,0 +1,56 @@
+#ifndef LEGO_MINIDB_PLANNER_H_
+#define LEGO_MINIDB_PLANNER_H_
+
+#include <map>
+#include <string>
+
+#include "minidb/catalog.h"
+#include "minidb/plan.h"
+#include "minidb/profile.h"
+#include "minidb/relation.h"
+#include "util/status.h"
+
+namespace lego::minidb {
+
+/// Rule-based planner: picks an access path for each base table (index
+/// equality, index range, else sequential scan) and a join strategy
+/// (hash join for equi-joins over inputs past a size threshold, nested loop
+/// otherwise). Statistics recorded by ANALYZE refine the size estimates.
+class Planner {
+ public:
+  /// Both sides become hash-join candidates at or above this many rows.
+  static constexpr int64_t kHashJoinThreshold = 4;
+
+  Planner(const Catalog* catalog, const DialectProfile* profile,
+          const std::map<std::string, Relation>* cte_bindings)
+      : catalog_(catalog), profile_(profile), ctes_(cte_bindings) {}
+
+  /// Plans the first core of `stmt` (compound arms are planned separately by
+  /// the executor when it evaluates them).
+  StatusOr<SelectPlan> PlanSelect(const sql::SelectStmt& stmt) const;
+
+  /// Plans one SELECT core's FROM + WHERE access paths. The returned plan
+  /// holds raw pointers into `core`'s AST, which must outlive it.
+  StatusOr<SelectPlan> PlanCore(const sql::SelectCore& core) const;
+
+ private:
+  StatusOr<std::unique_ptr<PlanNode>> PlanTableRef(
+      const sql::TableRef& ref, const sql::Expr* where) const;
+
+  /// Attempts to upgrade a seq scan of `node` to an index scan using `where`
+  /// conjuncts of the form <col> = <const> or <col> </>/<=/>= <const>.
+  void ChooseAccessPath(PlanNode* node, const sql::Expr* where) const;
+
+  /// Estimated row count of a plan input (live heap count, overridden by
+  /// ANALYZE stats where available). Non-base inputs estimate high so
+  /// subquery joins prefer hashing.
+  int64_t EstimateRows(const PlanNode& node) const;
+
+  const Catalog* catalog_;
+  const DialectProfile* profile_;
+  const std::map<std::string, Relation>* ctes_;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_PLANNER_H_

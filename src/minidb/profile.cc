@@ -1,0 +1,125 @@
+#include "minidb/profile.h"
+
+namespace lego::minidb {
+
+namespace {
+
+using sql::StatementType;
+
+std::bitset<sql::kNumStatementTypes> MakeMask(
+    const std::vector<StatementType>& types) {
+  std::bitset<sql::kNumStatementTypes> mask;
+  for (StatementType t : types) mask.set(static_cast<size_t>(t));
+  return mask;
+}
+
+std::bitset<sql::kNumStatementTypes> AllMask() {
+  std::bitset<sql::kNumStatementTypes> mask;
+  mask.set();
+  return mask;
+}
+
+DialectProfile MakePgLite() {
+  DialectProfile p;
+  p.name = "pglite";
+  p.enabled = AllMask();
+  return p;
+}
+
+DialectProfile MakeMyLite() {
+  DialectProfile p;
+  p.name = "mylite";
+  p.enabled = AllMask();
+  // MySQL flavor: no PostgreSQL rewrite rules, no NOTIFY/LISTEN, no COPY.
+  p.enabled.reset(static_cast<size_t>(StatementType::kCreateRule));
+  p.enabled.reset(static_cast<size_t>(StatementType::kDropRule));
+  p.enabled.reset(static_cast<size_t>(StatementType::kNotify));
+  p.enabled.reset(static_cast<size_t>(StatementType::kListen));
+  p.enabled.reset(static_cast<size_t>(StatementType::kUnlisten));
+  p.enabled.reset(static_cast<size_t>(StatementType::kCopy));
+  p.supports_rules = false;
+  p.supports_notify = false;
+  p.supports_copy = false;
+  return p;
+}
+
+DialectProfile MakeMariaLite() {
+  DialectProfile p = MakeMyLite();
+  p.name = "marialite";
+  // MariaDB flavor keeps a COPY-style export statement.
+  p.enabled.set(static_cast<size_t>(StatementType::kCopy));
+  p.supports_copy = true;
+  return p;
+}
+
+DialectProfile MakeComdLite() {
+  DialectProfile p;
+  p.name = "comdlite";
+  p.enabled = MakeMask({
+      StatementType::kCreateTable, StatementType::kCreateIndex,
+      StatementType::kCreateView, StatementType::kCreateTrigger,
+      StatementType::kDropTable, StatementType::kDropIndex,
+      StatementType::kDropView, StatementType::kDropTrigger,
+      StatementType::kAlterTable, StatementType::kTruncate,
+      StatementType::kInsert, StatementType::kUpdate, StatementType::kDelete,
+      StatementType::kReplace, StatementType::kSelect, StatementType::kValues,
+      StatementType::kWith, StatementType::kBegin, StatementType::kCommit,
+      StatementType::kRollback, StatementType::kSavepoint,
+      StatementType::kSet, StatementType::kExplain, StatementType::kAnalyze,
+  });
+  p.supports_window_functions = false;
+  p.supports_rules = false;
+  p.supports_notify = false;
+  p.supports_copy = false;
+  p.supports_set_operations = true;
+  return p;
+}
+
+}  // namespace
+
+std::vector<sql::StatementType> DialectProfile::EnabledTypes() const {
+  std::vector<sql::StatementType> out;
+  for (int i = 0; i < sql::kNumStatementTypes; ++i) {
+    if (enabled.test(static_cast<size_t>(i))) {
+      out.push_back(static_cast<sql::StatementType>(i));
+    }
+  }
+  return out;
+}
+
+const DialectProfile& DialectProfile::PgLite() {
+  static const DialectProfile* kProfile = new DialectProfile(MakePgLite());
+  return *kProfile;
+}
+
+const DialectProfile& DialectProfile::MyLite() {
+  static const DialectProfile* kProfile = new DialectProfile(MakeMyLite());
+  return *kProfile;
+}
+
+const DialectProfile& DialectProfile::MariaLite() {
+  static const DialectProfile* kProfile = new DialectProfile(MakeMariaLite());
+  return *kProfile;
+}
+
+const DialectProfile& DialectProfile::ComdLite() {
+  static const DialectProfile* kProfile = new DialectProfile(MakeComdLite());
+  return *kProfile;
+}
+
+const DialectProfile* DialectProfile::ByName(const std::string& name) {
+  if (name == "pglite") return &PgLite();
+  if (name == "mylite") return &MyLite();
+  if (name == "marialite") return &MariaLite();
+  if (name == "comdlite") return &ComdLite();
+  return nullptr;
+}
+
+const std::vector<const DialectProfile*>& DialectProfile::All() {
+  static const std::vector<const DialectProfile*>* kAll =
+      new std::vector<const DialectProfile*>{&PgLite(), &MyLite(),
+                                             &MariaLite(), &ComdLite()};
+  return *kAll;
+}
+
+}  // namespace lego::minidb

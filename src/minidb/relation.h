@@ -1,0 +1,44 @@
+#ifndef LEGO_MINIDB_RELATION_H_
+#define LEGO_MINIDB_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "minidb/row.h"
+
+namespace lego::minidb {
+
+/// One output column of an intermediate or final relation.
+struct RelColumn {
+  std::string qualifier;  // table alias or "", e.g. "t1"
+  std::string name;       // column or alias, e.g. "v2"
+};
+
+/// A materialized relation: schema plus rows. All executor operators consume
+/// and produce Relations.
+struct Relation {
+  std::vector<RelColumn> columns;
+  std::vector<Row> rows;
+
+  /// Resolves `name` (optionally qualified). Returns the column index, or -1
+  /// if absent; sets *ambiguous when more than one column matches.
+  int FindColumn(const std::string& qualifier, const std::string& name,
+                 bool* ambiguous) const {
+    int found = -1;
+    if (ambiguous != nullptr) *ambiguous = false;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name != name) continue;
+      if (!qualifier.empty() && columns[i].qualifier != qualifier) continue;
+      if (found >= 0) {
+        if (ambiguous != nullptr) *ambiguous = true;
+        return found;
+      }
+      found = static_cast<int>(i);
+    }
+    return found;
+  }
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_RELATION_H_

@@ -1,0 +1,29 @@
+#ifndef LEGO_MINIDB_ROW_H_
+#define LEGO_MINIDB_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minidb/value.h"
+
+namespace lego::minidb {
+
+/// One tuple.
+using Row = std::vector<Value>;
+
+/// Physical row location inside a HeapTable: (page, slot).
+struct RowId {
+  uint32_t page = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const RowId& o) const {
+    return page == o.page && slot == o.slot;
+  }
+  bool operator<(const RowId& o) const {
+    return page != o.page ? page < o.page : slot < o.slot;
+  }
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_ROW_H_

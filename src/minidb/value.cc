@@ -1,0 +1,178 @@
+#include "minidb/value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/hash.h"
+
+namespace lego::minidb {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kReal: return "REAL";
+    case ValueType::kText: return "TEXT";
+    case ValueType::kBool: return "BOOL";
+  }
+  return "?";
+}
+
+ValueType FromSqlType(sql::SqlType t) {
+  switch (t) {
+    case sql::SqlType::kInt: return ValueType::kInt;
+    case sql::SqlType::kReal: return ValueType::kReal;
+    case sql::SqlType::kText: return ValueType::kText;
+    case sql::SqlType::kBool: return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+Value Value::FromLiteral(const sql::Literal& lit) {
+  switch (lit.tag()) {
+    case sql::Literal::Tag::kNull: return Null();
+    case sql::Literal::Tag::kInt: return Int(lit.int_value());
+    case sql::Literal::Tag::kReal: return Real(lit.real_value());
+    case sql::Literal::Tag::kText: return Text(lit.text_value());
+    case sql::Literal::Tag::kBool: return Bool(lit.bool_value());
+  }
+  return Null();
+}
+
+double Value::AsReal() const {
+  switch (type_) {
+    case ValueType::kNull: return 0.0;
+    case ValueType::kInt: return static_cast<double>(int_);
+    case ValueType::kReal: return real_;
+    case ValueType::kText: return std::strtod(text_.c_str(), nullptr);
+    case ValueType::kBool: return bool_ ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+int64_t Value::AsInt() const {
+  if (type_ == ValueType::kInt) return int_;
+  double d = AsReal();
+  if (std::isnan(d)) return 0;
+  if (d >= 9.2233720368547758e18) return INT64_MAX;
+  if (d <= -9.2233720368547758e18) return INT64_MIN;
+  return static_cast<int64_t>(d);
+}
+
+bool Value::AsBool() const {
+  switch (type_) {
+    case ValueType::kNull: return false;
+    case ValueType::kInt: return int_ != 0;
+    case ValueType::kReal: return real_ != 0.0;
+    case ValueType::kText: return !text_.empty() && text_ != "0";
+    case ValueType::kBool: return bool_;
+  }
+  return false;
+}
+
+std::string Value::ToText() const {
+  switch (type_) {
+    case ValueType::kNull: return "";
+    case ValueType::kInt: return std::to_string(int_);
+    case ValueType::kReal: {
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%g", real_);
+      return buf;
+    }
+    case ValueType::kText: return text_;
+    case ValueType::kBool: return bool_ ? "true" : "false";
+  }
+  return "";
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kText: return "'" + text_ + "'";
+    default: return ToText();
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull: return 0;
+      case ValueType::kBool: return 1;
+      case ValueType::kInt:
+      case ValueType::kReal: return 2;
+      case ValueType::kText: return 3;
+    }
+    return 4;
+  };
+  int ra = rank(type_);
+  int rb = rank(other.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type_) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool ob = other.bool_;
+      if (bool_ == ob) return 0;
+      return bool_ ? 1 : -1;
+    }
+    case ValueType::kInt:
+    case ValueType::kReal: {
+      if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
+        if (int_ == other.int_) return 0;
+        return int_ < other.int_ ? -1 : 1;
+      }
+      double a = AsReal();
+      double b = other.AsReal();
+      if (std::isnan(a) && std::isnan(b)) return 0;
+      if (std::isnan(a)) return -1;
+      if (std::isnan(b)) return 1;
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+    case ValueType::kText: {
+      int c = text_.compare(other.text_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x6e756c6cULL;
+    case ValueType::kBool:
+      return HashMix(0x626f6f6cULL, bool_ ? 1 : 0);
+    case ValueType::kInt:
+      return HashMix(0x6e756dULL, static_cast<uint64_t>(
+                                      static_cast<double>(int_) == 0.0
+                                          ? 0
+                                          : std::llround(AsReal() * 1024.0)));
+    case ValueType::kReal:
+      return HashMix(0x6e756dULL,
+                     static_cast<uint64_t>(
+                         real_ == 0.0 ? 0 : std::llround(real_ * 1024.0)));
+    case ValueType::kText:
+      return Fnv1a64(text_);
+  }
+  return 0;
+}
+
+Value Value::CastTo(ValueType target) const {
+  if (is_null()) return Null();
+  switch (target) {
+    case ValueType::kNull:
+      return Null();
+    case ValueType::kInt:
+      return Int(AsInt());
+    case ValueType::kReal:
+      return Real(AsReal());
+    case ValueType::kText:
+      return Text(ToText());
+    case ValueType::kBool:
+      return Bool(AsBool());
+  }
+  return Null();
+}
+
+}  // namespace lego::minidb

@@ -1,0 +1,104 @@
+#ifndef LEGO_MINIDB_VALUE_H_
+#define LEGO_MINIDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace lego::minidb {
+
+/// Runtime value type tags.
+enum class ValueType : uint8_t { kNull, kInt, kReal, kText, kBool };
+
+/// Display name, e.g. "INT".
+std::string_view ValueTypeName(ValueType t);
+
+/// Maps a declared SQL column type to its runtime value type.
+ValueType FromSqlType(sql::SqlType t);
+
+/// A runtime SQL value: NULL, 64-bit integer, double, text, or boolean.
+/// Values are cheap to copy (small strings dominate fuzzing workloads).
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value x;
+    x.type_ = ValueType::kInt;
+    x.int_ = v;
+    return x;
+  }
+  static Value Real(double v) {
+    Value x;
+    x.type_ = ValueType::kReal;
+    x.real_ = v;
+    return x;
+  }
+  static Value Text(std::string v) {
+    Value x;
+    x.type_ = ValueType::kText;
+    x.text_ = std::move(v);
+    return x;
+  }
+  static Value Bool(bool v) {
+    Value x;
+    x.type_ = ValueType::kBool;
+    x.bool_ = v;
+    return x;
+  }
+
+  /// Converts a parsed literal into a runtime value.
+  static Value FromLiteral(const sql::Literal& lit);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  int64_t int_value() const { return int_; }
+  double real_value() const { return real_; }
+  const std::string& text_value() const { return text_; }
+  bool bool_value() const { return bool_; }
+
+  /// Numeric view: INT/REAL/BOOL as double; TEXT parsed leniently (leading
+  /// numeric prefix, else 0); NULL is 0. Mirrors weak-typing engines.
+  double AsReal() const;
+
+  /// Integer view (AsReal truncated toward zero).
+  int64_t AsInt() const;
+
+  /// SQL three-valued truthiness: NULL is unknown (caller handles); nonzero
+  /// numbers and "true"-ish text are true.
+  bool AsBool() const;
+
+  /// Text rendering used by COPY/result output ("" for NULL).
+  std::string ToText() const;
+
+  /// Diagnostic rendering (NULL prints as "NULL", text quoted).
+  std::string ToString() const;
+
+  /// Total order over all values, for index keys and ORDER BY:
+  /// NULL < BOOL < numeric (INT/REAL compared numerically) < TEXT.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// SQL equality for DISTINCT/GROUP BY key purposes (NULLs equal).
+  bool KeyEquals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Hash consistent with KeyEquals.
+  uint64_t Hash() const;
+
+  /// Casts to `target`; lenient like SQLite (never fails, NULL stays NULL).
+  Value CastTo(ValueType target) const;
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double real_ = 0.0;
+  std::string text_;
+  bool bool_ = false;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_VALUE_H_

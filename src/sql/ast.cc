@@ -1,0 +1,1148 @@
+#include "sql/ast.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace lego::sql {
+
+namespace {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+void PrintRealLiteral(double v, std::string* out) {
+  if (std::isnan(v)) {
+    *out += "0.0";
+    return;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  // Ensure the literal re-lexes as a float, not an integer.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos) {
+    s += ".0";
+  }
+  *out += s;
+}
+
+const char* TriggerEventName(TriggerEvent e) {
+  switch (e) {
+    case TriggerEvent::kInsert: return "INSERT";
+    case TriggerEvent::kUpdate: return "UPDATE";
+    case TriggerEvent::kDelete: return "DELETE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view SqlTypeName(SqlType t) {
+  switch (t) {
+    case SqlType::kInt: return "INT";
+    case SqlType::kReal: return "REAL";
+    case SqlType::kText: return "TEXT";
+    case SqlType::kBool: return "BOOL";
+  }
+  return "?";
+}
+
+std::string_view PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kSelect: return "SELECT";
+    case Privilege::kInsert: return "INSERT";
+    case Privilege::kUpdate: return "UPDATE";
+    case Privilege::kDelete: return "DELETE";
+    case Privilege::kAll: return "ALL";
+  }
+  return "?";
+}
+
+std::string ToSql(const Statement& stmt) {
+  std::string out;
+  stmt.PrintTo(&out);
+  return out;
+}
+
+std::string ToSql(const Expr& expr) {
+  std::string out;
+  expr.PrintTo(&out);
+  return out;
+}
+
+// --------------------------- Expressions -----------------------------------
+
+ExprPtr Literal::Clone() const {
+  auto e = std::make_unique<Literal>();
+  e->tag_ = tag_;
+  e->int_ = int_;
+  e->real_ = real_;
+  e->text_ = text_;
+  e->bool_ = bool_;
+  return e;
+}
+
+void Literal::PrintTo(std::string* out) const {
+  switch (tag_) {
+    case Tag::kNull: *out += "NULL"; break;
+    case Tag::kInt: *out += std::to_string(int_); break;
+    case Tag::kReal: PrintRealLiteral(real_, out); break;
+    case Tag::kText: *out += QuoteSqlString(text_); break;
+    case Tag::kBool: *out += bool_ ? "TRUE" : "FALSE"; break;
+  }
+}
+
+ExprPtr ColumnRef::Clone() const {
+  return std::make_unique<ColumnRef>(table_, column_);
+}
+
+void ColumnRef::PrintTo(std::string* out) const {
+  if (!table_.empty()) {
+    *out += table_;
+    *out += ".";
+  }
+  *out += column_;
+}
+
+ExprPtr Star::Clone() const { return std::make_unique<Star>(table_); }
+
+void Star::PrintTo(std::string* out) const {
+  if (!table_.empty()) {
+    *out += table_;
+    *out += ".";
+  }
+  *out += "*";
+}
+
+ExprPtr UnaryExpr::Clone() const {
+  return std::make_unique<UnaryExpr>(op_, operand_->Clone());
+}
+
+void UnaryExpr::PrintTo(std::string* out) const {
+  *out += (op_ == UnaryOp::kNeg) ? "-" : "NOT ";
+  *out += "(";
+  operand_->PrintTo(out);
+  *out += ")";
+}
+
+ExprPtr BinaryExpr::Clone() const {
+  return std::make_unique<BinaryExpr>(op_, lhs_->Clone(), rhs_->Clone());
+}
+
+void BinaryExpr::PrintTo(std::string* out) const {
+  *out += "(";
+  lhs_->PrintTo(out);
+  *out += " ";
+  *out += BinaryOpName(op_);
+  *out += " ";
+  rhs_->PrintTo(out);
+  *out += ")";
+}
+
+WindowSpec WindowSpec::Clone() const {
+  WindowSpec w;
+  for (const auto& e : partition_by) w.partition_by.push_back(e->Clone());
+  for (const auto& [e, desc] : order_by) {
+    w.order_by.emplace_back(e->Clone(), desc);
+  }
+  return w;
+}
+
+ExprPtr FunctionCall::Clone() const {
+  std::vector<ExprPtr> args;
+  args.reserve(args_.size());
+  for (const auto& a : args_) args.push_back(a->Clone());
+  auto e = std::make_unique<FunctionCall>(name_, std::move(args));
+  e->distinct_ = distinct_;
+  e->star_arg_ = star_arg_;
+  if (window_) e->window_ = std::make_unique<WindowSpec>(window_->Clone());
+  return e;
+}
+
+void FunctionCall::PrintTo(std::string* out) const {
+  *out += name_;
+  *out += "(";
+  if (star_arg_) {
+    *out += "*";
+  } else {
+    if (distinct_) *out += "DISTINCT ";
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) *out += ", ";
+      args_[i]->PrintTo(out);
+    }
+  }
+  *out += ")";
+  if (window_) {
+    *out += " OVER (";
+    if (!window_->partition_by.empty()) {
+      *out += "PARTITION BY ";
+      for (size_t i = 0; i < window_->partition_by.size(); ++i) {
+        if (i > 0) *out += ", ";
+        window_->partition_by[i]->PrintTo(out);
+      }
+    }
+    if (!window_->order_by.empty()) {
+      if (!window_->partition_by.empty()) *out += " ";
+      *out += "ORDER BY ";
+      for (size_t i = 0; i < window_->order_by.size(); ++i) {
+        if (i > 0) *out += ", ";
+        window_->order_by[i].first->PrintTo(out);
+        if (window_->order_by[i].second) *out += " DESC";
+      }
+    }
+    *out += ")";
+  }
+}
+
+ExprPtr CaseExpr::Clone() const {
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  whens.reserve(whens_.size());
+  for (const auto& [w, t] : whens_) whens.emplace_back(w->Clone(), t->Clone());
+  return std::make_unique<CaseExpr>(operand_ ? operand_->Clone() : nullptr,
+                                    std::move(whens),
+                                    else_ ? else_->Clone() : nullptr);
+}
+
+void CaseExpr::PrintTo(std::string* out) const {
+  *out += "CASE";
+  if (operand_) {
+    *out += " ";
+    operand_->PrintTo(out);
+  }
+  for (const auto& [w, t] : whens_) {
+    *out += " WHEN ";
+    w->PrintTo(out);
+    *out += " THEN ";
+    t->PrintTo(out);
+  }
+  if (else_) {
+    *out += " ELSE ";
+    else_->PrintTo(out);
+  }
+  *out += " END";
+}
+
+ExprPtr InListExpr::Clone() const {
+  std::vector<ExprPtr> list;
+  list.reserve(list_.size());
+  for (const auto& e : list_) list.push_back(e->Clone());
+  return std::make_unique<InListExpr>(needle_->Clone(), std::move(list),
+                                      negated_);
+}
+
+void InListExpr::PrintTo(std::string* out) const {
+  needle_->PrintTo(out);
+  *out += negated_ ? " NOT IN (" : " IN (";
+  for (size_t i = 0; i < list_.size(); ++i) {
+    if (i > 0) *out += ", ";
+    list_[i]->PrintTo(out);
+  }
+  *out += ")";
+}
+
+InSubqueryExpr::InSubqueryExpr(ExprPtr needle,
+                               std::unique_ptr<SelectStmt> subquery,
+                               bool negated)
+    : needle_(std::move(needle)),
+      subquery_(std::move(subquery)),
+      negated_(negated) {}
+
+InSubqueryExpr::~InSubqueryExpr() = default;
+
+ExprPtr InSubqueryExpr::Clone() const {
+  return std::make_unique<InSubqueryExpr>(needle_->Clone(),
+                                          subquery_->CloneSelect(), negated_);
+}
+
+void InSubqueryExpr::PrintTo(std::string* out) const {
+  needle_->PrintTo(out);
+  *out += negated_ ? " NOT IN (" : " IN (";
+  subquery_->PrintTo(out);
+  *out += ")";
+}
+
+ExprPtr BetweenExpr::Clone() const {
+  return std::make_unique<BetweenExpr>(operand_->Clone(), lo_->Clone(),
+                                       hi_->Clone(), negated_);
+}
+
+void BetweenExpr::PrintTo(std::string* out) const {
+  operand_->PrintTo(out);
+  *out += negated_ ? " NOT BETWEEN " : " BETWEEN ";
+  lo_->PrintTo(out);
+  *out += " AND ";
+  hi_->PrintTo(out);
+}
+
+ExprPtr LikeExpr::Clone() const {
+  return std::make_unique<LikeExpr>(operand_->Clone(), pattern_->Clone(),
+                                    negated_);
+}
+
+void LikeExpr::PrintTo(std::string* out) const {
+  operand_->PrintTo(out);
+  *out += negated_ ? " NOT LIKE " : " LIKE ";
+  pattern_->PrintTo(out);
+}
+
+ExprPtr IsNullExpr::Clone() const {
+  return std::make_unique<IsNullExpr>(operand_->Clone(), negated_);
+}
+
+void IsNullExpr::PrintTo(std::string* out) const {
+  operand_->PrintTo(out);
+  *out += negated_ ? " IS NOT NULL" : " IS NULL";
+}
+
+ExistsExpr::ExistsExpr(std::unique_ptr<SelectStmt> subquery, bool negated)
+    : subquery_(std::move(subquery)), negated_(negated) {}
+
+ExistsExpr::~ExistsExpr() = default;
+
+ExprPtr ExistsExpr::Clone() const {
+  return std::make_unique<ExistsExpr>(subquery_->CloneSelect(), negated_);
+}
+
+void ExistsExpr::PrintTo(std::string* out) const {
+  if (negated_) *out += "NOT ";
+  *out += "EXISTS (";
+  subquery_->PrintTo(out);
+  *out += ")";
+}
+
+ExprPtr CastExpr::Clone() const {
+  return std::make_unique<CastExpr>(operand_->Clone(), target_);
+}
+
+void CastExpr::PrintTo(std::string* out) const {
+  *out += "CAST(";
+  operand_->PrintTo(out);
+  *out += " AS ";
+  *out += SqlTypeName(target_);
+  *out += ")";
+}
+
+ScalarSubquery::ScalarSubquery(std::unique_ptr<SelectStmt> subquery)
+    : subquery_(std::move(subquery)) {}
+
+ScalarSubquery::~ScalarSubquery() = default;
+
+ExprPtr ScalarSubquery::Clone() const {
+  return std::make_unique<ScalarSubquery>(subquery_->CloneSelect());
+}
+
+void ScalarSubquery::PrintTo(std::string* out) const {
+  *out += "(";
+  subquery_->PrintTo(out);
+  *out += ")";
+}
+
+ExprPtr SessionVar::Clone() const {
+  return std::make_unique<SessionVar>(name_);
+}
+
+void SessionVar::PrintTo(std::string* out) const {
+  *out += "@@SESSION.";
+  *out += name_;
+}
+
+// --------------------------- Table refs ------------------------------------
+
+TableRefPtr BaseTableRef::Clone() const {
+  return std::make_unique<BaseTableRef>(name_, alias_);
+}
+
+void BaseTableRef::PrintTo(std::string* out) const {
+  *out += name_;
+  if (!alias_.empty()) {
+    *out += " AS ";
+    *out += alias_;
+  }
+}
+
+SubqueryRef::SubqueryRef(std::unique_ptr<SelectStmt> select, std::string alias)
+    : select_(std::move(select)), alias_(std::move(alias)) {}
+
+SubqueryRef::~SubqueryRef() = default;
+
+TableRefPtr SubqueryRef::Clone() const {
+  return std::make_unique<SubqueryRef>(select_->CloneSelect(), alias_);
+}
+
+void SubqueryRef::PrintTo(std::string* out) const {
+  *out += "(";
+  select_->PrintTo(out);
+  *out += ") AS ";
+  *out += alias_;
+}
+
+TableRefPtr JoinRef::Clone() const {
+  return std::make_unique<JoinRef>(type_, left_->Clone(), right_->Clone(),
+                                   on_ ? on_->Clone() : nullptr);
+}
+
+void JoinRef::PrintTo(std::string* out) const {
+  left_->PrintTo(out);
+  switch (type_) {
+    case JoinType::kInner: *out += " JOIN "; break;
+    case JoinType::kLeft: *out += " LEFT JOIN "; break;
+    case JoinType::kCross: *out += " CROSS JOIN "; break;
+  }
+  right_->PrintTo(out);
+  if (on_) {
+    *out += " ON ";
+    on_->PrintTo(out);
+  }
+}
+
+// --------------------------- Statements ------------------------------------
+
+ColumnDef ColumnDef::Clone() const {
+  ColumnDef c(name, type);
+  c.primary_key = primary_key;
+  c.unique = unique;
+  c.not_null = not_null;
+  if (default_value) c.default_value = default_value->Clone();
+  return c;
+}
+
+void ColumnDef::PrintTo(std::string* out) const {
+  *out += name;
+  *out += " ";
+  *out += SqlTypeName(type);
+  if (primary_key) *out += " PRIMARY KEY";
+  if (unique) *out += " UNIQUE";
+  if (not_null) *out += " NOT NULL";
+  if (default_value) {
+    *out += " DEFAULT ";
+    default_value->PrintTo(out);
+  }
+}
+
+StmtPtr CreateTableStmt::Clone() const {
+  auto s = std::make_unique<CreateTableStmt>();
+  s->name = name;
+  s->if_not_exists = if_not_exists;
+  s->temporary = temporary;
+  s->columns.reserve(columns.size());
+  for (const auto& c : columns) s->columns.push_back(c.Clone());
+  return s;
+}
+
+void CreateTableStmt::PrintTo(std::string* out) const {
+  *out += "CREATE ";
+  if (temporary) *out += "TEMPORARY ";
+  *out += "TABLE ";
+  if (if_not_exists) *out += "IF NOT EXISTS ";
+  *out += name;
+  *out += " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) *out += ", ";
+    columns[i].PrintTo(out);
+  }
+  *out += ")";
+}
+
+StmtPtr CreateIndexStmt::Clone() const {
+  auto s = std::make_unique<CreateIndexStmt>();
+  *s = CreateIndexStmt();
+  s->name = name;
+  s->table = table;
+  s->columns = columns;
+  s->unique = unique;
+  s->if_not_exists = if_not_exists;
+  return s;
+}
+
+void CreateIndexStmt::PrintTo(std::string* out) const {
+  *out += "CREATE ";
+  if (unique) *out += "UNIQUE ";
+  *out += "INDEX ";
+  if (if_not_exists) *out += "IF NOT EXISTS ";
+  *out += name;
+  *out += " ON ";
+  *out += table;
+  *out += " (";
+  *out += Join(columns, ", ");
+  *out += ")";
+}
+
+StmtPtr CreateViewStmt::Clone() const {
+  auto s = std::make_unique<CreateViewStmt>();
+  s->name = name;
+  s->or_replace = or_replace;
+  s->select = select->CloneSelect();
+  return s;
+}
+
+void CreateViewStmt::PrintTo(std::string* out) const {
+  *out += "CREATE ";
+  if (or_replace) *out += "OR REPLACE ";
+  *out += "VIEW ";
+  *out += name;
+  *out += " AS ";
+  select->PrintTo(out);
+}
+
+StmtPtr CreateTriggerStmt::Clone() const {
+  auto s = std::make_unique<CreateTriggerStmt>();
+  s->name = name;
+  s->timing = timing;
+  s->event = event;
+  s->table = table;
+  s->for_each_row = for_each_row;
+  s->body = body->Clone();
+  return s;
+}
+
+void CreateTriggerStmt::PrintTo(std::string* out) const {
+  *out += "CREATE TRIGGER ";
+  *out += name;
+  *out += (timing == TriggerTiming::kBefore) ? " BEFORE " : " AFTER ";
+  *out += TriggerEventName(event);
+  *out += " ON ";
+  *out += table;
+  if (for_each_row) *out += " FOR EACH ROW";
+  *out += " ";
+  body->PrintTo(out);
+}
+
+StmtPtr CreateSequenceStmt::Clone() const {
+  auto s = std::make_unique<CreateSequenceStmt>();
+  s->name = name;
+  s->start = start;
+  s->increment = increment;
+  s->if_not_exists = if_not_exists;
+  return s;
+}
+
+void CreateSequenceStmt::PrintTo(std::string* out) const {
+  *out += "CREATE SEQUENCE ";
+  if (if_not_exists) *out += "IF NOT EXISTS ";
+  *out += name;
+  if (start != 1) {
+    *out += " START ";
+    *out += std::to_string(start);
+  }
+  if (increment != 1) {
+    *out += " INCREMENT ";
+    *out += std::to_string(increment);
+  }
+}
+
+StmtPtr CreateRuleStmt::Clone() const {
+  auto s = std::make_unique<CreateRuleStmt>();
+  s->name = name;
+  s->or_replace = or_replace;
+  s->event = event;
+  s->table = table;
+  s->instead = instead;
+  s->action = action ? action->Clone() : nullptr;
+  return s;
+}
+
+void CreateRuleStmt::PrintTo(std::string* out) const {
+  *out += "CREATE ";
+  if (or_replace) *out += "OR REPLACE ";
+  *out += "RULE ";
+  *out += name;
+  *out += " AS ON ";
+  *out += TriggerEventName(event);
+  *out += " TO ";
+  *out += table;
+  *out += " DO";
+  if (instead) *out += " INSTEAD";
+  if (action) {
+    *out += " ";
+    action->PrintTo(out);
+  } else {
+    *out += " NOTHING";
+  }
+}
+
+StmtPtr DropStmt::Clone() const {
+  return std::make_unique<DropStmt>(drop_type_, name_, if_exists_);
+}
+
+void DropStmt::PrintTo(std::string* out) const {
+  switch (drop_type_) {
+    case StatementType::kDropTable: *out += "DROP TABLE "; break;
+    case StatementType::kDropIndex: *out += "DROP INDEX "; break;
+    case StatementType::kDropView: *out += "DROP VIEW "; break;
+    case StatementType::kDropTrigger: *out += "DROP TRIGGER "; break;
+    case StatementType::kDropSequence: *out += "DROP SEQUENCE "; break;
+    case StatementType::kDropRule: *out += "DROP RULE "; break;
+    default: *out += "DROP ??? "; break;
+  }
+  if (if_exists_) *out += "IF EXISTS ";
+  *out += name_;
+}
+
+StmtPtr AlterTableStmt::Clone() const {
+  auto s = std::make_unique<AlterTableStmt>();
+  s->table = table;
+  s->action = action;
+  s->new_column = new_column.Clone();
+  s->old_name = old_name;
+  s->new_name = new_name;
+  return s;
+}
+
+void AlterTableStmt::PrintTo(std::string* out) const {
+  *out += "ALTER TABLE ";
+  *out += table;
+  switch (action) {
+    case AlterAction::kAddColumn:
+      *out += " ADD COLUMN ";
+      new_column.PrintTo(out);
+      break;
+    case AlterAction::kDropColumn:
+      *out += " DROP COLUMN ";
+      *out += old_name;
+      break;
+    case AlterAction::kRenameColumn:
+      *out += " RENAME COLUMN ";
+      *out += old_name;
+      *out += " TO ";
+      *out += new_name;
+      break;
+    case AlterAction::kRenameTable:
+      *out += " RENAME TO ";
+      *out += new_name;
+      break;
+  }
+}
+
+StmtPtr TruncateStmt::Clone() const {
+  auto s = std::make_unique<TruncateStmt>();
+  s->table = table;
+  return s;
+}
+
+void TruncateStmt::PrintTo(std::string* out) const {
+  *out += "TRUNCATE TABLE ";
+  *out += table;
+}
+
+StmtPtr InsertStmt::Clone() const {
+  auto s = std::make_unique<InsertStmt>();
+  s->table = table;
+  s->columns = columns;
+  s->rows.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<ExprPtr> r;
+    r.reserve(row.size());
+    for (const auto& e : row) r.push_back(e->Clone());
+    s->rows.push_back(std::move(r));
+  }
+  if (select) s->select = select->CloneSelect();
+  s->or_ignore = or_ignore;
+  s->replace = replace;
+  return s;
+}
+
+void InsertStmt::PrintTo(std::string* out) const {
+  if (replace) {
+    *out += "REPLACE INTO ";
+  } else {
+    *out += "INSERT ";
+    if (or_ignore) *out += "IGNORE ";
+    *out += "INTO ";
+  }
+  *out += table;
+  if (!columns.empty()) {
+    *out += " (";
+    *out += Join(columns, ", ");
+    *out += ")";
+  }
+  if (select) {
+    *out += " ";
+    select->PrintTo(out);
+  } else {
+    *out += " VALUES ";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) *out += ", ";
+      *out += "(";
+      for (size_t j = 0; j < rows[i].size(); ++j) {
+        if (j > 0) *out += ", ";
+        rows[i][j]->PrintTo(out);
+      }
+      *out += ")";
+    }
+  }
+}
+
+StmtPtr UpdateStmt::Clone() const {
+  auto s = std::make_unique<UpdateStmt>();
+  s->table = table;
+  s->assignments.reserve(assignments.size());
+  for (const auto& [col, e] : assignments) {
+    s->assignments.emplace_back(col, e->Clone());
+  }
+  if (where) s->where = where->Clone();
+  return s;
+}
+
+void UpdateStmt::PrintTo(std::string* out) const {
+  *out += "UPDATE ";
+  *out += table;
+  *out += " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += assignments[i].first;
+    *out += " = ";
+    assignments[i].second->PrintTo(out);
+  }
+  if (where) {
+    *out += " WHERE ";
+    where->PrintTo(out);
+  }
+}
+
+StmtPtr DeleteStmt::Clone() const {
+  auto s = std::make_unique<DeleteStmt>();
+  s->table = table;
+  if (where) s->where = where->Clone();
+  return s;
+}
+
+void DeleteStmt::PrintTo(std::string* out) const {
+  *out += "DELETE FROM ";
+  *out += table;
+  if (where) {
+    *out += " WHERE ";
+    where->PrintTo(out);
+  }
+}
+
+StmtPtr CopyStmt::Clone() const {
+  auto s = std::make_unique<CopyStmt>();
+  s->table = table;
+  if (query) s->query = query->CloneSelect();
+  s->to_stdout = to_stdout;
+  s->csv = csv;
+  s->header = header;
+  return s;
+}
+
+void CopyStmt::PrintTo(std::string* out) const {
+  *out += "COPY ";
+  if (query) {
+    *out += "(";
+    query->PrintTo(out);
+    *out += ")";
+  } else {
+    *out += table;
+  }
+  *out += to_stdout ? " TO STDOUT" : " FROM STDIN";
+  if (csv) *out += " CSV";
+  if (header) *out += " HEADER";
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem it;
+  it.expr = expr->Clone();
+  it.alias = alias;
+  return it;
+}
+
+OrderByItem OrderByItem::Clone() const {
+  OrderByItem it;
+  it.expr = expr->Clone();
+  it.desc = desc;
+  return it;
+}
+
+SelectCore SelectCore::Clone() const {
+  SelectCore c;
+  c.distinct = distinct;
+  c.items.reserve(items.size());
+  for (const auto& it : items) c.items.push_back(it.Clone());
+  if (from) c.from = from->Clone();
+  if (where) c.where = where->Clone();
+  for (const auto& g : group_by) c.group_by.push_back(g->Clone());
+  if (having) c.having = having->Clone();
+  return c;
+}
+
+void SelectCore::PrintTo(std::string* out) const {
+  *out += "SELECT ";
+  if (distinct) *out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) *out += ", ";
+    items[i].expr->PrintTo(out);
+    if (!items[i].alias.empty()) {
+      *out += " AS ";
+      *out += items[i].alias;
+    }
+  }
+  if (from) {
+    *out += " FROM ";
+    from->PrintTo(out);
+  }
+  if (where) {
+    *out += " WHERE ";
+    where->PrintTo(out);
+  }
+  if (!group_by.empty()) {
+    *out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) *out += ", ";
+      group_by[i]->PrintTo(out);
+    }
+  }
+  if (having) {
+    *out += " HAVING ";
+    having->PrintTo(out);
+  }
+}
+
+StmtPtr SelectStmt::Clone() const { return CloneSelect(); }
+
+std::unique_ptr<SelectStmt> SelectStmt::CloneSelect() const {
+  auto s = std::make_unique<SelectStmt>();
+  s->core = core.Clone();
+  s->compounds.reserve(compounds.size());
+  for (const auto& [k, c] : compounds) s->compounds.emplace_back(k, c.Clone());
+  for (const auto& o : order_by) s->order_by.push_back(o.Clone());
+  if (limit) s->limit = limit->Clone();
+  if (offset) s->offset = offset->Clone();
+  return s;
+}
+
+void SelectStmt::PrintTo(std::string* out) const {
+  core.PrintTo(out);
+  for (const auto& [k, c] : compounds) {
+    switch (k) {
+      case SetOpKind::kUnion: *out += " UNION "; break;
+      case SetOpKind::kUnionAll: *out += " UNION ALL "; break;
+      case SetOpKind::kExcept: *out += " EXCEPT "; break;
+      case SetOpKind::kIntersect: *out += " INTERSECT "; break;
+    }
+    c.PrintTo(out);
+  }
+  if (!order_by.empty()) {
+    *out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) *out += ", ";
+      order_by[i].expr->PrintTo(out);
+      if (order_by[i].desc) *out += " DESC";
+    }
+  }
+  if (limit) {
+    *out += " LIMIT ";
+    limit->PrintTo(out);
+  }
+  if (offset) {
+    *out += " OFFSET ";
+    offset->PrintTo(out);
+  }
+}
+
+StmtPtr ValuesStmt::Clone() const {
+  auto s = std::make_unique<ValuesStmt>();
+  s->rows.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<ExprPtr> r;
+    r.reserve(row.size());
+    for (const auto& e : row) r.push_back(e->Clone());
+    s->rows.push_back(std::move(r));
+  }
+  return s;
+}
+
+void ValuesStmt::PrintTo(std::string* out) const {
+  *out += "VALUES ";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += "(";
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (j > 0) *out += ", ";
+      rows[i][j]->PrintTo(out);
+    }
+    *out += ")";
+  }
+}
+
+CommonTableExpr CommonTableExpr::Clone() const {
+  CommonTableExpr c;
+  c.name = name;
+  c.columns = columns;
+  c.statement = statement->Clone();
+  return c;
+}
+
+StmtPtr WithStmt::Clone() const {
+  auto s = std::make_unique<WithStmt>();
+  s->ctes.reserve(ctes.size());
+  for (const auto& c : ctes) s->ctes.push_back(c.Clone());
+  s->body = body->Clone();
+  return s;
+}
+
+void WithStmt::PrintTo(std::string* out) const {
+  *out += "WITH ";
+  for (size_t i = 0; i < ctes.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += ctes[i].name;
+    if (!ctes[i].columns.empty()) {
+      *out += " (";
+      *out += Join(ctes[i].columns, ", ");
+      *out += ")";
+    }
+    *out += " AS (";
+    ctes[i].statement->PrintTo(out);
+    *out += ")";
+  }
+  *out += " ";
+  body->PrintTo(out);
+}
+
+StmtPtr GrantStmt::Clone() const {
+  auto s = std::make_unique<GrantStmt>();
+  *s = GrantStmt();
+  s->privilege = privilege;
+  s->table = table;
+  s->user = user;
+  return s;
+}
+
+void GrantStmt::PrintTo(std::string* out) const {
+  *out += "GRANT ";
+  *out += PrivilegeName(privilege);
+  *out += " ON ";
+  *out += table;
+  *out += " TO ";
+  *out += user;
+}
+
+StmtPtr RevokeStmt::Clone() const {
+  auto s = std::make_unique<RevokeStmt>();
+  s->privilege = privilege;
+  s->table = table;
+  s->user = user;
+  return s;
+}
+
+void RevokeStmt::PrintTo(std::string* out) const {
+  *out += "REVOKE ";
+  *out += PrivilegeName(privilege);
+  *out += " ON ";
+  *out += table;
+  *out += " FROM ";
+  *out += user;
+}
+
+StmtPtr CreateUserStmt::Clone() const {
+  auto s = std::make_unique<CreateUserStmt>();
+  s->name = name;
+  s->if_not_exists = if_not_exists;
+  return s;
+}
+
+void CreateUserStmt::PrintTo(std::string* out) const {
+  *out += "CREATE USER ";
+  if (if_not_exists) *out += "IF NOT EXISTS ";
+  *out += name;
+}
+
+StmtPtr DropUserStmt::Clone() const {
+  auto s = std::make_unique<DropUserStmt>();
+  s->name = name;
+  s->if_exists = if_exists;
+  return s;
+}
+
+void DropUserStmt::PrintTo(std::string* out) const {
+  *out += "DROP USER ";
+  if (if_exists) *out += "IF EXISTS ";
+  *out += name;
+}
+
+StmtPtr SimpleStmt::Clone() const {
+  return std::make_unique<SimpleStmt>(type_);
+}
+
+void SimpleStmt::PrintTo(std::string* out) const {
+  switch (type_) {
+    case StatementType::kBegin: *out += "BEGIN"; break;
+    case StatementType::kCommit: *out += "COMMIT"; break;
+    case StatementType::kRollback: *out += "ROLLBACK"; break;
+    case StatementType::kCheckpoint: *out += "CHECKPOINT"; break;
+    default: *out += StatementTypeName(type_); break;
+  }
+}
+
+StmtPtr NamedStmt::Clone() const {
+  return std::make_unique<NamedStmt>(type_, name_);
+}
+
+void NamedStmt::PrintTo(std::string* out) const {
+  switch (type_) {
+    case StatementType::kSavepoint: *out += "SAVEPOINT "; break;
+    case StatementType::kRelease: *out += "RELEASE SAVEPOINT "; break;
+    case StatementType::kRollbackTo: *out += "ROLLBACK TO "; break;
+    case StatementType::kListen: *out += "LISTEN "; break;
+    case StatementType::kUnlisten: *out += "UNLISTEN "; break;
+    default:
+      *out += StatementTypeName(type_);
+      *out += " ";
+      break;
+  }
+  *out += name_;
+}
+
+StmtPtr PragmaStmt::Clone() const {
+  auto s = std::make_unique<PragmaStmt>();
+  s->name = name;
+  if (value) s->value = value->Clone();
+  s->is_set = is_set;
+  s->session_scope = session_scope;
+  return s;
+}
+
+void PragmaStmt::PrintTo(std::string* out) const {
+  if (is_set) {
+    *out += "SET ";
+    if (session_scope) *out += "@@SESSION.";
+    *out += name;
+    *out += " = ";
+    if (value) {
+      value->PrintTo(out);
+    } else {
+      *out += "NULL";
+    }
+  } else {
+    *out += "PRAGMA ";
+    *out += name;
+    if (value) {
+      *out += " = ";
+      value->PrintTo(out);
+    }
+  }
+}
+
+StmtPtr ShowStmt::Clone() const {
+  auto s = std::make_unique<ShowStmt>();
+  s->what = what;
+  return s;
+}
+
+void ShowStmt::PrintTo(std::string* out) const {
+  *out += "SHOW ";
+  *out += what;
+}
+
+StmtPtr ExplainStmt::Clone() const {
+  auto s = std::make_unique<ExplainStmt>();
+  s->target = target->Clone();
+  s->analyze = analyze;
+  return s;
+}
+
+void ExplainStmt::PrintTo(std::string* out) const {
+  *out += "EXPLAIN ";
+  if (analyze) *out += "ANALYZE ";
+  target->PrintTo(out);
+}
+
+StmtPtr MaintenanceStmt::Clone() const {
+  return std::make_unique<MaintenanceStmt>(type_, target_);
+}
+
+void MaintenanceStmt::PrintTo(std::string* out) const {
+  switch (type_) {
+    case StatementType::kAnalyze: *out += "ANALYZE"; break;
+    case StatementType::kVacuum: *out += "VACUUM"; break;
+    case StatementType::kReindex: *out += "REINDEX"; break;
+    default: *out += StatementTypeName(type_); break;
+  }
+  if (!target_.empty()) {
+    *out += " ";
+    *out += target_;
+  }
+}
+
+StmtPtr NotifyStmt::Clone() const {
+  auto s = std::make_unique<NotifyStmt>();
+  s->channel = channel;
+  s->payload = payload;
+  return s;
+}
+
+void NotifyStmt::PrintTo(std::string* out) const {
+  *out += "NOTIFY ";
+  *out += channel;
+  if (!payload.empty()) {
+    *out += ", ";
+    *out += QuoteSqlString(payload);
+  }
+}
+
+StmtPtr CommentStmt::Clone() const {
+  auto s = std::make_unique<CommentStmt>();
+  s->table = table;
+  s->text = text;
+  return s;
+}
+
+void CommentStmt::PrintTo(std::string* out) const {
+  *out += "COMMENT ON TABLE ";
+  *out += table;
+  *out += " IS ";
+  *out += QuoteSqlString(text);
+}
+
+StmtPtr AlterSystemStmt::Clone() const {
+  auto s = std::make_unique<AlterSystemStmt>();
+  s->action = action;
+  s->name = name;
+  if (value) s->value = value->Clone();
+  return s;
+}
+
+void AlterSystemStmt::PrintTo(std::string* out) const {
+  *out += "ALTER SYSTEM ";
+  if (action == "SET") {
+    *out += "SET ";
+    *out += name;
+    *out += " = ";
+    if (value) {
+      value->PrintTo(out);
+    } else {
+      *out += "NULL";
+    }
+  } else {
+    *out += action;
+  }
+}
+
+StmtPtr DiscardStmt::Clone() const {
+  auto s = std::make_unique<DiscardStmt>();
+  s->all = all;
+  return s;
+}
+
+void DiscardStmt::PrintTo(std::string* out) const {
+  *out += all ? "DISCARD ALL" : "DISCARD TEMP";
+}
+
+}  // namespace lego::sql

@@ -1,0 +1,980 @@
+#ifndef LEGO_SQL_AST_H_
+#define LEGO_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/statement_type.h"
+
+namespace lego::sql {
+
+class Expr;
+class Statement;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Statement>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kStar,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kCase,
+  kInList,
+  kInSubquery,
+  kBetween,
+  kLike,
+  kIsNull,
+  kExists,
+  kCast,
+  kScalarSubquery,
+  kSessionVar,
+};
+
+enum class UnaryOp : uint8_t { kNeg, kNot };
+
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kConcat,
+};
+
+/// SQL column type names used in DDL and CAST.
+enum class SqlType : uint8_t { kInt, kReal, kText, kBool };
+
+/// Display name, e.g. "INT".
+std::string_view SqlTypeName(SqlType t);
+
+/// Base class for all expression AST nodes. Nodes are exclusively owned via
+/// ExprPtr; Clone() produces a deep copy (skeleton-library instantiation and
+/// mutation both rely on cheap structural copying).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual ExprKind kind() const = 0;
+  virtual ExprPtr Clone() const = 0;
+  /// Appends this node's SQL rendering to `out`.
+  virtual void PrintTo(std::string* out) const = 0;
+};
+
+/// Literal constant: NULL, integer, real, text, or boolean.
+class Literal : public Expr {
+ public:
+  enum class Tag : uint8_t { kNull, kInt, kReal, kText, kBool };
+
+  Literal() : tag_(Tag::kNull) {}
+  static ExprPtr Null() { return std::make_unique<Literal>(); }
+  static ExprPtr Int(int64_t v) {
+    auto e = std::make_unique<Literal>();
+    e->tag_ = Tag::kInt;
+    e->int_ = v;
+    return e;
+  }
+  static ExprPtr Real(double v) {
+    auto e = std::make_unique<Literal>();
+    e->tag_ = Tag::kReal;
+    e->real_ = v;
+    return e;
+  }
+  static ExprPtr Text(std::string v) {
+    auto e = std::make_unique<Literal>();
+    e->tag_ = Tag::kText;
+    e->text_ = std::move(v);
+    return e;
+  }
+  static ExprPtr Bool(bool v) {
+    auto e = std::make_unique<Literal>();
+    e->tag_ = Tag::kBool;
+    e->bool_ = v;
+    return e;
+  }
+
+  Tag tag() const { return tag_; }
+  int64_t int_value() const { return int_; }
+  double real_value() const { return real_; }
+  const std::string& text_value() const { return text_; }
+  bool bool_value() const { return bool_; }
+
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  Tag tag_;
+  int64_t int_ = 0;
+  double real_ = 0.0;
+  std::string text_;
+  bool bool_ = false;
+};
+
+/// Reference to a column, optionally table-qualified: `t1.v2` or `v2`.
+class ColumnRef : public Expr {
+ public:
+  ColumnRef(std::string table, std::string column)
+      : table_(std::move(table)), column_(std::move(column)) {}
+
+  const std::string& table() const { return table_; }  // may be empty
+  const std::string& column() const { return column_; }
+  void set_column(std::string c) { column_ = std::move(c); }
+  void set_table(std::string t) { table_ = std::move(t); }
+
+  ExprKind kind() const override { return ExprKind::kColumnRef; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::string table_;
+  std::string column_;
+};
+
+/// `*` or `t1.*` in a select list.
+class Star : public Expr {
+ public:
+  explicit Star(std::string table = "") : table_(std::move(table)) {}
+  const std::string& table() const { return table_; }
+
+  ExprKind kind() const override { return ExprKind::kStar; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::string table_;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const Expr& operand() const { return *operand_; }
+  Expr* mutable_operand() { return operand_.get(); }
+
+  ExprKind kind() const override { return ExprKind::kUnary; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  BinaryOp op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
+  Expr* mutable_lhs() { return lhs_.get(); }
+  Expr* mutable_rhs() { return rhs_.get(); }
+
+  ExprKind kind() const override { return ExprKind::kBinary; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class SelectStmt;
+
+/// Window specification for `fn(...) OVER (PARTITION BY ... ORDER BY ...)`.
+struct WindowSpec {
+  std::vector<ExprPtr> partition_by;
+  std::vector<std::pair<ExprPtr, bool>> order_by;  // (expr, desc)
+
+  WindowSpec Clone() const;
+};
+
+/// Scalar, aggregate, or window function call. Aggregates and window
+/// functions are distinguished by name at binding time in the engine.
+class FunctionCall : public Expr {
+ public:
+  FunctionCall(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+  std::vector<ExprPtr>* mutable_args() { return &args_; }
+  bool distinct() const { return distinct_; }
+  void set_distinct(bool d) { distinct_ = d; }
+  bool star_arg() const { return star_arg_; }
+  void set_star_arg(bool s) { star_arg_ = s; }
+  const WindowSpec* window() const { return window_.get(); }
+  void set_window(std::unique_ptr<WindowSpec> w) { window_ = std::move(w); }
+
+  ExprKind kind() const override { return ExprKind::kFunctionCall; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::string name_;  // canonical upper-case
+  std::vector<ExprPtr> args_;
+  bool distinct_ = false;
+  bool star_arg_ = false;  // COUNT(*)
+  std::unique_ptr<WindowSpec> window_;
+};
+
+/// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
+class CaseExpr : public Expr {
+ public:
+  CaseExpr(ExprPtr operand,
+           std::vector<std::pair<ExprPtr, ExprPtr>> whens,
+           ExprPtr else_expr)
+      : operand_(std::move(operand)),
+        whens_(std::move(whens)),
+        else_(std::move(else_expr)) {}
+
+  const Expr* operand() const { return operand_.get(); }  // may be null
+  const std::vector<std::pair<ExprPtr, ExprPtr>>& whens() const {
+    return whens_;
+  }
+  const Expr* else_expr() const { return else_.get(); }  // may be null
+
+  ExprKind kind() const override { return ExprKind::kCase; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  ExprPtr operand_;
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens_;
+  ExprPtr else_;
+};
+
+/// `expr [NOT] IN (e1, e2, ...)`.
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr needle, std::vector<ExprPtr> list, bool negated)
+      : needle_(std::move(needle)), list_(std::move(list)), negated_(negated) {}
+
+  const Expr& needle() const { return *needle_; }
+  const std::vector<ExprPtr>& list() const { return list_; }
+  bool negated() const { return negated_; }
+
+  ExprKind kind() const override { return ExprKind::kInList; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  ExprPtr needle_;
+  std::vector<ExprPtr> list_;
+  bool negated_;
+};
+
+/// `expr [NOT] IN (SELECT ...)`.
+class InSubqueryExpr : public Expr {
+ public:
+  InSubqueryExpr(ExprPtr needle, std::unique_ptr<SelectStmt> subquery,
+                 bool negated);
+  ~InSubqueryExpr() override;
+
+  const Expr& needle() const { return *needle_; }
+  const SelectStmt& subquery() const { return *subquery_; }
+  bool negated() const { return negated_; }
+
+  ExprKind kind() const override { return ExprKind::kInSubquery; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  ExprPtr needle_;
+  std::unique_ptr<SelectStmt> subquery_;
+  bool negated_;
+};
+
+/// `expr [NOT] BETWEEN lo AND hi`.
+class BetweenExpr : public Expr {
+ public:
+  BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi, bool negated)
+      : operand_(std::move(operand)),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        negated_(negated) {}
+
+  const Expr& operand() const { return *operand_; }
+  const Expr& lo() const { return *lo_; }
+  const Expr& hi() const { return *hi_; }
+  bool negated() const { return negated_; }
+
+  ExprKind kind() const override { return ExprKind::kBetween; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  ExprPtr operand_;
+  ExprPtr lo_;
+  ExprPtr hi_;
+  bool negated_;
+};
+
+/// `expr [NOT] LIKE pattern`.
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr operand, ExprPtr pattern, bool negated)
+      : operand_(std::move(operand)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+
+  const Expr& operand() const { return *operand_; }
+  const Expr& pattern() const { return *pattern_; }
+  bool negated() const { return negated_; }
+
+  ExprKind kind() const override { return ExprKind::kLike; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  ExprPtr operand_;
+  ExprPtr pattern_;
+  bool negated_;
+};
+
+/// `expr IS [NOT] NULL`.
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+
+  const Expr& operand() const { return *operand_; }
+  bool negated() const { return negated_; }
+
+  ExprKind kind() const override { return ExprKind::kIsNull; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+/// `[NOT] EXISTS (SELECT ...)`.
+class ExistsExpr : public Expr {
+ public:
+  ExistsExpr(std::unique_ptr<SelectStmt> subquery, bool negated);
+  ~ExistsExpr() override;
+
+  const SelectStmt& subquery() const { return *subquery_; }
+  bool negated() const { return negated_; }
+
+  ExprKind kind() const override { return ExprKind::kExists; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::unique_ptr<SelectStmt> subquery_;
+  bool negated_;
+};
+
+/// `CAST(expr AS type)`.
+class CastExpr : public Expr {
+ public:
+  CastExpr(ExprPtr operand, SqlType target)
+      : operand_(std::move(operand)), target_(target) {}
+
+  const Expr& operand() const { return *operand_; }
+  SqlType target() const { return target_; }
+
+  ExprKind kind() const override { return ExprKind::kCast; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  ExprPtr operand_;
+  SqlType target_;
+};
+
+/// `(SELECT ...)` used as a scalar value.
+class ScalarSubquery : public Expr {
+ public:
+  explicit ScalarSubquery(std::unique_ptr<SelectStmt> subquery);
+  ~ScalarSubquery() override;
+
+  const SelectStmt& subquery() const { return *subquery_; }
+
+  ExprKind kind() const override { return ExprKind::kScalarSubquery; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::unique_ptr<SelectStmt> subquery_;
+};
+
+/// `@@SESSION.name` or `@@name` session variable reference.
+class SessionVar : public Expr {
+ public:
+  explicit SessionVar(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  ExprKind kind() const override { return ExprKind::kSessionVar; }
+  ExprPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Table references (FROM clause)
+// ---------------------------------------------------------------------------
+
+enum class TableRefKind : uint8_t { kBaseTable, kSubquery, kJoin };
+enum class JoinType : uint8_t { kInner, kLeft, kCross };
+
+class TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+/// Base class for FROM-clause items.
+class TableRef {
+ public:
+  virtual ~TableRef() = default;
+  virtual TableRefKind kind() const = 0;
+  virtual TableRefPtr Clone() const = 0;
+  virtual void PrintTo(std::string* out) const = 0;
+};
+
+/// A named table or view, with optional alias.
+class BaseTableRef : public TableRef {
+ public:
+  explicit BaseTableRef(std::string name, std::string alias = "")
+      : name_(std::move(name)), alias_(std::move(alias)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  const std::string& alias() const { return alias_; }
+
+  TableRefKind kind() const override { return TableRefKind::kBaseTable; }
+  TableRefPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::string name_;
+  std::string alias_;
+};
+
+/// A parenthesized subquery in FROM, with alias.
+class SubqueryRef : public TableRef {
+ public:
+  SubqueryRef(std::unique_ptr<SelectStmt> select, std::string alias);
+  ~SubqueryRef() override;
+
+  const SelectStmt& select() const { return *select_; }
+  const std::string& alias() const { return alias_; }
+
+  TableRefKind kind() const override { return TableRefKind::kSubquery; }
+  TableRefPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  std::unique_ptr<SelectStmt> select_;
+  std::string alias_;
+};
+
+/// A binary join between two table refs.
+class JoinRef : public TableRef {
+ public:
+  JoinRef(JoinType type, TableRefPtr left, TableRefPtr right, ExprPtr on)
+      : type_(type),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        on_(std::move(on)) {}
+
+  JoinType join_type() const { return type_; }
+  const TableRef& left() const { return *left_; }
+  const TableRef& right() const { return *right_; }
+  const Expr* on() const { return on_.get(); }  // null for CROSS JOIN
+
+  TableRefKind kind() const override { return TableRefKind::kJoin; }
+  TableRefPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  JoinType type_;
+  TableRefPtr left_;
+  TableRefPtr right_;
+  ExprPtr on_;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// Base class for all statement AST nodes.
+class Statement {
+ public:
+  virtual ~Statement() = default;
+  /// The statement's SQL type tag — the unit of the SQL Type Sequence.
+  virtual StatementType type() const = 0;
+  virtual StmtPtr Clone() const = 0;
+  virtual void PrintTo(std::string* out) const = 0;
+};
+
+/// Renders any statement back to SQL text (no trailing semicolon).
+std::string ToSql(const Statement& stmt);
+
+/// Renders an expression to SQL text.
+std::string ToSql(const Expr& expr);
+
+/// One column definition in CREATE TABLE / ALTER TABLE ADD COLUMN.
+struct ColumnDef {
+  std::string name;
+  SqlType type = SqlType::kInt;
+  bool primary_key = false;
+  bool unique = false;
+  bool not_null = false;
+  ExprPtr default_value;  // may be null
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, SqlType t) : name(std::move(n)), type(t) {}
+  ColumnDef Clone() const;
+  void PrintTo(std::string* out) const;
+};
+
+class CreateTableStmt : public Statement {
+ public:
+  std::string name;
+  bool if_not_exists = false;
+  bool temporary = false;
+  std::vector<ColumnDef> columns;
+
+  StatementType type() const override { return StatementType::kCreateTable; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class CreateIndexStmt : public Statement {
+ public:
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+  bool if_not_exists = false;
+
+  StatementType type() const override { return StatementType::kCreateIndex; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class CreateViewStmt : public Statement {
+ public:
+  std::string name;
+  bool or_replace = false;
+  std::unique_ptr<SelectStmt> select;
+
+  StatementType type() const override { return StatementType::kCreateView; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+enum class TriggerTiming : uint8_t { kBefore, kAfter };
+enum class TriggerEvent : uint8_t { kInsert, kUpdate, kDelete };
+
+class CreateTriggerStmt : public Statement {
+ public:
+  std::string name;
+  TriggerTiming timing = TriggerTiming::kAfter;
+  TriggerEvent event = TriggerEvent::kInsert;
+  std::string table;
+  bool for_each_row = true;
+  StmtPtr body;  // a single DML/utility statement
+
+  StatementType type() const override { return StatementType::kCreateTrigger; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class CreateSequenceStmt : public Statement {
+ public:
+  std::string name;
+  int64_t start = 1;
+  int64_t increment = 1;
+  bool if_not_exists = false;
+
+  StatementType type() const override { return StatementType::kCreateSequence; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// PostgreSQL-style rewrite rule: ON event TO table DO INSTEAD action.
+class CreateRuleStmt : public Statement {
+ public:
+  std::string name;
+  bool or_replace = false;
+  TriggerEvent event = TriggerEvent::kInsert;
+  std::string table;
+  bool instead = true;
+  StmtPtr action;  // null means DO INSTEAD NOTHING
+
+  StatementType type() const override { return StatementType::kCreateRule; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// Shared shape for DROP TABLE/INDEX/VIEW/TRIGGER/SEQUENCE/RULE.
+class DropStmt : public Statement {
+ public:
+  DropStmt(StatementType drop_type, std::string name, bool if_exists)
+      : drop_type_(drop_type), name_(std::move(name)), if_exists_(if_exists) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  bool if_exists() const { return if_exists_; }
+  void set_if_exists(bool v) { if_exists_ = v; }
+
+  StatementType type() const override { return drop_type_; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  StatementType drop_type_;
+  std::string name_;
+  bool if_exists_;
+};
+
+enum class AlterAction : uint8_t {
+  kAddColumn,
+  kDropColumn,
+  kRenameColumn,
+  kRenameTable,
+};
+
+class AlterTableStmt : public Statement {
+ public:
+  std::string table;
+  AlterAction action = AlterAction::kAddColumn;
+  ColumnDef new_column;      // kAddColumn
+  std::string old_name;      // kDropColumn / kRenameColumn
+  std::string new_name;      // kRenameColumn / kRenameTable
+
+  StatementType type() const override { return StatementType::kAlterTable; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class TruncateStmt : public Statement {
+ public:
+  std::string table;
+
+  StatementType type() const override { return StatementType::kTruncate; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// INSERT and REPLACE share one node; `replace` flips the type tag.
+class InsertStmt : public Statement {
+ public:
+  std::string table;
+  std::vector<std::string> columns;            // empty = all columns
+  std::vector<std::vector<ExprPtr>> rows;      // VALUES rows; empty if select
+  std::unique_ptr<SelectStmt> select;          // INSERT ... SELECT
+  bool or_ignore = false;
+  bool replace = false;
+
+  StatementType type() const override {
+    return replace ? StatementType::kReplace : StatementType::kInsert;
+  }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class UpdateStmt : public Statement {
+ public:
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+
+  StatementType type() const override { return StatementType::kUpdate; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class DeleteStmt : public Statement {
+ public:
+  std::string table;
+  ExprPtr where;  // may be null
+
+  StatementType type() const override { return StatementType::kDelete; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// COPY table TO STDOUT / COPY (SELECT ...) TO STDOUT, with CSV/HEADER flags.
+class CopyStmt : public Statement {
+ public:
+  std::string table;                     // empty if query form
+  std::unique_ptr<SelectStmt> query;     // null if table form
+  bool to_stdout = true;
+  bool csv = false;
+  bool header = false;
+
+  StatementType type() const override { return StatementType::kCopy; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// One item in a select list: expression plus optional alias.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+
+  SelectItem Clone() const;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool desc = false;
+
+  OrderByItem Clone() const;
+};
+
+enum class SetOpKind : uint8_t { kUnion, kUnionAll, kExcept, kIntersect };
+
+/// One SELECT core (no ORDER BY/LIMIT; those attach to the whole compound).
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRefPtr from;   // may be null (SELECT 1)
+  ExprPtr where;      // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;     // may be null
+
+  SelectCore Clone() const;
+  void PrintTo(std::string* out) const;
+};
+
+class SelectStmt : public Statement {
+ public:
+  SelectCore core;
+  std::vector<std::pair<SetOpKind, SelectCore>> compounds;
+  std::vector<OrderByItem> order_by;
+  ExprPtr limit;   // may be null
+  ExprPtr offset;  // may be null
+
+  StatementType type() const override { return StatementType::kSelect; }
+  StmtPtr Clone() const override;
+  /// Typed deep copy (convenience over Clone()).
+  std::unique_ptr<SelectStmt> CloneSelect() const;
+  void PrintTo(std::string* out) const override;
+};
+
+/// Standalone `VALUES (..), (..)` statement.
+class ValuesStmt : public Statement {
+ public:
+  std::vector<std::vector<ExprPtr>> rows;
+
+  StatementType type() const override { return StatementType::kValues; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// One common-table expression in a WITH statement.
+struct CommonTableExpr {
+  std::string name;
+  std::vector<std::string> columns;  // optional explicit column list
+  StmtPtr statement;                 // SELECT/INSERT/UPDATE/DELETE/VALUES
+
+  CommonTableExpr Clone() const;
+};
+
+/// `WITH cte [, ...] <body>`; the body is SELECT/INSERT/UPDATE/DELETE.
+/// Treated as its own statement type (the paper's case study sequence is
+/// CREATE RULE -> NOTIFY -> COPY -> WITH).
+class WithStmt : public Statement {
+ public:
+  std::vector<CommonTableExpr> ctes;
+  StmtPtr body;
+
+  StatementType type() const override { return StatementType::kWith; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+enum class Privilege : uint8_t { kSelect, kInsert, kUpdate, kDelete, kAll };
+
+/// Display name, e.g. "SELECT".
+std::string_view PrivilegeName(Privilege p);
+
+class GrantStmt : public Statement {
+ public:
+  Privilege privilege = Privilege::kSelect;
+  std::string table;
+  std::string user;
+
+  StatementType type() const override { return StatementType::kGrant; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class RevokeStmt : public Statement {
+ public:
+  Privilege privilege = Privilege::kSelect;
+  std::string table;
+  std::string user;
+
+  StatementType type() const override { return StatementType::kRevoke; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class CreateUserStmt : public Statement {
+ public:
+  std::string name;
+  bool if_not_exists = false;
+
+  StatementType type() const override { return StatementType::kCreateUser; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class DropUserStmt : public Statement {
+ public:
+  std::string name;
+  bool if_exists = false;
+
+  StatementType type() const override { return StatementType::kDropUser; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// BEGIN / COMMIT / ROLLBACK / CHECKPOINT — statements with no operands share
+/// one node parameterized by type.
+class SimpleStmt : public Statement {
+ public:
+  explicit SimpleStmt(StatementType t) : type_(t) {}
+
+  StatementType type() const override { return type_; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  StatementType type_;
+};
+
+/// SAVEPOINT name / RELEASE name / ROLLBACK TO name / LISTEN ch / UNLISTEN ch.
+class NamedStmt : public Statement {
+ public:
+  NamedStmt(StatementType t, std::string name)
+      : type_(t), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  StatementType type() const override { return type_; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  StatementType type_;
+  std::string name_;
+};
+
+/// PRAGMA name [= value] — also used for MySQL-flavored SET via kSet.
+class PragmaStmt : public Statement {
+ public:
+  std::string name;
+  ExprPtr value;        // may be null (query form)
+  bool is_set = false;  // SET name = value spelling
+  bool session_scope = false;  // SET @@SESSION.name = value
+
+  StatementType type() const override {
+    return is_set ? StatementType::kSet : StatementType::kPragma;
+  }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class ShowStmt : public Statement {
+ public:
+  /// "TABLES", "INDEXES", "TRIGGERS", "VIEWS", or a variable name.
+  std::string what = "TABLES";
+
+  StatementType type() const override { return StatementType::kShow; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+class ExplainStmt : public Statement {
+ public:
+  StmtPtr target;
+  bool analyze = false;  // EXPLAIN ANALYZE
+
+  StatementType type() const override { return StatementType::kExplain; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// ANALYZE [table] / VACUUM [table] / REINDEX [name].
+class MaintenanceStmt : public Statement {
+ public:
+  MaintenanceStmt(StatementType t, std::string target)
+      : type_(t), target_(std::move(target)) {}
+
+  const std::string& target() const { return target_; }  // may be empty
+
+  StatementType type() const override { return type_; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+
+ private:
+  StatementType type_;
+  std::string target_;
+};
+
+/// NOTIFY channel [, 'payload'].
+class NotifyStmt : public Statement {
+ public:
+  std::string channel;
+  std::string payload;  // may be empty
+
+  StatementType type() const override { return StatementType::kNotify; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// COMMENT ON TABLE name IS 'text'.
+class CommentStmt : public Statement {
+ public:
+  std::string table;
+  std::string text;
+
+  StatementType type() const override { return StatementType::kComment; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// ALTER SYSTEM SET name = value | ALTER SYSTEM FLUSH | ALTER SYSTEM <word>.
+class AlterSystemStmt : public Statement {
+ public:
+  std::string action;  // e.g. "FLUSH", "MAJOR FREEZE", or "SET"
+  std::string name;    // for SET form
+  ExprPtr value;       // for SET form
+
+  StatementType type() const override { return StatementType::kAlterSystem; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+/// DISCARD ALL | DISCARD TEMP.
+class DiscardStmt : public Statement {
+ public:
+  bool all = true;
+
+  StatementType type() const override { return StatementType::kDiscard; }
+  StmtPtr Clone() const override;
+  void PrintTo(std::string* out) const override;
+};
+
+}  // namespace lego::sql
+
+#endif  // LEGO_SQL_AST_H_

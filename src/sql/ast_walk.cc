@@ -1,0 +1,341 @@
+#include "sql/ast_walk.h"
+
+namespace lego::sql {
+
+namespace {
+
+void WalkSelectExprs(const SelectStmt& stmt,
+                     const std::function<void(const Expr&)>& fn,
+                     bool into_subqueries);
+
+void WalkTableRefExprs(const TableRef& ref,
+                       const std::function<void(const Expr&)>& fn,
+                       bool into_subqueries) {
+  switch (ref.kind()) {
+    case TableRefKind::kBaseTable:
+      break;
+    case TableRefKind::kSubquery:
+      if (into_subqueries) {
+        WalkSelectExprs(static_cast<const SubqueryRef&>(ref).select(), fn,
+                        into_subqueries);
+      }
+      break;
+    case TableRefKind::kJoin: {
+      const auto& join = static_cast<const JoinRef&>(ref);
+      WalkTableRefExprs(join.left(), fn, into_subqueries);
+      WalkTableRefExprs(join.right(), fn, into_subqueries);
+      if (join.on() != nullptr) WalkExprs(*join.on(), fn, into_subqueries);
+      break;
+    }
+  }
+}
+
+void WalkCoreExprs(const SelectCore& core,
+                   const std::function<void(const Expr&)>& fn,
+                   bool into_subqueries) {
+  for (const auto& item : core.items) WalkExprs(*item.expr, fn, into_subqueries);
+  if (core.from != nullptr) WalkTableRefExprs(*core.from, fn, into_subqueries);
+  if (core.where != nullptr) WalkExprs(*core.where, fn, into_subqueries);
+  for (const auto& g : core.group_by) WalkExprs(*g, fn, into_subqueries);
+  if (core.having != nullptr) WalkExprs(*core.having, fn, into_subqueries);
+}
+
+void WalkSelectExprs(const SelectStmt& stmt,
+                     const std::function<void(const Expr&)>& fn,
+                     bool into_subqueries) {
+  WalkCoreExprs(stmt.core, fn, into_subqueries);
+  for (const auto& [kind, core] : stmt.compounds) {
+    WalkCoreExprs(core, fn, into_subqueries);
+  }
+  for (const auto& item : stmt.order_by) {
+    WalkExprs(*item.expr, fn, into_subqueries);
+  }
+  if (stmt.limit != nullptr) WalkExprs(*stmt.limit, fn, into_subqueries);
+  if (stmt.offset != nullptr) WalkExprs(*stmt.offset, fn, into_subqueries);
+}
+
+}  // namespace
+
+void WalkExprs(const Expr& expr, const std::function<void(const Expr&)>& fn,
+               bool into_subqueries) {
+  fn(expr);
+  switch (expr.kind()) {
+    case ExprKind::kUnary:
+      WalkExprs(static_cast<const UnaryExpr&>(expr).operand(), fn,
+                into_subqueries);
+      break;
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      WalkExprs(bin.lhs(), fn, into_subqueries);
+      WalkExprs(bin.rhs(), fn, into_subqueries);
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCall&>(expr);
+      for (const auto& a : call.args()) WalkExprs(*a, fn, into_subqueries);
+      if (call.window() != nullptr) {
+        for (const auto& p : call.window()->partition_by) {
+          WalkExprs(*p, fn, into_subqueries);
+        }
+        for (const auto& [e, desc] : call.window()->order_by) {
+          WalkExprs(*e, fn, into_subqueries);
+        }
+      }
+      break;
+    }
+    case ExprKind::kCase: {
+      const auto& ce = static_cast<const CaseExpr&>(expr);
+      if (ce.operand() != nullptr) WalkExprs(*ce.operand(), fn, into_subqueries);
+      for (const auto& [w, t] : ce.whens()) {
+        WalkExprs(*w, fn, into_subqueries);
+        WalkExprs(*t, fn, into_subqueries);
+      }
+      if (ce.else_expr() != nullptr) {
+        WalkExprs(*ce.else_expr(), fn, into_subqueries);
+      }
+      break;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      WalkExprs(in.needle(), fn, into_subqueries);
+      for (const auto& e : in.list()) WalkExprs(*e, fn, into_subqueries);
+      break;
+    }
+    case ExprKind::kInSubquery: {
+      const auto& in = static_cast<const InSubqueryExpr&>(expr);
+      WalkExprs(in.needle(), fn, into_subqueries);
+      if (into_subqueries) WalkSelectExprs(in.subquery(), fn, into_subqueries);
+      break;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const BetweenExpr&>(expr);
+      WalkExprs(bt.operand(), fn, into_subqueries);
+      WalkExprs(bt.lo(), fn, into_subqueries);
+      WalkExprs(bt.hi(), fn, into_subqueries);
+      break;
+    }
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(expr);
+      WalkExprs(lk.operand(), fn, into_subqueries);
+      WalkExprs(lk.pattern(), fn, into_subqueries);
+      break;
+    }
+    case ExprKind::kIsNull:
+      WalkExprs(static_cast<const IsNullExpr&>(expr).operand(), fn,
+                into_subqueries);
+      break;
+    case ExprKind::kExists:
+      if (into_subqueries) {
+        WalkSelectExprs(static_cast<const ExistsExpr&>(expr).subquery(), fn,
+                        into_subqueries);
+      }
+      break;
+    case ExprKind::kCast:
+      WalkExprs(static_cast<const CastExpr&>(expr).operand(), fn,
+                into_subqueries);
+      break;
+    case ExprKind::kScalarSubquery:
+      if (into_subqueries) {
+        WalkSelectExprs(static_cast<const ScalarSubquery&>(expr).subquery(),
+                        fn, into_subqueries);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void WalkStatementExprs(const Statement& stmt,
+                        const std::function<void(const Expr&)>& fn,
+                        bool into_subqueries) {
+  switch (stmt.type()) {
+    case StatementType::kCreateTable: {
+      const auto& s = static_cast<const CreateTableStmt&>(stmt);
+      for (const auto& col : s.columns) {
+        if (col.default_value != nullptr) {
+          WalkExprs(*col.default_value, fn, into_subqueries);
+        }
+      }
+      break;
+    }
+    case StatementType::kCreateView: {
+      const auto& s = static_cast<const CreateViewStmt&>(stmt);
+      WalkSelectExprs(*s.select, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kCreateTrigger: {
+      const auto& s = static_cast<const CreateTriggerStmt&>(stmt);
+      WalkStatementExprs(*s.body, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kCreateRule: {
+      const auto& s = static_cast<const CreateRuleStmt&>(stmt);
+      if (s.action != nullptr) {
+        WalkStatementExprs(*s.action, fn, into_subqueries);
+      }
+      break;
+    }
+    case StatementType::kAlterTable: {
+      const auto& s = static_cast<const AlterTableStmt&>(stmt);
+      if (s.new_column.default_value != nullptr) {
+        WalkExprs(*s.new_column.default_value, fn, into_subqueries);
+      }
+      break;
+    }
+    case StatementType::kInsert:
+    case StatementType::kReplace: {
+      const auto& s = static_cast<const InsertStmt&>(stmt);
+      for (const auto& row : s.rows) {
+        for (const auto& e : row) WalkExprs(*e, fn, into_subqueries);
+      }
+      if (s.select != nullptr) {
+        WalkSelectExprs(*s.select, fn, into_subqueries);
+      }
+      break;
+    }
+    case StatementType::kUpdate: {
+      const auto& s = static_cast<const UpdateStmt&>(stmt);
+      for (const auto& [col, e] : s.assignments) {
+        WalkExprs(*e, fn, into_subqueries);
+      }
+      if (s.where != nullptr) WalkExprs(*s.where, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kDelete: {
+      const auto& s = static_cast<const DeleteStmt&>(stmt);
+      if (s.where != nullptr) WalkExprs(*s.where, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kCopy: {
+      const auto& s = static_cast<const CopyStmt&>(stmt);
+      if (s.query != nullptr) WalkSelectExprs(*s.query, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kSelect:
+      WalkSelectExprs(static_cast<const SelectStmt&>(stmt), fn,
+                      into_subqueries);
+      break;
+    case StatementType::kValues: {
+      const auto& s = static_cast<const ValuesStmt&>(stmt);
+      for (const auto& row : s.rows) {
+        for (const auto& e : row) WalkExprs(*e, fn, into_subqueries);
+      }
+      break;
+    }
+    case StatementType::kWith: {
+      const auto& s = static_cast<const WithStmt&>(stmt);
+      for (const auto& cte : s.ctes) {
+        WalkStatementExprs(*cte.statement, fn, into_subqueries);
+      }
+      WalkStatementExprs(*s.body, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kPragma:
+    case StatementType::kSet: {
+      const auto& s = static_cast<const PragmaStmt&>(stmt);
+      if (s.value != nullptr) WalkExprs(*s.value, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kExplain: {
+      const auto& s = static_cast<const ExplainStmt&>(stmt);
+      WalkStatementExprs(*s.target, fn, into_subqueries);
+      break;
+    }
+    case StatementType::kAlterSystem: {
+      const auto& s = static_cast<const AlterSystemStmt&>(stmt);
+      if (s.value != nullptr) WalkExprs(*s.value, fn, into_subqueries);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+namespace {
+
+void WalkRefTree(const TableRef& ref,
+                 const std::function<void(const TableRef&)>& fn,
+                 bool into_subqueries,
+                 const std::function<void(const SelectStmt&)>& select_fn) {
+  fn(ref);
+  switch (ref.kind()) {
+    case TableRefKind::kBaseTable:
+      break;
+    case TableRefKind::kSubquery:
+      if (into_subqueries) {
+        select_fn(static_cast<const SubqueryRef&>(ref).select());
+      }
+      break;
+    case TableRefKind::kJoin: {
+      const auto& join = static_cast<const JoinRef&>(ref);
+      WalkRefTree(join.left(), fn, into_subqueries, select_fn);
+      WalkRefTree(join.right(), fn, into_subqueries, select_fn);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void WalkTableRefs(const Statement& stmt,
+                   const std::function<void(const TableRef&)>& fn,
+                   bool into_subqueries) {
+  WalkSelects(stmt, [&](const SelectStmt& select) {
+    std::function<void(const SelectStmt&)> recurse =
+        [&](const SelectStmt& inner) {
+          if (inner.core.from != nullptr) {
+            WalkRefTree(*inner.core.from, fn, into_subqueries, recurse);
+          }
+          for (const auto& [kind, core] : inner.compounds) {
+            if (core.from != nullptr) {
+              WalkRefTree(*core.from, fn, into_subqueries, recurse);
+            }
+          }
+        };
+    recurse(select);
+  });
+}
+
+void WalkSelects(const Statement& stmt,
+                 const std::function<void(const SelectStmt&)>& fn) {
+  switch (stmt.type()) {
+    case StatementType::kSelect:
+      fn(static_cast<const SelectStmt&>(stmt));
+      break;
+    case StatementType::kCreateView:
+      fn(*static_cast<const CreateViewStmt&>(stmt).select);
+      break;
+    case StatementType::kCreateTrigger:
+      WalkSelects(*static_cast<const CreateTriggerStmt&>(stmt).body, fn);
+      break;
+    case StatementType::kCreateRule: {
+      const auto& s = static_cast<const CreateRuleStmt&>(stmt);
+      if (s.action != nullptr) WalkSelects(*s.action, fn);
+      break;
+    }
+    case StatementType::kInsert:
+    case StatementType::kReplace: {
+      const auto& s = static_cast<const InsertStmt&>(stmt);
+      if (s.select != nullptr) fn(*s.select);
+      break;
+    }
+    case StatementType::kCopy: {
+      const auto& s = static_cast<const CopyStmt&>(stmt);
+      if (s.query != nullptr) fn(*s.query);
+      break;
+    }
+    case StatementType::kWith: {
+      const auto& s = static_cast<const WithStmt&>(stmt);
+      for (const auto& cte : s.ctes) WalkSelects(*cte.statement, fn);
+      WalkSelects(*s.body, fn);
+      break;
+    }
+    case StatementType::kExplain:
+      WalkSelects(*static_cast<const ExplainStmt&>(stmt).target, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace lego::sql

@@ -1,0 +1,37 @@
+#ifndef LEGO_SQL_AST_WALK_H_
+#define LEGO_SQL_AST_WALK_H_
+
+#include <functional>
+
+#include "sql/ast.h"
+
+namespace lego::sql {
+
+/// Calls `fn` on `expr` and every sub-expression. When `into_subqueries` is
+/// false, subquery SELECT bodies (scalar subqueries, IN (SELECT..), EXISTS)
+/// are not entered — their aggregates/columns belong to their own scope.
+void WalkExprs(const Expr& expr, const std::function<void(const Expr&)>& fn,
+               bool into_subqueries);
+
+/// Calls `fn` on every expression reachable from `stmt` (select items,
+/// predicates, assignments, VALUES rows, DDL defaults, nested statement
+/// bodies). Descends into nested statements (trigger bodies, rule actions,
+/// WITH members) and, when requested, into subqueries.
+void WalkStatementExprs(const Statement& stmt,
+                        const std::function<void(const Expr&)>& fn,
+                        bool into_subqueries);
+
+/// Calls `fn` on every TableRef in the statement's FROM clauses (including
+/// nested selects when `into_subqueries`).
+void WalkTableRefs(const Statement& stmt,
+                   const std::function<void(const TableRef&)>& fn,
+                   bool into_subqueries);
+
+/// Calls `fn` on every SelectStmt contained in `stmt` (including `stmt`
+/// itself if it is one, views excluded — they live in the catalog).
+void WalkSelects(const Statement& stmt,
+                 const std::function<void(const SelectStmt&)>& fn);
+
+}  // namespace lego::sql
+
+#endif  // LEGO_SQL_AST_WALK_H_

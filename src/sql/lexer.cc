@@ -1,0 +1,216 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace lego::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token t = Next();
+    if (t.kind == TokenKind::kError) {
+      return Status::SyntaxError(error_ + " at offset " +
+                                 std::to_string(t.offset));
+    }
+    tokens.push_back(t);
+    if (t.kind == TokenKind::kEof) break;
+  }
+  return tokens;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') ++pos_;
+    } else if (c == '/' && Peek(1) == '*') {
+      pos_ += 2;
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) ++pos_;
+      if (!AtEnd()) pos_ += 2;
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token t;
+  t.offset = pos_;
+  if (AtEnd()) {
+    t.kind = TokenKind::kEof;
+    return t;
+  }
+  char c = Peek();
+
+  if (IsIdentStart(c)) {
+    size_t start = pos_;
+    while (!AtEnd() && IsIdentChar(Peek())) ++pos_;
+    t.kind = TokenKind::kIdentifier;
+    t.text = std::string(input_.substr(start, pos_ - start));
+    return t;
+  }
+
+  if (c == '"') {
+    ++pos_;
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      text.push_back(Peek());
+      ++pos_;
+    }
+    if (AtEnd()) {
+      error_ = "unterminated quoted identifier";
+      t.kind = TokenKind::kError;
+      return t;
+    }
+    ++pos_;  // closing quote
+    t.kind = TokenKind::kIdentifier;
+    t.text = std::move(text);
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (!AtEnd() && Peek() == '.') {
+      is_float = true;
+      ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      size_t save = pos_;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_float = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+      } else {
+        pos_ = save;  // 'e' starts an identifier, not an exponent
+      }
+    }
+    t.kind = is_float ? TokenKind::kFloatLiteral : TokenKind::kIntegerLiteral;
+    t.text = std::string(input_.substr(start, pos_ - start));
+    return t;
+  }
+
+  if (c == '\'') {
+    ++pos_;
+    std::string text;
+    while (!AtEnd()) {
+      if (Peek() == '\'') {
+        if (Peek(1) == '\'') {  // escaped quote
+          text.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        break;
+      }
+      text.push_back(Peek());
+      ++pos_;
+    }
+    if (AtEnd()) {
+      error_ = "unterminated string literal";
+      t.kind = TokenKind::kError;
+      return t;
+    }
+    ++pos_;  // closing quote
+    t.kind = TokenKind::kStringLiteral;
+    t.text = std::move(text);
+    return t;
+  }
+
+  auto single = [&](TokenKind k) {
+    t.kind = k;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  };
+
+  switch (c) {
+    case '(': return single(TokenKind::kLParen);
+    case ')': return single(TokenKind::kRParen);
+    case ',': return single(TokenKind::kComma);
+    case ';': return single(TokenKind::kSemicolon);
+    case '.': return single(TokenKind::kDot);
+    case '*': return single(TokenKind::kStar);
+    case '+': return single(TokenKind::kPlus);
+    case '-': return single(TokenKind::kMinus);
+    case '/': return single(TokenKind::kSlash);
+    case '%': return single(TokenKind::kPercent);
+    case '=': return single(TokenKind::kEq);
+    case '<':
+      if (Peek(1) == '>') {
+        t.kind = TokenKind::kNotEq;
+        t.text = "<>";
+        pos_ += 2;
+        return t;
+      }
+      if (Peek(1) == '=') {
+        t.kind = TokenKind::kLtEq;
+        t.text = "<=";
+        pos_ += 2;
+        return t;
+      }
+      return single(TokenKind::kLt);
+    case '>':
+      if (Peek(1) == '=') {
+        t.kind = TokenKind::kGtEq;
+        t.text = ">=";
+        pos_ += 2;
+        return t;
+      }
+      return single(TokenKind::kGt);
+    case '!':
+      if (Peek(1) == '=') {
+        t.kind = TokenKind::kNotEq;
+        t.text = "!=";
+        pos_ += 2;
+        return t;
+      }
+      error_ = "unexpected character '!'";
+      t.kind = TokenKind::kError;
+      return t;
+    case '|':
+      if (Peek(1) == '|') {
+        t.kind = TokenKind::kConcat;
+        t.text = "||";
+        pos_ += 2;
+        return t;
+      }
+      error_ = "unexpected character '|'";
+      t.kind = TokenKind::kError;
+      return t;
+    case '@':
+      if (Peek(1) == '@') {
+        t.kind = TokenKind::kAtAt;
+        t.text = "@@";
+        pos_ += 2;
+        return t;
+      }
+      error_ = "unexpected character '@'";
+      t.kind = TokenKind::kError;
+      return t;
+    default:
+      error_ = std::string("unexpected character '") + c + "'";
+      t.kind = TokenKind::kError;
+      return t;
+  }
+}
+
+}  // namespace lego::sql

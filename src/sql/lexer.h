@@ -1,0 +1,39 @@
+#ifndef LEGO_SQL_LEXER_H_
+#define LEGO_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace lego::sql {
+
+/// Hand-written SQL lexer. Handles identifiers ("quoted" and bare), numeric
+/// and string literals ('' escaping), operators, `--` line comments and
+/// `/* */` block comments.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Lexes the whole input. On success the final token is kEof. Returns a
+  /// SyntaxError for unterminated strings/comments or stray characters.
+  StatusOr<std::vector<Token>> Tokenize();
+
+ private:
+  Token Next();
+  void SkipWhitespaceAndComments();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace lego::sql
+
+#endif  // LEGO_SQL_LEXER_H_

@@ -1,0 +1,1300 @@
+#include "sql/parser.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace lego::sql {
+
+namespace {
+
+/// Keywords that terminate an expression/alias position; a bare identifier in
+/// alias position is only an alias if it is not one of these.
+const std::unordered_set<std::string>& ReservedKeywords() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "FROM",  "WHERE",   "GROUP",  "HAVING", "ORDER",    "LIMIT",
+      "OFFSET", "UNION",  "EXCEPT", "INTERSECT", "ON",    "JOIN",
+      "LEFT",  "RIGHT",   "CROSS",  "INNER",  "OUTER",    "AS",
+      "SET",   "VALUES",  "AND",    "OR",     "NOT",      "IN",
+      "IS",    "BETWEEN", "LIKE",   "CASE",   "WHEN",     "THEN",
+      "ELSE",  "END",     "TO",     "DESC",   "ASC",      "WITH",
+      "SELECT", "INSERT", "UPDATE", "DELETE", "DO",       "FOR",
+      "CSV",   "HEADER",  "STDOUT", "STDIN",  "OVER",     "PARTITION",
+      "BY",    "EXISTS",  "DISTINCT",
+  };
+  return *kSet;
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<StmtPtr>> ParseScript() {
+    std::vector<StmtPtr> stmts;
+    while (!AtEof()) {
+      if (MatchTok(TokenKind::kSemicolon)) continue;
+      LEGO_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+      stmts.push_back(std::move(stmt));
+      if (!AtEof() && !MatchTok(TokenKind::kSemicolon)) {
+        return Err("expected ';' between statements");
+      }
+    }
+    return stmts;
+  }
+
+  StatusOr<StmtPtr> ParseSingle() {
+    LEGO_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+    MatchTok(TokenKind::kSemicolon);
+    if (!AtEof()) return Err("trailing tokens after statement");
+    return stmt;
+  }
+
+  StatusOr<ExprPtr> ParseSingleExpr() {
+    LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEof()) return Err("trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  // ----- token helpers -----
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool AtEof() const { return Cur().kind == TokenKind::kEof; }
+
+  bool PeekTok(TokenKind k, size_t ahead = 0) const {
+    return tokens_[std::min(pos_ + ahead, tokens_.size() - 1)].kind == k;
+  }
+
+  bool MatchTok(TokenKind k) {
+    if (Cur().kind != k) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ExpectTok(TokenKind k, const char* what) {
+    if (!MatchTok(k)) return Err(std::string("expected ") + what);
+    return Status::OK();
+  }
+
+  /// Is the current token the identifier `kw` (case-insensitive)?
+  bool PeekKw(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = tokens_[std::min(pos_ + ahead, tokens_.size() - 1)];
+    return t.kind == TokenKind::kIdentifier && EqualsIgnoreCase(t.text, kw);
+  }
+
+  bool MatchKw(std::string_view kw) {
+    if (!PeekKw(kw)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ExpectKw(std::string_view kw) {
+    if (!MatchKw(kw)) {
+      return Err(std::string("expected keyword ") + std::string(kw));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ParseIdentifier(const char* what) {
+    if (Cur().kind != TokenKind::kIdentifier) {
+      return StatusOr<std::string>(Err(std::string("expected ") + what));
+    }
+    std::string name = ToLower(Cur().text);
+    ++pos_;
+    return name;
+  }
+
+  Status Err(std::string msg) const {
+    msg += " near offset ";
+    msg += std::to_string(Cur().offset);
+    if (Cur().kind == TokenKind::kIdentifier) {
+      msg += " ('" + Cur().text + "')";
+    }
+    return Status::SyntaxError(std::move(msg));
+  }
+
+  // ----- statements -----
+  StatusOr<StmtPtr> ParseStatement() {
+    if (PeekKw("CREATE")) return ParseCreate();
+    if (PeekKw("DROP")) return ParseDrop();
+    if (PeekKw("ALTER")) return ParseAlter();
+    if (PeekKw("TRUNCATE")) return ParseTruncate();
+    if (PeekKw("INSERT") || PeekKw("REPLACE")) return ParseInsert();
+    if (PeekKw("UPDATE")) return ParseUpdate();
+    if (PeekKw("DELETE")) return ParseDelete();
+    if (PeekKw("COPY")) return ParseCopy();
+    if (PeekKw("SELECT")) return UpCast(ParseSelect());
+    if (PeekKw("VALUES")) return ParseValues();
+    if (PeekKw("WITH")) return ParseWith();
+    if (PeekKw("GRANT")) return ParseGrant();
+    if (PeekKw("REVOKE")) return ParseRevoke();
+    if (PeekKw("BEGIN") || PeekKw("START")) return ParseBegin();
+    if (PeekKw("COMMIT")) {
+      ++pos_;
+      MatchKw("TRANSACTION");
+      return StmtPtr(std::make_unique<SimpleStmt>(StatementType::kCommit));
+    }
+    if (PeekKw("ROLLBACK")) return ParseRollback();
+    if (PeekKw("SAVEPOINT")) return ParseNamed(StatementType::kSavepoint);
+    if (PeekKw("RELEASE")) {
+      ++pos_;
+      MatchKw("SAVEPOINT");
+      LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("savepoint"));
+      return StmtPtr(
+          std::make_unique<NamedStmt>(StatementType::kRelease, name));
+    }
+    if (PeekKw("PRAGMA")) return ParsePragma();
+    if (PeekKw("SET")) return ParseSet();
+    if (PeekKw("SHOW")) return ParseShow();
+    if (PeekKw("EXPLAIN")) return ParseExplain();
+    if (PeekKw("ANALYZE")) return ParseMaintenance(StatementType::kAnalyze);
+    if (PeekKw("VACUUM")) return ParseMaintenance(StatementType::kVacuum);
+    if (PeekKw("REINDEX")) return ParseMaintenance(StatementType::kReindex);
+    if (PeekKw("CHECKPOINT")) {
+      ++pos_;
+      return StmtPtr(std::make_unique<SimpleStmt>(StatementType::kCheckpoint));
+    }
+    if (PeekKw("NOTIFY")) return ParseNotify();
+    if (PeekKw("LISTEN")) return ParseNamed(StatementType::kListen);
+    if (PeekKw("UNLISTEN")) return ParseNamed(StatementType::kUnlisten);
+    if (PeekKw("COMMENT")) return ParseComment();
+    if (PeekKw("DISCARD")) return ParseDiscard();
+    return StatusOr<StmtPtr>(Err("unknown statement"));
+  }
+
+  static StatusOr<StmtPtr> UpCast(StatusOr<std::unique_ptr<SelectStmt>> s) {
+    if (!s.ok()) return s.status();
+    return StmtPtr(std::move(*s));
+  }
+
+  StatusOr<StmtPtr> ParseCreate() {
+    ++pos_;  // CREATE
+    bool or_replace = false;
+    if (MatchKw("OR")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("REPLACE"));
+      or_replace = true;
+    }
+    bool temporary = MatchKw("TEMPORARY") || MatchKw("TEMP");
+    bool unique = MatchKw("UNIQUE");
+    if (MatchKw("TABLE")) return ParseCreateTable(temporary);
+    if (MatchKw("INDEX")) return ParseCreateIndex(unique);
+    if (MatchKw("VIEW")) return ParseCreateView(or_replace);
+    if (MatchKw("TRIGGER")) return ParseCreateTrigger();
+    if (MatchKw("SEQUENCE")) return ParseCreateSequence();
+    if (MatchKw("RULE")) return ParseCreateRule(or_replace);
+    if (MatchKw("USER")) return ParseCreateUser();
+    return StatusOr<StmtPtr>(Err("unknown CREATE object"));
+  }
+
+  StatusOr<bool> ParseIfNotExists() {
+    if (MatchKw("IF")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("NOT"));
+      LEGO_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<SqlType> ParseColumnType() {
+    LEGO_ASSIGN_OR_RETURN(std::string t, ParseIdentifier("type name"));
+    std::string up = ToUpper(t);
+    SqlType type;
+    if (up == "INT" || up == "INTEGER" || up == "BIGINT" || up == "SMALLINT" ||
+        up == "YEAR") {
+      type = SqlType::kInt;
+    } else if (up == "REAL" || up == "FLOAT" || up == "DOUBLE" ||
+               up == "NUMERIC" || up == "DECIMAL") {
+      type = SqlType::kReal;
+    } else if (up == "TEXT" || up == "VARCHAR" || up == "CHAR" ||
+               up == "STRING" || up == "CLOB") {
+      type = SqlType::kText;
+    } else if (up == "BOOL" || up == "BOOLEAN") {
+      type = SqlType::kBool;
+    } else {
+      return StatusOr<SqlType>(Err("unknown column type '" + t + "'"));
+    }
+    // Optional length/precision: VARCHAR(100), DECIMAL(10, 2).
+    if (MatchTok(TokenKind::kLParen)) {
+      while (!AtEof() && !PeekTok(TokenKind::kRParen)) ++pos_;
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+    }
+    return type;
+  }
+
+  StatusOr<ColumnDef> ParseColumnDef() {
+    ColumnDef col;
+    LEGO_ASSIGN_OR_RETURN(col.name, ParseIdentifier("column name"));
+    LEGO_ASSIGN_OR_RETURN(col.type, ParseColumnType());
+    while (true) {
+      if (MatchKw("PRIMARY")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("KEY"));
+        col.primary_key = true;
+      } else if (MatchKw("UNIQUE")) {
+        col.unique = true;
+      } else if (MatchKw("NOT")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("NULL"));
+        col.not_null = true;
+      } else if (MatchKw("NULL")) {
+        // explicit NULL is a no-op
+      } else if (MatchKw("DEFAULT")) {
+        LEGO_ASSIGN_OR_RETURN(col.default_value, ParsePrimary());
+      } else if (MatchKw("ZEROFILL") || MatchKw("UNSIGNED") ||
+                 MatchKw("AUTO_INCREMENT")) {
+        // MySQL-flavored attributes accepted and ignored.
+      } else {
+        break;
+      }
+    }
+    return col;
+  }
+
+  StatusOr<StmtPtr> ParseCreateTable(bool temporary) {
+    auto stmt = std::make_unique<CreateTableStmt>();
+    stmt->temporary = temporary;
+    LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("table name"));
+    LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+    do {
+      LEGO_ASSIGN_OR_RETURN(ColumnDef col, ParseColumnDef());
+      stmt->columns.push_back(std::move(col));
+    } while (MatchTok(TokenKind::kComma));
+    LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseCreateIndex(bool unique) {
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    stmt->unique = unique;
+    LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("index name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("ON"));
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+    do {
+      LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
+      stmt->columns.push_back(std::move(col));
+    } while (MatchTok(TokenKind::kComma));
+    LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseCreateView(bool or_replace) {
+    auto stmt = std::make_unique<CreateViewStmt>();
+    stmt->or_replace = or_replace;
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("view name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("AS"));
+    LEGO_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseCreateTrigger() {
+    auto stmt = std::make_unique<CreateTriggerStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("trigger name"));
+    if (MatchKw("BEFORE")) {
+      stmt->timing = TriggerTiming::kBefore;
+    } else if (MatchKw("AFTER")) {
+      stmt->timing = TriggerTiming::kAfter;
+    } else {
+      return StatusOr<StmtPtr>(Err("expected BEFORE or AFTER"));
+    }
+    LEGO_ASSIGN_OR_RETURN(stmt->event, ParseTriggerEvent());
+    LEGO_RETURN_IF_ERROR(ExpectKw("ON"));
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    if (MatchKw("FOR")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("EACH"));
+      LEGO_RETURN_IF_ERROR(ExpectKw("ROW"));
+      stmt->for_each_row = true;
+    } else {
+      stmt->for_each_row = false;
+    }
+    LEGO_ASSIGN_OR_RETURN(stmt->body, ParseStatement());
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<TriggerEvent> ParseTriggerEvent() {
+    if (MatchKw("INSERT")) return TriggerEvent::kInsert;
+    if (MatchKw("UPDATE")) return TriggerEvent::kUpdate;
+    if (MatchKw("DELETE")) return TriggerEvent::kDelete;
+    return StatusOr<TriggerEvent>(Err("expected INSERT, UPDATE, or DELETE"));
+  }
+
+  StatusOr<StmtPtr> ParseCreateSequence() {
+    auto stmt = std::make_unique<CreateSequenceStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("sequence name"));
+    while (true) {
+      if (MatchKw("START")) {
+        MatchKw("WITH");
+        LEGO_ASSIGN_OR_RETURN(stmt->start, ParseSignedInteger());
+      } else if (MatchKw("INCREMENT")) {
+        MatchKw("BY");
+        LEGO_ASSIGN_OR_RETURN(stmt->increment, ParseSignedInteger());
+      } else {
+        break;
+      }
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<int64_t> ParseSignedInteger() {
+    bool neg = MatchTok(TokenKind::kMinus);
+    if (Cur().kind != TokenKind::kIntegerLiteral) {
+      return StatusOr<int64_t>(Err("expected integer"));
+    }
+    int64_t v = std::strtoll(Cur().text.c_str(), nullptr, 10);
+    ++pos_;
+    return neg ? -v : v;
+  }
+
+  StatusOr<StmtPtr> ParseCreateRule(bool or_replace) {
+    auto stmt = std::make_unique<CreateRuleStmt>();
+    stmt->or_replace = or_replace;
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("rule name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("AS"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("ON"));
+    LEGO_ASSIGN_OR_RETURN(stmt->event, ParseTriggerEvent());
+    LEGO_RETURN_IF_ERROR(ExpectKw("TO"));
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("DO"));
+    stmt->instead = MatchKw("INSTEAD");
+    if (MatchKw("NOTHING")) {
+      stmt->action = nullptr;
+    } else {
+      LEGO_ASSIGN_OR_RETURN(stmt->action, ParseStatement());
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseCreateUser() {
+    auto stmt = std::make_unique<CreateUserStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("user name"));
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseDrop() {
+    ++pos_;  // DROP
+    StatementType type;
+    if (MatchKw("TABLE")) {
+      type = StatementType::kDropTable;
+    } else if (MatchKw("INDEX")) {
+      type = StatementType::kDropIndex;
+    } else if (MatchKw("VIEW")) {
+      type = StatementType::kDropView;
+    } else if (MatchKw("TRIGGER")) {
+      type = StatementType::kDropTrigger;
+    } else if (MatchKw("SEQUENCE")) {
+      type = StatementType::kDropSequence;
+    } else if (MatchKw("RULE")) {
+      type = StatementType::kDropRule;
+    } else if (MatchKw("USER")) {
+      auto stmt = std::make_unique<DropUserStmt>();
+      if (MatchKw("IF")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+        stmt->if_exists = true;
+      }
+      LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("user name"));
+      return StmtPtr(std::move(stmt));
+    } else {
+      return StatusOr<StmtPtr>(Err("unknown DROP object"));
+    }
+    bool if_exists = false;
+    if (MatchKw("IF")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      if_exists = true;
+    }
+    LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("object name"));
+    return StmtPtr(std::make_unique<DropStmt>(type, name, if_exists));
+  }
+
+  StatusOr<StmtPtr> ParseAlter() {
+    ++pos_;  // ALTER
+    if (MatchKw("SYSTEM")) return ParseAlterSystem();
+    LEGO_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    auto stmt = std::make_unique<AlterTableStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    if (MatchKw("ADD")) {
+      MatchKw("COLUMN");
+      stmt->action = AlterAction::kAddColumn;
+      LEGO_ASSIGN_OR_RETURN(stmt->new_column, ParseColumnDef());
+    } else if (MatchKw("DROP")) {
+      MatchKw("COLUMN");
+      stmt->action = AlterAction::kDropColumn;
+      LEGO_ASSIGN_OR_RETURN(stmt->old_name, ParseIdentifier("column name"));
+    } else if (MatchKw("RENAME")) {
+      if (MatchKw("COLUMN")) {
+        stmt->action = AlterAction::kRenameColumn;
+        LEGO_ASSIGN_OR_RETURN(stmt->old_name, ParseIdentifier("column name"));
+        LEGO_RETURN_IF_ERROR(ExpectKw("TO"));
+        LEGO_ASSIGN_OR_RETURN(stmt->new_name, ParseIdentifier("new name"));
+      } else {
+        LEGO_RETURN_IF_ERROR(ExpectKw("TO"));
+        stmt->action = AlterAction::kRenameTable;
+        LEGO_ASSIGN_OR_RETURN(stmt->new_name, ParseIdentifier("new name"));
+      }
+    } else {
+      return StatusOr<StmtPtr>(Err("unknown ALTER TABLE action"));
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseAlterSystem() {
+    auto stmt = std::make_unique<AlterSystemStmt>();
+    if (MatchKw("SET")) {
+      stmt->action = "SET";
+      LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("setting name"));
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kEq, "'='"));
+      LEGO_ASSIGN_OR_RETURN(stmt->value, ParsePrimary());
+    } else {
+      // Free-form action words: FLUSH, MAJOR FREEZE, ...
+      std::vector<std::string> words;
+      while (Cur().kind == TokenKind::kIdentifier) {
+        words.push_back(ToUpper(Cur().text));
+        ++pos_;
+      }
+      if (words.empty()) return StatusOr<StmtPtr>(Err("expected action"));
+      stmt->action = Join(words, " ");
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseTruncate() {
+    ++pos_;  // TRUNCATE
+    MatchKw("TABLE");
+    auto stmt = std::make_unique<TruncateStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseInsert() {
+    auto stmt = std::make_unique<InsertStmt>();
+    if (MatchKw("REPLACE")) {
+      stmt->replace = true;
+    } else {
+      LEGO_RETURN_IF_ERROR(ExpectKw("INSERT"));
+      MatchKw("LOW_PRIORITY");
+      if (MatchKw("IGNORE")) stmt->or_ignore = true;
+      if (MatchKw("OR")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("IGNORE"));
+        stmt->or_ignore = true;
+      }
+    }
+    LEGO_RETURN_IF_ERROR(ExpectKw("INTO"));
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    if (PeekTok(TokenKind::kLParen)) {
+      ++pos_;
+      do {
+        LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
+        stmt->columns.push_back(std::move(col));
+      } while (MatchTok(TokenKind::kComma));
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+    }
+    if (MatchKw("VALUES")) {
+      do {
+        LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+        std::vector<ExprPtr> row;
+        do {
+          LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+        } while (MatchTok(TokenKind::kComma));
+        LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+        stmt->rows.push_back(std::move(row));
+      } while (MatchTok(TokenKind::kComma));
+    } else if (PeekKw("SELECT")) {
+      LEGO_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    } else if (MatchKw("DEFAULT")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("VALUES"));
+      // INSERT INTO t DEFAULT VALUES: represented as one empty row.
+      stmt->rows.emplace_back();
+    } else {
+      return StatusOr<StmtPtr>(Err("expected VALUES or SELECT"));
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseUpdate() {
+    ++pos_;  // UPDATE
+    auto stmt = std::make_unique<UpdateStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("SET"));
+    do {
+      LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kEq, "'='"));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(e));
+    } while (MatchTok(TokenKind::kComma));
+    if (MatchKw("WHERE")) {
+      LEGO_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseDelete() {
+    ++pos_;  // DELETE
+    LEGO_RETURN_IF_ERROR(ExpectKw("FROM"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    if (MatchKw("WHERE")) {
+      LEGO_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseCopy() {
+    ++pos_;  // COPY
+    auto stmt = std::make_unique<CopyStmt>();
+    if (MatchTok(TokenKind::kLParen)) {
+      LEGO_ASSIGN_OR_RETURN(stmt->query, ParseSelect());
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+    } else {
+      LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    }
+    if (MatchKw("TO")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("STDOUT"));
+      stmt->to_stdout = true;
+    } else if (MatchKw("FROM")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("STDIN"));
+      stmt->to_stdout = false;
+    } else {
+      return StatusOr<StmtPtr>(Err("expected TO STDOUT or FROM STDIN"));
+    }
+    if (MatchKw("CSV")) stmt->csv = true;
+    if (MatchKw("HEADER")) stmt->header = true;
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseValues() {
+    ++pos_;  // VALUES
+    auto stmt = std::make_unique<ValuesStmt>();
+    do {
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+      std::vector<ExprPtr> row;
+      do {
+        LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (MatchTok(TokenKind::kComma));
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      stmt->rows.push_back(std::move(row));
+    } while (MatchTok(TokenKind::kComma));
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseWith() {
+    ++pos_;  // WITH
+    auto stmt = std::make_unique<WithStmt>();
+    do {
+      CommonTableExpr cte;
+      LEGO_ASSIGN_OR_RETURN(cte.name, ParseIdentifier("CTE name"));
+      if (MatchTok(TokenKind::kLParen)) {
+        do {
+          LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
+          cte.columns.push_back(std::move(col));
+        } while (MatchTok(TokenKind::kComma));
+        LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      }
+      LEGO_RETURN_IF_ERROR(ExpectKw("AS"));
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+      LEGO_ASSIGN_OR_RETURN(cte.statement, ParseStatement());
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      stmt->ctes.push_back(std::move(cte));
+    } while (MatchTok(TokenKind::kComma));
+    if (!(PeekKw("SELECT") || PeekKw("INSERT") || PeekKw("UPDATE") ||
+          PeekKw("DELETE") || PeekKw("VALUES") || PeekKw("REPLACE"))) {
+      return StatusOr<StmtPtr>(Err("expected WITH body statement"));
+    }
+    LEGO_ASSIGN_OR_RETURN(stmt->body, ParseStatement());
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<Privilege> ParsePrivilege() {
+    if (MatchKw("SELECT")) return Privilege::kSelect;
+    if (MatchKw("INSERT")) return Privilege::kInsert;
+    if (MatchKw("UPDATE")) return Privilege::kUpdate;
+    if (MatchKw("DELETE")) return Privilege::kDelete;
+    if (MatchKw("ALL")) {
+      MatchKw("PRIVILEGES");
+      return Privilege::kAll;
+    }
+    return StatusOr<Privilege>(Err("expected privilege"));
+  }
+
+  StatusOr<StmtPtr> ParseGrant() {
+    ++pos_;  // GRANT
+    auto stmt = std::make_unique<GrantStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->privilege, ParsePrivilege());
+    LEGO_RETURN_IF_ERROR(ExpectKw("ON"));
+    MatchKw("TABLE");
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("TO"));
+    LEGO_ASSIGN_OR_RETURN(stmt->user, ParseIdentifier("user name"));
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseRevoke() {
+    ++pos_;  // REVOKE
+    auto stmt = std::make_unique<RevokeStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->privilege, ParsePrivilege());
+    LEGO_RETURN_IF_ERROR(ExpectKw("ON"));
+    MatchKw("TABLE");
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("FROM"));
+    LEGO_ASSIGN_OR_RETURN(stmt->user, ParseIdentifier("user name"));
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseBegin() {
+    if (MatchKw("START")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("TRANSACTION"));
+    } else {
+      ++pos_;  // BEGIN
+      MatchKw("TRANSACTION");
+    }
+    return StmtPtr(std::make_unique<SimpleStmt>(StatementType::kBegin));
+  }
+
+  StatusOr<StmtPtr> ParseRollback() {
+    ++pos_;  // ROLLBACK
+    MatchKw("TRANSACTION");
+    if (MatchKw("TO")) {
+      MatchKw("SAVEPOINT");
+      LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("savepoint"));
+      return StmtPtr(
+          std::make_unique<NamedStmt>(StatementType::kRollbackTo, name));
+    }
+    return StmtPtr(std::make_unique<SimpleStmt>(StatementType::kRollback));
+  }
+
+  StatusOr<StmtPtr> ParseNamed(StatementType type) {
+    ++pos_;  // keyword
+    LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("name"));
+    return StmtPtr(std::make_unique<NamedStmt>(type, name));
+  }
+
+  StatusOr<StmtPtr> ParsePragma() {
+    ++pos_;  // PRAGMA
+    auto stmt = std::make_unique<PragmaStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("pragma name"));
+    if (MatchTok(TokenKind::kEq)) {
+      LEGO_ASSIGN_OR_RETURN(stmt->value, ParsePrimary());
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseSet() {
+    ++pos_;  // SET
+    auto stmt = std::make_unique<PragmaStmt>();
+    stmt->is_set = true;
+    if (MatchTok(TokenKind::kAtAt)) {
+      stmt->session_scope = true;
+      if (PeekKw("SESSION") && PeekTok(TokenKind::kDot, 1)) {
+        pos_ += 2;  // SESSION .
+      }
+    }
+    LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("variable name"));
+    LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kEq, "'='"));
+    LEGO_ASSIGN_OR_RETURN(stmt->value, ParsePrimary());
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseShow() {
+    ++pos_;  // SHOW
+    auto stmt = std::make_unique<ShowStmt>();
+    LEGO_ASSIGN_OR_RETURN(std::string what, ParseIdentifier("show target"));
+    stmt->what = ToUpper(what);
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseExplain() {
+    ++pos_;  // EXPLAIN
+    auto stmt = std::make_unique<ExplainStmt>();
+    if (MatchKw("ANALYZE")) stmt->analyze = true;
+    LEGO_ASSIGN_OR_RETURN(stmt->target, ParseStatement());
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseMaintenance(StatementType type) {
+    ++pos_;  // keyword
+    std::string target;
+    if (Cur().kind == TokenKind::kIdentifier &&
+        !ReservedKeywords().count(ToUpper(Cur().text))) {
+      target = ToLower(Cur().text);
+      ++pos_;
+    }
+    return StmtPtr(std::make_unique<MaintenanceStmt>(type, target));
+  }
+
+  StatusOr<StmtPtr> ParseNotify() {
+    ++pos_;  // NOTIFY
+    auto stmt = std::make_unique<NotifyStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->channel, ParseIdentifier("channel"));
+    if (MatchTok(TokenKind::kComma)) {
+      if (Cur().kind != TokenKind::kStringLiteral) {
+        return StatusOr<StmtPtr>(Err("expected payload string"));
+      }
+      stmt->payload = Cur().text;
+      ++pos_;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseComment() {
+    ++pos_;  // COMMENT
+    LEGO_RETURN_IF_ERROR(ExpectKw("ON"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    auto stmt = std::make_unique<CommentStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
+    LEGO_RETURN_IF_ERROR(ExpectKw("IS"));
+    if (Cur().kind != TokenKind::kStringLiteral) {
+      return StatusOr<StmtPtr>(Err("expected comment string"));
+    }
+    stmt->text = Cur().text;
+    ++pos_;
+    return StmtPtr(std::move(stmt));
+  }
+
+  StatusOr<StmtPtr> ParseDiscard() {
+    ++pos_;  // DISCARD
+    auto stmt = std::make_unique<DiscardStmt>();
+    if (MatchKw("ALL")) {
+      stmt->all = true;
+    } else if (MatchKw("TEMP") || MatchKw("TEMPORARY")) {
+      stmt->all = false;
+    } else {
+      return StatusOr<StmtPtr>(Err("expected ALL or TEMP"));
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  // ----- SELECT -----
+  StatusOr<std::unique_ptr<SelectStmt>> ParseSelect() {
+    auto stmt = std::make_unique<SelectStmt>();
+    LEGO_ASSIGN_OR_RETURN(stmt->core, ParseSelectCore());
+    while (true) {
+      SetOpKind kind;
+      if (MatchKw("UNION")) {
+        kind = MatchKw("ALL") ? SetOpKind::kUnionAll : SetOpKind::kUnion;
+      } else if (MatchKw("EXCEPT")) {
+        kind = SetOpKind::kExcept;
+      } else if (MatchKw("INTERSECT")) {
+        kind = SetOpKind::kIntersect;
+      } else {
+        break;
+      }
+      LEGO_ASSIGN_OR_RETURN(SelectCore core, ParseSelectCore());
+      stmt->compounds.emplace_back(kind, std::move(core));
+    }
+    if (MatchKw("ORDER")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+      do {
+        OrderByItem item;
+        LEGO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKw("DESC")) {
+          item.desc = true;
+        } else {
+          MatchKw("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (MatchTok(TokenKind::kComma));
+    }
+    if (MatchKw("LIMIT")) {
+      LEGO_ASSIGN_OR_RETURN(stmt->limit, ParseExpr());
+    }
+    if (MatchKw("OFFSET")) {
+      LEGO_ASSIGN_OR_RETURN(stmt->offset, ParseExpr());
+    }
+    return stmt;
+  }
+
+  StatusOr<SelectCore> ParseSelectCore() {
+    LEGO_RETURN_IF_ERROR(ExpectKw("SELECT"));
+    SelectCore core;
+    if (MatchKw("DISTINCT")) {
+      core.distinct = true;
+    } else {
+      MatchKw("ALL");
+    }
+    do {
+      SelectItem item;
+      LEGO_ASSIGN_OR_RETURN(item.expr, ParseSelectItemExpr());
+      if (MatchKw("AS")) {
+        LEGO_ASSIGN_OR_RETURN(item.alias, ParseIdentifier("alias"));
+      } else if (Cur().kind == TokenKind::kIdentifier &&
+                 !ReservedKeywords().count(ToUpper(Cur().text))) {
+        item.alias = ToLower(Cur().text);
+        ++pos_;
+      }
+      core.items.push_back(std::move(item));
+    } while (MatchTok(TokenKind::kComma));
+    if (MatchKw("FROM")) {
+      LEGO_ASSIGN_OR_RETURN(core.from, ParseTableRefList());
+    }
+    if (MatchKw("WHERE")) {
+      LEGO_ASSIGN_OR_RETURN(core.where, ParseExpr());
+    }
+    if (MatchKw("GROUP")) {
+      LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+      do {
+        LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        core.group_by.push_back(std::move(e));
+      } while (MatchTok(TokenKind::kComma));
+    }
+    if (MatchKw("HAVING")) {
+      LEGO_ASSIGN_OR_RETURN(core.having, ParseExpr());
+    }
+    return core;
+  }
+
+  StatusOr<ExprPtr> ParseSelectItemExpr() {
+    if (PeekTok(TokenKind::kStar)) {
+      ++pos_;
+      return ExprPtr(std::make_unique<Star>());
+    }
+    if (Cur().kind == TokenKind::kIdentifier && PeekTok(TokenKind::kDot, 1) &&
+        PeekTok(TokenKind::kStar, 2)) {
+      std::string table = ToLower(Cur().text);
+      pos_ += 3;
+      return ExprPtr(std::make_unique<Star>(table));
+    }
+    return ParseExpr();
+  }
+
+  StatusOr<TableRefPtr> ParseTableRefList() {
+    LEGO_ASSIGN_OR_RETURN(TableRefPtr left, ParseJoinChain());
+    while (MatchTok(TokenKind::kComma)) {
+      LEGO_ASSIGN_OR_RETURN(TableRefPtr right, ParseJoinChain());
+      left = std::make_unique<JoinRef>(JoinType::kCross, std::move(left),
+                                       std::move(right), nullptr);
+    }
+    return left;
+  }
+
+  StatusOr<TableRefPtr> ParseJoinChain() {
+    LEGO_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+    while (true) {
+      JoinType type;
+      if (MatchKw("LEFT")) {
+        MatchKw("OUTER");
+        LEGO_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        type = JoinType::kLeft;
+      } else if (MatchKw("CROSS")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        type = JoinType::kCross;
+      } else if (MatchKw("INNER")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        type = JoinType::kInner;
+      } else if (MatchKw("JOIN")) {
+        type = JoinType::kInner;
+      } else {
+        break;
+      }
+      LEGO_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
+      ExprPtr on;
+      if (MatchKw("ON")) {
+        LEGO_ASSIGN_OR_RETURN(on, ParseExpr());
+      } else if (type != JoinType::kCross) {
+        return StatusOr<TableRefPtr>(Err("expected ON clause"));
+      }
+      left = std::make_unique<JoinRef>(type, std::move(left), std::move(right),
+                                       std::move(on));
+    }
+    return left;
+  }
+
+  StatusOr<TableRefPtr> ParseTablePrimary() {
+    if (MatchTok(TokenKind::kLParen)) {
+      LEGO_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      std::string alias;
+      if (MatchKw("AS")) {
+        LEGO_ASSIGN_OR_RETURN(alias, ParseIdentifier("alias"));
+      } else if (Cur().kind == TokenKind::kIdentifier &&
+                 !ReservedKeywords().count(ToUpper(Cur().text))) {
+        alias = ToLower(Cur().text);
+        ++pos_;
+      } else {
+        return StatusOr<TableRefPtr>(Err("subquery in FROM requires alias"));
+      }
+      return TableRefPtr(std::make_unique<SubqueryRef>(std::move(select),
+                                                       std::move(alias)));
+    }
+    LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("table name"));
+    std::string alias;
+    if (MatchKw("AS")) {
+      LEGO_ASSIGN_OR_RETURN(alias, ParseIdentifier("alias"));
+    } else if (Cur().kind == TokenKind::kIdentifier &&
+               !ReservedKeywords().count(ToUpper(Cur().text))) {
+      alias = ToLower(Cur().text);
+      ++pos_;
+    }
+    return TableRefPtr(std::make_unique<BaseTableRef>(name, alias));
+  }
+
+  // ----- expressions -----
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKw("OR")) {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (PeekKw("AND")) {
+      ++pos_;
+      LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (MatchKw("NOT")) {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(e)));
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      BinaryOp op;
+      if (MatchTok(TokenKind::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (MatchTok(TokenKind::kNotEq)) {
+        op = BinaryOp::kNe;
+      } else if (MatchTok(TokenKind::kLtEq)) {
+        op = BinaryOp::kLe;
+      } else if (MatchTok(TokenKind::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (MatchTok(TokenKind::kGtEq)) {
+        op = BinaryOp::kGe;
+      } else if (MatchTok(TokenKind::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (PeekKw("IS")) {
+        ++pos_;
+        bool negated = MatchKw("NOT");
+        if (MatchKw("NULL")) {
+          lhs = std::make_unique<IsNullExpr>(std::move(lhs), negated);
+          continue;
+        }
+        // IS [NOT] TRUE / FALSE — desugared to (NOT) lhs = TRUE/FALSE.
+        bool truth;
+        if (MatchKw("TRUE")) {
+          truth = true;
+        } else if (MatchKw("FALSE")) {
+          truth = false;
+        } else {
+          return StatusOr<ExprPtr>(Err("expected NULL, TRUE, or FALSE"));
+        }
+        lhs = std::make_unique<BinaryExpr>(BinaryOp::kEq, std::move(lhs),
+                                           Literal::Bool(truth));
+        if (negated) {
+          lhs = std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(lhs));
+        }
+        continue;
+      } else if (PeekKw("NOT") &&
+                 (PeekKw("IN", 1) || PeekKw("BETWEEN", 1) || PeekKw("LIKE", 1))) {
+        ++pos_;
+        LEGO_ASSIGN_OR_RETURN(lhs, ParsePostfixPredicate(std::move(lhs), true));
+        continue;
+      } else if (PeekKw("IN") || PeekKw("BETWEEN") || PeekKw("LIKE")) {
+        LEGO_ASSIGN_OR_RETURN(lhs, ParsePostfixPredicate(std::move(lhs), false));
+        continue;
+      } else {
+        break;
+      }
+      LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParsePostfixPredicate(ExprPtr lhs, bool negated) {
+    if (MatchKw("IN")) {
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+      if (PeekKw("SELECT")) {
+        LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+        LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+        return ExprPtr(std::make_unique<InSubqueryExpr>(
+            std::move(lhs), std::move(sub), negated));
+      }
+      std::vector<ExprPtr> list;
+      do {
+        LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        list.push_back(std::move(e));
+      } while (MatchTok(TokenKind::kComma));
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      return ExprPtr(std::make_unique<InListExpr>(std::move(lhs),
+                                                  std::move(list), negated));
+    }
+    if (MatchKw("BETWEEN")) {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      LEGO_RETURN_IF_ERROR(ExpectKw("AND"));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      return ExprPtr(std::make_unique<BetweenExpr>(
+          std::move(lhs), std::move(lo), std::move(hi), negated));
+    }
+    if (MatchKw("LIKE")) {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      return ExprPtr(std::make_unique<LikeExpr>(std::move(lhs),
+                                                std::move(pattern), negated));
+    }
+    return StatusOr<ExprPtr>(Err("expected IN, BETWEEN, or LIKE"));
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (MatchTok(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (MatchTok(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else if (MatchTok(TokenKind::kConcat)) {
+        op = BinaryOp::kConcat;
+      } else {
+        break;
+      }
+      LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (MatchTok(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (MatchTok(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (MatchTok(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (MatchTok(TokenKind::kMinus)) {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(e)));
+    }
+    MatchTok(TokenKind::kPlus);  // unary + is a no-op
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokenKind::kIntegerLiteral: {
+        int64_t v = std::strtoll(t.text.c_str(), nullptr, 10);
+        ++pos_;
+        return Literal::Int(v);
+      }
+      case TokenKind::kFloatLiteral: {
+        double v = std::strtod(t.text.c_str(), nullptr);
+        ++pos_;
+        return Literal::Real(v);
+      }
+      case TokenKind::kStringLiteral: {
+        std::string s = t.text;
+        ++pos_;
+        return Literal::Text(std::move(s));
+      }
+      case TokenKind::kMinus: {
+        ++pos_;
+        LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+        return ExprPtr(
+            std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(e)));
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        if (PeekKw("SELECT")) {
+          LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+          LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+          return ExprPtr(std::make_unique<ScalarSubquery>(std::move(sub)));
+        }
+        LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+        return e;
+      }
+      case TokenKind::kAtAt: {
+        ++pos_;
+        if (PeekKw("SESSION") && PeekTok(TokenKind::kDot, 1)) pos_ += 2;
+        LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("variable"));
+        return ExprPtr(std::make_unique<SessionVar>(name));
+      }
+      case TokenKind::kIdentifier:
+        return ParseIdentifierExpr();
+      default:
+        return StatusOr<ExprPtr>(Err("expected expression"));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseIdentifierExpr() {
+    std::string word = ToUpper(Cur().text);
+    if (word == "NULL") {
+      ++pos_;
+      return Literal::Null();
+    }
+    if (word == "TRUE") {
+      ++pos_;
+      return Literal::Bool(true);
+    }
+    if (word == "FALSE") {
+      ++pos_;
+      return Literal::Bool(false);
+    }
+    if (word == "CAST") {
+      ++pos_;
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+      LEGO_RETURN_IF_ERROR(ExpectKw("AS"));
+      LEGO_ASSIGN_OR_RETURN(SqlType type, ParseColumnType());
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      return ExprPtr(std::make_unique<CastExpr>(std::move(operand), type));
+    }
+    if (word == "CASE") {
+      ++pos_;
+      return ParseCase();
+    }
+    if (word == "EXISTS") {
+      ++pos_;
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+      LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      return ExprPtr(std::make_unique<ExistsExpr>(std::move(sub), false));
+    }
+    if (word == "NOT" && PeekKw("EXISTS", 1)) {
+      pos_ += 2;
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+      LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      return ExprPtr(std::make_unique<ExistsExpr>(std::move(sub), true));
+    }
+    // Function call?
+    if (PeekTok(TokenKind::kLParen, 1)) {
+      return ParseFunctionCall();
+    }
+    // Reserved words cannot start a plain column reference (rejects e.g.
+    // "SELECT FROM t").
+    if (ReservedKeywords().count(word)) {
+      return StatusOr<ExprPtr>(Err("unexpected keyword " + word));
+    }
+    // Column reference, possibly qualified.
+    std::string first = ToLower(Cur().text);
+    ++pos_;
+    if (MatchTok(TokenKind::kDot)) {
+      LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
+      return ExprPtr(std::make_unique<ColumnRef>(first, col));
+    }
+    return ExprPtr(std::make_unique<ColumnRef>("", first));
+  }
+
+  StatusOr<ExprPtr> ParseCase() {
+    ExprPtr operand;
+    if (!PeekKw("WHEN")) {
+      LEGO_ASSIGN_OR_RETURN(operand, ParseExpr());
+    }
+    std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+    while (MatchKw("WHEN")) {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+      LEGO_RETURN_IF_ERROR(ExpectKw("THEN"));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      whens.emplace_back(std::move(when), std::move(then));
+    }
+    if (whens.empty()) return StatusOr<ExprPtr>(Err("CASE requires WHEN"));
+    ExprPtr else_expr;
+    if (MatchKw("ELSE")) {
+      LEGO_ASSIGN_OR_RETURN(else_expr, ParseExpr());
+    }
+    LEGO_RETURN_IF_ERROR(ExpectKw("END"));
+    return ExprPtr(std::make_unique<CaseExpr>(
+        std::move(operand), std::move(whens), std::move(else_expr)));
+  }
+
+  StatusOr<ExprPtr> ParseFunctionCall() {
+    std::string name = ToUpper(Cur().text);
+    ++pos_;  // name
+    ++pos_;  // '('
+    auto fn = std::make_unique<FunctionCall>(name, std::vector<ExprPtr>());
+    if (MatchTok(TokenKind::kStar)) {
+      fn->set_star_arg(true);
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+    } else {
+      if (MatchKw("DISTINCT")) fn->set_distinct(true);
+      if (!PeekTok(TokenKind::kRParen)) {
+        do {
+          LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          fn->mutable_args()->push_back(std::move(e));
+        } while (MatchTok(TokenKind::kComma));
+      }
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+    }
+    if (MatchKw("OVER")) {
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
+      auto window = std::make_unique<WindowSpec>();
+      if (MatchKw("PARTITION")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+        do {
+          LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          window->partition_by.push_back(std::move(e));
+        } while (MatchTok(TokenKind::kComma));
+      }
+      if (MatchKw("ORDER")) {
+        LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+        do {
+          LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          bool desc = MatchKw("DESC");
+          if (!desc) MatchKw("ASC");
+          window->order_by.emplace_back(std::move(e), desc);
+        } while (MatchTok(TokenKind::kComma));
+      }
+      LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
+      fn->set_window(std::move(window));
+    }
+    return ExprPtr(std::move(fn));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<StmtPtr>> Parser::ParseScript(std::string_view sql) {
+  Lexer lexer(sql);
+  LEGO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl impl(std::move(tokens));
+  return impl.ParseScript();
+}
+
+StatusOr<StmtPtr> Parser::ParseStatement(std::string_view sql) {
+  Lexer lexer(sql);
+  LEGO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl impl(std::move(tokens));
+  return impl.ParseSingle();
+}
+
+StatusOr<ExprPtr> Parser::ParseExpression(std::string_view sql) {
+  Lexer lexer(sql);
+  LEGO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl impl(std::move(tokens));
+  return impl.ParseSingleExpr();
+}
+
+}  // namespace lego::sql

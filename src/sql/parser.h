@@ -1,0 +1,29 @@
+#ifndef LEGO_SQL_PARSER_H_
+#define LEGO_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lego::sql {
+
+/// Recursive-descent parser over the Lexer's token stream. Stateless entry
+/// points; each call parses independently.
+class Parser {
+ public:
+  /// Parses a semicolon-separated script into a statement list. Empty
+  /// statements (stray semicolons) are skipped.
+  static StatusOr<std::vector<StmtPtr>> ParseScript(std::string_view sql);
+
+  /// Parses exactly one statement (trailing semicolon optional).
+  static StatusOr<StmtPtr> ParseStatement(std::string_view sql);
+
+  /// Parses one expression (for tests and tooling).
+  static StatusOr<ExprPtr> ParseExpression(std::string_view sql);
+};
+
+}  // namespace lego::sql
+
+#endif  // LEGO_SQL_PARSER_H_

@@ -1,0 +1,114 @@
+#include "sql/statement_type.h"
+
+namespace lego::sql {
+
+std::string_view StatementTypeName(StatementType type) {
+  switch (type) {
+    case StatementType::kCreateTable: return "CREATE TABLE";
+    case StatementType::kCreateIndex: return "CREATE INDEX";
+    case StatementType::kCreateView: return "CREATE VIEW";
+    case StatementType::kCreateTrigger: return "CREATE TRIGGER";
+    case StatementType::kCreateSequence: return "CREATE SEQUENCE";
+    case StatementType::kCreateRule: return "CREATE RULE";
+    case StatementType::kDropTable: return "DROP TABLE";
+    case StatementType::kDropIndex: return "DROP INDEX";
+    case StatementType::kDropView: return "DROP VIEW";
+    case StatementType::kDropTrigger: return "DROP TRIGGER";
+    case StatementType::kDropSequence: return "DROP SEQUENCE";
+    case StatementType::kDropRule: return "DROP RULE";
+    case StatementType::kAlterTable: return "ALTER TABLE";
+    case StatementType::kTruncate: return "TRUNCATE";
+    case StatementType::kInsert: return "INSERT";
+    case StatementType::kUpdate: return "UPDATE";
+    case StatementType::kDelete: return "DELETE";
+    case StatementType::kReplace: return "REPLACE";
+    case StatementType::kCopy: return "COPY";
+    case StatementType::kSelect: return "SELECT";
+    case StatementType::kValues: return "VALUES";
+    case StatementType::kWith: return "WITH";
+    case StatementType::kGrant: return "GRANT";
+    case StatementType::kRevoke: return "REVOKE";
+    case StatementType::kCreateUser: return "CREATE USER";
+    case StatementType::kDropUser: return "DROP USER";
+    case StatementType::kBegin: return "BEGIN";
+    case StatementType::kCommit: return "COMMIT";
+    case StatementType::kRollback: return "ROLLBACK";
+    case StatementType::kSavepoint: return "SAVEPOINT";
+    case StatementType::kRelease: return "RELEASE";
+    case StatementType::kRollbackTo: return "ROLLBACK TO";
+    case StatementType::kPragma: return "PRAGMA";
+    case StatementType::kSet: return "SET";
+    case StatementType::kShow: return "SHOW";
+    case StatementType::kExplain: return "EXPLAIN";
+    case StatementType::kAnalyze: return "ANALYZE";
+    case StatementType::kVacuum: return "VACUUM";
+    case StatementType::kReindex: return "REINDEX";
+    case StatementType::kCheckpoint: return "CHECKPOINT";
+    case StatementType::kNotify: return "NOTIFY";
+    case StatementType::kListen: return "LISTEN";
+    case StatementType::kUnlisten: return "UNLISTEN";
+    case StatementType::kComment: return "COMMENT";
+    case StatementType::kAlterSystem: return "ALTER SYSTEM";
+    case StatementType::kDiscard: return "DISCARD";
+    case StatementType::kNumTypes: break;
+  }
+  return "UNKNOWN";
+}
+
+StatementCategory CategoryOf(StatementType type) {
+  switch (type) {
+    case StatementType::kCreateTable:
+    case StatementType::kCreateIndex:
+    case StatementType::kCreateView:
+    case StatementType::kCreateTrigger:
+    case StatementType::kCreateSequence:
+    case StatementType::kCreateRule:
+    case StatementType::kDropTable:
+    case StatementType::kDropIndex:
+    case StatementType::kDropView:
+    case StatementType::kDropTrigger:
+    case StatementType::kDropSequence:
+    case StatementType::kDropRule:
+    case StatementType::kAlterTable:
+    case StatementType::kTruncate:
+      return StatementCategory::kDdl;
+    case StatementType::kInsert:
+    case StatementType::kUpdate:
+    case StatementType::kDelete:
+    case StatementType::kReplace:
+    case StatementType::kCopy:
+      return StatementCategory::kDml;
+    case StatementType::kSelect:
+    case StatementType::kValues:
+    case StatementType::kWith:
+      return StatementCategory::kDql;
+    case StatementType::kGrant:
+    case StatementType::kRevoke:
+    case StatementType::kCreateUser:
+    case StatementType::kDropUser:
+      return StatementCategory::kDcl;
+    case StatementType::kBegin:
+    case StatementType::kCommit:
+    case StatementType::kRollback:
+    case StatementType::kSavepoint:
+    case StatementType::kRelease:
+    case StatementType::kRollbackTo:
+      return StatementCategory::kTcl;
+    default:
+      return StatementCategory::kUtility;
+  }
+}
+
+const std::vector<StatementType>& AllStatementTypes() {
+  static const std::vector<StatementType>* kAll = [] {
+    auto* v = new std::vector<StatementType>();
+    v->reserve(kNumStatementTypes);
+    for (int i = 0; i < kNumStatementTypes; ++i) {
+      v->push_back(static_cast<StatementType>(i));
+    }
+    return v;
+  }();
+  return *kAll;
+}
+
+}  // namespace lego::sql

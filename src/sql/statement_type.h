@@ -1,0 +1,96 @@
+#ifndef LEGO_SQL_STATEMENT_TYPE_H_
+#define LEGO_SQL_STATEMENT_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lego::sql {
+
+/// A statement type defines one kind of operation on one kind of object
+/// (paper §II): CREATE TABLE and CREATE VIEW are distinct types. The SQL Type
+/// Sequence of a test case is the sequence of these tags, and type-affinities
+/// are ordered pairs over this enum.
+enum class StatementType : uint8_t {
+  // --- DDL ---
+  kCreateTable = 0,
+  kCreateIndex,
+  kCreateView,
+  kCreateTrigger,
+  kCreateSequence,
+  kCreateRule,
+  kDropTable,
+  kDropIndex,
+  kDropView,
+  kDropTrigger,
+  kDropSequence,
+  kDropRule,
+  kAlterTable,
+  kTruncate,
+  // --- DML ---
+  kInsert,
+  kUpdate,
+  kDelete,
+  kReplace,
+  kCopy,
+  // --- DQL ---
+  kSelect,
+  kValues,
+  kWith,
+  // --- DCL ---
+  kGrant,
+  kRevoke,
+  kCreateUser,
+  kDropUser,
+  // --- TCL ---
+  kBegin,
+  kCommit,
+  kRollback,
+  kSavepoint,
+  kRelease,
+  kRollbackTo,
+  // --- Utility / session ---
+  kPragma,
+  kSet,
+  kShow,
+  kExplain,
+  kAnalyze,
+  kVacuum,
+  kReindex,
+  kCheckpoint,
+  kNotify,
+  kListen,
+  kUnlisten,
+  kComment,
+  kAlterSystem,
+  kDiscard,
+  kNumTypes,  // sentinel
+};
+
+/// Number of concrete statement types.
+inline constexpr int kNumStatementTypes =
+    static_cast<int>(StatementType::kNumTypes);
+
+/// Coarse category (paper §II divides types into DDL/DQL/DML/DCL plus
+/// transaction control and utility statements).
+enum class StatementCategory : uint8_t {
+  kDdl,
+  kDml,
+  kDql,
+  kDcl,
+  kTcl,
+  kUtility,
+};
+
+/// Canonical upper-case display name, e.g. "CREATE TABLE".
+std::string_view StatementTypeName(StatementType type);
+
+/// Category of `type`.
+StatementCategory CategoryOf(StatementType type);
+
+/// All concrete statement types, in enum order.
+const std::vector<StatementType>& AllStatementTypes();
+
+}  // namespace lego::sql
+
+#endif  // LEGO_SQL_STATEMENT_TYPE_H_

@@ -1,0 +1,51 @@
+#ifndef LEGO_SQL_TOKEN_H_
+#define LEGO_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lego::sql {
+
+/// Lexical token classes produced by the Lexer. Keywords are recognized by
+/// the parser from kIdentifier spellings (case-insensitive), which keeps the
+/// token set small and lets identifiers reuse keyword spellings where SQL
+/// allows it.
+enum class TokenKind : uint8_t {
+  kEof = 0,
+  kIdentifier,      // foo, "quoted"
+  kIntegerLiteral,  // 42
+  kFloatLiteral,    // 3.5, 1e9
+  kStringLiteral,   // 'abc'
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNotEq,     // <> or !=
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kConcat,    // ||
+  kAtAt,      // @@ (session variables)
+  kError,
+};
+
+/// One lexical token with its source text and location (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // original spelling (string literals are unescaped)
+  size_t offset = 0;  // byte offset in the input
+
+  bool IsEof() const { return kind == TokenKind::kEof; }
+};
+
+}  // namespace lego::sql
+
+#endif  // LEGO_SQL_TOKEN_H_

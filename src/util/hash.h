@@ -1,0 +1,30 @@
+#ifndef LEGO_UTIL_HASH_H_
+#define LEGO_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lego {
+
+/// 64-bit FNV-1a. constexpr so it can key compile-time coverage probe ids
+/// derived from __FILE__ ":" __LINE__.
+constexpr uint64_t Fnv1a64(std::string_view data,
+                           uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes an integer into a hash (used for synthetic stack hashes and
+/// coverage edge ids).
+constexpr uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace lego
+
+#endif  // LEGO_UTIL_HASH_H_

@@ -1,0 +1,72 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+namespace lego {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Lemire's nearly-divisionless bounded sampling, rejection-free variant is
+  // unnecessary here: modulo bias is negligible for fuzzing decisions, but we
+  // still use multiplication-based reduction for speed and uniformity.
+  unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+std::string Rng::NextIdentifier(int max_len) {
+  int len = static_cast<int>(NextBelow(static_cast<uint64_t>(max_len))) + 1;
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  out.push_back(static_cast<char>('a' + NextBelow(26)));
+  for (int i = 1; i < len; ++i) {
+    uint64_t pick = NextBelow(36);
+    out.push_back(pick < 26 ? static_cast<char>('a' + pick)
+                            : static_cast<char>('0' + (pick - 26)));
+  }
+  return out;
+}
+
+}  // namespace lego

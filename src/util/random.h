@@ -1,0 +1,59 @@
+#ifndef LEGO_UTIL_RANDOM_H_
+#define LEGO_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lego {
+
+/// Deterministic pseudo-random generator (xoshiro256**). All stochastic
+/// choices in the fuzzers flow through one of these so campaigns are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the generator with SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p = 0.5);
+
+  /// Uniformly chosen element of `v`. `v` must be non-empty.
+  template <typename T>
+  const T& Choose(const std::vector<T>& v) {
+    return v[NextBelow(v.size())];
+  }
+
+  /// Random lowercase identifier of length in [1, max_len] starting with a
+  /// letter; useful for generating names and text values.
+  std::string NextIdentifier(int max_len = 8);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = NextBelow(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace lego
+
+#endif  // LEGO_UTIL_RANDOM_H_

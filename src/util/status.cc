@@ -1,0 +1,45 @@
+#include "util/status.h"
+
+namespace lego {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kSyntaxError:
+      return "SyntaxError";
+    case StatusCode::kSemanticError:
+      return "SemanticError";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kTransactionError:
+      return "TransactionError";
+    case StatusCode::kCrash:
+      return "Crash";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace lego

@@ -1,0 +1,169 @@
+#ifndef LEGO_UTIL_STATUS_H_
+#define LEGO_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lego {
+
+/// Error category carried by a Status. The taxonomy mirrors what a DBMS
+/// front-end needs to distinguish: syntax errors (parser rejects), semantic
+/// errors (valid syntax referencing missing objects, type errors, ...),
+/// constraint violations, runtime execution errors, injected crashes, and
+/// internal invariant failures.
+enum class StatusCode {
+  kOk = 0,
+  kSyntaxError,
+  kSemanticError,
+  kConstraintViolation,
+  kExecutionError,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kTransactionError,
+  kCrash,
+  kInvalidArgument,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "SyntaxError").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without exceptions. Cheap to move;
+/// the OK state carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status TransactionError(std::string msg) {
+    return Status(StatusCode::kTransactionError, std::move(msg));
+  }
+  static Status Crash(std::string msg) {
+    return Status(StatusCode::kCrash, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when the failure indicates the simulated process crashed
+  /// (fault-injection oracle fired).
+  bool IsCrash() const { return code_ == StatusCode::kCrash; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error wrapper, in the spirit of arrow::Result / absl::StatusOr.
+/// Accessing the value of a failed StatusOr is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value: `return my_value;`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status: `return st;`.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the contained value out; the StatusOr must be OK.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define LEGO_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::lego::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define LEGO_ASSIGN_OR_RETURN(lhs, expr)               \
+  LEGO_ASSIGN_OR_RETURN_IMPL_(                         \
+      LEGO_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define LEGO_STATUS_CONCAT_INNER_(a, b) a##b
+#define LEGO_STATUS_CONCAT_(a, b) LEGO_STATUS_CONCAT_INNER_(a, b)
+#define LEGO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(*tmp)
+
+}  // namespace lego
+
+#endif  // LEGO_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef LEGO_UTIL_STRING_UTIL_H_
+#define LEGO_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lego {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// SQL single-quoted string literal with '' escaping: abc -> 'abc'.
+std::string QuoteSqlString(std::string_view s);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+}  // namespace lego
+
+#endif  // LEGO_UTIL_STRING_UTIL_H_

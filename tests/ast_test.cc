@@ -1,0 +1,149 @@
+#include "sql/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/ast_walk.h"
+#include "sql/parser.h"
+
+namespace lego::sql {
+namespace {
+
+// Clone independence, checked across every statement shape: mutating the
+// clone must never leak into the original (the skeleton library and the
+// mutators rely on this).
+class CloneTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CloneTest, CloneIsDeepAndEqual) {
+  auto parsed = Parser::ParseStatement(GetParam());
+  ASSERT_TRUE(parsed.ok()) << GetParam();
+  StmtPtr original = std::move(*parsed);
+  StmtPtr clone = original->Clone();
+  EXPECT_NE(original.get(), clone.get());
+  EXPECT_EQ(original->type(), clone->type());
+  EXPECT_EQ(ToSql(*original), ToSql(*clone));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CloneTest,
+    ::testing::Values(
+        "CREATE TABLE t (a INT PRIMARY KEY, b TEXT DEFAULT 'x' NOT NULL)",
+        "CREATE VIEW v AS SELECT a, COUNT(*) FROM t GROUP BY a",
+        "CREATE TRIGGER tg AFTER INSERT ON t FOR EACH ROW "
+        "UPDATE t SET a = 1",
+        "CREATE RULE r AS ON INSERT TO t DO INSTEAD NOTIFY ch",
+        "INSERT INTO t VALUES (1, 'a'), (2, NULL)",
+        "INSERT INTO t SELECT * FROM u WHERE x IN (SELECT y FROM w)",
+        "UPDATE t SET a = CASE WHEN b THEN 1 ELSE 2 END WHERE c LIKE 'x%'",
+        "DELETE FROM t WHERE EXISTS (SELECT 1 FROM u)",
+        "SELECT DISTINCT a.x, LEAD(b.y) OVER (PARTITION BY a.x ORDER BY b.y) "
+        "FROM a LEFT JOIN b ON a.k = b.k UNION ALL SELECT 1, 2 "
+        "ORDER BY 1 LIMIT 3 OFFSET 1",
+        "WITH w (c1) AS (SELECT 1), v AS (INSERT INTO t VALUES (2)) "
+        "DELETE FROM t WHERE a = 3",
+        "COPY (SELECT a FROM t) TO STDOUT CSV HEADER",
+        "SELECT a FROM (SELECT a FROM t WHERE a BETWEEN 1 AND 2) AS s"));
+
+TEST(CloneIndependenceTest, MutatingCloneLeavesOriginal) {
+  auto original = Parser::ParseStatement("INSERT INTO t VALUES (1)");
+  ASSERT_TRUE(original.ok());
+  StmtPtr clone = (*original)->Clone();
+  static_cast<InsertStmt*>(clone.get())->table = "changed";
+  EXPECT_EQ(static_cast<InsertStmt*>(original->get())->table, "t");
+}
+
+TEST(PrinterTest, RealLiteralsStayFloats) {
+  std::string text = ToSql(*Literal::Real(2.0));
+  auto reparsed = Parser::ParseExpression(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ((*reparsed)->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(static_cast<const Literal&>(**reparsed).tag(),
+            Literal::Tag::kReal);
+}
+
+TEST(PrinterTest, TextLiteralsRoundTripQuotes) {
+  std::string text = ToSql(*Literal::Text("it's"));
+  auto reparsed = Parser::ParseExpression(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(static_cast<const Literal&>(**reparsed).text_value(), "it's");
+}
+
+TEST(WalkTest, WalkExprsVisitsAllNodes) {
+  auto expr = Parser::ParseExpression(
+      "CASE WHEN a BETWEEN 1 AND 2 THEN ABS(b) ELSE c || 'x' END");
+  ASSERT_TRUE(expr.ok());
+  int nodes = 0;
+  int column_refs = 0;
+  WalkExprs(**expr, [&](const Expr& e) {
+    ++nodes;
+    if (e.kind() == ExprKind::kColumnRef) ++column_refs;
+  }, /*into_subqueries=*/false);
+  EXPECT_EQ(column_refs, 3);  // a, b, c
+  EXPECT_GE(nodes, 8);
+}
+
+TEST(WalkTest, SubqueryDescentIsOptional) {
+  auto expr = Parser::ParseExpression("x IN (SELECT y FROM t WHERE z = 1)");
+  ASSERT_TRUE(expr.ok());
+  int shallow = 0;
+  WalkExprs(**expr, [&](const Expr& e) {
+    if (e.kind() == ExprKind::kColumnRef) ++shallow;
+  }, false);
+  EXPECT_EQ(shallow, 1);  // only x
+  int deep = 0;
+  WalkExprs(**expr, [&](const Expr& e) {
+    if (e.kind() == ExprKind::kColumnRef) ++deep;
+  }, true);
+  EXPECT_EQ(deep, 3);  // x, y, z
+}
+
+TEST(WalkTest, WalkStatementExprsCoversClauses) {
+  auto stmt = Parser::ParseStatement(
+      "SELECT a + 1 FROM t WHERE b = 2 GROUP BY c HAVING COUNT(*) > 3 "
+      "ORDER BY d LIMIT 5 OFFSET 6");
+  ASSERT_TRUE(stmt.ok());
+  int literals = 0;
+  WalkStatementExprs(**stmt, [&](const Expr& e) {
+    if (e.kind() == ExprKind::kLiteral) ++literals;
+  }, true);
+  EXPECT_EQ(literals, 5);  // 1, 2, 3, 5, 6 (COUNT's star is not a literal)
+}
+
+TEST(WalkTest, WalkTableRefsFindsAllBaseTables) {
+  auto stmt = Parser::ParseStatement(
+      "SELECT * FROM a JOIN b ON a.k = b.k, (SELECT x FROM c) AS s");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<std::string> names;
+  WalkTableRefs(**stmt, [&](const TableRef& ref) {
+    if (ref.kind() == TableRefKind::kBaseTable) {
+      names.push_back(static_cast<const BaseTableRef&>(ref).name());
+    }
+  }, /*into_subqueries=*/true);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(WalkTest, WalkSelectsReachesNestedStatements) {
+  auto stmt = Parser::ParseStatement(
+      "WITH w AS (SELECT 1) INSERT INTO t SELECT * FROM w");
+  ASSERT_TRUE(stmt.ok());
+  int selects = 0;
+  WalkSelects(**stmt, [&](const SelectStmt&) { ++selects; });
+  EXPECT_EQ(selects, 2);  // the CTE body and the INSERT source
+}
+
+TEST(StatementTypeTagTest, InsertVsReplaceTag) {
+  auto insert = Parser::ParseStatement("INSERT INTO t VALUES (1)");
+  auto replace = Parser::ParseStatement("REPLACE INTO t VALUES (1)");
+  EXPECT_EQ((*insert)->type(), StatementType::kInsert);
+  EXPECT_EQ((*replace)->type(), StatementType::kReplace);
+}
+
+TEST(StatementTypeTagTest, PragmaVsSetTag) {
+  auto pragma = Parser::ParseStatement("PRAGMA x = 1");
+  auto set = Parser::ParseStatement("SET x = 1");
+  EXPECT_EQ((*pragma)->type(), StatementType::kPragma);
+  EXPECT_EQ((*set)->type(), StatementType::kSet);
+}
+
+}  // namespace
+}  // namespace lego::sql

@@ -1,0 +1,225 @@
+#include "minidb/database.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/bug_engine.h"
+#include "sql/parser.h"
+
+namespace lego::minidb {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  Database::ScriptResult Script(const std::string& text) {
+    auto result = db_.ExecuteScript(text);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : Database::ScriptResult{};
+  }
+
+  int64_t Count(const std::string& table) {
+    auto stmt =
+        sql::Parser::ParseStatement("SELECT COUNT(*) FROM " + table);
+    auto result = db_.Execute(**stmt);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->rows[0][0].AsInt() : -1;
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, ScriptSyntaxErrorReturnsDirectly) {
+  auto result = db_.ExecuteScript("THIS IS NOT SQL");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSyntaxError);
+}
+
+TEST_F(DatabaseTest, NestedSavepointsReleaseAndRollback) {
+  Script("CREATE TABLE t (x INT); BEGIN;");
+  Script("INSERT INTO t VALUES (1); SAVEPOINT a;");
+  Script("INSERT INTO t VALUES (2); SAVEPOINT b;");
+  Script("INSERT INTO t VALUES (3);");
+  EXPECT_EQ(Count("t"), 3);
+
+  // Rolling back to `a` discards b and everything after a.
+  Script("ROLLBACK TO a;");
+  EXPECT_EQ(Count("t"), 1);
+  // b is gone; a survives a ROLLBACK TO (SQL semantics).
+  auto bad = db_.ExecuteScript("ROLLBACK TO b;");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->errors, 1);
+  Script("ROLLBACK TO a;");  // still valid
+  Script("RELEASE SAVEPOINT a;");
+  auto gone = db_.ExecuteScript("ROLLBACK TO a;");
+  EXPECT_EQ(gone->errors, 1);
+  Script("COMMIT;");
+  EXPECT_EQ(Count("t"), 1);
+}
+
+TEST_F(DatabaseTest, ReleaseDropsNestedSavepoints) {
+  Script("CREATE TABLE t (x INT); BEGIN; SAVEPOINT outer_sp;"
+         "SAVEPOINT inner_sp; RELEASE SAVEPOINT outer_sp;");
+  // Releasing the outer savepoint releases the inner one too.
+  auto result = db_.ExecuteScript("ROLLBACK TO inner_sp;");
+  EXPECT_EQ(result->errors, 1);
+  Script("ROLLBACK;");
+}
+
+TEST_F(DatabaseTest, RollbackRestoresDataAndSchema) {
+  Script("CREATE TABLE keep (x INT); INSERT INTO keep VALUES (1);");
+  Script("BEGIN;"
+         "INSERT INTO keep VALUES (2);"
+         "CREATE TABLE scratch (y INT);"
+         "DROP TABLE keep;"
+         "ROLLBACK;");
+  EXPECT_EQ(Count("keep"), 1);
+  EXPECT_FALSE(db_.catalog().HasTable("scratch"));
+}
+
+TEST_F(DatabaseTest, SessionSettingsPersistAcrossStatements) {
+  Script("SET my_var = 42;");
+  auto stmt = sql::Parser::ParseStatement("SELECT @@SESSION.my_var");
+  auto result = db_.Execute(**stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt(), 42);
+}
+
+TEST_F(DatabaseTest, ResetSessionKeepsCatalogClearsState) {
+  Script("CREATE TABLE t (x INT); SET my_var = 1; LISTEN ch; BEGIN;");
+  db_.ResetSession();
+  EXPECT_TRUE(db_.catalog().HasTable("t"));
+  EXPECT_TRUE(db_.session().settings.empty());
+  EXPECT_TRUE(db_.session().listening.empty());
+  EXPECT_TRUE(db_.session().type_trace.empty());
+  EXPECT_FALSE(db_.session().in_transaction);
+}
+
+TEST_F(DatabaseTest, ResetSessionAbortsOpenTransaction) {
+  Script("CREATE TABLE t (x INT); BEGIN; INSERT INTO t VALUES (1);");
+  db_.ResetSession();
+  EXPECT_EQ(Count("t"), 0);  // the in-flight insert rolled back
+}
+
+TEST_F(DatabaseTest, ResetAllDropsEverything) {
+  Script("CREATE TABLE t (x INT);");
+  db_.ResetAll();
+  EXPECT_FALSE(db_.catalog().HasTable("t"));
+}
+
+TEST_F(DatabaseTest, FeatureTraceParallelsTypeTrace) {
+  Script("CREATE TABLE t (x INT); INSERT INTO t VALUES (1);"
+         "SELECT x, COUNT(*) FROM t GROUP BY x;");
+  const auto& session = db_.session();
+  ASSERT_EQ(session.type_trace.size(), session.feature_trace.size());
+  ASSERT_EQ(session.type_trace.size(), 3u);
+  EXPECT_TRUE(session.feature_trace[2].test(
+      static_cast<size_t>(ExecFeature::kGroupBy)));
+  EXPECT_TRUE(session.feature_trace[2].test(
+      static_cast<size_t>(ExecFeature::kAggregate)));
+  EXPECT_FALSE(session.feature_trace[1].test(
+      static_cast<size_t>(ExecFeature::kGroupBy)));
+}
+
+TEST_F(DatabaseTest, TriggerBodiesAppearInTrace) {
+  Script("CREATE TABLE t (x INT); CREATE TABLE log (x INT);"
+         "CREATE TRIGGER tg AFTER INSERT ON t FOR EACH ROW "
+         "INSERT INTO log VALUES (1);"
+         "INSERT INTO t VALUES (5);");
+  const auto& trace = db_.session().type_trace;
+  // CT, CT, CTR, (trigger body INSERT), INSERT.
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[3], sql::StatementType::kInsert);  // fired body
+  EXPECT_EQ(trace[4], sql::StatementType::kInsert);  // top-level
+}
+
+TEST_F(DatabaseTest, ExplainAnalyzeExecutesTarget) {
+  Script("CREATE TABLE t (x INT); INSERT INTO t VALUES (1), (2);");
+  auto stmt = sql::Parser::ParseStatement("EXPLAIN ANALYZE SELECT * FROM t");
+  auto result = db_.Execute(**stmt);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const auto& note : result->notes) {
+    if (note.find("actual rows: 2") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DatabaseTest, CrashLeavesLastCrashPopulated) {
+  Database my(&DialectProfile::MyLite());
+  faults::BugEngine oracle("mylite");
+  my.set_fault_hook(&oracle);
+  auto result = my.ExecuteScript(
+      "CREATE TABLE v0 (v1 INT); INSERT INTO v0 VALUES (1);"
+      "CREATE TRIGGER tg AFTER UPDATE ON v0 FOR EACH ROW "
+      "INSERT INTO v0 VALUES (2); SELECT * FROM v0;");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->crashed);
+  ASSERT_TRUE(my.last_crash().has_value());
+  EXPECT_EQ(my.last_crash()->bug_id, "MY-AUTH-02");
+  my.ResetSession();
+  EXPECT_FALSE(my.last_crash().has_value());
+}
+
+TEST_F(DatabaseTest, ViewOnViewExpandsRecursively) {
+  Script("CREATE TABLE base (x INT); INSERT INTO base VALUES (1), (2);"
+         "CREATE VIEW v1 AS SELECT x FROM base WHERE x > 1;"
+         "CREATE VIEW v2 AS SELECT x FROM v1;");
+  auto stmt = sql::Parser::ParseStatement("SELECT * FROM v2");
+  auto result = db_.Execute(**stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST_F(DatabaseTest, SelfReferentialViewHitsDepthLimit) {
+  Script("CREATE TABLE base (x INT);"
+         "CREATE VIEW v AS SELECT x FROM base;");
+  // Re-pointing the view at itself (OR REPLACE) creates a cycle.
+  Script("CREATE OR REPLACE VIEW v AS SELECT x FROM v;");
+  auto stmt = sql::Parser::ParseStatement("SELECT * FROM v");
+  auto result = db_.Execute(**stmt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(DatabaseTest, InsertSelectMovesRows) {
+  Script("CREATE TABLE src (x INT); CREATE TABLE dst (x INT);"
+         "INSERT INTO src VALUES (1), (2), (3);"
+         "INSERT INTO dst SELECT x FROM src WHERE x > 1;");
+  EXPECT_EQ(Count("dst"), 2);
+}
+
+TEST_F(DatabaseTest, UniqueIndexSurvivesVacuumRewrite) {
+  Script("CREATE TABLE t (k INT PRIMARY KEY);"
+         "INSERT INTO t VALUES (1), (2), (3);"
+         "DELETE FROM t WHERE k = 2; VACUUM t;");
+  // The rebuilt index must still enforce uniqueness and serve lookups.
+  auto dup = db_.ExecuteScript("INSERT INTO t VALUES (1);");
+  EXPECT_EQ(dup->errors, 1);
+  Script("INSERT INTO t VALUES (2);");
+  EXPECT_EQ(Count("t"), 3);
+}
+
+TEST_F(DatabaseTest, AnalyzeFeedsPlannerEstimates) {
+  Script("CREATE TABLE a (k INT); CREATE TABLE b (k INT);");
+  for (int i = 0; i < 6; ++i) {
+    Script("INSERT INTO a VALUES (" + std::to_string(i) + ");"
+           "INSERT INTO b VALUES (" + std::to_string(i) + ");");
+  }
+  Script("ANALYZE;");
+  auto stmt = sql::Parser::ParseStatement(
+      "EXPLAIN SELECT * FROM a JOIN b ON a.k = b.k");
+  auto result = db_.Execute(**stmt);
+  ASSERT_TRUE(result.ok());
+  std::string all;
+  for (const auto& n : result->notes) all += n + "\n";
+  EXPECT_NE(all.find("HashJoin"), std::string::npos) << all;
+}
+
+TEST_F(DatabaseTest, EmptyInputFeatureRecordedOnEmptySelect) {
+  Script("CREATE TABLE t (x INT); INSERT INTO t VALUES (1);"
+         "TRUNCATE TABLE t; SELECT * FROM t;");
+  EXPECT_TRUE(db_.session().feature_trace.back().test(
+      static_cast<size_t>(ExecFeature::kEmptyInput)));
+}
+
+}  // namespace
+}  // namespace lego::minidb

@@ -1,0 +1,242 @@
+#include "minidb/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace lego::minidb {
+namespace {
+
+Value Eval(const std::string& expr_text, const EvalContext& ctx = {}) {
+  auto expr = sql::Parser::ParseExpression(expr_text);
+  EXPECT_TRUE(expr.ok()) << expr_text;
+  auto v = Evaluator::Eval(**expr, ctx);
+  EXPECT_TRUE(v.ok()) << expr_text << ": " << v.status().ToString();
+  return v.ok() ? *v : Value::Null();
+}
+
+Status EvalErr(const std::string& expr_text) {
+  auto expr = sql::Parser::ParseExpression(expr_text);
+  EXPECT_TRUE(expr.ok()) << expr_text;
+  auto v = Evaluator::Eval(**expr, {});
+  EXPECT_FALSE(v.ok()) << expr_text;
+  return v.ok() ? Status::OK() : v.status();
+}
+
+TEST(EvalTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval("1 + 2").AsInt(), 3);
+  EXPECT_EQ(Eval("7 - 10").AsInt(), -3);
+  EXPECT_EQ(Eval("6 * 7").AsInt(), 42);
+  EXPECT_EQ(Eval("7 / 2").AsInt(), 3);
+  EXPECT_EQ(Eval("7 % 3").AsInt(), 1);
+  EXPECT_EQ(Eval("1 + 2 * 3").AsInt(), 7);  // precedence
+}
+
+TEST(EvalTest, IntegerOverflowWrapsWithoutUb) {
+  EXPECT_EQ(Eval("9223372036854775807 + 1").AsInt(), INT64_MIN);
+  EXPECT_EQ(Eval("-9223372036854775807 - 2").AsInt(), INT64_MAX);
+}
+
+TEST(EvalTest, RealArithmeticAndMixing) {
+  EXPECT_DOUBLE_EQ(Eval("1.5 + 2.25").AsReal(), 3.75);
+  EXPECT_DOUBLE_EQ(Eval("7 / 2.0").AsReal(), 3.5);
+  EXPECT_EQ(Eval("1.5 + 2.25").type(), ValueType::kReal);
+}
+
+TEST(EvalTest, DivisionByZeroErrors) {
+  EXPECT_EQ(EvalErr("1 / 0").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(EvalErr("1.0 / 0.0").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(EvalErr("5 % 0").code(), StatusCode::kExecutionError);
+}
+
+TEST(EvalTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(Eval("NULL + 1").is_null());
+  EXPECT_TRUE(Eval("NULL / 0").is_null());  // NULL wins before the div check
+  EXPECT_TRUE(Eval("1 = NULL").is_null());
+  EXPECT_TRUE(Eval("NULL || 'x'").is_null());
+}
+
+TEST(EvalTest, ThreeValuedLogic) {
+  // AND.
+  EXPECT_FALSE(Eval("FALSE AND NULL").AsBool());
+  EXPECT_FALSE(Eval("FALSE AND NULL").is_null());  // false, not unknown
+  EXPECT_TRUE(Eval("NULL AND TRUE").is_null());
+  EXPECT_TRUE(Eval("TRUE AND TRUE").AsBool());
+  // OR.
+  EXPECT_TRUE(Eval("TRUE OR NULL").AsBool());
+  EXPECT_TRUE(Eval("NULL OR FALSE").is_null());
+  // NOT.
+  EXPECT_TRUE(Eval("NOT NULL").is_null());
+  EXPECT_FALSE(Eval("NOT TRUE").AsBool());
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_TRUE(Eval("2 < 3").AsBool());
+  EXPECT_TRUE(Eval("2 <= 2").AsBool());
+  EXPECT_TRUE(Eval("3 > 2").AsBool());
+  EXPECT_TRUE(Eval("2 <> 3").AsBool());
+  EXPECT_TRUE(Eval("'abc' = 'abc'").AsBool());
+  EXPECT_TRUE(Eval("'ab' < 'ac'").AsBool());
+  // MySQL-flavored numeric coercion of text.
+  EXPECT_TRUE(Eval("'2' = 2").AsBool());
+  EXPECT_TRUE(Eval("'10' > 9").AsBool());
+}
+
+TEST(EvalTest, BetweenInCaseLike) {
+  EXPECT_TRUE(Eval("5 BETWEEN 1 AND 10").AsBool());
+  EXPECT_FALSE(Eval("11 BETWEEN 1 AND 10").AsBool());
+  EXPECT_TRUE(Eval("11 NOT BETWEEN 1 AND 10").AsBool());
+  EXPECT_TRUE(Eval("2 IN (1, 2, 3)").AsBool());
+  EXPECT_FALSE(Eval("9 IN (1, 2, 3)").AsBool());
+  EXPECT_TRUE(Eval("9 IN (1, NULL)").is_null());  // unknown, not false
+  EXPECT_TRUE(Eval("CASE WHEN 1 = 1 THEN 'y' ELSE 'n' END").text_value() ==
+              "y");
+  EXPECT_TRUE(Eval("CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END")
+                  .text_value() == "b");
+  EXPECT_TRUE(Eval("CASE 9 WHEN 1 THEN 'a' END").is_null());
+}
+
+TEST(EvalTest, LikePatterns) {
+  EXPECT_TRUE(Evaluator::LikeMatch("hello", "hello"));
+  EXPECT_TRUE(Evaluator::LikeMatch("hello", "h%"));
+  EXPECT_TRUE(Evaluator::LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(Evaluator::LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(Evaluator::LikeMatch("hello", "%"));
+  EXPECT_TRUE(Evaluator::LikeMatch("", "%"));
+  EXPECT_FALSE(Evaluator::LikeMatch("", "_"));
+  EXPECT_FALSE(Evaluator::LikeMatch("hello", "h_llx"));
+  EXPECT_TRUE(Evaluator::LikeMatch("abcbc", "a%bc"));  // backtracking
+  EXPECT_FALSE(Evaluator::LikeMatch("abc", "abcd"));
+  EXPECT_TRUE(Eval("'foo' LIKE 'f%'").AsBool());
+  EXPECT_TRUE(Eval("'foo' NOT LIKE 'g%'").AsBool());
+}
+
+TEST(EvalTest, IsNullOperators) {
+  EXPECT_TRUE(Eval("NULL IS NULL").AsBool());
+  EXPECT_FALSE(Eval("1 IS NULL").AsBool());
+  EXPECT_TRUE(Eval("1 IS NOT NULL").AsBool());
+}
+
+TEST(EvalTest, IsTrueDesugaring) {
+  EXPECT_TRUE(Eval("(1 = 1) IS TRUE").AsBool());
+  EXPECT_TRUE(Eval("(1 = 2) IS FALSE").AsBool());
+  EXPECT_FALSE(Eval("(1 = 2) IS NOT FALSE").AsBool());
+}
+
+TEST(EvalTest, ScalarFunctions) {
+  EXPECT_EQ(Eval("ABS(-3)").AsInt(), 3);
+  EXPECT_EQ(Eval("LENGTH('abcd')").AsInt(), 4);
+  EXPECT_EQ(Eval("UPPER('aB')").text_value(), "AB");
+  EXPECT_EQ(Eval("LOWER('Ab')").text_value(), "ab");
+  EXPECT_EQ(Eval("SUBSTR('hello', 2)").text_value(), "ello");
+  EXPECT_EQ(Eval("SUBSTR('hello', 2, 2)").text_value(), "el");
+  EXPECT_EQ(Eval("SUBSTR('hello', 99)").text_value(), "");
+  EXPECT_EQ(Eval("COALESCE(NULL, NULL, 3)").AsInt(), 3);
+  EXPECT_TRUE(Eval("COALESCE(NULL, NULL)").is_null());
+  EXPECT_TRUE(Eval("NULLIF(2, 2)").is_null());
+  EXPECT_EQ(Eval("NULLIF(2, 3)").AsInt(), 2);
+  EXPECT_EQ(Eval("IFNULL(NULL, 9)").AsInt(), 9);
+  EXPECT_EQ(Eval("TYPEOF(1)").text_value(), "INT");
+  EXPECT_EQ(Eval("TYPEOF(NULL)").text_value(), "NULL");
+  EXPECT_DOUBLE_EQ(Eval("ROUND(2.567, 2)").AsReal(), 2.57);
+  EXPECT_EQ(Eval("SIGN(-9)").AsInt(), -1);
+  EXPECT_EQ(Eval("MOD(10, 3)").AsInt(), 1);
+  EXPECT_EQ(Eval("TRIM('  x ')").text_value(), "x");
+  EXPECT_EQ(Eval("REPLACE('aXbXc', 'X', '-')").text_value(), "a-b-c");
+  EXPECT_EQ(Eval("GREATEST(1, 9, 4)").AsInt(), 9);
+  EXPECT_EQ(Eval("LEAST(5, 2, 8)").AsInt(), 2);
+  EXPECT_TRUE(Eval("GREATEST(1, NULL)").is_null());
+}
+
+TEST(EvalTest, FunctionArityErrors) {
+  EXPECT_EQ(EvalErr("ABS(1, 2)").code(), StatusCode::kSemanticError);
+  EXPECT_EQ(EvalErr("NOSUCHFN(1)").code(), StatusCode::kSemanticError);
+}
+
+TEST(EvalTest, CastExpressions) {
+  EXPECT_EQ(Eval("CAST(3.9 AS INT)").AsInt(), 3);
+  EXPECT_EQ(Eval("CAST(7 AS TEXT)").text_value(), "7");
+  EXPECT_TRUE(Eval("CAST(NULL AS INT)").is_null());
+  EXPECT_TRUE(Eval("CAST(1 AS BOOL)").bool_value());
+}
+
+TEST(EvalTest, ColumnResolution) {
+  Relation rel;
+  rel.columns = {{"t", "a"}, {"t", "b"}};
+  Row row = {Value::Int(10), Value::Text("x")};
+  EvalContext ctx;
+  ctx.rel = &rel;
+  ctx.row = &row;
+  EXPECT_EQ(Eval("a", ctx).AsInt(), 10);
+  EXPECT_EQ(Eval("t.b", ctx).text_value(), "x");
+  auto missing = sql::Parser::ParseExpression("nope");
+  EXPECT_EQ(Evaluator::Eval(**missing, ctx).status().code(),
+            StatusCode::kSemanticError);
+  auto wrong_qualifier = sql::Parser::ParseExpression("u.a");
+  EXPECT_EQ(Evaluator::Eval(**wrong_qualifier, ctx).status().code(),
+            StatusCode::kSemanticError);
+}
+
+TEST(EvalTest, AmbiguousColumnIsError) {
+  Relation rel;
+  rel.columns = {{"t", "k"}, {"u", "k"}};
+  Row row = {Value::Int(1), Value::Int(2)};
+  EvalContext ctx;
+  ctx.rel = &rel;
+  ctx.row = &row;
+  auto expr = sql::Parser::ParseExpression("k");
+  EXPECT_EQ(Evaluator::Eval(**expr, ctx).status().code(),
+            StatusCode::kSemanticError);
+  // Qualification resolves the ambiguity.
+  EXPECT_EQ(Eval("u.k", ctx).AsInt(), 2);
+}
+
+TEST(EvalTest, OuterContextResolvesCorrelatedColumns) {
+  Relation outer_rel;
+  outer_rel.columns = {{"o", "x"}};
+  Row outer_row = {Value::Int(7)};
+  EvalContext outer;
+  outer.rel = &outer_rel;
+  outer.row = &outer_row;
+
+  Relation inner_rel;
+  inner_rel.columns = {{"i", "y"}};
+  Row inner_row = {Value::Int(1)};
+  EvalContext inner;
+  inner.rel = &inner_rel;
+  inner.row = &inner_row;
+  inner.outer = &outer;
+
+  EXPECT_EQ(Eval("y + x", inner).AsInt(), 8);
+}
+
+TEST(EvalTest, NodeOverridesWin) {
+  auto expr = sql::Parser::ParseExpression("COUNT(*)");
+  std::map<const sql::Expr*, Value> overrides;
+  overrides[expr->get()] = Value::Int(42);
+  EvalContext ctx;
+  ctx.node_overrides = &overrides;
+  auto v = Evaluator::Eval(**expr, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 42);
+  // Without the override an aggregate outside aggregation is an error.
+  EXPECT_EQ(Evaluator::Eval(**expr, {}).status().code(),
+            StatusCode::kSemanticError);
+}
+
+TEST(EvalTest, PredicateTriboolMapping) {
+  auto check = [](const std::string& text, Tribool want) {
+    auto expr = sql::Parser::ParseExpression(text);
+    auto t = Evaluator::EvalPredicate(**expr, {});
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(*t, want) << text;
+  };
+  check("1 = 1", Tribool::kTrue);
+  check("1 = 2", Tribool::kFalse);
+  check("NULL = 1", Tribool::kUnknown);
+  check("0", Tribool::kFalse);
+  check("7", Tribool::kTrue);
+}
+
+}  // namespace
+}  // namespace lego::minidb

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "minidb/database.h"
+#include "sql/parser.h"
+
+namespace lego::minidb {
+namespace {
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  ResultSet Exec(const std::string& sql_text) {
+    auto stmt = sql::Parser::ParseStatement(sql_text);
+    EXPECT_TRUE(stmt.ok()) << sql_text << ": " << stmt.status().ToString();
+    auto result = db_.Execute(**stmt);
+    EXPECT_TRUE(result.ok()) << sql_text << ": "
+                             << result.status().ToString();
+    return result.ok() ? std::move(*result) : ResultSet{};
+  }
+
+  Status ExecErr(const std::string& sql_text) {
+    auto stmt = sql::Parser::ParseStatement(sql_text);
+    EXPECT_TRUE(stmt.ok()) << sql_text;
+    auto result = db_.Execute(**stmt);
+    EXPECT_FALSE(result.ok()) << sql_text << " unexpectedly succeeded";
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorEdgeTest, WindowRankDenseRankNtile) {
+  Exec("CREATE TABLE w (v INT)");
+  Exec("INSERT INTO w VALUES (10), (10), (20), (30)");
+  ResultSet rs = Exec(
+      "SELECT v, RANK() OVER (ORDER BY v), DENSE_RANK() OVER (ORDER BY v), "
+      "NTILE(2) OVER (ORDER BY v) FROM w ORDER BY v, 2");
+  ASSERT_EQ(rs.rows.size(), 4u);
+  // Two ties at v=10: RANK 1,1 then 3; DENSE_RANK 1,1 then 2.
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 1);
+  EXPECT_EQ(rs.rows[1][1].AsInt(), 1);
+  EXPECT_EQ(rs.rows[2][1].AsInt(), 3);
+  EXPECT_EQ(rs.rows[2][2].AsInt(), 2);
+  EXPECT_EQ(rs.rows[3][1].AsInt(), 4);
+  // NTILE(2) over 4 rows: buckets 1,1,2,2.
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 1);
+  EXPECT_EQ(rs.rows[3][3].AsInt(), 2);
+}
+
+TEST_F(ExecutorEdgeTest, LagWithDefaultAndAggregateOverWindow) {
+  Exec("CREATE TABLE w (v INT)");
+  Exec("INSERT INTO w VALUES (1), (2), (3)");
+  ResultSet lag = Exec(
+      "SELECT v, LAG(v, 1, -99) OVER (ORDER BY v) FROM w ORDER BY v");
+  EXPECT_EQ(lag.rows[0][1].AsInt(), -99);  // default fills the gap
+  EXPECT_EQ(lag.rows[1][1].AsInt(), 1);
+  ResultSet sum = Exec("SELECT v, SUM(v) OVER (ORDER BY v) FROM w LIMIT 1");
+  EXPECT_EQ(sum.rows[0][1].AsInt(), 6);  // whole-partition aggregate
+}
+
+TEST_F(ExecutorEdgeTest, DistinctAggregatesAndGroupConcat) {
+  Exec("CREATE TABLE g (k INT, v INT)");
+  Exec("INSERT INTO g VALUES (1, 5), (1, 5), (1, 7)");
+  ResultSet rs = Exec(
+      "SELECT COUNT(v), COUNT(DISTINCT v), SUM(DISTINCT v), "
+      "GROUP_CONCAT(v) FROM g");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 12);
+  EXPECT_EQ(rs.rows[0][3].text_value(), "5,5,7");
+}
+
+TEST_F(ExecutorEdgeTest, GroupByOrdinalMatchesExplicit) {
+  Exec("CREATE TABLE g (k INT, v INT)");
+  Exec("INSERT INTO g VALUES (1, 10), (2, 20), (1, 30)");
+  ResultSet by_name = Exec("SELECT k, SUM(v) FROM g GROUP BY k ORDER BY k");
+  ResultSet by_ordinal = Exec("SELECT k, SUM(v) FROM g GROUP BY 1 ORDER BY k");
+  ASSERT_EQ(by_name.rows.size(), by_ordinal.rows.size());
+  for (size_t i = 0; i < by_name.rows.size(); ++i) {
+    EXPECT_EQ(by_name.rows[i][1].AsInt(), by_ordinal.rows[i][1].AsInt());
+  }
+  EXPECT_EQ(ExecErr("SELECT k FROM g GROUP BY 7").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorEdgeTest, LeftHashJoinPadsNulls) {
+  Exec("CREATE TABLE l (k INT)");
+  Exec("CREATE TABLE r (k INT)");
+  for (int i = 0; i < 8; ++i) {
+    Exec("INSERT INTO l VALUES (" + std::to_string(i) + ")");
+    Exec("INSERT INTO r VALUES (" + std::to_string(i + 4) + ")");
+  }
+  ResultSet rs = Exec(
+      "SELECT l.k, r.k FROM l LEFT JOIN r ON l.k = r.k ORDER BY l.k");
+  ASSERT_EQ(rs.rows.size(), 8u);
+  EXPECT_TRUE(rs.rows[0][1].is_null());   // k=0 unmatched
+  EXPECT_FALSE(rs.rows[7][1].is_null());  // k=7 matched
+  EXPECT_TRUE(db_.session().feature_trace.back().test(
+      static_cast<size_t>(ExecFeature::kHashJoinUsed)));
+}
+
+TEST_F(ExecutorEdgeTest, InsertDefaultValuesForm) {
+  Exec("CREATE TABLE d (a INT DEFAULT 3, b TEXT DEFAULT 'x')");
+  Exec("INSERT INTO d DEFAULT VALUES");
+  ResultSet rs = Exec("SELECT a, b FROM d");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs.rows[0][1].text_value(), "x");
+}
+
+TEST_F(ExecutorEdgeTest, InsertWidthErrors) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  EXPECT_EQ(ExecErr("INSERT INTO t VALUES (1, 2, 3)").code(),
+            StatusCode::kSemanticError);
+  EXPECT_EQ(ExecErr("INSERT INTO t (a) VALUES (1, 2)").code(),
+            StatusCode::kSemanticError);
+  EXPECT_EQ(ExecErr("INSERT INTO t (a, a) VALUES (1, 2)").code(),
+            StatusCode::kSemanticError);
+  EXPECT_EQ(ExecErr("INSERT INTO t (zz) VALUES (1)").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorEdgeTest, ValuesWidthMismatchErrors) {
+  EXPECT_EQ(ExecErr("VALUES (1, 2), (3)").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorEdgeTest, SelectStarQualifiedAndUnknownQualifier) {
+  Exec("CREATE TABLE a (x INT)");
+  Exec("CREATE TABLE b (y INT)");
+  Exec("INSERT INTO a VALUES (1)");
+  Exec("INSERT INTO b VALUES (2)");
+  ResultSet rs = Exec("SELECT b.* FROM a, b");
+  ASSERT_EQ(rs.column_names.size(), 1u);
+  EXPECT_EQ(rs.column_names[0], "y");
+  EXPECT_EQ(ExecErr("SELECT zz.* FROM a").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorEdgeTest, SubqueryInFromUsesAlias) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  ResultSet rs = Exec(
+      "SELECT s.x FROM (SELECT x FROM t WHERE x > 1) AS s WHERE s.x < 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorEdgeTest, ScalarSubqueryCardinalityError) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("INSERT INTO t VALUES (1), (2)");
+  EXPECT_EQ(ExecErr("SELECT (SELECT x FROM t)").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorEdgeTest, CteColumnListRenames) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("INSERT INTO t VALUES (7)");
+  ResultSet rs = Exec("WITH w (renamed) AS (SELECT x FROM t) "
+                      "SELECT renamed FROM w");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 7);
+}
+
+TEST_F(ExecutorEdgeTest, BeforeTriggerFiresBeforeInsert) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("CREATE TABLE log (n INT)");
+  Exec("CREATE TRIGGER tg BEFORE INSERT ON t FOR EACH ROW "
+       "INSERT INTO log VALUES (1)");
+  Exec("INSERT INTO t VALUES (5)");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM log").rows[0][0].AsInt(), 1);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorEdgeTest, StatementLevelTriggerFiresOncePerStatement) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("CREATE TABLE log (n INT)");
+  // No FOR EACH ROW: fires once per affecting statement.
+  Exec("CREATE TRIGGER tg AFTER DELETE ON t INSERT INTO log VALUES (1)");
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  Exec("DELETE FROM t WHERE x < 3");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM log").rows[0][0].AsInt(), 1);
+  // Deleting zero rows does not fire it.
+  Exec("DELETE FROM t WHERE x = 99");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM log").rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorEdgeTest, UpdateRuleRewrites) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("CREATE TABLE log (x INT)");
+  Exec("INSERT INTO t VALUES (1)");
+  Exec("CREATE RULE r AS ON UPDATE TO t DO INSTEAD "
+       "INSERT INTO log VALUES (1)");
+  Exec("UPDATE t SET x = 9");
+  EXPECT_EQ(Exec("SELECT x FROM t").rows[0][0].AsInt(), 1);  // untouched
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM log").rows[0][0].AsInt(), 1);
+  Exec("DROP RULE r");
+  Exec("UPDATE t SET x = 9");
+  EXPECT_EQ(Exec("SELECT x FROM t").rows[0][0].AsInt(), 9);
+}
+
+TEST_F(ExecutorEdgeTest, CopyQueryFormTabSeparated) {
+  Exec("CREATE TABLE t (a INT, b TEXT)");
+  Exec("INSERT INTO t VALUES (1, 'x')");
+  ResultSet rs = Exec("COPY (SELECT a, b FROM t) TO STDOUT");
+  ASSERT_EQ(rs.notes.size(), 1u);
+  EXPECT_EQ(rs.notes[0], "1\tx");
+  EXPECT_EQ(ExecErr("COPY t FROM STDIN").code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorEdgeTest, LimitOffsetEdgeValues) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  EXPECT_EQ(Exec("SELECT x FROM t LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(Exec("SELECT x FROM t LIMIT 99").rows.size(), 3u);
+  EXPECT_EQ(Exec("SELECT x FROM t ORDER BY x LIMIT 2 OFFSET 2").rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT x FROM t OFFSET 99").rows.size(), 0u);
+  EXPECT_EQ(ExecErr("SELECT x FROM t LIMIT -1").code(),
+            StatusCode::kExecutionError);
+  // Computed limit expressions are allowed.
+  EXPECT_EQ(Exec("SELECT x FROM t LIMIT 1 + 1").rows.size(), 2u);
+}
+
+TEST_F(ExecutorEdgeTest, OrderByNullsSortFirst) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("INSERT INTO t VALUES (2), (NULL), (1)");
+  ResultSet asc = Exec("SELECT x FROM t ORDER BY x");
+  EXPECT_TRUE(asc.rows[0][0].is_null());
+  ResultSet desc = Exec("SELECT x FROM t ORDER BY x DESC");
+  EXPECT_TRUE(desc.rows[2][0].is_null());
+}
+
+TEST_F(ExecutorEdgeTest, UnionColumnCountMismatchErrors) {
+  Exec("CREATE TABLE t (x INT, y INT)");
+  EXPECT_EQ(ExecErr("SELECT x FROM t UNION SELECT x, y FROM t").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorEdgeTest, ShowUnknownVariableYieldsNull) {
+  ResultSet rs = Exec("SHOW nothing_here");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  Exec("SET dialect_probe = 1");
+  EXPECT_EQ(Exec("SHOW dialect_probe").rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorEdgeTest, AlterSystemSetReadableAsSystemVar) {
+  Exec("ALTER SYSTEM SET checkpoint_interval = 16");
+  auto stmt =
+      sql::Parser::ParseStatement("SELECT @@SESSION.\"system.checkpoint_interval\"");
+  auto result = db_.Execute(**stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt(), 16);
+}
+
+TEST_F(ExecutorEdgeTest, SequencesDropAndMissing) {
+  Exec("CREATE SEQUENCE s");
+  EXPECT_EQ(ExecErr("SELECT CURRVAL('s')").code(),
+            StatusCode::kExecutionError);  // not yet advanced
+  Exec("DROP SEQUENCE s");
+  EXPECT_EQ(ExecErr("SELECT NEXTVAL('s')").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ExecErr("CREATE SEQUENCE z INCREMENT 0").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorEdgeTest, CreateIndexOnPopulatedTableEnforcesUnique) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("INSERT INTO t VALUES (1), (1)");
+  EXPECT_EQ(ExecErr("CREATE UNIQUE INDEX ux ON t (x)").code(),
+            StatusCode::kConstraintViolation);
+  Exec("CREATE INDEX nx ON t (x)");  // non-unique is fine
+  EXPECT_EQ(Exec("SELECT x FROM t WHERE x = 1").rows.size(), 2u);
+}
+
+TEST_F(ExecutorEdgeTest, MultiplePrimaryKeysRejected) {
+  EXPECT_EQ(
+      ExecErr("CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)").code(),
+      StatusCode::kSemanticError);
+  EXPECT_EQ(ExecErr("CREATE TABLE t (a INT, a INT)").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorEdgeTest, NullsNeverConflictInUniqueIndex) {
+  Exec("CREATE TABLE t (x INT UNIQUE)");
+  Exec("INSERT INTO t VALUES (NULL)");
+  Exec("INSERT INTO t VALUES (NULL)");  // SQL: NULLs don't collide
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorEdgeTest, TypeCoercionOnInsert) {
+  Exec("CREATE TABLE t (a INT, b TEXT, c BOOL)");
+  Exec("INSERT INTO t VALUES ('42', 7, 1)");
+  ResultSet rs = Exec("SELECT TYPEOF(a), TYPEOF(b), TYPEOF(c) FROM t");
+  EXPECT_EQ(rs.rows[0][0].text_value(), "INT");
+  EXPECT_EQ(rs.rows[0][1].text_value(), "TEXT");
+  EXPECT_EQ(rs.rows[0][2].text_value(), "BOOL");
+}
+
+}  // namespace
+}  // namespace lego::minidb

@@ -1,0 +1,514 @@
+#include "minidb/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/database.h"
+#include "sql/parser.h"
+
+namespace lego::minidb {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ResultSet Exec(const std::string& sql_text) {
+    auto stmt = sql::Parser::ParseStatement(sql_text);
+    EXPECT_TRUE(stmt.ok()) << sql_text << ": " << stmt.status().ToString();
+    auto result = db_.Execute(**stmt);
+    EXPECT_TRUE(result.ok()) << sql_text << ": "
+                             << result.status().ToString();
+    return result.ok() ? std::move(*result) : ResultSet{};
+  }
+
+  Status ExecErr(const std::string& sql_text) {
+    auto stmt = sql::Parser::ParseStatement(sql_text);
+    EXPECT_TRUE(stmt.ok()) << sql_text << ": " << stmt.status().ToString();
+    auto result = db_.Execute(**stmt);
+    EXPECT_FALSE(result.ok()) << sql_text << " unexpectedly succeeded";
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, CreateInsertSelect) {
+  Exec("CREATE TABLE t1 (v1 INT, v2 INT)");
+  Exec("INSERT INTO t1 VALUES (1, 1)");
+  Exec("INSERT INTO t1 VALUES (2, 1)");
+  ResultSet rs = Exec("SELECT * FROM t1 ORDER BY v1");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 2);
+  EXPECT_EQ(rs.column_names, (std::vector<std::string>{"v1", "v2"}));
+}
+
+TEST_F(ExecutorTest, PaperFig2OrderSensitivity) {
+  // Q1: select after insert -> sorted data; Q2 shape: select before insert
+  // -> empty result. Same statements, different type sequence.
+  Exec("CREATE TABLE q (a INT, b TEXT)");
+  ResultSet empty = Exec("SELECT * FROM q ORDER BY a DESC");
+  EXPECT_TRUE(empty.rows.empty());
+  Exec("INSERT INTO q VALUES (1, 'name1')");
+  Exec("INSERT INTO q VALUES (3, 'name1')");
+  ResultSet sorted = Exec("SELECT * FROM q ORDER BY a DESC");
+  ASSERT_EQ(sorted.rows.size(), 2u);
+  EXPECT_EQ(sorted.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, WhereFiltersWithThreeValuedLogic) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (1), (NULL), (3)");
+  // NULL comparison is unknown, so the NULL row is filtered out.
+  EXPECT_EQ(Exec("SELECT a FROM t WHERE a > 0").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT a FROM t WHERE a IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Exec("SELECT a FROM t WHERE NOT (a > 0)").rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, Expressions) {
+  Exec("CREATE TABLE t (a INT, s TEXT)");
+  Exec("INSERT INTO t VALUES (7, 'Hello')");
+  ResultSet rs = Exec(
+      "SELECT a + 1, a * 2, a / 2, a % 3, -a, ABS(-5), LENGTH(s), "
+      "UPPER(s), LOWER(s), SUBSTR(s, 2, 3), s || '!', "
+      "CASE WHEN a > 5 THEN 'big' ELSE 'small' END, "
+      "COALESCE(NULL, 9), CAST(a AS TEXT), TYPEOF(s) FROM t");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  const Row& r = rs.rows[0];
+  EXPECT_EQ(r[0].AsInt(), 8);
+  EXPECT_EQ(r[1].AsInt(), 14);
+  EXPECT_EQ(r[2].AsInt(), 3);
+  EXPECT_EQ(r[3].AsInt(), 1);
+  EXPECT_EQ(r[4].AsInt(), -7);
+  EXPECT_EQ(r[5].AsInt(), 5);
+  EXPECT_EQ(r[6].AsInt(), 5);
+  EXPECT_EQ(r[7].text_value(), "HELLO");
+  EXPECT_EQ(r[8].text_value(), "hello");
+  EXPECT_EQ(r[9].text_value(), "ell");
+  EXPECT_EQ(r[10].text_value(), "Hello!");
+  EXPECT_EQ(r[11].text_value(), "big");
+  EXPECT_EQ(r[12].AsInt(), 9);
+  EXPECT_EQ(r[13].text_value(), "7");
+  EXPECT_EQ(r[14].text_value(), "TEXT");
+}
+
+TEST_F(ExecutorTest, DivisionByZeroIsExecutionError) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (1)");
+  EXPECT_EQ(ExecErr("SELECT a / 0 FROM t").code(),
+            StatusCode::kExecutionError);
+  EXPECT_EQ(ExecErr("SELECT a % 0 FROM t").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, GroupByHavingAggregates) {
+  Exec("CREATE TABLE g (k INT, v INT)");
+  Exec("INSERT INTO g VALUES (1, 10), (1, 20), (2, 5), (2, NULL)");
+  ResultSet rs = Exec(
+      "SELECT k, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) "
+      "FROM g GROUP BY k ORDER BY k");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 2);  // COUNT(*)
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 30); // SUM
+  EXPECT_EQ(rs.rows[1][2].AsInt(), 1);  // COUNT(v) skips NULL
+  EXPECT_EQ(rs.rows[1][3].AsInt(), 5);
+
+  ResultSet having = Exec(
+      "SELECT k FROM g GROUP BY k HAVING SUM(v) > 10");
+  ASSERT_EQ(having.rows.size(), 1u);
+  EXPECT_EQ(having.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorTest, AggregateWithoutGroupByOverEmptyTable) {
+  Exec("CREATE TABLE e (x INT)");
+  ResultSet rs = Exec("SELECT COUNT(*), SUM(x) FROM e");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, DistinctAndSetOperations) {
+  Exec("CREATE TABLE s (x INT)");
+  Exec("INSERT INTO s VALUES (1), (1), (2), (3)");
+  EXPECT_EQ(Exec("SELECT DISTINCT x FROM s").rows.size(), 3u);
+  EXPECT_EQ(Exec("SELECT x FROM s UNION SELECT x FROM s").rows.size(), 3u);
+  EXPECT_EQ(Exec("SELECT x FROM s UNION ALL SELECT x FROM s").rows.size(),
+            8u);
+  EXPECT_EQ(
+      Exec("SELECT x FROM s EXCEPT SELECT x FROM s WHERE x = 1").rows.size(),
+      2u);
+  EXPECT_EQ(
+      Exec("SELECT x FROM s INTERSECT SELECT x FROM s WHERE x > 1")
+          .rows.size(),
+      2u);
+}
+
+TEST_F(ExecutorTest, JoinsInnerLeftCross) {
+  Exec("CREATE TABLE a (k INT, v INT)");
+  Exec("CREATE TABLE b (k INT, w INT)");
+  Exec("INSERT INTO a VALUES (1, 10), (2, 20)");
+  Exec("INSERT INTO b VALUES (1, 100)");
+  EXPECT_EQ(Exec("SELECT * FROM a JOIN b ON a.k = b.k").rows.size(), 1u);
+  ResultSet left = Exec("SELECT * FROM a LEFT JOIN b ON a.k = b.k "
+                        "ORDER BY a.k");
+  ASSERT_EQ(left.rows.size(), 2u);
+  EXPECT_TRUE(left.rows[1][3].is_null());  // unmatched right side padded
+  EXPECT_EQ(Exec("SELECT * FROM a CROSS JOIN b").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM a, b").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, HashJoinKicksInForLargeInputs) {
+  Exec("CREATE TABLE big1 (k INT)");
+  Exec("CREATE TABLE big2 (k INT)");
+  for (int i = 0; i < 10; ++i) {
+    Exec("INSERT INTO big1 VALUES (" + std::to_string(i) + ")");
+    Exec("INSERT INTO big2 VALUES (" + std::to_string(i) + ")");
+  }
+  ResultSet rs = Exec("SELECT * FROM big1 JOIN big2 ON big1.k = big2.k");
+  EXPECT_EQ(rs.rows.size(), 10u);
+  // The hash-join feature must have been recorded on the last statement.
+  EXPECT_TRUE(db_.session().feature_trace.back().test(
+      static_cast<size_t>(ExecFeature::kHashJoinUsed)));
+}
+
+TEST_F(ExecutorTest, IndexScansServeEqualityAndRange) {
+  Exec("CREATE TABLE ix (a INT, b INT)");
+  Exec("CREATE INDEX ixa ON ix (a)");
+  for (int i = 0; i < 20; ++i) {
+    Exec("INSERT INTO ix VALUES (" + std::to_string(i) + ", 0)");
+  }
+  ResultSet eq = Exec("SELECT a FROM ix WHERE a = 7");
+  ASSERT_EQ(eq.rows.size(), 1u);
+  EXPECT_EQ(eq.rows[0][0].AsInt(), 7);
+  EXPECT_TRUE(db_.session().feature_trace.back().test(
+      static_cast<size_t>(ExecFeature::kIndexScanUsed)));
+  EXPECT_EQ(Exec("SELECT a FROM ix WHERE a >= 15").rows.size(), 5u);
+}
+
+TEST_F(ExecutorTest, SubqueriesScalarInExists) {
+  Exec("CREATE TABLE o (x INT)");
+  Exec("CREATE TABLE i (y INT)");
+  Exec("INSERT INTO o VALUES (1), (2), (3)");
+  Exec("INSERT INTO i VALUES (2)");
+  EXPECT_EQ(Exec("SELECT x FROM o WHERE x IN (SELECT y FROM i)").rows.size(),
+            1u);
+  EXPECT_EQ(
+      Exec("SELECT x FROM o WHERE EXISTS (SELECT 1 FROM i)").rows.size(),
+      3u);
+  ResultSet scalar = Exec("SELECT (SELECT MAX(y) FROM i) FROM o WHERE x = 1");
+  EXPECT_EQ(scalar.rows[0][0].AsInt(), 2);
+  // Correlated subquery.
+  EXPECT_EQ(
+      Exec("SELECT x FROM o WHERE EXISTS (SELECT 1 FROM i WHERE y = x)")
+          .rows.size(),
+      1u);
+}
+
+TEST_F(ExecutorTest, WindowFunctions) {
+  Exec("CREATE TABLE w (g INT, v INT)");
+  Exec("INSERT INTO w VALUES (1, 30), (1, 10), (2, 20)");
+  ResultSet rs = Exec(
+      "SELECT v, ROW_NUMBER() OVER (PARTITION BY g ORDER BY v) FROM w "
+      "ORDER BY v");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  // v=10 is first in its partition, v=20 first in its own, v=30 second.
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 1);
+  EXPECT_EQ(rs.rows[1][1].AsInt(), 1);
+  EXPECT_EQ(rs.rows[2][1].AsInt(), 2);
+
+  ResultSet lead = Exec(
+      "SELECT v, LEAD(v) OVER (ORDER BY v) FROM w ORDER BY v");
+  EXPECT_EQ(lead.rows[0][1].AsInt(), 20);
+  EXPECT_TRUE(lead.rows[2][1].is_null());
+}
+
+TEST_F(ExecutorTest, UpdateDeleteWithConstraints) {
+  Exec("CREATE TABLE c (k INT PRIMARY KEY, v INT NOT NULL)");
+  Exec("INSERT INTO c VALUES (1, 10), (2, 20)");
+  EXPECT_EQ(ExecErr("INSERT INTO c VALUES (1, 30)").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(ExecErr("INSERT INTO c VALUES (3, NULL)").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(ExecErr("UPDATE c SET k = 2 WHERE k = 1").code(),
+            StatusCode::kConstraintViolation);
+  Exec("UPDATE c SET v = 11 WHERE k = 1");
+  EXPECT_EQ(Exec("SELECT v FROM c WHERE k = 1").rows[0][0].AsInt(), 11);
+  ResultSet del = Exec("DELETE FROM c WHERE k = 2");
+  EXPECT_EQ(del.affected_rows, 1);
+  EXPECT_EQ(Exec("SELECT * FROM c").rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, InsertIgnoreAndReplace) {
+  Exec("CREATE TABLE r (k INT PRIMARY KEY, v TEXT)");
+  Exec("INSERT INTO r VALUES (1, 'a')");
+  ResultSet ignored = Exec("INSERT IGNORE INTO r VALUES (1, 'b'), (2, 'c')");
+  EXPECT_EQ(ignored.affected_rows, 1);  // only (2, 'c') landed
+  Exec("REPLACE INTO r VALUES (1, 'z')");
+  EXPECT_EQ(Exec("SELECT v FROM r WHERE k = 1").rows[0][0].text_value(), "z");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM r").rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, DefaultsApplyOnPartialInsert) {
+  Exec("CREATE TABLE d (a INT, b TEXT DEFAULT 'dflt', c INT DEFAULT 7)");
+  Exec("INSERT INTO d (a) VALUES (1)");
+  ResultSet rs = Exec("SELECT b, c FROM d");
+  EXPECT_EQ(rs.rows[0][0].text_value(), "dflt");
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 7);
+}
+
+TEST_F(ExecutorTest, ViewsExpandAndCascadeOnDrop) {
+  Exec("CREATE TABLE base (x INT)");
+  Exec("INSERT INTO base VALUES (1), (2)");
+  Exec("CREATE VIEW v AS SELECT x FROM base WHERE x > 1");
+  EXPECT_EQ(Exec("SELECT * FROM v").rows.size(), 1u);
+  Exec("CREATE OR REPLACE VIEW v AS SELECT x FROM base");
+  EXPECT_EQ(Exec("SELECT * FROM v").rows.size(), 2u);
+  Exec("DROP VIEW v");
+  EXPECT_EQ(ExecErr("SELECT * FROM v").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, TriggersFire) {
+  Exec("CREATE TABLE audit (n INT)");
+  Exec("CREATE TABLE data (x INT)");
+  Exec("CREATE TRIGGER tg AFTER INSERT ON data FOR EACH ROW "
+       "INSERT INTO audit VALUES (1)");
+  Exec("INSERT INTO data VALUES (10), (20)");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM audit").rows[0][0].AsInt(), 2);
+  EXPECT_TRUE(db_.session().feature_trace[4].test(
+      static_cast<size_t>(ExecFeature::kTriggerFired)));
+}
+
+TEST_F(ExecutorTest, TriggerRecursionIsBounded) {
+  Exec("CREATE TABLE loop (x INT)");
+  Exec("CREATE TRIGGER tg AFTER INSERT ON loop FOR EACH ROW "
+       "INSERT INTO loop VALUES (1)");
+  // Self-recursive trigger must hit the firing/depth limit, not hang.
+  EXPECT_EQ(ExecErr("INSERT INTO loop VALUES (0)").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, RulesRewriteDml) {
+  Exec("CREATE TABLE ruled (x INT)");
+  Exec("CREATE TABLE log (x INT)");
+  Exec("CREATE RULE r AS ON INSERT TO ruled DO INSTEAD "
+       "INSERT INTO log VALUES (99)");
+  Exec("INSERT INTO ruled VALUES (1)");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM ruled").rows[0][0].AsInt(), 0);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM log").rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorTest, RuleDoNothingSwallowsDml) {
+  Exec("CREATE TABLE quiet (x INT)");
+  Exec("CREATE RULE r AS ON DELETE TO quiet DO INSTEAD NOTHING");
+  Exec("INSERT INTO quiet VALUES (1)");
+  Exec("DELETE FROM quiet");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM quiet").rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorTest, WithCtesSelectAndDml) {
+  Exec("CREATE TABLE base (x INT)");
+  Exec("INSERT INTO base VALUES (1), (2), (3)");
+  ResultSet rs = Exec("WITH w AS (SELECT x FROM base WHERE x > 1) "
+                      "SELECT COUNT(*) FROM w");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);
+  // DML inside WITH executes for its side effect.
+  Exec("WITH w AS (INSERT INTO base VALUES (4)) SELECT 1");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM base").rows[0][0].AsInt(), 4);
+}
+
+TEST_F(ExecutorTest, TransactionsCommitRollbackSavepoints) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("BEGIN");
+  Exec("INSERT INTO t VALUES (1)");
+  Exec("ROLLBACK");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 0);
+
+  Exec("BEGIN");
+  Exec("INSERT INTO t VALUES (1)");
+  Exec("SAVEPOINT sp1");
+  Exec("INSERT INTO t VALUES (2)");
+  Exec("ROLLBACK TO sp1");
+  Exec("COMMIT");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 1);
+
+  EXPECT_EQ(ExecErr("COMMIT").code(), StatusCode::kTransactionError);
+  EXPECT_EQ(ExecErr("SAVEPOINT sp").code(), StatusCode::kTransactionError);
+  Exec("BEGIN");
+  EXPECT_EQ(ExecErr("BEGIN").code(), StatusCode::kTransactionError);
+  Exec("ROLLBACK");
+}
+
+TEST_F(ExecutorTest, DdlInsideTransactionRollsBack) {
+  Exec("BEGIN");
+  Exec("CREATE TABLE temp_t (x INT)");
+  Exec("ROLLBACK");
+  EXPECT_EQ(ExecErr("SELECT * FROM temp_t").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, PrivilegesEnforcedForNonRoot) {
+  Exec("CREATE TABLE secret (x INT)");
+  Exec("INSERT INTO secret VALUES (42)");
+  Exec("CREATE USER alice");
+  Exec("GRANT SELECT ON secret TO alice");
+  Exec("SET role = 'alice'");
+  EXPECT_EQ(Exec("SELECT x FROM secret").rows.size(), 1u);
+  EXPECT_EQ(ExecErr("INSERT INTO secret VALUES (1)").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(ExecErr("DELETE FROM secret").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(ExecErr("GRANT ALL ON secret TO alice").code(),
+            StatusCode::kPermissionDenied);
+  Exec("SET role = 'root'");
+  Exec("REVOKE SELECT ON secret FROM alice");
+  Exec("SET role = 'alice'");
+  EXPECT_EQ(ExecErr("SELECT x FROM secret").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ExecutorTest, AlterTableAllActions) {
+  Exec("CREATE TABLE a (x INT)");
+  Exec("INSERT INTO a VALUES (1)");
+  Exec("ALTER TABLE a ADD COLUMN y TEXT DEFAULT 'd'");
+  EXPECT_EQ(Exec("SELECT y FROM a").rows[0][0].text_value(), "d");
+  Exec("ALTER TABLE a RENAME COLUMN y TO z");
+  EXPECT_EQ(Exec("SELECT z FROM a").rows.size(), 1u);
+  Exec("ALTER TABLE a DROP COLUMN z");
+  EXPECT_EQ(ExecErr("SELECT z FROM a").code(), StatusCode::kSemanticError);
+  Exec("ALTER TABLE a RENAME TO b");
+  EXPECT_EQ(Exec("SELECT x FROM b").rows.size(), 1u);
+  EXPECT_EQ(ExecErr("SELECT * FROM a").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, SequencesNextvalCurrval) {
+  Exec("CREATE SEQUENCE sq START 5 INCREMENT 2");
+  EXPECT_EQ(Exec("SELECT NEXTVAL('sq')").rows[0][0].AsInt(), 5);
+  EXPECT_EQ(Exec("SELECT NEXTVAL('sq')").rows[0][0].AsInt(), 7);
+  EXPECT_EQ(Exec("SELECT CURRVAL('sq')").rows[0][0].AsInt(), 7);
+}
+
+TEST_F(ExecutorTest, MaintenanceStatements) {
+  Exec("CREATE TABLE m (x INT)");
+  Exec("CREATE INDEX mx ON m (x)");
+  for (int i = 0; i < 10; ++i) {
+    Exec("INSERT INTO m VALUES (" + std::to_string(i) + ")");
+  }
+  Exec("DELETE FROM m WHERE x < 5");
+  Exec("ANALYZE m");
+  EXPECT_EQ((*db_.catalog().GetTable("m"))->analyzed_row_count, 5);
+  Exec("VACUUM m");
+  EXPECT_EQ(Exec("SELECT x FROM m WHERE x = 7").rows.size(), 1u);
+  Exec("REINDEX mx");
+  EXPECT_EQ(Exec("SELECT x FROM m WHERE x = 7").rows.size(), 1u);
+  Exec("CHECKPOINT");
+}
+
+TEST_F(ExecutorTest, CopyProducesRows) {
+  Exec("CREATE TABLE cp (a INT, b TEXT)");
+  Exec("INSERT INTO cp VALUES (1, 'x'), (2, 'y')");
+  ResultSet rs = Exec("COPY cp TO STDOUT CSV HEADER");
+  ASSERT_EQ(rs.notes.size(), 3u);
+  EXPECT_EQ(rs.notes[0], "a,b");
+  EXPECT_EQ(rs.notes[1], "1,x");
+}
+
+TEST_F(ExecutorTest, ExplainDescribesPlan) {
+  Exec("CREATE TABLE e (a INT)");
+  Exec("CREATE INDEX ea ON e (a)");
+  ResultSet rs = Exec("EXPLAIN SELECT a FROM e WHERE a = 1 ORDER BY a");
+  std::string joined;
+  for (const auto& n : rs.notes) joined += n + "\n";
+  EXPECT_NE(joined.find("Sort"), std::string::npos);
+  EXPECT_NE(joined.find("IndexScan"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, NotifyListenShowPragma) {
+  Exec("LISTEN ch");
+  ResultSet rs = Exec("NOTIFY ch, 'hello'");
+  ASSERT_EQ(rs.notes.size(), 1u);
+  EXPECT_EQ(db_.session().notifications.back(), "ch:hello");
+  Exec("UNLISTEN ch");
+  Exec("PRAGMA cache_size = 32");
+  EXPECT_EQ(Exec("PRAGMA cache_size").rows[0][0].AsInt(), 32);
+  Exec("CREATE TABLE s1 (x INT)");
+  ResultSet tables = Exec("SHOW TABLES");
+  ASSERT_EQ(tables.rows.size(), 1u);
+  EXPECT_EQ(tables.rows[0][0].text_value(), "s1");
+}
+
+TEST_F(ExecutorTest, DialectProfileRejectsUnsupportedTypes) {
+  Database comd(&DialectProfile::ComdLite());
+  auto stmt = sql::Parser::ParseStatement("NOTIFY ch");
+  ASSERT_TRUE(stmt.ok());
+  auto result = comd.Execute(**stmt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+
+  auto rule = sql::Parser::ParseStatement(
+      "CREATE RULE r AS ON INSERT TO t DO INSTEAD NOTHING");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(comd.Execute(**rule).status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorTest, TypeTraceRecordsExecutionOrder) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("INSERT INTO t VALUES (1)");
+  Exec("SELECT * FROM t");
+  const auto& trace = db_.session().type_trace;
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], sql::StatementType::kCreateTable);
+  EXPECT_EQ(trace[1], sql::StatementType::kInsert);
+  EXPECT_EQ(trace[2], sql::StatementType::kSelect);
+}
+
+TEST_F(ExecutorTest, FailedStatementsAreNotTraced) {
+  ExecErr("SELECT * FROM missing");
+  EXPECT_TRUE(db_.session().type_trace.empty());
+}
+
+TEST_F(ExecutorTest, RuleDefinitionTracesActionType) {
+  Exec("CREATE TABLE t (x INT)");
+  Exec("CREATE RULE r AS ON INSERT TO t DO INSTEAD NOTIFY ch");
+  const auto& trace = db_.session().type_trace;
+  // CREATE TABLE, NOTIFY (action registered), CREATE RULE.
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[1], sql::StatementType::kNotify);
+  EXPECT_EQ(trace[2], sql::StatementType::kCreateRule);
+}
+
+TEST_F(ExecutorTest, ScriptExecutionCountsErrorsAndContinues) {
+  auto result = db_.ExecuteScript(
+      "CREATE TABLE t (x INT);"
+      "INSERT INTO t VALUES (1);"
+      "SELECT * FROM missing;"  // error, but the script continues
+      "SELECT * FROM t;");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->executed, 3);
+  EXPECT_EQ(result->errors, 1);
+  EXPECT_FALSE(result->crashed);
+}
+
+TEST_F(ExecutorTest, OrderByOrdinalAndLimit) {
+  Exec("CREATE TABLE o (a INT, b INT)");
+  Exec("INSERT INTO o VALUES (3, 1), (1, 2), (2, 3)");
+  ResultSet rs = Exec("SELECT a, b FROM o ORDER BY 1 LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 2);
+  EXPECT_EQ(ExecErr("SELECT a FROM o ORDER BY 9").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExecutorTest, ValuesStatement) {
+  ResultSet rs = Exec("VALUES (1, 'a'), (2, 'b')");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.column_names[0], "column1");
+}
+
+TEST_F(ExecutorTest, TemporaryTablesDiscarded) {
+  Exec("CREATE TEMPORARY TABLE tmp (x INT)");
+  Exec("CREATE TABLE keep (x INT)");
+  Exec("DISCARD TEMP");
+  EXPECT_EQ(ExecErr("SELECT * FROM tmp").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM keep").rows[0][0].AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace lego::minidb

@@ -1,0 +1,192 @@
+#include "faults/bug_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "faults/bug_catalog.h"
+#include "minidb/database.h"
+#include "sql/parser.h"
+
+namespace lego::faults {
+namespace {
+
+TEST(BugCatalogTest, HasExactly102BugsWithPaperDistribution) {
+  EXPECT_EQ(BugCatalog().size(), 102u);
+  EXPECT_EQ(BugsForProfile("pglite").size(), 6u);
+  EXPECT_EQ(BugsForProfile("mylite").size(), 21u);
+  EXPECT_EQ(BugsForProfile("marialite").size(), 42u);
+  EXPECT_EQ(BugsForProfile("comdlite").size(), 33u);
+}
+
+TEST(BugCatalogTest, ComponentDistributionMatchesTableOne) {
+  std::map<std::string, std::map<std::string, int>> by_component;
+  for (const BugDef& bug : BugCatalog()) {
+    ++by_component[bug.profile][bug.component];
+  }
+  EXPECT_EQ(by_component["pglite"]["Optimizer"], 4);
+  EXPECT_EQ(by_component["mylite"]["Optimizer"], 12);
+  EXPECT_EQ(by_component["marialite"]["Storage"], 13);
+  EXPECT_EQ(by_component["marialite"]["Item"], 10);
+  EXPECT_EQ(by_component["comdlite"]["Bdb"], 6);
+  EXPECT_EQ(by_component["comdlite"]["Sqlite"], 7);
+}
+
+TEST(BugCatalogTest, AllIdsUniqueAndSequencesNonEmpty) {
+  std::set<std::string> ids;
+  std::set<uint64_t> hashes;
+  for (const BugDef& bug : BugCatalog()) {
+    EXPECT_TRUE(ids.insert(bug.id).second) << "duplicate id " << bug.id;
+    hashes.insert(bug.StackHash());
+    EXPECT_GE(bug.sequence.size(), 2u) << bug.id;
+    EXPECT_LE(bug.sequence.size(), 4u) << bug.id;
+  }
+  // Stack hashes dedup crashes: they must be collision-free here.
+  EXPECT_EQ(hashes.size(), BugCatalog().size());
+}
+
+TEST(BugCatalogTest, EverySequenceUsesProfileSupportedTypes) {
+  for (const BugDef& bug : BugCatalog()) {
+    const auto* profile = minidb::DialectProfile::ByName(bug.profile);
+    ASSERT_NE(profile, nullptr) << bug.id;
+    for (sql::StatementType t : bug.sequence) {
+      EXPECT_TRUE(profile->Supports(t))
+          << bug.id << " requires unsupported type "
+          << sql::StatementTypeName(t);
+    }
+  }
+}
+
+TEST(BugEngineTest, EveryCatalogBugIsMatchable) {
+  // Unit-level reachability: for each of the 102 bugs, a trace equal to its
+  // trigger sequence with all features set must fire, and an empty trace
+  // must not.
+  for (const BugDef& bug : BugCatalog()) {
+    std::vector<minidb::FeatureSet> features(bug.sequence.size());
+    for (auto& f : features) f.set();
+    EXPECT_TRUE(BugEngine::Matches(bug, bug.sequence, features, 0)) << bug.id;
+    EXPECT_FALSE(BugEngine::Matches(bug, {}, {}, 0)) << bug.id;
+  }
+}
+
+TEST(BugEngineTest, MatchesContiguousSubsequenceOnly) {
+  BugDef bug;
+  bug.sequence = {sql::StatementType::kInsert,
+                  sql::StatementType::kCreateTrigger,
+                  sql::StatementType::kSelect};
+  std::vector<sql::StatementType> trace = {
+      sql::StatementType::kCreateTable, sql::StatementType::kInsert,
+      sql::StatementType::kCreateTrigger, sql::StatementType::kSelect};
+  std::vector<minidb::FeatureSet> features(trace.size());
+  EXPECT_TRUE(BugEngine::Matches(bug, trace, features, 0));
+
+  // Gap breaks the match.
+  std::vector<sql::StatementType> gapped = {
+      sql::StatementType::kInsert, sql::StatementType::kCommit,
+      sql::StatementType::kCreateTrigger, sql::StatementType::kSelect};
+  std::vector<minidb::FeatureSet> gapped_features(gapped.size());
+  EXPECT_FALSE(BugEngine::Matches(bug, gapped, gapped_features, 0));
+}
+
+TEST(BugEngineTest, FeatureRequirementGatesTheMatch) {
+  BugDef bug;
+  bug.sequence = {sql::StatementType::kInsert, sql::StatementType::kSelect};
+  bug.feature = minidb::ExecFeature::kGroupBy;
+  std::vector<sql::StatementType> trace = {sql::StatementType::kInsert,
+                                           sql::StatementType::kSelect};
+  std::vector<minidb::FeatureSet> features(2);
+  EXPECT_FALSE(BugEngine::Matches(bug, trace, features, 0));
+  features[1].set(static_cast<size_t>(minidb::ExecFeature::kGroupBy));
+  EXPECT_TRUE(BugEngine::Matches(bug, trace, features, 0));
+}
+
+TEST(BugEngineTest, MinEndSkipsAlreadyCheckedMatches) {
+  BugDef bug;
+  bug.sequence = {sql::StatementType::kInsert, sql::StatementType::kSelect};
+  std::vector<sql::StatementType> trace = {sql::StatementType::kInsert,
+                                           sql::StatementType::kSelect,
+                                           sql::StatementType::kCommit};
+  std::vector<minidb::FeatureSet> features(3);
+  EXPECT_TRUE(BugEngine::Matches(bug, trace, features, 0));
+  // A min_end beyond the only match suppresses it.
+  EXPECT_FALSE(BugEngine::Matches(bug, trace, features, 2));
+}
+
+class CaseStudyTest : public ::testing::Test {
+ protected:
+  CaseStudyTest()
+      : db_(&minidb::DialectProfile::PgLite()), engine_("pglite") {
+    db_.set_fault_hook(&engine_);
+  }
+
+  minidb::Database db_;
+  BugEngine engine_;
+};
+
+TEST_F(CaseStudyTest, PaperFig7TriggersTheNotifyWithSegv) {
+  // The paper's §V-B PostgreSQL case study: an INSTEAD rule rewrites the
+  // INSERT inside the WITH clause into a NOTIFY; the planner then crashes.
+  auto result = db_.ExecuteScript(
+      "CREATE TABLE v0 (v4 INT, v3 INT UNIQUE, v2 INT, v1 INT UNIQUE);\n"
+      "CREATE OR REPLACE RULE v1 AS ON INSERT TO v0 DO INSTEAD "
+      "NOTIFY compression;\n"
+      "COPY (SELECT 32 EXCEPT SELECT v3 + 16 FROM v0) TO STDOUT CSV "
+      "HEADER;\n"
+      "WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 "
+      "WHERE v3 = - - - 48;\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->crashed);
+  ASSERT_TRUE(db_.last_crash().has_value());
+  EXPECT_EQ(db_.last_crash()->bug_id, "PG-OPT-01");
+  EXPECT_EQ(db_.last_crash()->kind, "SEGV");
+  EXPECT_EQ(db_.last_crash()->component, "Optimizer");
+}
+
+TEST_F(CaseStudyTest, SameStatementsWithoutRuleDoNotCrash) {
+  // Without the rewrite rule the WITH executes normally: the sequence that
+  // the bug keys on (NOTIFY fired by rule, then WITH) never occurs.
+  auto result = db_.ExecuteScript(
+      "CREATE TABLE v0 (v4 INT, v3 INT UNIQUE, v2 INT, v1 INT UNIQUE);\n"
+      "COPY (SELECT 32 EXCEPT SELECT v3 + 16 FROM v0) TO STDOUT CSV "
+      "HEADER;\n"
+      "WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 "
+      "WHERE v3 = - - - 48;\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->crashed);
+  EXPECT_EQ(result->errors, 0);
+}
+
+TEST_F(CaseStudyTest, PaperFig3SequenceCrashesMyLite) {
+  // Fig. 3's synthesized seed: CREATE TABLE -> INSERT -> CREATE TRIGGER ->
+  // SELECT (the CVE-2021-35643 analog in the mylite profile).
+  minidb::Database my(&minidb::DialectProfile::MyLite());
+  BugEngine engine("mylite");
+  my.set_fault_hook(&engine);
+  auto result = my.ExecuteScript(
+      "CREATE TABLE v0 (v1 INT, v2 TEXT);\n"
+      "INSERT INTO v0 VALUES (1, 'name1');\n"
+      "CREATE TRIGGER tg AFTER UPDATE ON v0 FOR EACH ROW "
+      "INSERT INTO v0 VALUES (2, 'x');\n"
+      "SELECT * FROM v0;\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->crashed);
+  EXPECT_EQ(my.last_crash()->bug_id, "MY-AUTH-02");
+}
+
+TEST_F(CaseStudyTest, PermutedSequenceDoesNotCrash) {
+  // Same statements, different order: trigger created before the insert.
+  minidb::Database my(&minidb::DialectProfile::MyLite());
+  BugEngine engine("mylite");
+  my.set_fault_hook(&engine);
+  auto result = my.ExecuteScript(
+      "CREATE TABLE v0 (v1 INT, v2 TEXT);\n"
+      "CREATE TRIGGER tg AFTER UPDATE ON v0 FOR EACH ROW "
+      "INSERT INTO v0 VALUES (2, 'x');\n"
+      "INSERT INTO v0 VALUES (1, 'name1');\n"
+      "SELECT * FROM v0;\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->crashed);
+}
+
+}  // namespace
+}  // namespace lego::faults

@@ -1,0 +1,113 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace lego::sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << text << ": " << tokens.status().ToString();
+  return tokens.ok() ? std::move(*tokens) : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].IsEof());
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = MustLex("foo _bar Baz9 qux$1");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kIdentifier);
+  }
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[2].text, "Baz9");
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = MustLex("\"select\" \"with space\"");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].text, "with space");
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto tokens = MustLex("42 3.5 .5 1e9 2E-3 7e 1.");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntegerLiteral);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kFloatLiteral);
+  // "7e" is integer 7 followed by identifier e (no exponent digits).
+  EXPECT_EQ(tokens[5].kind, TokenKind::kIntegerLiteral);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kFloatLiteral);  // "1."
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = MustLex("'abc' '' 'it''s'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "");
+  EXPECT_EQ(tokens[2].text, "it's");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = MustLex("( ) , ; . * + - / % = <> != < <= > >= || @@");
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  std::vector<TokenKind> want = {
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+      TokenKind::kSemicolon, TokenKind::kDot, TokenKind::kStar,
+      TokenKind::kPlus, TokenKind::kMinus, TokenKind::kSlash,
+      TokenKind::kPercent, TokenKind::kEq, TokenKind::kNotEq,
+      TokenKind::kNotEq, TokenKind::kLt, TokenKind::kLtEq, TokenKind::kGt,
+      TokenKind::kGtEq, TokenKind::kConcat, TokenKind::kAtAt,
+      TokenKind::kEof};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = MustLex(
+      "SELECT -- trailing comment\n 1 /* block */ + /*multi\nline*/ 2");
+  // SELECT, 1, +, 2, EOF.
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1].text, "1");
+  EXPECT_EQ(tokens[3].text, "2");
+}
+
+TEST(LexerTest, OffsetsTrackSource) {
+  auto tokens = MustLex("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  Lexer lexer("'abc");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedQuotedIdentifier) {
+  Lexer lexer("\"abc");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, ErrorsOnStrayCharacters) {
+  EXPECT_FALSE(Lexer("a ! b").Tokenize().ok());
+  EXPECT_FALSE(Lexer("a | b").Tokenize().ok());
+  EXPECT_FALSE(Lexer("a @ b").Tokenize().ok());
+  EXPECT_FALSE(Lexer("a # b").Tokenize().ok());
+}
+
+TEST(LexerTest, UnterminatedBlockCommentConsumesRest) {
+  auto tokens = MustLex("SELECT /* never closed");
+  ASSERT_EQ(tokens.size(), 2u);  // SELECT, EOF
+}
+
+}  // namespace
+}  // namespace lego::sql

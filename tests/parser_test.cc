@@ -1,0 +1,356 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/ast.h"
+#include "sql/statement_type.h"
+
+namespace lego::sql {
+namespace {
+
+StmtPtr MustParse(const std::string& text) {
+  auto result = Parser::ParseStatement(text);
+  EXPECT_TRUE(result.ok()) << text << " -> " << result.status().ToString();
+  return result.ok() ? std::move(*result) : nullptr;
+}
+
+TEST(ParserTest, ParsesCreateTable) {
+  StmtPtr stmt = MustParse(
+      "CREATE TABLE t1 (a INT PRIMARY KEY, b VARCHAR(100) NOT NULL, "
+      "c REAL DEFAULT 1.5, d BOOL UNIQUE)");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->type(), StatementType::kCreateTable);
+  const auto& ct = static_cast<const CreateTableStmt&>(*stmt);
+  ASSERT_EQ(ct.columns.size(), 4u);
+  EXPECT_TRUE(ct.columns[0].primary_key);
+  EXPECT_EQ(ct.columns[1].type, SqlType::kText);
+  EXPECT_TRUE(ct.columns[1].not_null);
+  EXPECT_NE(ct.columns[2].default_value, nullptr);
+  EXPECT_TRUE(ct.columns[3].unique);
+}
+
+TEST(ParserTest, ParsesTemporaryAndIfNotExists) {
+  StmtPtr stmt = MustParse("CREATE TEMPORARY TABLE IF NOT EXISTS tt (x INT)");
+  const auto& ct = static_cast<const CreateTableStmt&>(*stmt);
+  EXPECT_TRUE(ct.temporary);
+  EXPECT_TRUE(ct.if_not_exists);
+}
+
+TEST(ParserTest, ParsesMySqlColumnAttributes) {
+  // ZEROFILL/UNSIGNED/YEAR come from the paper's CVE-2021-35643 test case.
+  StmtPtr stmt = MustParse("CREATE TABLE v0 (v1 YEAR ZEROFILL ZEROFILL)");
+  const auto& ct = static_cast<const CreateTableStmt&>(*stmt);
+  EXPECT_EQ(ct.columns[0].type, SqlType::kInt);
+}
+
+TEST(ParserTest, ParsesSelectWithAllClauses) {
+  StmtPtr stmt = MustParse(
+      "SELECT DISTINCT a, SUM(b) AS total FROM t1 JOIN t2 ON t1.k = t2.k "
+      "WHERE a > 3 AND b IS NOT NULL GROUP BY a HAVING SUM(b) > 0 "
+      "ORDER BY a DESC LIMIT 10 OFFSET 2");
+  ASSERT_EQ(stmt->type(), StatementType::kSelect);
+  const auto& sel = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_TRUE(sel.core.distinct);
+  EXPECT_EQ(sel.core.items.size(), 2u);
+  EXPECT_EQ(sel.core.items[1].alias, "total");
+  ASSERT_NE(sel.core.from, nullptr);
+  EXPECT_EQ(sel.core.from->kind(), TableRefKind::kJoin);
+  EXPECT_NE(sel.core.where, nullptr);
+  EXPECT_EQ(sel.core.group_by.size(), 1u);
+  EXPECT_NE(sel.core.having, nullptr);
+  EXPECT_EQ(sel.order_by.size(), 1u);
+  EXPECT_TRUE(sel.order_by[0].desc);
+  EXPECT_NE(sel.limit, nullptr);
+  EXPECT_NE(sel.offset, nullptr);
+}
+
+TEST(ParserTest, ParsesCompoundSelect) {
+  StmtPtr stmt = MustParse(
+      "SELECT 32 EXCEPT SELECT v3 + 16 FROM v0 UNION ALL SELECT 1");
+  const auto& sel = static_cast<const SelectStmt&>(*stmt);
+  ASSERT_EQ(sel.compounds.size(), 2u);
+  EXPECT_EQ(sel.compounds[0].first, SetOpKind::kExcept);
+  EXPECT_EQ(sel.compounds[1].first, SetOpKind::kUnionAll);
+}
+
+TEST(ParserTest, ParsesWindowFunction) {
+  StmtPtr stmt = MustParse(
+      "SELECT LEAD(v1) OVER (PARTITION BY v2 ORDER BY v1 DESC) FROM t");
+  const auto& sel = static_cast<const SelectStmt&>(*stmt);
+  const auto& fn =
+      static_cast<const FunctionCall&>(*sel.core.items[0].expr);
+  ASSERT_NE(fn.window(), nullptr);
+  EXPECT_EQ(fn.window()->partition_by.size(), 1u);
+  EXPECT_EQ(fn.window()->order_by.size(), 1u);
+  EXPECT_TRUE(fn.window()->order_by[0].second);
+}
+
+TEST(ParserTest, ParsesSubqueries) {
+  StmtPtr stmt = MustParse(
+      "SELECT a FROM t WHERE a IN (SELECT b FROM u) AND "
+      "EXISTS (SELECT 1 FROM v) AND a = (SELECT MAX(c) FROM w)");
+  EXPECT_EQ(stmt->type(), StatementType::kSelect);
+}
+
+TEST(ParserTest, ParsesInsertVariants) {
+  StmtPtr plain = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  const auto& ins = static_cast<const InsertStmt&>(*plain);
+  EXPECT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.rows.size(), 2u);
+
+  StmtPtr ignore = MustParse(
+      "INSERT LOW_PRIORITY IGNORE INTO v0 VALUES (NULL), (22471185.000000)");
+  EXPECT_TRUE(static_cast<const InsertStmt&>(*ignore).or_ignore);
+
+  StmtPtr select_src = MustParse("INSERT INTO t SELECT * FROM u");
+  EXPECT_NE(static_cast<const InsertStmt&>(*select_src).select, nullptr);
+
+  StmtPtr replace = MustParse("REPLACE INTO t VALUES (1)");
+  EXPECT_EQ(replace->type(), StatementType::kReplace);
+}
+
+TEST(ParserTest, ParsesTriggerWithBody) {
+  StmtPtr stmt = MustParse(
+      "CREATE TRIGGER v0 AFTER UPDATE ON v0 FOR EACH ROW "
+      "INSERT INTO v0 SELECT * FROM v2 GROUP BY 89, 34");
+  const auto& tg = static_cast<const CreateTriggerStmt&>(*stmt);
+  EXPECT_EQ(tg.timing, TriggerTiming::kAfter);
+  EXPECT_EQ(tg.event, TriggerEvent::kUpdate);
+  EXPECT_TRUE(tg.for_each_row);
+  ASSERT_NE(tg.body, nullptr);
+  EXPECT_EQ(tg.body->type(), StatementType::kInsert);
+}
+
+TEST(ParserTest, ParsesRuleWithNotifyAction) {
+  // The paper's Fig. 7 line 2.
+  StmtPtr stmt = MustParse(
+      "CREATE OR REPLACE RULE v1 AS ON INSERT TO v0 DO INSTEAD "
+      "NOTIFY COMPRESSION");
+  const auto& rule = static_cast<const CreateRuleStmt&>(*stmt);
+  EXPECT_TRUE(rule.or_replace);
+  EXPECT_TRUE(rule.instead);
+  ASSERT_NE(rule.action, nullptr);
+  EXPECT_EQ(rule.action->type(), StatementType::kNotify);
+}
+
+TEST(ParserTest, ParsesRuleDoNothing) {
+  StmtPtr stmt =
+      MustParse("CREATE RULE r AS ON DELETE TO t DO INSTEAD NOTHING");
+  EXPECT_EQ(static_cast<const CreateRuleStmt&>(*stmt).action, nullptr);
+}
+
+TEST(ParserTest, ParsesCopyForms) {
+  StmtPtr table_form = MustParse("COPY t TO STDOUT CSV HEADER");
+  const auto& copy = static_cast<const CopyStmt&>(*table_form);
+  EXPECT_TRUE(copy.csv);
+  EXPECT_TRUE(copy.header);
+
+  // The paper's Fig. 7 line 3.
+  StmtPtr query_form = MustParse(
+      "COPY (SELECT 32 EXCEPT SELECT v3 + 16 FROM v0) TO STDOUT CSV HEADER");
+  EXPECT_NE(static_cast<const CopyStmt&>(*query_form).query, nullptr);
+}
+
+TEST(ParserTest, ParsesWithStatement) {
+  // The paper's Fig. 7 line 4 (triple negation included).
+  StmtPtr stmt = MustParse(
+      "WITH v2 AS (INSERT INTO v0 VALUES (0)) "
+      "DELETE FROM v0 WHERE v3 = - - - 48");
+  const auto& with = static_cast<const WithStmt&>(*stmt);
+  ASSERT_EQ(with.ctes.size(), 1u);
+  EXPECT_EQ(with.ctes[0].statement->type(), StatementType::kInsert);
+  EXPECT_EQ(with.body->type(), StatementType::kDelete);
+}
+
+TEST(ParserTest, ParsesTransactionControl) {
+  EXPECT_EQ(MustParse("BEGIN")->type(), StatementType::kBegin);
+  EXPECT_EQ(MustParse("START TRANSACTION")->type(), StatementType::kBegin);
+  EXPECT_EQ(MustParse("COMMIT")->type(), StatementType::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK")->type(), StatementType::kRollback);
+  EXPECT_EQ(MustParse("ROLLBACK TO SAVEPOINT sp")->type(),
+            StatementType::kRollbackTo);
+  EXPECT_EQ(MustParse("SAVEPOINT sp")->type(), StatementType::kSavepoint);
+  EXPECT_EQ(MustParse("RELEASE SAVEPOINT sp")->type(),
+            StatementType::kRelease);
+}
+
+TEST(ParserTest, ParsesSessionStatements) {
+  // The paper's Fig. 3 line 1.
+  StmtPtr set = MustParse("SET @@SESSION.explicit_for_timestamp = 0");
+  const auto& pragma = static_cast<const PragmaStmt&>(*set);
+  EXPECT_TRUE(pragma.is_set);
+  EXPECT_TRUE(pragma.session_scope);
+  EXPECT_EQ(pragma.name, "explicit_for_timestamp");
+
+  EXPECT_EQ(MustParse("PRAGMA foreign_keys = 1")->type(),
+            StatementType::kPragma);
+  EXPECT_EQ(MustParse("SHOW TABLES")->type(), StatementType::kShow);
+  EXPECT_EQ(MustParse("EXPLAIN SELECT 1")->type(), StatementType::kExplain);
+  EXPECT_EQ(MustParse("ANALYZE t")->type(), StatementType::kAnalyze);
+  EXPECT_EQ(MustParse("VACUUM")->type(), StatementType::kVacuum);
+  EXPECT_EQ(MustParse("REINDEX ix")->type(), StatementType::kReindex);
+  EXPECT_EQ(MustParse("CHECKPOINT")->type(), StatementType::kCheckpoint);
+  EXPECT_EQ(MustParse("NOTIFY ch, 'payload'")->type(),
+            StatementType::kNotify);
+  EXPECT_EQ(MustParse("LISTEN ch")->type(), StatementType::kListen);
+  EXPECT_EQ(MustParse("UNLISTEN ch")->type(), StatementType::kUnlisten);
+  EXPECT_EQ(MustParse("COMMENT ON TABLE t IS 'hello'")->type(),
+            StatementType::kComment);
+  EXPECT_EQ(MustParse("DISCARD ALL")->type(), StatementType::kDiscard);
+  // The paper's Fig. 3 line 11.
+  EXPECT_EQ(MustParse("ALTER SYSTEM MAJOR FREEZE")->type(),
+            StatementType::kAlterSystem);
+}
+
+TEST(ParserTest, ParsesDclStatements) {
+  EXPECT_EQ(MustParse("GRANT SELECT ON t TO u")->type(),
+            StatementType::kGrant);
+  EXPECT_EQ(MustParse("GRANT ALL PRIVILEGES ON TABLE t TO u")->type(),
+            StatementType::kGrant);
+  EXPECT_EQ(MustParse("REVOKE INSERT ON t FROM u")->type(),
+            StatementType::kRevoke);
+  EXPECT_EQ(MustParse("CREATE USER alice")->type(),
+            StatementType::kCreateUser);
+  EXPECT_EQ(MustParse("DROP USER IF EXISTS alice")->type(),
+            StatementType::kDropUser);
+}
+
+TEST(ParserTest, ParsesAlterTableVariants) {
+  EXPECT_EQ(MustParse("ALTER TABLE t ADD COLUMN x INT")->type(),
+            StatementType::kAlterTable);
+  EXPECT_EQ(MustParse("ALTER TABLE t DROP COLUMN x")->type(),
+            StatementType::kAlterTable);
+  EXPECT_EQ(MustParse("ALTER TABLE t RENAME COLUMN a TO b")->type(),
+            StatementType::kAlterTable);
+  EXPECT_EQ(MustParse("ALTER TABLE t RENAME TO u")->type(),
+            StatementType::kAlterTable);
+}
+
+TEST(ParserTest, ParsesExpressionsPrecedence) {
+  auto expr = Parser::ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(ToSql(**expr), "(1 + (2 * 3))");
+
+  expr = Parser::ParseExpression("NOT a = 1 OR b < 2 AND c IS NULL");
+  ASSERT_TRUE(expr.ok());
+}
+
+TEST(ParserTest, ParsesStringEscapes) {
+  auto expr = Parser::ParseExpression("'it''s'");
+  ASSERT_TRUE(expr.ok());
+  const auto& lit = static_cast<const Literal&>(**expr);
+  EXPECT_EQ(lit.text_value(), "it's");
+}
+
+TEST(ParserTest, RejectsBrokenInput) {
+  EXPECT_FALSE(Parser::ParseStatement("SELEC 1").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT FROM WHERE").ok());
+  EXPECT_FALSE(Parser::ParseStatement("CREATE TABLE t").ok());
+  EXPECT_FALSE(Parser::ParseStatement("INSERT INTO t VALUES (1").ok());
+  EXPECT_FALSE(Parser::ParseStatement("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Parser::ParseStatement("").ok());
+}
+
+TEST(ParserTest, ParsesScriptWithComments) {
+  auto script = Parser::ParseScript(
+      "-- line comment\n"
+      "SELECT 1; /* block\ncomment */ SELECT 2;\n");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 2u);
+}
+
+TEST(ParserTest, PaperCaseStudyScriptParses) {
+  // Fig. 7 in full.
+  auto script = Parser::ParseScript(
+      "CREATE TABLE v0 (v4 INT, v3 INT UNIQUE, v2 INT, v1 INT UNIQUE);\n"
+      "CREATE OR REPLACE RULE v1 AS ON INSERT TO v0 DO INSTEAD "
+      "NOTIFY COMPRESSION;\n"
+      "COPY (SELECT 32 EXCEPT SELECT v3 + 16 FROM v0) TO STDOUT CSV HEADER;\n"
+      "WITH v2 AS (INSERT INTO v0 VALUES (0)) DELETE FROM v0 "
+      "WHERE v3 = - - - 48;\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->size(), 4u);
+  EXPECT_EQ((*script)[0]->type(), StatementType::kCreateTable);
+  EXPECT_EQ((*script)[1]->type(), StatementType::kCreateRule);
+  EXPECT_EQ((*script)[2]->type(), StatementType::kCopy);
+  EXPECT_EQ((*script)[3]->type(), StatementType::kWith);
+}
+
+// Round-trip property: parse -> print -> parse -> print is a fixpoint.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsFixpoint) {
+  auto first = Parser::ParseStatement(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam() << ": "
+                          << first.status().ToString();
+  std::string printed = ToSql(**first);
+  auto second = Parser::ParseStatement(printed);
+  ASSERT_TRUE(second.ok()) << printed << ": " << second.status().ToString();
+  EXPECT_EQ(printed, ToSql(**second));
+  EXPECT_EQ((*first)->type(), (*second)->type());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStatementShapes, RoundTripTest,
+    ::testing::Values(
+        "CREATE TABLE t (a INT PRIMARY KEY, b TEXT DEFAULT 'x')",
+        "CREATE TEMPORARY TABLE t (a INT)",
+        "CREATE UNIQUE INDEX ix ON t (a, b)",
+        "CREATE VIEW v AS SELECT a FROM t WHERE a > 1",
+        "CREATE TRIGGER tg BEFORE DELETE ON t FOR EACH ROW NOTIFY ch",
+        "CREATE SEQUENCE sq START 5 INCREMENT 2",
+        "CREATE RULE r AS ON UPDATE TO t DO INSTEAD DELETE FROM u",
+        "CREATE USER bob",
+        "DROP TABLE IF EXISTS t",
+        "DROP INDEX ix",
+        "DROP VIEW v",
+        "DROP TRIGGER tg",
+        "DROP SEQUENCE sq",
+        "DROP RULE r",
+        "DROP USER bob",
+        "ALTER TABLE t ADD COLUMN c REAL",
+        "ALTER TABLE t RENAME TO u",
+        "TRUNCATE TABLE t",
+        "INSERT INTO t (a) VALUES (1), (NULL)",
+        "INSERT IGNORE INTO t VALUES (TRUE)",
+        "REPLACE INTO t VALUES (1, 'x')",
+        "INSERT INTO t SELECT * FROM u WHERE a < 5",
+        "UPDATE t SET a = a + 1 WHERE b LIKE '%x%'",
+        "DELETE FROM t WHERE a BETWEEN 1 AND 10",
+        "COPY t TO STDOUT",
+        "SELECT * FROM t",
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+        "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1",
+        "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t",
+        "SELECT ROW_NUMBER() OVER (ORDER BY a) FROM t",
+        "SELECT a FROM t UNION SELECT b FROM u",
+        "SELECT t.a FROM t LEFT JOIN u ON t.k = u.k",
+        "SELECT a FROM (SELECT a FROM t) AS sub",
+        "VALUES (1, 'a'), (2, 'b')",
+        "WITH w AS (SELECT 1) SELECT * FROM w",
+        "GRANT UPDATE ON t TO u",
+        "REVOKE ALL ON t FROM u",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+        "SAVEPOINT sp",
+        "RELEASE SAVEPOINT sp",
+        "ROLLBACK TO sp",
+        "PRAGMA cache_size = 10",
+        "SET @@SESSION.sort_buffer = 2",
+        "SHOW TABLES",
+        "EXPLAIN ANALYZE SELECT 1",
+        "ANALYZE t",
+        "VACUUM t",
+        "REINDEX ix",
+        "CHECKPOINT",
+        "NOTIFY ch, 'hello'",
+        "LISTEN ch",
+        "UNLISTEN ch",
+        "COMMENT ON TABLE t IS 'doc'",
+        "ALTER SYSTEM SET checkpoint_interval = 8",
+        "ALTER SYSTEM FLUSH",
+        "DISCARD TEMP"));
+
+}  // namespace
+}  // namespace lego::sql

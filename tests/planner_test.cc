@@ -1,0 +1,185 @@
+#include "minidb/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/database.h"
+#include "sql/parser.h"
+
+namespace lego::minidb {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void Setup(const std::string& script) {
+    auto result = db_.ExecuteScript(script);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->errors, 0);
+  }
+
+  SelectPlan Plan(const std::string& select_text) {
+    auto stmt = sql::Parser::ParseStatement(select_text);
+    EXPECT_TRUE(stmt.ok()) << select_text;
+    keep_alive_.push_back(std::move(*stmt));
+    Planner planner(&db_.catalog(), &db_.profile(), &ctes_);
+    auto plan = planner.PlanSelect(
+        static_cast<const sql::SelectStmt&>(*keep_alive_.back()));
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? std::move(*plan) : SelectPlan{};
+  }
+
+  Database db_;
+  std::map<std::string, Relation> ctes_;
+  std::vector<sql::StmtPtr> keep_alive_;  // plans point into these ASTs
+};
+
+TEST_F(PlannerTest, SeqScanWithoutIndex) {
+  Setup("CREATE TABLE t (a INT, b INT);");
+  SelectPlan plan = Plan("SELECT a FROM t WHERE b = 1");
+  ASSERT_NE(plan.from, nullptr);
+  EXPECT_EQ(plan.from->kind, PlanNode::Kind::kScan);
+  EXPECT_EQ(plan.from->method, ScanMethod::kSeqScan);
+}
+
+TEST_F(PlannerTest, EqualityProbePicksIndexScan) {
+  Setup("CREATE TABLE t (a INT, b INT); CREATE INDEX ta ON t (a);");
+  SelectPlan plan = Plan("SELECT b FROM t WHERE a = 7");
+  EXPECT_EQ(plan.from->method, ScanMethod::kIndexEqual);
+  EXPECT_EQ(plan.from->index_name, "ta");
+  ASSERT_NE(plan.from->eq_probe, nullptr);
+}
+
+TEST_F(PlannerTest, ReversedComparandStillMatches) {
+  Setup("CREATE TABLE t (a INT); CREATE INDEX ta ON t (a);");
+  SelectPlan plan = Plan("SELECT a FROM t WHERE 7 = a");
+  EXPECT_EQ(plan.from->method, ScanMethod::kIndexEqual);
+}
+
+TEST_F(PlannerTest, RangePredicatePicksIndexRange) {
+  Setup("CREATE TABLE t (a INT); CREATE INDEX ta ON t (a);");
+  SelectPlan lower = Plan("SELECT a FROM t WHERE a > 5");
+  EXPECT_EQ(lower.from->method, ScanMethod::kIndexRange);
+  EXPECT_NE(lower.from->range_lo, nullptr);
+  EXPECT_FALSE(lower.from->lo_inclusive);
+
+  SelectPlan upper = Plan("SELECT a FROM t WHERE a <= 9");
+  EXPECT_EQ(upper.from->method, ScanMethod::kIndexRange);
+  EXPECT_NE(upper.from->range_hi, nullptr);
+  EXPECT_TRUE(upper.from->hi_inclusive);
+}
+
+TEST_F(PlannerTest, EqualityBeatsRange) {
+  Setup("CREATE TABLE t (a INT); CREATE INDEX ta ON t (a);");
+  SelectPlan plan = Plan("SELECT a FROM t WHERE a > 5 AND a = 7");
+  EXPECT_EQ(plan.from->method, ScanMethod::kIndexEqual);
+}
+
+TEST_F(PlannerTest, NonIndexedColumnStaysSeqScan) {
+  Setup("CREATE TABLE t (a INT, b INT); CREATE INDEX ta ON t (a);");
+  SelectPlan plan = Plan("SELECT a FROM t WHERE b = 1");
+  EXPECT_EQ(plan.from->method, ScanMethod::kSeqScan);
+}
+
+TEST_F(PlannerTest, NonConstantComparandStaysSeqScan) {
+  Setup("CREATE TABLE t (a INT, b INT); CREATE INDEX ta ON t (a);");
+  SelectPlan plan = Plan("SELECT a FROM t WHERE a = b");
+  EXPECT_EQ(plan.from->method, ScanMethod::kSeqScan);
+}
+
+TEST_F(PlannerTest, AliasQualifiedPredicateMatchesIndex) {
+  Setup("CREATE TABLE t (a INT); CREATE INDEX ta ON t (a);");
+  SelectPlan plan = Plan("SELECT x.a FROM t AS x WHERE x.a = 1");
+  EXPECT_EQ(plan.from->method, ScanMethod::kIndexEqual);
+  EXPECT_EQ(plan.from->alias, "x");
+}
+
+TEST_F(PlannerTest, ForeignQualifierDoesNotMatchIndex) {
+  Setup("CREATE TABLE t (a INT); CREATE TABLE u (a INT);"
+        "CREATE INDEX ta ON t (a);");
+  // The predicate targets u.a, so t must not claim the index probe.
+  SelectPlan plan = Plan("SELECT * FROM t, u WHERE u.a = 1");
+  ASSERT_EQ(plan.from->kind, PlanNode::Kind::kJoin);
+  EXPECT_EQ(plan.from->left->method, ScanMethod::kSeqScan);
+}
+
+TEST_F(PlannerTest, SmallJoinUsesNestedLoop) {
+  Setup("CREATE TABLE a (k INT); CREATE TABLE b (k INT);"
+        "INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);");
+  SelectPlan plan = Plan("SELECT * FROM a JOIN b ON a.k = b.k");
+  ASSERT_EQ(plan.from->kind, PlanNode::Kind::kJoin);
+  EXPECT_EQ(plan.from->strategy, JoinStrategy::kNestedLoop);
+}
+
+TEST_F(PlannerTest, LargeEquiJoinUsesHashJoin) {
+  std::string script = "CREATE TABLE a (k INT); CREATE TABLE b (k INT);";
+  for (int i = 0; i < Planner::kHashJoinThreshold; ++i) {
+    script += "INSERT INTO a VALUES (" + std::to_string(i) + ");";
+    script += "INSERT INTO b VALUES (" + std::to_string(i) + ");";
+  }
+  Setup(script);
+  SelectPlan plan = Plan("SELECT * FROM a JOIN b ON a.k = b.k");
+  EXPECT_EQ(plan.from->strategy, JoinStrategy::kHashJoin);
+  EXPECT_NE(plan.from->hash_left_key, nullptr);
+  EXPECT_NE(plan.from->hash_right_key, nullptr);
+}
+
+TEST_F(PlannerTest, NonEquiJoinNeverHashes) {
+  std::string script = "CREATE TABLE a (k INT); CREATE TABLE b (k INT);";
+  for (int i = 0; i < 10; ++i) {
+    script += "INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);";
+  }
+  Setup(script);
+  SelectPlan plan = Plan("SELECT * FROM a JOIN b ON a.k < b.k");
+  EXPECT_EQ(plan.from->strategy, JoinStrategy::kNestedLoop);
+}
+
+TEST_F(PlannerTest, AnalyzeStatsOverrideLiveCounts) {
+  // Tables are analyzed while full, then emptied: the stale statistics keep
+  // the hash-join choice (the planner trusts ANALYZE, as real ones do).
+  std::string script = "CREATE TABLE a (k INT); CREATE TABLE b (k INT);";
+  for (int i = 0; i < 10; ++i) {
+    script += "INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);";
+  }
+  script += "ANALYZE; DELETE FROM a; DELETE FROM b;";
+  Setup(script);
+  SelectPlan plan = Plan("SELECT * FROM a JOIN b ON a.k = b.k");
+  EXPECT_EQ(plan.from->strategy, JoinStrategy::kHashJoin);
+}
+
+TEST_F(PlannerTest, ViewAndSubqueryAndCteNodes) {
+  Setup("CREATE TABLE t (x INT); CREATE VIEW v AS SELECT x FROM t;");
+  EXPECT_EQ(Plan("SELECT * FROM v").from->kind, PlanNode::Kind::kView);
+  EXPECT_EQ(Plan("SELECT * FROM (SELECT x FROM t) AS s").from->kind,
+            PlanNode::Kind::kSubquery);
+  ctes_["w"] = Relation{};
+  EXPECT_EQ(Plan("SELECT * FROM w").from->kind, PlanNode::Kind::kCte);
+}
+
+TEST_F(PlannerTest, MissingRelationIsNotFound) {
+  auto stmt = sql::Parser::ParseStatement("SELECT * FROM missing");
+  Planner planner(&db_.catalog(), &db_.profile(), &ctes_);
+  auto plan =
+      planner.PlanSelect(static_cast<const sql::SelectStmt&>(**stmt));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, DescribeRendersTheTree) {
+  Setup("CREATE TABLE t (a INT); CREATE INDEX ta ON t (a);");
+  SelectPlan plan =
+      Plan("SELECT DISTINCT a FROM t WHERE a = 1 ORDER BY a LIMIT 2");
+  std::string text = plan.Describe();
+  EXPECT_NE(text.find("Limit"), std::string::npos);
+  EXPECT_NE(text.find("Sort"), std::string::npos);
+  EXPECT_NE(text.find("Distinct"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+  EXPECT_NE(text.find("IndexScan (eq) on t using ta"), std::string::npos);
+}
+
+TEST_F(PlannerTest, NoFromPlansAsResult) {
+  SelectPlan plan = Plan("SELECT 1");
+  EXPECT_EQ(plan.from, nullptr);
+  EXPECT_NE(plan.Describe().find("Result"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lego::minidb

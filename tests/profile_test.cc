@@ -1,0 +1,110 @@
+#include "minidb/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/statement_type.h"
+
+namespace lego::minidb {
+namespace {
+
+using sql::StatementType;
+
+TEST(ProfileTest, TypeCountsFollowPaperOrdering) {
+  // Paper: PostgreSQL 188 > MariaDB 160 > MySQL 158 >> Comdb2 24, scaled to
+  // our 46-type taxonomy with Comdb2's 24 matched exactly.
+  EXPECT_EQ(DialectProfile::PgLite().TypeCount(), sql::kNumStatementTypes);
+  EXPECT_EQ(DialectProfile::ComdLite().TypeCount(), 24);
+  EXPECT_GT(DialectProfile::PgLite().TypeCount(),
+            DialectProfile::MariaLite().TypeCount());
+  EXPECT_GT(DialectProfile::MariaLite().TypeCount(),
+            DialectProfile::MyLite().TypeCount());
+  EXPECT_GT(DialectProfile::MyLite().TypeCount(),
+            DialectProfile::ComdLite().TypeCount());
+}
+
+TEST(ProfileTest, DialectFeatureDifferences) {
+  EXPECT_TRUE(DialectProfile::PgLite().Supports(StatementType::kCreateRule));
+  EXPECT_TRUE(DialectProfile::PgLite().Supports(StatementType::kNotify));
+  EXPECT_TRUE(DialectProfile::PgLite().Supports(StatementType::kCopy));
+
+  EXPECT_FALSE(DialectProfile::MyLite().Supports(StatementType::kCreateRule));
+  EXPECT_FALSE(DialectProfile::MyLite().Supports(StatementType::kNotify));
+  EXPECT_FALSE(DialectProfile::MyLite().Supports(StatementType::kCopy));
+
+  // MariaDB keeps the COPY-style export MySQL lacks.
+  EXPECT_TRUE(DialectProfile::MariaLite().Supports(StatementType::kCopy));
+  EXPECT_FALSE(
+      DialectProfile::MariaLite().Supports(StatementType::kCreateRule));
+
+  EXPECT_FALSE(DialectProfile::ComdLite().supports_window_functions);
+  EXPECT_TRUE(DialectProfile::ComdLite().Supports(StatementType::kSelect));
+  EXPECT_FALSE(DialectProfile::ComdLite().Supports(StatementType::kGrant));
+}
+
+TEST(ProfileTest, EnabledTypesMatchesMaskAndSupports) {
+  for (const auto* profile : DialectProfile::All()) {
+    auto enabled = profile->EnabledTypes();
+    EXPECT_EQ(static_cast<int>(enabled.size()), profile->TypeCount());
+    for (StatementType t : enabled) {
+      EXPECT_TRUE(profile->Supports(t));
+    }
+  }
+}
+
+TEST(ProfileTest, ByNameResolvesAllProfiles) {
+  EXPECT_EQ(DialectProfile::ByName("pglite"), &DialectProfile::PgLite());
+  EXPECT_EQ(DialectProfile::ByName("mylite"), &DialectProfile::MyLite());
+  EXPECT_EQ(DialectProfile::ByName("marialite"),
+            &DialectProfile::MariaLite());
+  EXPECT_EQ(DialectProfile::ByName("comdlite"), &DialectProfile::ComdLite());
+  EXPECT_EQ(DialectProfile::ByName("oracle"), nullptr);
+}
+
+TEST(ProfileTest, AllReturnsPaperOrder) {
+  const auto& all = DialectProfile::All();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name, "pglite");
+  EXPECT_EQ(all[1]->name, "mylite");
+  EXPECT_EQ(all[2]->name, "marialite");
+  EXPECT_EQ(all[3]->name, "comdlite");
+}
+
+TEST(StatementTypeTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (StatementType t : sql::AllStatementTypes()) {
+    std::string_view name = sql::StatementTypeName(t);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "UNKNOWN");
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(sql::kNumStatementTypes));
+}
+
+TEST(StatementTypeTest, CategoriesPartitionTheTaxonomy) {
+  int ddl = 0;
+  int dml = 0;
+  int dql = 0;
+  int dcl = 0;
+  int tcl = 0;
+  int util = 0;
+  for (StatementType t : sql::AllStatementTypes()) {
+    switch (sql::CategoryOf(t)) {
+      case sql::StatementCategory::kDdl: ++ddl; break;
+      case sql::StatementCategory::kDml: ++dml; break;
+      case sql::StatementCategory::kDql: ++dql; break;
+      case sql::StatementCategory::kDcl: ++dcl; break;
+      case sql::StatementCategory::kTcl: ++tcl; break;
+      case sql::StatementCategory::kUtility: ++util; break;
+    }
+  }
+  EXPECT_EQ(ddl, 14);
+  EXPECT_EQ(dml, 5);
+  EXPECT_EQ(dql, 3);
+  EXPECT_EQ(dcl, 4);
+  EXPECT_EQ(tcl, 6);
+  EXPECT_EQ(util, 14);
+  EXPECT_EQ(ddl + dml + dql + dcl + tcl + util, sql::kNumStatementTypes);
+}
+
+}  // namespace
+}  // namespace lego::minidb

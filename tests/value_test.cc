@@ -1,0 +1,109 @@
+#include "minidb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace lego::minidb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).real_value(), 2.5);
+  EXPECT_EQ(Value::Text("hi").text_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, AsRealCoercions) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsReal(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsReal(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Text("2.5abc").AsReal(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Text("junk").AsReal(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Null().AsReal(), 0.0);
+}
+
+TEST(ValueTest, AsIntClampsAndTruncates) {
+  EXPECT_EQ(Value::Real(2.9).AsInt(), 2);
+  EXPECT_EQ(Value::Real(-2.9).AsInt(), -2);
+  EXPECT_EQ(Value::Real(1e30).AsInt(), INT64_MAX);
+  EXPECT_EQ(Value::Real(-1e30).AsInt(), INT64_MIN);
+}
+
+TEST(ValueTest, AsBoolSemantics) {
+  EXPECT_FALSE(Value::Null().AsBool());
+  EXPECT_FALSE(Value::Int(0).AsBool());
+  EXPECT_TRUE(Value::Int(-1).AsBool());
+  EXPECT_FALSE(Value::Text("").AsBool());
+  EXPECT_FALSE(Value::Text("0").AsBool());
+  EXPECT_TRUE(Value::Text("x").AsBool());
+}
+
+TEST(ValueTest, ToTextRendering) {
+  EXPECT_EQ(Value::Null().ToText(), "");
+  EXPECT_EQ(Value::Int(-7).ToText(), "-7");
+  EXPECT_EQ(Value::Bool(false).ToText(), "false");
+  EXPECT_EQ(Value::Text("x").ToText(), "x");
+}
+
+TEST(ValueTest, ToStringDiagnostics) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Text("x").ToString(), "'x'");
+}
+
+TEST(ValueTest, CompareTotalOrderAcrossTypes) {
+  // NULL < BOOL < numeric < TEXT.
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::Text("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareNumericMixesIntAndReal) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Real(2.5)), 0);
+  EXPECT_GT(Value::Real(3.1).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CompareTextLexicographic) {
+  EXPECT_LT(Value::Text("abc").Compare(Value::Text("abd")), 0);
+  EXPECT_EQ(Value::Text("abc").Compare(Value::Text("abc")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Text("x").Hash(), Value::Text("x").Hash());
+  EXPECT_NE(Value::Text("x").Hash(), Value::Text("y").Hash());
+  // Int and Real comparing equal must hash equal (hash joins rely on it).
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Real(2.0).Hash());
+}
+
+TEST(ValueTest, CastToEveryType) {
+  Value v = Value::Real(3.7);
+  EXPECT_EQ(v.CastTo(ValueType::kInt).AsInt(), 3);
+  EXPECT_EQ(v.CastTo(ValueType::kText).text_value(), "3.7");
+  EXPECT_TRUE(v.CastTo(ValueType::kBool).bool_value());
+  EXPECT_TRUE(Value::Null().CastTo(ValueType::kInt).is_null());
+  EXPECT_EQ(Value::Text("12").CastTo(ValueType::kInt).AsInt(), 12);
+}
+
+TEST(ValueTest, FromLiteralAllTags) {
+  EXPECT_TRUE(
+      Value::FromLiteral(
+          static_cast<const sql::Literal&>(*sql::Literal::Null()))
+          .is_null());
+  EXPECT_EQ(Value::FromLiteral(
+                static_cast<const sql::Literal&>(*sql::Literal::Int(4)))
+                .AsInt(),
+            4);
+  EXPECT_EQ(Value::FromLiteral(static_cast<const sql::Literal&>(
+                                   *sql::Literal::Text("t")))
+                .text_value(),
+            "t");
+}
+
+}  // namespace
+}  // namespace lego::minidb
