@@ -1,0 +1,54 @@
+// Parallel campaign throughput: execs/sec of the worker-pool runner at
+// 1/2/4/8 workers, same total budget, on the quickstart profile. The
+// items_per_second counter is the figure of merit — on an N-core machine
+// the 4-worker row should be well over 2x the 1-worker row.
+//
+//   ./bench/micro_parallel
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+// Total executions, split across workers. Large enough that per-worker
+// execution time dominates the fixed per-worker cost of synthesizing from
+// the (shared, roughly budget-independent) affinity set — at small budgets
+// that Amdahl term caps speedup near 2x; at this budget 4 workers project
+// ~2.3x on four cores.
+constexpr int kBudget = 8000;
+
+void BM_CampaignWorkers(benchmark::State& state) {
+  using namespace lego;  // NOLINT(build/namespaces)
+  const int workers = static_cast<int>(state.range(0));
+  const auto& profile = minidb::DialectProfile::PgLite();
+  for (auto _ : state) {
+    auto fuzzer = bench::MakeFuzzer("lego", profile, /*seed=*/1);
+    fuzz::ExecutionHarness harness(profile);
+    fuzz::CampaignOptions options;
+    options.max_executions = kBudget;
+    options.snapshot_every = kBudget;  // curve bookkeeping off the hot path
+    options.num_workers = workers;
+    fuzz::CampaignResult result =
+        fuzz::RunCampaign(fuzzer.get(), &harness, options);
+    benchmark::DoNotOptimize(result.edges);
+    if (result.executions != kBudget) {
+      state.SkipWithError("campaign did not exhaust its budget");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBudget);
+  state.counters["workers"] = workers;
+}
+
+}  // namespace
+
+BENCHMARK(BM_CampaignWorkers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -199,10 +199,10 @@ bench/CMakeFiles/table2_affinities.dir/table2_affinities.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/baselines/sqlancer_like.h /root/repo/src/fuzz/fuzzer.h \
  /root/repo/src/fuzz/harness.h /root/repo/src/coverage/coverage.h \
- /usr/include/c++/12/array /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/util/hash.h \
- /root/repo/src/faults/bug_engine.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/array /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/hash.h /root/repo/src/faults/bug_engine.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
@@ -230,7 +230,18 @@ bench/CMakeFiles/table2_affinities.dir/table2_affinities.cc.o: \
  /root/repo/src/util/random.h /root/repo/src/baselines/sqlsmith_like.h \
  /root/repo/src/baselines/squirrel_like.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/fuzz/corpus.h /root/repo/src/lego/ast_library.h \
- /root/repo/src/lego/instantiator.h /root/repo/src/lego/mutation.h \
- /root/repo/src/fuzz/campaign.h /root/repo/src/lego/lego_fuzzer.h \
- /root/repo/src/lego/affinity.h /root/repo/src/lego/synthesis.h
+ /root/repo/src/fuzz/corpus.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/lego/ast_library.h /root/repo/src/lego/instantiator.h \
+ /root/repo/src/lego/mutation.h /root/repo/src/fuzz/campaign.h \
+ /root/repo/src/lego/lego_fuzzer.h /root/repo/src/lego/affinity.h \
+ /root/repo/src/lego/synthesis.h

@@ -134,8 +134,7 @@ src/fuzz/CMakeFiles/lego_fuzz.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/fuzz/fuzzer.h \
- /root/repo/src/fuzz/harness.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -207,11 +206,12 @@ src/fuzz/CMakeFiles/lego_fuzz.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/fuzz/harness.h \
  /root/repo/src/coverage/coverage.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/hash.h /root/repo/src/faults/bug_engine.h \
- /root/repo/src/faults/bug_catalog.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/util/hash.h \
+ /root/repo/src/faults/bug_engine.h /root/repo/src/faults/bug_catalog.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/minidb/database.h /usr/include/c++/12/bitset \
  /root/repo/src/minidb/catalog.h /root/repo/src/minidb/btree.h \
@@ -228,4 +228,20 @@ src/fuzz/CMakeFiles/lego_fuzz.dir/campaign.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/minidb/profile.h /root/repo/src/minidb/relation.h \
- /root/repo/src/fuzz/testcase.h
+ /root/repo/src/fuzz/testcase.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/fuzz/corpus.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/random.h

@@ -221,7 +221,8 @@ src/minidb/CMakeFiles/lego_minidb.dir/database.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/util/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/minidb/profile.h /root/repo/src/minidb/relation.h \
- /root/repo/src/coverage/coverage.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/util/hash.h \
- /root/repo/src/minidb/executor.h /root/repo/src/minidb/eval.h \
- /root/repo/src/minidb/plan.h /root/repo/src/sql/parser.h
+ /root/repo/src/coverage/coverage.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/hash.h /root/repo/src/minidb/executor.h \
+ /root/repo/src/minidb/eval.h /root/repo/src/minidb/plan.h \
+ /root/repo/src/sql/parser.h

@@ -241,5 +241,6 @@ src/minidb/CMakeFiles/lego_minidb.dir/eval.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/coverage/coverage.h /usr/include/c++/12/array \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/hash.h /root/repo/src/util/string_util.h
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/util/hash.h \
+ /root/repo/src/util/string_util.h

@@ -226,6 +226,7 @@ src/minidb/CMakeFiles/lego_minidb.dir/executor.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/coverage/coverage.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/util/hash.h \
- /root/repo/src/minidb/planner.h /root/repo/src/util/string_util.h
+ /root/repo/src/coverage/coverage.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/hash.h /root/repo/src/minidb/planner.h \
+ /root/repo/src/util/string_util.h

@@ -224,5 +224,5 @@ src/minidb/CMakeFiles/lego_minidb.dir/planner.cc.o: \
  /usr/include/c++/12/optional /root/repo/src/minidb/plan.h \
  /root/repo/src/minidb/profile.h /usr/include/c++/12/bitset \
  /root/repo/src/minidb/relation.h /root/repo/src/coverage/coverage.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/hash.h
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/util/hash.h

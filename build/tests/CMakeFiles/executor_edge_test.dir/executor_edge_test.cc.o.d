@@ -293,10 +293,11 @@ tests/CMakeFiles/executor_edge_test.dir/executor_edge_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/minidb/database.h /usr/include/c++/12/bitset \
- /root/repo/src/minidb/catalog.h /root/repo/src/minidb/btree.h \
- /root/repo/src/minidb/row.h /root/repo/src/minidb/value.h \
- /root/repo/src/sql/ast.h /root/repo/src/sql/statement_type.h \
- /root/repo/src/minidb/heap_table.h /root/repo/src/util/status.h \
- /root/repo/src/minidb/profile.h /root/repo/src/minidb/relation.h \
+ /root/repo/src/lego/generator.h /root/repo/src/minidb/profile.h \
+ /usr/include/c++/12/bitset /root/repo/src/sql/statement_type.h \
+ /root/repo/src/sql/ast.h /root/repo/src/util/random.h \
+ /root/repo/src/minidb/database.h /root/repo/src/minidb/catalog.h \
+ /root/repo/src/minidb/btree.h /root/repo/src/minidb/row.h \
+ /root/repo/src/minidb/value.h /root/repo/src/minidb/heap_table.h \
+ /root/repo/src/util/status.h /root/repo/src/minidb/relation.h \
  /root/repo/src/sql/parser.h

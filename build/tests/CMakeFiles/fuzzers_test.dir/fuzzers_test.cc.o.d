@@ -307,8 +307,16 @@ tests/CMakeFiles/fuzzers_test.dir/fuzzers_test.cc.o: \
  /root/repo/src/util/random.h /root/repo/src/baselines/sqlsmith_like.h \
  /root/repo/src/baselines/squirrel_like.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/fuzz/corpus.h /root/repo/src/lego/ast_library.h \
- /root/repo/src/lego/instantiator.h /root/repo/src/lego/mutation.h \
- /root/repo/src/fuzz/campaign.h /root/repo/src/fuzz/seeds.h \
- /root/repo/src/lego/lego_fuzzer.h /root/repo/src/lego/affinity.h \
- /root/repo/src/lego/synthesis.h
+ /root/repo/src/fuzz/corpus.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/lego/ast_library.h /root/repo/src/lego/instantiator.h \
+ /root/repo/src/lego/mutation.h /root/repo/src/fuzz/campaign.h \
+ /root/repo/src/fuzz/seeds.h /root/repo/src/lego/lego_fuzzer.h \
+ /root/repo/src/lego/affinity.h /root/repo/src/lego/synthesis.h

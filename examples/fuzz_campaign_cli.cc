@@ -2,16 +2,19 @@
 // paper's evaluation runs, as a standalone tool.
 //
 //   ./examples/fuzz_campaign_cli [profile] [fuzzer] [executions] [seed]
+//                                [--workers N]
 //
 //   profile : pglite | mylite | marialite | comdlite       (default pglite)
 //   fuzzer  : lego | lego- | squirrel | sqlancer | sqlsmith (default lego)
-//   executions : campaign budget                            (default 10000)
-//   seed    : RNG seed                                      (default 1)
+//   executions : campaign budget (total, across workers)    (default 10000)
+//   seed    : RNG seed (worker w derives seed + w)          (default 1)
+//   --workers N : parallel worker threads                   (default 1)
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/sqlancer_like.h"
 #include "baselines/sqlsmith_like.h"
@@ -23,10 +26,33 @@
 int main(int argc, char** argv) {
   using namespace lego;  // NOLINT(build/namespaces)
 
-  std::string profile_name = argc > 1 ? argv[1] : "pglite";
-  std::string fuzzer_name = argc > 2 ? argv[2] : "lego";
-  int executions = argc > 3 ? std::atoi(argv[3]) : 10000;
-  uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  // Split args into the --workers flag (anywhere) and positionals.
+  int workers = 1;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--workers") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--workers needs a value\n");
+        return 1;
+      }
+      workers = std::atoi(argv[++i]);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::atoi(arg.c_str() + 10);
+    } else {
+      pos.push_back(std::move(arg));
+    }
+  }
+  if (workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return 1;
+  }
+
+  std::string profile_name = pos.size() > 0 ? pos[0] : "pglite";
+  std::string fuzzer_name = pos.size() > 1 ? pos[1] : "lego";
+  int executions = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 10000;
+  uint64_t seed =
+      pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 1;
 
   const minidb::DialectProfile* profile =
       minidb::DialectProfile::ByName(profile_name);
@@ -59,10 +85,12 @@ int main(int argc, char** argv) {
   fuzz::CampaignOptions options;
   options.max_executions = executions;
   options.snapshot_every = std::max(1, executions / 10);
+  options.num_workers = workers;
 
-  std::printf("fuzzing %s with %s for %d executions (seed %llu)\n",
+  std::printf("fuzzing %s with %s for %d executions (seed %llu, %d worker%s)\n",
               profile->name.c_str(), fuzzer->name().c_str(), executions,
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed), workers,
+              workers == 1 ? "" : "s");
   fuzz::CampaignResult result =
       fuzz::RunCampaign(fuzzer.get(), &harness, options);
 
@@ -83,7 +111,9 @@ int main(int argc, char** argv) {
   for (const std::string& bug : result.bug_ids) {
     std::printf("    %s\n", bug.c_str());
   }
-  if (lego_ptr != nullptr) {
+  // In parallel mode the prototype fuzzer never runs (its per-worker clones
+  // do), so its internal maps are empty — only report them for serial runs.
+  if (lego_ptr != nullptr && workers == 1) {
     std::printf("  affinity map       : %zu pairs\n",
                 lego_ptr->affinities().Count());
     std::printf("  synthesized seqs   : %zu\n",

@@ -6,7 +6,10 @@ using sql::StatementType;
 
 SqlancerLikeFuzzer::SqlancerLikeFuzzer(const minidb::DialectProfile& profile,
                                        uint64_t rng_seed)
-    : profile_(profile), rng_(rng_seed), generator_(&profile, &rng_) {
+    : profile_(profile),
+      rng_seed_(rng_seed),
+      rng_(rng_seed),
+      generator_(&profile, &rng_) {
   // Pivoted query synthesis issues plain SELECTs (no aggregates/windows).
   generator_.set_fancy_selects(false);
 }

@@ -7,7 +7,10 @@ namespace lego::baselines {
 
 SqlsmithLikeFuzzer::SqlsmithLikeFuzzer(const minidb::DialectProfile& profile,
                                        uint64_t rng_seed)
-    : profile_(profile), rng_(rng_seed), generator_(&profile, &rng_) {}
+    : profile_(profile),
+      rng_seed_(rng_seed),
+      rng_(rng_seed),
+      generator_(&profile, &rng_) {}
 
 void SqlsmithLikeFuzzer::Prepare(fuzz::ExecutionHarness* harness) {
   // SQLsmith fuzzes an existing database: install the setup schema on the

@@ -1,6 +1,7 @@
 #ifndef LEGO_BASELINES_SQLSMITH_LIKE_H_
 #define LEGO_BASELINES_SQLSMITH_LIKE_H_
 
+#include <memory>
 #include <string>
 
 #include "fuzz/fuzzer.h"
@@ -26,9 +27,14 @@ class SqlsmithLikeFuzzer : public fuzz::Fuzzer {
     (void)tc;
     (void)result;  // generation-based: no feedback loop
   }
+  std::unique_ptr<fuzz::Fuzzer> CloneForWorker(int worker_id) const override {
+    return std::make_unique<SqlsmithLikeFuzzer>(
+        profile_, rng_seed_ + static_cast<uint64_t>(worker_id));
+  }
 
  private:
   const minidb::DialectProfile& profile_;
+  uint64_t rng_seed_;
   Rng rng_;
   core::StatementGenerator generator_;
   core::SchemaContext schema_;

@@ -7,6 +7,7 @@ namespace lego::baselines {
 SquirrelLikeFuzzer::SquirrelLikeFuzzer(const minidb::DialectProfile& profile,
                                        uint64_t rng_seed)
     : profile_(profile),
+      rng_seed_(rng_seed),
       rng_(rng_seed),
       instantiator_(&profile, &library_, &rng_),
       mutator_(&profile, &instantiator_, &rng_, /*fancy_selects=*/false) {}
@@ -41,6 +42,12 @@ void SquirrelLikeFuzzer::OnResult(const fuzz::TestCase& tc,
   corpus_.Add(tc.Clone());
   library_.AddTestCase(tc);
   if (current_seed_ != nullptr) ++current_seed_->discoveries;
+}
+
+void SquirrelLikeFuzzer::ImportSeed(const fuzz::TestCase& tc) {
+  // Foreign new-coverage seeds enter the mutation pool like local ones.
+  corpus_.Add(tc.Clone());
+  library_.AddTestCase(tc);
 }
 
 }  // namespace lego::baselines

@@ -2,6 +2,7 @@
 #define LEGO_BASELINES_SQUIRREL_LIKE_H_
 
 #include <deque>
+#include <memory>
 #include <string>
 
 #include "fuzz/corpus.h"
@@ -27,11 +28,17 @@ class SquirrelLikeFuzzer : public fuzz::Fuzzer {
   fuzz::TestCase Next() override;
   void OnResult(const fuzz::TestCase& tc,
                 const fuzz::ExecResult& result) override;
+  std::unique_ptr<fuzz::Fuzzer> CloneForWorker(int worker_id) const override {
+    return std::make_unique<SquirrelLikeFuzzer>(
+        profile_, rng_seed_ + static_cast<uint64_t>(worker_id));
+  }
+  void ImportSeed(const fuzz::TestCase& tc) override;
 
   size_t corpus_size() const { return corpus_.size(); }
 
  private:
   const minidb::DialectProfile& profile_;
+  uint64_t rng_seed_;
   Rng rng_;
   core::AstLibrary library_;
   core::Instantiator instantiator_;

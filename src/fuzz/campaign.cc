@@ -1,11 +1,23 @@
 #include "fuzz/campaign.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
 #include "faults/bug_catalog.h"
+#include "fuzz/corpus.h"
 
 namespace lego::fuzz {
+namespace {
 
-CampaignResult RunCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
-                           const CampaignOptions& options) {
+/// The historical single-threaded loop. num_workers == 1 runs exactly this
+/// code, so serial campaigns are bit-identical to the pre-parallel runner.
+CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
+                                 const CampaignOptions& options) {
   CampaignResult result;
   result.fuzzer = fuzzer->name();
   result.profile = harness->profile().name;
@@ -60,6 +72,219 @@ CampaignResult RunCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
     result.coverage_curve.emplace_back(result.executions, result.edges);
   }
   return result;
+}
+
+/// Reusable round barrier: the last arriver runs `completion` while every
+/// other worker is still blocked, then all are released together. This is
+/// the only place parallel workers observe each other, which is what makes
+/// merged results deterministic per (seed, workers, sync_every).
+class RoundBarrier {
+ public:
+  explicit RoundBarrier(int count) : count_(count) {}
+
+  void ArriveAndWait(const std::function<void()>& completion) {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t my_phase = phase_;
+    if (++waiting_ == count_) {
+      completion();
+      waiting_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return phase_ != my_phase; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int count_;
+  int waiting_ = 0;
+  uint64_t phase_ = 0;
+};
+
+/// Everything one worker owns plus its tallies. Workers write only their
+/// own slot during a round; barrier completions read all slots.
+struct WorkerState {
+  std::unique_ptr<Fuzzer> fuzzer;
+  std::unique_ptr<ExecutionHarness> harness;
+  int target = 0;  // this worker's share of max_executions
+  int done = 0;
+
+  int executions = 0;
+  int crashes_total = 0;
+  int statement_errors = 0;
+  int statements_executed = 0;
+  std::set<std::pair<int, int>> affinities;
+  /// Locally-unique crashes by synthetic stack hash; the merge dedups
+  /// across workers the same way the serial loop dedups across executions.
+  std::map<uint64_t, minidb::CrashInfo> unique_crashes;
+
+  /// New-coverage test cases found this round, published at the barrier.
+  std::vector<TestCase> pending_exports;
+  uint64_t drain_cursor = 0;
+};
+
+CampaignResult RunParallelCampaign(Fuzzer* prototype,
+                                   ExecutionHarness* harness,
+                                   const CampaignOptions& options) {
+  const int workers = options.num_workers;
+  const int sync_every = std::max(1, options.sync_every);
+
+  std::vector<WorkerState> states(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    states[w].fuzzer = prototype->CloneForWorker(w);
+    if (states[w].fuzzer == nullptr) {
+      // Prototype has no worker factory: degrade to the serial path.
+      return RunSerialCampaign(prototype, harness, options);
+    }
+    states[w].harness = std::make_unique<ExecutionHarness>(harness->profile());
+    states[w].harness->set_setup_script(harness->setup_script());
+  }
+
+  cov::SharedCoverage shared_coverage;
+  SharedCorpus shared_corpus(std::max(8, workers));
+  for (auto& s : states) s.harness->set_shared_coverage(&shared_coverage);
+
+  // Deterministic budget split: worker w executes
+  // max_executions / workers (+1 for the first `remainder` workers).
+  const int base = options.max_executions / workers;
+  const int remainder = options.max_executions % workers;
+  int max_target = 0;
+  for (int w = 0; w < workers; ++w) {
+    states[w].target = base + (w < remainder ? 1 : 0);
+    max_target = std::max(max_target, states[w].target);
+  }
+  const int rounds = (max_target + sync_every - 1) / sync_every;
+
+  const size_t total_bugs = harness->bug_engine().bugs().size();
+
+  CampaignResult merged;
+  merged.fuzzer = prototype->name();
+  merged.profile = harness->profile().name;
+
+  std::atomic<bool> stop{false};
+  int next_snapshot = options.snapshot_every;
+  RoundBarrier barrier(workers);
+
+  // Runs single-threaded at every barrier, while all workers are parked:
+  // publish discoveries in worker order, then take the global stop / curve
+  // decisions every worker will observe identically next round.
+  auto completion = [&] {
+    for (int w = 0; w < workers; ++w) {
+      for (TestCase& tc : states[w].pending_exports) {
+        shared_corpus.Publish(w, std::move(tc));
+      }
+      states[w].pending_exports.clear();
+    }
+
+    int total_execs = 0;
+    int64_t total_stmts = 0;
+    for (const WorkerState& s : states) {
+      total_execs += s.executions;
+      total_stmts += s.statements_executed + s.statement_errors;
+    }
+    if (options.stop_when_all_bugs_found) {
+      std::set<std::string> bugs;
+      for (const WorkerState& s : states) {
+        for (const auto& [hash, crash] : s.unique_crashes) {
+          bugs.insert(crash.bug_id);
+        }
+      }
+      if (bugs.size() >= total_bugs) stop.store(true);
+    }
+    if (options.max_statements > 0 && total_stmts >= options.max_statements) {
+      stop.store(true);
+    }
+    if (options.snapshot_every > 0 && total_execs > 0 &&
+        total_execs >= next_snapshot) {
+      merged.coverage_curve.emplace_back(total_execs,
+                                         shared_coverage.CoveredEdges());
+      next_snapshot =
+          (total_execs / options.snapshot_every + 1) * options.snapshot_every;
+    }
+  };
+
+  auto worker_fn = [&](int w) {
+    WorkerState& st = states[w];
+    st.fuzzer->Prepare(st.harness.get());
+    for (int r = 0; r < rounds; ++r) {
+      const int batch =
+          stop.load() ? 0 : std::min(sync_every, st.target - st.done);
+      for (int i = 0; i < batch; ++i) {
+        TestCase tc = st.fuzzer->Next();
+
+        auto types = tc.TypeSequence();
+        for (size_t t = 1; t < types.size(); ++t) {
+          if (types[t - 1] == types[t]) continue;
+          st.affinities.emplace(static_cast<int>(types[t - 1]),
+                                static_cast<int>(types[t]));
+        }
+
+        ExecResult exec = st.harness->Run(tc);
+        ++st.executions;
+        st.statement_errors += exec.errors;
+        st.statements_executed += exec.executed;
+        if (exec.crashed) {
+          ++st.crashes_total;
+          st.unique_crashes.emplace(exec.crash.stack_hash, exec.crash);
+        }
+        st.fuzzer->OnResult(tc, exec);
+        // Export on *local* new coverage: the decision depends only on this
+        // worker's own history, never on cross-worker timing.
+        if (exec.new_coverage) st.pending_exports.push_back(tc.Clone());
+      }
+      st.done += batch;
+
+      barrier.ArriveAndWait(completion);
+
+      // Adopt everything other workers published up to this barrier. Every
+      // worker drains the same prefix in the same order, and nothing new is
+      // published until all drains finish (publishing happens only inside
+      // the next completion, which waits for all arrivals).
+      std::vector<TestCase> imported;
+      shared_corpus.DrainNew(w, &st.drain_cursor, &imported);
+      for (const TestCase& tc : imported) st.fuzzer->ImportSeed(tc);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+
+  // Final merge in worker order (worker order only affects which duplicate
+  // crash "wins" attribution, and duplicates carry identical payloads).
+  for (int w = 0; w < workers; ++w) {
+    const WorkerState& s = states[w];
+    merged.executions += s.executions;
+    merged.crashes_total += s.crashes_total;
+    merged.statement_errors += s.statement_errors;
+    merged.statements_executed += s.statements_executed;
+    merged.affinities.insert(s.affinities.begin(), s.affinities.end());
+    for (const auto& [hash, crash] : s.unique_crashes) {
+      if (merged.crash_hashes.insert(hash).second) {
+        merged.bug_ids.insert(crash.bug_id);
+        ++merged.bugs_by_component[crash.component];
+      }
+    }
+  }
+  merged.edges = shared_coverage.CoveredEdges();
+  if (merged.coverage_curve.empty() ||
+      merged.coverage_curve.back().first != merged.executions) {
+    merged.coverage_curve.emplace_back(merged.executions, merged.edges);
+  }
+  return merged;
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
+                           const CampaignOptions& options) {
+  if (options.num_workers <= 1) {
+    return RunSerialCampaign(fuzzer, harness, options);
+  }
+  return RunParallelCampaign(fuzzer, harness, options);
 }
 
 }  // namespace lego::fuzz

@@ -20,11 +20,27 @@ struct CampaignOptions {
   /// have been processed (executed or rejected). This models a wall-clock
   /// budget: longer test cases consume it faster, reproducing the paper's
   /// observation that large LEN degrades fuzzing throughput (§VI).
+  /// Parallel campaigns check the global count at round barriers, so they
+  /// may overshoot by at most num_workers * sync_every executions.
   int64_t max_statements = 0;
-  /// Record a (executions, edges) point every this many executions.
+  /// Record a (executions, edges) point every this many executions. The
+  /// parallel runner snapshots at the first round barrier at or past each
+  /// multiple, keyed by total executions across all workers.
   int snapshot_every = 1000;
   /// Stop early once every injected bug has been found (off by default).
   bool stop_when_all_bugs_found = false;
+
+  /// Worker-pool width. 1 (default) runs the original single-threaded loop,
+  /// bit-identical to the historical serial runner. N > 1 runs N worker
+  /// threads, each owning a CloneForWorker(w) fuzzer (Rng seeded
+  /// base_seed + w), its own ExecutionHarness, and a private coverage map,
+  /// all publishing into one shared bitmap and exchanging new-coverage
+  /// seeds through a SharedCorpus at deterministic round barriers.
+  int num_workers = 1;
+  /// Parallel mode: executions each worker runs between synchronization
+  /// barriers (shared-bitmap snapshot, seed exchange, stop checks). Smaller
+  /// values propagate seeds faster; larger values reduce barrier overhead.
+  int sync_every = 256;
 };
 
 /// Aggregated campaign outcome: everything the paper's tables/figures need.
@@ -50,6 +66,16 @@ struct CampaignResult {
 };
 
 /// Runs `fuzzer` against `harness` for the configured budget.
+///
+/// With options.num_workers > 1, `fuzzer` acts as the prototype: each
+/// worker w runs fuzzer->CloneForWorker(w) against its own harness (same
+/// profile and setup script as `harness`), and the returned result is the
+/// merged view — executions/statement counters summed, crash/bug/affinity
+/// sets unioned, edges read from the shared bitmap, coverage curve keyed by
+/// total executions. The merged result is deterministic for a fixed
+/// (fuzzer seed, num_workers, sync_every) triple: workers only observe each
+/// other at barriers, in worker-id order. If the prototype does not
+/// support CloneForWorker (returns nullptr), the serial path runs instead.
 CampaignResult RunCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
                            const CampaignOptions& options);
 

@@ -1,8 +1,13 @@
 #ifndef LEGO_FUZZ_CORPUS_H_
 #define LEGO_FUZZ_CORPUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "fuzz/testcase.h"
@@ -19,10 +24,20 @@ struct Seed {
   bool favored = false;  // newly added seeds are favored until first pick
 };
 
-/// The seed pool. Seeds live in a deque so Seed pointers handed out by
-/// Select()/Add() stay valid as the corpus grows. Selection is energy-based: favored (fresh) seeds first,
+/// The seed pool. Selection is energy-based: favored (fresh) seeds first,
 /// then a weighted pick that prefers productive and under-fuzzed seeds —
 /// the scheduling half of an AFL-style mutation loop.
+///
+/// Pointer-stability contract: every `Seed*` returned by Add()/Select()
+/// stays valid for the lifetime of the Corpus, across any number of later
+/// Add() calls — seeds live in a deque, whose push_back never relocates
+/// existing elements. Debug builds verify this on every Add().
+///
+/// Threading contract: a Corpus belongs to exactly ONE worker thread; none
+/// of its methods are thread-safe, and handed-out `Seed*` must not be
+/// touched from other threads. Debug builds assert single-thread use.
+/// Cross-worker seed exchange in parallel campaigns goes through
+/// SharedCorpus instead.
 class Corpus {
  public:
   /// Adds a seed (typically one whose execution covered new branches).
@@ -34,11 +49,66 @@ class Corpus {
   size_t size() const { return seeds_.size(); }
   bool empty() const { return seeds_.empty(); }
   const std::deque<Seed>& seeds() const { return seeds_; }
+  /// Mutation through this pointer inherits the contracts above: the deque
+  /// may grow but elements never move, and access is single-thread only.
   std::deque<Seed>* mutable_seeds() { return &seeds_; }
 
  private:
+  /// Debug-only enforcement of the two contracts (no-op in NDEBUG builds).
+  void DebugCheckContract();
+
   std::deque<Seed> seeds_;
   int next_id_ = 0;
+#ifndef NDEBUG
+  /// Every pointer ever handed out by Add(), with the id it pointed at.
+  std::vector<std::pair<const Seed*, int>> handed_out_;
+  std::thread::id owner_{};
+#endif
+};
+
+/// Cross-worker seed exchange for parallel campaigns. Workers publish
+/// new-coverage test cases and periodically drain everything published by
+/// other workers since their last drain. Entries are totally ordered by an
+/// atomic publish sequence and stored in mutex-sharded maps (shard =
+/// seq % num_shards), so publishers on different shards never contend.
+///
+/// DrainNew() walks the sequence from the caller's cursor and stops at the
+/// first gap — a sequence number that was claimed but whose entry is not
+/// inserted yet — so readers never observe partially published seeds; the
+/// gap is picked up by the next drain. All methods are thread-safe.
+class SharedCorpus {
+ public:
+  explicit SharedCorpus(int num_shards = 8);
+
+  SharedCorpus(const SharedCorpus&) = delete;
+  SharedCorpus& operator=(const SharedCorpus&) = delete;
+
+  /// Publishes a new-coverage test case discovered by `origin_worker`.
+  void Publish(int origin_worker, TestCase tc);
+
+  /// Appends clones of every seed published at sequence >= *cursor by a
+  /// worker other than `worker_id`, in publish order, and advances *cursor
+  /// past them. Returns the number of seeds appended.
+  size_t DrainNew(int worker_id, uint64_t* cursor,
+                  std::vector<TestCase>* out) const;
+
+  /// Sequence numbers claimed so far (upper bound on published entries).
+  uint64_t published() const {
+    return next_seq_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Entry {
+    int origin;
+    TestCase tc;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<uint64_t, Entry> entries;
+  };
+
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> next_seq_{0};
 };
 
 }  // namespace lego::fuzz

@@ -44,6 +44,7 @@ ExecResult ExecutionHarness::Run(const TestCase& tc) {
   run_map.ClassifyCounts();
   result.new_coverage = global_coverage_.MergeDetectNew(run_map);
   result.total_edges = global_coverage_.CoveredEdges();
+  if (shared_coverage_ != nullptr) shared_coverage_->MergeDetectNew(run_map);
   return result;
 }
 

@@ -35,6 +35,15 @@ class ExecutionHarness {
   void set_setup_script(std::string script) {
     setup_script_ = std::move(script);
   }
+  const std::string& setup_script() const { return setup_script_; }
+
+  /// Parallel campaigns: in addition to the harness-local campaign map,
+  /// publish every classified run map into `shared` (atomic OR). The local
+  /// map still decides `new_coverage`, so a worker's feedback loop depends
+  /// only on its own executions and stays deterministic.
+  void set_shared_coverage(cov::SharedCoverage* shared) {
+    shared_coverage_ = shared;
+  }
 
   /// Executes `tc` against a fresh database. Coverage accumulates into the
   /// campaign-global map; `new_coverage` reflects it.
@@ -58,6 +67,7 @@ class ExecutionHarness {
   minidb::Database db_;
   faults::BugEngine bug_engine_;
   cov::GlobalCoverage global_coverage_;
+  cov::SharedCoverage* shared_coverage_ = nullptr;
   std::string setup_script_;
   int executions_ = 0;
 };

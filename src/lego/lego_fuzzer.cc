@@ -32,6 +32,16 @@ void LegoFuzzer::Prepare(fuzz::ExecutionHarness* harness) {
 }
 
 fuzz::TestCase LegoFuzzer::Next() {
+  // Exploit one foreign affinity per iteration, and only while the queue is
+  // shallow enough that its products can plausibly still be executed —
+  // otherwise imported discoveries from fast neighbors would have this
+  // worker synthesizing instead of fuzzing.
+  if (!pending_foreign_affinities_.empty() &&
+      queue_.size() < options_.max_queue / 2) {
+    auto [t1, t2] = pending_foreign_affinities_.front();
+    pending_foreign_affinities_.pop_front();
+    EnqueueSynthesized(t1, t2);
+  }
   // Interleave exploitation (synthesized/probe queue) with exploration
   // (mutating corpus seeds): draining the queue exclusively would starve
   // the proactive affinity analysis that feeds it.
@@ -86,6 +96,28 @@ void LegoFuzzer::EnqueueSynthesized(sql::StatementType t1,
       if (queue_.size() >= options_.max_queue) return;
       queue_.push_back(instantiator_.Instantiate(seq));
     }
+  }
+}
+
+std::unique_ptr<fuzz::Fuzzer> LegoFuzzer::CloneForWorker(
+    int worker_id) const {
+  LegoOptions options = options_;
+  options.rng_seed = options_.rng_seed + static_cast<uint64_t>(worker_id);
+  return std::make_unique<LegoFuzzer>(profile_, options);
+}
+
+void LegoFuzzer::ImportSeed(const fuzz::TestCase& tc) {
+  // A foreign new-coverage seed is adopted like a local discovery — it
+  // joins the corpus, donates its AST structures, and its affinities feed
+  // progressive synthesis — minus the scheduling attribution (there is no
+  // local parent seed to credit). Synthesis itself is deferred to Next()
+  // so import bursts at round barriers stay cheap.
+  corpus_.Add(tc.Clone());
+  library_.AddTestCase(tc);
+  if (!options_.sequence_algorithms_enabled) return;
+  auto new_affinities = affinity_map_.Analyze(tc.TypeSequence());
+  for (const auto& [t1, t2] : new_affinities) {
+    pending_foreign_affinities_.emplace_back(t1, t2);
   }
 }
 

@@ -49,6 +49,8 @@ class LegoFuzzer : public fuzz::Fuzzer {
   fuzz::TestCase Next() override;
   void OnResult(const fuzz::TestCase& tc,
                 const fuzz::ExecResult& result) override;
+  std::unique_ptr<fuzz::Fuzzer> CloneForWorker(int worker_id) const override;
+  void ImportSeed(const fuzz::TestCase& tc) override;
 
   /// Affinities discovered so far (Table II / Table IV metric).
   const TypeAffinityMap& affinities() const { return affinity_map_; }
@@ -68,6 +70,12 @@ class LegoFuzzer : public fuzz::Fuzzer {
   SequenceSynthesizer synthesizer_;
   fuzz::Corpus corpus_;
   std::deque<fuzz::TestCase> queue_;
+  /// Affinities learned from imported (cross-worker) seeds, synthesized
+  /// lazily in Next() when the queue has room: eagerly instantiating every
+  /// foreign affinity would synthesize far more test cases than a worker's
+  /// budget can execute. Always empty in serial campaigns.
+  std::deque<std::pair<sql::StatementType, sql::StatementType>>
+      pending_foreign_affinities_;
   /// Seed whose mutants are in flight (attribution for scheduling).
   fuzz::Seed* current_seed_ = nullptr;
   size_t mutation_cursor_ = 0;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "lego/generator.h"
 #include "minidb/database.h"
 #include "sql/parser.h"
+#include "util/random.h"
 
 namespace lego::minidb {
 namespace {
@@ -294,6 +296,84 @@ TEST_F(ExecutorEdgeTest, TypeCoercionOnInsert) {
   EXPECT_EQ(rs.rows[0][0].text_value(), "INT");
   EXPECT_EQ(rs.rows[0][1].text_value(), "TEXT");
   EXPECT_EQ(rs.rows[0][2].text_value(), "BOOL");
+}
+
+/// Flattens an execution outcome — status, columns, rows, notes, affected
+/// count — into one comparable string.
+std::string RenderOutcome(const StatusOr<ResultSet>& result) {
+  if (!result.ok()) return "ERR:" + result.status().ToString();
+  std::string out;
+  for (const auto& name : result->column_names) {
+    out += name;
+    out += '|';
+  }
+  out += '\n';
+  for (const Row& row : result->rows) {
+    for (const Value& v : row) {
+      out += v.ToText();
+      out += '|';
+    }
+    out += '\n';
+  }
+  for (const auto& note : result->notes) {
+    out += note;
+    out += '\n';
+  }
+  out += "affected=" + std::to_string(result->affected_rows);
+  return out;
+}
+
+// Differential oracle for the parallel campaign runner's core assumption:
+// executions are independent, so two fresh Database instances fed the same
+// deterministic statement batch must agree on every statement's outcome and
+// end with identical catalog state. Hidden shared state (process globals,
+// cross-instance caches) or nondeterminism (iteration over pointer-keyed
+// containers, uninitialized reads) would show up as divergence here.
+TEST(ExecutorDifferentialTest, FreshInstancesAgreeOnDeterministicBatch) {
+  const DialectProfile& profile = DialectProfile::PgLite();
+
+  // One deterministic batch of DDL + DML + queries from the shared
+  // statement generator.
+  Rng rng(2026);
+  core::StatementGenerator generator(&profile, &rng);
+  core::SchemaContext ctx;
+  std::vector<sql::StmtPtr> batch;
+  auto emit = [&](sql::StatementType type) {
+    auto stmt = generator.Generate(type, &ctx);
+    ctx.Apply(*stmt);
+    batch.push_back(std::move(stmt));
+  };
+  emit(sql::StatementType::kCreateTable);
+  emit(sql::StatementType::kCreateTable);
+  const std::vector<sql::StatementType> mix = {
+      sql::StatementType::kInsert,      sql::StatementType::kInsert,
+      sql::StatementType::kSelect,      sql::StatementType::kUpdate,
+      sql::StatementType::kCreateIndex, sql::StatementType::kInsert,
+      sql::StatementType::kSelect,      sql::StatementType::kDelete,
+      sql::StatementType::kCreateView,  sql::StatementType::kSelect,
+  };
+  for (int round = 0; round < 8; ++round) {
+    for (sql::StatementType type : mix) emit(type);
+  }
+
+  Database first(&profile);
+  Database second(&profile);
+  for (const sql::StmtPtr& stmt : batch) {
+    auto a = first.Execute(*stmt);
+    auto b = second.Execute(*stmt);
+    ASSERT_EQ(RenderOutcome(a), RenderOutcome(b))
+        << "instances diverged on: " << sql::ToSql(*stmt);
+  }
+
+  // Catalog state must match too: same tables, same contents.
+  ASSERT_EQ(first.catalog().TableNames(), second.catalog().TableNames());
+  for (const std::string& table : first.catalog().TableNames()) {
+    auto scan = sql::Parser::ParseStatement("SELECT * FROM " + table);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(RenderOutcome(first.Execute(**scan)),
+              RenderOutcome(second.Execute(**scan)))
+        << "table " << table << " diverged";
+  }
 }
 
 }  // namespace
