@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_coverage.dir/fig9_coverage.cc.o"
+  "CMakeFiles/fig9_coverage.dir/fig9_coverage.cc.o.d"
+  "fig9_coverage"
+  "fig9_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_synthesis.dir/micro_synthesis.cc.o"
+  "CMakeFiles/micro_synthesis.dir/micro_synthesis.cc.o.d"
+  "micro_synthesis"
+  "micro_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

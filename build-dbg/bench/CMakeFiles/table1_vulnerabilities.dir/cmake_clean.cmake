@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_vulnerabilities.dir/table1_vulnerabilities.cc.o"
+  "CMakeFiles/table1_vulnerabilities.dir/table1_vulnerabilities.cc.o.d"
+  "table1_vulnerabilities"
+  "table1_vulnerabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_vulnerabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_affinities.dir/table2_affinities.cc.o"
+  "CMakeFiles/table2_affinities.dir/table2_affinities.cc.o.d"
+  "table2_affinities"
+  "table2_affinities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_affinities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

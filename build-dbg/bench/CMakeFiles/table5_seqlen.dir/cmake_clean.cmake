@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_seqlen.dir/table5_seqlen.cc.o"
+  "CMakeFiles/table5_seqlen.dir/table5_seqlen.cc.o.d"
+  "table5_seqlen"
+  "table5_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

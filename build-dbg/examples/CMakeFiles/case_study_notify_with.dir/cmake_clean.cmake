@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_notify_with.dir/case_study_notify_with.cc.o"
+  "CMakeFiles/case_study_notify_with.dir/case_study_notify_with.cc.o.d"
+  "case_study_notify_with"
+  "case_study_notify_with.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_notify_with.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_campaign_cli.dir/fuzz_campaign_cli.cc.o"
+  "CMakeFiles/fuzz_campaign_cli.dir/fuzz_campaign_cli.cc.o.d"
+  "fuzz_campaign_cli"
+  "fuzz_campaign_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_campaign_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

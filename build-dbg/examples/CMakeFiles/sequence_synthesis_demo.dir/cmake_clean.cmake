@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_synthesis_demo.dir/sequence_synthesis_demo.cc.o"
+  "CMakeFiles/sequence_synthesis_demo.dir/sequence_synthesis_demo.cc.o.d"
+  "sequence_synthesis_demo"
+  "sequence_synthesis_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_synthesis_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_baselines.dir/sqlancer_like.cc.o"
+  "CMakeFiles/lego_baselines.dir/sqlancer_like.cc.o.d"
+  "CMakeFiles/lego_baselines.dir/sqlsmith_like.cc.o"
+  "CMakeFiles/lego_baselines.dir/sqlsmith_like.cc.o.d"
+  "CMakeFiles/lego_baselines.dir/squirrel_like.cc.o"
+  "CMakeFiles/lego_baselines.dir/squirrel_like.cc.o.d"
+  "liblego_baselines.a"
+  "liblego_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_coverage.dir/coverage.cc.o"
+  "CMakeFiles/lego_coverage.dir/coverage.cc.o.d"
+  "liblego_coverage.a"
+  "liblego_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/bug_catalog.cc" "src/faults/CMakeFiles/lego_faults.dir/bug_catalog.cc.o" "gcc" "src/faults/CMakeFiles/lego_faults.dir/bug_catalog.cc.o.d"
+  "/root/repo/src/faults/bug_engine.cc" "src/faults/CMakeFiles/lego_faults.dir/bug_engine.cc.o" "gcc" "src/faults/CMakeFiles/lego_faults.dir/bug_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dbg/src/minidb/CMakeFiles/lego_minidb.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/sql/CMakeFiles/lego_sql.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/coverage/CMakeFiles/lego_coverage.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/util/CMakeFiles/lego_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_faults.dir/bug_catalog.cc.o"
+  "CMakeFiles/lego_faults.dir/bug_catalog.cc.o.d"
+  "CMakeFiles/lego_faults.dir/bug_engine.cc.o"
+  "CMakeFiles/lego_faults.dir/bug_engine.cc.o.d"
+  "liblego_faults.a"
+  "liblego_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_fuzz.dir/campaign.cc.o"
+  "CMakeFiles/lego_fuzz.dir/campaign.cc.o.d"
+  "CMakeFiles/lego_fuzz.dir/corpus.cc.o"
+  "CMakeFiles/lego_fuzz.dir/corpus.cc.o.d"
+  "CMakeFiles/lego_fuzz.dir/harness.cc.o"
+  "CMakeFiles/lego_fuzz.dir/harness.cc.o.d"
+  "CMakeFiles/lego_fuzz.dir/seeds.cc.o"
+  "CMakeFiles/lego_fuzz.dir/seeds.cc.o.d"
+  "CMakeFiles/lego_fuzz.dir/testcase.cc.o"
+  "CMakeFiles/lego_fuzz.dir/testcase.cc.o.d"
+  "liblego_fuzz.a"
+  "liblego_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

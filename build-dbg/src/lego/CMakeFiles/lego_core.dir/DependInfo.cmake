@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lego/affinity.cc" "src/lego/CMakeFiles/lego_core.dir/affinity.cc.o" "gcc" "src/lego/CMakeFiles/lego_core.dir/affinity.cc.o.d"
+  "/root/repo/src/lego/ast_library.cc" "src/lego/CMakeFiles/lego_core.dir/ast_library.cc.o" "gcc" "src/lego/CMakeFiles/lego_core.dir/ast_library.cc.o.d"
+  "/root/repo/src/lego/generator.cc" "src/lego/CMakeFiles/lego_core.dir/generator.cc.o" "gcc" "src/lego/CMakeFiles/lego_core.dir/generator.cc.o.d"
+  "/root/repo/src/lego/instantiator.cc" "src/lego/CMakeFiles/lego_core.dir/instantiator.cc.o" "gcc" "src/lego/CMakeFiles/lego_core.dir/instantiator.cc.o.d"
+  "/root/repo/src/lego/lego_fuzzer.cc" "src/lego/CMakeFiles/lego_core.dir/lego_fuzzer.cc.o" "gcc" "src/lego/CMakeFiles/lego_core.dir/lego_fuzzer.cc.o.d"
+  "/root/repo/src/lego/mutation.cc" "src/lego/CMakeFiles/lego_core.dir/mutation.cc.o" "gcc" "src/lego/CMakeFiles/lego_core.dir/mutation.cc.o.d"
+  "/root/repo/src/lego/synthesis.cc" "src/lego/CMakeFiles/lego_core.dir/synthesis.cc.o" "gcc" "src/lego/CMakeFiles/lego_core.dir/synthesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dbg/src/fuzz/CMakeFiles/lego_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/minidb/CMakeFiles/lego_minidb.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/faults/CMakeFiles/lego_faults.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/sql/CMakeFiles/lego_sql.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/coverage/CMakeFiles/lego_coverage.dir/DependInfo.cmake"
+  "/root/repo/build-dbg/src/util/CMakeFiles/lego_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_core.dir/affinity.cc.o"
+  "CMakeFiles/lego_core.dir/affinity.cc.o.d"
+  "CMakeFiles/lego_core.dir/ast_library.cc.o"
+  "CMakeFiles/lego_core.dir/ast_library.cc.o.d"
+  "CMakeFiles/lego_core.dir/generator.cc.o"
+  "CMakeFiles/lego_core.dir/generator.cc.o.d"
+  "CMakeFiles/lego_core.dir/instantiator.cc.o"
+  "CMakeFiles/lego_core.dir/instantiator.cc.o.d"
+  "CMakeFiles/lego_core.dir/lego_fuzzer.cc.o"
+  "CMakeFiles/lego_core.dir/lego_fuzzer.cc.o.d"
+  "CMakeFiles/lego_core.dir/mutation.cc.o"
+  "CMakeFiles/lego_core.dir/mutation.cc.o.d"
+  "CMakeFiles/lego_core.dir/synthesis.cc.o"
+  "CMakeFiles/lego_core.dir/synthesis.cc.o.d"
+  "liblego_core.a"
+  "liblego_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

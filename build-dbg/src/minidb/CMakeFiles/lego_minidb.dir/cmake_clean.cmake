@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_minidb.dir/btree.cc.o"
+  "CMakeFiles/lego_minidb.dir/btree.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/catalog.cc.o"
+  "CMakeFiles/lego_minidb.dir/catalog.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/database.cc.o"
+  "CMakeFiles/lego_minidb.dir/database.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/eval.cc.o"
+  "CMakeFiles/lego_minidb.dir/eval.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/executor.cc.o"
+  "CMakeFiles/lego_minidb.dir/executor.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/heap_table.cc.o"
+  "CMakeFiles/lego_minidb.dir/heap_table.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/planner.cc.o"
+  "CMakeFiles/lego_minidb.dir/planner.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/profile.cc.o"
+  "CMakeFiles/lego_minidb.dir/profile.cc.o.d"
+  "CMakeFiles/lego_minidb.dir/value.cc.o"
+  "CMakeFiles/lego_minidb.dir/value.cc.o.d"
+  "liblego_minidb.a"
+  "liblego_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_sql.dir/ast.cc.o"
+  "CMakeFiles/lego_sql.dir/ast.cc.o.d"
+  "CMakeFiles/lego_sql.dir/ast_walk.cc.o"
+  "CMakeFiles/lego_sql.dir/ast_walk.cc.o.d"
+  "CMakeFiles/lego_sql.dir/lexer.cc.o"
+  "CMakeFiles/lego_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/lego_sql.dir/parser.cc.o"
+  "CMakeFiles/lego_sql.dir/parser.cc.o.d"
+  "CMakeFiles/lego_sql.dir/statement_type.cc.o"
+  "CMakeFiles/lego_sql.dir/statement_type.cc.o.d"
+  "liblego_sql.a"
+  "liblego_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

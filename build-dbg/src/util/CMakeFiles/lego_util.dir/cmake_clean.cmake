@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_util.dir/random.cc.o"
+  "CMakeFiles/lego_util.dir/random.cc.o.d"
+  "CMakeFiles/lego_util.dir/status.cc.o"
+  "CMakeFiles/lego_util.dir/status.cc.o.d"
+  "CMakeFiles/lego_util.dir/string_util.cc.o"
+  "CMakeFiles/lego_util.dir/string_util.cc.o.d"
+  "liblego_util.a"
+  "liblego_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

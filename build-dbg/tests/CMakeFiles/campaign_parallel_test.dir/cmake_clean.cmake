@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_parallel_test.dir/campaign_parallel_test.cc.o"
+  "CMakeFiles/campaign_parallel_test.dir/campaign_parallel_test.cc.o.d"
+  "campaign_parallel_test"
+  "campaign_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_edge_test.dir/executor_edge_test.cc.o"
+  "CMakeFiles/executor_edge_test.dir/executor_edge_test.cc.o.d"
+  "executor_edge_test"
+  "executor_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

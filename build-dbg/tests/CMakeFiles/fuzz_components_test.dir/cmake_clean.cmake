@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_components_test.dir/fuzz_components_test.cc.o"
+  "CMakeFiles/fuzz_components_test.dir/fuzz_components_test.cc.o.d"
+  "fuzz_components_test"
+  "fuzz_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

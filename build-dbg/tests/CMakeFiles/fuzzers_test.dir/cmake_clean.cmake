@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzers_test.dir/fuzzers_test.cc.o"
+  "CMakeFiles/fuzzers_test.dir/fuzzers_test.cc.o.d"
+  "fuzzers_test"
+  "fuzzers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

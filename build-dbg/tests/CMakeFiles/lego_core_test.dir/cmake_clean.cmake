@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lego_core_test.dir/lego_core_test.cc.o"
+  "CMakeFiles/lego_core_test.dir/lego_core_test.cc.o.d"
+  "lego_core_test"
+  "lego_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lego_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/btree.cc" "src/minidb/CMakeFiles/lego_minidb.dir/btree.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/btree.cc.o.d"
+  "/root/repo/src/minidb/catalog.cc" "src/minidb/CMakeFiles/lego_minidb.dir/catalog.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/catalog.cc.o.d"
+  "/root/repo/src/minidb/database.cc" "src/minidb/CMakeFiles/lego_minidb.dir/database.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/database.cc.o.d"
+  "/root/repo/src/minidb/eval.cc" "src/minidb/CMakeFiles/lego_minidb.dir/eval.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/eval.cc.o.d"
+  "/root/repo/src/minidb/executor.cc" "src/minidb/CMakeFiles/lego_minidb.dir/executor.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/executor.cc.o.d"
+  "/root/repo/src/minidb/heap_table.cc" "src/minidb/CMakeFiles/lego_minidb.dir/heap_table.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/heap_table.cc.o.d"
+  "/root/repo/src/minidb/planner.cc" "src/minidb/CMakeFiles/lego_minidb.dir/planner.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/planner.cc.o.d"
+  "/root/repo/src/minidb/profile.cc" "src/minidb/CMakeFiles/lego_minidb.dir/profile.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/profile.cc.o.d"
+  "/root/repo/src/minidb/value.cc" "src/minidb/CMakeFiles/lego_minidb.dir/value.cc.o" "gcc" "src/minidb/CMakeFiles/lego_minidb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sql/CMakeFiles/lego_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coverage/CMakeFiles/lego_coverage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/lego_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lexer_test.cc" "tests/CMakeFiles/lexer_test.dir/lexer_test.cc.o" "gcc" "tests/CMakeFiles/lexer_test.dir/lexer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/lego_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lego/CMakeFiles/lego_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fuzz/CMakeFiles/lego_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/faults/CMakeFiles/lego_faults.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/minidb/CMakeFiles/lego_minidb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/lego_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coverage/CMakeFiles/lego_coverage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/lego_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
