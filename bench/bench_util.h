@@ -37,17 +37,19 @@ inline std::unique_ptr<fuzz::Fuzzer> MakeFuzzer(
   return nullptr;
 }
 
-/// Runs one campaign of `executions` runs.
+/// Runs one campaign of `executions` runs (split across `workers`).
 inline fuzz::CampaignResult RunOne(const std::string& fuzzer_name,
                                    const minidb::DialectProfile& profile,
                                    int executions, uint64_t seed,
-                                   bool stop_when_all_found = false) {
+                                   bool stop_when_all_found = false,
+                                   int workers = 1) {
   auto fuzzer = MakeFuzzer(fuzzer_name, profile, seed);
   fuzz::ExecutionHarness harness(profile);
   fuzz::CampaignOptions options;
   options.max_executions = executions;
   options.snapshot_every = std::max(1, executions / 10);
   options.stop_when_all_bugs_found = stop_when_all_found;
+  options.num_workers = workers;
   return fuzz::RunCampaign(fuzzer.get(), &harness, options);
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "triage/triage.h"
 
 int main() {
   using namespace lego;  // NOLINT(build/namespaces)
@@ -56,5 +57,61 @@ int main() {
   for (int n : totals) std::printf(" %10d", totals.back() - n);
   std::printf("\n\nPaper totals: SQLancer 0, SQLsmith 0, SQUIRREL 11, "
               "LEGO 52\n");
-  return 0;
+
+  // Triage view: each LEGO campaign's captured crashes ddmin-reduced and
+  // deduplicated by (bug id, minimized type fingerprint). A 4-worker
+  // campaign explores a different trajectory than a 1-worker one (worker w
+  // is seeded base_seed + w), so the two may legitimately report different
+  // bug sets; what must hold is rerun stability — repeating either
+  // configuration with the same base seed triages to the identical
+  // unique-bug count. Each cell below is run twice and flagged UNSTABLE on
+  // any disagreement.
+  std::printf("\nTriaged unique bugs (lego, ddmin-reduced repros; every cell"
+              " rerun twice)\n");
+  std::printf("%-22s %10s %10s %12s %12s\n", "DBMS", "1 worker", "4 workers",
+              "repro stmts", "reduction");
+  bench::PrintRule(72);
+  bool stable = true;
+  for (const auto* profile : minidb::DialectProfile::All()) {
+    size_t unique[2] = {0, 0};
+    bool cell_stable[2] = {true, true};
+    int repro_stmts = 0;
+    double shrink = 0.0;
+    const int worker_counts[2] = {1, 4};
+    for (int wi = 0; wi < 2; ++wi) {
+      for (int rerun = 0; rerun < 2; ++rerun) {
+        fuzz::CampaignResult result =
+            bench::RunOne("lego", *profile, kBudget, /*seed=*/31,
+                          /*stop_when_all_found=*/false, worker_counts[wi]);
+        triage::TriageOptions triage_options;
+        triage::TriageReport report =
+            triage::TriageCampaign(result, *profile, "", triage_options);
+        if (rerun == 0) {
+          unique[wi] = report.bugs.size();
+        } else if (report.bugs.size() != unique[wi]) {
+          cell_stable[wi] = false;
+          stable = false;
+        }
+        if (wi == 0 && rerun == 0) {
+          int original = 0;
+          for (const triage::TriagedBug& bug : report.bugs) {
+            repro_stmts += bug.reduced_statements;
+            original += bug.original_statements;
+          }
+          if (repro_stmts > 0) {
+            shrink = static_cast<double>(original) / repro_stmts;
+          }
+        }
+      }
+    }
+    std::printf("%-22s %10zu %10zu %12d %11.1fx%s%s\n",
+                (std::string(bench::PaperNameOf(profile->name)) + " (" +
+                 profile->name + ")")
+                    .c_str(),
+                unique[0], unique[1], repro_stmts, shrink,
+                cell_stable[0] ? "" : "  UNSTABLE(1w)",
+                cell_stable[1] ? "" : "  UNSTABLE(4w)");
+  }
+  std::printf("\nRerun stability: %s\n", stable ? "OK" : "FAILED");
+  return stable ? 0 : 1;
 }

@@ -2,13 +2,18 @@
 // paper's evaluation runs, as a standalone tool.
 //
 //   ./examples/fuzz_campaign_cli [profile] [fuzzer] [executions] [seed]
-//                                [--workers N]
+//                                [--workers N] [--reduce] [--repro-dir DIR]
+//                                [--tlp]
 //
 //   profile : pglite | mylite | marialite | comdlite       (default pglite)
 //   fuzzer  : lego | lego- | squirrel | sqlancer | sqlsmith (default lego)
 //   executions : campaign budget (total, across workers)    (default 10000)
 //   seed    : RNG seed (worker w derives seed + w)          (default 1)
 //   --workers N : parallel worker threads                   (default 1)
+//   --tlp       : arm the TLP metamorphic logic-bug oracle  (default off)
+//   --reduce    : ddmin-minimize each unique crash after the campaign
+//   --repro-dir DIR : write one deterministic .sql repro per unique bug
+//                     (implies --reduce)
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,12 +27,17 @@
 #include "fuzz/campaign.h"
 #include "fuzz/harness.h"
 #include "lego/lego_fuzzer.h"
+#include "triage/tlp_oracle.h"
+#include "triage/triage.h"
 
 int main(int argc, char** argv) {
   using namespace lego;  // NOLINT(build/namespaces)
 
-  // Split args into the --workers flag (anywhere) and positionals.
+  // Split args into flags (anywhere) and positionals.
   int workers = 1;
+  bool reduce = false;
+  bool tlp = false;
+  std::string repro_dir;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -39,6 +49,20 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--reduce") {
+      reduce = true;
+    } else if (arg == "--tlp") {
+      tlp = true;
+    } else if (arg == "--repro-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--repro-dir needs a value\n");
+        return 1;
+      }
+      repro_dir = argv[++i];
+      reduce = true;
+    } else if (arg.rfind("--repro-dir=", 0) == 0) {
+      repro_dir = arg.substr(12);
+      reduce = true;
     } else {
       pos.push_back(std::move(arg));
     }
@@ -82,6 +106,8 @@ int main(int argc, char** argv) {
   }
 
   fuzz::ExecutionHarness harness(*profile);
+  triage::TlpOracle tlp_oracle;
+  if (tlp) harness.set_logic_oracle(&tlp_oracle);
   fuzz::CampaignOptions options;
   options.max_executions = executions;
   options.snapshot_every = std::max(1, executions / 10);
@@ -110,6 +136,33 @@ int main(int argc, char** argv) {
               harness.bug_engine().bugs().size());
   for (const std::string& bug : result.bug_ids) {
     std::printf("    %s\n", bug.c_str());
+  }
+  if (tlp) {
+    std::printf("  logic-bug flags    : %d total, %zu unique queries\n",
+                result.logic_bugs_total, result.logic_fingerprints.size());
+  }
+
+  if (reduce || tlp) {
+    triage::TriageOptions triage_options;
+    triage_options.reduce = reduce;
+    triage_options.repro_dir = repro_dir;
+    triage::TriageReport report = triage::TriageCampaign(
+        result, *profile, harness.setup_script(), triage_options);
+    std::printf("\ntriage (%d crash + %d logic capture%s, %d replays):\n",
+                report.crash_captures, report.logic_captures,
+                report.crash_captures + report.logic_captures == 1 ? "" : "s",
+                report.replays);
+    std::printf("  unique bugs        : %zu (%d duplicate%s collapsed, "
+                "%d not reproduced)\n",
+                report.bugs.size(), report.duplicates,
+                report.duplicates == 1 ? "" : "s", report.not_reproduced);
+    for (const triage::TriagedBug& bug : report.bugs) {
+      std::printf("    %-40s %2d stmts (from %d)%s%s\n",
+                  bug.signature.Key().c_str(), bug.reduced_statements,
+                  bug.original_statements,
+                  bug.artifact_path.empty() ? "" : "  -> ",
+                  bug.artifact_path.c_str());
+    }
   }
   // In parallel mode the prototype fuzzer never runs (its per-worker clones
   // do), so its internal maps are empty — only report them for serial runs.

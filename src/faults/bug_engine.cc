@@ -5,6 +5,13 @@ namespace lego::faults {
 BugEngine::BugEngine(const std::string& profile_name)
     : bugs_(BugsForProfile(profile_name)) {}
 
+const BugDef* BugEngine::FindBug(const std::string& id) const {
+  for (const BugDef* bug : bugs_) {
+    if (bug->id == id) return bug;
+  }
+  return nullptr;
+}
+
 bool BugEngine::Matches(const BugDef& bug,
                         const std::vector<sql::StatementType>& trace,
                         const std::vector<minidb::FeatureSet>& features,

@@ -30,6 +30,10 @@ class BugEngine : public minidb::FaultHook {
   /// All bugs armed for this engine.
   const std::vector<const BugDef*>& bugs() const { return bugs_; }
 
+  /// The armed bug with this id, or nullptr. Triage uses it to annotate
+  /// reproducer artifacts with the expected trigger sequence.
+  const BugDef* FindBug(const std::string& id) const;
+
   /// Pure matcher: does `bug` fire against this trace? Exposed for tests
   /// and for baselines' post-hoc analysis.
   static bool Matches(const BugDef& bug,

@@ -46,6 +46,15 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
       if (result.crash_hashes.insert(exec.crash.stack_hash).second) {
         result.bug_ids.insert(exec.crash.bug_id);
         ++result.bugs_by_component[exec.crash.component];
+        result.captured_cases.push_back(tc.Clone());
+        result.captured_crashes.push_back(exec.crash);
+      }
+    }
+    if (exec.logic_bug) {
+      ++result.logic_bugs_total;
+      if (result.logic_fingerprints.insert(exec.logic.fingerprint).second) {
+        result.captured_logic_cases.push_back(tc.Clone());
+        result.captured_logic_bugs.push_back(exec.logic);
       }
     }
     fuzzer->OnResult(tc, exec);
@@ -119,6 +128,12 @@ struct WorkerState {
   /// Locally-unique crashes by synthetic stack hash; the merge dedups
   /// across workers the same way the serial loop dedups across executions.
   std::map<uint64_t, minidb::CrashInfo> unique_crashes;
+  /// First local test case per unique stack hash (triage capture).
+  std::map<uint64_t, TestCase> crash_cases;
+
+  int logic_bugs_total = 0;
+  std::map<uint64_t, LogicBugInfo> unique_logic;
+  std::map<uint64_t, TestCase> logic_cases;
 
   /// New-coverage test cases found this round, published at the barrier.
   std::vector<TestCase> pending_exports;
@@ -140,6 +155,9 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     }
     states[w].harness = std::make_unique<ExecutionHarness>(harness->profile());
     states[w].harness->set_setup_script(harness->setup_script());
+    // Oracles are stateless (LogicOracle contract), so sharing the
+    // prototype harness's instance across workers is safe.
+    states[w].harness->set_logic_oracle(harness->logic_oracle());
   }
 
   cov::SharedCoverage shared_coverage;
@@ -227,7 +245,17 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
         st.statements_executed += exec.executed;
         if (exec.crashed) {
           ++st.crashes_total;
-          st.unique_crashes.emplace(exec.crash.stack_hash, exec.crash);
+          if (st.unique_crashes.emplace(exec.crash.stack_hash, exec.crash)
+                  .second) {
+            st.crash_cases.emplace(exec.crash.stack_hash, tc.Clone());
+          }
+        }
+        if (exec.logic_bug) {
+          ++st.logic_bugs_total;
+          if (st.unique_logic.emplace(exec.logic.fingerprint, exec.logic)
+                  .second) {
+            st.logic_cases.emplace(exec.logic.fingerprint, tc.Clone());
+          }
         }
         st.fuzzer->OnResult(tc, exec);
         // Export on *local* new coverage: the decision depends only on this
@@ -254,9 +282,10 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   for (std::thread& t : threads) t.join();
 
   // Final merge in worker order (worker order only affects which duplicate
-  // crash "wins" attribution, and duplicates carry identical payloads).
+  // crash "wins" attribution, and duplicates carry identical payloads; the
+  // captured repro for a hash is the first worker's, deterministically).
   for (int w = 0; w < workers; ++w) {
-    const WorkerState& s = states[w];
+    WorkerState& s = states[w];
     merged.executions += s.executions;
     merged.crashes_total += s.crashes_total;
     merged.statement_errors += s.statement_errors;
@@ -266,6 +295,15 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       if (merged.crash_hashes.insert(hash).second) {
         merged.bug_ids.insert(crash.bug_id);
         ++merged.bugs_by_component[crash.component];
+        merged.captured_cases.push_back(std::move(s.crash_cases.at(hash)));
+        merged.captured_crashes.push_back(crash);
+      }
+    }
+    merged.logic_bugs_total += s.logic_bugs_total;
+    for (const auto& [fp, info] : s.unique_logic) {
+      if (merged.logic_fingerprints.insert(fp).second) {
+        merged.captured_logic_cases.push_back(std::move(s.logic_cases.at(fp)));
+        merged.captured_logic_bugs.push_back(info);
       }
     }
   }

@@ -63,6 +63,20 @@ struct CampaignResult {
 
   /// Bugs found per component, for Table I style reporting.
   std::map<std::string, int> bugs_by_component;
+
+  /// First test case observed for each unique crash hash, with its crash,
+  /// in discovery order (worker order for parallel runs, so the set is
+  /// deterministic per seed/workers/sync_every). Triage replays these.
+  /// TestCase is move-only, so CampaignResult is too.
+  std::vector<TestCase> captured_cases;
+  std::vector<minidb::CrashInfo> captured_crashes;  // parallel to above
+
+  /// Logic-oracle findings: total flagged executions, plus the first test
+  /// case per unique oracle fingerprint.
+  int logic_bugs_total = 0;
+  std::set<uint64_t> logic_fingerprints;
+  std::vector<TestCase> captured_logic_cases;
+  std::vector<LogicBugInfo> captured_logic_bugs;  // parallel to above
 };
 
 /// Runs `fuzzer` against `harness` for the configured budget.

@@ -31,6 +31,21 @@ ExecResult ExecutionHarness::Run(const TestCase& tc) {
     auto st = db_.Execute(*stmt);
     if (st.ok()) {
       ++result.executed;
+      if (logic_oracle_ != nullptr && !result.logic_bug &&
+          stmt->type() == sql::StatementType::kSelect) {
+        // Oracle queries must be invisible to fuzzing state: pause coverage
+        // probes, disarm the fault hook, and restore the session trace so
+        // the partition queries can't trigger or mask injected bugs.
+        cov::CoverageScope pause(nullptr);
+        db_.set_fault_hook(nullptr);
+        const size_t saved_types = db_.session().type_trace.size();
+        const size_t saved_features = db_.session().feature_trace.size();
+        result.logic_bug =
+            logic_oracle_->Check(&db_, *stmt, &result.logic);
+        db_.session().type_trace.resize(saved_types);
+        db_.session().feature_trace.resize(saved_features);
+        db_.set_fault_hook(&bug_engine_);
+      }
       continue;
     }
     if (st.status().IsCrash()) {

@@ -12,11 +12,41 @@
 
 namespace lego::fuzz {
 
+/// One logic-bug finding from a metamorphic oracle: the DBMS returned a
+/// wrong result without crashing, so there is no CrashInfo to dedup on.
+struct LogicBugInfo {
+  std::string check;   // oracle name, e.g. "tlp"
+  std::string query;   // the original query whose result was wrong
+  std::string detail;  // human-readable mismatch description
+  /// Dedup key (oracle-computed, deterministic for a given query shape).
+  uint64_t fingerprint = 0;
+};
+
+/// Metamorphic test oracle consulted after each successfully executed
+/// statement. Implementations must be stateless across calls (parallel
+/// campaigns share one oracle between worker harnesses) and must leave the
+/// database logically unchanged — the harness pauses coverage probes and
+/// disarms the fault hook around the check, but schema/data side effects
+/// are the oracle's responsibility to avoid. Defined here (rather than in
+/// triage/) so lego_triage can depend on lego_fuzz without a cycle, the
+/// same way minidb::FaultHook lives in minidb/database.h.
+class LogicOracle {
+ public:
+  virtual ~LogicOracle() = default;
+  virtual std::string_view name() const = 0;
+  /// Checks `stmt`, which just executed successfully against `db`. Returns
+  /// true and fills `out` when a metamorphic inconsistency is detected.
+  virtual bool Check(minidb::Database* db, const sql::Statement& stmt,
+                     LogicBugInfo* out) = 0;
+};
+
 /// Outcome of executing one test case.
 struct ExecResult {
   bool new_coverage = false;
   bool crashed = false;
   minidb::CrashInfo crash;
+  bool logic_bug = false;  // a logic oracle flagged a wrong result
+  LogicBugInfo logic;      // valid iff logic_bug
   int executed = 0;   // statements that ran successfully
   int errors = 0;     // statements rejected (syntax/semantic/runtime)
   size_t total_edges = 0;  // campaign-global edge count after this run
@@ -45,6 +75,13 @@ class ExecutionHarness {
     shared_coverage_ = shared;
   }
 
+  /// Optional logic oracle, consulted after each successfully executed
+  /// SELECT with the fault hook disarmed, coverage probes paused, and the
+  /// session trace restored afterwards — oracle queries never perturb the
+  /// fault-injection or feedback state. Not owned; must outlive the harness.
+  void set_logic_oracle(LogicOracle* oracle) { logic_oracle_ = oracle; }
+  LogicOracle* logic_oracle() const { return logic_oracle_; }
+
   /// Executes `tc` against a fresh database. Coverage accumulates into the
   /// campaign-global map; `new_coverage` reflects it.
   ExecResult Run(const TestCase& tc);
@@ -68,6 +105,7 @@ class ExecutionHarness {
   faults::BugEngine bug_engine_;
   cov::GlobalCoverage global_coverage_;
   cov::SharedCoverage* shared_coverage_ = nullptr;
+  LogicOracle* logic_oracle_ = nullptr;
   std::string setup_script_;
   int executions_ = 0;
 };

@@ -14,6 +14,8 @@ using sql::BinaryOp;
 using sql::Expr;
 using sql::ExprKind;
 
+bool g_not_null_eval_bug = false;
+
 Tribool ValueToTribool(const Value& v) {
   if (v.is_null()) return Tribool::kUnknown;
   return v.AsBool() ? Tribool::kTrue : Tribool::kFalse;
@@ -303,6 +305,10 @@ bool Evaluator::IsWindowFunction(const std::string& name) {
          name == "LEAD" || name == "LAG" || name == "NTILE";
 }
 
+void Evaluator::SetNotNullEvalBugForTesting(bool enabled) {
+  g_not_null_eval_bug = enabled;
+}
+
 bool Evaluator::LikeMatch(const std::string& text,
                           const std::string& pattern) {
   // Iterative matcher with backtracking over '%'.
@@ -369,7 +375,9 @@ StatusOr<Value> Evaluator::Eval(const Expr& expr, const EvalContext& ctx) {
       }
       LEGO_COV();
       Tribool t = ValueToTribool(v);
-      if (t == Tribool::kUnknown) return Value::Null();
+      if (t == Tribool::kUnknown) {
+        return g_not_null_eval_bug ? Value::Bool(true) : Value::Null();
+      }
       return Value::Bool(t == Tribool::kFalse);
     }
     case ExprKind::kBinary: {

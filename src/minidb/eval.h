@@ -73,6 +73,12 @@ class Evaluator {
 
   /// True if `name` is a window-capable ranking/navigation function.
   static bool IsWindowFunction(const std::string& name);
+
+  /// Test-only wrong-result plant: when enabled, NOT of NULL evaluates to
+  /// TRUE instead of NULL. Rows whose predicate is UNKNOWN then satisfy
+  /// both the NOT-phi and phi-IS-NULL partitions, which the TLP oracle
+  /// must detect. Never enable outside tests.
+  static void SetNotNullEvalBugForTesting(bool enabled);
 };
 
 }  // namespace lego::minidb

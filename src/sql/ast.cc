@@ -364,6 +364,62 @@ void SessionVar::PrintTo(std::string* out) const {
   *out += name_;
 }
 
+// ------------------------ Child expression slots ----------------------------
+
+void UnaryExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&operand_);
+}
+
+void BinaryExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&lhs_);
+  out->push_back(&rhs_);
+}
+
+void FunctionCall::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  for (ExprPtr& a : args_) out->push_back(&a);
+  if (window_ != nullptr) {
+    for (ExprPtr& p : window_->partition_by) out->push_back(&p);
+    for (auto& [e, desc] : window_->order_by) out->push_back(&e);
+  }
+}
+
+void CaseExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  if (operand_ != nullptr) out->push_back(&operand_);
+  for (auto& [when, then] : whens_) {
+    out->push_back(&when);
+    out->push_back(&then);
+  }
+  if (else_ != nullptr) out->push_back(&else_);
+}
+
+void InListExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&needle_);
+  for (ExprPtr& e : list_) out->push_back(&e);
+}
+
+void InSubqueryExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&needle_);
+}
+
+void BetweenExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&operand_);
+  out->push_back(&lo_);
+  out->push_back(&hi_);
+}
+
+void LikeExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&operand_);
+  out->push_back(&pattern_);
+}
+
+void IsNullExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&operand_);
+}
+
+void CastExpr::CollectChildSlots(std::vector<ExprPtr*>* out) {
+  out->push_back(&operand_);
+}
+
 // --------------------------- Table refs ------------------------------------
 
 TableRefPtr BaseTableRef::Clone() const {

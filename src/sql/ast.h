@@ -64,6 +64,10 @@ class Expr {
   virtual ExprPtr Clone() const = 0;
   /// Appends this node's SQL rendering to `out`.
   virtual void PrintTo(std::string* out) const = 0;
+  /// Appends pointers to this node's directly-owned child expression slots
+  /// (never null; subquery SELECT bodies are not expression slots and are
+  /// excluded). Reduction uses these to splice subtrees in place.
+  virtual void CollectChildSlots(std::vector<ExprPtr*>* out) { (void)out; }
 };
 
 /// Literal constant: NULL, integer, real, text, or boolean.
@@ -162,6 +166,7 @@ class UnaryExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kUnary; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   UnaryOp op_;
@@ -182,6 +187,7 @@ class BinaryExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kBinary; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   BinaryOp op_;
@@ -219,6 +225,7 @@ class FunctionCall : public Expr {
   ExprKind kind() const override { return ExprKind::kFunctionCall; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   std::string name_;  // canonical upper-case
@@ -247,6 +254,7 @@ class CaseExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kCase; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   ExprPtr operand_;
@@ -267,6 +275,7 @@ class InListExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kInList; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   ExprPtr needle_;
@@ -288,6 +297,7 @@ class InSubqueryExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kInSubquery; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   ExprPtr needle_;
@@ -312,6 +322,7 @@ class BetweenExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kBetween; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   ExprPtr operand_;
@@ -335,6 +346,7 @@ class LikeExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kLike; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   ExprPtr operand_;
@@ -354,6 +366,7 @@ class IsNullExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kIsNull; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   ExprPtr operand_;
@@ -390,6 +403,7 @@ class CastExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kCast; }
   ExprPtr Clone() const override;
   void PrintTo(std::string* out) const override;
+  void CollectChildSlots(std::vector<ExprPtr*>* out) override;
 
  private:
   ExprPtr operand_;
@@ -495,6 +509,10 @@ class JoinRef : public TableRef {
   const TableRef& left() const { return *left_; }
   const TableRef& right() const { return *right_; }
   const Expr* on() const { return on_.get(); }  // null for CROSS JOIN
+  TableRef* mutable_left() { return left_.get(); }
+  TableRef* mutable_right() { return right_.get(); }
+  /// Owning slot of the ON condition (holds null for CROSS JOIN).
+  ExprPtr* mutable_on_slot() { return &on_; }
 
   TableRefKind kind() const override { return TableRefKind::kJoin; }
   TableRefPtr Clone() const override;

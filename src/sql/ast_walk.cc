@@ -296,6 +296,156 @@ void WalkTableRefs(const Statement& stmt,
   });
 }
 
+// ------------------------ Mutable slot walking ------------------------------
+
+namespace {
+
+void WalkSelectSlots(SelectStmt* stmt,
+                     const std::function<void(ExprPtr*)>& fn);
+
+void MaybeWalkSlot(ExprPtr* slot, const std::function<void(ExprPtr*)>& fn) {
+  if (slot != nullptr && *slot != nullptr) WalkExprSlots(slot, fn);
+}
+
+void WalkRefSlots(TableRef* ref, const std::function<void(ExprPtr*)>& fn) {
+  if (ref == nullptr) return;
+  switch (ref->kind()) {
+    case TableRefKind::kBaseTable:
+    case TableRefKind::kSubquery:  // subquery scope: not entered
+      break;
+    case TableRefKind::kJoin: {
+      auto* join = static_cast<JoinRef*>(ref);
+      WalkRefSlots(join->mutable_left(), fn);
+      WalkRefSlots(join->mutable_right(), fn);
+      MaybeWalkSlot(join->mutable_on_slot(), fn);
+      break;
+    }
+  }
+}
+
+void WalkCoreSlots(SelectCore* core, const std::function<void(ExprPtr*)>& fn) {
+  for (SelectItem& item : core->items) MaybeWalkSlot(&item.expr, fn);
+  WalkRefSlots(core->from.get(), fn);
+  MaybeWalkSlot(&core->where, fn);
+  for (ExprPtr& g : core->group_by) MaybeWalkSlot(&g, fn);
+  MaybeWalkSlot(&core->having, fn);
+}
+
+void WalkSelectSlots(SelectStmt* stmt,
+                     const std::function<void(ExprPtr*)>& fn) {
+  WalkCoreSlots(&stmt->core, fn);
+  for (auto& [kind, core] : stmt->compounds) WalkCoreSlots(&core, fn);
+  for (OrderByItem& item : stmt->order_by) MaybeWalkSlot(&item.expr, fn);
+  MaybeWalkSlot(&stmt->limit, fn);
+  MaybeWalkSlot(&stmt->offset, fn);
+}
+
+}  // namespace
+
+void WalkExprSlots(ExprPtr* slot, const std::function<void(ExprPtr*)>& fn) {
+  if (slot == nullptr || *slot == nullptr) return;
+  fn(slot);
+  // Collect children from the node now held by the slot — `fn` may have
+  // replaced it — so a spliced-in subtree is itself walked.
+  std::vector<ExprPtr*> children;
+  (*slot)->CollectChildSlots(&children);
+  for (ExprPtr* child : children) WalkExprSlots(child, fn);
+}
+
+void WalkStatementExprSlots(Statement* stmt,
+                            const std::function<void(ExprPtr*)>& fn) {
+  switch (stmt->type()) {
+    case StatementType::kCreateTable: {
+      auto* s = static_cast<CreateTableStmt*>(stmt);
+      for (ColumnDef& col : s->columns) MaybeWalkSlot(&col.default_value, fn);
+      break;
+    }
+    case StatementType::kCreateView: {
+      auto* s = static_cast<CreateViewStmt*>(stmt);
+      if (s->select != nullptr) WalkSelectSlots(s->select.get(), fn);
+      break;
+    }
+    case StatementType::kCreateTrigger: {
+      auto* s = static_cast<CreateTriggerStmt*>(stmt);
+      if (s->body != nullptr) WalkStatementExprSlots(s->body.get(), fn);
+      break;
+    }
+    case StatementType::kCreateRule: {
+      auto* s = static_cast<CreateRuleStmt*>(stmt);
+      if (s->action != nullptr) WalkStatementExprSlots(s->action.get(), fn);
+      break;
+    }
+    case StatementType::kAlterTable: {
+      auto* s = static_cast<AlterTableStmt*>(stmt);
+      MaybeWalkSlot(&s->new_column.default_value, fn);
+      break;
+    }
+    case StatementType::kInsert:
+    case StatementType::kReplace: {
+      auto* s = static_cast<InsertStmt*>(stmt);
+      for (auto& row : s->rows) {
+        for (ExprPtr& e : row) MaybeWalkSlot(&e, fn);
+      }
+      if (s->select != nullptr) WalkSelectSlots(s->select.get(), fn);
+      break;
+    }
+    case StatementType::kUpdate: {
+      auto* s = static_cast<UpdateStmt*>(stmt);
+      for (auto& [col, e] : s->assignments) MaybeWalkSlot(&e, fn);
+      MaybeWalkSlot(&s->where, fn);
+      break;
+    }
+    case StatementType::kDelete: {
+      auto* s = static_cast<DeleteStmt*>(stmt);
+      MaybeWalkSlot(&s->where, fn);
+      break;
+    }
+    case StatementType::kCopy: {
+      auto* s = static_cast<CopyStmt*>(stmt);
+      if (s->query != nullptr) WalkSelectSlots(s->query.get(), fn);
+      break;
+    }
+    case StatementType::kSelect:
+      WalkSelectSlots(static_cast<SelectStmt*>(stmt), fn);
+      break;
+    case StatementType::kValues: {
+      auto* s = static_cast<ValuesStmt*>(stmt);
+      for (auto& row : s->rows) {
+        for (ExprPtr& e : row) MaybeWalkSlot(&e, fn);
+      }
+      break;
+    }
+    case StatementType::kWith: {
+      auto* s = static_cast<WithStmt*>(stmt);
+      for (CommonTableExpr& cte : s->ctes) {
+        if (cte.statement != nullptr) {
+          WalkStatementExprSlots(cte.statement.get(), fn);
+        }
+      }
+      if (s->body != nullptr) WalkStatementExprSlots(s->body.get(), fn);
+      break;
+    }
+    case StatementType::kPragma:
+    case StatementType::kSet: {
+      auto* s = static_cast<PragmaStmt*>(stmt);
+      MaybeWalkSlot(&s->value, fn);
+      break;
+    }
+    case StatementType::kExplain: {
+      auto* s = static_cast<ExplainStmt*>(stmt);
+      if (s->target != nullptr) WalkStatementExprSlots(s->target.get(), fn);
+      break;
+    }
+    case StatementType::kAlterSystem: {
+      auto* s = static_cast<AlterSystemStmt*>(stmt);
+      MaybeWalkSlot(&s->value, fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 void WalkSelects(const Statement& stmt,
                  const std::function<void(const SelectStmt&)>& fn) {
   switch (stmt.type()) {

@@ -32,6 +32,23 @@ void WalkTableRefs(const Statement& stmt,
 void WalkSelects(const Statement& stmt,
                  const std::function<void(const SelectStmt&)>& fn);
 
+/// Mutable walk over owning expression slots. Calls `fn` on `slot` (which
+/// must hold a non-null expression), then on every owning child slot of the
+/// (possibly replaced) node, depth-first. `fn` may replace the slot's
+/// contents; the children of the *new* node are walked. Subquery SELECT
+/// bodies (scalar subqueries, IN (SELECT..), EXISTS, FROM subqueries) are
+/// never entered — their expressions belong to their own scope.
+void WalkExprSlots(ExprPtr* slot, const std::function<void(ExprPtr*)>& fn);
+
+/// Calls `fn` on every non-null owning expression slot reachable from
+/// `stmt`: select items, predicates, assignments, VALUES rows, DDL defaults,
+/// GROUP BY / ORDER BY / LIMIT, join conditions — recursing through nested
+/// statement bodies (trigger bodies, rule actions, WITH members, EXPLAIN
+/// targets, view definitions) but not into subquery SELECT bodies. The
+/// statement-level reduction passes use this to try splicing subtrees.
+void WalkStatementExprSlots(Statement* stmt,
+                            const std::function<void(ExprPtr*)>& fn);
+
 }  // namespace lego::sql
 
 #endif  // LEGO_SQL_AST_WALK_H_

@@ -1,0 +1,168 @@
+#include "triage/reducer.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sql/ast_walk.h"
+
+namespace lego::triage {
+namespace {
+
+/// Nodes in the expression subtree rooted at `e`.
+size_t CountNodes(sql::Expr* e) {
+  size_t n = 1;
+  std::vector<sql::ExprPtr*> kids;
+  e->CollectChildSlots(&kids);
+  for (sql::ExprPtr* k : kids) n += CountNodes(k->get());
+  return n;
+}
+
+/// Copy of `tc` without statements [start, start + chunk).
+fuzz::TestCase WithoutChunk(const fuzz::TestCase& tc, size_t start,
+                            size_t chunk) {
+  std::vector<sql::StmtPtr> stmts;
+  for (size_t i = 0; i < tc.size(); ++i) {
+    if (i >= start && i < start + chunk) continue;
+    stmts.push_back(tc.statements()[i]->Clone());
+  }
+  return fuzz::TestCase(std::move(stmts));
+}
+
+}  // namespace
+
+Reducer::Reducer(const minidb::DialectProfile& profile,
+                 std::string setup_script, ReductionOptions options)
+    : options_(options), harness_(profile) {
+  harness_.set_setup_script(std::move(setup_script));
+}
+
+bool Reducer::DdminPass(
+    fuzz::TestCase* tc,
+    const std::function<bool(const fuzz::TestCase&)>& keep) {
+  bool shrunk = false;
+  size_t n = 2;  // granularity: number of chunks
+  while (tc->size() >= 2 && Budget()) {
+    const size_t len = tc->size();
+    const size_t chunk = (len + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < len && Budget(); start += chunk) {
+      fuzz::TestCase cand = WithoutChunk(*tc, start, chunk);
+      if (cand.empty()) continue;
+      if (keep(cand)) {
+        *tc = std::move(cand);
+        n = std::max<size_t>(2, n - 1);
+        reduced = true;
+        shrunk = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= len) break;  // singleton granularity exhausted: 1-minimal
+      n = std::min(len, n * 2);
+    }
+  }
+  return shrunk;
+}
+
+bool Reducer::ExprPass(
+    fuzz::TestCase* tc,
+    const std::function<bool(const fuzz::TestCase&)>& keep) {
+  bool shrunk = false;
+  for (size_t s = 0; s < tc->size(); ++s) {
+    sql::Statement* stmt = (*tc->mutable_statements())[s].get();
+    // Scan slots by ordinal, re-walking after each accepted splice (slot
+    // pointers go stale the moment the tree changes). Termination: every
+    // accepted candidate strictly decreases the statement's node count,
+    // and every rejection advances the ordinal.
+    size_t ordinal = 0;
+    while (Budget()) {
+      std::vector<sql::ExprPtr*> slots;
+      sql::WalkStatementExprSlots(
+          stmt, [&](sql::ExprPtr* slot) { slots.push_back(slot); });
+      if (ordinal >= slots.size()) break;
+      sql::ExprPtr* slot = slots[ordinal];
+
+      std::vector<sql::ExprPtr> candidates;
+      if (CountNodes(slot->get()) > 1) {
+        // Multi-node subtree: a lone literal is a strict shrink. TRUE keeps
+        // predicates satisfiable; NULL exercises three-valued paths.
+        candidates.push_back(sql::Literal::Null());
+        candidates.push_back(sql::Literal::Bool(true));
+      }
+      {
+        // Hoisting any direct child is also a strict shrink.
+        std::vector<sql::ExprPtr*> kids;
+        (*slot)->CollectChildSlots(&kids);
+        for (sql::ExprPtr* k : kids) candidates.push_back((*k)->Clone());
+      }
+
+      bool accepted = false;
+      for (sql::ExprPtr& cand : candidates) {
+        if (!Budget()) break;
+        sql::ExprPtr saved = std::move(*slot);
+        *slot = std::move(cand);
+        if (keep(*tc)) {
+          accepted = true;
+          shrunk = true;
+          break;
+        }
+        *slot = std::move(saved);
+      }
+      if (!accepted) ++ordinal;  // spliced-in node rescans at same ordinal
+    }
+  }
+  return shrunk;
+}
+
+std::optional<ReductionResult> Reducer::ReduceCrash(const fuzz::TestCase& tc) {
+  const int start_replays = replays_;
+  ++replays_;
+  fuzz::ExecResult first = harness_.Run(tc);
+  if (!first.crashed) return std::nullopt;
+  const uint64_t target = first.crash.stack_hash;
+
+  ReductionResult res;
+  res.original_statements = static_cast<int>(tc.size());
+  res.crash = first.crash;
+
+  auto keep = [&](const fuzz::TestCase& cand) {
+    ++replays_;
+    fuzz::ExecResult r = harness_.Run(cand);
+    return r.crashed && r.crash.stack_hash == target;
+  };
+
+  fuzz::TestCase work = tc.Clone();
+  bool changed = true;
+  while (changed && Budget()) {
+    changed = DdminPass(&work, keep);
+    if (options_.simplify_expressions && ExprPass(&work, keep)) changed = true;
+  }
+
+  res.reduced = std::move(work);
+  res.reduced_statements = static_cast<int>(res.reduced.size());
+  res.replays = replays_ - start_replays;
+  return res;
+}
+
+std::optional<fuzz::TestCase> Reducer::ReduceWhile(
+    const fuzz::TestCase& tc,
+    const std::function<bool(const fuzz::TestCase&)>& keep) {
+  auto counted = [&](const fuzz::TestCase& cand) {
+    ++replays_;
+    return keep(cand);
+  };
+  if (!counted(tc)) return std::nullopt;
+
+  fuzz::TestCase work = tc.Clone();
+  bool changed = true;
+  while (changed && Budget()) {
+    changed = DdminPass(&work, counted);
+    if (options_.simplify_expressions && ExprPass(&work, counted)) {
+      changed = true;
+    }
+  }
+  return work;
+}
+
+}  // namespace lego::triage

@@ -1,0 +1,83 @@
+#ifndef LEGO_TRIAGE_REDUCER_H_
+#define LEGO_TRIAGE_REDUCER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fuzz/harness.h"
+#include "fuzz/testcase.h"
+#include "minidb/database.h"
+#include "minidb/profile.h"
+
+namespace lego::triage {
+
+struct ReductionOptions {
+  /// Replay budget: one replay per candidate tried. When exhausted the
+  /// reducer returns the best crash-preserving case found so far (every
+  /// intermediate state still triggers the target bug, so a budget cut
+  /// never yields an invalid repro).
+  int max_replays = 4000;
+  /// Run the expression-simplification pass after statement-level ddmin
+  /// (replace subtrees with NULL/TRUE literals or hoist a child subtree).
+  bool simplify_expressions = true;
+};
+
+/// Outcome of one reduction.
+struct ReductionResult {
+  fuzz::TestCase reduced;
+  /// Crash raised by the reduced case (same stack hash as the original's).
+  minidb::CrashInfo crash;
+  int original_statements = 0;
+  int reduced_statements = 0;
+  int replays = 0;  // harness executions spent
+};
+
+/// Statement-level ddmin plus expression simplification, replaying against a
+/// private ExecutionHarness. Fully deterministic: no randomness, candidate
+/// order is fixed, and replays are as deterministic as the harness — so
+/// reducing the same capture always emits the byte-identical repro, and
+/// reducing a reduced case is a no-op (fixed point).
+class Reducer {
+ public:
+  Reducer(const minidb::DialectProfile& profile, std::string setup_script,
+          ReductionOptions options = {});
+
+  /// Shrinks `tc` to a minimal subsequence (then simplified expressions)
+  /// raising the same synthetic stack hash. Returns nullopt when `tc` does
+  /// not crash on replay (stale capture / nondeterministic trigger).
+  std::optional<ReductionResult> ReduceCrash(const fuzz::TestCase& tc);
+
+  /// Generic form: shrinks `tc` while `keep(candidate)` holds. `keep` must
+  /// be deterministic and must hold for `tc` itself (checked; returns
+  /// nullopt otherwise). Used for logic-bug repros, where the invariant is
+  /// "the oracle still flags this case" rather than a stack hash.
+  std::optional<fuzz::TestCase> ReduceWhile(
+      const fuzz::TestCase& tc,
+      const std::function<bool(const fuzz::TestCase&)>& keep);
+
+  /// Harness used for replays (exposed so callers can attach the same logic
+  /// oracle the campaign ran with before calling ReduceWhile).
+  fuzz::ExecutionHarness& harness() { return harness_; }
+
+  /// Replays spent across all reductions so far.
+  int replays() const { return replays_; }
+
+ private:
+  bool Budget() const { return replays_ < options_.max_replays; }
+
+  /// One statement-level ddmin round over `*tc`; true if it shrank.
+  bool DdminPass(fuzz::TestCase* tc,
+                 const std::function<bool(const fuzz::TestCase&)>& keep);
+  /// One expression-simplification sweep over `*tc`; true if it shrank.
+  bool ExprPass(fuzz::TestCase* tc,
+                const std::function<bool(const fuzz::TestCase&)>& keep);
+
+  ReductionOptions options_;
+  fuzz::ExecutionHarness harness_;
+  int replays_ = 0;
+};
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_REDUCER_H_

@@ -1,0 +1,21 @@
+#include "triage/signature.h"
+
+#include "sql/statement_type.h"
+
+namespace lego::triage {
+
+std::string TypeFingerprint(const fuzz::TestCase& tc) {
+  std::string out;
+  for (sql::StatementType t : tc.TypeSequence()) {
+    if (!out.empty()) out += '>';
+    out += sql::StatementTypeName(t);
+  }
+  return out;
+}
+
+BugSignature SignatureOf(const minidb::CrashInfo& crash,
+                         const fuzz::TestCase& repro) {
+  return BugSignature{crash.bug_id, TypeFingerprint(repro)};
+}
+
+}  // namespace lego::triage

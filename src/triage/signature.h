@@ -1,0 +1,40 @@
+#ifndef LEGO_TRIAGE_SIGNATURE_H_
+#define LEGO_TRIAGE_SIGNATURE_H_
+
+#include <string>
+
+#include "fuzz/testcase.h"
+#include "minidb/database.h"
+
+namespace lego::triage {
+
+/// Stable identity of one deduplicated bug: the injected bug id (or the
+/// logic-oracle check name) plus the statement-type fingerprint of its
+/// minimized reproducer. Two crashes with the same synthetic stack hash but
+/// different minimized trigger sequences triage as distinct bugs; two
+/// discoveries of the same bug through different noise collapse to one.
+struct BugSignature {
+  std::string bug_id;            // "PG-OPT-01", or "LOGIC-TLP" for oracles
+  std::string type_fingerprint;  // e.g. "CREATE RULE>COPY>WITH"
+
+  /// Canonical dedup/sort key ("<bug_id>|<type_fingerprint>").
+  std::string Key() const { return bug_id + "|" + type_fingerprint; }
+
+  friend bool operator==(const BugSignature& a, const BugSignature& b) {
+    return a.bug_id == b.bug_id && a.type_fingerprint == b.type_fingerprint;
+  }
+  friend bool operator<(const BugSignature& a, const BugSignature& b) {
+    return a.Key() < b.Key();
+  }
+};
+
+/// The `>`-joined statement-type names of `tc`, in order.
+std::string TypeFingerprint(const fuzz::TestCase& tc);
+
+/// Signature of a fault-injected crash with minimized repro `repro`.
+BugSignature SignatureOf(const minidb::CrashInfo& crash,
+                         const fuzz::TestCase& repro);
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_SIGNATURE_H_

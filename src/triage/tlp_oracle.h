@@ -1,0 +1,35 @@
+#ifndef LEGO_TRIAGE_TLP_ORACLE_H_
+#define LEGO_TRIAGE_TLP_ORACLE_H_
+
+#include <string_view>
+
+#include "fuzz/harness.h"
+
+namespace lego::triage {
+
+/// Ternary Logic Partitioning metamorphic oracle (SQLancer-style): for an
+/// eligible SELECT Q and a synthesized predicate phi, SQL's three-valued
+/// logic guarantees
+///
+///   Q  ==  Q(AND phi)  +  Q(AND NOT phi)  +  Q(AND phi IS NULL)
+///
+/// as multisets of rows — every row's phi evaluates to exactly one of
+/// TRUE / FALSE / UNKNOWN. A mismatch is a wrong-result (logic) bug in the
+/// engine, invisible to the crash oracle.
+///
+/// Eligibility: plain single-core SELECT with a FROM clause; no DISTINCT,
+/// GROUP BY, HAVING, LIMIT/OFFSET, compounds, aggregates, or window
+/// functions (each would break the row-level partition argument). phi is
+/// `col <op> k` derived deterministically from an Rng seeded by the query's
+/// own SQL, so the oracle is stateless and identical across workers/reruns.
+class TlpOracle : public fuzz::LogicOracle {
+ public:
+  std::string_view name() const override { return "tlp"; }
+
+  bool Check(minidb::Database* db, const sql::Statement& stmt,
+             fuzz::LogicBugInfo* out) override;
+};
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_TLP_ORACLE_H_

@@ -1,0 +1,163 @@
+#include "triage/triage.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "sql/statement_type.h"
+#include "triage/tlp_oracle.h"
+#include "util/hash.h"
+
+namespace lego::triage {
+namespace {
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+/// Inserts `bug` unless its signature was already seen; returns whether it
+/// was new.
+bool Insert(std::vector<TriagedBug>* bugs, std::map<std::string, size_t>* seen,
+            TriagedBug bug) {
+  auto [it, inserted] = seen->emplace(bug.signature.Key(), bugs->size());
+  if (inserted) bugs->push_back(std::move(bug));
+  return inserted;
+}
+
+}  // namespace
+
+std::string RenderArtifact(const TriagedBug& bug,
+                           const minidb::DialectProfile& profile,
+                           const faults::BugEngine& engine) {
+  std::string out = "-- lego reproducer (deterministic; do not edit)\n";
+  out += "-- signature: " + bug.signature.Key() + "\n";
+  out += "-- profile: " + profile.name + "\n";
+  if (bug.is_logic) {
+    out += "-- oracle: " + bug.logic.check + " (wrong result, no crash)\n";
+    out += "-- detail: " + bug.logic.detail + "\n";
+  } else {
+    out += "-- crash: " + bug.crash.kind + " in " + bug.crash.component +
+           " (stack hash " + Hex16(bug.crash.stack_hash) + ")\n";
+    if (const faults::BugDef* def = engine.FindBug(bug.crash.bug_id)) {
+      std::string trigger;
+      for (sql::StatementType t : def->sequence) {
+        if (!trigger.empty()) trigger += '>';
+        trigger += sql::StatementTypeName(t);
+      }
+      out += "-- trigger sequence: " + trigger + "\n";
+      if (!def->identifier.empty()) {
+        out += "-- upstream report: " + def->identifier + "\n";
+      }
+    }
+  }
+  out += "-- statements: " + std::to_string(bug.reduced_statements) +
+         " (reduced from " + std::to_string(bug.original_statements) + ")\n";
+  out += bug.repro.ToSql();
+  return out;
+}
+
+TriageReport TriageCampaign(const fuzz::CampaignResult& result,
+                            const minidb::DialectProfile& profile,
+                            const std::string& setup_script,
+                            const TriageOptions& options) {
+  TriageReport report;
+  Reducer reducer(profile, setup_script, options.reduction);
+  std::map<std::string, size_t> seen;
+
+  // --- crash captures ---
+  for (size_t i = 0; i < result.captured_cases.size(); ++i) {
+    ++report.crash_captures;
+    const fuzz::TestCase& tc = result.captured_cases[i];
+    TriagedBug bug;
+    bug.crash = result.captured_crashes[i];
+    bug.original_statements = static_cast<int>(tc.size());
+    if (options.reduce) {
+      std::optional<ReductionResult> red = reducer.ReduceCrash(tc);
+      if (!red.has_value()) {
+        ++report.not_reproduced;
+        continue;
+      }
+      bug.repro = std::move(red->reduced);
+      bug.reduced_statements = red->reduced_statements;
+    } else {
+      fuzz::ExecResult r = reducer.harness().Run(tc);
+      if (!r.crashed || r.crash.stack_hash != bug.crash.stack_hash) {
+        ++report.not_reproduced;
+        continue;
+      }
+      bug.repro = tc.Clone();
+      bug.reduced_statements = bug.original_statements;
+    }
+    bug.signature = SignatureOf(bug.crash, bug.repro);
+    if (!Insert(&report.bugs, &seen, std::move(bug))) ++report.duplicates;
+  }
+
+  // --- logic captures ---
+  TlpOracle tlp;
+  reducer.harness().set_logic_oracle(&tlp);
+  for (size_t i = 0; i < result.captured_logic_cases.size(); ++i) {
+    ++report.logic_captures;
+    const fuzz::TestCase& tc = result.captured_logic_cases[i];
+    TriagedBug bug;
+    bug.is_logic = true;
+    bug.logic = result.captured_logic_bugs[i];
+    bug.original_statements = static_cast<int>(tc.size());
+    const std::string check = bug.logic.check;
+    auto keep = [&](const fuzz::TestCase& cand) {
+      fuzz::ExecResult r = reducer.harness().Run(cand);
+      if (!r.logic_bug || r.logic.check != check) return false;
+      bug.logic = r.logic;  // track the surviving (possibly simpler) finding
+      return true;
+    };
+    if (options.reduce) {
+      std::optional<fuzz::TestCase> red = reducer.ReduceWhile(tc, keep);
+      if (!red.has_value()) {
+        ++report.not_reproduced;
+        continue;
+      }
+      bug.repro = std::move(*red);
+    } else {
+      if (!keep(tc)) {
+        ++report.not_reproduced;
+        continue;
+      }
+      bug.repro = tc.Clone();
+    }
+    bug.reduced_statements = static_cast<int>(bug.repro.size());
+    bug.signature =
+        BugSignature{"LOGIC-TLP", TypeFingerprint(bug.repro)};
+    if (!Insert(&report.bugs, &seen, std::move(bug))) ++report.duplicates;
+  }
+  reducer.harness().set_logic_oracle(nullptr);
+  report.replays = reducer.replays();
+
+  // Deterministic report order regardless of capture order (which varies
+  // with worker count even for the same unique-bug set).
+  std::sort(report.bugs.begin(), report.bugs.end(),
+            [](const TriagedBug& a, const TriagedBug& b) {
+              return a.signature < b.signature;
+            });
+
+  if (!options.repro_dir.empty()) {
+    std::filesystem::create_directories(options.repro_dir);
+    for (TriagedBug& bug : report.bugs) {
+      const std::string file =
+          bug.signature.bug_id + "-" +
+          Hex16(Fnv1a64(bug.signature.Key())).substr(8) + ".sql";
+      const std::filesystem::path path =
+          std::filesystem::path(options.repro_dir) / file;
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f << RenderArtifact(bug, profile, reducer.harness().bug_engine());
+      bug.artifact_path = path.string();
+    }
+  }
+  return report;
+}
+
+}  // namespace lego::triage

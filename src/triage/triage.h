@@ -1,0 +1,66 @@
+#ifndef LEGO_TRIAGE_TRIAGE_H_
+#define LEGO_TRIAGE_TRIAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "minidb/profile.h"
+#include "triage/reducer.h"
+#include "triage/signature.h"
+
+namespace lego::triage {
+
+struct TriageOptions {
+  /// Run ddmin + expression simplification on every captured case. When
+  /// false, captures are replayed for signature computation but kept as-is.
+  bool reduce = true;
+  ReductionOptions reduction;
+  /// When non-empty, write one deterministic `.sql` reproducer per unique
+  /// bug into this directory (created if missing).
+  std::string repro_dir;
+};
+
+/// One unique bug after triage.
+struct TriagedBug {
+  BugSignature signature;
+  bool is_logic = false;        // logic-oracle finding (no crash)
+  minidb::CrashInfo crash;      // valid iff !is_logic
+  fuzz::LogicBugInfo logic;     // valid iff is_logic
+  fuzz::TestCase repro;         // minimized (or original when !reduce)
+  int original_statements = 0;
+  int reduced_statements = 0;
+  std::string artifact_path;    // written file, "" when repro_dir unset
+};
+
+struct TriageReport {
+  /// Unique bugs, ordered by signature key (deterministic across worker
+  /// counts: campaign capture order differs, the triaged set does not).
+  std::vector<TriagedBug> bugs;
+  int crash_captures = 0;   // captured crash cases fed in
+  int logic_captures = 0;   // captured logic cases fed in
+  int duplicates = 0;       // captures collapsed into an earlier signature
+  int not_reproduced = 0;   // captures that no longer triggered on replay
+  int replays = 0;          // total reduction/replay executions spent
+};
+
+/// Deterministic post-pass over a finished campaign: replays every captured
+/// crash/logic case through a private harness (same profile + setup script
+/// the campaign ran), minimizes it, recomputes its signature from the
+/// minimized repro, and dedups. Pure function of the campaign's captures —
+/// parallel workers never triage concurrently, so there are no races to
+/// order around.
+TriageReport TriageCampaign(const fuzz::CampaignResult& result,
+                            const minidb::DialectProfile& profile,
+                            const std::string& setup_script,
+                            const TriageOptions& options);
+
+/// Renders a reproducer artifact (header comments + SQL). Exposed for
+/// tests asserting byte-identical artifacts across reruns.
+std::string RenderArtifact(const TriagedBug& bug,
+                           const minidb::DialectProfile& profile,
+                           const faults::BugEngine& engine);
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_TRIAGE_H_

@@ -1,0 +1,194 @@
+// End-to-end triage: a campaign over scripted inputs reports each injected
+// bug exactly once with a deterministic reproducer artifact, and a
+// deliberately planted wrong-result bug in the evaluator is caught by the
+// TLP oracle and surfaces as a LOGIC-TLP triage entry.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/harness.h"
+#include "minidb/eval.h"
+#include "minidb/profile.h"
+#include "triage/tlp_oracle.h"
+#include "triage/triage.h"
+
+namespace lego::triage {
+namespace {
+
+const minidb::DialectProfile& Maria() {
+  return *minidb::DialectProfile::ByName("marialite");
+}
+
+/// Replays a fixed list of scripts in order (cycling if the budget is
+/// larger). Deterministic by construction.
+class ScriptFuzzer : public fuzz::Fuzzer {
+ public:
+  explicit ScriptFuzzer(std::vector<std::string> scripts) {
+    for (const std::string& s : scripts) {
+      auto tc = fuzz::TestCase::FromSql(s);
+      EXPECT_TRUE(tc.ok()) << s;
+      cases_.push_back(std::move(*tc));
+    }
+  }
+  std::string name() const override { return "script"; }
+  void Prepare(fuzz::ExecutionHarness*) override {}
+  fuzz::TestCase Next() override {
+    fuzz::TestCase tc = cases_[next_ % cases_.size()].Clone();
+    ++next_;
+    return tc;
+  }
+  void OnResult(const fuzz::TestCase&, const fuzz::ExecResult&) override {}
+
+ private:
+  std::vector<fuzz::TestCase> cases_;
+  size_t next_ = 0;
+};
+
+/// Three feature-less marialite bugs, each triggered through two different
+/// noise paddings (so the campaign sees every bug twice).
+std::vector<std::string> BugScripts() {
+  return {
+      // MA-STOR-07 {CHECKPOINT, VACUUM}
+      "VALUES (1);\nCHECKPOINT;\nVACUUM;\n",
+      "VALUES (10);\nVALUES (11);\nVALUES (12);\nCHECKPOINT;\nVACUUM;\n",
+      // MA-DML-01 {INSERT, UPDATE, DELETE}
+      "CREATE TABLE t1 (a INT);\nINSERT INTO t1 VALUES (1);\n"
+      "UPDATE t1 SET a = 2;\nDELETE FROM t1;\n",
+      // (noise ahead of CREATE TABLE: a VALUES statement directly before
+      // the INSERT would complete MA-ITEM-03's {VALUES, INSERT} instead)
+      "VALUES (99);\nCREATE TABLE t1 (a INT, b INT);\n"
+      "INSERT INTO t1 VALUES (1, 2);\nUPDATE t1 SET b = 3;\n"
+      "DELETE FROM t1 WHERE a = 1;\n",
+      // MA-STOR-03 {TRUNCATE, INSERT}
+      "CREATE TABLE t2 (a INT);\nTRUNCATE t2;\nINSERT INTO t2 VALUES (3);\n",
+      "CREATE TABLE t2 (a TEXT);\nVALUES (7);\nTRUNCATE t2;\n"
+      "INSERT INTO t2 VALUES ('x');\n",
+  };
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(TriageDedupTest, EachInjectedBugReportedExactlyOnce) {
+  ScriptFuzzer fuzzer(BugScripts());
+  fuzz::ExecutionHarness harness(Maria());
+  fuzz::CampaignOptions options;
+  options.max_executions = 6;
+  options.snapshot_every = 0;
+  fuzz::CampaignResult result =
+      fuzz::RunCampaign(&fuzzer, &harness, options);
+
+  // Six crashing runs collapse to three unique bugs at capture time.
+  EXPECT_EQ(result.crashes_total, 6);
+  ASSERT_EQ(result.captured_cases.size(), 3u);
+
+  TriageReport report =
+      TriageCampaign(result, Maria(), harness.setup_script(), {});
+  ASSERT_EQ(report.bugs.size(), 3u);
+  EXPECT_EQ(report.not_reproduced, 0);
+  std::set<std::string> ids;
+  for (const TriagedBug& bug : report.bugs) {
+    EXPECT_FALSE(bug.is_logic);
+    EXPECT_TRUE(ids.insert(bug.crash.bug_id).second)
+        << bug.crash.bug_id << " reported twice";
+    EXPECT_LE(bug.reduced_statements, bug.original_statements);
+  }
+  EXPECT_EQ(ids, (std::set<std::string>{"MA-DML-01", "MA-STOR-03",
+                                        "MA-STOR-07"}));
+}
+
+TEST(TriageDedupTest, ArtifactsAreByteIdenticalAcrossReruns) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path() / "lego_triage_test";
+  fs::remove_all(base);
+
+  std::vector<std::string> artifacts[2];
+  for (int run = 0; run < 2; ++run) {
+    ScriptFuzzer fuzzer(BugScripts());
+    fuzz::ExecutionHarness harness(Maria());
+    fuzz::CampaignOptions options;
+    options.max_executions = 6;
+    options.snapshot_every = 0;
+    fuzz::CampaignResult result =
+        fuzz::RunCampaign(&fuzzer, &harness, options);
+    TriageOptions triage_options;
+    triage_options.repro_dir = (base / std::to_string(run)).string();
+    TriageReport report =
+        TriageCampaign(result, Maria(), harness.setup_script(),
+                       triage_options);
+    ASSERT_EQ(report.bugs.size(), 3u);
+    for (const TriagedBug& bug : report.bugs) {
+      ASSERT_FALSE(bug.artifact_path.empty());
+      ASSERT_TRUE(fs::exists(bug.artifact_path));
+      artifacts[run].push_back(ReadFile(bug.artifact_path));
+      EXPECT_NE(artifacts[run].back().find("-- signature: "),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(artifacts[0], artifacts[1]);
+  fs::remove_all(base);
+}
+
+TEST(TriageDedupTest, PlantedEvalBugCaughtByTlpOracleEndToEnd) {
+  const std::string script =
+      "CREATE TABLE t0 (a INT, b INT);\n"
+      "INSERT INTO t0 VALUES (1, 0);\n"
+      "INSERT INTO t0 VALUES (2, NULL);\n"
+      "INSERT INTO t0 VALUES (3, NULL);\n"
+      "INSERT INTO t0 VALUES (4, 6);\n"
+      "SELECT b FROM t0;\n";
+
+  minidb::Evaluator::SetNotNullEvalBugForTesting(true);
+  {
+    ScriptFuzzer fuzzer({script});
+    fuzz::ExecutionHarness harness(Maria());
+    TlpOracle oracle;
+    harness.set_logic_oracle(&oracle);
+    fuzz::CampaignOptions options;
+    options.max_executions = 2;  // same case twice: dedup by fingerprint
+    options.snapshot_every = 0;
+    fuzz::CampaignResult result =
+        fuzz::RunCampaign(&fuzzer, &harness, options);
+    EXPECT_EQ(result.logic_bugs_total, 2);
+    ASSERT_EQ(result.captured_logic_cases.size(), 1u);
+
+    TriageReport report =
+        TriageCampaign(result, Maria(), harness.setup_script(), {});
+    ASSERT_EQ(report.bugs.size(), 1u);
+    EXPECT_TRUE(report.bugs[0].is_logic);
+    EXPECT_EQ(report.bugs[0].signature.bug_id, "LOGIC-TLP");
+    EXPECT_EQ(report.bugs[0].logic.check, "tlp");
+    // The repro must keep a SELECT for the oracle to flag.
+    EXPECT_NE(report.bugs[0].signature.type_fingerprint.find("SELECT"),
+              std::string::npos);
+  }
+  minidb::Evaluator::SetNotNullEvalBugForTesting(false);
+
+  // Reverted plant: the identical campaign is clean.
+  ScriptFuzzer fuzzer({script});
+  fuzz::ExecutionHarness harness(Maria());
+  TlpOracle oracle;
+  harness.set_logic_oracle(&oracle);
+  fuzz::CampaignOptions options;
+  options.max_executions = 2;
+  options.snapshot_every = 0;
+  fuzz::CampaignResult result = fuzz::RunCampaign(&fuzzer, &harness, options);
+  EXPECT_EQ(result.logic_bugs_total, 0);
+  EXPECT_TRUE(result.captured_logic_cases.empty());
+}
+
+}  // namespace
+}  // namespace lego::triage

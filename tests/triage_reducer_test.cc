@@ -1,0 +1,117 @@
+// Properties of the ddmin + expression-simplification reducer: the reduced
+// repro triggers the identical bug signature, reduction reaches a fixed
+// point, and output is byte-identical across independent reruns.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/harness.h"
+#include "fuzz/testcase.h"
+#include "minidb/profile.h"
+#include "triage/reducer.h"
+#include "triage/signature.h"
+
+namespace lego::triage {
+namespace {
+
+const minidb::DialectProfile& Maria() {
+  return *minidb::DialectProfile::ByName("marialite");
+}
+
+fuzz::TestCase Parse(const std::string& sql) {
+  auto tc = fuzz::TestCase::FromSql(sql);
+  EXPECT_TRUE(tc.ok());
+  return std::move(*tc);
+}
+
+/// 18 VALUES noise statements followed by the 2-statement MA-STOR-07
+/// trigger (CHECKPOINT immediately before VACUUM). VALUES-type noise
+/// cannot complete any other marialite trigger sequence here.
+std::string PaddedCheckpointVacuum() {
+  std::string sql;
+  for (int i = 0; i < 18; ++i) {
+    sql += "VALUES (" + std::to_string(i) + ");\n";
+  }
+  sql += "CHECKPOINT;\nVACUUM;\n";
+  return sql;
+}
+
+TEST(ReducerTest, ShrinksAtLeastFiveFoldPreservingBug) {
+  Reducer reducer(Maria(), "");
+  fuzz::TestCase tc = Parse(PaddedCheckpointVacuum());
+  ASSERT_EQ(tc.size(), 20u);
+
+  std::optional<ReductionResult> red = reducer.ReduceCrash(tc);
+  ASSERT_TRUE(red.has_value());
+  EXPECT_EQ(red->crash.bug_id, "MA-STOR-07");
+  EXPECT_EQ(red->original_statements, 20);
+  EXPECT_EQ(red->reduced_statements, 2);
+  EXPECT_GE(red->original_statements, 5 * red->reduced_statements);
+
+  // The minimized case raises the identical synthetic stack hash.
+  fuzz::ExecutionHarness harness(Maria());
+  fuzz::ExecResult replay = harness.Run(red->reduced);
+  ASSERT_TRUE(replay.crashed);
+  EXPECT_EQ(replay.crash.stack_hash, red->crash.stack_hash);
+  EXPECT_EQ(replay.crash.bug_id, "MA-STOR-07");
+  EXPECT_EQ(SignatureOf(replay.crash, red->reduced).Key(),
+            "MA-STOR-07|CHECKPOINT>VACUUM");
+}
+
+TEST(ReducerTest, ReductionReachesFixedPoint) {
+  Reducer first(Maria(), "");
+  std::optional<ReductionResult> red =
+      first.ReduceCrash(Parse(PaddedCheckpointVacuum()));
+  ASSERT_TRUE(red.has_value());
+
+  Reducer second(Maria(), "");
+  std::optional<ReductionResult> again = second.ReduceCrash(red->reduced);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->reduced.ToSql(), red->reduced.ToSql());
+  EXPECT_EQ(again->reduced_statements, red->reduced_statements);
+  EXPECT_EQ(again->crash.stack_hash, red->crash.stack_hash);
+}
+
+TEST(ReducerTest, ByteIdenticalAcrossReruns) {
+  Reducer a(Maria(), "");
+  Reducer b(Maria(), "");
+  std::optional<ReductionResult> ra =
+      a.ReduceCrash(Parse(PaddedCheckpointVacuum()));
+  std::optional<ReductionResult> rb =
+      b.ReduceCrash(Parse(PaddedCheckpointVacuum()));
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(ra->reduced.ToSql(), rb->reduced.ToSql());
+  EXPECT_EQ(ra->replays, rb->replays);
+}
+
+TEST(ReducerTest, ExpressionPassSimplifiesSubtrees) {
+  // MA-PARSE-04 triggers on EXPLAIN immediately before a successful INSERT;
+  // neither statement can be dropped (INSERT also needs the CREATE TABLE to
+  // succeed), so only the expression pass can shrink this case.
+  Reducer reducer(Maria(), "");
+  fuzz::TestCase tc = Parse(
+      "CREATE TABLE t0 (a INT);\n"
+      "EXPLAIN SELECT (1 + 12345) * (2 + 54321);\n"
+      "INSERT INTO t0 VALUES (7 + 8);\n");
+  ASSERT_EQ(tc.size(), 3u);
+
+  std::optional<ReductionResult> red = reducer.ReduceCrash(tc);
+  ASSERT_TRUE(red.has_value());
+  EXPECT_EQ(red->crash.bug_id, "MA-PARSE-04");
+  EXPECT_EQ(red->reduced_statements, 3);
+  const std::string sql = red->reduced.ToSql();
+  EXPECT_EQ(sql.find("12345"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("54321"), std::string::npos) << sql;
+}
+
+TEST(ReducerTest, NonCrashingCaseIsRejected) {
+  Reducer reducer(Maria(), "");
+  std::optional<ReductionResult> red =
+      reducer.ReduceCrash(Parse("VALUES (1);\nVALUES (2);\n"));
+  EXPECT_FALSE(red.has_value());
+}
+
+}  // namespace
+}  // namespace lego::triage
