@@ -3,7 +3,8 @@
 //
 //   ./examples/fuzz_campaign_cli [profile] [fuzzer] [executions] [seed]
 //                                [--workers N] [--reduce] [--repro-dir DIR]
-//                                [--tlp]
+//                                [--tlp] [--backend=inproc|forked]
+//                                [--max-stmt-ms N]
 //
 //   profile : pglite | mylite | marialite | comdlite       (default pglite)
 //   fuzzer  : lego | lego- | squirrel | sqlancer | sqlsmith (default lego)
@@ -11,13 +12,20 @@
 //   seed    : RNG seed (worker w derives seed + w)          (default 1)
 //   --workers N : parallel worker threads                   (default 1)
 //   --tlp       : arm the TLP metamorphic logic-bug oracle  (default off)
+//   --backend B : execution backend — inproc (embedded minidb) or forked
+//                 (crash-isolated child per worker)         (default inproc)
+//   --max-stmt-ms N : forked only — kill a statement after N ms wall clock
+//                 and record it as a hang                   (default off)
 //   --reduce    : ddmin-minimize each unique crash after the campaign
 //   --repro-dir DIR : write one deterministic .sql repro per unique bug
 //                     (implies --reduce)
+//   --planted-crash / --planted-hang : test-only; arm a real abort() /
+//                 infinite loop inside minidb (demo of crash isolation)
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,7 @@
 #include "fuzz/campaign.h"
 #include "fuzz/harness.h"
 #include "lego/lego_fuzzer.h"
+#include "minidb/database.h"
 #include "triage/tlp_oracle.h"
 #include "triage/triage.h"
 
@@ -38,10 +47,43 @@ int main(int argc, char** argv) {
   bool reduce = false;
   bool tlp = false;
   std::string repro_dir;
+  fuzz::BackendOptions backend;
+  bool planted_crash = false;
+  bool planted_hang = false;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--workers") {
+    if (arg == "--backend" || arg.rfind("--backend=", 0) == 0) {
+      std::string value;
+      if (arg == "--backend") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--backend needs a value\n");
+          return 1;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(10);
+      }
+      std::optional<fuzz::BackendKind> kind = fuzz::ParseBackendKind(value);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "unknown backend '%s' (inproc | forked)\n",
+                     value.c_str());
+        return 1;
+      }
+      backend.kind = *kind;
+    } else if (arg == "--max-stmt-ms") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--max-stmt-ms needs a value\n");
+        return 1;
+      }
+      backend.max_stmt_ms = std::atoi(argv[++i]);
+    } else if (arg.rfind("--max-stmt-ms=", 0) == 0) {
+      backend.max_stmt_ms = std::atoi(arg.c_str() + 14);
+    } else if (arg == "--planted-crash") {
+      planted_crash = true;
+    } else if (arg == "--planted-hang") {
+      planted_hang = true;
+    } else if (arg == "--workers") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--workers needs a value\n");
         return 1;
@@ -105,7 +147,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  fuzz::ExecutionHarness harness(*profile);
+  // Planted defects must be armed before any backend spawns: forked
+  // children inherit the flags at fork time.
+  if (planted_crash) minidb::testing::SetPlantedAbortForTesting(true);
+  if (planted_hang) minidb::testing::SetPlantedHangForTesting(true);
+
+  fuzz::ExecutionHarness harness(*profile, backend);
   triage::TlpOracle tlp_oracle;
   if (tlp) harness.set_logic_oracle(&tlp_oracle);
   fuzz::CampaignOptions options;
@@ -117,6 +164,18 @@ int main(int argc, char** argv) {
               profile->name.c_str(), fuzzer->name().c_str(), executions,
               static_cast<unsigned long long>(seed), workers,
               workers == 1 ? "" : "s");
+  // Only announce non-default backends, keeping the default in-process
+  // output byte-identical to the historical tool.
+  if (backend.kind != fuzz::BackendKind::kInProcess ||
+      backend.max_stmt_ms > 0) {
+    std::printf("backend: %.*s",
+                static_cast<int>(fuzz::BackendKindName(backend.kind).size()),
+                fuzz::BackendKindName(backend.kind).data());
+    if (backend.max_stmt_ms > 0) {
+      std::printf(" (watchdog %d ms)", backend.max_stmt_ms);
+    }
+    std::printf("\n");
+  }
   fuzz::CampaignResult result =
       fuzz::RunCampaign(fuzzer.get(), &harness, options);
 
@@ -146,6 +205,7 @@ int main(int argc, char** argv) {
     triage::TriageOptions triage_options;
     triage_options.reduce = reduce;
     triage_options.repro_dir = repro_dir;
+    triage_options.backend = backend;
     triage::TriageReport report = triage::TriageCampaign(
         result, *profile, harness.setup_script(), triage_options);
     std::printf("\ntriage (%d crash + %d logic capture%s, %d replays):\n",

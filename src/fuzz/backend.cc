@@ -1,0 +1,46 @@
+#include "fuzz/backend.h"
+
+#include "fuzz/backend_forked.h"
+#include "fuzz/backend_inproc.h"
+
+namespace lego::fuzz {
+
+std::optional<BackendKind> ParseBackendKind(std::string_view name) {
+  if (name == "inproc") return BackendKind::kInProcess;
+  if (name == "forked") return BackendKind::kForked;
+  return std::nullopt;
+}
+
+std::string_view BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kInProcess: return "inproc";
+    case BackendKind::kForked: return "forked";
+  }
+  return "?";
+}
+
+std::unique_ptr<DbBackend> MakeBackend(const minidb::DialectProfile& profile,
+                                       const BackendOptions& options) {
+  switch (options.kind) {
+    case BackendKind::kInProcess:
+      return std::make_unique<InProcessBackend>(profile);
+    case BackendKind::kForked:
+      return std::make_unique<ForkedBackend>(profile, options);
+  }
+  return nullptr;
+}
+
+namespace detail {
+
+std::string RenderRow(const minidb::Row& row) {
+  std::string line;
+  for (const minidb::Value& v : row) {
+    line += v.ToString();
+    line += '|';
+  }
+  return line;
+}
+
+}  // namespace detail
+
+}  // namespace lego::fuzz

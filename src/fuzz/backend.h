@@ -1,0 +1,170 @@
+#ifndef LEGO_FUZZ_BACKEND_H_
+#define LEGO_FUZZ_BACKEND_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "coverage/coverage.h"
+#include "faults/bug_engine.h"
+#include "minidb/database.h"
+#include "minidb/profile.h"
+#include "sql/ast.h"
+
+namespace lego::fuzz {
+
+/// Which execution backend a harness drives.
+enum class BackendKind {
+  /// minidb embedded in the fuzzer process (the historical harness). Fast,
+  /// but a genuine engine defect (real segfault/abort, not a BugEngine
+  /// simulation) kills the whole campaign.
+  kInProcess,
+  /// minidb in a forked child behind a length-prefixed pipe protocol, with
+  /// a per-statement watchdog, signal/exit capture mapped into CrashInfo,
+  /// shared-memory coverage export, and automatic respawn — the paper's
+  /// "crash kills the server, not the fuzzer" process model.
+  kForked,
+};
+
+struct BackendOptions {
+  BackendKind kind = BackendKind::kInProcess;
+  /// Forked only: per-statement wall-clock watchdog in milliseconds. When a
+  /// statement exceeds it the child is killed and the statement is reported
+  /// as a hang (CrashInfo kind "HANG"). 0 disables the watchdog.
+  int max_stmt_ms = 0;
+};
+
+/// Parses "inproc" / "forked" (as accepted by --backend=). Returns nullopt
+/// for anything else.
+std::optional<BackendKind> ParseBackendKind(std::string_view name);
+std::string_view BackendKindName(BackendKind kind);
+
+/// Outcome of executing one statement through a backend session.
+struct StmtOutcome {
+  enum class Status {
+    kOk,     // executed successfully
+    kError,  // rejected (syntax/semantic/runtime error); session continues
+    kCrash,  // the "server" died: synthetic fault, real signal, or bad exit
+    kHang,   // watchdog expired; the child was killed (forked only)
+  };
+  Status status = Status::kError;
+  /// Valid iff kCrash or kHang. Real child deaths map to bug_id
+  /// "REAL-<kind>" (e.g. REAL-SIGABRT) and hangs to bug_id "HANG"; both get
+  /// a stack hash derived from (kind, statement type) so they dedup and
+  /// reduce exactly like synthetic fault-engine crashes.
+  minidb::CrashInfo crash;
+  /// Result rows rendered one string per row ("v|v|...|"), filled only when
+  /// Execute was asked for rows (oracle queries). Rendering is identical
+  /// across backends so metamorphic comparisons are backend-agnostic.
+  std::vector<std::string> rows;
+
+  bool server_died() const {
+    return status == Status::kCrash || status == Status::kHang;
+  }
+};
+
+/// Session-oriented execution seam between the fuzzing stack and the DBMS
+/// under test. One backend == one (possibly remote/forked) server process
+/// plus its coverage channel. Everything above this interface —
+/// ExecutionHarness, triage replay, oracles, baselines, the CLI — is
+/// engine-process-agnostic.
+///
+/// Session protocol, per test case:
+///   Reset();                       // fresh server state + setup script
+///   Execute(stmt) ... Execute(stmt)
+///   FinishRun();                   // classified run-coverage map
+/// Oracle queries run inside a Snapshot/RestoreForOracle bracket (use the
+/// OracleSession RAII guard), which pauses coverage probes, disarms the
+/// fault-injection hook, and rolls the session trace back on exit, so
+/// metamorphic checks never perturb fuzzing state.
+class DbBackend {
+ public:
+  virtual ~DbBackend() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual const minidb::DialectProfile& profile() const = 0;
+
+  /// The fault-injection catalog this backend's server arms. For forked
+  /// backends this is a parent-side replica (the catalog is a pure function
+  /// of the profile), used for reporting/metadata only.
+  virtual const faults::BugEngine& bug_engine() const = 0;
+
+  /// Script executed after each Reset with the fault oracle disarmed and
+  /// the trace cleared (models fuzzing a pre-populated schema).
+  void set_setup_script(std::string script) {
+    setup_script_ = std::move(script);
+  }
+  const std::string& setup_script() const { return setup_script_; }
+
+  /// Begins a fresh session: fresh server state, fault engine re-armed,
+  /// run-coverage collection restarted, setup script applied. After a crash
+  /// or hang this also respawns the server process where applicable.
+  virtual void Reset() = 0;
+
+  /// Executes one statement in the current session. `want_rows` requests
+  /// rendered result rows (oracle queries); the fuzzing hot path passes
+  /// false and skips row materialization/transfer.
+  virtual StmtOutcome Execute(const sql::Statement& stmt, bool want_rows) = 0;
+
+  /// Ends the session's run and returns its classified coverage map (valid
+  /// until the next Reset). After a real crash this still holds whatever
+  /// coverage the server reported before dying.
+  virtual const cov::CoverageMap& FinishRun() = 0;
+
+  /// Schema introspection for oracles: the first column of `table`, or
+  /// nullopt when the table does not exist.
+  virtual std::optional<std::string> FirstColumnOf(
+      const std::string& table) = 0;
+
+  /// Oracle bracket (prefer the OracleSession guard). Nested brackets are
+  /// reference-counted; only the outermost does work.
+  void SnapshotForOracle() {
+    if (oracle_depth_++ == 0) DoSnapshotForOracle();
+  }
+  void RestoreForOracle() {
+    if (--oracle_depth_ == 0) DoRestoreForOracle();
+  }
+
+ protected:
+  virtual void DoSnapshotForOracle() = 0;
+  virtual void DoRestoreForOracle() = 0;
+  bool in_oracle() const { return oracle_depth_ > 0; }
+
+ private:
+  std::string setup_script_;
+  int oracle_depth_ = 0;
+};
+
+/// Exception-safe RAII form of the Snapshot/RestoreForOracle bracket: the
+/// restore half (trace truncation, fault re-arm, coverage resume) runs even
+/// if the oracle check throws.
+class OracleSession {
+ public:
+  explicit OracleSession(DbBackend* backend) : backend_(backend) {
+    backend_->SnapshotForOracle();
+  }
+  ~OracleSession() { backend_->RestoreForOracle(); }
+
+  OracleSession(const OracleSession&) = delete;
+  OracleSession& operator=(const OracleSession&) = delete;
+
+ private:
+  DbBackend* backend_;
+};
+
+/// Factory: builds the backend described by `options`.
+std::unique_ptr<DbBackend> MakeBackend(const minidb::DialectProfile& profile,
+                                       const BackendOptions& options);
+
+namespace detail {
+/// Canonical row rendering for StmtOutcome::rows ("v|v|...|"). One shared
+/// definition so in-process execution and the forked child's wire encoding
+/// can never drift apart.
+std::string RenderRow(const minidb::Row& row);
+}  // namespace detail
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_BACKEND_H_

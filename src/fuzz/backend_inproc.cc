@@ -1,0 +1,98 @@
+#include "fuzz/backend_inproc.h"
+
+#include <utility>
+
+namespace lego::fuzz {
+
+InProcessBackend::InProcessBackend(const minidb::DialectProfile& profile)
+    : profile_(profile), db_(&profile), bug_engine_(profile.name) {
+  db_.set_fault_hook(&bug_engine_);
+}
+
+InProcessBackend::~InProcessBackend() {
+  // Never leave a probe sink pointing at a dead map.
+  if (collecting_) cov::CoverageRuntime::SetActiveMap(nullptr);
+}
+
+void InProcessBackend::Reset() {
+  // Exact pre-seam order: fresh instance and fault session *outside* the
+  // coverage scope, then the setup script *inside* it with the oracle
+  // disarmed and the trace cleared afterwards.
+  db_.ResetAll();
+  bug_engine_.ResetSession();
+
+  run_map_.Reset();
+  cov::CoverageRuntime::SetActiveMap(&run_map_);
+  collecting_ = true;
+
+  if (!setup_script().empty()) {
+    db_.set_fault_hook(nullptr);
+    (void)db_.ExecuteScript(setup_script());
+    db_.session().type_trace.clear();
+    db_.session().feature_trace.clear();
+    db_.set_fault_hook(&bug_engine_);
+    bug_engine_.ResetSession();
+  }
+}
+
+StmtOutcome InProcessBackend::Execute(const sql::Statement& stmt,
+                                      bool want_rows) {
+  StmtOutcome out;
+  auto st = db_.Execute(stmt);
+  if (st.ok()) {
+    out.status = StmtOutcome::Status::kOk;
+    if (want_rows) {
+      out.rows.reserve(st->rows.size());
+      for (const minidb::Row& row : st->rows) {
+        out.rows.push_back(detail::RenderRow(row));
+      }
+    }
+    return out;
+  }
+  if (st.status().IsCrash()) {
+    out.status = StmtOutcome::Status::kCrash;
+    out.crash = *db_.last_crash();
+    return out;
+  }
+  out.status = StmtOutcome::Status::kError;
+  return out;
+}
+
+const cov::CoverageMap& InProcessBackend::FinishRun() {
+  if (collecting_) {
+    cov::CoverageRuntime::SetActiveMap(nullptr);
+    collecting_ = false;
+    run_map_.ClassifyCounts();
+  }
+  return run_map_;
+}
+
+std::optional<std::string> InProcessBackend::FirstColumnOf(
+    const std::string& table) {
+  auto t = db_.catalog().GetTable(table);
+  if (!t.ok() || (*t)->schema.columns.empty()) return std::nullopt;
+  return (*t)->schema.columns.front().name;
+}
+
+void InProcessBackend::DoSnapshotForOracle() {
+  // Oracle queries must be invisible to fuzzing state: pause coverage
+  // probes, disarm the fault hook, and remember the session trace length so
+  // the partition queries can't trigger or mask injected bugs.
+  saved_map_ = cov::CoverageRuntime::active_map();
+  cov::CoverageRuntime::SetActiveMap(nullptr);
+  saved_hook_ = db_.fault_hook();
+  db_.set_fault_hook(nullptr);
+  saved_types_ = db_.session().type_trace.size();
+  saved_features_ = db_.session().feature_trace.size();
+}
+
+void InProcessBackend::DoRestoreForOracle() {
+  db_.session().type_trace.resize(saved_types_);
+  db_.session().feature_trace.resize(saved_features_);
+  db_.set_fault_hook(saved_hook_);
+  cov::CoverageRuntime::SetActiveMap(saved_map_);
+  saved_map_ = nullptr;
+  saved_hook_ = nullptr;
+}
+
+}  // namespace lego::fuzz

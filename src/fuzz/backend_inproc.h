@@ -1,0 +1,53 @@
+#ifndef LEGO_FUZZ_BACKEND_INPROC_H_
+#define LEGO_FUZZ_BACKEND_INPROC_H_
+
+#include <optional>
+#include <string>
+
+#include "fuzz/backend.h"
+
+namespace lego::fuzz {
+
+/// The historical harness engine: minidb embedded in this process. Serial
+/// campaigns through this backend are bit-identical to the pre-seam harness
+/// (same operation order around reset, setup script, coverage scope, and
+/// oracle bracket).
+class InProcessBackend : public DbBackend {
+ public:
+  explicit InProcessBackend(const minidb::DialectProfile& profile);
+  ~InProcessBackend() override;
+
+  std::string_view name() const override { return "inproc"; }
+  const minidb::DialectProfile& profile() const override { return profile_; }
+  const faults::BugEngine& bug_engine() const override { return bug_engine_; }
+
+  void Reset() override;
+  StmtOutcome Execute(const sql::Statement& stmt, bool want_rows) override;
+  const cov::CoverageMap& FinishRun() override;
+  std::optional<std::string> FirstColumnOf(const std::string& table) override;
+
+  /// Direct engine access for tests and embedded tooling (populating a
+  /// schema before driving an oracle by hand, planting evaluator bugs, ...).
+  minidb::Database& database() { return db_; }
+
+ protected:
+  void DoSnapshotForOracle() override;
+  void DoRestoreForOracle() override;
+
+ private:
+  const minidb::DialectProfile& profile_;
+  minidb::Database db_;
+  faults::BugEngine bug_engine_;
+  cov::CoverageMap run_map_;
+  bool collecting_ = false;
+
+  // Oracle bracket state.
+  cov::CoverageMap* saved_map_ = nullptr;
+  minidb::FaultHook* saved_hook_ = nullptr;
+  size_t saved_types_ = 0;
+  size_t saved_features_ = 0;
+};
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_BACKEND_INPROC_H_

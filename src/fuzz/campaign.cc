@@ -153,7 +153,11 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       // Prototype has no worker factory: degrade to the serial path.
       return RunSerialCampaign(prototype, harness, options);
     }
-    states[w].harness = std::make_unique<ExecutionHarness>(harness->profile());
+    // Same profile *and* backend: a forked-backend campaign gets one child
+    // process per worker, all spawned here — before the worker threads
+    // start, so the initial forks come from a single-threaded parent.
+    states[w].harness = std::make_unique<ExecutionHarness>(
+        harness->profile(), harness->backend_options());
     states[w].harness->set_setup_script(harness->setup_script());
     // Oracles are stateless (LogicOracle contract), so sharing the
     // prototype harness's instance across workers is safe.

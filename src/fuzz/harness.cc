@@ -2,61 +2,43 @@
 
 namespace lego::fuzz {
 
-ExecutionHarness::ExecutionHarness(const minidb::DialectProfile& profile)
-    : profile_(profile), db_(&profile), bug_engine_(profile.name) {
-  db_.set_fault_hook(&bug_engine_);
-}
+ExecutionHarness::ExecutionHarness(const minidb::DialectProfile& profile,
+                                   const BackendOptions& backend)
+    : backend_options_(backend),
+      backend_(MakeBackend(profile, backend)) {}
 
 ExecResult ExecutionHarness::Run(const TestCase& tc) {
   ExecResult result;
   ++executions_;
 
-  // Fresh instance per test case (each input carries its own DDL).
-  db_.ResetAll();
-  bug_engine_.ResetSession();
-
-  cov::CoverageMap run_map;
-  cov::CoverageScope scope(&run_map);
-
-  if (!setup_script_.empty()) {
-    db_.set_fault_hook(nullptr);
-    (void)db_.ExecuteScript(setup_script_);
-    db_.session().type_trace.clear();
-    db_.session().feature_trace.clear();
-    db_.set_fault_hook(&bug_engine_);
-    bug_engine_.ResetSession();
-  }
+  // Fresh session per test case (each input carries its own DDL).
+  backend_->Reset();
 
   for (const sql::StmtPtr& stmt : tc.statements()) {
-    auto st = db_.Execute(*stmt);
-    if (st.ok()) {
+    StmtOutcome out = backend_->Execute(*stmt, /*want_rows=*/false);
+    if (out.status == StmtOutcome::Status::kOk) {
       ++result.executed;
       if (logic_oracle_ != nullptr && !result.logic_bug &&
           stmt->type() == sql::StatementType::kSelect) {
-        // Oracle queries must be invisible to fuzzing state: pause coverage
-        // probes, disarm the fault hook, and restore the session trace so
-        // the partition queries can't trigger or mask injected bugs.
-        cov::CoverageScope pause(nullptr);
-        db_.set_fault_hook(nullptr);
-        const size_t saved_types = db_.session().type_trace.size();
-        const size_t saved_features = db_.session().feature_trace.size();
+        // The bracket pauses coverage probes, disarms the fault hook, and
+        // rolls the session trace back — exception-safe, so a throwing
+        // oracle can't leave the backend disarmed.
+        OracleSession guard(backend_.get());
         result.logic_bug =
-            logic_oracle_->Check(&db_, *stmt, &result.logic);
-        db_.session().type_trace.resize(saved_types);
-        db_.session().feature_trace.resize(saved_features);
-        db_.set_fault_hook(&bug_engine_);
+            logic_oracle_->Check(backend_.get(), *stmt, &result.logic);
       }
       continue;
     }
-    if (st.status().IsCrash()) {
+    if (out.server_died()) {
       result.crashed = true;
-      result.crash = *db_.last_crash();
-      break;  // the "server process" died
+      result.crash = out.crash;
+      result.hang = (out.status == StmtOutcome::Status::kHang);
+      break;  // the server process died
     }
     ++result.errors;
   }
 
-  run_map.ClassifyCounts();
+  const cov::CoverageMap& run_map = backend_->FinishRun();
   result.new_coverage = global_coverage_.MergeDetectNew(run_map);
   result.total_edges = global_coverage_.CoveredEdges();
   if (shared_coverage_ != nullptr) shared_coverage_->MergeDetectNew(run_map);

@@ -6,8 +6,8 @@
 
 #include "coverage/coverage.h"
 #include "faults/bug_engine.h"
+#include "fuzz/backend.h"
 #include "fuzz/testcase.h"
-#include "minidb/database.h"
 #include "minidb/profile.h"
 
 namespace lego::fuzz {
@@ -25,18 +25,21 @@ struct LogicBugInfo {
 /// Metamorphic test oracle consulted after each successfully executed
 /// statement. Implementations must be stateless across calls (parallel
 /// campaigns share one oracle between worker harnesses) and must leave the
-/// database logically unchanged — the harness pauses coverage probes and
-/// disarms the fault hook around the check, but schema/data side effects
-/// are the oracle's responsibility to avoid. Defined here (rather than in
-/// triage/) so lego_triage can depend on lego_fuzz without a cycle, the
-/// same way minidb::FaultHook lives in minidb/database.h.
+/// database logically unchanged — the harness wraps the check in the
+/// backend's Snapshot/RestoreForOracle bracket (coverage paused, fault hook
+/// disarmed, trace rolled back), but schema/data side effects are the
+/// oracle's responsibility to avoid. Oracles talk to the engine exclusively
+/// through DbBackend, so they work unchanged against in-process and forked
+/// targets. Defined here (rather than in triage/) so lego_triage can depend
+/// on lego_fuzz without a cycle.
 class LogicOracle {
  public:
   virtual ~LogicOracle() = default;
   virtual std::string_view name() const = 0;
-  /// Checks `stmt`, which just executed successfully against `db`. Returns
-  /// true and fills `out` when a metamorphic inconsistency is detected.
-  virtual bool Check(minidb::Database* db, const sql::Statement& stmt,
+  /// Checks `stmt`, which just executed successfully against `backend`.
+  /// Returns true and fills `out` when a metamorphic inconsistency is
+  /// detected.
+  virtual bool Check(DbBackend* backend, const sql::Statement& stmt,
                      LogicBugInfo* out) = 0;
 };
 
@@ -45,6 +48,7 @@ struct ExecResult {
   bool new_coverage = false;
   bool crashed = false;
   minidb::CrashInfo crash;
+  bool hang = false;       // the crash is a watchdog kill (crash.kind HANG)
   bool logic_bug = false;  // a logic oracle flagged a wrong result
   LogicBugInfo logic;      // valid iff logic_bug
   int executed = 0;   // statements that ran successfully
@@ -52,20 +56,24 @@ struct ExecResult {
   size_t total_edges = 0;  // campaign-global edge count after this run
 };
 
-/// In-process execution harness (the AFL++ persistent-mode stand-in): runs
-/// each test case against a fresh database instance of one dialect profile,
-/// with edge-coverage feedback and the fault-injection oracle armed.
+/// Execution harness (the AFL++ persistent-mode stand-in): runs each test
+/// case through a DbBackend session — a fresh engine instance of one
+/// dialect profile with edge-coverage feedback and the fault-injection
+/// oracle armed. The backend decides the process model: in-process minidb
+/// (default, bit-identical to the historical harness) or a crash-isolated
+/// forked child.
 class ExecutionHarness {
  public:
-  explicit ExecutionHarness(const minidb::DialectProfile& profile);
+  explicit ExecutionHarness(const minidb::DialectProfile& profile,
+                            const BackendOptions& backend = {});
 
   /// Optional script executed after each reset, before the test case, with
   /// the oracle disarmed and the trace cleared (models fuzzing against a
   /// pre-populated schema, as SQLsmith does).
   void set_setup_script(std::string script) {
-    setup_script_ = std::move(script);
+    backend_->set_setup_script(std::move(script));
   }
-  const std::string& setup_script() const { return setup_script_; }
+  const std::string& setup_script() const { return backend_->setup_script(); }
 
   /// Parallel campaigns: in addition to the harness-local campaign map,
   /// publish every classified run map into `shared` (atomic OR). The local
@@ -76,14 +84,14 @@ class ExecutionHarness {
   }
 
   /// Optional logic oracle, consulted after each successfully executed
-  /// SELECT with the fault hook disarmed, coverage probes paused, and the
-  /// session trace restored afterwards — oracle queries never perturb the
-  /// fault-injection or feedback state. Not owned; must outlive the harness.
+  /// SELECT inside the backend's oracle bracket — oracle queries never
+  /// perturb the fault-injection or feedback state. Not owned; must outlive
+  /// the harness.
   void set_logic_oracle(LogicOracle* oracle) { logic_oracle_ = oracle; }
   LogicOracle* logic_oracle() const { return logic_oracle_; }
 
-  /// Executes `tc` against a fresh database. Coverage accumulates into the
-  /// campaign-global map; `new_coverage` reflects it.
+  /// Executes `tc` in a fresh backend session. Coverage accumulates into
+  /// the campaign-global map; `new_coverage` reflects it.
   ExecResult Run(const TestCase& tc);
 
   /// Total distinct edges ("branches") covered so far.
@@ -92,21 +100,27 @@ class ExecutionHarness {
   /// Resets accumulated coverage (fresh campaign).
   void ResetCoverage() { global_coverage_.Reset(); }
 
-  const minidb::DialectProfile& profile() const { return profile_; }
-  const faults::BugEngine& bug_engine() const { return bug_engine_; }
-  minidb::Database& database() { return db_; }
+  const minidb::DialectProfile& profile() const {
+    return backend_->profile();
+  }
+  /// Fault catalog of the engine under test (parent-side replica for forked
+  /// backends) — reporting/metadata only.
+  const faults::BugEngine& bug_engine() const {
+    return backend_->bug_engine();
+  }
+
+  DbBackend& backend() { return *backend_; }
+  const BackendOptions& backend_options() const { return backend_options_; }
 
   /// Number of Run() calls so far.
   int executions() const { return executions_; }
 
  private:
-  const minidb::DialectProfile& profile_;
-  minidb::Database db_;
-  faults::BugEngine bug_engine_;
+  BackendOptions backend_options_;
+  std::unique_ptr<DbBackend> backend_;
   cov::GlobalCoverage global_coverage_;
   cov::SharedCoverage* shared_coverage_ = nullptr;
   LogicOracle* logic_oracle_ = nullptr;
-  std::string setup_script_;
   int executions_ = 0;
 };
 

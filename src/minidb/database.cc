@@ -1,14 +1,49 @@
 #include "minidb/database.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 #include "coverage/coverage.h"
 #include "minidb/executor.h"
 #include "sql/parser.h"
 
 namespace lego::minidb {
+namespace {
+
+std::atomic<bool> g_planted_abort{false};
+std::atomic<bool> g_planted_hang{false};
+
+}  // namespace
+
+namespace testing {
+
+void SetPlantedAbortForTesting(bool armed) {
+  g_planted_abort.store(armed, std::memory_order_relaxed);
+}
+
+void SetPlantedHangForTesting(bool armed) {
+  g_planted_hang.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace testing
 
 Database::Database(const DialectProfile* profile) : profile_(profile) {}
 
 StatusOr<ResultSet> Database::Execute(const sql::Statement& stmt) {
+  // Planted real defects (test-only): checked before any validation so the
+  // trigger statement reproduces and minimizes to itself regardless of
+  // catalog state.
+  if (g_planted_abort.load(std::memory_order_relaxed) &&
+      stmt.type() == sql::StatementType::kDropTable) {
+    std::abort();
+  }
+  if (g_planted_hang.load(std::memory_order_relaxed) &&
+      stmt.type() == sql::StatementType::kVacuum) {
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
   Executor executor(this);
   auto result = executor.Execute(stmt);
   if (!result.ok()) return result;

@@ -124,6 +124,7 @@ class Database {
   const SessionState& session() const { return session_; }
 
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
   const std::optional<CrashInfo>& last_crash() const { return last_crash_; }
 
  private:
@@ -148,6 +149,22 @@ class Database {
   std::optional<Catalog> txn_snapshot_;
   std::vector<std::pair<std::string, Catalog>> savepoints_;
 };
+
+namespace testing {
+
+/// Test-only plants simulating a *genuine* engine defect (as opposed to the
+/// synthetic faults::BugEngine crashes, which are clean in-process returns).
+/// Both are process-global and inherited by forked execution backends, so a
+/// campaign against a ForkedBackend can prove it survives real child death.
+///
+/// When armed, executing any DROP TABLE abort()s the process — in a forked
+/// backend that kills the child mid-statement; in-process it kills the test.
+void SetPlantedAbortForTesting(bool armed);
+/// When armed, executing any VACUUM spins forever (until the forked
+/// backend's per-statement watchdog kills the child).
+void SetPlantedHangForTesting(bool armed);
+
+}  // namespace testing
 
 }  // namespace lego::minidb
 

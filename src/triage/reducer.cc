@@ -32,8 +32,9 @@ fuzz::TestCase WithoutChunk(const fuzz::TestCase& tc, size_t start,
 }  // namespace
 
 Reducer::Reducer(const minidb::DialectProfile& profile,
-                 std::string setup_script, ReductionOptions options)
-    : options_(options), harness_(profile) {
+                 std::string setup_script, ReductionOptions options,
+                 const fuzz::BackendOptions& backend)
+    : options_(options), harness_(profile, backend) {
   harness_.set_setup_script(std::move(setup_script));
 }
 

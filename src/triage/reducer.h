@@ -38,10 +38,15 @@ struct ReductionResult {
 /// order is fixed, and replays are as deterministic as the harness — so
 /// reducing the same capture always emits the byte-identical repro, and
 /// reducing a reduced case is a no-op (fixed point).
+///
+/// `backend` selects the replay engine; pass the campaign's backend options
+/// so real crashes and hangs (which only reproduce under a forked child
+/// with the same watchdog) replay the way they were found.
 class Reducer {
  public:
   Reducer(const minidb::DialectProfile& profile, std::string setup_script,
-          ReductionOptions options = {});
+          ReductionOptions options = {},
+          const fuzz::BackendOptions& backend = {});
 
   /// Shrinks `tc` to a minimal subsequence (then simplified expressions)
   /// raising the same synthetic stack hash. Returns nullopt when `tc` does

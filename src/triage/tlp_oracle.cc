@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "fuzz/backend.h"
 #include "minidb/eval.h"
 #include "sql/ast_walk.h"
 #include "util/hash.h"
@@ -54,9 +55,10 @@ bool IsEligible(const SelectStmt& q) {
 }
 
 /// Column refs mentioned by the query itself, in first-mention order; falls
-/// back to the base table's schema for column-free queries (SELECT *).
+/// back to the base table's schema for column-free queries (SELECT *),
+/// resolved through the backend so the lookup works against forked servers.
 std::vector<ColumnCandidate> CollectColumns(const SelectStmt& q,
-                                            const minidb::Database& db) {
+                                            fuzz::DbBackend* backend) {
   std::vector<ColumnCandidate> out;
   auto add = [&](const std::string& table, const std::string& column) {
     for (const ColumnCandidate& c : out) {
@@ -77,10 +79,8 @@ std::vector<ColumnCandidate> CollectColumns(const SelectStmt& q,
   }
   if (out.empty() && q.core.from->kind() == sql::TableRefKind::kBaseTable) {
     const auto& base = static_cast<const sql::BaseTableRef&>(*q.core.from);
-    auto table = db.catalog().GetTable(base.name());
-    if (table.ok() && !(*table)->schema.columns.empty()) {
-      add("", (*table)->schema.columns.front().name);
-    }
+    std::optional<std::string> col = backend->FirstColumnOf(base.name());
+    if (col.has_value()) add("", *col);
   }
   return out;
 }
@@ -99,31 +99,29 @@ std::unique_ptr<SelectStmt> WithConjunct(const SelectStmt& q, ExprPtr pred) {
   return owned;
 }
 
-/// Rows rendered to sortable strings; nullopt-style flag on error.
-bool RunRows(minidb::Database* db, const SelectStmt& q,
+/// Rows rendered to sortable strings (the backend's canonical "v|v|...|"
+/// encoding); false on error or server death — no verdict either way.
+bool RunRows(fuzz::DbBackend* backend, const SelectStmt& q,
              std::vector<std::string>* out) {
-  auto result = db->Execute(q);
-  if (!result.ok()) return false;
-  for (const minidb::Row& row : result->rows) {
-    std::string line;
-    for (const minidb::Value& v : row) {
-      line += v.ToString();
-      line += '|';
-    }
-    out->push_back(std::move(line));
-  }
+  fuzz::StmtOutcome r = backend->Execute(q, /*want_rows=*/true);
+  if (r.status != fuzz::StmtOutcome::Status::kOk) return false;
+  for (std::string& line : r.rows) out->push_back(std::move(line));
   return true;
 }
 
 }  // namespace
 
-bool TlpOracle::Check(minidb::Database* db, const sql::Statement& stmt,
+bool TlpOracle::Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
                       fuzz::LogicBugInfo* out) {
   if (stmt.type() != sql::StatementType::kSelect) return false;
   const auto& q = static_cast<const SelectStmt&>(stmt);
   if (!IsEligible(q)) return false;
 
-  std::vector<ColumnCandidate> columns = CollectColumns(q, *db);
+  // Nested no-op under the harness's bracket; does the pause/disarm work
+  // when the oracle is driven directly (triage replay, tests).
+  fuzz::OracleSession session(backend);
+
+  std::vector<ColumnCandidate> columns = CollectColumns(q, backend);
   if (columns.empty()) return false;
 
   std::string query_sql;
@@ -154,9 +152,10 @@ bool TlpOracle::Check(minidb::Database* db, const sql::Statement& stmt,
   std::vector<std::string> partitioned;
   // Any partition erroring (e.g. the synthesized predicate hits a dialect
   // restriction) means no verdict, not a bug.
-  if (!RunRows(db, q, &original) || !RunRows(db, *part_true, &partitioned) ||
-      !RunRows(db, *part_false, &partitioned) ||
-      !RunRows(db, *part_null, &partitioned)) {
+  if (!RunRows(backend, q, &original) ||
+      !RunRows(backend, *part_true, &partitioned) ||
+      !RunRows(backend, *part_false, &partitioned) ||
+      !RunRows(backend, *part_null, &partitioned)) {
     return false;
   }
 

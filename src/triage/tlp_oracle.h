@@ -22,11 +22,15 @@ namespace lego::triage {
 /// functions (each would break the row-level partition argument). phi is
 /// `col <op> k` derived deterministically from an Rng seeded by the query's
 /// own SQL, so the oracle is stateless and identical across workers/reruns.
+///
+/// Talks to the engine only through DbBackend (its own OracleSession
+/// bracket; row comparison over StmtOutcome::rows), so the same check runs
+/// unchanged against the in-process and forked backends.
 class TlpOracle : public fuzz::LogicOracle {
  public:
   std::string_view name() const override { return "tlp"; }
 
-  bool Check(minidb::Database* db, const sql::Statement& stmt,
+  bool Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
              fuzz::LogicBugInfo* out) override;
 };
 

@@ -67,7 +67,7 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
                             const std::string& setup_script,
                             const TriageOptions& options) {
   TriageReport report;
-  Reducer reducer(profile, setup_script, options.reduction);
+  Reducer reducer(profile, setup_script, options.reduction, options.backend);
   std::map<std::string, size_t> seen;
 
   // --- crash captures ---

@@ -19,6 +19,11 @@ struct TriageOptions {
   /// When non-empty, write one deterministic `.sql` reproducer per unique
   /// bug into this directory (created if missing).
   std::string repro_dir;
+  /// Replay backend. Use the campaign's own backend options: real crashes
+  /// (bug_id REAL-*) and hangs (bug_id HANG) only reproduce under a forked
+  /// child with the same watchdog, and replaying them in-process would kill
+  /// the triage pass itself.
+  fuzz::BackendOptions backend;
 };
 
 /// One unique bug after triage.

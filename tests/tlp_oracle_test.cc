@@ -1,12 +1,14 @@
 // TLP metamorphic oracle: a correct engine never trips it; a deliberately
 // planted NOT(NULL) evaluation bug (NULL-predicate rows counted in both the
 // NOT-phi and phi-IS-NULL partitions) must trip it; ineligible query shapes
-// yield no verdict either way.
+// yield no verdict either way. The oracle is driven through the DbBackend
+// seam, the same way the harness and triage replay drive it.
 
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "fuzz/backend_inproc.h"
 #include "fuzz/harness.h"
 #include "fuzz/testcase.h"
 #include "minidb/database.h"
@@ -26,19 +28,26 @@ class PlantedNotNullBug {
   }
 };
 
-/// A table whose only mentionable column (b) holds NULLs, so any
-/// synthesized phi over it has UNKNOWN rows to mispartition.
-void Populate(minidb::Database* db) {
-  auto r = db->ExecuteScript(
-      "CREATE TABLE t0 (a INT, b INT);"
-      "INSERT INTO t0 VALUES (1, 0);"
-      "INSERT INTO t0 VALUES (2, 5);"
-      "INSERT INTO t0 VALUES (3, NULL);"
-      "INSERT INTO t0 VALUES (4, NULL);"
-      "INSERT INTO t0 VALUES (5, -7);");
-  ASSERT_TRUE(r.ok());
-  ASSERT_EQ(r->errors, 0);
-}
+/// Backend over a table whose only mentionable column (b) holds NULLs, so
+/// any synthesized phi over it has UNKNOWN rows to mispartition. The fault
+/// hook is disarmed: these tests exercise the logic oracle on a crash-free
+/// engine, as the pre-seam direct-Database tests did.
+class PopulatedBackend : public fuzz::InProcessBackend {
+ public:
+  PopulatedBackend()
+      : fuzz::InProcessBackend(*minidb::DialectProfile::ByName("pglite")) {
+    database().set_fault_hook(nullptr);
+    auto r = database().ExecuteScript(
+        "CREATE TABLE t0 (a INT, b INT);"
+        "INSERT INTO t0 VALUES (1, 0);"
+        "INSERT INTO t0 VALUES (2, 5);"
+        "INSERT INTO t0 VALUES (3, NULL);"
+        "INSERT INTO t0 VALUES (4, NULL);"
+        "INSERT INTO t0 VALUES (5, -7);");
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) EXPECT_EQ(r->errors, 0);
+  }
+};
 
 /// Parses a single statement.
 sql::StmtPtr One(const std::string& sql) {
@@ -49,21 +58,19 @@ sql::StmtPtr One(const std::string& sql) {
 }
 
 TEST(TlpOracleTest, CorrectEngineIsNeverFlagged) {
-  minidb::Database db;
-  Populate(&db);
+  PopulatedBackend backend;
   TlpOracle oracle;
   fuzz::LogicBugInfo info;
   for (const char* q :
        {"SELECT a FROM t0 WHERE b < 2;", "SELECT b FROM t0;",
         "SELECT a, b FROM t0 WHERE b > 0;", "SELECT * FROM t0;"}) {
     sql::StmtPtr stmt = One(q);
-    EXPECT_FALSE(oracle.Check(&db, *stmt, &info)) << q;
+    EXPECT_FALSE(oracle.Check(&backend, *stmt, &info)) << q;
   }
 }
 
 TEST(TlpOracleTest, PlantedNotNullBugIsCaught) {
-  minidb::Database db;
-  Populate(&db);
+  PopulatedBackend backend;
   TlpOracle oracle;
   PlantedNotNullBug plant;
   // phi is synthesized over column b (the only column the query mentions);
@@ -71,7 +78,7 @@ TEST(TlpOracleTest, PlantedNotNullBugIsCaught) {
   // phi IS NULL, so the partitions sum to more rows than the original.
   sql::StmtPtr stmt = One("SELECT b FROM t0;");
   fuzz::LogicBugInfo info;
-  ASSERT_TRUE(oracle.Check(&db, *stmt, &info));
+  ASSERT_TRUE(oracle.Check(&backend, *stmt, &info));
   EXPECT_EQ(info.check, "tlp");
   EXPECT_NE(info.query.find("FROM t0"), std::string::npos) << info.query;
   EXPECT_NE(info.fingerprint, 0u);
@@ -79,24 +86,22 @@ TEST(TlpOracleTest, PlantedNotNullBugIsCaught) {
 
   // Deterministic: same query, same verdict and fingerprint.
   fuzz::LogicBugInfo again;
-  ASSERT_TRUE(oracle.Check(&db, *stmt, &again));
+  ASSERT_TRUE(oracle.Check(&backend, *stmt, &again));
   EXPECT_EQ(again.fingerprint, info.fingerprint);
   EXPECT_EQ(again.detail, info.detail);
 }
 
 TEST(TlpOracleTest, PlantRevertedMeansClean) {
-  minidb::Database db;
-  Populate(&db);
+  PopulatedBackend backend;
   TlpOracle oracle;
   fuzz::LogicBugInfo info;
   { PlantedNotNullBug plant; }  // plant and revert
   sql::StmtPtr stmt = One("SELECT b FROM t0;");
-  EXPECT_FALSE(oracle.Check(&db, *stmt, &info));
+  EXPECT_FALSE(oracle.Check(&backend, *stmt, &info));
 }
 
 TEST(TlpOracleTest, IneligibleShapesGetNoVerdict) {
-  minidb::Database db;
-  Populate(&db);
+  PopulatedBackend backend;
   TlpOracle oracle;
   PlantedNotNullBug plant;  // even with the plant active
   fuzz::LogicBugInfo info;
@@ -109,22 +114,22 @@ TEST(TlpOracleTest, IneligibleShapesGetNoVerdict) {
            "SELECT 1;",                         // no FROM
        }) {
     sql::StmtPtr stmt = One(q);
-    EXPECT_FALSE(oracle.Check(&db, *stmt, &info)) << q;
+    EXPECT_FALSE(oracle.Check(&backend, *stmt, &info)) << q;
   }
 }
 
 TEST(TlpOracleTest, LeavesSessionUsable) {
-  // The oracle runs extra SELECTs; the database must stay usable and the
+  // The oracle runs extra SELECTs; the session must stay usable and the
   // table contents untouched.
-  minidb::Database db;
-  Populate(&db);
+  PopulatedBackend backend;
   TlpOracle oracle;
   fuzz::LogicBugInfo info;
   sql::StmtPtr stmt = One("SELECT b FROM t0;");
-  (void)oracle.Check(&db, *stmt, &info);
-  auto rows = db.Execute(*One("SELECT a FROM t0;"));
-  ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(rows->rows.size(), 5u);
+  (void)oracle.Check(&backend, *stmt, &info);
+  fuzz::StmtOutcome rows =
+      backend.Execute(*One("SELECT a FROM t0;"), /*want_rows=*/true);
+  ASSERT_EQ(rows.status, fuzz::StmtOutcome::Status::kOk);
+  EXPECT_EQ(rows.rows.size(), 5u);
 }
 
 }  // namespace
