@@ -18,7 +18,21 @@
 //                 and record it as a hang                   (default off)
 //   --reduce    : ddmin-minimize each unique crash after the campaign
 //   --repro-dir DIR : write one deterministic .sql repro per unique bug
-//                     (implies --reduce)
+//                     plus a manifest.tsv (replay key, signature, trigger,
+//                     campaign seed, state version); bugs already listed
+//                     in the manifest are not re-reduced  (implies --reduce)
+//   --state-dir DIR : persist campaign state under DIR (serial: one atomic
+//                 campaign.state; parallel: per-round checkpoint dirs
+//                 flipped by a LATEST pointer)
+//   --checkpoint-every N : write a checkpoint every N executions (total
+//                 across workers; 0 = only the final state)   (default 0)
+//   --resume    : continue from the newest complete checkpoint in
+//                 --state-dir; the resumed run must use identical flags
+//   --import-corpus FILE : seed the fuzzer with a corpus file exported by
+//                 corpus_cli before the first execution (fresh runs only)
+//   --export-corpus FILE : write the final corpus (every seed of every
+//                 worker) to FILE for reuse via --import-corpus or
+//                 corpus_cli distill
 //   --planted-crash / --planted-hang : test-only; arm a real abort() /
 //                 infinite loop inside minidb (demo of crash isolation)
 
@@ -33,6 +47,8 @@
 #include "baselines/sqlsmith_like.h"
 #include "baselines/squirrel_like.h"
 #include "fuzz/campaign.h"
+#include "fuzz/checkpoint.h"
+#include "fuzz/corpus_file.h"
 #include "fuzz/harness.h"
 #include "lego/lego_fuzzer.h"
 #include "minidb/database.h"
@@ -47,6 +63,11 @@ int main(int argc, char** argv) {
   bool reduce = false;
   bool tlp = false;
   std::string repro_dir;
+  std::string state_dir;
+  int checkpoint_every = 0;
+  bool resume = false;
+  std::string import_corpus;
+  std::string export_corpus;
   fuzz::BackendOptions backend;
   bool planted_crash = false;
   bool planted_hang = false;
@@ -105,6 +126,40 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--repro-dir=", 0) == 0) {
       repro_dir = arg.substr(12);
       reduce = true;
+    } else if (arg == "--state-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--state-dir needs a value\n");
+        return 1;
+      }
+      state_dir = argv[++i];
+    } else if (arg.rfind("--state-dir=", 0) == 0) {
+      state_dir = arg.substr(12);
+    } else if (arg == "--checkpoint-every") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--checkpoint-every needs a value\n");
+        return 1;
+      }
+      checkpoint_every = std::atoi(argv[++i]);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      checkpoint_every = std::atoi(arg.c_str() + 19);
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--import-corpus") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--import-corpus needs a value\n");
+        return 1;
+      }
+      import_corpus = argv[++i];
+    } else if (arg.rfind("--import-corpus=", 0) == 0) {
+      import_corpus = arg.substr(16);
+    } else if (arg == "--export-corpus") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--export-corpus needs a value\n");
+        return 1;
+      }
+      export_corpus = argv[++i];
+    } else if (arg.rfind("--export-corpus=", 0) == 0) {
+      export_corpus = arg.substr(16);
     } else {
       pos.push_back(std::move(arg));
     }
@@ -155,10 +210,32 @@ int main(int argc, char** argv) {
   fuzz::ExecutionHarness harness(*profile, backend);
   triage::TlpOracle tlp_oracle;
   if (tlp) harness.set_logic_oracle(&tlp_oracle);
+  if (resume && state_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --state-dir\n");
+    return 1;
+  }
   fuzz::CampaignOptions options;
   options.max_executions = executions;
   options.snapshot_every = std::max(1, executions / 10);
   options.num_workers = workers;
+  options.state_dir = state_dir;
+  options.checkpoint_every = checkpoint_every;
+  options.resume = resume;
+  options.export_corpus = !export_corpus.empty();
+  std::vector<fuzz::TestCase> imported_seeds;
+  if (!import_corpus.empty() && !resume) {
+    auto loaded = fuzz::LoadCorpusFile(import_corpus);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot import corpus %s: %s\n",
+                   import_corpus.c_str(),
+                   loaded.status().message().c_str());
+      return 1;
+    }
+    imported_seeds = std::move(*loaded);
+    options.import_seeds = &imported_seeds;
+    std::printf("imported %zu corpus seeds from %s\n", imported_seeds.size(),
+                import_corpus.c_str());
+  }
 
   std::printf("fuzzing %s with %s for %d executions (seed %llu, %d worker%s)\n",
               profile->name.c_str(), fuzzer->name().c_str(), executions,
@@ -200,12 +277,20 @@ int main(int argc, char** argv) {
     std::printf("  logic-bug flags    : %d total, %zu unique queries\n",
                 result.logic_bugs_total, result.logic_fingerprints.size());
   }
+  std::printf("  corpus seeds       : %zu\n",
+              result.fuzzer_stats.corpus_seeds);
+  std::printf("  affinity pairs     : %zu\n",
+              result.fuzzer_stats.affinity_pairs);
+  std::printf("  sequences          : %zu synthesized, %zu dropped at cap\n",
+              result.fuzzer_stats.sequences_total,
+              result.fuzzer_stats.sequences_dropped);
 
   if (reduce || tlp) {
     triage::TriageOptions triage_options;
     triage_options.reduce = reduce;
     triage_options.repro_dir = repro_dir;
     triage_options.backend = backend;
+    triage_options.campaign_seed = seed;
     triage::TriageReport report = triage::TriageCampaign(
         result, *profile, harness.setup_script(), triage_options);
     std::printf("\ntriage (%d crash + %d logic capture%s, %d replays):\n",
@@ -216,6 +301,10 @@ int main(int argc, char** argv) {
                 "%d not reproduced)\n",
                 report.bugs.size(), report.duplicates,
                 report.duplicates == 1 ? "" : "s", report.not_reproduced);
+    if (report.skipped_known > 0) {
+      std::printf("  known bugs skipped : %d (already in %s)\n",
+                  report.skipped_known, triage::kTriageManifestFile);
+    }
     for (const triage::TriagedBug& bug : report.bugs) {
       std::printf("    %-40s %2d stmts (from %d)%s%s\n",
                   bug.signature.Key().c_str(), bug.reduced_statements,
@@ -231,6 +320,30 @@ int main(int argc, char** argv) {
                 lego_ptr->affinities().Count());
     std::printf("  synthesized seqs   : %zu\n",
                 lego_ptr->synthesizer().TotalSequences());
+  }
+  if (!state_dir.empty()) {
+    // The digest folds in everything the bit-identity acceptance bar
+    // compares; CI diffs this line between interrupted and uninterrupted
+    // runs.
+    std::printf("  result digest      : %016llx\n",
+                static_cast<unsigned long long>(fuzz::ResultDigest(result)));
+    std::printf("  state              : %s (%s)\n", state_dir.c_str(),
+                resume ? "resumed" : "fresh");
+  }
+  if (!export_corpus.empty()) {
+    Status saved = fuzz::SaveCorpusFile(result.corpus_export, export_corpus);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot export corpus to %s: %s\n",
+                   export_corpus.c_str(), saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("  corpus exported    : %zu seeds -> %s\n",
+                result.corpus_export.size(), export_corpus.c_str());
+  }
+  if (!result.state_status.ok()) {
+    std::fprintf(stderr, "state error: %s\n",
+                 result.state_status.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,6 +1,12 @@
 #include "baselines/sqlancer_like.h"
 
+#include "fuzz/state.h"
+
 namespace lego::baselines {
+
+namespace {
+constexpr uint32_t kSqlancerTag = persist::ChunkTag("SQLC");
+}  // namespace
 
 using sql::StatementType;
 
@@ -62,6 +68,25 @@ fuzz::TestCase SqlancerLikeFuzzer::Next() {
   }
   stage(StatementType::kDelete, 0.3);
   return fuzz::TestCase(std::move(stmts));
+}
+
+Status SqlancerLikeFuzzer::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kSqlancerTag);
+  w->WriteU64(rng_seed_);
+  fuzz::SaveRng(rng_, w);
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status SqlancerLikeFuzzer::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kSqlancerTag));
+  uint64_t rng_seed = r->ReadU64();
+  if (r->ok() && rng_seed != rng_seed_) {
+    return Status::InvalidArgument(
+        "sqlancer state saved under a different rng seed");
+  }
+  LEGO_RETURN_IF_ERROR(fuzz::LoadRng(r, &rng_));
+  return r->ExitChunk();
 }
 
 }  // namespace lego::baselines

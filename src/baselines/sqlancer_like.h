@@ -32,6 +32,10 @@ class SqlancerLikeFuzzer : public fuzz::Fuzzer {
         profile_, rng_seed_ + static_cast<uint64_t>(worker_id));
   }
 
+  /// Rule-based: the RNG stream is the entire mutable state.
+  Status SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
+
  private:
   const minidb::DialectProfile& profile_;
   uint64_t rng_seed_;

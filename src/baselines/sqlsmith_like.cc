@@ -1,9 +1,14 @@
 #include "baselines/sqlsmith_like.h"
 
 #include "fuzz/seeds.h"
+#include "fuzz/state.h"
 #include "sql/parser.h"
 
 namespace lego::baselines {
+
+namespace {
+constexpr uint32_t kSqlsmithTag = persist::ChunkTag("SQSM");
+}  // namespace
 
 SqlsmithLikeFuzzer::SqlsmithLikeFuzzer(const minidb::DialectProfile& profile,
                                        uint64_t rng_seed)
@@ -27,6 +32,27 @@ fuzz::TestCase SqlsmithLikeFuzzer::Next() {
   std::vector<sql::StmtPtr> stmts;
   stmts.push_back(generator_.GenerateSelect(&schema_, 2, /*fancy=*/true));
   return fuzz::TestCase(std::move(stmts));
+}
+
+Status SqlsmithLikeFuzzer::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kSqlsmithTag);
+  w->WriteU64(rng_seed_);
+  fuzz::SaveRng(rng_, w);
+  LEGO_RETURN_IF_ERROR(schema_.SaveState(w));
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status SqlsmithLikeFuzzer::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kSqlsmithTag));
+  uint64_t rng_seed = r->ReadU64();
+  if (r->ok() && rng_seed != rng_seed_) {
+    return Status::InvalidArgument(
+        "sqlsmith state saved under a different rng seed");
+  }
+  LEGO_RETURN_IF_ERROR(fuzz::LoadRng(r, &rng_));
+  LEGO_RETURN_IF_ERROR(schema_.LoadState(r));
+  return r->ExitChunk();
 }
 
 }  // namespace lego::baselines

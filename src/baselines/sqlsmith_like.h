@@ -32,6 +32,11 @@ class SqlsmithLikeFuzzer : public fuzz::Fuzzer {
         profile_, rng_seed_ + static_cast<uint64_t>(worker_id));
   }
 
+  /// Generation-based: RNG stream plus the symbolic schema context (whose
+  /// fresh-name counter advances during generation).
+  Status SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
+
  private:
   const minidb::DialectProfile& profile_;
   uint64_t rng_seed_;

@@ -1,8 +1,13 @@
 #include "baselines/squirrel_like.h"
 
 #include "fuzz/seeds.h"
+#include "fuzz/state.h"
 
 namespace lego::baselines {
+
+namespace {
+constexpr uint32_t kSquirrelTag = persist::ChunkTag("SQRL");
+}  // namespace
 
 SquirrelLikeFuzzer::SquirrelLikeFuzzer(const minidb::DialectProfile& profile,
                                        uint64_t rng_seed)
@@ -48,6 +53,39 @@ void SquirrelLikeFuzzer::ImportSeed(const fuzz::TestCase& tc) {
   // Foreign new-coverage seeds enter the mutation pool like local ones.
   corpus_.Add(tc.Clone());
   library_.AddTestCase(tc);
+}
+
+Status SquirrelLikeFuzzer::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kSquirrelTag);
+  w->WriteU64(rng_seed_);
+  fuzz::SaveRng(rng_, w);
+  LEGO_RETURN_IF_ERROR(library_.SaveState(w));
+  LEGO_RETURN_IF_ERROR(corpus_.SaveState(w));
+  fuzz::SaveTestCaseQueue(replay_queue_, w);
+  w->WriteI64(corpus_.IndexOf(current_seed_));
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status SquirrelLikeFuzzer::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kSquirrelTag));
+  uint64_t rng_seed = r->ReadU64();
+  if (r->ok() && rng_seed != rng_seed_) {
+    return Status::InvalidArgument(
+        "squirrel state saved under a different rng seed");
+  }
+  LEGO_RETURN_IF_ERROR(fuzz::LoadRng(r, &rng_));
+  LEGO_RETURN_IF_ERROR(library_.LoadState(r));
+  LEGO_RETURN_IF_ERROR(corpus_.LoadState(r));
+  LEGO_RETURN_IF_ERROR(fuzz::LoadTestCaseQueue(r, &replay_queue_));
+  int64_t seed_index = r->ReadI64();
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  if (seed_index >= static_cast<int64_t>(corpus_.size()) || seed_index < -1) {
+    return Status::InvalidArgument("in-flight seed index out of range");
+  }
+  current_seed_ =
+      seed_index < 0 ? nullptr : corpus_.at(static_cast<size_t>(seed_index));
+  return Status::OK();
 }
 
 }  // namespace lego::baselines

@@ -4,6 +4,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
@@ -33,6 +34,23 @@ class SquirrelLikeFuzzer : public fuzz::Fuzzer {
         profile_, rng_seed_ + static_cast<uint64_t>(worker_id));
   }
   void ImportSeed(const fuzz::TestCase& tc) override;
+  std::vector<fuzz::TestCase> ExportCorpus() const override {
+    std::vector<fuzz::TestCase> out;
+    out.reserve(corpus_.size());
+    for (const fuzz::Seed& seed : corpus_.seeds()) {
+      out.push_back(seed.test_case.Clone());
+    }
+    return out;
+  }
+
+  /// Corpus-and-RNG checkpointing (this baseline learns nothing else).
+  Status SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
+  fuzz::FuzzerStats stats() const override {
+    fuzz::FuzzerStats s;
+    s.corpus_seeds = corpus_.size();
+    return s;
+  }
 
   size_t corpus_size() const { return corpus_.size(); }
 

@@ -7,6 +7,12 @@
 #include <cstring>
 
 #include "util/hash.h"
+#include "util/status.h"
+
+namespace lego::persist {
+class StateWriter;
+class StateReader;
+}  // namespace lego::persist
 
 namespace lego::cov {
 
@@ -106,6 +112,11 @@ class GlobalCoverage {
   /// terminology).
   size_t CoveredEdges() const { return covered_edges_; }
 
+  /// Checkpointing: the full virgin bitmap round-trips; the edge counter is
+  /// recomputed on load (it is derived state).
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
+
  private:
   std::array<uint8_t, CoverageMap::kSize> virgin_;
   size_t covered_edges_;
@@ -156,6 +167,12 @@ class SharedCoverage {
   size_t CoveredEdges() const {
     return covered_edges_.load(std::memory_order_relaxed);
   }
+
+  /// Checkpointing. Like Reset(), these are not thread-safe: call only at a
+  /// synchronization point while no worker is merging (the parallel
+  /// campaign's round barrier guarantees this).
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   std::array<std::atomic<uint8_t>, CoverageMap::kSize> virgin_;

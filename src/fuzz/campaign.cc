@@ -3,19 +3,61 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "faults/bug_catalog.h"
+#include "fuzz/checkpoint.h"
 #include "fuzz/corpus.h"
+#include "fuzz/state.h"
 
 namespace lego::fuzz {
 namespace {
 
+constexpr uint32_t kWorkerTag = persist::ChunkTag("WRKR");
+constexpr uint32_t kManifestTag = persist::ChunkTag("MANI");
+
+bool Persisting(const CampaignOptions& options) {
+  return !options.state_dir.empty();
+}
+
+/// Serial persistence: one file holding fingerprint + result-so-far +
+/// fuzzer + harness, replaced atomically at every checkpoint.
+Status SaveSerialState(const CampaignOptions& options,
+                       const CampaignResult& result, Fuzzer* fuzzer,
+                       ExecutionHarness* harness) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.state_dir, ec);
+  persist::StateWriter w;
+  WriteCampaignFingerprint(fuzzer->name(), harness->profile().name, options,
+                           &w);
+  LEGO_RETURN_IF_ERROR(SaveCampaignResult(result, &w));
+  LEGO_RETURN_IF_ERROR(fuzzer->SaveState(&w));
+  LEGO_RETURN_IF_ERROR(harness->SaveState(&w));
+  return w.WriteFileAtomic(SerialStatePath(options.state_dir));
+}
+
+Status LoadSerialState(const CampaignOptions& options, CampaignResult* result,
+                       Fuzzer* fuzzer, ExecutionHarness* harness) {
+  LEGO_ASSIGN_OR_RETURN(
+      persist::StateReader r,
+      persist::StateReader::FromFile(SerialStatePath(options.state_dir)));
+  LEGO_RETURN_IF_ERROR(VerifyCampaignFingerprint(
+      fuzzer->name(), harness->profile().name, options, &r));
+  LEGO_RETURN_IF_ERROR(LoadCampaignResult(&r, result));
+  LEGO_RETURN_IF_ERROR(fuzzer->LoadState(&r));
+  LEGO_RETURN_IF_ERROR(harness->LoadState(&r));
+  return r.status();
+}
+
 /// The historical single-threaded loop. num_workers == 1 runs exactly this
-/// code, so serial campaigns are bit-identical to the pre-parallel runner.
+/// code, so serial campaigns are bit-identical to the pre-parallel runner;
+/// a resumed campaign re-enters the loop at i == restored executions with
+/// every piece of fuzzer/harness state restored, so the remaining
+/// iterations replay exactly what an uninterrupted run would have done.
 CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
                                  const CampaignOptions& options) {
   CampaignResult result;
@@ -25,7 +67,43 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
   const size_t total_bugs = harness->bug_engine().bugs().size();
   fuzzer->Prepare(harness);
 
-  for (int i = 0; i < options.max_executions; ++i) {
+  const bool resumed = Persisting(options) && options.resume;
+  if (resumed) {
+    Status loaded = LoadSerialState(options, &result, fuzzer, harness);
+    if (!loaded.ok()) {
+      CampaignResult failed;
+      failed.fuzzer = fuzzer->name();
+      failed.profile = harness->profile().name;
+      failed.state_status = std::move(loaded);
+      return failed;
+    }
+    // The end-of-campaign flush appends an off-cadence curve point; if the
+    // budget was raised and the campaign continues, drop it so the final
+    // curve matches an uninterrupted run's exactly.
+    if (result.executions < options.max_executions &&
+        !result.coverage_curve.empty() &&
+        result.coverage_curve.back().first == result.executions &&
+        (options.snapshot_every <= 0 ||
+         result.executions % options.snapshot_every != 0)) {
+      result.coverage_curve.pop_back();
+    }
+  } else if (options.import_seeds != nullptr) {
+    for (const TestCase& tc : *options.import_seeds) fuzzer->ImportSeed(tc);
+  }
+
+  // The uninterrupted run may have broken out of the loop early; a resume
+  // of its state must not fuzz past that point, so re-derive the stop
+  // decision from the restored tallies before executing anything.
+  bool stopped =
+      resumed &&
+      ((options.stop_when_all_bugs_found &&
+        result.bug_ids.size() >= total_bugs) ||
+       (options.max_statements > 0 &&
+        result.statements_executed + result.statement_errors >=
+            options.max_statements));
+
+  for (int i = result.executions; !stopped && i < options.max_executions;
+       ++i) {
     TestCase tc = fuzzer->Next();
 
     // Affinity accounting (Table II): adjacent distinct type pairs contained
@@ -64,6 +142,13 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
       result.coverage_curve.emplace_back(result.executions,
                                          harness->CoveredEdges());
     }
+    if (Persisting(options) && options.checkpoint_every > 0 &&
+        result.executions % options.checkpoint_every == 0) {
+      Status saved = SaveSerialState(options, result, fuzzer, harness);
+      if (!saved.ok() && result.state_status.ok()) {
+        result.state_status = std::move(saved);
+      }
+    }
     if (options.stop_when_all_bugs_found &&
         result.bug_ids.size() >= total_bugs) {
       break;
@@ -79,6 +164,14 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
   if (result.coverage_curve.empty() ||
       result.coverage_curve.back().first != result.executions) {
     result.coverage_curve.emplace_back(result.executions, result.edges);
+  }
+  result.fuzzer_stats = fuzzer->stats();
+  if (options.export_corpus) result.corpus_export = fuzzer->ExportCorpus();
+  if (Persisting(options)) {
+    Status saved = SaveSerialState(options, result, fuzzer, harness);
+    if (!saved.ok() && result.state_status.ok()) {
+      result.state_status = std::move(saved);
+    }
   }
   return result;
 }
@@ -140,11 +233,120 @@ struct WorkerState {
   uint64_t drain_cursor = 0;
 };
 
+/// Worker tallies round-trip. Only valid at the checkpoint barrier, where
+/// pending_exports is empty (everything was published one barrier earlier)
+/// and all drain cursors point at the end of the shared corpus — which is
+/// why the shared corpus itself never needs to be serialized: a resumed
+/// campaign starts it empty with cursors at zero.
+Status SaveWorkerTallies(const WorkerState& s, persist::StateWriter* w) {
+  if (!s.pending_exports.empty()) {
+    return Status::Internal("checkpoint with unpublished exports");
+  }
+  w->BeginChunk(kWorkerTag);
+  w->WriteI64(s.done);
+  w->WriteI64(s.executions);
+  w->WriteI64(s.crashes_total);
+  w->WriteI64(s.statement_errors);
+  w->WriteI64(s.statements_executed);
+  w->WriteU64(s.affinities.size());
+  for (const auto& [a, b] : s.affinities) {
+    w->WriteI64(a);
+    w->WriteI64(b);
+  }
+  w->WriteU64(s.unique_crashes.size());
+  for (const auto& [hash, crash] : s.unique_crashes) {
+    auto tc = s.crash_cases.find(hash);
+    if (tc == s.crash_cases.end()) {
+      return Status::Internal("crash without captured test case");
+    }
+    w->WriteU64(hash);
+    w->WriteString(crash.bug_id);
+    w->WriteString(crash.component);
+    w->WriteString(crash.kind);
+    w->WriteU64(crash.stack_hash);
+    w->WriteString(crash.message);
+    SaveTestCase(tc->second, w);
+  }
+  w->WriteI64(s.logic_bugs_total);
+  w->WriteU64(s.unique_logic.size());
+  for (const auto& [fp, info] : s.unique_logic) {
+    auto tc = s.logic_cases.find(fp);
+    if (tc == s.logic_cases.end()) {
+      return Status::Internal("logic bug without captured test case");
+    }
+    w->WriteU64(fp);
+    w->WriteString(info.check);
+    w->WriteString(info.query);
+    w->WriteString(info.detail);
+    w->WriteU64(info.fingerprint);
+    SaveTestCase(tc->second, w);
+  }
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status LoadWorkerTallies(persist::StateReader* r, WorkerState* s) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kWorkerTag));
+  s->done = static_cast<int>(r->ReadI64());
+  s->executions = static_cast<int>(r->ReadI64());
+  s->crashes_total = static_cast<int>(r->ReadI64());
+  s->statement_errors = static_cast<int>(r->ReadI64());
+  s->statements_executed = static_cast<int>(r->ReadI64());
+
+  s->affinities.clear();
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 16)) return r->status();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    int a = static_cast<int>(r->ReadI64());
+    int b = static_cast<int>(r->ReadI64());
+    s->affinities.insert({a, b});
+  }
+
+  s->unique_crashes.clear();
+  s->crash_cases.clear();
+  n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    uint64_t hash = r->ReadU64();
+    minidb::CrashInfo crash;
+    crash.bug_id = r->ReadString();
+    crash.component = r->ReadString();
+    crash.kind = r->ReadString();
+    crash.stack_hash = r->ReadU64();
+    crash.message = r->ReadString();
+    LEGO_ASSIGN_OR_RETURN(TestCase tc, LoadTestCase(r));
+    s->unique_crashes.emplace(hash, std::move(crash));
+    s->crash_cases.emplace(hash, std::move(tc));
+  }
+
+  s->logic_bugs_total = static_cast<int>(r->ReadI64());
+  s->unique_logic.clear();
+  s->logic_cases.clear();
+  n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    uint64_t fp = r->ReadU64();
+    LogicBugInfo info;
+    info.check = r->ReadString();
+    info.query = r->ReadString();
+    info.detail = r->ReadString();
+    info.fingerprint = r->ReadU64();
+    LEGO_ASSIGN_OR_RETURN(TestCase tc, LoadTestCase(r));
+    s->unique_logic.emplace(fp, std::move(info));
+    s->logic_cases.emplace(fp, std::move(tc));
+  }
+
+  s->pending_exports.clear();
+  s->drain_cursor = 0;  // resumed campaigns restart with an empty corpus
+  return r->ExitChunk();
+}
+
 CampaignResult RunParallelCampaign(Fuzzer* prototype,
                                    ExecutionHarness* harness,
                                    const CampaignOptions& options) {
   const int workers = options.num_workers;
   const int sync_every = std::max(1, options.sync_every);
+  const bool persisting = Persisting(options);
 
   std::vector<WorkerState> states(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
@@ -185,8 +387,80 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   merged.fuzzer = prototype->name();
   merged.profile = harness->profile().name;
 
-  std::atomic<bool> stop{false};
+  auto fail = [&](Status why) {
+    CampaignResult failed;
+    failed.fuzzer = merged.fuzzer;
+    failed.profile = merged.profile;
+    failed.state_status = std::move(why);
+    return failed;
+  };
+
+  // Resume preamble (single-threaded): locate the newest complete
+  // checkpoint via LATEST and restore the merged round state. Per-worker
+  // files are loaded later, by each worker thread after Prepare().
+  int start_round = 0;
   int next_snapshot = options.snapshot_every;
+  int next_checkpoint = options.checkpoint_every;
+  bool resumed = false;
+  std::string resume_dir;      // directory worker files are loaded from
+  std::string prev_ckpt_dir;   // last complete checkpoint (cleanup target)
+  if (persisting && options.resume) {
+    auto latest = ReadLatestPointer(options.state_dir);
+    if (!latest.ok()) return fail(latest.status());
+    std::filesystem::path dir =
+        std::filesystem::path(options.state_dir) / *latest;
+    auto opened = persist::StateReader::FromFile(ManifestPath(dir.string()));
+    if (!opened.ok()) return fail(opened.status());
+    persist::StateReader r = std::move(*opened);
+    Status st = VerifyCampaignFingerprint(merged.fuzzer, merged.profile,
+                                          options, &r);
+    if (!st.ok()) return fail(st);
+    st = r.EnterChunk(kManifestTag);
+    if (!st.ok()) return fail(st);
+    const bool complete = r.ReadBool();
+    FuzzerStats stats;
+    if (complete) {
+      stats.corpus_seeds = r.ReadU64();
+      stats.affinity_pairs = r.ReadU64();
+      stats.sequences_total = r.ReadU64();
+      stats.sequences_dropped = r.ReadU64();
+    }
+    start_round = static_cast<int>(r.ReadI64());
+    next_snapshot = static_cast<int>(r.ReadI64());
+    next_checkpoint = static_cast<int>(r.ReadI64());
+    uint64_t n = r.ReadU64();
+    if (!r.CheckCount(n, 16)) return fail(r.status());
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+      int execs = static_cast<int>(r.ReadI64());
+      size_t edges = static_cast<size_t>(r.ReadU64());
+      merged.coverage_curve.emplace_back(execs, edges);
+    }
+    st = r.ExitChunk();
+    if (!st.ok()) return fail(st);
+    st = shared_coverage.LoadState(&r);
+    if (!st.ok()) return fail(st);
+    if (complete) {
+      CampaignResult done;
+      st = LoadCampaignResult(&r, &done);
+      if (!st.ok()) return fail(st);
+      if (done.executions >= options.max_executions) {
+        // The campaign already finished under this (or a larger) budget:
+        // hand back its recorded result without spawning workers.
+        done.fuzzer_stats = stats;
+        return done;
+      }
+      // Budget was raised past the recorded run: fall through and keep
+      // fuzzing from the stored worker states.
+    }
+    resumed = true;
+    resume_dir = dir.string();
+    prev_ckpt_dir = *latest;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> abort{false};
+  std::vector<Status> worker_status(static_cast<size_t>(workers),
+                                    Status::OK());
   RoundBarrier barrier(workers);
 
   // Runs single-threaded at every barrier, while all workers are parked:
@@ -227,12 +501,108 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     }
   };
 
+  // One state file per worker; only callable while the worker threads are
+  // parked (checkpoint barrier) or joined (final save).
+  auto save_worker_files = [&](const std::filesystem::path& dir) -> Status {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create checkpoint dir " + dir.string());
+    }
+    for (int w = 0; w < workers; ++w) {
+      persist::StateWriter sw;
+      WriteCampaignFingerprint(merged.fuzzer, merged.profile, options, &sw);
+      LEGO_RETURN_IF_ERROR(SaveWorkerTallies(states[w], &sw));
+      LEGO_RETURN_IF_ERROR(states[w].fuzzer->SaveState(&sw));
+      LEGO_RETURN_IF_ERROR(states[w].harness->SaveState(&sw));
+      LEGO_RETURN_IF_ERROR(
+          sw.WriteFileAtomic(WorkerStatePath(dir.string(), w)));
+    }
+    return Status::OK();
+  };
+
+  // Writes one complete checkpoint directory, then flips LATEST. Runs only
+  // inside the second (post-drain) barrier, where no worker holds
+  // unpublished exports and every drain cursor is at the corpus end.
+  auto write_checkpoint = [&](int round, int advanced_checkpoint) -> Status {
+    namespace fsys = std::filesystem;
+    const std::string name = CheckpointDirName(round);
+    const fsys::path dir = fsys::path(options.state_dir) / name;
+    LEGO_RETURN_IF_ERROR(save_worker_files(dir));
+    persist::StateWriter mw;
+    WriteCampaignFingerprint(merged.fuzzer, merged.profile, options, &mw);
+    mw.BeginChunk(kManifestTag);
+    mw.WriteBool(false);  // mid-run
+    mw.WriteI64(round + 1);
+    mw.WriteI64(next_snapshot);
+    mw.WriteI64(advanced_checkpoint);
+    mw.WriteU64(merged.coverage_curve.size());
+    for (const auto& [execs, edges] : merged.coverage_curve) {
+      mw.WriteI64(execs);
+      mw.WriteU64(edges);
+    }
+    mw.EndChunk();
+    LEGO_RETURN_IF_ERROR(shared_coverage.SaveState(&mw));
+    LEGO_RETURN_IF_ERROR(mw.WriteFileAtomic(ManifestPath(dir.string())));
+    LEGO_RETURN_IF_ERROR(WriteLatestPointer(options.state_dir, name));
+    if (!prev_ckpt_dir.empty() && prev_ckpt_dir != name) {
+      std::error_code ec;
+      fsys::remove_all(fsys::path(options.state_dir) / prev_ckpt_dir, ec);
+    }
+    prev_ckpt_dir = name;
+    return Status::OK();
+  };
+
+  int ckpt_round = start_round;  // advanced once per round, single-threaded
+  auto ckpt_completion = [&] {
+    const int round = ckpt_round++;
+    if (abort.load() || options.checkpoint_every <= 0) return;
+    int total_execs = 0;
+    for (const WorkerState& s : states) total_execs += s.executions;
+    if (total_execs < next_checkpoint) return;
+    const int advanced =
+        (total_execs / options.checkpoint_every + 1) *
+        options.checkpoint_every;
+    Status saved = write_checkpoint(round, advanced);
+    if (saved.ok()) {
+      next_checkpoint = advanced;
+    } else if (merged.state_status.ok()) {
+      merged.state_status = std::move(saved);
+    }
+  };
+
   auto worker_fn = [&](int w) {
     WorkerState& st = states[w];
     st.fuzzer->Prepare(st.harness.get());
-    for (int r = 0; r < rounds; ++r) {
+    if (resumed) {
+      Status loaded = [&]() -> Status {
+        LEGO_ASSIGN_OR_RETURN(
+            persist::StateReader r,
+            persist::StateReader::FromFile(WorkerStatePath(resume_dir, w)));
+        LEGO_RETURN_IF_ERROR(VerifyCampaignFingerprint(
+            merged.fuzzer, merged.profile, options, &r));
+        LEGO_RETURN_IF_ERROR(LoadWorkerTallies(&r, &st));
+        LEGO_RETURN_IF_ERROR(st.fuzzer->LoadState(&r));
+        return st.harness->LoadState(&r);
+      }();
+      if (!loaded.ok()) {
+        worker_status[static_cast<size_t>(w)] = std::move(loaded);
+        abort.store(true);
+        stop.store(true);
+      }
+      // Re-derive the sticky stop flag from restored tallies before the
+      // first batch (the flag is derived state, never serialized). Runs on
+      // every resume so all workers attend the same barrier sequence.
+      barrier.ArriveAndWait(completion);
+    } else if (options.import_seeds != nullptr) {
+      for (const TestCase& tc : *options.import_seeds) {
+        st.fuzzer->ImportSeed(tc);
+      }
+    }
+    for (int r = start_round; r < rounds; ++r) {
       const int batch =
-          stop.load() ? 0 : std::min(sync_every, st.target - st.done);
+          stop.load() ? 0
+                      : std::max(0, std::min(sync_every, st.target - st.done));
       for (int i = 0; i < batch; ++i) {
         TestCase tc = st.fuzzer->Next();
 
@@ -277,6 +647,10 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       std::vector<TestCase> imported;
       shared_corpus.DrainNew(w, &st.drain_cursor, &imported);
       for (const TestCase& tc : imported) st.fuzzer->ImportSeed(tc);
+
+      // Second barrier: checkpoints must observe fully drained cursors and
+      // empty export buffers, which is only true after every worker's drain.
+      if (persisting) barrier.ArriveAndWait(ckpt_completion);
     }
   };
 
@@ -284,6 +658,26 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   threads.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
   for (std::thread& t : threads) t.join();
+
+  if (abort.load()) {
+    for (const Status& s : worker_status) {
+      if (!s.ok()) return fail(s);
+    }
+    return fail(Status::Internal("campaign aborted"));
+  }
+
+  // Worker files for the final checkpoint must be written before the merge
+  // below moves captured test cases out of the worker states; the curve is
+  // snapshotted here too, before the end-of-campaign flush point, so a
+  // budget-raising resume continues with an uninterrupted-identical curve.
+  Status final_workers_saved = Status::OK();
+  std::vector<std::pair<int, size_t>> curve_at_join;
+  const std::string final_name = "ckpt_final";
+  if (persisting) {
+    final_workers_saved = save_worker_files(
+        std::filesystem::path(options.state_dir) / final_name);
+    curve_at_join = merged.coverage_curve;
+  }
 
   // Final merge in worker order (worker order only affects which duplicate
   // crash "wins" attribution, and duplicates carry identical payloads; the
@@ -310,11 +704,63 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
         merged.captured_logic_bugs.push_back(info);
       }
     }
+    FuzzerStats fs = s.fuzzer->stats();
+    merged.fuzzer_stats.corpus_seeds += fs.corpus_seeds;
+    merged.fuzzer_stats.affinity_pairs += fs.affinity_pairs;
+    merged.fuzzer_stats.sequences_total += fs.sequences_total;
+    merged.fuzzer_stats.sequences_dropped += fs.sequences_dropped;
+    if (options.export_corpus) {
+      std::vector<TestCase> exported = s.fuzzer->ExportCorpus();
+      for (TestCase& tc : exported) {
+        merged.corpus_export.push_back(std::move(tc));
+      }
+    }
   }
   merged.edges = shared_coverage.CoveredEdges();
   if (merged.coverage_curve.empty() ||
       merged.coverage_curve.back().first != merged.executions) {
     merged.coverage_curve.emplace_back(merged.executions, merged.edges);
+  }
+
+  if (persisting) {
+    // The complete checkpoint is both the recorded result (read back by a
+    // same-budget resume and by corpus_cli) and a full mid-run-style state
+    // (worker files + round cursor), so a later budget-raising resume can
+    // keep fuzzing from it.
+    Status saved = [&]() -> Status {
+      LEGO_RETURN_IF_ERROR(final_workers_saved);
+      namespace fsys = std::filesystem;
+      const fsys::path dir = fsys::path(options.state_dir) / final_name;
+      persist::StateWriter mw;
+      WriteCampaignFingerprint(merged.fuzzer, merged.profile, options, &mw);
+      mw.BeginChunk(kManifestTag);
+      mw.WriteBool(true);  // complete
+      mw.WriteU64(merged.fuzzer_stats.corpus_seeds);
+      mw.WriteU64(merged.fuzzer_stats.affinity_pairs);
+      mw.WriteU64(merged.fuzzer_stats.sequences_total);
+      mw.WriteU64(merged.fuzzer_stats.sequences_dropped);
+      mw.WriteI64(rounds);  // round_next for a future budget extension
+      mw.WriteI64(next_snapshot);
+      mw.WriteI64(next_checkpoint);
+      mw.WriteU64(curve_at_join.size());
+      for (const auto& [execs, edges] : curve_at_join) {
+        mw.WriteI64(execs);
+        mw.WriteU64(edges);
+      }
+      mw.EndChunk();
+      LEGO_RETURN_IF_ERROR(shared_coverage.SaveState(&mw));
+      LEGO_RETURN_IF_ERROR(SaveCampaignResult(merged, &mw));
+      LEGO_RETURN_IF_ERROR(mw.WriteFileAtomic(ManifestPath(dir.string())));
+      LEGO_RETURN_IF_ERROR(WriteLatestPointer(options.state_dir, final_name));
+      if (!prev_ckpt_dir.empty() && prev_ckpt_dir != final_name) {
+        std::error_code ec;
+        fsys::remove_all(fsys::path(options.state_dir) / prev_ckpt_dir, ec);
+      }
+      return Status::OK();
+    }();
+    if (!saved.ok() && merged.state_status.ok()) {
+      merged.state_status = std::move(saved);
+    }
   }
   return merged;
 }

@@ -41,6 +41,29 @@ struct CampaignOptions {
   /// barriers (shared-bitmap snapshot, seed exchange, stop checks). Smaller
   /// values propagate seeds faster; larger values reduce barrier overhead.
   int sync_every = 256;
+
+  /// Directory for checkpoint state. Empty disables persistence. Serial
+  /// campaigns write one atomic campaign.state file; parallel campaigns
+  /// write per-round ckpt_r<N>/ directories flipped live by a LATEST
+  /// pointer (see fuzz/checkpoint.h for the layout).
+  std::string state_dir;
+  /// Checkpoint cadence in executions (total across workers). 0 writes only
+  /// the final state when state_dir is set. Parallel campaigns checkpoint
+  /// at the first round barrier at or past each multiple.
+  int checkpoint_every = 0;
+  /// Resume from the newest complete checkpoint in state_dir instead of
+  /// starting fresh. The resumed run must be configured identically
+  /// (fuzzer, profile, budgets, workers); a mismatch aborts with
+  /// state_status set rather than silently fuzzing under the wrong config.
+  bool resume = false;
+  /// Seeds imported into the fuzzer's corpus before the first execution of
+  /// a fresh campaign (cross-campaign corpus reuse; ignored on resume).
+  /// Not owned; must outlive RunCampaign.
+  const std::vector<TestCase>* import_seeds = nullptr;
+  /// Fill CampaignResult::corpus_export with clones of every corpus seed at
+  /// campaign end (fuel for `corpus_cli distill` / --import-corpus). Off by
+  /// default: exporting clones the whole corpus.
+  bool export_corpus = false;
 };
 
 /// Aggregated campaign outcome: everything the paper's tables/figures need.
@@ -77,6 +100,18 @@ struct CampaignResult {
   std::set<uint64_t> logic_fingerprints;
   std::vector<TestCase> captured_logic_cases;
   std::vector<LogicBugInfo> captured_logic_bugs;  // parallel to above
+
+  /// Fuzzer-internal counters (corpus size, affinity pairs, sequences
+  /// recorded/dropped), sampled from the fuzzer at campaign end.
+  FuzzerStats fuzzer_stats;
+  /// Outcome of checkpoint/resume I/O. OK when persistence is disabled or
+  /// every state file round-tripped; otherwise the first error (a resume
+  /// failure aborts the campaign with executions == 0).
+  Status state_status = Status::OK();
+
+  /// Clones of the final corpus (options.export_corpus only; worker order
+  /// for parallel runs). Empty for generation-based fuzzers.
+  std::vector<TestCase> corpus_export;
 };
 
 /// Runs `fuzzer` against `harness` for the configured budget.

@@ -1,0 +1,71 @@
+#ifndef LEGO_FUZZ_CHECKPOINT_H_
+#define LEGO_FUZZ_CHECKPOINT_H_
+
+#include <string>
+
+#include "fuzz/campaign.h"
+#include "persist/io.h"
+
+namespace lego::fuzz {
+
+/// On-disk layout of a checkpointed campaign under --state-dir:
+///
+///   serial (1 worker):
+///     <dir>/campaign.state          one atomic file: fingerprint, the
+///                                   CampaignResult so far, fuzzer state,
+///                                   harness state
+///   parallel (N workers):
+///     <dir>/ckpt_r<R>/manifest.state   fingerprint + merged round state +
+///                                      shared coverage
+///     <dir>/ckpt_r<R>/worker<w>.state  per-worker tallies, fuzzer, harness
+///     <dir>/LATEST                     pointer file naming the last fully
+///                                      written ckpt_r<R> directory
+///
+/// Every file is enveloped (magic/version/checksum) and written via
+/// write-temp-then-rename. The parallel protocol writes all checkpoint
+/// files first and flips LATEST last, so a crash mid-checkpoint leaves
+/// LATEST pointing at the previous complete checkpoint.
+
+/// Configuration fingerprint written at the head of every state file and
+/// verified on resume: a campaign may only be resumed by a process
+/// configured identically (same fuzzer, profile, budgets, worker count).
+void WriteCampaignFingerprint(const std::string& fuzzer_name,
+                              const std::string& profile_name,
+                              const CampaignOptions& options,
+                              persist::StateWriter* w);
+Status VerifyCampaignFingerprint(const std::string& fuzzer_name,
+                                 const std::string& profile_name,
+                                 const CampaignOptions& options,
+                                 persist::StateReader* r);
+
+/// CampaignResult round-trip (everything except fuzzer_stats/state_status,
+/// which are recomputed at campaign end).
+Status SaveCampaignResult(const CampaignResult& result,
+                          persist::StateWriter* w);
+Status LoadCampaignResult(persist::StateReader* r, CampaignResult* result);
+
+/// Order-independent digest over everything the acceptance bar compares:
+/// executions, edges, statement tallies, crash hashes, bug ids, logic
+/// fingerprints, affinities, and the full coverage curve. Two campaigns
+/// with equal digests found the same coverage and the same bugs along the
+/// same curve.
+uint64_t ResultDigest(const CampaignResult& result);
+
+/// Path helpers (kept in one place so the CLI, tests, and corpus_cli agree
+/// on the layout).
+std::string SerialStatePath(const std::string& state_dir);
+std::string CheckpointDirName(int round);
+std::string WorkerStatePath(const std::string& ckpt_dir, int worker);
+std::string ManifestPath(const std::string& ckpt_dir);
+
+/// The LATEST pointer: an enveloped one-string state file naming the last
+/// complete checkpoint directory (relative to state_dir). Written last,
+/// atomically, which is what makes multi-file parallel checkpoints
+/// crash-safe.
+Status WriteLatestPointer(const std::string& state_dir,
+                          const std::string& ckpt_dir_name);
+StatusOr<std::string> ReadLatestPointer(const std::string& state_dir);
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_CHECKPOINT_H_

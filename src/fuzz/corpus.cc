@@ -1,8 +1,15 @@
 #include "fuzz/corpus.h"
 
 #include <cassert>
+#include <utility>
+
+#include "fuzz/state.h"
 
 namespace lego::fuzz {
+
+namespace {
+constexpr uint32_t kCorpusTag = persist::ChunkTag("CORP");
+}  // namespace
 
 void Corpus::DebugCheckContract() {
 #ifndef NDEBUG
@@ -63,6 +70,56 @@ Seed* Corpus::Select(Rng* rng) {
   }
   ++seeds_.back().times_selected;
   return &seeds_.back();
+}
+
+int Corpus::IndexOf(const Seed* seed) const {
+  if (seed == nullptr) return -1;
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    if (&seeds_[i] == seed) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Corpus::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kCorpusTag);
+  w->WriteI64(next_id_);
+  w->WriteU64(seeds_.size());
+  for (const Seed& seed : seeds_) {
+    SaveTestCase(seed.test_case, w);
+    w->WriteI64(seed.id);
+    w->WriteI64(seed.times_selected);
+    w->WriteI64(seed.discoveries);
+    w->WriteBool(seed.favored);
+  }
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status Corpus::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kCorpusTag));
+  int next_id = static_cast<int>(r->ReadI64());
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  std::deque<Seed> seeds;
+  for (uint64_t i = 0; i < n; ++i) {
+    Seed seed;
+    LEGO_ASSIGN_OR_RETURN(seed.test_case, LoadTestCase(r));
+    seed.id = static_cast<int>(r->ReadI64());
+    seed.times_selected = static_cast<int>(r->ReadI64());
+    seed.discoveries = static_cast<int>(r->ReadI64());
+    seed.favored = r->ReadBool();
+    seeds.push_back(std::move(seed));
+  }
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  seeds_ = std::move(seeds);
+  next_id_ = next_id;
+#ifndef NDEBUG
+  // The pool was replaced wholesale: old Seed* are dead, and the corpus may
+  // now be adopted by whichever thread resumes the campaign.
+  handed_out_.clear();
+  owner_ = std::thread::id();
+#endif
+  return Status::OK();
 }
 
 SharedCorpus::SharedCorpus(int num_shards)

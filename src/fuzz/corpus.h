@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fuzz/testcase.h"
+#include "persist/io.h"
 #include "util/random.h"
 
 namespace lego::fuzz {
@@ -52,6 +53,20 @@ class Corpus {
   /// Mutation through this pointer inherits the contracts above: the deque
   /// may grow but elements never move, and access is single-thread only.
   std::deque<Seed>* mutable_seeds() { return &seeds_; }
+
+  /// Position of a handed-out seed pointer, -1 for nullptr. Lets owners
+  /// checkpoint "which seed is in flight" as an index and rehydrate the
+  /// pointer after LoadState.
+  int IndexOf(const Seed* seed) const;
+  Seed* at(size_t index) { return &seeds_[index]; }
+
+  /// Checkpointing: test cases plus all scheduling bookkeeping (ids,
+  /// selection counts, discoveries, favored flags) and the id allocator —
+  /// everything Select() consults, so a resumed schedule is identical.
+  /// LoadState replaces the whole pool; previously handed-out Seed*
+  /// pointers are invalidated (debug tracking is reset accordingly).
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   /// Debug-only enforcement of the two contracts (no-op in NDEBUG builds).

@@ -1,0 +1,38 @@
+#include "fuzz/corpus_file.h"
+
+#include "fuzz/state.h"
+#include "persist/io.h"
+
+namespace lego::fuzz {
+
+namespace {
+constexpr uint32_t kCorpusFileTag = persist::ChunkTag("CFIL");
+}  // namespace
+
+Status SaveCorpusFile(const std::vector<TestCase>& cases,
+                      const std::string& path) {
+  persist::StateWriter w;
+  w.BeginChunk(kCorpusFileTag);
+  w.WriteU64(cases.size());
+  for (const TestCase& tc : cases) SaveTestCase(tc, &w);
+  w.EndChunk();
+  return w.WriteFileAtomic(path);
+}
+
+StatusOr<std::vector<TestCase>> LoadCorpusFile(const std::string& path) {
+  LEGO_ASSIGN_OR_RETURN(persist::StateReader r,
+                        persist::StateReader::FromFile(path));
+  LEGO_RETURN_IF_ERROR(r.EnterChunk(kCorpusFileTag));
+  uint64_t n = r.ReadU64();
+  if (!r.CheckCount(n, 8)) return r.status();
+  std::vector<TestCase> cases;
+  cases.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    LEGO_ASSIGN_OR_RETURN(TestCase tc, LoadTestCase(&r));
+    cases.push_back(std::move(tc));
+  }
+  LEGO_RETURN_IF_ERROR(r.ExitChunk());
+  return cases;
+}
+
+}  // namespace lego::fuzz

@@ -1,0 +1,22 @@
+#ifndef LEGO_FUZZ_CORPUS_FILE_H_
+#define LEGO_FUZZ_CORPUS_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/testcase.h"
+#include "util/status.h"
+
+namespace lego::fuzz {
+
+/// Flat corpus interchange file: an enveloped, checksummed list of test
+/// cases. This is how seeds move between campaigns — corpus_cli exports a
+/// (distilled) corpus, and `fuzz_campaign_cli --import-corpus` feeds it to
+/// a fresh campaign's fuzzer before the first execution.
+Status SaveCorpusFile(const std::vector<TestCase>& cases,
+                      const std::string& path);
+StatusOr<std::vector<TestCase>> LoadCorpusFile(const std::string& path);
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_CORPUS_FILE_H_

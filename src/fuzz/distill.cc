@@ -1,0 +1,63 @@
+#include "fuzz/distill.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lego::fuzz {
+
+std::vector<TestCase> DistillCorpus(const std::vector<TestCase>& cases,
+                                    ExecutionHarness* harness,
+                                    DistillStats* stats) {
+  DistillStats local;
+  local.original_cases = cases.size();
+
+  // Pass 1: each case's solo footprint, measured against an empty map.
+  std::vector<size_t> solo_edges(cases.size(), 0);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    harness->ResetCoverage();
+    harness->Run(cases[i]);
+    ++local.replays;
+    solo_edges[i] = harness->CoveredEdges();
+  }
+
+  // Largest-footprint-first is the classic cmin greedy: big cases swallow
+  // the common edges early, so small cases only survive on genuinely rare
+  // coverage. Stable tie-break on input order keeps the result
+  // deterministic.
+  std::vector<size_t> order(cases.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return solo_edges[a] > solo_edges[b];
+  });
+
+  // Pass 2: greedy set cover — replay in that order, keep a case iff it
+  // still reaches an edge nothing kept before it did. Every case runs, so
+  // the map afterwards holds the full corpus union.
+  std::vector<bool> keep(cases.size(), false);
+  harness->ResetCoverage();
+  for (size_t i : order) {
+    ExecResult exec = harness->Run(cases[i]);
+    ++local.replays;
+    keep[i] = exec.new_coverage;
+  }
+  local.original_edges = harness->CoveredEdges();
+
+  // Pass 3: the kept subset alone, verifying nothing was lost (and
+  // producing the number a caller can compare against a donor campaign).
+  std::vector<TestCase> kept;
+  harness->ResetCoverage();
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (!keep[i]) continue;
+    harness->Run(cases[i]);
+    ++local.replays;
+    kept.push_back(cases[i].Clone());
+  }
+  local.kept_edges = harness->CoveredEdges();
+  local.kept_cases = kept.size();
+  harness->ResetCoverage();
+
+  if (stats != nullptr) *stats = local;
+  return kept;
+}
+
+}  // namespace lego::fuzz

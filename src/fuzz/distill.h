@@ -1,0 +1,46 @@
+#ifndef LEGO_FUZZ_DISTILL_H_
+#define LEGO_FUZZ_DISTILL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "fuzz/testcase.h"
+
+namespace lego::fuzz {
+
+/// Bookkeeping from one DistillCorpus run.
+struct DistillStats {
+  size_t original_cases = 0;
+  size_t kept_cases = 0;
+  /// Distinct edges covered by the full input corpus (replay union).
+  size_t original_edges = 0;
+  /// Distinct edges covered by the kept subset alone. Equal to
+  /// original_edges by construction (verified with a final replay pass).
+  size_t kept_edges = 0;
+  /// Total Run() calls spent (2 * original + kept).
+  size_t replays = 0;
+};
+
+/// Greedy corpus minimization (afl-cmin style): replays every case through
+/// `harness` and keeps a subset that covers exactly the same edge set.
+///
+/// Algorithm: a first pass measures each case's solo edge count; cases are
+/// then replayed largest-first (ties broken by input order) against a fresh
+/// coverage map, keeping only those that still contribute new edges; a
+/// final pass replays the kept subset alone to verify the edge union is
+/// preserved. Replaying through the real backend rather than trusting
+/// recorded bitmaps means distillation holds for the engine as built today,
+/// not the one that produced the corpus.
+///
+/// The kept cases are returned in their original input order. The
+/// harness's accumulated coverage is clobbered (reset before/after use) —
+/// pass a dedicated harness, not one mid-campaign. Requires a
+/// deterministic backend (both built-in backends are).
+std::vector<TestCase> DistillCorpus(const std::vector<TestCase>& cases,
+                                    ExecutionHarness* harness,
+                                    DistillStats* stats);
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_DISTILL_H_

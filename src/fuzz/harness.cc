@@ -1,6 +1,12 @@
 #include "fuzz/harness.h"
 
+#include "persist/io.h"
+
 namespace lego::fuzz {
+
+namespace {
+constexpr uint32_t kHarnessTag = persist::ChunkTag("HARN");
+}  // namespace
 
 ExecutionHarness::ExecutionHarness(const minidb::DialectProfile& profile,
                                    const BackendOptions& backend)
@@ -43,6 +49,23 @@ ExecResult ExecutionHarness::Run(const TestCase& tc) {
   result.total_edges = global_coverage_.CoveredEdges();
   if (shared_coverage_ != nullptr) shared_coverage_->MergeDetectNew(run_map);
   return result;
+}
+
+Status ExecutionHarness::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kHarnessTag);
+  w->WriteI64(executions_);
+  LEGO_RETURN_IF_ERROR(global_coverage_.SaveState(w));
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status ExecutionHarness::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kHarnessTag));
+  int executions = static_cast<int>(r->ReadI64());
+  LEGO_RETURN_IF_ERROR(global_coverage_.LoadState(r));
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  executions_ = executions;
+  return Status::OK();
 }
 
 }  // namespace lego::fuzz

@@ -115,6 +115,13 @@ class ExecutionHarness {
   /// Number of Run() calls so far.
   int executions() const { return executions_; }
 
+  /// Checkpointing: the execution counter and the campaign-global coverage
+  /// map (the feedback loop's entire memory). The backend itself is not
+  /// serialized — every Run() starts from a fresh session, so an engine
+  /// rebuilt by Prepare()/construction is equivalent.
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
+
  private:
   BackendOptions backend_options_;
   std::unique_ptr<DbBackend> backend_;

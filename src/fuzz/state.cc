@@ -1,0 +1,65 @@
+#include "fuzz/state.h"
+
+#include <utility>
+
+#include "persist/ast_serde.h"
+
+namespace lego::fuzz {
+
+namespace {
+constexpr uint32_t kRngTag = persist::ChunkTag("RNGS");
+}  // namespace
+
+void SaveRng(const Rng& rng, persist::StateWriter* w) {
+  w->BeginChunk(kRngTag);
+  for (uint64_t word : rng.state()) w->WriteU64(word);
+  w->EndChunk();
+}
+
+Status LoadRng(persist::StateReader* r, Rng* rng) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kRngTag));
+  std::array<uint64_t, 4> state;
+  for (uint64_t& word : state) word = r->ReadU64();
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  if (!r->ok()) return r->status();
+  rng->set_state(state);
+  return Status::OK();
+}
+
+void SaveTestCase(const TestCase& tc, persist::StateWriter* w) {
+  w->WriteU64(tc.size());
+  for (const sql::StmtPtr& stmt : tc.statements()) {
+    persist::SerializeStatement(*stmt, w);
+  }
+}
+
+StatusOr<TestCase> LoadTestCase(persist::StateReader* r) {
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 1)) return r->status();
+  std::vector<sql::StmtPtr> stmts;
+  stmts.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    LEGO_ASSIGN_OR_RETURN(sql::StmtPtr stmt, persist::DeserializeStatement(r));
+    stmts.push_back(std::move(stmt));
+  }
+  return TestCase(std::move(stmts));
+}
+
+void SaveTestCaseQueue(const std::deque<TestCase>& q,
+                       persist::StateWriter* w) {
+  w->WriteU64(q.size());
+  for (const TestCase& tc : q) SaveTestCase(tc, w);
+}
+
+Status LoadTestCaseQueue(persist::StateReader* r, std::deque<TestCase>* q) {
+  q->clear();
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  for (uint64_t i = 0; i < n; ++i) {
+    LEGO_ASSIGN_OR_RETURN(TestCase tc, LoadTestCase(r));
+    q->push_back(std::move(tc));
+  }
+  return Status::OK();
+}
+
+}  // namespace lego::fuzz

@@ -1,0 +1,33 @@
+#ifndef LEGO_FUZZ_STATE_H_
+#define LEGO_FUZZ_STATE_H_
+
+#include <deque>
+
+#include "fuzz/testcase.h"
+#include "persist/io.h"
+#include "util/random.h"
+
+namespace lego::fuzz {
+
+/// Shared serde helpers for campaign state. Component-owned state lives in
+/// member SaveState/LoadState methods (Corpus, ExecutionHarness, the
+/// fuzzers); the pieces used by several components — Rng streams, test
+/// cases, pending-work queues — are serialized through these free functions
+/// so every layer writes the same byte layout.
+
+/// Rng: the four raw xoshiro words inside an "RNGS" chunk.
+void SaveRng(const Rng& rng, persist::StateWriter* w);
+Status LoadRng(persist::StateReader* r, Rng* rng);
+
+/// TestCase: statement count + each statement via the structural AST serde
+/// (no chunk — test cases nest inside corpus/queue chunks by the hundreds).
+void SaveTestCase(const TestCase& tc, persist::StateWriter* w);
+StatusOr<TestCase> LoadTestCase(persist::StateReader* r);
+
+/// A pending-work queue of test cases, FIFO order preserved.
+void SaveTestCaseQueue(const std::deque<TestCase>& q, persist::StateWriter* w);
+Status LoadTestCaseQueue(persist::StateReader* r, std::deque<TestCase>* q);
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_STATE_H_

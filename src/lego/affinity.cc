@@ -54,4 +54,45 @@ void TypeAffinityMap::Clear() {
   count_ = 0;
 }
 
+namespace {
+constexpr uint32_t kAffinityTag = persist::ChunkTag("AFFN");
+}  // namespace
+
+Status TypeAffinityMap::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kAffinityTag);
+  w->WriteU64(count_);
+  for (const auto& [t1, t2] : All()) {
+    w->WriteU8(static_cast<uint8_t>(t1));
+    w->WriteU8(static_cast<uint8_t>(t2));
+  }
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status TypeAffinityMap::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kAffinityTag));
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 2)) return r->status();
+  std::vector<Affinity> pairs;
+  pairs.reserve(n);
+  constexpr uint8_t kNum = static_cast<uint8_t>(sql::StatementType::kNumTypes);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t t1 = r->ReadU8();
+    uint8_t t2 = r->ReadU8();
+    if (!r->ok()) return r->status();
+    if (t1 >= kNum || t2 >= kNum) {
+      return Status::InvalidArgument("affinity pair with invalid type tag");
+    }
+    pairs.emplace_back(static_cast<sql::StatementType>(t1),
+                       static_cast<sql::StatementType>(t2));
+  }
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  Clear();
+  for (const auto& [t1, t2] : pairs) Add(t1, t2);
+  if (count_ != n) {
+    return Status::InvalidArgument("affinity set contains duplicate pairs");
+  }
+  return Status::OK();
+}
+
 }  // namespace lego::core

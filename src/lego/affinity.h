@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "persist/io.h"
 #include "sql/statement_type.h"
 
 namespace lego::core {
@@ -40,6 +41,11 @@ class TypeAffinityMap {
   std::vector<Affinity> All() const;
 
   void Clear();
+
+  /// Checkpointing: the full pair set round-trips (key order); Count() is
+  /// restored implicitly by re-adding.
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   std::map<sql::StatementType, std::set<sql::StatementType>> map_;

@@ -1,5 +1,10 @@
 #include "lego/ast_library.h"
 
+#include <string>
+#include <utility>
+
+#include "persist/ast_serde.h"
+
 namespace lego::core {
 
 void AstLibrary::AddStatement(const sql::Statement& stmt) {
@@ -31,6 +36,58 @@ size_t AstLibrary::TotalCount() const {
   size_t n = 0;
   for (const auto& bucket : skeletons_) n += bucket.size();
   return n;
+}
+
+namespace {
+constexpr uint32_t kLibraryTag = persist::ChunkTag("ASTL");
+}  // namespace
+
+Status AstLibrary::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kLibraryTag);
+  w->WriteU64(cap_);
+  w->WriteU64(skeletons_.size());
+  for (size_t slot = 0; slot < skeletons_.size(); ++slot) {
+    w->WriteU64(skeletons_[slot].size());
+    for (const sql::StmtPtr& stmt : skeletons_[slot]) {
+      persist::SerializeStatement(*stmt, w);
+    }
+    w->WriteU64(replace_cursor_[slot]);
+  }
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status AstLibrary::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kLibraryTag));
+  uint64_t cap = r->ReadU64();
+  if (r->ok() && cap != cap_) {
+    return Status::InvalidArgument(
+        "AST library state saved with cap " + std::to_string(cap) +
+        ", this campaign uses " + std::to_string(cap_));
+  }
+  uint64_t num_types = r->ReadU64();
+  if (r->ok() && num_types != skeletons_.size()) {
+    return Status::InvalidArgument(
+        "AST library state has " + std::to_string(num_types) +
+        " statement types, expected " + std::to_string(skeletons_.size()));
+  }
+  std::array<std::vector<sql::StmtPtr>, sql::kNumStatementTypes> skeletons;
+  std::array<size_t, sql::kNumStatementTypes> cursors = {};
+  for (size_t slot = 0; r->ok() && slot < skeletons.size(); ++slot) {
+    uint64_t n = r->ReadU64();
+    if (!r->CheckCount(n, 1)) return r->status();
+    skeletons[slot].reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      LEGO_ASSIGN_OR_RETURN(sql::StmtPtr stmt,
+                            persist::DeserializeStatement(r));
+      skeletons[slot].push_back(std::move(stmt));
+    }
+    cursors[slot] = r->ReadU64();
+  }
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  skeletons_ = std::move(skeletons);
+  replace_cursor_ = cursors;
+  return Status::OK();
 }
 
 }  // namespace lego::core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fuzz/testcase.h"
+#include "persist/io.h"
 #include "sql/ast.h"
 #include "util/random.h"
 
@@ -33,6 +34,12 @@ class AstLibrary {
     return skeletons_[static_cast<size_t>(type)].size();
   }
   size_t TotalCount() const;
+
+  /// Checkpointing: every stored skeleton (structural AST serde) plus the
+  /// per-type ring-replacement cursors, so future AddStatement() calls
+  /// overwrite the same slots they would have uninterrupted.
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   size_t cap_;

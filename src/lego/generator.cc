@@ -797,4 +797,90 @@ sql::StmtPtr StatementGenerator::Generate(StatementType type,
   }
 }
 
+namespace {
+
+constexpr uint32_t kSchemaTag = persist::ChunkTag("SCHM");
+
+void WriteNameSet(const std::set<std::string>& names,
+                  persist::StateWriter* w) {
+  w->WriteU64(names.size());
+  for (const std::string& name : names) w->WriteString(name);
+}
+
+Status ReadNameSet(persist::StateReader* r, std::set<std::string>* out) {
+  out->clear();
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  for (uint64_t i = 0; i < n; ++i) out->insert(r->ReadString());
+  return r->status();
+}
+
+}  // namespace
+
+Status SchemaContext::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kSchemaTag);
+  w->WriteU64(relations_.size());
+  for (const auto& [name, table] : relations_) {
+    w->WriteString(name);
+    w->WriteString(table.name);
+    w->WriteBool(table.is_view);
+    w->WriteU64(table.columns.size());
+    for (const SymbolicColumn& col : table.columns) {
+      w->WriteString(col.name);
+      w->WriteU8(static_cast<uint8_t>(col.type));
+    }
+  }
+  WriteNameSet(views_, w);
+  WriteNameSet(indexes_, w);
+  WriteNameSet(triggers_, w);
+  WriteNameSet(rules_, w);
+  WriteNameSet(sequences_, w);
+  WriteNameSet(users_, w);
+  WriteNameSet(savepoints_, w);
+  w->WriteBool(in_txn_);
+  w->WriteI64(counter_);
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status SchemaContext::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kSchemaTag));
+  std::map<std::string, SymbolicTable> relations;
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key = r->ReadString();
+    SymbolicTable table;
+    table.name = r->ReadString();
+    table.is_view = r->ReadBool();
+    uint64_t cols = r->ReadU64();
+    if (!r->CheckCount(cols, 8)) return r->status();
+    table.columns.reserve(cols);
+    for (uint64_t j = 0; j < cols; ++j) {
+      SymbolicColumn col;
+      col.name = r->ReadString();
+      uint8_t type = r->ReadU8();
+      if (!r->ok()) return r->status();
+      if (type > static_cast<uint8_t>(sql::SqlType::kBool)) {
+        return Status::InvalidArgument("symbolic column with invalid type");
+      }
+      col.type = static_cast<sql::SqlType>(type);
+      table.columns.push_back(std::move(col));
+    }
+    relations.emplace(std::move(key), std::move(table));
+  }
+  LEGO_RETURN_IF_ERROR(ReadNameSet(r, &views_));
+  LEGO_RETURN_IF_ERROR(ReadNameSet(r, &indexes_));
+  LEGO_RETURN_IF_ERROR(ReadNameSet(r, &triggers_));
+  LEGO_RETURN_IF_ERROR(ReadNameSet(r, &rules_));
+  LEGO_RETURN_IF_ERROR(ReadNameSet(r, &sequences_));
+  LEGO_RETURN_IF_ERROR(ReadNameSet(r, &users_));
+  LEGO_RETURN_IF_ERROR(ReadNameSet(r, &savepoints_));
+  in_txn_ = r->ReadBool();
+  counter_ = static_cast<int>(r->ReadI64());
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  relations_ = std::move(relations);
+  return Status::OK();
+}
+
 }  // namespace lego::core

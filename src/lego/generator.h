@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "minidb/profile.h"
+#include "persist/io.h"
 #include "sql/ast.h"
 #include "util/random.h"
 
@@ -51,6 +52,12 @@ class SchemaContext {
   const std::set<std::string>& savepoints() const { return savepoints_; }
   const std::set<std::string>& views() const { return views_; }
   bool in_transaction() const { return in_txn_; }
+
+  /// Checkpointing: the full symbolic schema (relations with columns, all
+  /// object-name sets, transaction flag, fresh-name counter) round-trips so
+  /// a resumed generator produces the same names and references.
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   std::map<std::string, SymbolicTable> relations_;

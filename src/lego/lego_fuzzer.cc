@@ -1,8 +1,10 @@
 #include "lego/lego_fuzzer.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "fuzz/seeds.h"
+#include "fuzz/state.h"
 
 namespace lego::core {
 
@@ -119,6 +121,100 @@ void LegoFuzzer::ImportSeed(const fuzz::TestCase& tc) {
   for (const auto& [t1, t2] : new_affinities) {
     pending_foreign_affinities_.emplace_back(t1, t2);
   }
+}
+
+std::vector<fuzz::TestCase> LegoFuzzer::ExportCorpus() const {
+  std::vector<fuzz::TestCase> out;
+  out.reserve(corpus_.size());
+  for (const fuzz::Seed& seed : corpus_.seeds()) {
+    out.push_back(seed.test_case.Clone());
+  }
+  return out;
+}
+
+namespace {
+constexpr uint32_t kLegoTag = persist::ChunkTag("LEGF");
+}  // namespace
+
+Status LegoFuzzer::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kLegoTag);
+  // Configuration fingerprint: verified on load so state is never resumed
+  // into a differently-configured fuzzer.
+  w->WriteI64(options_.max_sequence_length);
+  w->WriteBool(options_.sequence_algorithms_enabled);
+  w->WriteU64(options_.rng_seed);
+
+  fuzz::SaveRng(rng_, w);
+  LEGO_RETURN_IF_ERROR(library_.SaveState(w));
+  LEGO_RETURN_IF_ERROR(affinity_map_.SaveState(w));
+  LEGO_RETURN_IF_ERROR(synthesizer_.SaveState(w));
+  LEGO_RETURN_IF_ERROR(corpus_.SaveState(w));
+  fuzz::SaveTestCaseQueue(queue_, w);
+  w->WriteU64(pending_foreign_affinities_.size());
+  for (const auto& [t1, t2] : pending_foreign_affinities_) {
+    w->WriteU8(static_cast<uint8_t>(t1));
+    w->WriteU8(static_cast<uint8_t>(t2));
+  }
+  w->WriteI64(corpus_.IndexOf(current_seed_));
+  w->WriteU64(mutation_cursor_);
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status LegoFuzzer::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kLegoTag));
+  int max_len = static_cast<int>(r->ReadI64());
+  bool seq_enabled = r->ReadBool();
+  uint64_t rng_seed = r->ReadU64();
+  if (!r->ok()) return r->status();
+  if (max_len != options_.max_sequence_length ||
+      seq_enabled != options_.sequence_algorithms_enabled ||
+      rng_seed != options_.rng_seed) {
+    return Status::InvalidArgument(
+        "lego state saved under a different configuration (max_len/"
+        "sequence_algorithms/rng_seed mismatch)");
+  }
+  LEGO_RETURN_IF_ERROR(fuzz::LoadRng(r, &rng_));
+  LEGO_RETURN_IF_ERROR(library_.LoadState(r));
+  LEGO_RETURN_IF_ERROR(affinity_map_.LoadState(r));
+  LEGO_RETURN_IF_ERROR(synthesizer_.LoadState(r));
+  LEGO_RETURN_IF_ERROR(corpus_.LoadState(r));
+  LEGO_RETURN_IF_ERROR(fuzz::LoadTestCaseQueue(r, &queue_));
+  uint64_t pending = r->ReadU64();
+  if (!r->CheckCount(pending, 2)) return r->status();
+  pending_foreign_affinities_.clear();
+  constexpr uint8_t kNum = static_cast<uint8_t>(sql::StatementType::kNumTypes);
+  for (uint64_t i = 0; i < pending; ++i) {
+    uint8_t t1 = r->ReadU8();
+    uint8_t t2 = r->ReadU8();
+    if (!r->ok()) return r->status();
+    if (t1 >= kNum || t2 >= kNum) {
+      return Status::InvalidArgument(
+          "pending affinity with invalid type tag");
+    }
+    pending_foreign_affinities_.emplace_back(
+        static_cast<sql::StatementType>(t1),
+        static_cast<sql::StatementType>(t2));
+  }
+  int64_t seed_index = r->ReadI64();
+  uint64_t cursor = r->ReadU64();
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  if (seed_index >= static_cast<int64_t>(corpus_.size()) || seed_index < -1) {
+    return Status::InvalidArgument("in-flight seed index out of range");
+  }
+  current_seed_ =
+      seed_index < 0 ? nullptr : corpus_.at(static_cast<size_t>(seed_index));
+  mutation_cursor_ = cursor;
+  return Status::OK();
+}
+
+fuzz::FuzzerStats LegoFuzzer::stats() const {
+  fuzz::FuzzerStats s;
+  s.corpus_seeds = corpus_.size();
+  s.affinity_pairs = affinity_map_.Count();
+  s.sequences_total = synthesizer_.TotalSequences();
+  s.sequences_dropped = synthesizer_.dropped_sequences();
+  return s;
 }
 
 void LegoFuzzer::OnResult(const fuzz::TestCase& tc,

@@ -51,6 +51,17 @@ class LegoFuzzer : public fuzz::Fuzzer {
                 const fuzz::ExecResult& result) override;
   std::unique_ptr<fuzz::Fuzzer> CloneForWorker(int worker_id) const override;
   void ImportSeed(const fuzz::TestCase& tc) override;
+  std::vector<fuzz::TestCase> ExportCorpus() const override;
+
+  /// Serializes every mutable member — RNG stream, AST library, affinity
+  /// map, synthesizer S (PS is rebuilt), corpus with scheduling state, the
+  /// pending queue, deferred foreign affinities, the in-flight seed (as a
+  /// corpus index) and the mutation cursor. Configuration (options_) is
+  /// written as a fingerprint and verified on load, not restored: a resumed
+  /// campaign must be constructed with the same options.
+  Status SaveState(persist::StateWriter* w) const override;
+  Status LoadState(persist::StateReader* r) override;
+  fuzz::FuzzerStats stats() const override;
 
   /// Affinities discovered so far (Table II / Table IV metric).
   const TypeAffinityMap& affinities() const { return affinity_map_; }

@@ -10,7 +10,10 @@ void SequenceSynthesizer::AddStartType(sql::StatementType t) {
 
 bool SequenceSynthesizer::Record(
     const std::vector<sql::StatementType>& seq) {
-  if (sequences_.size() >= kMaxSequences) return false;
+  if (sequences_.size() >= kMaxSequences) {
+    ++dropped_;
+    return false;
+  }
   sequences_.push_back(seq);
   prefix_[{seq.back(), static_cast<int>(seq.size())}].push_back(
       sequences_.size() - 1);
@@ -56,6 +59,70 @@ void SequenceSynthesizer::ListSeq(
     if (Record(*seq)) out->push_back(*seq);
     seq->pop_back();
   }
+}
+
+namespace {
+constexpr uint32_t kSynthTag = persist::ChunkTag("SYNT");
+}  // namespace
+
+Status SequenceSynthesizer::SaveState(persist::StateWriter* w) const {
+  w->BeginChunk(kSynthTag);
+  w->WriteI64(max_len_);
+  w->WriteU64(dropped_);
+  w->WriteU64(sequences_.size());
+  for (const auto& seq : sequences_) {
+    w->WriteU64(seq.size());
+    for (sql::StatementType t : seq) w->WriteU8(static_cast<uint8_t>(t));
+  }
+  w->EndChunk();
+  return Status::OK();
+}
+
+Status SequenceSynthesizer::LoadState(persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(kSynthTag));
+  int max_len = static_cast<int>(r->ReadI64());
+  if (r->ok() && max_len != max_len_) {
+    return Status::InvalidArgument(
+        "synthesizer state saved with max_len " + std::to_string(max_len) +
+        ", this campaign uses " + std::to_string(max_len_));
+  }
+  uint64_t dropped = r->ReadU64();
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  std::vector<std::vector<sql::StatementType>> sequences;
+  sequences.reserve(n);
+  constexpr uint8_t kNum = static_cast<uint8_t>(sql::StatementType::kNumTypes);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len = r->ReadU64();
+    if (!r->CheckCount(len, 1)) return r->status();
+    std::vector<sql::StatementType> seq;
+    seq.reserve(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      uint8_t t = r->ReadU8();
+      if (!r->ok()) return r->status();
+      if (t >= kNum) {
+        return Status::InvalidArgument("sequence with invalid type tag");
+      }
+      seq.push_back(static_cast<sql::StatementType>(t));
+    }
+    if (seq.empty()) {
+      return Status::InvalidArgument("empty sequence in synthesizer state");
+    }
+    sequences.push_back(std::move(seq));
+  }
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  // Rebuild PS from S exactly as Record() built it: index i is appended to
+  // prefix_[(S[i].back, |S[i]|)] in increasing i, so the rebuilt index lists
+  // match the original insertion order and future synthesis walks them in
+  // the same order.
+  sequences_ = std::move(sequences);
+  prefix_.clear();
+  for (size_t i = 0; i < sequences_.size(); ++i) {
+    const auto& seq = sequences_[i];
+    prefix_[{seq.back(), static_cast<int>(seq.size())}].push_back(i);
+  }
+  dropped_ = dropped;
+  return Status::OK();
 }
 
 }  // namespace lego::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lego/affinity.h"
+#include "persist/io.h"
 #include "sql/statement_type.h"
 
 namespace lego::core {
@@ -41,12 +42,23 @@ class SequenceSynthesizer {
   /// Total sequences synthesized so far (including length-1 roots).
   size_t TotalSequences() const { return sequences_.size(); }
 
+  /// Sequences discarded at the kMaxSequences cap. A nonzero value means S
+  /// is saturated and further affinities synthesize nothing — previously
+  /// this happened silently; campaigns now surface it in their summary.
+  size_t dropped_sequences() const { return dropped_; }
+
   int max_len() const { return max_len_; }
 
   /// Read-only view of S (tests).
   const std::vector<std::vector<sql::StatementType>>& sequences() const {
     return sequences_;
   }
+
+  /// Checkpointing: S and the drop counter round-trip; PS is derived state,
+  /// rebuilt from S in the same insertion order Record() used. max_len is
+  /// configuration and only verified.
+  Status SaveState(persist::StateWriter* w) const;
+  Status LoadState(persist::StateReader* r);
 
  private:
   /// Appends `seq` to S and records it in PS. Returns false at the cap.
@@ -60,6 +72,7 @@ class SequenceSynthesizer {
                std::vector<std::vector<sql::StatementType>>* out);
 
   int max_len_;
+  size_t dropped_ = 0;  // sequences refused at kMaxSequences
   std::vector<std::vector<sql::StatementType>> sequences_;  // S
   // PS: (type, length) -> indexes into S.
   std::map<std::pair<sql::StatementType, int>, std::vector<size_t>> prefix_;

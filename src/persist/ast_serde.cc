@@ -1,0 +1,1155 @@
+#include "persist/ast_serde.h"
+
+#include <utility>
+#include <vector>
+
+namespace lego::persist {
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::Statement;
+using sql::StatementType;
+using sql::StmtPtr;
+using sql::TableRef;
+using sql::TableRefKind;
+using sql::TableRefPtr;
+
+/// Nesting bound for deserialization: generated/mutated SQL never remotely
+/// approaches this, so hitting it means a corrupt or adversarial file.
+constexpr int kMaxDepth = 200;
+
+Status TooDeep() {
+  return Status::InvalidArgument("AST nesting exceeds depth limit");
+}
+
+Status BadEnum(const char* what, uint64_t v) {
+  return Status::InvalidArgument(std::string("invalid ") + what +
+                                 " discriminator " + std::to_string(v));
+}
+
+// Forward declarations for the recursive walkers.
+void WriteExpr(const Expr& e, StateWriter* w);
+void WriteOptExpr(const Expr* e, StateWriter* w);
+void WriteSelect(const sql::SelectStmt& s, StateWriter* w);
+void WriteTableRef(const TableRef& t, StateWriter* w);
+void WriteStmt(const Statement& s, StateWriter* w);
+void WriteOptStmt(const Statement* s, StateWriter* w);
+StatusOr<ExprPtr> ReadExpr(StateReader* r, int depth);
+Status ReadOptExpr(StateReader* r, int depth, ExprPtr* out);
+StatusOr<std::unique_ptr<sql::SelectStmt>> ReadSelect(StateReader* r,
+                                                      int depth);
+StatusOr<TableRefPtr> ReadTableRef(StateReader* r, int depth);
+StatusOr<StmtPtr> ReadStmt(StateReader* r, int depth);
+Status ReadOptStmt(StateReader* r, int depth, StmtPtr* out);
+
+// ---------------------------------------------------------------------------
+// Small shared pieces
+// ---------------------------------------------------------------------------
+
+void WriteExprVec(const std::vector<ExprPtr>& v, StateWriter* w) {
+  w->WriteU64(v.size());
+  for (const ExprPtr& e : v) WriteExpr(*e, w);
+}
+
+Status ReadExprVec(StateReader* r, int depth, std::vector<ExprPtr>* out) {
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 1)) return r->status();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    LEGO_ASSIGN_OR_RETURN(ExprPtr e, ReadExpr(r, depth));
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+void WriteStringVec(const std::vector<std::string>& v, StateWriter* w) {
+  w->WriteU64(v.size());
+  for (const std::string& s : v) w->WriteString(s);
+}
+
+Status ReadStringVec(StateReader* r, std::vector<std::string>* out) {
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 8)) return r->status();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out->push_back(r->ReadString());
+  return r->status();
+}
+
+void WriteColumnDef(const sql::ColumnDef& c, StateWriter* w) {
+  w->WriteString(c.name);
+  w->WriteU8(static_cast<uint8_t>(c.type));
+  w->WriteBool(c.primary_key);
+  w->WriteBool(c.unique);
+  w->WriteBool(c.not_null);
+  WriteOptExpr(c.default_value.get(), w);
+}
+
+Status ReadColumnDef(StateReader* r, int depth, sql::ColumnDef* out) {
+  out->name = r->ReadString();
+  uint8_t type = r->ReadU8();
+  if (type > static_cast<uint8_t>(sql::SqlType::kBool)) {
+    return BadEnum("SqlType", type);
+  }
+  out->type = static_cast<sql::SqlType>(type);
+  out->primary_key = r->ReadBool();
+  out->unique = r->ReadBool();
+  out->not_null = r->ReadBool();
+  return ReadOptExpr(r, depth, &out->default_value);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+void WriteExpr(const Expr& e, StateWriter* w) {
+  w->WriteU8(static_cast<uint8_t>(e.kind()));
+  switch (e.kind()) {
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const sql::Literal&>(e);
+      w->WriteU8(static_cast<uint8_t>(lit.tag()));
+      switch (lit.tag()) {
+        case sql::Literal::Tag::kNull:
+          break;
+        case sql::Literal::Tag::kInt:
+          w->WriteI64(lit.int_value());
+          break;
+        case sql::Literal::Tag::kReal:
+          w->WriteDouble(lit.real_value());
+          break;
+        case sql::Literal::Tag::kText:
+          w->WriteString(lit.text_value());
+          break;
+        case sql::Literal::Tag::kBool:
+          w->WriteBool(lit.bool_value());
+          break;
+      }
+      break;
+    }
+    case ExprKind::kColumnRef: {
+      const auto& c = static_cast<const sql::ColumnRef&>(e);
+      w->WriteString(c.table());
+      w->WriteString(c.column());
+      break;
+    }
+    case ExprKind::kStar: {
+      const auto& s = static_cast<const sql::Star&>(e);
+      w->WriteString(s.table());
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const sql::UnaryExpr&>(e);
+      w->WriteU8(static_cast<uint8_t>(u.op()));
+      WriteExpr(u.operand(), w);
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(e);
+      w->WriteU8(static_cast<uint8_t>(b.op()));
+      WriteExpr(b.lhs(), w);
+      WriteExpr(b.rhs(), w);
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const sql::FunctionCall&>(e);
+      w->WriteString(f.name());
+      WriteExprVec(f.args(), w);
+      w->WriteBool(f.distinct());
+      w->WriteBool(f.star_arg());
+      const sql::WindowSpec* win = f.window();
+      w->WriteBool(win != nullptr);
+      if (win != nullptr) {
+        WriteExprVec(win->partition_by, w);
+        w->WriteU64(win->order_by.size());
+        for (const auto& [expr, desc] : win->order_by) {
+          WriteExpr(*expr, w);
+          w->WriteBool(desc);
+        }
+      }
+      break;
+    }
+    case ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(e);
+      WriteOptExpr(c.operand(), w);
+      w->WriteU64(c.whens().size());
+      for (const auto& [when, then] : c.whens()) {
+        WriteExpr(*when, w);
+        WriteExpr(*then, w);
+      }
+      WriteOptExpr(c.else_expr(), w);
+      break;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(e);
+      WriteExpr(in.needle(), w);
+      WriteExprVec(in.list(), w);
+      w->WriteBool(in.negated());
+      break;
+    }
+    case ExprKind::kInSubquery: {
+      const auto& in = static_cast<const sql::InSubqueryExpr&>(e);
+      WriteExpr(in.needle(), w);
+      WriteSelect(in.subquery(), w);
+      w->WriteBool(in.negated());
+      break;
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(e);
+      WriteExpr(b.operand(), w);
+      WriteExpr(b.lo(), w);
+      WriteExpr(b.hi(), w);
+      w->WriteBool(b.negated());
+      break;
+    }
+    case ExprKind::kLike: {
+      const auto& l = static_cast<const sql::LikeExpr&>(e);
+      WriteExpr(l.operand(), w);
+      WriteExpr(l.pattern(), w);
+      w->WriteBool(l.negated());
+      break;
+    }
+    case ExprKind::kIsNull: {
+      const auto& i = static_cast<const sql::IsNullExpr&>(e);
+      WriteExpr(i.operand(), w);
+      w->WriteBool(i.negated());
+      break;
+    }
+    case ExprKind::kExists: {
+      const auto& x = static_cast<const sql::ExistsExpr&>(e);
+      WriteSelect(x.subquery(), w);
+      w->WriteBool(x.negated());
+      break;
+    }
+    case ExprKind::kCast: {
+      const auto& c = static_cast<const sql::CastExpr&>(e);
+      WriteExpr(c.operand(), w);
+      w->WriteU8(static_cast<uint8_t>(c.target()));
+      break;
+    }
+    case ExprKind::kScalarSubquery: {
+      const auto& s = static_cast<const sql::ScalarSubquery&>(e);
+      WriteSelect(s.subquery(), w);
+      break;
+    }
+    case ExprKind::kSessionVar: {
+      const auto& s = static_cast<const sql::SessionVar&>(e);
+      w->WriteString(s.name());
+      break;
+    }
+  }
+}
+
+void WriteOptExpr(const Expr* e, StateWriter* w) {
+  w->WriteBool(e != nullptr);
+  if (e != nullptr) WriteExpr(*e, w);
+}
+
+StatusOr<ExprPtr> ReadExpr(StateReader* r, int depth) {
+  if (depth > kMaxDepth) return TooDeep();
+  uint8_t kind_raw = r->ReadU8();
+  if (!r->ok()) return r->status();
+  if (kind_raw > static_cast<uint8_t>(ExprKind::kSessionVar)) {
+    return BadEnum("ExprKind", kind_raw);
+  }
+  switch (static_cast<ExprKind>(kind_raw)) {
+    case ExprKind::kLiteral: {
+      uint8_t tag = r->ReadU8();
+      if (tag > static_cast<uint8_t>(sql::Literal::Tag::kBool)) {
+        return BadEnum("Literal::Tag", tag);
+      }
+      switch (static_cast<sql::Literal::Tag>(tag)) {
+        case sql::Literal::Tag::kNull:
+          return sql::Literal::Null();
+        case sql::Literal::Tag::kInt:
+          return sql::Literal::Int(r->ReadI64());
+        case sql::Literal::Tag::kReal:
+          return sql::Literal::Real(r->ReadDouble());
+        case sql::Literal::Tag::kText:
+          return sql::Literal::Text(r->ReadString());
+        case sql::Literal::Tag::kBool:
+          return sql::Literal::Bool(r->ReadBool());
+      }
+      return BadEnum("Literal::Tag", tag);
+    }
+    case ExprKind::kColumnRef: {
+      std::string table = r->ReadString();
+      std::string column = r->ReadString();
+      return ExprPtr(std::make_unique<sql::ColumnRef>(std::move(table),
+                                                      std::move(column)));
+    }
+    case ExprKind::kStar:
+      return ExprPtr(std::make_unique<sql::Star>(r->ReadString()));
+    case ExprKind::kUnary: {
+      uint8_t op = r->ReadU8();
+      if (op > static_cast<uint8_t>(sql::UnaryOp::kNot)) {
+        return BadEnum("UnaryOp", op);
+      }
+      LEGO_ASSIGN_OR_RETURN(ExprPtr operand, ReadExpr(r, depth + 1));
+      return ExprPtr(std::make_unique<sql::UnaryExpr>(
+          static_cast<sql::UnaryOp>(op), std::move(operand)));
+    }
+    case ExprKind::kBinary: {
+      uint8_t op = r->ReadU8();
+      if (op > static_cast<uint8_t>(sql::BinaryOp::kConcat)) {
+        return BadEnum("BinaryOp", op);
+      }
+      LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ReadExpr(r, depth + 1));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ReadExpr(r, depth + 1));
+      return ExprPtr(std::make_unique<sql::BinaryExpr>(
+          static_cast<sql::BinaryOp>(op), std::move(lhs), std::move(rhs)));
+    }
+    case ExprKind::kFunctionCall: {
+      std::string name = r->ReadString();
+      std::vector<ExprPtr> args;
+      LEGO_RETURN_IF_ERROR(ReadExprVec(r, depth + 1, &args));
+      auto fn = std::make_unique<sql::FunctionCall>(std::move(name),
+                                                    std::move(args));
+      fn->set_distinct(r->ReadBool());
+      fn->set_star_arg(r->ReadBool());
+      if (r->ReadBool()) {
+        auto win = std::make_unique<sql::WindowSpec>();
+        LEGO_RETURN_IF_ERROR(ReadExprVec(r, depth + 1, &win->partition_by));
+        uint64_t n = r->ReadU64();
+        if (!r->CheckCount(n, 2)) return r->status();
+        for (uint64_t i = 0; i < n; ++i) {
+          LEGO_ASSIGN_OR_RETURN(ExprPtr e, ReadExpr(r, depth + 1));
+          bool desc = r->ReadBool();
+          win->order_by.emplace_back(std::move(e), desc);
+        }
+        fn->set_window(std::move(win));
+      }
+      return ExprPtr(std::move(fn));
+    }
+    case ExprKind::kCase: {
+      ExprPtr operand;
+      LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &operand));
+      uint64_t n = r->ReadU64();
+      if (!r->CheckCount(n, 2)) return r->status();
+      std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+      whens.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        LEGO_ASSIGN_OR_RETURN(ExprPtr when, ReadExpr(r, depth + 1));
+        LEGO_ASSIGN_OR_RETURN(ExprPtr then, ReadExpr(r, depth + 1));
+        whens.emplace_back(std::move(when), std::move(then));
+      }
+      ExprPtr else_expr;
+      LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &else_expr));
+      return ExprPtr(std::make_unique<sql::CaseExpr>(
+          std::move(operand), std::move(whens), std::move(else_expr)));
+    }
+    case ExprKind::kInList: {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr needle, ReadExpr(r, depth + 1));
+      std::vector<ExprPtr> list;
+      LEGO_RETURN_IF_ERROR(ReadExprVec(r, depth + 1, &list));
+      bool negated = r->ReadBool();
+      return ExprPtr(std::make_unique<sql::InListExpr>(
+          std::move(needle), std::move(list), negated));
+    }
+    case ExprKind::kInSubquery: {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr needle, ReadExpr(r, depth + 1));
+      LEGO_ASSIGN_OR_RETURN(auto sub, ReadSelect(r, depth + 1));
+      bool negated = r->ReadBool();
+      return ExprPtr(std::make_unique<sql::InSubqueryExpr>(
+          std::move(needle), std::move(sub), negated));
+    }
+    case ExprKind::kBetween: {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr operand, ReadExpr(r, depth + 1));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr lo, ReadExpr(r, depth + 1));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr hi, ReadExpr(r, depth + 1));
+      bool negated = r->ReadBool();
+      return ExprPtr(std::make_unique<sql::BetweenExpr>(
+          std::move(operand), std::move(lo), std::move(hi), negated));
+    }
+    case ExprKind::kLike: {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr operand, ReadExpr(r, depth + 1));
+      LEGO_ASSIGN_OR_RETURN(ExprPtr pattern, ReadExpr(r, depth + 1));
+      bool negated = r->ReadBool();
+      return ExprPtr(std::make_unique<sql::LikeExpr>(
+          std::move(operand), std::move(pattern), negated));
+    }
+    case ExprKind::kIsNull: {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr operand, ReadExpr(r, depth + 1));
+      bool negated = r->ReadBool();
+      return ExprPtr(
+          std::make_unique<sql::IsNullExpr>(std::move(operand), negated));
+    }
+    case ExprKind::kExists: {
+      LEGO_ASSIGN_OR_RETURN(auto sub, ReadSelect(r, depth + 1));
+      bool negated = r->ReadBool();
+      return ExprPtr(
+          std::make_unique<sql::ExistsExpr>(std::move(sub), negated));
+    }
+    case ExprKind::kCast: {
+      LEGO_ASSIGN_OR_RETURN(ExprPtr operand, ReadExpr(r, depth + 1));
+      uint8_t target = r->ReadU8();
+      if (target > static_cast<uint8_t>(sql::SqlType::kBool)) {
+        return BadEnum("SqlType", target);
+      }
+      return ExprPtr(std::make_unique<sql::CastExpr>(
+          std::move(operand), static_cast<sql::SqlType>(target)));
+    }
+    case ExprKind::kScalarSubquery: {
+      LEGO_ASSIGN_OR_RETURN(auto sub, ReadSelect(r, depth + 1));
+      return ExprPtr(std::make_unique<sql::ScalarSubquery>(std::move(sub)));
+    }
+    case ExprKind::kSessionVar:
+      return ExprPtr(std::make_unique<sql::SessionVar>(r->ReadString()));
+  }
+  return BadEnum("ExprKind", kind_raw);
+}
+
+Status ReadOptExpr(StateReader* r, int depth, ExprPtr* out) {
+  if (r->ReadBool()) {
+    LEGO_ASSIGN_OR_RETURN(*out, ReadExpr(r, depth));
+  } else {
+    out->reset();
+  }
+  return r->status();
+}
+
+// ---------------------------------------------------------------------------
+// Table references and SELECT
+// ---------------------------------------------------------------------------
+
+void WriteTableRef(const TableRef& t, StateWriter* w) {
+  w->WriteU8(static_cast<uint8_t>(t.kind()));
+  switch (t.kind()) {
+    case TableRefKind::kBaseTable: {
+      const auto& b = static_cast<const sql::BaseTableRef&>(t);
+      w->WriteString(b.name());
+      w->WriteString(b.alias());
+      break;
+    }
+    case TableRefKind::kSubquery: {
+      const auto& s = static_cast<const sql::SubqueryRef&>(t);
+      WriteSelect(s.select(), w);
+      w->WriteString(s.alias());
+      break;
+    }
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const sql::JoinRef&>(t);
+      w->WriteU8(static_cast<uint8_t>(j.join_type()));
+      WriteTableRef(j.left(), w);
+      WriteTableRef(j.right(), w);
+      WriteOptExpr(j.on(), w);
+      break;
+    }
+  }
+}
+
+StatusOr<TableRefPtr> ReadTableRef(StateReader* r, int depth) {
+  if (depth > kMaxDepth) return TooDeep();
+  uint8_t kind = r->ReadU8();
+  if (!r->ok()) return r->status();
+  if (kind > static_cast<uint8_t>(TableRefKind::kJoin)) {
+    return BadEnum("TableRefKind", kind);
+  }
+  switch (static_cast<TableRefKind>(kind)) {
+    case TableRefKind::kBaseTable: {
+      std::string name = r->ReadString();
+      std::string alias = r->ReadString();
+      return TableRefPtr(std::make_unique<sql::BaseTableRef>(
+          std::move(name), std::move(alias)));
+    }
+    case TableRefKind::kSubquery: {
+      LEGO_ASSIGN_OR_RETURN(auto sub, ReadSelect(r, depth + 1));
+      std::string alias = r->ReadString();
+      return TableRefPtr(std::make_unique<sql::SubqueryRef>(
+          std::move(sub), std::move(alias)));
+    }
+    case TableRefKind::kJoin: {
+      uint8_t type = r->ReadU8();
+      if (type > static_cast<uint8_t>(sql::JoinType::kCross)) {
+        return BadEnum("JoinType", type);
+      }
+      LEGO_ASSIGN_OR_RETURN(TableRefPtr left, ReadTableRef(r, depth + 1));
+      LEGO_ASSIGN_OR_RETURN(TableRefPtr right, ReadTableRef(r, depth + 1));
+      ExprPtr on;
+      LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &on));
+      return TableRefPtr(std::make_unique<sql::JoinRef>(
+          static_cast<sql::JoinType>(type), std::move(left), std::move(right),
+          std::move(on)));
+    }
+  }
+  return BadEnum("TableRefKind", kind);
+}
+
+void WriteSelectCore(const sql::SelectCore& c, StateWriter* w) {
+  w->WriteBool(c.distinct);
+  w->WriteU64(c.items.size());
+  for (const sql::SelectItem& item : c.items) {
+    WriteExpr(*item.expr, w);
+    w->WriteString(item.alias);
+  }
+  w->WriteBool(c.from != nullptr);
+  if (c.from != nullptr) WriteTableRef(*c.from, w);
+  WriteOptExpr(c.where.get(), w);
+  WriteExprVec(c.group_by, w);
+  WriteOptExpr(c.having.get(), w);
+}
+
+Status ReadSelectCore(StateReader* r, int depth, sql::SelectCore* out) {
+  out->distinct = r->ReadBool();
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 2)) return r->status();
+  out->items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    sql::SelectItem item;
+    LEGO_ASSIGN_OR_RETURN(item.expr, ReadExpr(r, depth));
+    item.alias = r->ReadString();
+    out->items.push_back(std::move(item));
+  }
+  if (r->ReadBool()) {
+    LEGO_ASSIGN_OR_RETURN(out->from, ReadTableRef(r, depth));
+  }
+  LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth, &out->where));
+  LEGO_RETURN_IF_ERROR(ReadExprVec(r, depth, &out->group_by));
+  return ReadOptExpr(r, depth, &out->having);
+}
+
+void WriteSelect(const sql::SelectStmt& s, StateWriter* w) {
+  WriteSelectCore(s.core, w);
+  w->WriteU64(s.compounds.size());
+  for (const auto& [op, core] : s.compounds) {
+    w->WriteU8(static_cast<uint8_t>(op));
+    WriteSelectCore(core, w);
+  }
+  w->WriteU64(s.order_by.size());
+  for (const sql::OrderByItem& item : s.order_by) {
+    WriteExpr(*item.expr, w);
+    w->WriteBool(item.desc);
+  }
+  WriteOptExpr(s.limit.get(), w);
+  WriteOptExpr(s.offset.get(), w);
+}
+
+StatusOr<std::unique_ptr<sql::SelectStmt>> ReadSelect(StateReader* r,
+                                                      int depth) {
+  if (depth > kMaxDepth) return TooDeep();
+  auto out = std::make_unique<sql::SelectStmt>();
+  LEGO_RETURN_IF_ERROR(ReadSelectCore(r, depth + 1, &out->core));
+  uint64_t n = r->ReadU64();
+  if (!r->CheckCount(n, 2)) return r->status();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t op = r->ReadU8();
+    if (op > static_cast<uint8_t>(sql::SetOpKind::kIntersect)) {
+      return BadEnum("SetOpKind", op);
+    }
+    sql::SelectCore core;
+    LEGO_RETURN_IF_ERROR(ReadSelectCore(r, depth + 1, &core));
+    out->compounds.emplace_back(static_cast<sql::SetOpKind>(op),
+                                std::move(core));
+  }
+  n = r->ReadU64();
+  if (!r->CheckCount(n, 2)) return r->status();
+  for (uint64_t i = 0; i < n; ++i) {
+    sql::OrderByItem item;
+    LEGO_ASSIGN_OR_RETURN(item.expr, ReadExpr(r, depth + 1));
+    item.desc = r->ReadBool();
+    out->order_by.push_back(std::move(item));
+  }
+  LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &out->limit));
+  LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &out->offset));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void WriteStmt(const Statement& s, StateWriter* w) {
+  const StatementType type = s.type();
+  w->WriteU8(static_cast<uint8_t>(type));
+  switch (type) {
+    case StatementType::kCreateTable: {
+      const auto& c = static_cast<const sql::CreateTableStmt&>(s);
+      w->WriteString(c.name);
+      w->WriteBool(c.if_not_exists);
+      w->WriteBool(c.temporary);
+      w->WriteU64(c.columns.size());
+      for (const sql::ColumnDef& col : c.columns) WriteColumnDef(col, w);
+      break;
+    }
+    case StatementType::kCreateIndex: {
+      const auto& c = static_cast<const sql::CreateIndexStmt&>(s);
+      w->WriteString(c.name);
+      w->WriteString(c.table);
+      WriteStringVec(c.columns, w);
+      w->WriteBool(c.unique);
+      w->WriteBool(c.if_not_exists);
+      break;
+    }
+    case StatementType::kCreateView: {
+      const auto& c = static_cast<const sql::CreateViewStmt&>(s);
+      w->WriteString(c.name);
+      w->WriteBool(c.or_replace);
+      w->WriteBool(c.select != nullptr);
+      if (c.select != nullptr) WriteSelect(*c.select, w);
+      break;
+    }
+    case StatementType::kCreateTrigger: {
+      const auto& c = static_cast<const sql::CreateTriggerStmt&>(s);
+      w->WriteString(c.name);
+      w->WriteU8(static_cast<uint8_t>(c.timing));
+      w->WriteU8(static_cast<uint8_t>(c.event));
+      w->WriteString(c.table);
+      w->WriteBool(c.for_each_row);
+      WriteOptStmt(c.body.get(), w);
+      break;
+    }
+    case StatementType::kCreateSequence: {
+      const auto& c = static_cast<const sql::CreateSequenceStmt&>(s);
+      w->WriteString(c.name);
+      w->WriteI64(c.start);
+      w->WriteI64(c.increment);
+      w->WriteBool(c.if_not_exists);
+      break;
+    }
+    case StatementType::kCreateRule: {
+      const auto& c = static_cast<const sql::CreateRuleStmt&>(s);
+      w->WriteString(c.name);
+      w->WriteBool(c.or_replace);
+      w->WriteU8(static_cast<uint8_t>(c.event));
+      w->WriteString(c.table);
+      w->WriteBool(c.instead);
+      WriteOptStmt(c.action.get(), w);
+      break;
+    }
+    case StatementType::kDropTable:
+    case StatementType::kDropIndex:
+    case StatementType::kDropView:
+    case StatementType::kDropTrigger:
+    case StatementType::kDropSequence:
+    case StatementType::kDropRule: {
+      const auto& d = static_cast<const sql::DropStmt&>(s);
+      w->WriteString(d.name());
+      w->WriteBool(d.if_exists());
+      break;
+    }
+    case StatementType::kAlterTable: {
+      const auto& a = static_cast<const sql::AlterTableStmt&>(s);
+      w->WriteString(a.table);
+      w->WriteU8(static_cast<uint8_t>(a.action));
+      WriteColumnDef(a.new_column, w);
+      w->WriteString(a.old_name);
+      w->WriteString(a.new_name);
+      break;
+    }
+    case StatementType::kTruncate: {
+      const auto& t = static_cast<const sql::TruncateStmt&>(s);
+      w->WriteString(t.table);
+      break;
+    }
+    case StatementType::kInsert:
+    case StatementType::kReplace: {
+      const auto& i = static_cast<const sql::InsertStmt&>(s);
+      w->WriteString(i.table);
+      WriteStringVec(i.columns, w);
+      w->WriteU64(i.rows.size());
+      for (const std::vector<ExprPtr>& row : i.rows) WriteExprVec(row, w);
+      w->WriteBool(i.select != nullptr);
+      if (i.select != nullptr) WriteSelect(*i.select, w);
+      w->WriteBool(i.or_ignore);
+      w->WriteBool(i.replace);
+      break;
+    }
+    case StatementType::kUpdate: {
+      const auto& u = static_cast<const sql::UpdateStmt&>(s);
+      w->WriteString(u.table);
+      w->WriteU64(u.assignments.size());
+      for (const auto& [col, expr] : u.assignments) {
+        w->WriteString(col);
+        WriteExpr(*expr, w);
+      }
+      WriteOptExpr(u.where.get(), w);
+      break;
+    }
+    case StatementType::kDelete: {
+      const auto& d = static_cast<const sql::DeleteStmt&>(s);
+      w->WriteString(d.table);
+      WriteOptExpr(d.where.get(), w);
+      break;
+    }
+    case StatementType::kCopy: {
+      const auto& c = static_cast<const sql::CopyStmt&>(s);
+      w->WriteString(c.table);
+      w->WriteBool(c.query != nullptr);
+      if (c.query != nullptr) WriteSelect(*c.query, w);
+      w->WriteBool(c.to_stdout);
+      w->WriteBool(c.csv);
+      w->WriteBool(c.header);
+      break;
+    }
+    case StatementType::kSelect:
+      WriteSelect(static_cast<const sql::SelectStmt&>(s), w);
+      break;
+    case StatementType::kValues: {
+      const auto& v = static_cast<const sql::ValuesStmt&>(s);
+      w->WriteU64(v.rows.size());
+      for (const std::vector<ExprPtr>& row : v.rows) WriteExprVec(row, w);
+      break;
+    }
+    case StatementType::kWith: {
+      const auto& wi = static_cast<const sql::WithStmt&>(s);
+      w->WriteU64(wi.ctes.size());
+      for (const sql::CommonTableExpr& cte : wi.ctes) {
+        w->WriteString(cte.name);
+        WriteStringVec(cte.columns, w);
+        WriteOptStmt(cte.statement.get(), w);
+      }
+      WriteOptStmt(wi.body.get(), w);
+      break;
+    }
+    case StatementType::kGrant: {
+      const auto& g = static_cast<const sql::GrantStmt&>(s);
+      w->WriteU8(static_cast<uint8_t>(g.privilege));
+      w->WriteString(g.table);
+      w->WriteString(g.user);
+      break;
+    }
+    case StatementType::kRevoke: {
+      const auto& g = static_cast<const sql::RevokeStmt&>(s);
+      w->WriteU8(static_cast<uint8_t>(g.privilege));
+      w->WriteString(g.table);
+      w->WriteString(g.user);
+      break;
+    }
+    case StatementType::kCreateUser: {
+      const auto& c = static_cast<const sql::CreateUserStmt&>(s);
+      w->WriteString(c.name);
+      w->WriteBool(c.if_not_exists);
+      break;
+    }
+    case StatementType::kDropUser: {
+      const auto& d = static_cast<const sql::DropUserStmt&>(s);
+      w->WriteString(d.name);
+      w->WriteBool(d.if_exists);
+      break;
+    }
+    case StatementType::kBegin:
+    case StatementType::kCommit:
+    case StatementType::kRollback:
+    case StatementType::kCheckpoint:
+      break;  // SimpleStmt: the type tag is the whole payload
+    case StatementType::kSavepoint:
+    case StatementType::kRelease:
+    case StatementType::kRollbackTo:
+    case StatementType::kListen:
+    case StatementType::kUnlisten: {
+      const auto& n = static_cast<const sql::NamedStmt&>(s);
+      w->WriteString(n.name());
+      break;
+    }
+    case StatementType::kPragma:
+    case StatementType::kSet: {
+      const auto& p = static_cast<const sql::PragmaStmt&>(s);
+      w->WriteString(p.name);
+      WriteOptExpr(p.value.get(), w);
+      w->WriteBool(p.is_set);
+      w->WriteBool(p.session_scope);
+      break;
+    }
+    case StatementType::kShow: {
+      const auto& sh = static_cast<const sql::ShowStmt&>(s);
+      w->WriteString(sh.what);
+      break;
+    }
+    case StatementType::kExplain: {
+      const auto& e = static_cast<const sql::ExplainStmt&>(s);
+      WriteOptStmt(e.target.get(), w);
+      w->WriteBool(e.analyze);
+      break;
+    }
+    case StatementType::kAnalyze:
+    case StatementType::kVacuum:
+    case StatementType::kReindex: {
+      const auto& m = static_cast<const sql::MaintenanceStmt&>(s);
+      w->WriteString(m.target());
+      break;
+    }
+    case StatementType::kNotify: {
+      const auto& n = static_cast<const sql::NotifyStmt&>(s);
+      w->WriteString(n.channel);
+      w->WriteString(n.payload);
+      break;
+    }
+    case StatementType::kComment: {
+      const auto& c = static_cast<const sql::CommentStmt&>(s);
+      w->WriteString(c.table);
+      w->WriteString(c.text);
+      break;
+    }
+    case StatementType::kAlterSystem: {
+      const auto& a = static_cast<const sql::AlterSystemStmt&>(s);
+      w->WriteString(a.action);
+      w->WriteString(a.name);
+      WriteOptExpr(a.value.get(), w);
+      break;
+    }
+    case StatementType::kDiscard: {
+      const auto& d = static_cast<const sql::DiscardStmt&>(s);
+      w->WriteBool(d.all);
+      break;
+    }
+    case StatementType::kNumTypes:
+      break;  // unreachable: no node carries the sentinel
+  }
+}
+
+void WriteOptStmt(const Statement* s, StateWriter* w) {
+  w->WriteBool(s != nullptr);
+  if (s != nullptr) WriteStmt(*s, w);
+}
+
+StatusOr<StmtPtr> ReadStmt(StateReader* r, int depth) {
+  if (depth > kMaxDepth) return TooDeep();
+  uint8_t type_raw = r->ReadU8();
+  if (!r->ok()) return r->status();
+  if (type_raw >= static_cast<uint8_t>(StatementType::kNumTypes)) {
+    return BadEnum("StatementType", type_raw);
+  }
+  const StatementType type = static_cast<StatementType>(type_raw);
+  switch (type) {
+    case StatementType::kCreateTable: {
+      auto out = std::make_unique<sql::CreateTableStmt>();
+      out->name = r->ReadString();
+      out->if_not_exists = r->ReadBool();
+      out->temporary = r->ReadBool();
+      uint64_t n = r->ReadU64();
+      if (!r->CheckCount(n, 8)) return r->status();
+      out->columns.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        sql::ColumnDef col;
+        LEGO_RETURN_IF_ERROR(ReadColumnDef(r, depth + 1, &col));
+        out->columns.push_back(std::move(col));
+      }
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kCreateIndex: {
+      auto out = std::make_unique<sql::CreateIndexStmt>();
+      out->name = r->ReadString();
+      out->table = r->ReadString();
+      LEGO_RETURN_IF_ERROR(ReadStringVec(r, &out->columns));
+      out->unique = r->ReadBool();
+      out->if_not_exists = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kCreateView: {
+      auto out = std::make_unique<sql::CreateViewStmt>();
+      out->name = r->ReadString();
+      out->or_replace = r->ReadBool();
+      if (r->ReadBool()) {
+        LEGO_ASSIGN_OR_RETURN(out->select, ReadSelect(r, depth + 1));
+      }
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kCreateTrigger: {
+      auto out = std::make_unique<sql::CreateTriggerStmt>();
+      out->name = r->ReadString();
+      uint8_t timing = r->ReadU8();
+      if (timing > static_cast<uint8_t>(sql::TriggerTiming::kAfter)) {
+        return BadEnum("TriggerTiming", timing);
+      }
+      out->timing = static_cast<sql::TriggerTiming>(timing);
+      uint8_t event = r->ReadU8();
+      if (event > static_cast<uint8_t>(sql::TriggerEvent::kDelete)) {
+        return BadEnum("TriggerEvent", event);
+      }
+      out->event = static_cast<sql::TriggerEvent>(event);
+      out->table = r->ReadString();
+      out->for_each_row = r->ReadBool();
+      LEGO_RETURN_IF_ERROR(ReadOptStmt(r, depth + 1, &out->body));
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kCreateSequence: {
+      auto out = std::make_unique<sql::CreateSequenceStmt>();
+      out->name = r->ReadString();
+      out->start = r->ReadI64();
+      out->increment = r->ReadI64();
+      out->if_not_exists = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kCreateRule: {
+      auto out = std::make_unique<sql::CreateRuleStmt>();
+      out->name = r->ReadString();
+      out->or_replace = r->ReadBool();
+      uint8_t event = r->ReadU8();
+      if (event > static_cast<uint8_t>(sql::TriggerEvent::kDelete)) {
+        return BadEnum("TriggerEvent", event);
+      }
+      out->event = static_cast<sql::TriggerEvent>(event);
+      out->table = r->ReadString();
+      out->instead = r->ReadBool();
+      LEGO_RETURN_IF_ERROR(ReadOptStmt(r, depth + 1, &out->action));
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kDropTable:
+    case StatementType::kDropIndex:
+    case StatementType::kDropView:
+    case StatementType::kDropTrigger:
+    case StatementType::kDropSequence:
+    case StatementType::kDropRule: {
+      std::string name = r->ReadString();
+      bool if_exists = r->ReadBool();
+      return StmtPtr(
+          std::make_unique<sql::DropStmt>(type, std::move(name), if_exists));
+    }
+    case StatementType::kAlterTable: {
+      auto out = std::make_unique<sql::AlterTableStmt>();
+      out->table = r->ReadString();
+      uint8_t action = r->ReadU8();
+      if (action > static_cast<uint8_t>(sql::AlterAction::kRenameTable)) {
+        return BadEnum("AlterAction", action);
+      }
+      out->action = static_cast<sql::AlterAction>(action);
+      LEGO_RETURN_IF_ERROR(ReadColumnDef(r, depth + 1, &out->new_column));
+      out->old_name = r->ReadString();
+      out->new_name = r->ReadString();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kTruncate: {
+      auto out = std::make_unique<sql::TruncateStmt>();
+      out->table = r->ReadString();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kInsert:
+    case StatementType::kReplace: {
+      auto out = std::make_unique<sql::InsertStmt>();
+      out->table = r->ReadString();
+      LEGO_RETURN_IF_ERROR(ReadStringVec(r, &out->columns));
+      uint64_t n = r->ReadU64();
+      if (!r->CheckCount(n, 8)) return r->status();
+      out->rows.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        std::vector<ExprPtr> row;
+        LEGO_RETURN_IF_ERROR(ReadExprVec(r, depth + 1, &row));
+        out->rows.push_back(std::move(row));
+      }
+      if (r->ReadBool()) {
+        LEGO_ASSIGN_OR_RETURN(out->select, ReadSelect(r, depth + 1));
+      }
+      out->or_ignore = r->ReadBool();
+      out->replace = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kUpdate: {
+      auto out = std::make_unique<sql::UpdateStmt>();
+      out->table = r->ReadString();
+      uint64_t n = r->ReadU64();
+      if (!r->CheckCount(n, 8)) return r->status();
+      out->assignments.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string col = r->ReadString();
+        LEGO_ASSIGN_OR_RETURN(ExprPtr expr, ReadExpr(r, depth + 1));
+        out->assignments.emplace_back(std::move(col), std::move(expr));
+      }
+      LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &out->where));
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kDelete: {
+      auto out = std::make_unique<sql::DeleteStmt>();
+      out->table = r->ReadString();
+      LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &out->where));
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kCopy: {
+      auto out = std::make_unique<sql::CopyStmt>();
+      out->table = r->ReadString();
+      if (r->ReadBool()) {
+        LEGO_ASSIGN_OR_RETURN(out->query, ReadSelect(r, depth + 1));
+      }
+      out->to_stdout = r->ReadBool();
+      out->csv = r->ReadBool();
+      out->header = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kSelect: {
+      LEGO_ASSIGN_OR_RETURN(auto out, ReadSelect(r, depth + 1));
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kValues: {
+      auto out = std::make_unique<sql::ValuesStmt>();
+      uint64_t n = r->ReadU64();
+      if (!r->CheckCount(n, 8)) return r->status();
+      out->rows.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        std::vector<ExprPtr> row;
+        LEGO_RETURN_IF_ERROR(ReadExprVec(r, depth + 1, &row));
+        out->rows.push_back(std::move(row));
+      }
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kWith: {
+      auto out = std::make_unique<sql::WithStmt>();
+      uint64_t n = r->ReadU64();
+      if (!r->CheckCount(n, 8)) return r->status();
+      out->ctes.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        sql::CommonTableExpr cte;
+        cte.name = r->ReadString();
+        LEGO_RETURN_IF_ERROR(ReadStringVec(r, &cte.columns));
+        LEGO_RETURN_IF_ERROR(ReadOptStmt(r, depth + 1, &cte.statement));
+        out->ctes.push_back(std::move(cte));
+      }
+      LEGO_RETURN_IF_ERROR(ReadOptStmt(r, depth + 1, &out->body));
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kGrant: {
+      auto out = std::make_unique<sql::GrantStmt>();
+      uint8_t priv = r->ReadU8();
+      if (priv > static_cast<uint8_t>(sql::Privilege::kAll)) {
+        return BadEnum("Privilege", priv);
+      }
+      out->privilege = static_cast<sql::Privilege>(priv);
+      out->table = r->ReadString();
+      out->user = r->ReadString();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kRevoke: {
+      auto out = std::make_unique<sql::RevokeStmt>();
+      uint8_t priv = r->ReadU8();
+      if (priv > static_cast<uint8_t>(sql::Privilege::kAll)) {
+        return BadEnum("Privilege", priv);
+      }
+      out->privilege = static_cast<sql::Privilege>(priv);
+      out->table = r->ReadString();
+      out->user = r->ReadString();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kCreateUser: {
+      auto out = std::make_unique<sql::CreateUserStmt>();
+      out->name = r->ReadString();
+      out->if_not_exists = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kDropUser: {
+      auto out = std::make_unique<sql::DropUserStmt>();
+      out->name = r->ReadString();
+      out->if_exists = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kBegin:
+    case StatementType::kCommit:
+    case StatementType::kRollback:
+    case StatementType::kCheckpoint:
+      return StmtPtr(std::make_unique<sql::SimpleStmt>(type));
+    case StatementType::kSavepoint:
+    case StatementType::kRelease:
+    case StatementType::kRollbackTo:
+    case StatementType::kListen:
+    case StatementType::kUnlisten:
+      return StmtPtr(std::make_unique<sql::NamedStmt>(type, r->ReadString()));
+    case StatementType::kPragma:
+    case StatementType::kSet: {
+      auto out = std::make_unique<sql::PragmaStmt>();
+      out->name = r->ReadString();
+      LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &out->value));
+      out->is_set = r->ReadBool();
+      out->session_scope = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kShow: {
+      auto out = std::make_unique<sql::ShowStmt>();
+      out->what = r->ReadString();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kExplain: {
+      auto out = std::make_unique<sql::ExplainStmt>();
+      LEGO_RETURN_IF_ERROR(ReadOptStmt(r, depth + 1, &out->target));
+      out->analyze = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kAnalyze:
+    case StatementType::kVacuum:
+    case StatementType::kReindex:
+      return StmtPtr(
+          std::make_unique<sql::MaintenanceStmt>(type, r->ReadString()));
+    case StatementType::kNotify: {
+      auto out = std::make_unique<sql::NotifyStmt>();
+      out->channel = r->ReadString();
+      out->payload = r->ReadString();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kComment: {
+      auto out = std::make_unique<sql::CommentStmt>();
+      out->table = r->ReadString();
+      out->text = r->ReadString();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kAlterSystem: {
+      auto out = std::make_unique<sql::AlterSystemStmt>();
+      out->action = r->ReadString();
+      out->name = r->ReadString();
+      LEGO_RETURN_IF_ERROR(ReadOptExpr(r, depth + 1, &out->value));
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kDiscard: {
+      auto out = std::make_unique<sql::DiscardStmt>();
+      out->all = r->ReadBool();
+      return StmtPtr(std::move(out));
+    }
+    case StatementType::kNumTypes:
+      break;
+  }
+  return BadEnum("StatementType", type_raw);
+}
+
+Status ReadOptStmt(StateReader* r, int depth, StmtPtr* out) {
+  if (r->ReadBool()) {
+    LEGO_ASSIGN_OR_RETURN(*out, ReadStmt(r, depth));
+  } else {
+    out->reset();
+  }
+  return r->status();
+}
+
+}  // namespace
+
+void SerializeExpr(const sql::Expr& e, StateWriter* w) { WriteExpr(e, w); }
+
+void SerializeOptionalExpr(const sql::Expr* e, StateWriter* w) {
+  WriteOptExpr(e, w);
+}
+
+void SerializeTableRef(const sql::TableRef& t, StateWriter* w) {
+  WriteTableRef(t, w);
+}
+
+void SerializeSelect(const sql::SelectStmt& s, StateWriter* w) {
+  WriteSelect(s, w);
+}
+
+void SerializeStatement(const sql::Statement& s, StateWriter* w) {
+  WriteStmt(s, w);
+}
+
+void SerializeOptionalStatement(const sql::Statement* s, StateWriter* w) {
+  WriteOptStmt(s, w);
+}
+
+StatusOr<sql::ExprPtr> DeserializeExpr(StateReader* r) {
+  return ReadExpr(r, 0);
+}
+
+Status DeserializeOptionalExpr(StateReader* r, sql::ExprPtr* out) {
+  return ReadOptExpr(r, 0, out);
+}
+
+StatusOr<sql::TableRefPtr> DeserializeTableRef(StateReader* r) {
+  return ReadTableRef(r, 0);
+}
+
+StatusOr<std::unique_ptr<sql::SelectStmt>> DeserializeSelect(StateReader* r) {
+  return ReadSelect(r, 0);
+}
+
+StatusOr<sql::StmtPtr> DeserializeStatement(StateReader* r) {
+  return ReadStmt(r, 0);
+}
+
+Status DeserializeOptionalStatement(StateReader* r, sql::StmtPtr* out) {
+  return ReadOptStmt(r, 0, out);
+}
+
+}  // namespace lego::persist

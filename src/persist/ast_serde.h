@@ -1,0 +1,38 @@
+#ifndef LEGO_PERSIST_AST_SERDE_H_
+#define LEGO_PERSIST_AST_SERDE_H_
+
+#include <memory>
+
+#include "persist/io.h"
+#include "sql/ast.h"
+
+namespace lego::persist {
+
+/// Structural (not textual) serialization of SQL AST nodes. Campaign state
+/// holds live ASTs — corpus seeds, queued test cases, skeleton-library
+/// entries — and mutation decisions depend on their exact shape, so a
+/// checkpoint must reproduce the nodes bit-for-bit. Printing to SQL and
+/// re-parsing would only guarantee a textual fixed point (parse-normal
+/// form), not structural identity, which is why this module walks the node
+/// graph directly.
+
+void SerializeExpr(const sql::Expr& e, StateWriter* w);
+/// Nullable slot: presence byte + payload.
+void SerializeOptionalExpr(const sql::Expr* e, StateWriter* w);
+void SerializeTableRef(const sql::TableRef& t, StateWriter* w);
+void SerializeSelect(const sql::SelectStmt& s, StateWriter* w);
+void SerializeStatement(const sql::Statement& s, StateWriter* w);
+void SerializeOptionalStatement(const sql::Statement* s, StateWriter* w);
+
+/// Each deserializer returns a clean Status on any malformed input (bad
+/// discriminator, over-deep nesting, chunk overrun) — never UB.
+StatusOr<sql::ExprPtr> DeserializeExpr(StateReader* r);
+Status DeserializeOptionalExpr(StateReader* r, sql::ExprPtr* out);
+StatusOr<sql::TableRefPtr> DeserializeTableRef(StateReader* r);
+StatusOr<std::unique_ptr<sql::SelectStmt>> DeserializeSelect(StateReader* r);
+StatusOr<sql::StmtPtr> DeserializeStatement(StateReader* r);
+Status DeserializeOptionalStatement(StateReader* r, sql::StmtPtr* out);
+
+}  // namespace lego::persist
+
+#endif  // LEGO_PERSIST_AST_SERDE_H_

@@ -8,6 +8,7 @@
 #include <map>
 #include <utility>
 
+#include "persist/io.h"
 #include "sql/statement_type.h"
 #include "triage/tlp_oracle.h"
 #include "util/hash.h"
@@ -28,6 +29,45 @@ bool Insert(std::vector<TriagedBug>* bugs, std::map<std::string, size_t>* seen,
   auto [it, inserted] = seen->emplace(bug.signature.Key(), bugs->size());
   if (inserted) bugs->push_back(std::move(bug));
   return inserted;
+}
+
+/// Replay keys identify a capture *before* reduction (signatures are only
+/// known after), so a manifest lookup can skip ddmin entirely.
+std::string CrashReplayKey(const minidb::CrashInfo& crash) {
+  return "crash:" + crash.bug_id + ":" + Hex16(crash.stack_hash);
+}
+
+std::string LogicReplayKey(const fuzz::LogicBugInfo& logic) {
+  return "logic:" + logic.check + ":" + Hex16(logic.fingerprint);
+}
+
+std::string TriggerOf(const TriagedBug& bug, const faults::BugEngine& engine) {
+  if (bug.is_logic) return bug.logic.check;
+  if (const faults::BugDef* def = engine.FindBug(bug.crash.bug_id)) {
+    std::string trigger;
+    for (sql::StatementType t : def->sequence) {
+      if (!trigger.empty()) trigger += '>';
+      trigger += sql::StatementTypeName(t);
+    }
+    if (!trigger.empty()) return trigger;
+  }
+  return bug.crash.kind;
+}
+
+/// Existing manifest lines keyed by replay key; unknown/comment lines are
+/// dropped (the manifest is regenerated, not edited).
+std::map<std::string, std::string> LoadManifestLines(
+    const std::filesystem::path& path) {
+  std::map<std::string, std::string> lines;
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    lines.emplace(line.substr(0, tab), line);
+  }
+  return lines;
 }
 
 }  // namespace
@@ -70,12 +110,29 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
   Reducer reducer(profile, setup_script, options.reduction, options.backend);
   std::map<std::string, size_t> seen;
 
+  // Replay keys already triaged by an earlier run into the same repro_dir
+  // (the resume case: the campaign re-captures every historical bug).
+  std::map<std::string, std::string> manifest;
+  if (!options.repro_dir.empty()) {
+    manifest = LoadManifestLines(std::filesystem::path(options.repro_dir) /
+                                 kTriageManifestFile);
+  }
+  // Replay key per signature, captured pre-reduction: a logic bug's
+  // fingerprint can legitimately change while ddmin simplifies the query,
+  // but the manifest must list the key a re-captured bug will present.
+  std::map<std::string, std::string> replay_keys;
+
   // --- crash captures ---
   for (size_t i = 0; i < result.captured_cases.size(); ++i) {
     ++report.crash_captures;
     const fuzz::TestCase& tc = result.captured_cases[i];
     TriagedBug bug;
     bug.crash = result.captured_crashes[i];
+    const std::string replay_key = CrashReplayKey(bug.crash);
+    if (manifest.count(replay_key) != 0) {
+      ++report.skipped_known;
+      continue;
+    }
     bug.original_statements = static_cast<int>(tc.size());
     if (options.reduce) {
       std::optional<ReductionResult> red = reducer.ReduceCrash(tc);
@@ -95,6 +152,7 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
       bug.reduced_statements = bug.original_statements;
     }
     bug.signature = SignatureOf(bug.crash, bug.repro);
+    replay_keys.emplace(bug.signature.Key(), replay_key);
     if (!Insert(&report.bugs, &seen, std::move(bug))) ++report.duplicates;
   }
 
@@ -107,6 +165,11 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
     TriagedBug bug;
     bug.is_logic = true;
     bug.logic = result.captured_logic_bugs[i];
+    const std::string replay_key = LogicReplayKey(bug.logic);
+    if (manifest.count(replay_key) != 0) {
+      ++report.skipped_known;
+      continue;
+    }
     bug.original_statements = static_cast<int>(tc.size());
     const std::string check = bug.logic.check;
     auto keep = [&](const fuzz::TestCase& cand) {
@@ -132,6 +195,7 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
     bug.reduced_statements = static_cast<int>(bug.repro.size());
     bug.signature =
         BugSignature{"LOGIC-TLP", TypeFingerprint(bug.repro)};
+    replay_keys.emplace(bug.signature.Key(), replay_key);
     if (!Insert(&report.bugs, &seen, std::move(bug))) ++report.duplicates;
   }
   reducer.harness().set_logic_oracle(nullptr);
@@ -155,7 +219,27 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
       std::ofstream f(path, std::ios::binary | std::ios::trunc);
       f << RenderArtifact(bug, profile, reducer.harness().bug_engine());
       bug.artifact_path = path.string();
+
+      auto key_it = replay_keys.find(bug.signature.Key());
+      const std::string replay_key =
+          key_it != replay_keys.end()
+              ? key_it->second
+              : (bug.is_logic ? LogicReplayKey(bug.logic)
+                              : CrashReplayKey(bug.crash));
+      manifest[replay_key] =
+          replay_key + '\t' + bug.signature.Key() + '\t' +
+          TriggerOf(bug, reducer.harness().bug_engine()) + '\t' + file + '\t' +
+          std::to_string(options.campaign_seed) + '\t' +
+          std::to_string(persist::kFormatVersion);
     }
+    // Rewrite rather than append: entries stay sorted by replay key and
+    // duplicates cannot accumulate across reruns.
+    std::ofstream mf(
+        std::filesystem::path(options.repro_dir) / kTriageManifestFile,
+        std::ios::binary | std::ios::trunc);
+    mf << "# replay-key\tsignature\ttrigger\tartifact\tcampaign-seed"
+          "\tstate-version\n";
+    for (const auto& [key, line] : manifest) mf << line << '\n';
   }
   return report;
 }

@@ -24,7 +24,19 @@ struct TriageOptions {
   /// child with the same watchdog, and replaying them in-process would kill
   /// the triage pass itself.
   fuzz::BackendOptions backend;
+  /// Recorded per-bug in the repro-dir manifest so an artifact can be tied
+  /// back to the campaign that produced it.
+  uint64_t campaign_seed = 0;
 };
+
+/// Name of the manifest written alongside reproducers in repro_dir. One
+/// tab-separated line per triaged bug: replay key (crash identity /
+/// oracle fingerprint, known *before* reduction), signature, trigger
+/// sequence, artifact file, campaign seed, state-format version. Captures
+/// whose replay key is already listed are skipped without re-reducing —
+/// resumed campaigns re-capture every historical bug, and ddmin is the
+/// expensive half of triage.
+inline constexpr char kTriageManifestFile[] = "manifest.tsv";
 
 /// One unique bug after triage.
 struct TriagedBug {
@@ -47,6 +59,9 @@ struct TriageReport {
   int duplicates = 0;       // captures collapsed into an earlier signature
   int not_reproduced = 0;   // captures that no longer triggered on replay
   int replays = 0;          // total reduction/replay executions spent
+  /// Captures skipped because the repro-dir manifest already lists their
+  /// replay key (bugs triaged by the campaign this one resumed).
+  int skipped_known = 0;
 };
 
 /// Deterministic post-pass over a finished campaign: replays every captured

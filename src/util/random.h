@@ -1,6 +1,7 @@
 #ifndef LEGO_UTIL_RANDOM_H_
 #define LEGO_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,6 +49,14 @@ class Rng {
       size_t j = NextBelow(i + 1);
       std::swap((*v)[i], (*v)[j]);
     }
+  }
+
+  /// The raw xoshiro256** state words, for checkpointing. Restoring the
+  /// exact words (rather than re-seeding) is what makes a resumed campaign
+  /// draw the same stream it would have drawn uninterrupted.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

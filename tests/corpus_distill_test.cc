@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "fuzz/corpus_file.h"
+#include "fuzz/distill.h"
+#include "fuzz/harness.h"
+#include "lego/lego_fuzzer.h"
+#include "minidb/profile.h"
+
+namespace lego::fuzz {
+namespace {
+
+std::unique_ptr<core::LegoFuzzer> MakeLego(uint64_t seed) {
+  core::LegoOptions options;
+  options.rng_seed = seed;
+  return std::make_unique<core::LegoFuzzer>(minidb::DialectProfile::PgLite(),
+                                            options);
+}
+
+/// A realistic donor corpus: whatever a short campaign accumulates.
+std::vector<TestCase> DonorCorpus(uint64_t seed, int executions) {
+  auto fuzzer = MakeLego(seed);
+  ExecutionHarness harness(minidb::DialectProfile::PgLite());
+  CampaignOptions options;
+  options.max_executions = executions;
+  options.export_corpus = true;
+  CampaignResult result = RunCampaign(fuzzer.get(), &harness, options);
+  return std::move(result.corpus_export);
+}
+
+TEST(CorpusFileTest, SaveLoadRoundTripsEveryCase) {
+  std::vector<TestCase> donor = DonorCorpus(3, 1500);
+  ASSERT_FALSE(donor.empty());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lego_corpus_rt.bin").string();
+  ASSERT_TRUE(SaveCorpusFile(donor, path).ok());
+  auto loaded = LoadCorpusFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), donor.size());
+  for (size_t i = 0; i < donor.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].ToSql(), donor[i].ToSql()) << "case " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CorpusFileTest, CorruptedFileIsRejected) {
+  std::vector<TestCase> donor = DonorCorpus(3, 400);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lego_corpus_bad.bin")
+          .string();
+  ASSERT_TRUE(SaveCorpusFile(donor, path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(40);
+    byte ^= 0x20;
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(LoadCorpusFile(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CorpusDistillTest, KeepsAllEdgesWithStrictlyFewerCases) {
+  std::vector<TestCase> donor = DonorCorpus(7, 3000);
+  ASSERT_GT(donor.size(), 10u);
+
+  ExecutionHarness harness(minidb::DialectProfile::PgLite());
+  DistillStats stats;
+  std::vector<TestCase> kept = DistillCorpus(donor, &harness, &stats);
+
+  EXPECT_EQ(stats.original_cases, donor.size());
+  EXPECT_EQ(stats.kept_cases, kept.size());
+  // The acceptance bar: strictly smaller, identical edge union.
+  EXPECT_LT(kept.size(), donor.size());
+  EXPECT_GT(stats.original_edges, 0u);
+  EXPECT_EQ(stats.kept_edges, stats.original_edges);
+
+  // Independent check on a fresh harness: the kept subset alone reaches
+  // the full union.
+  ExecutionHarness fresh(minidb::DialectProfile::PgLite());
+  for (const TestCase& tc : kept) fresh.Run(tc);
+  EXPECT_EQ(fresh.CoveredEdges(), stats.original_edges);
+}
+
+TEST(CorpusDistillTest, DistillationIsDeterministic) {
+  std::vector<TestCase> donor = DonorCorpus(11, 1200);
+  ExecutionHarness h1(minidb::DialectProfile::PgLite());
+  ExecutionHarness h2(minidb::DialectProfile::PgLite());
+  DistillStats s1, s2;
+  std::vector<TestCase> k1 = DistillCorpus(donor, &h1, &s1);
+  std::vector<TestCase> k2 = DistillCorpus(donor, &h2, &s2);
+  ASSERT_EQ(k1.size(), k2.size());
+  for (size_t i = 0; i < k1.size(); ++i) {
+    EXPECT_EQ(k1[i].ToSql(), k2[i].ToSql());
+  }
+  EXPECT_EQ(s1.kept_edges, s2.kept_edges);
+}
+
+TEST(CorpusDistillTest, ImportedCorpusAcceleratesFreshCampaign) {
+  // Cross-campaign reuse: a fresh campaign seeded with a donor's distilled
+  // corpus must reach more coverage than the same budget from scratch.
+  std::vector<TestCase> donor = DonorCorpus(7, 3000);
+  ExecutionHarness distill_harness(minidb::DialectProfile::PgLite());
+  DistillStats stats;
+  std::vector<TestCase> kept =
+      DistillCorpus(donor, &distill_harness, &stats);
+
+  CampaignOptions options;
+  options.max_executions = 600;
+
+  auto cold = MakeLego(21);
+  ExecutionHarness cold_harness(minidb::DialectProfile::PgLite());
+  CampaignResult from_scratch = RunCampaign(cold.get(), &cold_harness,
+                                            options);
+
+  options.import_seeds = &kept;
+  auto warm = MakeLego(21);
+  ExecutionHarness warm_harness(minidb::DialectProfile::PgLite());
+  CampaignResult with_import = RunCampaign(warm.get(), &warm_harness,
+                                           options);
+
+  EXPECT_GT(with_import.edges, from_scratch.edges);
+  EXPECT_GE(with_import.fuzzer_stats.corpus_seeds, kept.size());
+}
+
+}  // namespace
+}  // namespace lego::fuzz
