@@ -33,8 +33,21 @@
 //   --export-corpus FILE : write the final corpus (every seed of every
 //                 worker) to FILE for reuse via --import-corpus or
 //                 corpus_cli distill
-//   --planted-crash / --planted-hang : test-only; arm a real abort() /
-//                 infinite loop inside minidb (demo of crash isolation)
+//   --planted-crash / --planted-hang / --planted-oom : test-only; arm a
+//                 real abort() / infinite loop / unbounded allocation
+//                 inside minidb (demo of crash isolation + rlimit caps)
+//   --chaos     : arm every registered failpoint with --chaos-prob
+//   --chaos-prob P : per-hit fire probability under --chaos (default 0.02)
+//   --chaos-seed S : failpoint schedule seed (default: the campaign seed);
+//                 the schedule is deterministic per (seed, hit index)
+//   --chaos-fp NAME=SPEC : arm one failpoint precisely (repeatable);
+//                 SPEC = off | always | prob:P | nth:N | kill:N
+//   --max-child-mem-mb N : forked only — RLIMIT_AS cap per child; an
+//                 allocation over it dies as a REAL-OOM crash  (default off)
+//   --max-child-cpu-s N : forked only — RLIMIT_CPU cap per child; a spin
+//                 over it dies as a REAL-CPU crash              (default off)
+//   --max-child-fsize-mb N : forked only — RLIMIT_FSIZE cap per child
+//                 (REAL-FSIZE)                                  (default off)
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +59,7 @@
 #include "baselines/sqlancer_like.h"
 #include "baselines/sqlsmith_like.h"
 #include "baselines/squirrel_like.h"
+#include "chaos/failpoint.h"
 #include "fuzz/campaign.h"
 #include "fuzz/checkpoint.h"
 #include "fuzz/corpus_file.h"
@@ -71,6 +85,12 @@ int main(int argc, char** argv) {
   fuzz::BackendOptions backend;
   bool planted_crash = false;
   bool planted_hang = false;
+  bool planted_oom = false;
+  bool chaos = false;
+  double chaos_prob = 0.02;
+  uint64_t chaos_seed = 0;
+  bool chaos_seed_set = false;
+  std::vector<std::string> chaos_fps;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -104,6 +124,60 @@ int main(int argc, char** argv) {
       planted_crash = true;
     } else if (arg == "--planted-hang") {
       planted_hang = true;
+    } else if (arg == "--planted-oom") {
+      planted_oom = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--chaos-prob") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--chaos-prob needs a value\n");
+        return 1;
+      }
+      chaos_prob = std::atof(argv[++i]);
+    } else if (arg.rfind("--chaos-prob=", 0) == 0) {
+      chaos_prob = std::atof(arg.c_str() + 13);
+    } else if (arg == "--chaos-seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--chaos-seed needs a value\n");
+        return 1;
+      }
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+      chaos_seed_set = true;
+    } else if (arg.rfind("--chaos-seed=", 0) == 0) {
+      chaos_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      chaos_seed_set = true;
+    } else if (arg == "--chaos-fp") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--chaos-fp needs NAME=SPEC\n");
+        return 1;
+      }
+      chaos_fps.emplace_back(argv[++i]);
+    } else if (arg.rfind("--chaos-fp=", 0) == 0) {
+      chaos_fps.emplace_back(arg.substr(11));
+    } else if (arg == "--max-child-mem-mb") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--max-child-mem-mb needs a value\n");
+        return 1;
+      }
+      backend.max_child_mem_mb = std::atoi(argv[++i]);
+    } else if (arg.rfind("--max-child-mem-mb=", 0) == 0) {
+      backend.max_child_mem_mb = std::atoi(arg.c_str() + 19);
+    } else if (arg == "--max-child-cpu-s") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--max-child-cpu-s needs a value\n");
+        return 1;
+      }
+      backend.max_child_cpu_s = std::atoi(argv[++i]);
+    } else if (arg.rfind("--max-child-cpu-s=", 0) == 0) {
+      backend.max_child_cpu_s = std::atoi(arg.c_str() + 18);
+    } else if (arg == "--max-child-fsize-mb") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--max-child-fsize-mb needs a value\n");
+        return 1;
+      }
+      backend.max_child_fsize_mb = std::atoi(argv[++i]);
+    } else if (arg.rfind("--max-child-fsize-mb=", 0) == 0) {
+      backend.max_child_fsize_mb = std::atoi(arg.c_str() + 21);
     } else if (arg == "--workers") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--workers needs a value\n");
@@ -206,6 +280,25 @@ int main(int argc, char** argv) {
   // children inherit the flags at fork time.
   if (planted_crash) minidb::testing::SetPlantedAbortForTesting(true);
   if (planted_hang) minidb::testing::SetPlantedHangForTesting(true);
+  if (planted_oom) minidb::testing::SetPlantedOomForTesting(true);
+
+  // Chaos likewise: arm before the harness so the very first spawn and
+  // every forked child run the same deterministic fault schedule.
+  if (chaos) {
+    chaos::ArmAll(chaos_seed_set ? chaos_seed : seed, chaos_prob);
+    std::printf("chaos: all failpoints armed (prob %.3f, seed %llu)\n",
+                chaos_prob,
+                static_cast<unsigned long long>(chaos_seed_set ? chaos_seed
+                                                               : seed));
+  }
+  for (const std::string& spec : chaos_fps) {
+    Status armed = chaos::ArmSpec(spec, chaos_seed_set ? chaos_seed : seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --chaos-fp '%s': %s\n", spec.c_str(),
+                   armed.ToString().c_str());
+      return 1;
+    }
+  }
 
   fuzz::ExecutionHarness harness(*profile, backend);
   triage::TlpOracle tlp_oracle;
@@ -224,7 +317,10 @@ int main(int argc, char** argv) {
   options.export_corpus = !export_corpus.empty();
   std::vector<fuzz::TestCase> imported_seeds;
   if (!import_corpus.empty() && !resume) {
-    auto loaded = fuzz::LoadCorpusFile(import_corpus);
+    // Tolerant import: salvage the loadable prefix of a damaged corpus
+    // (skip the rest with a counted warning) instead of refusing it.
+    fuzz::CorpusLoadStats cls;
+    auto loaded = fuzz::LoadCorpusFileTolerant(import_corpus, &cls);
     if (!loaded.ok()) {
       std::fprintf(stderr, "cannot import corpus %s: %s\n",
                    import_corpus.c_str(),
@@ -233,6 +329,13 @@ int main(int argc, char** argv) {
     }
     imported_seeds = std::move(*loaded);
     options.import_seeds = &imported_seeds;
+    options.import_skipped = cls.skipped;
+    if (cls.skipped > 0 || cls.degraded) {
+      std::fprintf(stderr,
+                   "warning: corpus %s damaged; salvaged %zu seed(s), "
+                   "skipped %zu\n",
+                   import_corpus.c_str(), cls.loaded, cls.skipped);
+    }
     std::printf("imported %zu corpus seeds from %s\n", imported_seeds.size(),
                 import_corpus.c_str());
   }
@@ -250,6 +353,15 @@ int main(int argc, char** argv) {
                 fuzz::BackendKindName(backend.kind).data());
     if (backend.max_stmt_ms > 0) {
       std::printf(" (watchdog %d ms)", backend.max_stmt_ms);
+    }
+    if (backend.max_child_mem_mb > 0) {
+      std::printf(" (mem cap %d MB)", backend.max_child_mem_mb);
+    }
+    if (backend.max_child_cpu_s > 0) {
+      std::printf(" (cpu cap %d s)", backend.max_child_cpu_s);
+    }
+    if (backend.max_child_fsize_mb > 0) {
+      std::printf(" (fsize cap %d MB)", backend.max_child_fsize_mb);
     }
     std::printf("\n");
   }
@@ -284,6 +396,29 @@ int main(int argc, char** argv) {
   std::printf("  sequences          : %zu synthesized, %zu dropped at cap\n",
               result.fuzzer_stats.sequences_total,
               result.fuzzer_stats.sequences_dropped);
+  if (result.fuzzer_stats.import_skipped > 0) {
+    std::printf("  import skipped     : %zu damaged corpus entr%s\n",
+                result.fuzzer_stats.import_skipped,
+                result.fuzzer_stats.import_skipped == 1 ? "y" : "ies");
+  }
+  if (result.checkpoints_failed > 0 || result.checkpoint_fallbacks > 0 ||
+      result.workers_parked > 0) {
+    std::printf("  self-healing       : %d checkpoint write(s) failed, "
+                "%d checkpoint(s) skipped at resume, %d worker(s) parked\n",
+                result.checkpoints_failed, result.checkpoint_fallbacks,
+                result.workers_parked);
+  }
+  if (chaos || !chaos_fps.empty()) {
+    std::printf("  chaos schedule     :\n");
+    for (const chaos::FailpointInfo& fp : chaos::Snapshot()) {
+      if (fp.mode == chaos::FailpointMode::kOff && fp.hits == 0) continue;
+      std::printf("    %-20s %-8s %llu hit(s), %llu fire(s)\n",
+                  std::string(fp.name).c_str(),
+                  std::string(chaos::ModeName(fp.mode)).c_str(),
+                  static_cast<unsigned long long>(fp.hits),
+                  static_cast<unsigned long long>(fp.fires));
+    }
+  }
 
   if (reduce || tlp) {
     triage::TriageOptions triage_options;

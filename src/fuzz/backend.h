@@ -34,6 +34,21 @@ struct BackendOptions {
   /// statement exceeds it the child is killed and the statement is reported
   /// as a hang (CrashInfo kind "HANG"). 0 disables the watchdog.
   int max_stmt_ms = 0;
+  /// Forked only: resource caps applied in the child via setrlimit right
+  /// after fork, bounding what one fuzzed session can consume. 0 disables
+  /// a cap. Address-space exhaustion (RLIMIT_AS) exits the child with a
+  /// reserved code mapped to bug_id "REAL-OOM"; cumulative CPU time
+  /// (RLIMIT_CPU, seconds) kills with SIGXCPU -> "REAL-CPU"; file size
+  /// (RLIMIT_FSIZE) kills with SIGXFSZ -> "REAL-FSIZE".
+  int max_child_mem_mb = 0;
+  int max_child_cpu_s = 0;
+  int max_child_fsize_mb = 0;
+  /// Forked only: circuit breaker on the fork server. Each failed spawn is
+  /// retried with exponential backoff; after this many consecutive
+  /// failures the backend gives up and reports broken() — a parallel
+  /// campaign then parks the worker and redistributes its remaining budget
+  /// at the next round barrier instead of spinning or aborting.
+  int spawn_failure_limit = 8;
 };
 
 /// Parses "inproc" / "forked" (as accepted by --backend=). Returns nullopt
@@ -117,6 +132,11 @@ class DbBackend {
   /// nullopt when the table does not exist.
   virtual std::optional<std::string> FirstColumnOf(
       const std::string& table) = 0;
+
+  /// True when the backend can no longer produce a working server (e.g. the
+  /// forked spawn circuit breaker opened). Reset becomes a no-op and
+  /// Execute reports errors; campaigns treat the worker as parked.
+  virtual bool broken() const { return false; }
 
   /// Oracle bracket (prefer the OracleSession guard). Nested brackets are
   /// reference-counted; only the outermost does work.

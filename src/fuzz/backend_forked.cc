@@ -3,14 +3,19 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/mman.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <new>
+#include <thread>
 #include <utility>
 
+#include "chaos/failpoint.h"
 #include "sql/parser.h"
 #include "sql/statement_type.h"
 #include "util/hash.h"
@@ -35,6 +40,17 @@ constexpr uint8_t kRespCol = 3;    // payload: [u8 found][column name]
 // runs only the trusted setup script). A child that cannot answer within
 // this is treated as dead.
 constexpr int kControlDeadlineMs = 10000;
+
+// Reserved child exit code: heap exhaustion under RLIMIT_AS, converted by
+// the child's new-handler into a clean exit the parent maps to "OOM".
+// Distinctive on purpose — an uncaught bad_alloc would be SIGABRT and
+// collide with genuine assertion failures in triage.
+constexpr int kOomExitCode = 86;
+
+// Spawn retry backoff: doubles from 1ms, capped here. Kept short — spawn
+// failures are either transient (EMFILE pressure from a sibling) and clear
+// quickly, or permanent and hit the circuit breaker anyway.
+constexpr int kSpawnBackoffCapMs = 64;
 
 void PutU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -128,10 +144,15 @@ std::string DeathKind(int wstatus) {
       case SIGFPE: return "SIGFPE";
       case SIGILL: return "SIGILL";
       case SIGKILL: return "SIGKILL";
+      // Resource-governor kills get their own buckets so a runaway session
+      // is triaged as a resource bug, not a generic signal death.
+      case SIGXCPU: return "CPU";
+      case SIGXFSZ: return "FSIZE";
       default: return "SIG" + std::to_string(WTERMSIG(wstatus));
     }
   }
   if (WIFEXITED(wstatus)) {
+    if (WEXITSTATUS(wstatus) == kOomExitCode) return "OOM";
     return "EXIT-" + std::to_string(WEXITSTATUS(wstatus));
   }
   return "UNKNOWN";
@@ -176,17 +197,25 @@ ForkedBackend::~ForkedBackend() {
   }
 }
 
-void ForkedBackend::Spawn() {
+bool ForkedBackend::TrySpawn() {
+  if (LEGO_FAILPOINT("backend.spawn")) return false;
   int cmd_pipe[2];
   int resp_pipe[2];
-  if (::pipe(cmd_pipe) != 0 || ::pipe(resp_pipe) != 0) {
-    ::perror("ForkedBackend: pipe");
-    ::abort();
+  if (::pipe(cmd_pipe) != 0) {
+    return false;
+  }
+  if (::pipe(resp_pipe) != 0) {
+    ::close(cmd_pipe[0]);
+    ::close(cmd_pipe[1]);
+    return false;
   }
   pid_t pid = ::fork();
   if (pid < 0) {
-    ::perror("ForkedBackend: fork");
-    ::abort();
+    ::close(cmd_pipe[0]);
+    ::close(cmd_pipe[1]);
+    ::close(resp_pipe[0]);
+    ::close(resp_pipe[1]);
+    return false;
   }
   if (pid == 0) {
     // Child: keep its two protocol ends, run the server loop, never return.
@@ -194,6 +223,7 @@ void ForkedBackend::Spawn() {
     ::close(resp_pipe[0]);
     cmd_fd_ = cmd_pipe[0];
     resp_fd_ = resp_pipe[1];
+    ApplyChildLimits();
     ChildLoop();
   }
   ::close(cmd_pipe[0]);
@@ -203,6 +233,61 @@ void ForkedBackend::Spawn() {
   child_pid_ = pid;
   alive_ = true;
   ++spawn_count_;
+  return true;
+}
+
+void ForkedBackend::Spawn() {
+  if (broken_) return;
+  const int limit =
+      options_.spawn_failure_limit > 0 ? options_.spawn_failure_limit : 1;
+  int backoff_ms = 1;
+  while (!TrySpawn()) {
+    ++spawn_failures_total_;
+    if (++consecutive_spawn_failures_ >= limit) {
+      broken_ = true;
+      std::fprintf(stderr,
+                   "ForkedBackend: %d consecutive spawn failures; circuit "
+                   "breaker open, backend parked\n",
+                   consecutive_spawn_failures_);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = backoff_ms < kSpawnBackoffCapMs ? backoff_ms * 2
+                                                 : kSpawnBackoffCapMs;
+  }
+  consecutive_spawn_failures_ = 0;
+}
+
+void ForkedBackend::ApplyChildLimits() {
+  // Child side, between fork and the serve loop. The new-handler makes
+  // heap exhaustion under RLIMIT_AS a clean, recognizable exit instead of
+  // an uncaught bad_alloc (SIGABRT, which would collide with real
+  // assertion deaths in triage). Installed unconditionally: a genuine host
+  // OOM deserves the same bucket as a governed one.
+  std::set_new_handler([] { ::_exit(kOomExitCode); });
+  const auto cap = [](int resource, uint64_t soft, uint64_t hard) {
+    struct rlimit rl;
+    rl.rlim_cur = soft;
+    rl.rlim_max = hard;
+    (void)::setrlimit(resource, &rl);
+  };
+  if (options_.max_child_mem_mb > 0) {
+    const uint64_t bytes = static_cast<uint64_t>(options_.max_child_mem_mb)
+                           << 20;
+    cap(RLIMIT_AS, bytes, bytes);
+  }
+  if (options_.max_child_cpu_s > 0) {
+    // Soft < hard: the kernel delivers SIGXCPU at the soft limit (which
+    // triage buckets as REAL-CPU) and only escalates to SIGKILL at the
+    // hard limit if the child somehow keeps spinning.
+    const uint64_t secs = static_cast<uint64_t>(options_.max_child_cpu_s);
+    cap(RLIMIT_CPU, secs, secs + 2);
+  }
+  if (options_.max_child_fsize_mb > 0) {
+    const uint64_t bytes = static_cast<uint64_t>(options_.max_child_fsize_mb)
+                           << 20;
+    cap(RLIMIT_FSIZE, bytes, bytes);
+  }
 }
 
 void ForkedBackend::KillChild() {
@@ -347,6 +432,13 @@ void ForkedBackend::Reset() {
 
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (!alive_) Spawn();
+    if (broken_) {
+      // No child will ever come up again: report nothing (the campaign
+      // parks the worker off broken(), so synthesizing a crash here would
+      // only fabricate a phantom REAL-RESET bug).
+      reset_failure_.reset();
+      return;
+    }
     uint8_t code = 0;
     std::string resp;
     const int deadline =

@@ -45,6 +45,12 @@ class ForkedBackend : public DbBackend {
 
   /// Children spawned over this backend's lifetime (1 + respawns).
   int spawn_count() const { return spawn_count_; }
+  /// Failed spawn attempts over this backend's lifetime.
+  int spawn_failures() const { return spawn_failures_total_; }
+  /// True once the spawn circuit breaker opened (spawn_failure_limit
+  /// consecutive failures): no further respawns are attempted, Reset is a
+  /// no-op and Execute reports errors.
+  bool broken() const override { return broken_; }
 
  protected:
   void DoSnapshotForOracle() override;
@@ -53,7 +59,15 @@ class ForkedBackend : public DbBackend {
  private:
   enum class Wait { kData, kDead, kTimeout };
 
+  /// One spawn attempt: pipes + fork + child setup. False on failure (or
+  /// when the backend.spawn failpoint fires) with no state changed.
+  bool TrySpawn();
+  /// TrySpawn with exponential backoff, up to the circuit-breaker limit;
+  /// opens the breaker (broken_) when the limit is exhausted.
   void Spawn();
+  /// Child-side: installs the OOM new-handler and applies the configured
+  /// rlimit caps before entering the serve loop.
+  void ApplyChildLimits();
   void KillChild();
   /// Reaps the child and synthesizes the CrashInfo for its death while
   /// executing a statement of type `type` ("" context for non-Execute ops).
@@ -83,6 +97,9 @@ class ForkedBackend : public DbBackend {
   int resp_fd_ = -1;  // parent reads responses
   bool alive_ = false;
   int spawn_count_ = 0;
+  bool broken_ = false;
+  int consecutive_spawn_failures_ = 0;
+  int spawn_failures_total_ = 0;
   /// Wait status captured when RecvMsg reaps the child before ReapAsCrash
   /// runs (waitpid can only succeed once per death).
   std::optional<int> early_wait_status_;

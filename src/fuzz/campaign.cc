@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -19,6 +20,13 @@ namespace {
 
 constexpr uint32_t kWorkerTag = persist::ChunkTag("WRKR");
 constexpr uint32_t kManifestTag = persist::ChunkTag("MANI");
+
+/// End-of-campaign saves are retried this many times before giving up:
+/// losing a whole campaign's final state to one transient write failure
+/// (or one chaos-mode probability draw) is the wrong trade, and each
+/// attempt is independent. Mid-run checkpoints are NOT retried — the next
+/// cadence point writes a strictly newer one anyway.
+constexpr int kFinalSaveAttempts = 8;
 
 bool Persisting(const CampaignOptions& options) {
   return !options.state_dir.empty();
@@ -104,6 +112,13 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
 
   for (int i = result.executions; !stopped && i < options.max_executions;
        ++i) {
+    if (harness->backend().broken()) {
+      std::fprintf(stderr,
+                   "campaign: backend broken (spawn circuit open); stopping "
+                   "after %d executions\n",
+                   result.executions);
+      break;
+    }
     TestCase tc = fuzzer->Next();
 
     // Affinity accounting (Table II): adjacent distinct type pairs contained
@@ -144,9 +159,16 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
     }
     if (Persisting(options) && options.checkpoint_every > 0 &&
         result.executions % options.checkpoint_every == 0) {
+      // Self-healing: a failed mid-run checkpoint costs only resume
+      // granularity, never the campaign — warn, count, and let the next
+      // cadence point write a newer state anyway.
       Status saved = SaveSerialState(options, result, fuzzer, harness);
-      if (!saved.ok() && result.state_status.ok()) {
-        result.state_status = std::move(saved);
+      if (!saved.ok()) {
+        ++result.checkpoints_failed;
+        std::fprintf(stderr,
+                     "campaign: checkpoint at %d executions failed (%s); "
+                     "continuing\n",
+                     result.executions, saved.ToString().c_str());
       }
     }
     if (options.stop_when_all_bugs_found &&
@@ -166,9 +188,14 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
     result.coverage_curve.emplace_back(result.executions, result.edges);
   }
   result.fuzzer_stats = fuzzer->stats();
+  result.fuzzer_stats.import_skipped = options.import_skipped;
   if (options.export_corpus) result.corpus_export = fuzzer->ExportCorpus();
   if (Persisting(options)) {
-    Status saved = SaveSerialState(options, result, fuzzer, harness);
+    Status saved = Status::OK();
+    for (int attempt = 0; attempt < kFinalSaveAttempts; ++attempt) {
+      saved = SaveSerialState(options, result, fuzzer, harness);
+      if (saved.ok()) break;
+    }
     if (!saved.ok() && result.state_status.ok()) {
       result.state_status = std::move(saved);
     }
@@ -374,12 +401,9 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   // max_executions / workers (+1 for the first `remainder` workers).
   const int base = options.max_executions / workers;
   const int remainder = options.max_executions % workers;
-  int max_target = 0;
   for (int w = 0; w < workers; ++w) {
     states[w].target = base + (w < remainder ? 1 : 0);
-    max_target = std::max(max_target, states[w].target);
   }
-  const int rounds = (max_target + sync_every - 1) / sync_every;
 
   const size_t total_bugs = harness->bug_engine().bugs().size();
 
@@ -405,8 +429,18 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   std::string resume_dir;      // directory worker files are loaded from
   std::string prev_ckpt_dir;   // last complete checkpoint (cleanup target)
   if (persisting && options.resume) {
-    auto latest = ReadLatestPointer(options.state_dir);
+    // Self-healing resume: skip over torn/checksum-failing checkpoints
+    // (e.g. the process died mid-checkpoint and LATEST is stale) and fall
+    // back to the newest one a resume can actually load.
+    std::vector<std::string> ckpt_warnings;
+    int rejected = 0;
+    auto latest = LocateUsableCheckpoint(options.state_dir, workers,
+                                         &ckpt_warnings, &rejected);
+    for (const std::string& warning : ckpt_warnings) {
+      std::fprintf(stderr, "campaign: %s\n", warning.c_str());
+    }
     if (!latest.ok()) return fail(latest.status());
+    merged.checkpoint_fallbacks = rejected;
     std::filesystem::path dir =
         std::filesystem::path(options.state_dir) / *latest;
     auto opened = persist::StateReader::FromFile(ManifestPath(dir.string()));
@@ -447,6 +481,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
         // The campaign already finished under this (or a larger) budget:
         // hand back its recorded result without spawning workers.
         done.fuzzer_stats = stats;
+        done.checkpoint_fallbacks = rejected;
         return done;
       }
       // Budget was raised past the recorded run: fall through and keep
@@ -458,6 +493,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   }
 
   std::atomic<bool> stop{false};
+  std::atomic<bool> finished{false};
   std::atomic<bool> abort{false};
   std::vector<Status> worker_status(static_cast<size_t>(workers),
                                     Status::OK());
@@ -472,6 +508,35 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
         shared_corpus.Publish(w, std::move(tc));
       }
       states[w].pending_exports.clear();
+    }
+
+    // Self-healing: a worker whose backend broke permanently (spawn
+    // circuit open) can never spend its remaining budget. Reclaim it and
+    // hand it to the surviving workers — single-threaded here, while all
+    // workers are parked at the barrier, so plain target/done writes are
+    // safe and every worker observes the new split next round.
+    int64_t orphaned = 0;
+    int live = 0;
+    for (WorkerState& s : states) {
+      const bool parked = s.harness->backend().broken();
+      if (parked && s.target > s.done) {
+        orphaned += s.target - s.done;
+        s.target = s.done;
+      }
+      if (!parked) ++live;
+    }
+    if (orphaned > 0 && live > 0) {
+      std::fprintf(stderr,
+                   "campaign: redistributing %lld executions from parked "
+                   "worker(s) across %d live worker(s)\n",
+                   static_cast<long long>(orphaned), live);
+      const int64_t share = orphaned / live;
+      int64_t extra = orphaned % live;
+      for (WorkerState& s : states) {
+        if (s.harness->backend().broken()) continue;
+        s.target += static_cast<int>(share + (extra > 0 ? 1 : 0));
+        if (extra > 0) --extra;
+      }
     }
 
     int total_execs = 0;
@@ -499,6 +564,19 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       next_snapshot =
           (total_execs / options.snapshot_every + 1) * options.snapshot_every;
     }
+
+    // The campaign is over when every live worker has spent its (possibly
+    // redistributed) target; parked workers are excluded, so a campaign
+    // with a permanently dead worker still terminates.
+    bool all_done = true;
+    for (const WorkerState& s : states) {
+      if (s.harness->backend().broken()) continue;
+      if (s.done < s.target) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done || stop.load()) finished.store(true);
   };
 
   // One state file per worker; only callable while the worker threads are
@@ -566,8 +644,15 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     Status saved = write_checkpoint(round, advanced);
     if (saved.ok()) {
       next_checkpoint = advanced;
-    } else if (merged.state_status.ok()) {
-      merged.state_status = std::move(saved);
+    } else {
+      // Self-healing: keep fuzzing and retry at the next barrier (the
+      // cadence point is deliberately not advanced), instead of poisoning
+      // state_status over one failed mid-run write.
+      ++merged.checkpoints_failed;
+      std::fprintf(stderr,
+                   "campaign: checkpoint at round %d failed (%s); will retry "
+                   "at the next barrier\n",
+                   round, saved.ToString().c_str());
     }
   };
 
@@ -599,10 +684,15 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
         st.fuzzer->ImportSeed(tc);
       }
     }
-    for (int r = start_round; r < rounds; ++r) {
+    while (!finished.load()) {
+      // A parked worker (backend's spawn circuit open) keeps attending
+      // barriers — the barrier counts all workers — but runs no batches;
+      // its remaining budget is redistributed by the completion handler.
+      const bool parked = st.harness->backend().broken();
       const int batch =
-          stop.load() ? 0
-                      : std::max(0, std::min(sync_every, st.target - st.done));
+          (stop.load() || parked)
+              ? 0
+              : std::max(0, std::min(sync_every, st.target - st.done));
       for (int i = 0; i < batch; ++i) {
         TestCase tc = st.fuzzer->Next();
 
@@ -674,8 +764,11 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   std::vector<std::pair<int, size_t>> curve_at_join;
   const std::string final_name = "ckpt_final";
   if (persisting) {
-    final_workers_saved = save_worker_files(
-        std::filesystem::path(options.state_dir) / final_name);
+    for (int attempt = 0; attempt < kFinalSaveAttempts; ++attempt) {
+      final_workers_saved = save_worker_files(
+          std::filesystem::path(options.state_dir) / final_name);
+      if (final_workers_saved.ok()) break;
+    }
     curve_at_join = merged.coverage_curve;
   }
 
@@ -704,6 +797,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
         merged.captured_logic_bugs.push_back(info);
       }
     }
+    if (s.harness->backend().broken()) ++merged.workers_parked;
     FuzzerStats fs = s.fuzzer->stats();
     merged.fuzzer_stats.corpus_seeds += fs.corpus_seeds;
     merged.fuzzer_stats.affinity_pairs += fs.affinity_pairs;
@@ -716,6 +810,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       }
     }
   }
+  merged.fuzzer_stats.import_skipped = options.import_skipped;
   merged.edges = shared_coverage.CoveredEdges();
   if (merged.coverage_curve.empty() ||
       merged.coverage_curve.back().first != merged.executions) {
@@ -727,7 +822,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     // same-budget resume and by corpus_cli) and a full mid-run-style state
     // (worker files + round cursor), so a later budget-raising resume can
     // keep fuzzing from it.
-    Status saved = [&]() -> Status {
+    auto save_final_manifest = [&]() -> Status {
       LEGO_RETURN_IF_ERROR(final_workers_saved);
       namespace fsys = std::filesystem;
       const fsys::path dir = fsys::path(options.state_dir) / final_name;
@@ -739,7 +834,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       mw.WriteU64(merged.fuzzer_stats.affinity_pairs);
       mw.WriteU64(merged.fuzzer_stats.sequences_total);
       mw.WriteU64(merged.fuzzer_stats.sequences_dropped);
-      mw.WriteI64(rounds);  // round_next for a future budget extension
+      mw.WriteI64(ckpt_round);  // round_next for a future budget extension
       mw.WriteI64(next_snapshot);
       mw.WriteI64(next_checkpoint);
       mw.WriteU64(curve_at_join.size());
@@ -757,7 +852,12 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
         fsys::remove_all(fsys::path(options.state_dir) / prev_ckpt_dir, ec);
       }
       return Status::OK();
-    }();
+    };
+    Status saved = Status::OK();
+    for (int attempt = 0; attempt < kFinalSaveAttempts; ++attempt) {
+      saved = save_final_manifest();
+      if (saved.ok()) break;
+    }
     if (!saved.ok() && merged.state_status.ok()) {
       merged.state_status = std::move(saved);
     }

@@ -64,6 +64,9 @@ struct CampaignOptions {
   /// campaign end (fuel for `corpus_cli distill` / --import-corpus). Off by
   /// default: exporting clones the whole corpus.
   bool export_corpus = false;
+  /// Corrupt entries skipped by a tolerant --import-corpus (set by the CLI
+  /// alongside import_seeds; surfaced in FuzzerStats::import_skipped).
+  size_t import_skipped = 0;
 };
 
 /// Aggregated campaign outcome: everything the paper's tables/figures need.
@@ -112,6 +115,14 @@ struct CampaignResult {
   /// Clones of the final corpus (options.export_corpus only; worker order
   /// for parallel runs). Empty for generation-based fuzzers.
   std::vector<TestCase> corpus_export;
+
+  /// Robustness telemetry (runtime-only: never serialized and excluded
+  /// from ResultDigest). Mid-run checkpoints that failed to write and were
+  /// skipped with a warning, torn checkpoints skipped over at resume, and
+  /// workers parked because their backend broke (spawn circuit open).
+  int checkpoints_failed = 0;
+  int checkpoint_fallbacks = 0;
+  int workers_parked = 0;
 };
 
 /// Runs `fuzzer` against `harness` for the configured budget.

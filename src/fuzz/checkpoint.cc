@@ -1,5 +1,7 @@
 #include "fuzz/checkpoint.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 
 #include "fuzz/state.h"
@@ -304,6 +306,93 @@ StatusOr<std::string> ReadLatestPointer(const std::string& state_dir) {
     return Status::InvalidArgument("LATEST names an invalid checkpoint dir");
   }
   return name;
+}
+
+namespace {
+
+/// A checkpoint directory is usable iff every file a resume would open
+/// (manifest + one state file per worker) passes full envelope validation.
+/// Fingerprint/content checks still happen on the real resume path; this
+/// only has to rule out torn writes and bit rot.
+Status ValidateCheckpointDir(const std::string& state_dir,
+                             const std::string& name, int num_workers) {
+  const std::string dir =
+      (std::filesystem::path(state_dir) / name).string();
+  LEGO_ASSIGN_OR_RETURN(persist::StateReader manifest,
+                        persist::StateReader::FromFile(ManifestPath(dir)));
+  (void)manifest;
+  for (int w = 0; w < num_workers; ++w) {
+    LEGO_ASSIGN_OR_RETURN(
+        persist::StateReader r,
+        persist::StateReader::FromFile(WorkerStatePath(dir, w)));
+    (void)r;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> LocateUsableCheckpoint(
+    const std::string& state_dir, int num_workers,
+    std::vector<std::string>* warnings, int* rejected) {
+  if (rejected != nullptr) *rejected = 0;
+  std::vector<std::string> candidates;
+  auto add = [&](const std::string& name) {
+    if (std::find(candidates.begin(), candidates.end(), name) ==
+        candidates.end()) {
+      candidates.push_back(name);
+    }
+  };
+
+  auto latest = ReadLatestPointer(state_dir);
+  if (latest.ok()) {
+    add(*latest);
+  } else {
+    // An unreadable pointer is itself a fallback: whatever it named is no
+    // longer trusted, and recovery proceeds by directory scan.
+    if (warnings != nullptr) {
+      warnings->push_back("LATEST pointer unusable (" +
+                          latest.status().ToString() +
+                          "); scanning for checkpoints");
+    }
+    if (rejected != nullptr) ++(*rejected);
+  }
+
+  // Fallback candidates, best-first: the complete final checkpoint, then
+  // mid-run rounds newest-first.
+  bool have_final = false;
+  std::vector<int> round_dirs;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(state_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "ckpt_final") {
+      have_final = true;
+    } else if (name.rfind("ckpt_r", 0) == 0) {
+      round_dirs.push_back(std::atoi(name.c_str() + 6));
+    }
+  }
+  std::sort(round_dirs.begin(), round_dirs.end(), std::greater<int>());
+  if (have_final) add("ckpt_final");
+  for (int r : round_dirs) add(CheckpointDirName(r));
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Status usable = ValidateCheckpointDir(state_dir, candidates[i],
+                                          num_workers);
+    if (usable.ok()) {
+      if (i > 0 && warnings != nullptr) {
+        warnings->push_back("recovered: resuming from older checkpoint " +
+                            candidates[i]);
+      }
+      return candidates[i];
+    }
+    if (warnings != nullptr) {
+      warnings->push_back("checkpoint " + candidates[i] + " unusable (" +
+                          usable.ToString() + "); falling back");
+    }
+    if (rejected != nullptr) ++(*rejected);
+  }
+  return Status::NotFound("no usable checkpoint under " + state_dir);
 }
 
 }  // namespace lego::fuzz

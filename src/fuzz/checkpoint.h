@@ -2,6 +2,7 @@
 #define LEGO_FUZZ_CHECKPOINT_H_
 
 #include <string>
+#include <vector>
 
 #include "fuzz/campaign.h"
 #include "persist/io.h"
@@ -65,6 +66,20 @@ std::string ManifestPath(const std::string& ckpt_dir);
 Status WriteLatestPointer(const std::string& state_dir,
                           const std::string& ckpt_dir_name);
 StatusOr<std::string> ReadLatestPointer(const std::string& state_dir);
+
+/// Self-healing resume: finds the newest *usable* parallel checkpoint
+/// under state_dir. The LATEST pointer's target is tried first; if that
+/// directory is torn (missing/truncated/checksum-failing manifest or
+/// worker file — e.g. the process was killed mid-checkpoint and LATEST
+/// was corrupted too), the scan falls back to ckpt_final and then the
+/// remaining ckpt_r<N> directories newest-first, validating every file a
+/// resume would need for `num_workers` workers. Each rejected candidate
+/// appends a human-readable line to `warnings` and bumps `*rejected`.
+/// NotFound when nothing usable remains.
+StatusOr<std::string> LocateUsableCheckpoint(const std::string& state_dir,
+                                             int num_workers,
+                                             std::vector<std::string>* warnings,
+                                             int* rejected);
 
 }  // namespace lego::fuzz
 

@@ -1,5 +1,8 @@
 #include "fuzz/corpus_file.h"
 
+#include <limits>
+
+#include "chaos/failpoint.h"
 #include "fuzz/state.h"
 #include "persist/io.h"
 
@@ -11,6 +14,9 @@ constexpr uint32_t kCorpusFileTag = persist::ChunkTag("CFIL");
 
 Status SaveCorpusFile(const std::vector<TestCase>& cases,
                       const std::string& path) {
+  if (LEGO_FAILPOINT("corpus.save")) {
+    return Status::Internal("save corpus " + path + ": injected fault");
+  }
   persist::StateWriter w;
   w.BeginChunk(kCorpusFileTag);
   w.WriteU64(cases.size());
@@ -20,6 +26,9 @@ Status SaveCorpusFile(const std::vector<TestCase>& cases,
 }
 
 StatusOr<std::vector<TestCase>> LoadCorpusFile(const std::string& path) {
+  if (LEGO_FAILPOINT("corpus.load")) {
+    return Status::Internal("load corpus " + path + ": injected fault");
+  }
   LEGO_ASSIGN_OR_RETURN(persist::StateReader r,
                         persist::StateReader::FromFile(path));
   LEGO_RETURN_IF_ERROR(r.EnterChunk(kCorpusFileTag));
@@ -32,6 +41,45 @@ StatusOr<std::vector<TestCase>> LoadCorpusFile(const std::string& path) {
     cases.push_back(std::move(tc));
   }
   LEGO_RETURN_IF_ERROR(r.ExitChunk());
+  return cases;
+}
+
+StatusOr<std::vector<TestCase>> LoadCorpusFileTolerant(
+    const std::string& path, CorpusLoadStats* stats) {
+  if (stats != nullptr) *stats = CorpusLoadStats{};
+  if (LEGO_FAILPOINT("corpus.load")) {
+    return Status::Internal("load corpus " + path + ": injected fault");
+  }
+  bool degraded = false;
+  LEGO_ASSIGN_OR_RETURN(persist::StateReader r,
+                        persist::StateReader::FromFileLenient(path, &degraded));
+  LEGO_RETURN_IF_ERROR(r.EnterChunkTruncated(kCorpusFileTag));
+  const uint64_t declared = r.ReadU64();
+  if (!r.ok()) return r.status();  // too short even for the entry count
+  // The declared count bounds the decode loop only when plausible — a
+  // corrupted count field must not stop salvage of the entries behind it.
+  const uint64_t cap = (declared > 0 && declared < (uint64_t{1} << 20))
+                           ? declared
+                           : std::numeric_limits<uint64_t>::max();
+  std::vector<TestCase> cases;
+  bool decode_failed = false;
+  while (r.ok() && !r.AtEnd() && cases.size() < cap) {
+    auto tc = LoadTestCase(&r);
+    if (!tc.ok()) {
+      decode_failed = true;
+      break;
+    }
+    cases.push_back(std::move(*tc));
+  }
+  if (stats != nullptr) {
+    stats->loaded = cases.size();
+    stats->degraded = degraded || decode_failed;
+    if (cap != std::numeric_limits<uint64_t>::max() && cases.size() < cap) {
+      stats->skipped = static_cast<size_t>(cap - cases.size());
+    } else if (decode_failed) {
+      stats->skipped = 1;  // at least the entry the decode died inside
+    }
+  }
   return cases;
 }
 

@@ -17,6 +17,21 @@ Status SaveCorpusFile(const std::vector<TestCase>& cases,
                       const std::string& path);
 StatusOr<std::vector<TestCase>> LoadCorpusFile(const std::string& path);
 
+/// Bookkeeping from a tolerant corpus load.
+struct CorpusLoadStats {
+  size_t loaded = 0;   // entries successfully decoded
+  size_t skipped = 0;  // declared entries dropped as truncated/undecodable
+  bool degraded = false;  // envelope failed strict validation
+};
+
+/// Damage-tolerant variant of LoadCorpusFile: a truncated or
+/// checksum-failing corpus yields the longest decodable prefix of entries
+/// plus a skip count, instead of an error — a long campaign should not die
+/// because its imported seed file lost a tail to a crash. Files that are
+/// not corpus files at all (missing, bad magic, wrong chunk) still fail.
+StatusOr<std::vector<TestCase>> LoadCorpusFileTolerant(const std::string& path,
+                                                       CorpusLoadStats* stats);
+
 }  // namespace lego::fuzz
 
 #endif  // LEGO_FUZZ_CORPUS_FILE_H_

@@ -3,7 +3,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "coverage/coverage.h"
 #include "minidb/executor.h"
@@ -14,6 +17,7 @@ namespace {
 
 std::atomic<bool> g_planted_abort{false};
 std::atomic<bool> g_planted_hang{false};
+std::atomic<bool> g_planted_oom{false};
 
 }  // namespace
 
@@ -25,6 +29,10 @@ void SetPlantedAbortForTesting(bool armed) {
 
 void SetPlantedHangForTesting(bool armed) {
   g_planted_hang.store(armed, std::memory_order_relaxed);
+}
+
+void SetPlantedOomForTesting(bool armed) {
+  g_planted_oom.store(armed, std::memory_order_relaxed);
 }
 
 }  // namespace testing
@@ -41,7 +49,23 @@ StatusOr<ResultSet> Database::Execute(const sql::Statement& stmt) {
   }
   if (g_planted_hang.load(std::memory_order_relaxed) &&
       stmt.type() == sql::StatementType::kVacuum) {
-    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Busy-spins (rather than sleeping) so both watchdogs can catch it: the
+    // wall-clock --max-stmt-ms kill and the RLIMIT_CPU governor, which
+    // only counts CPU time and would never fire on a sleeping child.
+    volatile uint64_t spin = 0;
+    for (;;) ++spin;
+  }
+  if (g_planted_oom.load(std::memory_order_relaxed) &&
+      stmt.type() == sql::StatementType::kReindex) {
+    // Allocate and touch memory without bound. Under RLIMIT_AS the forked
+    // child's new-handler converts exhaustion into the reserved OOM exit
+    // code, which the parent triages as REAL-OOM.
+    std::vector<std::unique_ptr<char[]>> hog;
+    for (;;) {
+      constexpr size_t kChunk = 1 << 20;
+      hog.push_back(std::make_unique<char[]>(kChunk));
+      std::memset(hog.back().get(), 0xab, kChunk);
+    }
   }
 
   Executor executor(this);

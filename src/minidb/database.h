@@ -160,9 +160,13 @@ namespace testing {
 /// When armed, executing any DROP TABLE abort()s the process — in a forked
 /// backend that kills the child mid-statement; in-process it kills the test.
 void SetPlantedAbortForTesting(bool armed);
-/// When armed, executing any VACUUM spins forever (until the forked
-/// backend's per-statement watchdog kills the child).
+/// When armed, executing any VACUUM busy-spins forever (until the forked
+/// backend's per-statement watchdog or an RLIMIT_CPU cap kills the child).
 void SetPlantedHangForTesting(bool armed);
+/// When armed, executing any REINDEX allocates memory without bound —
+/// under --max-child-mem-mb the forked child dies with the reserved OOM
+/// exit code and the death is triaged as REAL-OOM.
+void SetPlantedOomForTesting(bool armed);
 
 }  // namespace testing
 

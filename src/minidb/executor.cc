@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "chaos/failpoint.h"
 #include "coverage/coverage.h"
 #include "minidb/planner.h"
 #include "util/string_util.h"
@@ -790,6 +791,11 @@ Status Executor::FireTriggers(const std::string& table,
 // ---------------------------------------------------------------------------
 
 StatusOr<ResultSet> Executor::ExecInsert(const sql::InsertStmt& stmt) {
+  // Chaos site on the row-materialization path: a fired failpoint models an
+  // allocation failure as a statement-level error, not a session death.
+  if (LEGO_FAILPOINT("minidb.insert_alloc")) {
+    return Status::ExecutionError("chaos: simulated allocation failure");
+  }
   // An INSTEAD rule rewrites the whole statement (the paper's case-study
   // path: a DML inside WITH being replaced by a NOTIFY).
   const RuleInfo* rule =
@@ -1094,6 +1100,10 @@ StatusOr<ResultSet> Executor::ExecCopy(const sql::CopyStmt& stmt) {
 // ---------------------------------------------------------------------------
 
 StatusOr<ResultSet> Executor::ExecSelect(const sql::SelectStmt& stmt) {
+  // Chaos site on the result-set path (see ExecInsert).
+  if (LEGO_FAILPOINT("minidb.select_alloc")) {
+    return Status::ExecutionError("chaos: simulated allocation failure");
+  }
   LEGO_ASSIGN_OR_RETURN(Relation rel, EvalSelect(stmt, nullptr));
   ResultSet result;
   for (const RelColumn& col : rel.columns) result.column_names.push_back(col.name);

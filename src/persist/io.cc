@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "chaos/failpoint.h"
 #include "util/hash.h"
 
 namespace lego::persist {
@@ -42,6 +43,36 @@ uint64_t LoadU64(const char* p) {
     v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
   }
   return v;
+}
+
+/// Shared temp-then-rename protocol for state files and text artifacts.
+/// The persist.* failpoints model each stage an OS-level write can fail at
+/// (short-circuited after the real error check, so they only fire on
+/// writes that would otherwise have succeeded).
+Status WriteBytesAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f || LEGO_FAILPOINT("persist.open")) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f || LEGO_FAILPOINT("persist.write")) {
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  if (LEGO_FAILPOINT("persist.rename")) {
+    return Status::Internal("rename " + tmp + " -> " + path +
+                            ": injected fault");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("rename " + tmp + " -> " + path + ": " +
+                            ec.message());
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -99,26 +130,11 @@ std::string StateWriter::EnvelopedBytes() const {
 }
 
 Status StateWriter::WriteFileAtomic(const std::string& path) const {
-  const std::string bytes = EnvelopedBytes();
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) {
-      return Status::Internal("cannot open " + tmp + " for writing");
-    }
-    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    f.flush();
-    if (!f) {
-      return Status::Internal("short write to " + tmp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::Internal("rename " + tmp + " -> " + path + ": " +
-                            ec.message());
-  }
-  return Status::OK();
+  return WriteBytesAtomic(path, EnvelopedBytes());
+}
+
+Status WriteTextFileAtomic(const std::string& path, std::string_view content) {
+  return WriteBytesAtomic(path, content);
 }
 
 StatusOr<StateReader> StateReader::FromFile(const std::string& path) {
@@ -126,9 +142,56 @@ StatusOr<StateReader> StateReader::FromFile(const std::string& path) {
   if (!f) {
     return Status::NotFound("state file not found: " + path);
   }
+  if (LEGO_FAILPOINT("persist.read")) {
+    return Status::Internal("read " + path + ": injected fault");
+  }
   std::string bytes((std::istreambuf_iterator<char>(f)),
                     std::istreambuf_iterator<char>());
   return FromEnvelope(std::move(bytes));
+}
+
+StatusOr<StateReader> StateReader::FromFileLenient(const std::string& path,
+                                                   bool* degraded) {
+  if (degraded != nullptr) *degraded = false;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return Status::NotFound("state file not found: " + path);
+  }
+  if (LEGO_FAILPOINT("persist.read")) {
+    return Status::Internal("read " + path + ": injected fault");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument("state file truncated before header: " +
+                                   std::to_string(bytes.size()) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a lego state file (bad magic)");
+  }
+  uint32_t version = LoadU32(bytes.data() + 4);
+  if (version != kFormatVersion) {
+    return Status::Unsupported("state format version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kFormatVersion) + ")");
+  }
+  const uint64_t declared = LoadU64(bytes.data() + 8);
+  const size_t body = bytes.size() - kHeaderSize;  // payload (+trailer if any)
+  if (body >= declared && body - declared == kTrailerSize) {
+    // Structurally complete — accept only if the checksum also holds.
+    std::string payload = bytes.substr(kHeaderSize, declared);
+    uint64_t checksum = LoadU64(bytes.data() + kHeaderSize + declared);
+    if (checksum == Fnv1a64(payload)) {
+      return StateReader(std::move(payload));
+    }
+  }
+  // Damaged envelope: hand back the payload prefix actually present (a
+  // truncated file may end inside the payload or inside the trailer; the
+  // clamp below never exposes more than the declared payload length).
+  if (degraded != nullptr) *degraded = true;
+  const size_t take = static_cast<size_t>(
+      declared < body ? declared : static_cast<uint64_t>(body));
+  return StateReader(bytes.substr(kHeaderSize, take));
 }
 
 StatusOr<StateReader> StateReader::FromEnvelope(std::string bytes) {
@@ -226,6 +289,20 @@ Status StateReader::EnterChunk(uint32_t expected_tag) {
     return status_;
   }
   limits_.push_back(pos_ + static_cast<size_t>(len));
+  return Status::OK();
+}
+
+Status StateReader::EnterChunkTruncated(uint32_t expected_tag) {
+  uint32_t tag = ReadU32();
+  uint64_t len = ReadU64();
+  if (!status_.ok()) return status_;
+  if (tag != expected_tag) {
+    Fail("expected chunk " + TagName(expected_tag) + ", found " +
+         TagName(tag));
+    return status_;
+  }
+  const size_t end = pos_ + static_cast<size_t>(len);
+  limits_.push_back(end > Limit() ? Limit() : end);
   return Status::OK();
 }
 

@@ -62,6 +62,12 @@ class StateWriter {
   std::vector<size_t> open_chunks_;  // offsets of length placeholders
 };
 
+/// Writes plain text (no envelope) with the same write-temp-then-rename
+/// protocol as StateWriter::WriteFileAtomic, so human-readable artifacts
+/// (triage manifests, .sql reproducers) are also never left half-written
+/// by a crash. Shares the persist.* failpoints with state writes.
+Status WriteTextFileAtomic(const std::string& path, std::string_view content);
+
 /// Deserializer over a validated payload. All reads are bounds-checked
 /// against the innermost open chunk; any overrun, tag mismatch, or envelope
 /// corruption surfaces as a non-OK status() rather than UB. After a failed
@@ -74,6 +80,13 @@ class StateReader {
   static StatusOr<StateReader> FromFile(const std::string& path);
   /// Same validation over in-memory enveloped bytes.
   static StatusOr<StateReader> FromEnvelope(std::string bytes);
+  /// Salvage-mode open: accepts a file whose envelope fails the truncation
+  /// or checksum checks and exposes whatever payload prefix is present,
+  /// setting *degraded (callers then read entry-by-entry and keep what
+  /// decodes — see LoadCorpusFileTolerant). Bad magic and unknown versions
+  /// still fail: those are not damage, they are the wrong file.
+  static StatusOr<StateReader> FromFileLenient(const std::string& path,
+                                               bool* degraded);
   /// Wraps a raw payload with no envelope (round-trip tests).
   static StateReader FromPayload(std::string payload);
 
@@ -88,6 +101,10 @@ class StateReader {
   /// Enters the next chunk, which must carry `expected_tag`; subsequent
   /// reads are bounded by the chunk. Returns the tag/bounds error if any.
   Status EnterChunk(uint32_t expected_tag);
+  /// Like EnterChunk, but a chunk whose declared length overruns the
+  /// available bytes is clamped to what is present instead of failing —
+  /// the entry point for salvaging a truncated payload.
+  Status EnterChunkTruncated(uint32_t expected_tag);
   /// Leaves the innermost chunk, skipping any unread remainder (so a newer
   /// writer may append fields to a chunk without breaking old readers).
   Status ExitChunk();

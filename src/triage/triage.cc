@@ -216,9 +216,17 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
           Hex16(Fnv1a64(bug.signature.Key())).substr(8) + ".sql";
       const std::filesystem::path path =
           std::filesystem::path(options.repro_dir) / file;
-      std::ofstream f(path, std::ios::binary | std::ios::trunc);
-      f << RenderArtifact(bug, profile, reducer.harness().bug_engine());
-      bug.artifact_path = path.string();
+      // Atomic (temp-then-rename) so a crash or kill mid-triage never
+      // leaves a half-written reproducer that a later replay trusts.
+      Status written = persist::WriteTextFileAtomic(
+          path.string(),
+          RenderArtifact(bug, profile, reducer.harness().bug_engine()));
+      if (written.ok()) {
+        bug.artifact_path = path.string();
+      } else {
+        std::fprintf(stderr, "triage: cannot write %s (%s)\n",
+                     path.string().c_str(), written.ToString().c_str());
+      }
 
       auto key_it = replay_keys.find(bug.signature.Key());
       const std::string replay_key =
@@ -233,13 +241,22 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
           std::to_string(persist::kFormatVersion);
     }
     // Rewrite rather than append: entries stay sorted by replay key and
-    // duplicates cannot accumulate across reruns.
-    std::ofstream mf(
-        std::filesystem::path(options.repro_dir) / kTriageManifestFile,
-        std::ios::binary | std::ios::trunc);
-    mf << "# replay-key\tsignature\ttrigger\tartifact\tcampaign-seed"
-          "\tstate-version\n";
-    for (const auto& [key, line] : manifest) mf << line << '\n';
+    // duplicates cannot accumulate across reruns. Written atomically so an
+    // interrupted triage leaves the previous manifest intact instead of a
+    // truncated one (which would silently forget triaged bugs).
+    std::string mf = "# replay-key\tsignature\ttrigger\tartifact\tcampaign-seed"
+                     "\tstate-version\n";
+    for (const auto& [key, line] : manifest) {
+      mf += line;
+      mf += '\n';
+    }
+    const std::filesystem::path mpath =
+        std::filesystem::path(options.repro_dir) / kTriageManifestFile;
+    Status written = persist::WriteTextFileAtomic(mpath.string(), mf);
+    if (!written.ok()) {
+      std::fprintf(stderr, "triage: cannot write %s (%s)\n",
+                   mpath.string().c_str(), written.ToString().c_str());
+    }
   }
   return report;
 }

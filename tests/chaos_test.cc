@@ -1,0 +1,414 @@
+// Chaos layer: deterministic failpoint schedules, damage-tolerant corpus
+// import, resource-governed forked children (REAL-OOM / REAL-CPU triage
+// buckets), and the spawn circuit breaker with campaign-level parking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/failpoint.h"
+#include "fuzz/backend.h"
+#include "fuzz/backend_forked.h"
+#include "fuzz/campaign.h"
+#include "fuzz/corpus_file.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/harness.h"
+#include "fuzz/testcase.h"
+#include "minidb/database.h"
+#include "minidb/profile.h"
+#include "persist/io.h"
+
+// Rlimit-based OOM tests are incompatible with sanitizer runtimes (ASan
+// reserves shadow memory far beyond RLIMIT_AS; TSan likewise) — skip them
+// there; the release job covers them.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LEGO_SANITIZED 1
+#endif
+#if !defined(LEGO_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LEGO_SANITIZED 1
+#endif
+#endif
+
+namespace lego::fuzz {
+namespace {
+
+/// Every test leaves the global registry disarmed, even on assertion
+/// failure — chaos state must never leak across tests.
+class ScopedChaos {
+ public:
+  ScopedChaos() { chaos::DisarmAll(); }
+  ~ScopedChaos() { chaos::DisarmAll(); }
+};
+
+class PlantedHang {
+ public:
+  PlantedHang() { minidb::testing::SetPlantedHangForTesting(true); }
+  ~PlantedHang() { minidb::testing::SetPlantedHangForTesting(false); }
+};
+
+class PlantedOom {
+ public:
+  PlantedOom() { minidb::testing::SetPlantedOomForTesting(true); }
+  ~PlantedOom() { minidb::testing::SetPlantedOomForTesting(false); }
+};
+
+/// Deterministic generation-only fuzzer cycling through fixed scripts.
+class ScriptFuzzer : public Fuzzer {
+ public:
+  explicit ScriptFuzzer(std::vector<std::string> scripts)
+      : scripts_(std::move(scripts)) {}
+
+  std::string name() const override { return "script"; }
+  void Prepare(ExecutionHarness* harness) override { (void)harness; }
+
+  TestCase Next() override {
+    auto tc = TestCase::FromSql(scripts_[next_ % scripts_.size()]);
+    ++next_;
+    EXPECT_TRUE(tc.ok());
+    return std::move(*tc);
+  }
+
+  void OnResult(const TestCase& tc, const ExecResult& result) override {
+    (void)tc;
+    (void)result;
+  }
+
+  std::unique_ptr<Fuzzer> CloneForWorker(int worker_id) const override {
+    (void)worker_id;
+    return std::make_unique<ScriptFuzzer>(scripts_);
+  }
+
+ private:
+  std::vector<std::string> scripts_;
+  size_t next_ = 0;
+};
+
+std::vector<bool> DrawPattern(uint64_t seed, double prob, int n) {
+  chaos::ArmAll(seed, prob);
+  std::vector<bool> fires;
+  fires.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) fires.push_back(LEGO_FAILPOINT("persist.write"));
+  chaos::DisarmAll();
+  return fires;
+}
+
+TEST(FailpointTest, SameSeedSameSchedule) {
+  ScopedChaos scope;
+  const std::vector<bool> a = DrawPattern(42, 0.3, 200);
+  const std::vector<bool> b = DrawPattern(42, 0.3, 200);
+  EXPECT_EQ(a, b);
+  // A 0.3 schedule over 200 draws fires somewhere strictly inside (0, 200).
+  const int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 200);
+
+  const std::vector<bool> c = DrawPattern(43, 0.3, 200);
+  EXPECT_NE(a, c);
+}
+
+TEST(FailpointTest, DisarmedNeverFiresAndCountsNothing) {
+  ScopedChaos scope;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(LEGO_FAILPOINT("persist.write"));
+  }
+  EXPECT_EQ(chaos::HitCount("persist.write"), 0u);
+  EXPECT_EQ(chaos::FireCount("persist.write"), 0u);
+  for (const chaos::FailpointInfo& fp : chaos::Snapshot()) {
+    EXPECT_EQ(fp.mode, chaos::FailpointMode::kOff);
+    EXPECT_EQ(fp.hits, 0u);
+    EXPECT_EQ(fp.fires, 0u);
+  }
+}
+
+TEST(FailpointTest, NthHitFiresExactlyOnce) {
+  ScopedChaos scope;
+  ASSERT_TRUE(chaos::ArmSpec("corpus.save=nth:3", 1).ok());
+  std::vector<bool> fires;
+  for (int i = 0; i < 10; ++i) fires.push_back(LEGO_FAILPOINT("corpus.save"));
+  std::vector<bool> expected(10, false);
+  expected[2] = true;
+  EXPECT_EQ(fires, expected);
+  EXPECT_EQ(chaos::HitCount("corpus.save"), 10u);
+  EXPECT_EQ(chaos::FireCount("corpus.save"), 1u);
+}
+
+TEST(FailpointTest, ProbabilityBounds) {
+  ScopedChaos scope;
+  ASSERT_TRUE(chaos::ArmSpec("persist.read=prob:0", 1).ok());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(LEGO_FAILPOINT("persist.read"));
+  ASSERT_TRUE(chaos::ArmSpec("persist.read=prob:1", 1).ok());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(LEGO_FAILPOINT("persist.read"));
+  ASSERT_TRUE(chaos::ArmSpec("persist.read=always", 1).ok());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(LEGO_FAILPOINT("persist.read"));
+}
+
+TEST(FailpointTest, ArmSpecRejectsMalformedSpecs) {
+  ScopedChaos scope;
+  EXPECT_FALSE(chaos::ArmSpec("no-equals-sign", 1).ok());
+  EXPECT_FALSE(chaos::ArmSpec("not.a.failpoint=always", 1).ok());
+  EXPECT_FALSE(chaos::ArmSpec("persist.write=sometimes", 1).ok());
+  EXPECT_FALSE(chaos::ArmSpec("persist.write=prob:2.0", 1).ok());
+  EXPECT_FALSE(chaos::ArmSpec("persist.write=prob:", 1).ok());
+  EXPECT_FALSE(chaos::ArmSpec("persist.write=nth:0", 1).ok());
+  EXPECT_FALSE(chaos::ArmSpec("persist.write=kill:x", 1).ok());
+  // A rejected spec must leave nothing armed.
+  EXPECT_FALSE(chaos::detail::g_armed.load());
+}
+
+TEST(FailpointTest, RegistryListsAllCompiledSites) {
+  const auto names = chaos::RegisteredFailpoints();
+  EXPECT_GE(names.size(), 9u);
+  for (std::string_view expected :
+       {"persist.open", "persist.write", "persist.rename", "persist.read",
+        "corpus.save", "corpus.load", "minidb.insert_alloc",
+        "minidb.select_alloc", "backend.spawn"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(FailpointTest, AtomicWriteFailsUnderRenameFaultAndRecovers) {
+  ScopedChaos scope;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lego_chaos_atomic.state")
+          .string();
+  std::filesystem::remove(path);
+
+  ASSERT_TRUE(chaos::ArmSpec("persist.rename=always", 1).ok());
+  EXPECT_FALSE(persist::WriteTextFileAtomic(path, "payload").ok());
+  EXPECT_FALSE(std::filesystem::exists(path));  // no torn file left behind
+
+  chaos::DisarmAll();
+  ASSERT_TRUE(persist::WriteTextFileAtomic(path, "payload").ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+// --- tolerant corpus import ---
+
+std::vector<TestCase> MakeCases() {
+  const char* sqls[] = {
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);",
+      "CREATE TABLE u (b INT); INSERT INTO u VALUES (2); SELECT b FROM u;",
+      "CREATE TABLE v (c INT); UPDATE v SET c = 1;",
+      "CREATE TABLE w (d INT); DELETE FROM w;",
+      "CREATE TABLE x (e INT); INSERT INTO x VALUES (5); SELECT e FROM x;",
+      "CREATE TABLE y (f INT); INSERT INTO y VALUES (6);",
+  };
+  std::vector<TestCase> cases;
+  for (const char* sql : sqls) {
+    auto tc = TestCase::FromSql(sql);
+    EXPECT_TRUE(tc.ok());
+    cases.push_back(std::move(*tc));
+  }
+  return cases;
+}
+
+std::string CorpusPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("lego_chaos_" + name))
+      .string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(TolerantCorpusTest, IntactFileLoadsClean) {
+  const std::string path = CorpusPath("intact.corpus");
+  ASSERT_TRUE(SaveCorpusFile(MakeCases(), path).ok());
+  CorpusLoadStats stats;
+  auto loaded = LoadCorpusFileTolerant(path, &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 6u);
+  EXPECT_EQ(stats.loaded, 6u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_FALSE(stats.degraded);
+  std::filesystem::remove(path);
+}
+
+TEST(TolerantCorpusTest, TruncatedFileSalvagesPrefix) {
+  const std::string path = CorpusPath("truncated.corpus");
+  ASSERT_TRUE(SaveCorpusFile(MakeCases(), path).ok());
+  std::string bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 40u);
+  bytes.resize(bytes.size() - 25);  // lose the checksum and part of the tail
+  WriteAll(path, bytes);
+
+  // The strict loader refuses the whole file ...
+  EXPECT_FALSE(LoadCorpusFile(path).ok());
+
+  // ... the tolerant one salvages every case before the damage.
+  CorpusLoadStats stats;
+  auto loaded = LoadCorpusFileTolerant(path, &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_GE(loaded->size(), 1u);
+  EXPECT_LT(loaded->size(), 6u);
+  EXPECT_EQ(stats.loaded, loaded->size());
+  EXPECT_GE(stats.skipped, 1u);
+  EXPECT_TRUE(stats.degraded);
+  std::filesystem::remove(path);
+}
+
+TEST(TolerantCorpusTest, ChecksumFlipStillSalvagesAllEntries) {
+  const std::string path = CorpusPath("badsum.corpus");
+  ASSERT_TRUE(SaveCorpusFile(MakeCases(), path).ok());
+  std::string bytes = ReadAll(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);  // corrupt trailer
+  WriteAll(path, bytes);
+
+  EXPECT_FALSE(LoadCorpusFile(path).ok());
+  CorpusLoadStats stats;
+  auto loaded = LoadCorpusFileTolerant(path, &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 6u);  // payload intact; only the checksum lies
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_TRUE(stats.degraded);
+  std::filesystem::remove(path);
+}
+
+TEST(TolerantCorpusTest, GarbageFileStillFails) {
+  const std::string path = CorpusPath("garbage.corpus");
+  WriteAll(path, "this is not a corpus file at all");
+  CorpusLoadStats stats;
+  EXPECT_FALSE(LoadCorpusFileTolerant(path, &stats).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(TolerantCorpusTest, LoadFailpointInjectsFault) {
+  ScopedChaos scope;
+  const std::string path = CorpusPath("fp.corpus");
+  ASSERT_TRUE(SaveCorpusFile(MakeCases(), path).ok());
+  ASSERT_TRUE(chaos::ArmSpec("corpus.load=always", 1).ok());
+  CorpusLoadStats stats;
+  EXPECT_FALSE(LoadCorpusFileTolerant(path, &stats).ok());
+  chaos::DisarmAll();
+  EXPECT_TRUE(LoadCorpusFileTolerant(path, &stats).ok());
+  std::filesystem::remove(path);
+}
+
+// --- spawn circuit breaker ---
+
+TEST(CircuitBreakerTest, RepeatedSpawnFailureOpensBreaker) {
+  ScopedChaos scope;
+  ASSERT_TRUE(chaos::ArmSpec("backend.spawn=always", 1).ok());
+  BackendOptions options;
+  options.kind = BackendKind::kForked;
+  options.spawn_failure_limit = 3;
+  ForkedBackend backend(minidb::DialectProfile::PgLite(), options);
+  EXPECT_TRUE(backend.broken());
+  EXPECT_EQ(backend.spawn_count(), 0);
+  EXPECT_EQ(backend.spawn_failures(), 3);
+
+  // A broken backend stays inert and error-reporting, never crashing.
+  backend.Reset();
+  auto tc = TestCase::FromSql("SELECT 1;");
+  ASSERT_TRUE(tc.ok());
+  StmtOutcome out = backend.Execute(*tc->statements()[0], false);
+  EXPECT_EQ(out.status, StmtOutcome::Status::kError);
+}
+
+TEST(CircuitBreakerTest, TransientSpawnFailureRetriesAndRecovers) {
+  ScopedChaos scope;
+  ASSERT_TRUE(chaos::ArmSpec("backend.spawn=nth:1", 1).ok());
+  BackendOptions options;
+  options.kind = BackendKind::kForked;
+  ForkedBackend backend(minidb::DialectProfile::PgLite(), options);
+  EXPECT_FALSE(backend.broken());
+  EXPECT_EQ(backend.spawn_failures(), 1);  // first attempt injected, retried
+  EXPECT_EQ(backend.spawn_count(), 1);
+
+  backend.Reset();
+  auto tc = TestCase::FromSql("CREATE TABLE t (a INT);");
+  ASSERT_TRUE(tc.ok());
+  StmtOutcome out = backend.Execute(*tc->statements()[0], false);
+  EXPECT_EQ(out.status, StmtOutcome::Status::kOk);
+}
+
+TEST(CircuitBreakerTest, CampaignSurvivesDeadWorkerAndRedistributes) {
+  ScopedChaos scope;
+  // Spawn hits: 1 = prototype harness, 2 = worker 0 (injected -> breaker
+  // opens with limit 1), 3 = worker 1. Worker 0 is parked from round one
+  // and its entire half of the budget must migrate to worker 1.
+  ASSERT_TRUE(chaos::ArmSpec("backend.spawn=nth:2", 1).ok());
+
+  ScriptFuzzer fuzzer({
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;",
+      "CREATE TABLE u (b INT); INSERT INTO u VALUES (2); SELECT b FROM u;",
+  });
+  BackendOptions backend;
+  backend.kind = BackendKind::kForked;
+  backend.spawn_failure_limit = 1;
+  ExecutionHarness harness(minidb::DialectProfile::PgLite(), backend);
+
+  CampaignOptions options;
+  options.max_executions = 60;
+  options.num_workers = 2;
+  options.sync_every = 8;
+  options.snapshot_every = 0;
+
+  CampaignResult result = RunCampaign(&fuzzer, &harness, options);
+  EXPECT_EQ(result.executions, 60);  // full budget despite the dead worker
+  EXPECT_EQ(result.workers_parked, 1);
+  EXPECT_EQ(result.crashes_total, 0);
+}
+
+// --- resource governance ---
+
+TEST(ResourceGovernanceTest, ChildOomBecomesRealOomCrash) {
+#ifdef LEGO_SANITIZED
+  GTEST_SKIP() << "RLIMIT_AS is incompatible with sanitizer shadow memory";
+#else
+  PlantedOom plant;
+  BackendOptions backend;
+  backend.kind = BackendKind::kForked;
+  backend.max_child_mem_mb = 256;
+  ExecutionHarness harness(minidb::DialectProfile::PgLite(), backend);
+
+  auto tc = TestCase::FromSql("CREATE TABLE t (a INT); REINDEX; SELECT 1;");
+  ASSERT_TRUE(tc.ok());
+  ExecResult r = harness.Run(*tc);
+  EXPECT_TRUE(r.crashed);
+  EXPECT_EQ(r.crash.bug_id, "REAL-OOM");
+  EXPECT_EQ(r.executed, 1);  // CREATE ran; REINDEX died; SELECT never ran
+
+  // The child respawns: the same harness keeps executing, and the repro
+  // replays to the same bucket (stable stack hash).
+  auto again = TestCase::FromSql("CREATE TABLE t (a INT); REINDEX;");
+  ASSERT_TRUE(again.ok());
+  ExecResult r2 = harness.Run(*again);
+  EXPECT_TRUE(r2.crashed);
+  EXPECT_EQ(r2.crash.bug_id, "REAL-OOM");
+  EXPECT_EQ(r2.crash.stack_hash, r.crash.stack_hash);
+#endif
+}
+
+TEST(ResourceGovernanceTest, ChildCpuSpinBecomesRealCpuCrash) {
+  PlantedHang plant;
+  BackendOptions backend;
+  backend.kind = BackendKind::kForked;
+  backend.max_child_cpu_s = 1;  // no wall-clock watchdog: the rlimit acts
+  ExecutionHarness harness(minidb::DialectProfile::PgLite(), backend);
+
+  auto tc = TestCase::FromSql("CREATE TABLE t (a INT); VACUUM;");
+  ASSERT_TRUE(tc.ok());
+  ExecResult r = harness.Run(*tc);
+  EXPECT_TRUE(r.crashed);
+  EXPECT_EQ(r.crash.bug_id, "REAL-CPU");
+}
+
+}  // namespace
+}  // namespace lego::fuzz

@@ -1,0 +1,220 @@
+// Self-healing checkpoint recovery: resume must survive torn or
+// checksum-failing checkpoint directories (falling back to the newest
+// usable one with a warning), a corrupt LATEST pointer, and chaos-injected
+// mid-run checkpoint write failures — in every case continuing to the
+// bit-identical result an uninterrupted campaign produces.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/failpoint.h"
+#include "fuzz/campaign.h"
+#include "fuzz/checkpoint.h"
+#include "fuzz/harness.h"
+#include "lego/lego_fuzzer.h"
+#include "minidb/profile.h"
+
+namespace lego::fuzz {
+namespace {
+
+namespace fsys = std::filesystem;
+
+std::unique_ptr<core::LegoFuzzer> MakeLego(uint64_t seed) {
+  core::LegoOptions options;
+  options.rng_seed = seed;
+  return std::make_unique<core::LegoFuzzer>(minidb::DialectProfile::PgLite(),
+                                            options);
+}
+
+/// Fresh scratch directory per test.
+std::string StateDir(const std::string& name) {
+  auto dir = fsys::temp_directory_path() / ("lego_recovery_" + name);
+  fsys::remove_all(dir);
+  return dir.string();
+}
+
+CampaignResult RunOne(const CampaignOptions& options, uint64_t seed) {
+  auto fuzzer = MakeLego(seed);
+  ExecutionHarness harness(minidb::DialectProfile::PgLite());
+  return RunCampaign(fuzzer.get(), &harness, options);
+}
+
+/// The standard parallel fixture: 4 workers checkpointing every 64
+/// executions, interrupted at 256 and compared against 512 uninterrupted.
+CampaignOptions ParallelBase() {
+  CampaignOptions base;
+  base.num_workers = 4;
+  base.sync_every = 16;
+  base.snapshot_every = 128;
+  base.checkpoint_every = 64;
+  return base;
+}
+
+void TruncateFile(const std::string& path, size_t keep) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), keep);
+  bytes.resize(keep);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void FlipLastByte(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(bytes.empty());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Plants a decoy "newer" checkpoint dir (a copy of ckpt_final), lets the
+/// caller damage it, then points LATEST at it — the on-disk shape a crash
+/// mid-checkpoint plus a stale pointer would leave.
+std::string PlantDecoyCheckpoint(const std::string& state_dir) {
+  const fsys::path src = fsys::path(state_dir) / "ckpt_final";
+  const fsys::path dst = fsys::path(state_dir) / "ckpt_r9";
+  fsys::copy(src, dst, fsys::copy_options::recursive);
+  EXPECT_TRUE(WriteLatestPointer(state_dir, "ckpt_r9").ok());
+  return dst.string();
+}
+
+/// Interrupt at 256, damage the newest checkpoint via `damage`, resume to
+/// 512, and require the bit-identical uninterrupted digest plus at least
+/// one recorded fallback.
+void RunTornCheckpointCase(const std::string& dir_name,
+                           const std::function<void(const std::string&)>&
+                               damage) {
+  const std::string dir = StateDir(dir_name);
+
+  CampaignOptions uninterrupted = ParallelBase();
+  uninterrupted.max_executions = 512;
+  CampaignResult full = RunOne(uninterrupted, 11);
+  ASSERT_TRUE(full.state_status.ok()) << full.state_status.ToString();
+
+  CampaignOptions partial = ParallelBase();
+  partial.max_executions = 256;
+  partial.state_dir = dir;
+  CampaignResult first = RunOne(partial, 11);
+  ASSERT_TRUE(first.state_status.ok()) << first.state_status.ToString();
+
+  damage(dir);
+
+  CampaignOptions rest = ParallelBase();
+  rest.max_executions = 512;
+  rest.state_dir = dir;
+  rest.resume = true;
+  CampaignResult resumed = RunOne(rest, 11);
+  ASSERT_TRUE(resumed.state_status.ok()) << resumed.state_status.ToString();
+  EXPECT_GE(resumed.checkpoint_fallbacks, 1);
+  EXPECT_EQ(resumed.executions, full.executions);
+  EXPECT_EQ(resumed.edges, full.edges);
+  EXPECT_EQ(resumed.coverage_curve, full.coverage_curve);
+  EXPECT_EQ(ResultDigest(resumed), ResultDigest(full));
+  fsys::remove_all(dir);
+}
+
+TEST(CheckpointRecoveryTest, TruncatedManifestFallsBackToPreviousCheckpoint) {
+  RunTornCheckpointCase("torn_manifest", [](const std::string& dir) {
+    const std::string decoy = PlantDecoyCheckpoint(dir);
+    TruncateFile(ManifestPath(decoy), 40);  // torn mid-write
+  });
+}
+
+TEST(CheckpointRecoveryTest, ChecksumFlipFallsBackToPreviousCheckpoint) {
+  RunTornCheckpointCase("bad_checksum", [](const std::string& dir) {
+    const std::string decoy = PlantDecoyCheckpoint(dir);
+    FlipLastByte(ManifestPath(decoy));  // bit rot: checksum mismatch
+  });
+}
+
+TEST(CheckpointRecoveryTest, MissingWorkerFileFallsBackToPreviousCheckpoint) {
+  RunTornCheckpointCase("missing_worker", [](const std::string& dir) {
+    const std::string decoy = PlantDecoyCheckpoint(dir);
+    fsys::remove(WorkerStatePath(decoy, 2));  // one worker file lost
+  });
+}
+
+TEST(CheckpointRecoveryTest, CorruptLatestPointerScansForCheckpoints) {
+  RunTornCheckpointCase("bad_latest", [](const std::string& dir) {
+    std::ofstream f(fsys::path(dir) / "LATEST",
+                    std::ios::binary | std::ios::trunc);
+    f << "garbage, not an enveloped pointer";
+  });
+}
+
+TEST(CheckpointRecoveryTest, NothingUsableFailsCleanly) {
+  const std::string dir = StateDir("all_torn");
+  CampaignOptions partial = ParallelBase();
+  partial.max_executions = 256;
+  partial.state_dir = dir;
+  ASSERT_TRUE(RunOne(partial, 11).state_status.ok());
+
+  // Destroy every candidate: the pointer and the lone checkpoint manifest.
+  {
+    std::ofstream f(fsys::path(dir) / "LATEST",
+                    std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  TruncateFile(ManifestPath((fsys::path(dir) / "ckpt_final").string()), 10);
+
+  CampaignOptions rest = ParallelBase();
+  rest.max_executions = 512;
+  rest.state_dir = dir;
+  rest.resume = true;
+  CampaignResult resumed = RunOne(rest, 11);
+  EXPECT_FALSE(resumed.state_status.ok());
+  EXPECT_EQ(resumed.executions, 0);  // refused, not silently restarted
+  fsys::remove_all(dir);
+}
+
+TEST(CheckpointRecoveryTest, SerialMidRunCheckpointFailureIsTolerated) {
+  chaos::DisarmAll();
+  CampaignOptions plain;
+  plain.max_executions = 400;
+  plain.snapshot_every = 100;
+  CampaignResult full = RunOne(plain, 3);
+
+  const std::string dir = StateDir("serial_chaos");
+  CampaignOptions governed = plain;
+  governed.state_dir = dir;
+  governed.checkpoint_every = 100;
+  // First atomic-write rename is injected to fail: the first mid-run
+  // checkpoint is lost, the campaign must warn-and-continue.
+  ASSERT_TRUE(chaos::ArmSpec("persist.rename=nth:1", 5).ok());
+  CampaignResult result = RunOne(governed, 3);
+  chaos::DisarmAll();
+
+  ASSERT_TRUE(result.state_status.ok()) << result.state_status.ToString();
+  EXPECT_EQ(result.checkpoints_failed, 1);
+  EXPECT_EQ(ResultDigest(result), ResultDigest(full));
+
+  // The surviving state is resumable: raising the budget continues from
+  // the final save exactly as if no checkpoint had ever failed.
+  CampaignOptions more = plain;
+  more.max_executions = 600;
+  more.state_dir = dir;
+  more.checkpoint_every = 100;
+  more.resume = true;
+  CampaignResult resumed = RunOne(more, 3);
+  ASSERT_TRUE(resumed.state_status.ok()) << resumed.state_status.ToString();
+
+  CampaignOptions plain_long = plain;
+  plain_long.max_executions = 600;
+  CampaignResult full_long = RunOne(plain_long, 3);
+  EXPECT_EQ(ResultDigest(resumed), ResultDigest(full_long));
+  fsys::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lego::fuzz
