@@ -1,0 +1,253 @@
+// One-shot benchmark sweep writing a machine-readable BENCH_<date>.json:
+// campaign throughput (execs/sec) and coverage per fuzzer/profile, per-oracle
+// overhead against a no-oracle baseline, rule-coverage feedback overhead, and
+// raw parser throughput with the grammar-rule probes detached vs armed.
+//
+//   ./bench/bench_all [--quick] [--out FILE]
+//
+//   --quick  : CI budgets (500 execs per campaign instead of 5000)
+//   --out F  : output path (default BENCH_<YYYY-MM-DD>.json in the CWD)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "coverage/rule_coverage.h"
+#include "fuzz/campaign.h"
+#include "fuzz/harness.h"
+#include "sql/grammar_coverage.h"
+#include "sql/parser.h"
+#include "triage/oracle_suite.h"
+
+namespace lego::bench {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct CampaignRow {
+  std::string fuzzer;
+  std::string profile;
+  int executions = 0;
+  double seconds = 0;
+  size_t edges = 0;
+  size_t rules = 0;
+  int crashes = 0;
+  int logic_flags = 0;
+};
+
+/// One serial campaign with optional oracle spec / rule feedback, timed.
+CampaignRow TimedCampaign(const std::string& fuzzer_name,
+                          const std::string& profile_name, int executions,
+                          const std::string& oracle_spec, bool rule_coverage) {
+  const minidb::DialectProfile* profile =
+      minidb::DialectProfile::ByName(profile_name);
+  auto fuzzer = MakeFuzzer(fuzzer_name, *profile, kSeed);
+  fuzz::ExecutionHarness harness(*profile);
+  std::unique_ptr<triage::OracleSuite> suite;
+  if (!oracle_spec.empty()) {
+    std::string error;
+    suite = triage::OracleSuite::FromSpec(oracle_spec, &error);
+    if (suite != nullptr) harness.set_logic_oracle(suite.get());
+  }
+  harness.set_rule_coverage(rule_coverage);
+  fuzz::CampaignOptions options;
+  options.max_executions = executions;
+  options.snapshot_every = executions;
+  auto t0 = std::chrono::steady_clock::now();
+  fuzz::CampaignResult result =
+      fuzz::RunCampaign(fuzzer.get(), &harness, options);
+  CampaignRow row;
+  row.fuzzer = fuzzer_name;
+  row.profile = profile_name;
+  row.executions = result.executions;
+  row.seconds = SecondsSince(t0);
+  row.edges = result.edges;
+  row.rules = result.rules;
+  row.crashes = result.crashes_total;
+  row.logic_flags = result.logic_bugs_total;
+  return row;
+}
+
+double ExecsPerSec(const CampaignRow& row) {
+  return row.seconds > 0 ? row.executions / row.seconds : 0;
+}
+
+/// Parses `script` `iters` times; returns wall seconds. With `armed`, a
+/// grammar-coverage scope is attached, which is the instrumented-parser
+/// worst case (every probe performs its store); detached is the default
+/// campaign configuration for everything except the rule-signal reparse.
+double ParseLoopSeconds(const std::string& script, int iters, bool armed) {
+  cov::RuleMap map;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (armed) {
+      sql::GrammarCoverageScope scope(map.data());
+      auto parsed = sql::Parser::ParseScript(script);
+      if (!parsed.ok()) std::abort();
+    } else {
+      auto parsed = sql::Parser::ParseScript(script);
+      if (!parsed.ok()) std::abort();
+    }
+  }
+  return SecondsSince(t0);
+}
+
+}  // namespace
+}  // namespace lego::bench
+
+int main(int argc, char** argv) {
+  using namespace lego::bench;  // NOLINT(build/namespaces)
+
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: bench_all [--quick] [--out FILE]\n");
+      return 1;
+    }
+  }
+
+  char date[16];
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  std::strftime(date, sizeof(date), "%Y-%m-%d", &tm_buf);
+  if (out_path.empty()) out_path = std::string("BENCH_") + date + ".json";
+
+  const int execs = quick ? 500 : 5000;
+  std::printf("bench_all: %d executions per campaign%s -> %s\n", execs,
+              quick ? " (--quick)" : "", out_path.c_str());
+
+  // Campaign throughput + coverage across fuzzers/profiles.
+  std::vector<CampaignRow> campaigns;
+  for (const auto& [fuzzer, profile] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"lego", "pglite"},
+           {"lego", "marialite"},
+           {"squirrel", "marialite"},
+           {"sqlancer", "mylite"},
+           {"sqlsmith", "comdlite"},
+       }) {
+    CampaignRow row = TimedCampaign(fuzzer, profile, execs, "", false);
+    std::printf("  %-9s %-9s %7.0f execs/s  %4zu edges  %3d crashes\n",
+                row.fuzzer.c_str(), row.profile.c_str(), ExecsPerSec(row),
+                row.edges, row.crashes);
+    campaigns.push_back(row);
+  }
+
+  // Per-oracle overhead vs a no-oracle baseline (same fuzzer/profile/seed).
+  CampaignRow baseline = TimedCampaign("lego", "pglite", execs, "", false);
+  std::vector<std::pair<std::string, CampaignRow>> oracle_rows;
+  for (const char* spec : {"tlp", "norec", "clause", "tlp,norec,clause"}) {
+    CampaignRow row = TimedCampaign("lego", "pglite", execs, spec, false);
+    double overhead =
+        baseline.seconds > 0
+            ? (row.seconds - baseline.seconds) / baseline.seconds * 100.0
+            : 0;
+    std::printf("  oracle %-18s %7.0f execs/s  (%+.1f%% vs none, %d flags)\n",
+                spec, ExecsPerSec(row), overhead, row.logic_flags);
+    oracle_rows.emplace_back(spec, row);
+  }
+
+  // Rule-coverage feedback overhead (same baseline).
+  CampaignRow rules_on = TimedCampaign("lego", "pglite", execs, "", true);
+  double rules_overhead =
+      baseline.seconds > 0
+          ? (rules_on.seconds - baseline.seconds) / baseline.seconds * 100.0
+          : 0;
+  std::printf("  rule-coverage        %7.0f execs/s  (%+.1f%%, %zu rules)\n",
+              ExecsPerSec(rules_on), rules_overhead, rules_on.rules);
+
+  // Raw parser throughput: probes detached (micro_parser configuration,
+  // must stay ~free) vs armed (the rule-signal reparse itself).
+  const std::string script =
+      "CREATE TABLE t0 (a INT PRIMARY KEY, b TEXT, c REAL);"
+      "CREATE INDEX i0 ON t0 (b);"
+      "INSERT INTO t0 (a, b, c) VALUES (1, 'x', 2.5);"
+      "SELECT t0.a, COUNT(*) FROM t0 JOIN t0 AS u ON t0.a = u.a "
+      "WHERE t0.b LIKE 'x%' AND t0.c BETWEEN 0 AND 9 "
+      "GROUP BY t0.a HAVING COUNT(*) > 0 ORDER BY t0.a DESC LIMIT 5;"
+      "UPDATE t0 SET c = c + 1 WHERE a IN (SELECT a FROM t0);"
+      "DROP TABLE IF EXISTS t0;";
+  const int iters = quick ? 2000 : 20000;
+  double detached = ParseLoopSeconds(script, iters, /*armed=*/false);
+  double armed = ParseLoopSeconds(script, iters, /*armed=*/true);
+  double probe_overhead =
+      detached > 0 ? (armed - detached) / detached * 100.0 : 0;
+  std::printf("  parser %.0f scripts/s detached, %.0f armed (%+.1f%%)\n",
+              iters / detached, iters / armed, probe_overhead);
+
+  // Machine-readable dump.
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"date\": \"%s\",\n  \"quick\": %s,\n", date,
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"executions_per_campaign\": %d,\n", execs);
+  std::fprintf(f, "  \"campaigns\": [\n");
+  for (size_t i = 0; i < campaigns.size(); ++i) {
+    const CampaignRow& r = campaigns[i];
+    std::fprintf(f,
+                 "    {\"fuzzer\": \"%s\", \"profile\": \"%s\", "
+                 "\"executions\": %d, \"seconds\": %.3f, "
+                 "\"execs_per_sec\": %.1f, \"edges\": %zu, \"crashes\": %d}%s\n",
+                 r.fuzzer.c_str(), r.profile.c_str(), r.executions, r.seconds,
+                 ExecsPerSec(r), r.edges, r.crashes,
+                 i + 1 < campaigns.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"oracle_overhead\": [\n");
+  std::fprintf(f,
+               "    {\"oracle\": \"none\", \"seconds\": %.3f, "
+               "\"execs_per_sec\": %.1f, \"overhead_pct\": 0.0, "
+               "\"logic_flags\": %d},\n",
+               baseline.seconds, ExecsPerSec(baseline), baseline.logic_flags);
+  for (size_t i = 0; i < oracle_rows.size(); ++i) {
+    const auto& [spec, r] = oracle_rows[i];
+    double overhead =
+        baseline.seconds > 0
+            ? (r.seconds - baseline.seconds) / baseline.seconds * 100.0
+            : 0;
+    std::fprintf(f,
+                 "    {\"oracle\": \"%s\", \"seconds\": %.3f, "
+                 "\"execs_per_sec\": %.1f, \"overhead_pct\": %.1f, "
+                 "\"logic_flags\": %d}%s\n",
+                 spec.c_str(), r.seconds, ExecsPerSec(r), overhead,
+                 r.logic_flags, i + 1 < oracle_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"rule_coverage\": {\"off_execs_per_sec\": %.1f, "
+               "\"on_execs_per_sec\": %.1f, \"overhead_pct\": %.1f, "
+               "\"rules_covered\": %zu, \"rules_total\": %zu},\n",
+               ExecsPerSec(baseline), ExecsPerSec(rules_on), rules_overhead,
+               rules_on.rules, lego::cov::RuleMap::size());
+  std::fprintf(f,
+               "  \"parser_probes\": {\"iters\": %d, "
+               "\"detached_scripts_per_sec\": %.1f, "
+               "\"armed_scripts_per_sec\": %.1f, \"overhead_pct\": %.1f}\n",
+               iters, iters / detached, iters / armed, probe_overhead);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -3,7 +3,8 @@
 //
 //   ./examples/fuzz_campaign_cli [profile] [fuzzer] [executions] [seed]
 //                                [--workers N] [--reduce] [--repro-dir DIR]
-//                                [--tlp] [--backend=inproc|forked]
+//                                [--oracle LIST] [--rule-coverage]
+//                                [--backend=inproc|forked]
 //                                [--max-stmt-ms N]
 //
 //   profile : pglite | mylite | marialite | comdlite       (default pglite)
@@ -11,7 +12,12 @@
 //   executions : campaign budget (total, across workers)    (default 10000)
 //   seed    : RNG seed (worker w derives seed + w)          (default 1)
 //   --workers N : parallel worker threads                   (default 1)
-//   --tlp       : arm the TLP metamorphic logic-bug oracle  (default off)
+//   --oracle LIST : arm metamorphic logic-bug oracles, comma-separated
+//                 from tlp | norec | clause, checked in the given order
+//                 with first-finding-wins (e.g. --oracle=tlp,norec,clause)
+//   --tlp       : shorthand for --oracle=tlp (combines: appends to LIST)
+//   --rule-coverage : grammar-rule coverage as a secondary feedback signal
+//                 (parser production hit-set; rare-rule corpus weighting)
 //   --backend B : execution backend — inproc (embedded minidb) or forked
 //                 (crash-isolated child per worker)         (default inproc)
 //   --max-stmt-ms N : forked only — kill a statement after N ms wall clock
@@ -36,6 +42,9 @@
 //   --planted-crash / --planted-hang / --planted-oom : test-only; arm a
 //                 real abort() / infinite loop / unbounded allocation
 //                 inside minidb (demo of crash isolation + rlimit caps)
+//   --planted-eval-bug : test-only; plant the NOT-NULL evaluator defect
+//                 (NOT of NULL evaluates TRUE) — a wrong-result bug only
+//                 the logic oracles can see (demo of --oracle)
 //   --chaos     : arm every registered failpoint with --chaos-prob
 //   --chaos-prob P : per-hit fire probability under --chaos (default 0.02)
 //   --chaos-seed S : failpoint schedule seed (default: the campaign seed);
@@ -66,7 +75,8 @@
 #include "fuzz/harness.h"
 #include "lego/lego_fuzzer.h"
 #include "minidb/database.h"
-#include "triage/tlp_oracle.h"
+#include "minidb/eval.h"
+#include "triage/oracle_suite.h"
 #include "triage/triage.h"
 
 int main(int argc, char** argv) {
@@ -76,6 +86,9 @@ int main(int argc, char** argv) {
   int workers = 1;
   bool reduce = false;
   bool tlp = false;
+  std::string oracle_spec;
+  bool rule_coverage = false;
+  bool planted_eval_bug = false;
   std::string repro_dir;
   std::string state_dir;
   int checkpoint_every = 0;
@@ -190,6 +203,20 @@ int main(int argc, char** argv) {
       reduce = true;
     } else if (arg == "--tlp") {
       tlp = true;
+    } else if (arg == "--oracle") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--oracle needs a value\n");
+        return 1;
+      }
+      if (!oracle_spec.empty()) oracle_spec += ',';
+      oracle_spec += argv[++i];
+    } else if (arg.rfind("--oracle=", 0) == 0) {
+      if (!oracle_spec.empty()) oracle_spec += ',';
+      oracle_spec += arg.substr(9);
+    } else if (arg == "--rule-coverage") {
+      rule_coverage = true;
+    } else if (arg == "--planted-eval-bug") {
+      planted_eval_bug = true;
     } else if (arg == "--repro-dir") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--repro-dir needs a value\n");
@@ -281,6 +308,7 @@ int main(int argc, char** argv) {
   if (planted_crash) minidb::testing::SetPlantedAbortForTesting(true);
   if (planted_hang) minidb::testing::SetPlantedHangForTesting(true);
   if (planted_oom) minidb::testing::SetPlantedOomForTesting(true);
+  if (planted_eval_bug) minidb::Evaluator::SetNotNullEvalBugForTesting(true);
 
   // Chaos likewise: arm before the harness so the very first spawn and
   // every forked child run the same deterministic fault schedule.
@@ -301,8 +329,23 @@ int main(int argc, char** argv) {
   }
 
   fuzz::ExecutionHarness harness(*profile, backend);
-  triage::TlpOracle tlp_oracle;
-  if (tlp) harness.set_logic_oracle(&tlp_oracle);
+  if (tlp) {
+    if (!oracle_spec.empty()) oracle_spec += ',';
+    oracle_spec += "tlp";
+  }
+  std::unique_ptr<triage::OracleSuite> oracle_suite;
+  if (!oracle_spec.empty()) {
+    std::string oracle_error;
+    oracle_suite = triage::OracleSuite::FromSpec(oracle_spec, &oracle_error);
+    if (oracle_suite == nullptr) {
+      std::fprintf(stderr, "bad --oracle '%s': %s\n", oracle_spec.c_str(),
+                   oracle_error.c_str());
+      return 1;
+    }
+    harness.set_logic_oracle(oracle_suite.get());
+  }
+  const bool oracles_armed = oracle_suite != nullptr;
+  harness.set_rule_coverage(rule_coverage);
   if (resume && state_dir.empty()) {
     std::fprintf(stderr, "--resume requires --state-dir\n");
     return 1;
@@ -374,6 +417,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\nresults:\n");
   std::printf("  branches covered   : %zu\n", result.edges);
+  if (rule_coverage) {
+    std::printf("  grammar rules      : %zu / %zu\n", result.rules,
+                cov::RuleMap::size());
+  }
   std::printf("  type-affinities    : %zu\n", result.affinities.size());
   std::printf("  statements executed: %d (+%d rejected)\n",
               result.statements_executed, result.statement_errors);
@@ -385,7 +432,7 @@ int main(int argc, char** argv) {
   for (const std::string& bug : result.bug_ids) {
     std::printf("    %s\n", bug.c_str());
   }
-  if (tlp) {
+  if (oracles_armed) {
     std::printf("  logic-bug flags    : %d total, %zu unique queries\n",
                 result.logic_bugs_total, result.logic_fingerprints.size());
   }
@@ -420,7 +467,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (reduce || tlp) {
+  if (reduce || oracles_armed) {
     triage::TriageOptions triage_options;
     triage_options.reduce = reduce;
     triage_options.repro_dir = repro_dir;

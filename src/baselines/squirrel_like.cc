@@ -18,7 +18,7 @@ SquirrelLikeFuzzer::SquirrelLikeFuzzer(const minidb::DialectProfile& profile,
       mutator_(&profile, &instantiator_, &rng_, /*fancy_selects=*/false) {}
 
 void SquirrelLikeFuzzer::Prepare(fuzz::ExecutionHarness* harness) {
-  (void)harness;
+  corpus_.set_rule_weighting(harness->rule_coverage());
   for (const std::string& script : fuzz::SeedScriptsFor(profile_.name)) {
     auto tc = fuzz::TestCase::FromSql(script);
     if (tc.ok()) replay_queue_.push_back(std::move(*tc));
@@ -43,7 +43,7 @@ fuzz::TestCase SquirrelLikeFuzzer::Next() {
 
 void SquirrelLikeFuzzer::OnResult(const fuzz::TestCase& tc,
                                   const fuzz::ExecResult& result) {
-  if (!result.new_coverage) return;
+  if (!result.new_coverage && !result.new_rules) return;
   corpus_.Add(tc.Clone());
   library_.AddTestCase(tc);
   if (current_seed_ != nullptr) ++current_seed_->discoveries;

@@ -183,6 +183,7 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
   }
 
   result.edges = harness->CoveredEdges();
+  result.rules = harness->CoveredRules();
   if (result.coverage_curve.empty() ||
       result.coverage_curve.back().first != result.executions) {
     result.coverage_curve.emplace_back(result.executions, result.edges);
@@ -388,14 +389,19 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     states[w].harness = std::make_unique<ExecutionHarness>(
         harness->profile(), harness->backend_options());
     states[w].harness->set_setup_script(harness->setup_script());
+    states[w].harness->set_rule_coverage(harness->rule_coverage());
     // Oracles are stateless (LogicOracle contract), so sharing the
     // prototype harness's instance across workers is safe.
     states[w].harness->set_logic_oracle(harness->logic_oracle());
   }
 
   cov::SharedCoverage shared_coverage;
+  cov::SharedRuleCoverage shared_rules;
   SharedCorpus shared_corpus(std::max(8, workers));
-  for (auto& s : states) s.harness->set_shared_coverage(&shared_coverage);
+  for (auto& s : states) {
+    s.harness->set_shared_coverage(&shared_coverage);
+    s.harness->set_shared_rule_coverage(&shared_rules);
+  }
 
   // Deterministic budget split: worker w executes
   // max_executions / workers (+1 for the first `remainder` workers).
@@ -472,6 +478,8 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     st = r.ExitChunk();
     if (!st.ok()) return fail(st);
     st = shared_coverage.LoadState(&r);
+    if (!st.ok()) return fail(st);
+    st = shared_rules.LoadState(&r);
     if (!st.ok()) return fail(st);
     if (complete) {
       CampaignResult done;
@@ -621,6 +629,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     }
     mw.EndChunk();
     LEGO_RETURN_IF_ERROR(shared_coverage.SaveState(&mw));
+    LEGO_RETURN_IF_ERROR(shared_rules.SaveState(&mw));
     LEGO_RETURN_IF_ERROR(mw.WriteFileAtomic(ManifestPath(dir.string())));
     LEGO_RETURN_IF_ERROR(WriteLatestPointer(options.state_dir, name));
     if (!prev_ckpt_dir.empty() && prev_ckpt_dir != name) {
@@ -722,9 +731,12 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
           }
         }
         st.fuzzer->OnResult(tc, exec);
-        // Export on *local* new coverage: the decision depends only on this
-        // worker's own history, never on cross-worker timing.
-        if (exec.new_coverage) st.pending_exports.push_back(tc.Clone());
+        // Export on *local* new coverage (either signal): the decision
+        // depends only on this worker's own history, never on cross-worker
+        // timing.
+        if (exec.new_coverage || exec.new_rules) {
+          st.pending_exports.push_back(tc.Clone());
+        }
       }
       st.done += batch;
 
@@ -812,6 +824,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   }
   merged.fuzzer_stats.import_skipped = options.import_skipped;
   merged.edges = shared_coverage.CoveredEdges();
+  merged.rules = shared_rules.CoveredRules();
   if (merged.coverage_curve.empty() ||
       merged.coverage_curve.back().first != merged.executions) {
     merged.coverage_curve.emplace_back(merged.executions, merged.edges);
@@ -844,6 +857,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       }
       mw.EndChunk();
       LEGO_RETURN_IF_ERROR(shared_coverage.SaveState(&mw));
+      LEGO_RETURN_IF_ERROR(shared_rules.SaveState(&mw));
       LEGO_RETURN_IF_ERROR(SaveCampaignResult(merged, &mw));
       LEGO_RETURN_IF_ERROR(mw.WriteFileAtomic(ManifestPath(dir.string())));
       LEGO_RETURN_IF_ERROR(WriteLatestPointer(options.state_dir, final_name));

@@ -75,6 +75,7 @@ struct CampaignResult {
   std::string profile;
   int executions = 0;
   size_t edges = 0;  // final branch coverage
+  size_t rules = 0;  // final grammar-rule coverage (0 unless enabled)
   std::vector<std::pair<int, size_t>> coverage_curve;
   /// Deduplicated crashes, keyed the way the paper dedups: by call-stack
   /// hash (ours are synthetic).

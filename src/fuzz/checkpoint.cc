@@ -77,6 +77,7 @@ Status SaveCampaignResult(const CampaignResult& result,
   w->WriteString(result.profile);
   w->WriteI64(result.executions);
   w->WriteU64(result.edges);
+  w->WriteU64(result.rules);
 
   w->WriteU64(result.coverage_curve.size());
   for (const auto& [execs, edges] : result.coverage_curve) {
@@ -148,6 +149,7 @@ Status LoadCampaignResult(persist::StateReader* r, CampaignResult* result) {
   loaded.profile = r->ReadString();
   loaded.executions = static_cast<int>(r->ReadI64());
   loaded.edges = static_cast<size_t>(r->ReadU64());
+  loaded.rules = static_cast<size_t>(r->ReadU64());
 
   uint64_t n = r->ReadU64();
   if (!r->CheckCount(n, 16)) return r->status();
@@ -238,6 +240,7 @@ uint64_t ResultDigest(const CampaignResult& result) {
   mix_str(result.profile);
   mix_u64(static_cast<uint64_t>(result.executions));
   mix_u64(result.edges);
+  mix_u64(result.rules);
   mix_u64(static_cast<uint64_t>(result.crashes_total));
   mix_u64(static_cast<uint64_t>(result.statement_errors));
   mix_u64(static_cast<uint64_t>(result.statements_executed));

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "coverage/rule_coverage.h"
 #include "fuzz/state.h"
 
 namespace lego::fuzz {
@@ -25,6 +26,26 @@ void Corpus::DebugCheckContract() {
 #endif
 }
 
+void Corpus::ComputeRules(Seed* seed) {
+  cov::RuleMap map;
+  cov::CollectRules(seed->test_case.ToSql(), &map);
+  seed->rules = map.HitRules();
+  if (rule_holders_.size() < cov::RuleMap::size()) {
+    rule_holders_.resize(cov::RuleMap::size(), 0);
+  }
+  for (uint16_t r : seed->rules) ++rule_holders_[r];
+}
+
+void Corpus::set_rule_weighting(bool enabled) {
+  if (enabled == rule_weighting_) return;
+  rule_weighting_ = enabled;
+  rule_holders_.clear();
+  for (Seed& seed : seeds_) seed.rules.clear();
+  if (enabled) {
+    for (Seed& seed : seeds_) ComputeRules(&seed);
+  }
+}
+
 Seed* Corpus::Add(TestCase tc) {
   DebugCheckContract();
   Seed seed;
@@ -33,6 +54,7 @@ Seed* Corpus::Add(TestCase tc) {
   seed.favored = true;
   seeds_.push_back(std::move(seed));
   Seed* added = &seeds_.back();
+  if (rule_weighting_) ComputeRules(added);
 #ifndef NDEBUG
   handed_out_.emplace_back(added, added->id);
 #endif
@@ -57,6 +79,13 @@ Seed* Corpus::Select(Rng* rng) {
     const Seed& s = seeds_[i];
     double w = 1.0 + 2.0 * s.discoveries;
     w /= 1.0 + 0.25 * s.times_selected;
+    if (rule_weighting_) {
+      // Rarity boost: a rule held by few seeds contributes up to 1.0 to the
+      // multiplier; ubiquitous rules contribute ~1/corpus-size each.
+      double rarity = 0.0;
+      for (uint16_t r : s.rules) rarity += 1.0 / rule_holders_[r];
+      w *= 1.0 + rarity;
+    }
     weights[i] = w;
     total += w;
   }
@@ -113,6 +142,12 @@ Status Corpus::LoadState(persist::StateReader* r) {
   LEGO_RETURN_IF_ERROR(r->ExitChunk());
   seeds_ = std::move(seeds);
   next_id_ = next_id;
+  // Rule sets are derived state: rebuild them for the new pool so a resumed
+  // schedule weighs seeds exactly like an uninterrupted one.
+  rule_holders_.clear();
+  if (rule_weighting_) {
+    for (Seed& seed : seeds_) ComputeRules(&seed);
+  }
 #ifndef NDEBUG
   // The pool was replaced wholesale: old Seed* are dead, and the corpus may
   // now be adopted by whichever thread resumes the campaign.

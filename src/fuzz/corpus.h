@@ -23,6 +23,9 @@ struct Seed {
   int times_selected = 0;
   int discoveries = 0;   // mutants of this seed that found new coverage
   bool favored = false;  // newly added seeds are favored until first pick
+  /// Grammar rules this seed's SQL exercises (ascending rule indices).
+  /// Populated only under rule weighting; derived state, not serialized.
+  std::vector<uint16_t> rules;
 };
 
 /// The seed pool. Selection is energy-based: favored (fresh) seeds first,
@@ -46,6 +49,17 @@ class Corpus {
 
   /// Picks the next seed to mutate. Returns nullptr when empty.
   Seed* Select(Rng* rng);
+
+  /// Rarity-weighted scheduling on the grammar-rule signal: when enabled,
+  /// Select() multiplies each seed's energy by (1 + sum over its rules of
+  /// 1/holders(rule)), so seeds exercising productions few other seeds reach
+  /// get picked more often. Deterministic — rule sets are derived from seed
+  /// SQL, never from RNG — and fully inert when disabled (Select() is then
+  /// byte-identical to the unweighted scheduler). Enabling recomputes rule
+  /// sets for seeds already in the pool, so the weighting is independent of
+  /// when the flag was flipped.
+  void set_rule_weighting(bool enabled);
+  bool rule_weighting() const { return rule_weighting_; }
 
   size_t size() const { return seeds_.size(); }
   bool empty() const { return seeds_.empty(); }
@@ -72,8 +86,14 @@ class Corpus {
   /// Debug-only enforcement of the two contracts (no-op in NDEBUG builds).
   void DebugCheckContract();
 
+  /// Fills `seed->rules` from its SQL and bumps the per-rule holder counts.
+  void ComputeRules(Seed* seed);
+
   std::deque<Seed> seeds_;
   int next_id_ = 0;
+  bool rule_weighting_ = false;
+  /// holders[r] = number of seeds whose rule set contains rule r.
+  std::vector<uint32_t> rule_holders_;
 #ifndef NDEBUG
   /// Every pointer ever handed out by Add(), with the id it pointed at.
   std::vector<std::pair<const Seed*, int>> handed_out_;

@@ -48,6 +48,18 @@ ExecResult ExecutionHarness::Run(const TestCase& tc) {
   result.new_coverage = global_coverage_.MergeDetectNew(run_map);
   result.total_edges = global_coverage_.CoveredEdges();
   if (shared_coverage_ != nullptr) shared_coverage_->MergeDetectNew(run_map);
+  if (rule_coverage_enabled_) {
+    // Fuzzers emit ASTs, so parsing is not otherwise on the execution path;
+    // re-parsing the rendered SQL is what fires the grammar-rule probes (and
+    // doubles as a continuous Print -> Parse round-trip check).
+    cov::RuleMap rule_map;
+    cov::CollectRules(tc.ToSql(), &rule_map);
+    result.new_rules = global_rules_.MergeDetectNew(rule_map);
+    result.total_rules = global_rules_.CoveredRules();
+    if (shared_rule_coverage_ != nullptr) {
+      shared_rule_coverage_->MergeDetectNew(rule_map);
+    }
+  }
   return result;
 }
 
@@ -55,6 +67,8 @@ Status ExecutionHarness::SaveState(persist::StateWriter* w) const {
   w->BeginChunk(kHarnessTag);
   w->WriteI64(executions_);
   LEGO_RETURN_IF_ERROR(global_coverage_.SaveState(w));
+  w->WriteBool(rule_coverage_enabled_);
+  LEGO_RETURN_IF_ERROR(global_rules_.SaveState(w));
   w->EndChunk();
   return Status::OK();
 }
@@ -63,6 +77,8 @@ Status ExecutionHarness::LoadState(persist::StateReader* r) {
   LEGO_RETURN_IF_ERROR(r->EnterChunk(kHarnessTag));
   int executions = static_cast<int>(r->ReadI64());
   LEGO_RETURN_IF_ERROR(global_coverage_.LoadState(r));
+  rule_coverage_enabled_ = r->ReadBool();
+  LEGO_RETURN_IF_ERROR(global_rules_.LoadState(r));
   LEGO_RETURN_IF_ERROR(r->ExitChunk());
   executions_ = executions;
   return Status::OK();

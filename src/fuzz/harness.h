@@ -5,6 +5,7 @@
 #include <string>
 
 #include "coverage/coverage.h"
+#include "coverage/rule_coverage.h"
 #include "faults/bug_engine.h"
 #include "fuzz/backend.h"
 #include "fuzz/testcase.h"
@@ -46,6 +47,7 @@ class LogicOracle {
 /// Outcome of executing one test case.
 struct ExecResult {
   bool new_coverage = false;
+  bool new_rules = false;  // grammar-rule signal (always false when disabled)
   bool crashed = false;
   minidb::CrashInfo crash;
   bool hang = false;       // the crash is a watchdog kill (crash.kind HANG)
@@ -54,6 +56,7 @@ struct ExecResult {
   int executed = 0;   // statements that ran successfully
   int errors = 0;     // statements rejected (syntax/semantic/runtime)
   size_t total_edges = 0;  // campaign-global edge count after this run
+  size_t total_rules = 0;  // campaign-global rule count after this run
 };
 
 /// Execution harness (the AFL++ persistent-mode stand-in): runs each test
@@ -83,6 +86,19 @@ class ExecutionHarness {
     shared_coverage_ = shared;
   }
 
+  /// Secondary feedback: grammar-rule coverage. When enabled, each test
+  /// case's SQL rendering is re-parsed with rule probes attached and the hit
+  /// rules merged into a campaign-global rule map; `ExecResult::new_rules`
+  /// reports previously-unseen productions. Off by default — the disabled
+  /// path is bit-identical to a build without the signal.
+  void set_rule_coverage(bool enabled) { rule_coverage_enabled_ = enabled; }
+  bool rule_coverage() const { return rule_coverage_enabled_; }
+
+  /// Parallel campaigns: also publish each run's rule map into `shared`.
+  void set_shared_rule_coverage(cov::SharedRuleCoverage* shared) {
+    shared_rule_coverage_ = shared;
+  }
+
   /// Optional logic oracle, consulted after each successfully executed
   /// SELECT inside the backend's oracle bracket — oracle queries never
   /// perturb the fault-injection or feedback state. Not owned; must outlive
@@ -97,8 +113,14 @@ class ExecutionHarness {
   /// Total distinct edges ("branches") covered so far.
   size_t CoveredEdges() const { return global_coverage_.CoveredEdges(); }
 
+  /// Total distinct grammar rules covered so far (0 unless enabled).
+  size_t CoveredRules() const { return global_rules_.CoveredRules(); }
+
   /// Resets accumulated coverage (fresh campaign).
-  void ResetCoverage() { global_coverage_.Reset(); }
+  void ResetCoverage() {
+    global_coverage_.Reset();
+    global_rules_.Reset();
+  }
 
   const minidb::DialectProfile& profile() const {
     return backend_->profile();
@@ -127,6 +149,9 @@ class ExecutionHarness {
   std::unique_ptr<DbBackend> backend_;
   cov::GlobalCoverage global_coverage_;
   cov::SharedCoverage* shared_coverage_ = nullptr;
+  cov::GlobalRuleCoverage global_rules_;
+  cov::SharedRuleCoverage* shared_rule_coverage_ = nullptr;
+  bool rule_coverage_enabled_ = false;
   LogicOracle* logic_oracle_ = nullptr;
   int executions_ = 0;
 };

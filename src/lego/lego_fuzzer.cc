@@ -26,7 +26,9 @@ LegoFuzzer::LegoFuzzer(const minidb::DialectProfile& profile,
 }
 
 void LegoFuzzer::Prepare(fuzz::ExecutionHarness* harness) {
-  (void)harness;
+  // Scheduler follows the harness's feedback configuration: when the
+  // grammar-rule signal is on, rare-rule seeds get extra energy.
+  corpus_.set_rule_weighting(harness->rule_coverage());
   for (const std::string& script : fuzz::SeedScriptsFor(profile_.name)) {
     auto tc = fuzz::TestCase::FromSql(script);
     if (tc.ok()) queue_.push_back(std::move(*tc));
@@ -219,7 +221,12 @@ fuzz::FuzzerStats LegoFuzzer::stats() const {
 
 void LegoFuzzer::OnResult(const fuzz::TestCase& tc,
                           const fuzz::ExecResult& result) {
-  if (!result.new_coverage) return;
+  // Either signal admits a seed: new engine edges, or (when the secondary
+  // signal is enabled) new grammar productions — the latter keeps the corpus
+  // growing after the edge map saturates. new_rules is always false when
+  // rule coverage is disabled, so this path is then bit-identical to
+  // edge-only feedback.
+  if (!result.new_coverage && !result.new_rules) return;
 
   // New-coverage inputs join the corpus and donate their AST structures.
   corpus_.Add(tc.Clone());

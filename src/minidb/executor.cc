@@ -1291,6 +1291,30 @@ StatusOr<Relation> Executor::MaterializePlan(const PlanNode& node,
       auto index_or = db_->catalog().GetIndex(node.index_name);
       if (!index_or.ok()) return StatusOr<Relation>(index_or.status());
       IndexInfo* index = *index_or;
+      // The tree orders keys by Value::Compare, which rank-separates bools,
+      // numbers, and text, while the WHERE filter compares with CompareSql,
+      // which coerces across those families. A probe from a different
+      // family than the declared key type could therefore skip rows the
+      // filter would keep; scan the heap instead (the filter re-applies).
+      const int key_col =
+          index->columns.empty()
+              ? -1
+              : table->schema.FindColumn(index->columns[0]);
+      auto probe_compatible = [&](const Value& v) {
+        if (key_col < 0) return false;
+        if (v.is_null()) return true;  // NULL bound: filter rejects all rows
+        auto family = [](ValueType t) {
+          return t == ValueType::kReal ? ValueType::kInt : t;
+        };
+        return family(v.type()) ==
+               family(table->schema.columns[static_cast<size_t>(key_col)].type);
+      };
+      auto scan_heap = [&] {
+        table->heap.Scan([&](RowId, const Row& row) {
+          rel.rows.push_back(row);
+          return true;
+        });
+      };
       EvalContext ctx;
       ctx.runner = this;
       ctx.hooks = this;
@@ -1300,6 +1324,11 @@ StatusOr<Relation> Executor::MaterializePlan(const PlanNode& node,
         LEGO_COV();
         LEGO_ASSIGN_OR_RETURN(Value probe,
                               Evaluator::Eval(*node.eq_probe, ctx));
+        if (!probe_compatible(probe)) {
+          LEGO_COV();
+          scan_heap();
+          return rel;
+        }
         rids = index->tree.Find(probe);
       } else {
         LEGO_COV();
@@ -1312,6 +1341,12 @@ StatusOr<Relation> Executor::MaterializePlan(const PlanNode& node,
         }
         if (has_hi) {
           LEGO_ASSIGN_OR_RETURN(hi, Evaluator::Eval(*node.range_hi, ctx));
+        }
+        if ((has_lo && !probe_compatible(lo)) ||
+            (has_hi && !probe_compatible(hi))) {
+          LEGO_COV();
+          scan_heap();
+          return rel;
         }
         rids = index->tree.Range(has_lo ? &lo : nullptr, node.lo_inclusive,
                                  has_hi ? &hi : nullptr, node.hi_inclusive);

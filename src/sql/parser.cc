@@ -3,12 +3,17 @@
 #include <unordered_set>
 #include <utility>
 
+#include "sql/grammar_coverage.h"
 #include "sql/lexer.h"
 #include "util/string_util.h"
 
 namespace lego::sql {
 
 namespace {
+
+/// Grammar-rule probe: marks one production in the thread-attached rule map
+/// (one thread-local load + branch when detached).
+#define LEGO_RULE(name) GrammarCoverageRuntime::Hit(GrammarRule::k##name)
 
 /// Keywords that terminate an expression/alias position; a bare identifier in
 /// alias position is only an alias if it is not one of these.
@@ -32,6 +37,7 @@ class ParserImpl {
   explicit ParserImpl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   StatusOr<std::vector<StmtPtr>> ParseScript() {
+    LEGO_RULE(Script);
     std::vector<StmtPtr> stmts;
     while (!AtEof()) {
       if (MatchTok(TokenKind::kSemicolon)) continue;
@@ -131,13 +137,18 @@ class ParserImpl {
     if (PeekKw("REVOKE")) return ParseRevoke();
     if (PeekKw("BEGIN") || PeekKw("START")) return ParseBegin();
     if (PeekKw("COMMIT")) {
+      LEGO_RULE(Commit);
       ++pos_;
       MatchKw("TRANSACTION");
       return StmtPtr(std::make_unique<SimpleStmt>(StatementType::kCommit));
     }
     if (PeekKw("ROLLBACK")) return ParseRollback();
-    if (PeekKw("SAVEPOINT")) return ParseNamed(StatementType::kSavepoint);
+    if (PeekKw("SAVEPOINT")) {
+      LEGO_RULE(Savepoint);
+      return ParseNamed(StatementType::kSavepoint);
+    }
     if (PeekKw("RELEASE")) {
+      LEGO_RULE(Release);
       ++pos_;
       MatchKw("SAVEPOINT");
       LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("savepoint"));
@@ -152,12 +163,19 @@ class ParserImpl {
     if (PeekKw("VACUUM")) return ParseMaintenance(StatementType::kVacuum);
     if (PeekKw("REINDEX")) return ParseMaintenance(StatementType::kReindex);
     if (PeekKw("CHECKPOINT")) {
+      LEGO_RULE(Checkpoint);
       ++pos_;
       return StmtPtr(std::make_unique<SimpleStmt>(StatementType::kCheckpoint));
     }
     if (PeekKw("NOTIFY")) return ParseNotify();
-    if (PeekKw("LISTEN")) return ParseNamed(StatementType::kListen);
-    if (PeekKw("UNLISTEN")) return ParseNamed(StatementType::kUnlisten);
+    if (PeekKw("LISTEN")) {
+      LEGO_RULE(Listen);
+      return ParseNamed(StatementType::kListen);
+    }
+    if (PeekKw("UNLISTEN")) {
+      LEGO_RULE(Unlisten);
+      return ParseNamed(StatementType::kUnlisten);
+    }
     if (PeekKw("COMMENT")) return ParseComment();
     if (PeekKw("DISCARD")) return ParseDiscard();
     return StatusOr<StmtPtr>(Err("unknown statement"));
@@ -173,10 +191,13 @@ class ParserImpl {
     bool or_replace = false;
     if (MatchKw("OR")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("REPLACE"));
+      LEGO_RULE(CreateOrReplace);
       or_replace = true;
     }
     bool temporary = MatchKw("TEMPORARY") || MatchKw("TEMP");
+    if (temporary) LEGO_RULE(CreateTemporary);
     bool unique = MatchKw("UNIQUE");
+    if (unique) LEGO_RULE(CreateUnique);
     if (MatchKw("TABLE")) return ParseCreateTable(temporary);
     if (MatchKw("INDEX")) return ParseCreateIndex(unique);
     if (MatchKw("VIEW")) return ParseCreateView(or_replace);
@@ -191,6 +212,7 @@ class ParserImpl {
     if (MatchKw("IF")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("NOT"));
       LEGO_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      LEGO_RULE(IfNotExists);
       return true;
     }
     return false;
@@ -202,20 +224,25 @@ class ParserImpl {
     SqlType type;
     if (up == "INT" || up == "INTEGER" || up == "BIGINT" || up == "SMALLINT" ||
         up == "YEAR") {
+      LEGO_RULE(TypeInt);
       type = SqlType::kInt;
     } else if (up == "REAL" || up == "FLOAT" || up == "DOUBLE" ||
                up == "NUMERIC" || up == "DECIMAL") {
+      LEGO_RULE(TypeReal);
       type = SqlType::kReal;
     } else if (up == "TEXT" || up == "VARCHAR" || up == "CHAR" ||
                up == "STRING" || up == "CLOB") {
+      LEGO_RULE(TypeText);
       type = SqlType::kText;
     } else if (up == "BOOL" || up == "BOOLEAN") {
+      LEGO_RULE(TypeBool);
       type = SqlType::kBool;
     } else {
       return StatusOr<SqlType>(Err("unknown column type '" + t + "'"));
     }
     // Optional length/precision: VARCHAR(100), DECIMAL(10, 2).
     if (MatchTok(TokenKind::kLParen)) {
+      LEGO_RULE(TypeLength);
       while (!AtEof() && !PeekTok(TokenKind::kRParen)) ++pos_;
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
     }
@@ -223,21 +250,26 @@ class ParserImpl {
   }
 
   StatusOr<ColumnDef> ParseColumnDef() {
+    LEGO_RULE(ColumnDef);
     ColumnDef col;
     LEGO_ASSIGN_OR_RETURN(col.name, ParseIdentifier("column name"));
     LEGO_ASSIGN_OR_RETURN(col.type, ParseColumnType());
     while (true) {
       if (MatchKw("PRIMARY")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("KEY"));
+        LEGO_RULE(ColumnPrimaryKey);
         col.primary_key = true;
       } else if (MatchKw("UNIQUE")) {
+        LEGO_RULE(ColumnUnique);
         col.unique = true;
       } else if (MatchKw("NOT")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("NULL"));
+        LEGO_RULE(ColumnNotNull);
         col.not_null = true;
       } else if (MatchKw("NULL")) {
         // explicit NULL is a no-op
       } else if (MatchKw("DEFAULT")) {
+        LEGO_RULE(ColumnDefault);
         LEGO_ASSIGN_OR_RETURN(col.default_value, ParsePrimary());
       } else if (MatchKw("ZEROFILL") || MatchKw("UNSIGNED") ||
                  MatchKw("AUTO_INCREMENT")) {
@@ -250,6 +282,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseCreateTable(bool temporary) {
+    LEGO_RULE(CreateTable);
     auto stmt = std::make_unique<CreateTableStmt>();
     stmt->temporary = temporary;
     LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
@@ -264,6 +297,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseCreateIndex(bool unique) {
+    LEGO_RULE(CreateIndex);
     auto stmt = std::make_unique<CreateIndexStmt>();
     stmt->unique = unique;
     LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
@@ -280,6 +314,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseCreateView(bool or_replace) {
+    LEGO_RULE(CreateView);
     auto stmt = std::make_unique<CreateViewStmt>();
     stmt->or_replace = or_replace;
     LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("view name"));
@@ -289,11 +324,14 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseCreateTrigger() {
+    LEGO_RULE(CreateTrigger);
     auto stmt = std::make_unique<CreateTriggerStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("trigger name"));
     if (MatchKw("BEFORE")) {
+      LEGO_RULE(TriggerBefore);
       stmt->timing = TriggerTiming::kBefore;
     } else if (MatchKw("AFTER")) {
+      LEGO_RULE(TriggerAfter);
       stmt->timing = TriggerTiming::kAfter;
     } else {
       return StatusOr<StmtPtr>(Err("expected BEFORE or AFTER"));
@@ -304,6 +342,7 @@ class ParserImpl {
     if (MatchKw("FOR")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("EACH"));
       LEGO_RETURN_IF_ERROR(ExpectKw("ROW"));
+      LEGO_RULE(TriggerForEachRow);
       stmt->for_each_row = true;
     } else {
       stmt->for_each_row = false;
@@ -313,21 +352,33 @@ class ParserImpl {
   }
 
   StatusOr<TriggerEvent> ParseTriggerEvent() {
-    if (MatchKw("INSERT")) return TriggerEvent::kInsert;
-    if (MatchKw("UPDATE")) return TriggerEvent::kUpdate;
-    if (MatchKw("DELETE")) return TriggerEvent::kDelete;
+    if (MatchKw("INSERT")) {
+      LEGO_RULE(TriggerEventInsert);
+      return TriggerEvent::kInsert;
+    }
+    if (MatchKw("UPDATE")) {
+      LEGO_RULE(TriggerEventUpdate);
+      return TriggerEvent::kUpdate;
+    }
+    if (MatchKw("DELETE")) {
+      LEGO_RULE(TriggerEventDelete);
+      return TriggerEvent::kDelete;
+    }
     return StatusOr<TriggerEvent>(Err("expected INSERT, UPDATE, or DELETE"));
   }
 
   StatusOr<StmtPtr> ParseCreateSequence() {
+    LEGO_RULE(CreateSequence);
     auto stmt = std::make_unique<CreateSequenceStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
     LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("sequence name"));
     while (true) {
       if (MatchKw("START")) {
+        LEGO_RULE(CreateSequenceStart);
         MatchKw("WITH");
         LEGO_ASSIGN_OR_RETURN(stmt->start, ParseSignedInteger());
       } else if (MatchKw("INCREMENT")) {
+        LEGO_RULE(CreateSequenceIncrement);
         MatchKw("BY");
         LEGO_ASSIGN_OR_RETURN(stmt->increment, ParseSignedInteger());
       } else {
@@ -348,6 +399,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseCreateRule(bool or_replace) {
+    LEGO_RULE(CreateRule);
     auto stmt = std::make_unique<CreateRuleStmt>();
     stmt->or_replace = or_replace;
     LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("rule name"));
@@ -358,7 +410,9 @@ class ParserImpl {
     LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
     LEGO_RETURN_IF_ERROR(ExpectKw("DO"));
     stmt->instead = MatchKw("INSTEAD");
+    if (stmt->instead) LEGO_RULE(CreateRuleInstead);
     if (MatchKw("NOTHING")) {
+      LEGO_RULE(CreateRuleNothing);
       stmt->action = nullptr;
     } else {
       LEGO_ASSIGN_OR_RETURN(stmt->action, ParseStatement());
@@ -367,6 +421,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseCreateUser() {
+    LEGO_RULE(CreateUser);
     auto stmt = std::make_unique<CreateUserStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->if_not_exists, ParseIfNotExists());
     LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("user name"));
@@ -377,21 +432,29 @@ class ParserImpl {
     ++pos_;  // DROP
     StatementType type;
     if (MatchKw("TABLE")) {
+      LEGO_RULE(DropTable);
       type = StatementType::kDropTable;
     } else if (MatchKw("INDEX")) {
+      LEGO_RULE(DropIndex);
       type = StatementType::kDropIndex;
     } else if (MatchKw("VIEW")) {
+      LEGO_RULE(DropView);
       type = StatementType::kDropView;
     } else if (MatchKw("TRIGGER")) {
+      LEGO_RULE(DropTrigger);
       type = StatementType::kDropTrigger;
     } else if (MatchKw("SEQUENCE")) {
+      LEGO_RULE(DropSequence);
       type = StatementType::kDropSequence;
     } else if (MatchKw("RULE")) {
+      LEGO_RULE(DropRule);
       type = StatementType::kDropRule;
     } else if (MatchKw("USER")) {
+      LEGO_RULE(DropUser);
       auto stmt = std::make_unique<DropUserStmt>();
       if (MatchKw("IF")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+        LEGO_RULE(DropIfExists);
         stmt->if_exists = true;
       }
       LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("user name"));
@@ -402,6 +465,7 @@ class ParserImpl {
     bool if_exists = false;
     if (MatchKw("IF")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+      LEGO_RULE(DropIfExists);
       if_exists = true;
     }
     LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("object name"));
@@ -412,24 +476,29 @@ class ParserImpl {
     ++pos_;  // ALTER
     if (MatchKw("SYSTEM")) return ParseAlterSystem();
     LEGO_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    LEGO_RULE(AlterTable);
     auto stmt = std::make_unique<AlterTableStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
     if (MatchKw("ADD")) {
       MatchKw("COLUMN");
+      LEGO_RULE(AlterAddColumn);
       stmt->action = AlterAction::kAddColumn;
       LEGO_ASSIGN_OR_RETURN(stmt->new_column, ParseColumnDef());
     } else if (MatchKw("DROP")) {
       MatchKw("COLUMN");
+      LEGO_RULE(AlterDropColumn);
       stmt->action = AlterAction::kDropColumn;
       LEGO_ASSIGN_OR_RETURN(stmt->old_name, ParseIdentifier("column name"));
     } else if (MatchKw("RENAME")) {
       if (MatchKw("COLUMN")) {
+        LEGO_RULE(AlterRenameColumn);
         stmt->action = AlterAction::kRenameColumn;
         LEGO_ASSIGN_OR_RETURN(stmt->old_name, ParseIdentifier("column name"));
         LEGO_RETURN_IF_ERROR(ExpectKw("TO"));
         LEGO_ASSIGN_OR_RETURN(stmt->new_name, ParseIdentifier("new name"));
       } else {
         LEGO_RETURN_IF_ERROR(ExpectKw("TO"));
+        LEGO_RULE(AlterRenameTable);
         stmt->action = AlterAction::kRenameTable;
         LEGO_ASSIGN_OR_RETURN(stmt->new_name, ParseIdentifier("new name"));
       }
@@ -442,12 +511,14 @@ class ParserImpl {
   StatusOr<StmtPtr> ParseAlterSystem() {
     auto stmt = std::make_unique<AlterSystemStmt>();
     if (MatchKw("SET")) {
+      LEGO_RULE(AlterSystemSet);
       stmt->action = "SET";
       LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("setting name"));
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kEq, "'='"));
       LEGO_ASSIGN_OR_RETURN(stmt->value, ParsePrimary());
     } else {
       // Free-form action words: FLUSH, MAJOR FREEZE, ...
+      LEGO_RULE(AlterSystemAction);
       std::vector<std::string> words;
       while (Cur().kind == TokenKind::kIdentifier) {
         words.push_back(ToUpper(Cur().text));
@@ -460,6 +531,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseTruncate() {
+    LEGO_RULE(Truncate);
     ++pos_;  // TRUNCATE
     MatchKw("TABLE");
     auto stmt = std::make_unique<TruncateStmt>();
@@ -468,21 +540,28 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseInsert() {
+    LEGO_RULE(Insert);
     auto stmt = std::make_unique<InsertStmt>();
     if (MatchKw("REPLACE")) {
+      LEGO_RULE(InsertReplace);
       stmt->replace = true;
     } else {
       LEGO_RETURN_IF_ERROR(ExpectKw("INSERT"));
       MatchKw("LOW_PRIORITY");
-      if (MatchKw("IGNORE")) stmt->or_ignore = true;
+      if (MatchKw("IGNORE")) {
+        LEGO_RULE(InsertOrIgnore);
+        stmt->or_ignore = true;
+      }
       if (MatchKw("OR")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("IGNORE"));
+        LEGO_RULE(InsertOrIgnore);
         stmt->or_ignore = true;
       }
     }
     LEGO_RETURN_IF_ERROR(ExpectKw("INTO"));
     LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
     if (PeekTok(TokenKind::kLParen)) {
+      LEGO_RULE(InsertColumnList);
       ++pos_;
       do {
         LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
@@ -491,6 +570,7 @@ class ParserImpl {
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
     }
     if (MatchKw("VALUES")) {
+      LEGO_RULE(InsertValues);
       do {
         LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
         std::vector<ExprPtr> row;
@@ -502,9 +582,11 @@ class ParserImpl {
         stmt->rows.push_back(std::move(row));
       } while (MatchTok(TokenKind::kComma));
     } else if (PeekKw("SELECT")) {
+      LEGO_RULE(InsertSelect);
       LEGO_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
     } else if (MatchKw("DEFAULT")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("VALUES"));
+      LEGO_RULE(InsertDefaultValues);
       // INSERT INTO t DEFAULT VALUES: represented as one empty row.
       stmt->rows.emplace_back();
     } else {
@@ -514,6 +596,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseUpdate() {
+    LEGO_RULE(Update);
     ++pos_;  // UPDATE
     auto stmt = std::make_unique<UpdateStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
@@ -525,26 +608,31 @@ class ParserImpl {
       stmt->assignments.emplace_back(std::move(col), std::move(e));
     } while (MatchTok(TokenKind::kComma));
     if (MatchKw("WHERE")) {
+      LEGO_RULE(UpdateWhere);
       LEGO_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
     }
     return StmtPtr(std::move(stmt));
   }
 
   StatusOr<StmtPtr> ParseDelete() {
+    LEGO_RULE(Delete);
     ++pos_;  // DELETE
     LEGO_RETURN_IF_ERROR(ExpectKw("FROM"));
     auto stmt = std::make_unique<DeleteStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier("table name"));
     if (MatchKw("WHERE")) {
+      LEGO_RULE(DeleteWhere);
       LEGO_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
     }
     return StmtPtr(std::move(stmt));
   }
 
   StatusOr<StmtPtr> ParseCopy() {
+    LEGO_RULE(Copy);
     ++pos_;  // COPY
     auto stmt = std::make_unique<CopyStmt>();
     if (MatchTok(TokenKind::kLParen)) {
+      LEGO_RULE(CopySubquery);
       LEGO_ASSIGN_OR_RETURN(stmt->query, ParseSelect());
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
     } else {
@@ -552,19 +640,28 @@ class ParserImpl {
     }
     if (MatchKw("TO")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("STDOUT"));
+      LEGO_RULE(CopyToStdout);
       stmt->to_stdout = true;
     } else if (MatchKw("FROM")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("STDIN"));
+      LEGO_RULE(CopyFromStdin);
       stmt->to_stdout = false;
     } else {
       return StatusOr<StmtPtr>(Err("expected TO STDOUT or FROM STDIN"));
     }
-    if (MatchKw("CSV")) stmt->csv = true;
-    if (MatchKw("HEADER")) stmt->header = true;
+    if (MatchKw("CSV")) {
+      LEGO_RULE(CopyCsv);
+      stmt->csv = true;
+    }
+    if (MatchKw("HEADER")) {
+      LEGO_RULE(CopyHeader);
+      stmt->header = true;
+    }
     return StmtPtr(std::move(stmt));
   }
 
   StatusOr<StmtPtr> ParseValues() {
+    LEGO_RULE(Values);
     ++pos_;  // VALUES
     auto stmt = std::make_unique<ValuesStmt>();
     do {
@@ -581,12 +678,14 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseWith() {
+    LEGO_RULE(With);
     ++pos_;  // WITH
     auto stmt = std::make_unique<WithStmt>();
     do {
       CommonTableExpr cte;
       LEGO_ASSIGN_OR_RETURN(cte.name, ParseIdentifier("CTE name"));
       if (MatchTok(TokenKind::kLParen)) {
+        LEGO_RULE(WithColumnList);
         do {
           LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
           cte.columns.push_back(std::move(col));
@@ -608,18 +707,32 @@ class ParserImpl {
   }
 
   StatusOr<Privilege> ParsePrivilege() {
-    if (MatchKw("SELECT")) return Privilege::kSelect;
-    if (MatchKw("INSERT")) return Privilege::kInsert;
-    if (MatchKw("UPDATE")) return Privilege::kUpdate;
-    if (MatchKw("DELETE")) return Privilege::kDelete;
+    if (MatchKw("SELECT")) {
+      LEGO_RULE(PrivilegeSelect);
+      return Privilege::kSelect;
+    }
+    if (MatchKw("INSERT")) {
+      LEGO_RULE(PrivilegeInsert);
+      return Privilege::kInsert;
+    }
+    if (MatchKw("UPDATE")) {
+      LEGO_RULE(PrivilegeUpdate);
+      return Privilege::kUpdate;
+    }
+    if (MatchKw("DELETE")) {
+      LEGO_RULE(PrivilegeDelete);
+      return Privilege::kDelete;
+    }
     if (MatchKw("ALL")) {
       MatchKw("PRIVILEGES");
+      LEGO_RULE(PrivilegeAll);
       return Privilege::kAll;
     }
     return StatusOr<Privilege>(Err("expected privilege"));
   }
 
   StatusOr<StmtPtr> ParseGrant() {
+    LEGO_RULE(Grant);
     ++pos_;  // GRANT
     auto stmt = std::make_unique<GrantStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->privilege, ParsePrivilege());
@@ -632,6 +745,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseRevoke() {
+    LEGO_RULE(Revoke);
     ++pos_;  // REVOKE
     auto stmt = std::make_unique<RevokeStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->privilege, ParsePrivilege());
@@ -644,6 +758,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseBegin() {
+    LEGO_RULE(Begin);
     if (MatchKw("START")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("TRANSACTION"));
     } else {
@@ -654,9 +769,11 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseRollback() {
+    LEGO_RULE(Rollback);
     ++pos_;  // ROLLBACK
     MatchKw("TRANSACTION");
     if (MatchKw("TO")) {
+      LEGO_RULE(RollbackTo);
       MatchKw("SAVEPOINT");
       LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("savepoint"));
       return StmtPtr(
@@ -672,20 +789,24 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParsePragma() {
+    LEGO_RULE(Pragma);
     ++pos_;  // PRAGMA
     auto stmt = std::make_unique<PragmaStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier("pragma name"));
     if (MatchTok(TokenKind::kEq)) {
+      LEGO_RULE(PragmaValue);
       LEGO_ASSIGN_OR_RETURN(stmt->value, ParsePrimary());
     }
     return StmtPtr(std::move(stmt));
   }
 
   StatusOr<StmtPtr> ParseSet() {
+    LEGO_RULE(Set);
     ++pos_;  // SET
     auto stmt = std::make_unique<PragmaStmt>();
     stmt->is_set = true;
     if (MatchTok(TokenKind::kAtAt)) {
+      LEGO_RULE(SetSessionScope);
       stmt->session_scope = true;
       if (PeekKw("SESSION") && PeekTok(TokenKind::kDot, 1)) {
         pos_ += 2;  // SESSION .
@@ -698,6 +819,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseShow() {
+    LEGO_RULE(Show);
     ++pos_;  // SHOW
     auto stmt = std::make_unique<ShowStmt>();
     LEGO_ASSIGN_OR_RETURN(std::string what, ParseIdentifier("show target"));
@@ -706,18 +828,34 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseExplain() {
+    LEGO_RULE(Explain);
     ++pos_;  // EXPLAIN
     auto stmt = std::make_unique<ExplainStmt>();
-    if (MatchKw("ANALYZE")) stmt->analyze = true;
+    if (MatchKw("ANALYZE")) {
+      LEGO_RULE(ExplainAnalyze);
+      stmt->analyze = true;
+    }
     LEGO_ASSIGN_OR_RETURN(stmt->target, ParseStatement());
     return StmtPtr(std::move(stmt));
   }
 
   StatusOr<StmtPtr> ParseMaintenance(StatementType type) {
+    switch (type) {
+      case StatementType::kAnalyze:
+        LEGO_RULE(Analyze);
+        break;
+      case StatementType::kVacuum:
+        LEGO_RULE(Vacuum);
+        break;
+      default:
+        LEGO_RULE(Reindex);
+        break;
+    }
     ++pos_;  // keyword
     std::string target;
     if (Cur().kind == TokenKind::kIdentifier &&
         !ReservedKeywords().count(ToUpper(Cur().text))) {
+      LEGO_RULE(MaintenanceTarget);
       target = ToLower(Cur().text);
       ++pos_;
     }
@@ -725,6 +863,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseNotify() {
+    LEGO_RULE(Notify);
     ++pos_;  // NOTIFY
     auto stmt = std::make_unique<NotifyStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->channel, ParseIdentifier("channel"));
@@ -732,6 +871,7 @@ class ParserImpl {
       if (Cur().kind != TokenKind::kStringLiteral) {
         return StatusOr<StmtPtr>(Err("expected payload string"));
       }
+      LEGO_RULE(NotifyPayload);
       stmt->payload = Cur().text;
       ++pos_;
     }
@@ -739,6 +879,7 @@ class ParserImpl {
   }
 
   StatusOr<StmtPtr> ParseComment() {
+    LEGO_RULE(Comment);
     ++pos_;  // COMMENT
     LEGO_RETURN_IF_ERROR(ExpectKw("ON"));
     LEGO_RETURN_IF_ERROR(ExpectKw("TABLE"));
@@ -757,8 +898,10 @@ class ParserImpl {
     ++pos_;  // DISCARD
     auto stmt = std::make_unique<DiscardStmt>();
     if (MatchKw("ALL")) {
+      LEGO_RULE(DiscardAll);
       stmt->all = true;
     } else if (MatchKw("TEMP") || MatchKw("TEMPORARY")) {
+      LEGO_RULE(DiscardTemp);
       stmt->all = false;
     } else {
       return StatusOr<StmtPtr>(Err("expected ALL or TEMP"));
@@ -768,15 +911,24 @@ class ParserImpl {
 
   // ----- SELECT -----
   StatusOr<std::unique_ptr<SelectStmt>> ParseSelect() {
+    LEGO_RULE(Select);
     auto stmt = std::make_unique<SelectStmt>();
     LEGO_ASSIGN_OR_RETURN(stmt->core, ParseSelectCore());
     while (true) {
       SetOpKind kind;
       if (MatchKw("UNION")) {
-        kind = MatchKw("ALL") ? SetOpKind::kUnionAll : SetOpKind::kUnion;
+        if (MatchKw("ALL")) {
+          LEGO_RULE(CompoundUnionAll);
+          kind = SetOpKind::kUnionAll;
+        } else {
+          LEGO_RULE(CompoundUnion);
+          kind = SetOpKind::kUnion;
+        }
       } else if (MatchKw("EXCEPT")) {
+        LEGO_RULE(CompoundExcept);
         kind = SetOpKind::kExcept;
       } else if (MatchKw("INTERSECT")) {
+        LEGO_RULE(CompoundIntersect);
         kind = SetOpKind::kIntersect;
       } else {
         break;
@@ -786,10 +938,12 @@ class ParserImpl {
     }
     if (MatchKw("ORDER")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+      LEGO_RULE(SelectOrderBy);
       do {
         OrderByItem item;
         LEGO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
         if (MatchKw("DESC")) {
+          LEGO_RULE(OrderByDesc);
           item.desc = true;
         } else {
           MatchKw("ASC");
@@ -798,9 +952,11 @@ class ParserImpl {
       } while (MatchTok(TokenKind::kComma));
     }
     if (MatchKw("LIMIT")) {
+      LEGO_RULE(SelectLimit);
       LEGO_ASSIGN_OR_RETURN(stmt->limit, ParseExpr());
     }
     if (MatchKw("OFFSET")) {
+      LEGO_RULE(SelectOffset);
       LEGO_ASSIGN_OR_RETURN(stmt->offset, ParseExpr());
     }
     return stmt;
@@ -808,8 +964,10 @@ class ParserImpl {
 
   StatusOr<SelectCore> ParseSelectCore() {
     LEGO_RETURN_IF_ERROR(ExpectKw("SELECT"));
+    LEGO_RULE(SelectCore);
     SelectCore core;
     if (MatchKw("DISTINCT")) {
+      LEGO_RULE(SelectDistinct);
       core.distinct = true;
     } else {
       MatchKw("ALL");
@@ -818,28 +976,34 @@ class ParserImpl {
       SelectItem item;
       LEGO_ASSIGN_OR_RETURN(item.expr, ParseSelectItemExpr());
       if (MatchKw("AS")) {
+        LEGO_RULE(SelectItemAlias);
         LEGO_ASSIGN_OR_RETURN(item.alias, ParseIdentifier("alias"));
       } else if (Cur().kind == TokenKind::kIdentifier &&
                  !ReservedKeywords().count(ToUpper(Cur().text))) {
+        LEGO_RULE(SelectItemAlias);
         item.alias = ToLower(Cur().text);
         ++pos_;
       }
       core.items.push_back(std::move(item));
     } while (MatchTok(TokenKind::kComma));
     if (MatchKw("FROM")) {
+      LEGO_RULE(SelectFrom);
       LEGO_ASSIGN_OR_RETURN(core.from, ParseTableRefList());
     }
     if (MatchKw("WHERE")) {
+      LEGO_RULE(SelectWhere);
       LEGO_ASSIGN_OR_RETURN(core.where, ParseExpr());
     }
     if (MatchKw("GROUP")) {
       LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+      LEGO_RULE(SelectGroupBy);
       do {
         LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
         core.group_by.push_back(std::move(e));
       } while (MatchTok(TokenKind::kComma));
     }
     if (MatchKw("HAVING")) {
+      LEGO_RULE(SelectHaving);
       LEGO_ASSIGN_OR_RETURN(core.having, ParseExpr());
     }
     return core;
@@ -847,11 +1011,13 @@ class ParserImpl {
 
   StatusOr<ExprPtr> ParseSelectItemExpr() {
     if (PeekTok(TokenKind::kStar)) {
+      LEGO_RULE(SelectItemStar);
       ++pos_;
       return ExprPtr(std::make_unique<Star>());
     }
     if (Cur().kind == TokenKind::kIdentifier && PeekTok(TokenKind::kDot, 1) &&
         PeekTok(TokenKind::kStar, 2)) {
+      LEGO_RULE(SelectItemTableStar);
       std::string table = ToLower(Cur().text);
       pos_ += 3;
       return ExprPtr(std::make_unique<Star>(table));
@@ -862,6 +1028,7 @@ class ParserImpl {
   StatusOr<TableRefPtr> ParseTableRefList() {
     LEGO_ASSIGN_OR_RETURN(TableRefPtr left, ParseJoinChain());
     while (MatchTok(TokenKind::kComma)) {
+      LEGO_RULE(FromCommaCross);
       LEGO_ASSIGN_OR_RETURN(TableRefPtr right, ParseJoinChain());
       left = std::make_unique<JoinRef>(JoinType::kCross, std::move(left),
                                        std::move(right), nullptr);
@@ -876,14 +1043,18 @@ class ParserImpl {
       if (MatchKw("LEFT")) {
         MatchKw("OUTER");
         LEGO_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        LEGO_RULE(JoinLeft);
         type = JoinType::kLeft;
       } else if (MatchKw("CROSS")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        LEGO_RULE(JoinCross);
         type = JoinType::kCross;
       } else if (MatchKw("INNER")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        LEGO_RULE(JoinInner);
         type = JoinType::kInner;
       } else if (MatchKw("JOIN")) {
+        LEGO_RULE(JoinInner);
         type = JoinType::kInner;
       } else {
         break;
@@ -891,6 +1062,7 @@ class ParserImpl {
       LEGO_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
       ExprPtr on;
       if (MatchKw("ON")) {
+        LEGO_RULE(JoinOn);
         LEGO_ASSIGN_OR_RETURN(on, ParseExpr());
       } else if (type != JoinType::kCross) {
         return StatusOr<TableRefPtr>(Err("expected ON clause"));
@@ -903,13 +1075,16 @@ class ParserImpl {
 
   StatusOr<TableRefPtr> ParseTablePrimary() {
     if (MatchTok(TokenKind::kLParen)) {
+      LEGO_RULE(FromSubquery);
       LEGO_ASSIGN_OR_RETURN(auto select, ParseSelect());
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
       std::string alias;
       if (MatchKw("AS")) {
+        LEGO_RULE(TableAlias);
         LEGO_ASSIGN_OR_RETURN(alias, ParseIdentifier("alias"));
       } else if (Cur().kind == TokenKind::kIdentifier &&
                  !ReservedKeywords().count(ToUpper(Cur().text))) {
+        LEGO_RULE(TableAlias);
         alias = ToLower(Cur().text);
         ++pos_;
       } else {
@@ -918,12 +1093,15 @@ class ParserImpl {
       return TableRefPtr(std::make_unique<SubqueryRef>(std::move(select),
                                                        std::move(alias)));
     }
+    LEGO_RULE(FromBaseTable);
     LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("table name"));
     std::string alias;
     if (MatchKw("AS")) {
+      LEGO_RULE(TableAlias);
       LEGO_ASSIGN_OR_RETURN(alias, ParseIdentifier("alias"));
     } else if (Cur().kind == TokenKind::kIdentifier &&
                !ReservedKeywords().count(ToUpper(Cur().text))) {
+      LEGO_RULE(TableAlias);
       alias = ToLower(Cur().text);
       ++pos_;
     }
@@ -936,6 +1114,7 @@ class ParserImpl {
   StatusOr<ExprPtr> ParseOr() {
     LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
     while (MatchKw("OR")) {
+      LEGO_RULE(ExprOr);
       LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
       lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
                                          std::move(rhs));
@@ -947,6 +1126,7 @@ class ParserImpl {
     LEGO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
     while (PeekKw("AND")) {
       ++pos_;
+      LEGO_RULE(ExprAnd);
       LEGO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
       lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
                                          std::move(rhs));
@@ -956,6 +1136,7 @@ class ParserImpl {
 
   StatusOr<ExprPtr> ParseNot() {
     if (MatchKw("NOT")) {
+      LEGO_RULE(ExprNot);
       LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
       return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(e)));
     }
@@ -967,25 +1148,37 @@ class ParserImpl {
     while (true) {
       BinaryOp op;
       if (MatchTok(TokenKind::kEq)) {
+        LEGO_RULE(CmpEq);
         op = BinaryOp::kEq;
       } else if (MatchTok(TokenKind::kNotEq)) {
+        LEGO_RULE(CmpNe);
         op = BinaryOp::kNe;
       } else if (MatchTok(TokenKind::kLtEq)) {
+        LEGO_RULE(CmpLe);
         op = BinaryOp::kLe;
       } else if (MatchTok(TokenKind::kLt)) {
+        LEGO_RULE(CmpLt);
         op = BinaryOp::kLt;
       } else if (MatchTok(TokenKind::kGtEq)) {
+        LEGO_RULE(CmpGe);
         op = BinaryOp::kGe;
       } else if (MatchTok(TokenKind::kGt)) {
+        LEGO_RULE(CmpGt);
         op = BinaryOp::kGt;
       } else if (PeekKw("IS")) {
         ++pos_;
         bool negated = MatchKw("NOT");
         if (MatchKw("NULL")) {
+          if (negated) {
+            LEGO_RULE(IsNotNull);
+          } else {
+            LEGO_RULE(IsNull);
+          }
           lhs = std::make_unique<IsNullExpr>(std::move(lhs), negated);
           continue;
         }
         // IS [NOT] TRUE / FALSE — desugared to (NOT) lhs = TRUE/FALSE.
+        LEGO_RULE(IsTruth);
         bool truth;
         if (MatchKw("TRUE")) {
           truth = true;
@@ -1003,6 +1196,7 @@ class ParserImpl {
       } else if (PeekKw("NOT") &&
                  (PeekKw("IN", 1) || PeekKw("BETWEEN", 1) || PeekKw("LIKE", 1))) {
         ++pos_;
+        LEGO_RULE(PredicateNegated);
         LEGO_ASSIGN_OR_RETURN(lhs, ParsePostfixPredicate(std::move(lhs), true));
         continue;
       } else if (PeekKw("IN") || PeekKw("BETWEEN") || PeekKw("LIKE")) {
@@ -1021,11 +1215,13 @@ class ParserImpl {
     if (MatchKw("IN")) {
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
       if (PeekKw("SELECT")) {
+        LEGO_RULE(InSubquery);
         LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
         LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
         return ExprPtr(std::make_unique<InSubqueryExpr>(
             std::move(lhs), std::move(sub), negated));
       }
+      LEGO_RULE(InList);
       std::vector<ExprPtr> list;
       do {
         LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
@@ -1036,6 +1232,7 @@ class ParserImpl {
                                                   std::move(list), negated));
     }
     if (MatchKw("BETWEEN")) {
+      LEGO_RULE(Between);
       LEGO_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
       LEGO_RETURN_IF_ERROR(ExpectKw("AND"));
       LEGO_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
@@ -1043,6 +1240,7 @@ class ParserImpl {
           std::move(lhs), std::move(lo), std::move(hi), negated));
     }
     if (MatchKw("LIKE")) {
+      LEGO_RULE(Like);
       LEGO_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
       return ExprPtr(std::make_unique<LikeExpr>(std::move(lhs),
                                                 std::move(pattern), negated));
@@ -1055,10 +1253,13 @@ class ParserImpl {
     while (true) {
       BinaryOp op;
       if (MatchTok(TokenKind::kPlus)) {
+        LEGO_RULE(ExprAdd);
         op = BinaryOp::kAdd;
       } else if (MatchTok(TokenKind::kMinus)) {
+        LEGO_RULE(ExprSub);
         op = BinaryOp::kSub;
       } else if (MatchTok(TokenKind::kConcat)) {
+        LEGO_RULE(ExprConcat);
         op = BinaryOp::kConcat;
       } else {
         break;
@@ -1074,10 +1275,13 @@ class ParserImpl {
     while (true) {
       BinaryOp op;
       if (MatchTok(TokenKind::kStar)) {
+        LEGO_RULE(ExprMul);
         op = BinaryOp::kMul;
       } else if (MatchTok(TokenKind::kSlash)) {
+        LEGO_RULE(ExprDiv);
         op = BinaryOp::kDiv;
       } else if (MatchTok(TokenKind::kPercent)) {
+        LEGO_RULE(ExprMod);
         op = BinaryOp::kMod;
       } else {
         break;
@@ -1090,6 +1294,7 @@ class ParserImpl {
 
   StatusOr<ExprPtr> ParseUnary() {
     if (MatchTok(TokenKind::kMinus)) {
+      LEGO_RULE(ExprNeg);
       LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
       return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(e)));
     }
@@ -1101,21 +1306,25 @@ class ParserImpl {
     const Token& t = Cur();
     switch (t.kind) {
       case TokenKind::kIntegerLiteral: {
+        LEGO_RULE(LiteralInt);
         int64_t v = std::strtoll(t.text.c_str(), nullptr, 10);
         ++pos_;
         return Literal::Int(v);
       }
       case TokenKind::kFloatLiteral: {
+        LEGO_RULE(LiteralReal);
         double v = std::strtod(t.text.c_str(), nullptr);
         ++pos_;
         return Literal::Real(v);
       }
       case TokenKind::kStringLiteral: {
+        LEGO_RULE(LiteralString);
         std::string s = t.text;
         ++pos_;
         return Literal::Text(std::move(s));
       }
       case TokenKind::kMinus: {
+        LEGO_RULE(ExprNeg);
         ++pos_;
         LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
         return ExprPtr(
@@ -1124,15 +1333,18 @@ class ParserImpl {
       case TokenKind::kLParen: {
         ++pos_;
         if (PeekKw("SELECT")) {
+          LEGO_RULE(ScalarSubquery);
           LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
           LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
           return ExprPtr(std::make_unique<ScalarSubquery>(std::move(sub)));
         }
+        LEGO_RULE(ParenExpr);
         LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
         LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
         return e;
       }
       case TokenKind::kAtAt: {
+        LEGO_RULE(SessionVariable);
         ++pos_;
         if (PeekKw("SESSION") && PeekTok(TokenKind::kDot, 1)) pos_ += 2;
         LEGO_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("variable"));
@@ -1148,18 +1360,22 @@ class ParserImpl {
   StatusOr<ExprPtr> ParseIdentifierExpr() {
     std::string word = ToUpper(Cur().text);
     if (word == "NULL") {
+      LEGO_RULE(LiteralNull);
       ++pos_;
       return Literal::Null();
     }
     if (word == "TRUE") {
+      LEGO_RULE(LiteralBool);
       ++pos_;
       return Literal::Bool(true);
     }
     if (word == "FALSE") {
+      LEGO_RULE(LiteralBool);
       ++pos_;
       return Literal::Bool(false);
     }
     if (word == "CAST") {
+      LEGO_RULE(Cast);
       ++pos_;
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
       LEGO_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
@@ -1169,10 +1385,12 @@ class ParserImpl {
       return ExprPtr(std::make_unique<CastExpr>(std::move(operand), type));
     }
     if (word == "CASE") {
+      LEGO_RULE(Case);
       ++pos_;
       return ParseCase();
     }
     if (word == "EXISTS") {
+      LEGO_RULE(Exists);
       ++pos_;
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
       LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
@@ -1180,6 +1398,7 @@ class ParserImpl {
       return ExprPtr(std::make_unique<ExistsExpr>(std::move(sub), false));
     }
     if (word == "NOT" && PeekKw("EXISTS", 1)) {
+      LEGO_RULE(NotExists);
       pos_ += 2;
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
       LEGO_ASSIGN_OR_RETURN(auto sub, ParseSelect());
@@ -1199,15 +1418,18 @@ class ParserImpl {
     std::string first = ToLower(Cur().text);
     ++pos_;
     if (MatchTok(TokenKind::kDot)) {
+      LEGO_RULE(QualifiedColumnReference);
       LEGO_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
       return ExprPtr(std::make_unique<ColumnRef>(first, col));
     }
+    LEGO_RULE(ColumnReference);
     return ExprPtr(std::make_unique<ColumnRef>("", first));
   }
 
   StatusOr<ExprPtr> ParseCase() {
     ExprPtr operand;
     if (!PeekKw("WHEN")) {
+      LEGO_RULE(CaseOperand);
       LEGO_ASSIGN_OR_RETURN(operand, ParseExpr());
     }
     std::vector<std::pair<ExprPtr, ExprPtr>> whens;
@@ -1220,6 +1442,7 @@ class ParserImpl {
     if (whens.empty()) return StatusOr<ExprPtr>(Err("CASE requires WHEN"));
     ExprPtr else_expr;
     if (MatchKw("ELSE")) {
+      LEGO_RULE(CaseElse);
       LEGO_ASSIGN_OR_RETURN(else_expr, ParseExpr());
     }
     LEGO_RETURN_IF_ERROR(ExpectKw("END"));
@@ -1228,15 +1451,20 @@ class ParserImpl {
   }
 
   StatusOr<ExprPtr> ParseFunctionCall() {
+    LEGO_RULE(FunctionCall);
     std::string name = ToUpper(Cur().text);
     ++pos_;  // name
     ++pos_;  // '('
     auto fn = std::make_unique<FunctionCall>(name, std::vector<ExprPtr>());
     if (MatchTok(TokenKind::kStar)) {
+      LEGO_RULE(FunctionStarArg);
       fn->set_star_arg(true);
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
     } else {
-      if (MatchKw("DISTINCT")) fn->set_distinct(true);
+      if (MatchKw("DISTINCT")) {
+        LEGO_RULE(FunctionDistinct);
+        fn->set_distinct(true);
+      }
       if (!PeekTok(TokenKind::kRParen)) {
         do {
           LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
@@ -1246,10 +1474,12 @@ class ParserImpl {
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kRParen, "')'"));
     }
     if (MatchKw("OVER")) {
+      LEGO_RULE(WindowOver);
       LEGO_RETURN_IF_ERROR(ExpectTok(TokenKind::kLParen, "'('"));
       auto window = std::make_unique<WindowSpec>();
       if (MatchKw("PARTITION")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+        LEGO_RULE(WindowPartitionBy);
         do {
           LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
           window->partition_by.push_back(std::move(e));
@@ -1257,6 +1487,7 @@ class ParserImpl {
       }
       if (MatchKw("ORDER")) {
         LEGO_RETURN_IF_ERROR(ExpectKw("BY"));
+        LEGO_RULE(WindowOrderBy);
         do {
           LEGO_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
           bool desc = MatchKw("DESC");
@@ -1273,6 +1504,8 @@ class ParserImpl {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
+
+#undef LEGO_RULE
 
 }  // namespace
 

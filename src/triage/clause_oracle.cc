@@ -1,0 +1,170 @@
+#include "triage/clause_oracle.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/backend.h"
+#include "triage/oracle_common.h"
+#include "util/hash.h"
+
+namespace lego::triage {
+namespace {
+
+using sql::ExprPtr;
+using sql::SelectStmt;
+
+bool RowsMatch(std::vector<std::string> a, std::vector<std::string> b,
+               size_t* a_count, size_t* b_count) {
+  *a_count = a.size();
+  *b_count = b.size();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool Report(const std::string& query_sql, const std::string& slot,
+            size_t expect, size_t got, fuzz::LogicBugInfo* out) {
+  out->check = "clause";
+  out->query = query_sql;
+  out->detail = "clause partition mismatch in " + slot + " slot: reference " +
+                std::to_string(expect) + " row(s), rewritten " +
+                std::to_string(got) + " row(s)";
+  out->fingerprint = Fnv1a64(query_sql, Fnv1a64("clause:" + slot));
+  return true;
+}
+
+/// WHERE slot: drop WHERE p from Q, then re-partition the unfiltered rows
+/// by p / NOT p / p IS NULL.
+bool CheckWhereSlot(fuzz::DbBackend* backend, const SelectStmt& q,
+                    const std::string& query_sql, fuzz::LogicBugInfo* out) {
+  if (!oracle::IsRowPartitionEligible(q)) return false;
+  if (q.core.where == nullptr) return false;
+
+  std::unique_ptr<SelectStmt> base = q.CloneSelect();
+  ExprPtr p = std::move(base->core.where);
+  base->core.where = nullptr;
+
+  std::unique_ptr<SelectStmt> part_true =
+      oracle::WithConjunct(*base, p->Clone());
+  std::unique_ptr<SelectStmt> part_false =
+      oracle::WithConjunct(*base, oracle::Negate(p->Clone()));
+  std::unique_ptr<SelectStmt> part_null =
+      oracle::WithConjunct(*base, oracle::IsNull(p->Clone()));
+
+  std::vector<std::string> reference;
+  std::vector<std::string> partitioned;
+  if (!oracle::RunRows(backend, *base, &reference) ||
+      !oracle::RunRows(backend, *part_true, &partitioned) ||
+      !oracle::RunRows(backend, *part_false, &partitioned) ||
+      !oracle::RunRows(backend, *part_null, &partitioned)) {
+    return false;
+  }
+  size_t expect = 0;
+  size_t got = 0;
+  if (RowsMatch(std::move(reference), std::move(partitioned), &expect, &got)) {
+    return false;
+  }
+  return Report(query_sql, "where", expect, got, out);
+}
+
+/// JOIN slot: hoist the ON clause of a top-level INNER JOIN into WHERE
+/// (ON becomes TRUE). Row-for-row equivalent for inner joins.
+bool CheckJoinSlot(fuzz::DbBackend* backend, const SelectStmt& q,
+                   const std::string& query_sql, fuzz::LogicBugInfo* out) {
+  if (!oracle::IsRowPartitionEligible(q)) return false;
+  if (q.core.from->kind() != sql::TableRefKind::kJoin) return false;
+  {
+    const auto& join = static_cast<const sql::JoinRef&>(*q.core.from);
+    if (join.join_type() != sql::JoinType::kInner || join.on() == nullptr) {
+      return false;
+    }
+  }
+
+  std::unique_ptr<SelectStmt> hoisted = q.CloneSelect();
+  auto* join = static_cast<sql::JoinRef*>(hoisted->core.from.get());
+  ExprPtr on = std::move(*join->mutable_on_slot());
+  *join->mutable_on_slot() = sql::Literal::Bool(true);
+  if (hoisted->core.where == nullptr) {
+    hoisted->core.where = std::move(on);
+  } else {
+    hoisted->core.where = std::make_unique<sql::BinaryExpr>(
+        sql::BinaryOp::kAnd, std::move(on), std::move(hoisted->core.where));
+  }
+
+  std::vector<std::string> reference;
+  std::vector<std::string> rewritten;
+  if (!oracle::RunRows(backend, q, &reference) ||
+      !oracle::RunRows(backend, *hoisted, &rewritten)) {
+    return false;
+  }
+  size_t expect = 0;
+  size_t got = 0;
+  if (RowsMatch(std::move(reference), std::move(rewritten), &expect, &got)) {
+    return false;
+  }
+  return Report(query_sql, "join", expect, got, out);
+}
+
+/// HAVING slot: partition the grouped rows by h / NOT h / h IS NULL against
+/// the HAVING-less grouping. Aggregates are fine here — the partition
+/// argument runs over post-grouping rows, not base rows.
+bool CheckHavingSlot(fuzz::DbBackend* backend, const SelectStmt& q,
+                     const std::string& query_sql, fuzz::LogicBugInfo* out) {
+  if (q.core.from == nullptr || q.core.having == nullptr) return false;
+  if (q.core.group_by.empty() || q.core.distinct) return false;
+  if (!q.compounds.empty() || q.limit != nullptr || q.offset != nullptr) {
+    return false;
+  }
+
+  std::unique_ptr<SelectStmt> base = q.CloneSelect();
+  ExprPtr h = std::move(base->core.having);
+  base->core.having = nullptr;
+
+  auto with_having = [&](ExprPtr pred) {
+    std::unique_ptr<SelectStmt> part = base->CloneSelect();
+    part->core.having = std::move(pred);
+    return part;
+  };
+  std::unique_ptr<SelectStmt> part_true = with_having(h->Clone());
+  std::unique_ptr<SelectStmt> part_false =
+      with_having(oracle::Negate(h->Clone()));
+  std::unique_ptr<SelectStmt> part_null =
+      with_having(oracle::IsNull(h->Clone()));
+
+  std::vector<std::string> reference;
+  std::vector<std::string> partitioned;
+  if (!oracle::RunRows(backend, *base, &reference) ||
+      !oracle::RunRows(backend, *part_true, &partitioned) ||
+      !oracle::RunRows(backend, *part_false, &partitioned) ||
+      !oracle::RunRows(backend, *part_null, &partitioned)) {
+    return false;
+  }
+  size_t expect = 0;
+  size_t got = 0;
+  if (RowsMatch(std::move(reference), std::move(partitioned), &expect, &got)) {
+    return false;
+  }
+  return Report(query_sql, "having", expect, got, out);
+}
+
+}  // namespace
+
+bool ClauseOracle::Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
+                         fuzz::LogicBugInfo* out) {
+  if (stmt.type() != sql::StatementType::kSelect) return false;
+  const auto& q = static_cast<const SelectStmt&>(stmt);
+
+  fuzz::OracleSession session(backend);
+
+  std::string query_sql;
+  q.PrintTo(&query_sql);
+
+  if (CheckWhereSlot(backend, q, query_sql, out)) return true;
+  if (CheckJoinSlot(backend, q, query_sql, out)) return true;
+  return CheckHavingSlot(backend, q, query_sql, out);
+}
+
+}  // namespace lego::triage

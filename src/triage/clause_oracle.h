@@ -1,0 +1,41 @@
+#ifndef LEGO_TRIAGE_CLAUSE_ORACLE_H_
+#define LEGO_TRIAGE_CLAUSE_ORACLE_H_
+
+#include <string_view>
+
+#include "fuzz/harness.h"
+
+namespace lego::triage {
+
+/// Clause-guided metamorphic oracle (SQLaser-style): instead of synthesizing
+/// a predicate, it partitions on predicates the query *already* carries,
+/// slot by slot, so the checked plan paths are exactly the ones the original
+/// query exercised. Three clause slots, tried in order, first mismatch wins:
+///
+///  WHERE  — for eligible Q with WHERE p:
+///             Q-sans-WHERE == Q(p) + Q(NOT p) + Q(p IS NULL)
+///           as row multisets. Because NOT p is evaluated here, this slot
+///           catches negation/eval defects the synthesized-phi oracles only
+///           hit by luck (it flags the planted NOT-NULL eval bug directly).
+///  JOIN   — for Q whose FROM is a top-level INNER JOIN with an ON clause:
+///             rows(L JOIN R ON c ...) == rows(L JOIN R ON TRUE ... WHERE c)
+///           (ON hoisted into WHERE; for inner joins the two forms are
+///           equivalent, but they drive different join-planning paths).
+///  HAVING — for grouped Q with HAVING h (aggregates allowed):
+///             Q-sans-HAVING == Q(h) + Q(NOT h) + Q(h IS NULL)
+///           over the post-grouping rows.
+///
+/// All comparisons are order-insensitive; any leg erroring yields no
+/// verdict. Stateless and deterministic: every rewrite is a pure function
+/// of the query's own AST (no Rng at all), so workers/reruns/replays agree.
+class ClauseOracle : public fuzz::LogicOracle {
+ public:
+  std::string_view name() const override { return "clause"; }
+
+  bool Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
+             fuzz::LogicBugInfo* out) override;
+};
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_CLAUSE_ORACLE_H_

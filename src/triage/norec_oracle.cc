@@ -1,0 +1,98 @@
+#include "triage/norec_oracle.h"
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/backend.h"
+#include "triage/oracle_common.h"
+#include "util/hash.h"
+
+namespace lego::triage {
+
+using oracle::SyntheticPredicate;
+using sql::ExprPtr;
+using sql::SelectStmt;
+
+namespace {
+
+/// Sums the leading integer of each rendered row ("1|" / "0|"). The CASE
+/// projection only ever yields literal 0 or 1, so anything else (NULL from a
+/// broken evaluator, say) counts as no contribution but still participates
+/// in the mismatch via the filtered-count comparison.
+int64_t SumLeadingInts(const std::vector<std::string>& rows) {
+  int64_t sum = 0;
+  for (const std::string& r : rows) {
+    sum += std::strtoll(r.c_str(), nullptr, 10);
+  }
+  return sum;
+}
+
+}  // namespace
+
+bool NoRecOracle::Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
+                        fuzz::LogicBugInfo* out) {
+  if (stmt.type() != sql::StatementType::kSelect) return false;
+  const auto& q = static_cast<const SelectStmt&>(stmt);
+  if (!oracle::IsRowPartitionEligible(q)) return false;
+
+  fuzz::OracleSession session(backend);
+
+  std::string query_sql;
+  q.PrintTo(&query_sql);
+
+  // Base form with the predicate factored out: optimized = base WHERE p,
+  // unoptimized = base projecting CASE WHEN p THEN 1 ELSE 0 END.
+  std::unique_ptr<SelectStmt> base = q.CloneSelect();
+  ExprPtr p = std::move(base->core.where);
+  base->core.where = nullptr;
+  if (p == nullptr) {
+    std::optional<SyntheticPredicate> phi = oracle::ChoosePredicate(
+        q, backend, Fnv1a64(query_sql, Fnv1a64("norec")));
+    if (!phi.has_value()) return false;
+    p = phi->MakeExpr();
+  }
+
+  std::unique_ptr<SelectStmt> optimized =
+      oracle::WithConjunct(*base, p->Clone());
+
+  std::unique_ptr<SelectStmt> unoptimized = base->CloneSelect();
+  unoptimized->order_by.clear();  // positional ORDER BY would dangle
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  whens.emplace_back(p->Clone(), sql::Literal::Int(1));
+  unoptimized->core.items.clear();
+  unoptimized->core.items.push_back(
+      {std::make_unique<sql::CaseExpr>(nullptr, std::move(whens),
+                                       sql::Literal::Int(0)),
+       ""});
+
+  std::vector<std::string> opt_rows;
+  std::vector<std::string> unopt_rows;
+  // Either side erroring (synthesized p tripping a dialect restriction, a
+  // dead server) means no verdict, not a bug.
+  if (!oracle::RunRows(backend, *optimized, &opt_rows) ||
+      !oracle::RunRows(backend, *unoptimized, &unopt_rows)) {
+    return false;
+  }
+
+  const int64_t opt_count = static_cast<int64_t>(opt_rows.size());
+  const int64_t unopt_count = SumLeadingInts(unopt_rows);
+  if (opt_count == unopt_count) return false;
+
+  std::string p_sql;
+  p->PrintTo(&p_sql);
+  out->check = "norec";
+  out->query = query_sql;
+  out->detail = "NoREC count mismatch: optimized " +
+                std::to_string(opt_count) + " row(s), unoptimized " +
+                std::to_string(unopt_count) + " over " +
+                std::to_string(unopt_rows.size()) + " candidate row(s); p = " +
+                p_sql;
+  out->fingerprint = Fnv1a64(query_sql, Fnv1a64("norec"));
+  return true;
+}
+
+}  // namespace lego::triage

@@ -1,0 +1,42 @@
+#ifndef LEGO_TRIAGE_NOREC_ORACLE_H_
+#define LEGO_TRIAGE_NOREC_ORACLE_H_
+
+#include <string_view>
+
+#include "fuzz/harness.h"
+
+namespace lego::triage {
+
+/// Non-Optimizing Reference Engine Construction metamorphic oracle
+/// (SQLancer-style): for an eligible SELECT over FROM F with predicate p,
+///
+///   |SELECT * FROM F WHERE p|  ==  SUM over F of CASE WHEN p THEN 1 ELSE 0
+///
+/// The left side is the "optimized" form — the engine may push p into scans,
+/// pick indexes, reorder joins. The right side moves p into the projection
+/// of a WHERE-less scan, which denies the optimizer every predicate-driven
+/// rewrite; the engine must evaluate p once per candidate row and the 1-count
+/// must equal the filtered cardinality. A mismatch is a wrong-result bug in
+/// predicate pushdown / filter planning.
+///
+/// p is the query's own WHERE clause when present, else a synthesized
+/// `col <op> k` seeded by Fnv1a64(query_sql, Fnv1a64("norec")) — same
+/// determinism contract as TLP but salted so the two oracles probe
+/// different predicates for the same query.
+///
+/// Known blind spot: minidb evaluates both forms through the same Evaluator
+/// with no separate optimized path for WHERE, so expression-evaluation bugs
+/// that corrupt p identically in both positions (e.g. the planted NOT-NULL
+/// eval defect) cancel out. The conformance harness documents and asserts
+/// this blindness; TLP and the clause oracle cover that class.
+class NoRecOracle : public fuzz::LogicOracle {
+ public:
+  std::string_view name() const override { return "norec"; }
+
+  bool Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
+             fuzz::LogicBugInfo* out) override;
+};
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_NOREC_ORACLE_H_

@@ -1,0 +1,127 @@
+#include "triage/oracle_common.h"
+
+#include <utility>
+
+#include "minidb/eval.h"
+#include "sql/ast_walk.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace lego::triage::oracle {
+
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::SelectStmt;
+
+sql::ExprPtr SyntheticPredicate::MakeExpr() const {
+  return std::make_unique<sql::BinaryExpr>(
+      op, std::make_unique<sql::ColumnRef>(column.table, column.column),
+      sql::Literal::Int(k));
+}
+
+std::string SyntheticPredicate::ToSql() const {
+  std::string out;
+  MakeExpr()->PrintTo(&out);
+  return out;
+}
+
+bool IsRowPartitionEligible(const SelectStmt& q) {
+  const sql::SelectCore& core = q.core;
+  if (core.from == nullptr) return false;
+  if (core.distinct || !core.group_by.empty() || core.having != nullptr) {
+    return false;
+  }
+  if (!q.compounds.empty() || q.limit != nullptr || q.offset != nullptr) {
+    return false;
+  }
+  // Aggregates / window functions change row multiplicity or depend on the
+  // whole input; subquery scopes don't (WalkExprs stays out of them).
+  bool blocked = false;
+  auto scan = [&](const sql::Expr& e) {
+    if (e.kind() != ExprKind::kFunctionCall) return;
+    const auto& call = static_cast<const sql::FunctionCall&>(e);
+    if (minidb::Evaluator::IsAggregateFunction(call.name()) ||
+        call.window() != nullptr) {
+      blocked = true;
+    }
+  };
+  for (const sql::SelectItem& item : core.items) {
+    sql::WalkExprs(*item.expr, scan, /*into_subqueries=*/false);
+  }
+  if (core.where != nullptr) {
+    sql::WalkExprs(*core.where, scan, /*into_subqueries=*/false);
+  }
+  return !blocked;
+}
+
+std::vector<ColumnCandidate> CollectColumns(const SelectStmt& q,
+                                            fuzz::DbBackend* backend) {
+  std::vector<ColumnCandidate> out;
+  auto add = [&](const std::string& table, const std::string& column) {
+    for (const ColumnCandidate& c : out) {
+      if (c.table == table && c.column == column) return;
+    }
+    out.push_back({table, column});
+  };
+  auto scan = [&](const sql::Expr& e) {
+    if (e.kind() != ExprKind::kColumnRef) return;
+    const auto& ref = static_cast<const sql::ColumnRef&>(e);
+    add(ref.table(), ref.column());
+  };
+  for (const sql::SelectItem& item : q.core.items) {
+    sql::WalkExprs(*item.expr, scan, /*into_subqueries=*/false);
+  }
+  if (q.core.where != nullptr) {
+    sql::WalkExprs(*q.core.where, scan, /*into_subqueries=*/false);
+  }
+  if (out.empty() && q.core.from->kind() == sql::TableRefKind::kBaseTable) {
+    const auto& base = static_cast<const sql::BaseTableRef&>(*q.core.from);
+    std::optional<std::string> col = backend->FirstColumnOf(base.name());
+    if (col.has_value()) add("", *col);
+  }
+  return out;
+}
+
+std::optional<SyntheticPredicate> ChoosePredicate(const SelectStmt& q,
+                                                  fuzz::DbBackend* backend,
+                                                  uint64_t seed) {
+  std::vector<ColumnCandidate> columns = CollectColumns(q, backend);
+  if (columns.empty()) return std::nullopt;
+  Rng rng(seed);
+  SyntheticPredicate pred;
+  pred.column = columns[rng.NextBelow(columns.size())];
+  static const sql::BinaryOp kOps[] = {sql::BinaryOp::kLt, sql::BinaryOp::kEq,
+                                       sql::BinaryOp::kGt};
+  pred.op = kOps[rng.NextBelow(3)];
+  pred.k = rng.NextInRange(-8, 8);
+  return pred;
+}
+
+std::unique_ptr<SelectStmt> WithConjunct(const SelectStmt& q, ExprPtr pred) {
+  std::unique_ptr<SelectStmt> owned = q.CloneSelect();
+  if (owned->core.where == nullptr) {
+    owned->core.where = std::move(pred);
+  } else {
+    owned->core.where = std::make_unique<sql::BinaryExpr>(
+        sql::BinaryOp::kAnd, std::move(owned->core.where), std::move(pred));
+  }
+  return owned;
+}
+
+bool RunRows(fuzz::DbBackend* backend, const SelectStmt& q,
+             std::vector<std::string>* out) {
+  fuzz::StmtOutcome r = backend->Execute(q, /*want_rows=*/true);
+  if (r.status != fuzz::StmtOutcome::Status::kOk) return false;
+  for (std::string& line : r.rows) out->push_back(std::move(line));
+  return true;
+}
+
+sql::ExprPtr Negate(sql::ExprPtr e) {
+  return std::make_unique<sql::UnaryExpr>(sql::UnaryOp::kNot, std::move(e));
+}
+
+sql::ExprPtr IsNull(sql::ExprPtr e) {
+  return std::make_unique<sql::IsNullExpr>(std::move(e), /*negated=*/false);
+}
+
+}  // namespace lego::triage::oracle

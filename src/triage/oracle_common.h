@@ -1,0 +1,68 @@
+#ifndef LEGO_TRIAGE_ORACLE_COMMON_H_
+#define LEGO_TRIAGE_ORACLE_COMMON_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/backend.h"
+#include "sql/ast.h"
+
+namespace lego::triage::oracle {
+
+/// A (qualifier, column) pair usable as a synthesized predicate's subject.
+struct ColumnCandidate {
+  std::string table;
+  std::string column;
+};
+
+/// A synthesized partition predicate `col <op> k`, chosen deterministically
+/// from a seed (each oracle salts the seed with its own name, so different
+/// oracles probe the same query with different predicates while staying
+/// identical across workers/reruns). MakeExpr() builds a fresh AST each call.
+struct SyntheticPredicate {
+  ColumnCandidate column;
+  sql::BinaryOp op;
+  int64_t k;
+
+  sql::ExprPtr MakeExpr() const;
+  std::string ToSql() const;
+};
+
+/// Row-level eligibility shared by the partition-style oracles: plain
+/// single-core SELECT with a FROM clause; no DISTINCT, GROUP BY, HAVING,
+/// LIMIT/OFFSET, compounds, aggregates, or window functions (each would
+/// break the row-level partition argument).
+bool IsRowPartitionEligible(const sql::SelectStmt& q);
+
+/// Column refs mentioned by the query itself, in first-mention order; falls
+/// back to the base table's schema for column-free queries (SELECT *),
+/// resolved through the backend so the lookup works against forked servers.
+std::vector<ColumnCandidate> CollectColumns(const sql::SelectStmt& q,
+                                            fuzz::DbBackend* backend);
+
+/// Deterministically picks a synthesized predicate over the query's columns;
+/// nullopt when the query mentions no usable column.
+std::optional<SyntheticPredicate> ChoosePredicate(const sql::SelectStmt& q,
+                                                  fuzz::DbBackend* backend,
+                                                  uint64_t seed);
+
+/// Q with `pred` conjoined onto its WHERE clause.
+std::unique_ptr<sql::SelectStmt> WithConjunct(const sql::SelectStmt& q,
+                                              sql::ExprPtr pred);
+
+/// Rows rendered to sortable strings (the backend's canonical "v|v|...|"
+/// encoding); false on error or server death — no verdict either way.
+bool RunRows(fuzz::DbBackend* backend, const sql::SelectStmt& q,
+             std::vector<std::string>* out);
+
+/// NOT `e`.
+sql::ExprPtr Negate(sql::ExprPtr e);
+
+/// `e` IS NULL.
+sql::ExprPtr IsNull(sql::ExprPtr e);
+
+}  // namespace lego::triage::oracle
+
+#endif  // LEGO_TRIAGE_ORACLE_COMMON_H_

@@ -1,0 +1,62 @@
+#include "triage/oracle_suite.h"
+
+#include <utility>
+
+#include "triage/clause_oracle.h"
+#include "triage/norec_oracle.h"
+#include "triage/tlp_oracle.h"
+
+namespace lego::triage {
+
+std::unique_ptr<OracleSuite> OracleSuite::FromSpec(std::string_view spec,
+                                                   std::string* error) {
+  auto suite = std::make_unique<OracleSuite>();
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    bool duplicate = false;
+    for (const auto& o : suite->oracles_) {
+      if (o->name() == item) duplicate = true;
+    }
+    if (duplicate) continue;
+    if (item == "tlp") {
+      suite->oracles_.push_back(std::make_unique<TlpOracle>());
+    } else if (item == "norec") {
+      suite->oracles_.push_back(std::make_unique<NoRecOracle>());
+    } else if (item == "clause") {
+      suite->oracles_.push_back(std::make_unique<ClauseOracle>());
+    } else {
+      if (error != nullptr) {
+        *error = "unknown oracle '" + std::string(item) +
+                 "' (known: tlp, norec, clause)";
+      }
+      return nullptr;
+    }
+  }
+  if (suite->oracles_.empty()) {
+    if (error != nullptr) *error = "empty oracle spec";
+    return nullptr;
+  }
+  return suite;
+}
+
+bool OracleSuite::Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
+                        fuzz::LogicBugInfo* out) {
+  for (const auto& oracle : oracles_) {
+    if (oracle->Check(backend, stmt, out)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> OracleSuite::MemberNames() const {
+  std::vector<std::string> names;
+  names.reserve(oracles_.size());
+  for (const auto& o : oracles_) names.emplace_back(o->name());
+  return names;
+}
+
+}  // namespace lego::triage

@@ -1,0 +1,42 @@
+#ifndef LEGO_TRIAGE_ORACLE_SUITE_H_
+#define LEGO_TRIAGE_ORACLE_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/harness.h"
+
+namespace lego::triage {
+
+/// Composite LogicOracle running a fixed list of member oracles in order;
+/// the first member to flag a statement wins (its name/fingerprint land in
+/// the finding, so downstream dedup through the PR-2 signature path keeps
+/// per-oracle identities). Members share one harness-level
+/// Snapshot/RestoreForOracle bracket; each member's own OracleSession is a
+/// nested no-op under it.
+class OracleSuite : public fuzz::LogicOracle {
+ public:
+  /// Builds a suite from a comma-separated spec, e.g. "tlp,norec,clause".
+  /// Known names: tlp, norec, clause. Duplicates collapse (first position
+  /// wins); empty items are ignored. Returns nullptr and fills *error on an
+  /// unknown name or an all-empty spec.
+  static std::unique_ptr<OracleSuite> FromSpec(std::string_view spec,
+                                               std::string* error);
+
+  std::string_view name() const override { return "suite"; }
+
+  bool Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
+             fuzz::LogicBugInfo* out) override;
+
+  /// Member names in check order (for CLI/stat display).
+  std::vector<std::string> MemberNames() const;
+
+ private:
+  std::vector<std::unique_ptr<fuzz::LogicOracle>> oracles_;
+};
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_ORACLE_SUITE_H_

@@ -14,7 +14,8 @@ namespace lego::triage {
 /// different minimized trigger sequences triage as distinct bugs; two
 /// discoveries of the same bug through different noise collapse to one.
 struct BugSignature {
-  std::string bug_id;            // "PG-OPT-01", or "LOGIC-TLP" for oracles
+  std::string bug_id;            // "PG-OPT-01", or "LOGIC-<CHECK>" (e.g.
+                                 // "LOGIC-TLP", "LOGIC-CLAUSE") for oracles
   std::string type_fingerprint;  // e.g. "CREATE RULE>COPY>WITH"
 
   /// Canonical dedup/sort key ("<bug_id>|<type_fingerprint>").

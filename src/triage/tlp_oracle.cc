@@ -2,160 +2,53 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "fuzz/backend.h"
-#include "minidb/eval.h"
-#include "sql/ast_walk.h"
+#include "triage/oracle_common.h"
 #include "util/hash.h"
-#include "util/random.h"
 
 namespace lego::triage {
-namespace {
 
-using sql::ExprKind;
-using sql::ExprPtr;
+using oracle::SyntheticPredicate;
 using sql::SelectStmt;
-
-/// A (qualifier, column) pair usable as the partition predicate's subject.
-struct ColumnCandidate {
-  std::string table;
-  std::string column;
-};
-
-bool IsEligible(const SelectStmt& q) {
-  const sql::SelectCore& core = q.core;
-  if (core.from == nullptr) return false;
-  if (core.distinct || !core.group_by.empty() || core.having != nullptr) {
-    return false;
-  }
-  if (!q.compounds.empty() || q.limit != nullptr || q.offset != nullptr) {
-    return false;
-  }
-  // Aggregates / window functions change row multiplicity or depend on the
-  // whole input; subquery scopes don't (WalkExprs stays out of them).
-  bool blocked = false;
-  auto scan = [&](const sql::Expr& e) {
-    if (e.kind() != ExprKind::kFunctionCall) return;
-    const auto& call = static_cast<const sql::FunctionCall&>(e);
-    if (minidb::Evaluator::IsAggregateFunction(call.name()) ||
-        call.window() != nullptr) {
-      blocked = true;
-    }
-  };
-  for (const sql::SelectItem& item : core.items) {
-    sql::WalkExprs(*item.expr, scan, /*into_subqueries=*/false);
-  }
-  if (core.where != nullptr) {
-    sql::WalkExprs(*core.where, scan, /*into_subqueries=*/false);
-  }
-  return !blocked;
-}
-
-/// Column refs mentioned by the query itself, in first-mention order; falls
-/// back to the base table's schema for column-free queries (SELECT *),
-/// resolved through the backend so the lookup works against forked servers.
-std::vector<ColumnCandidate> CollectColumns(const SelectStmt& q,
-                                            fuzz::DbBackend* backend) {
-  std::vector<ColumnCandidate> out;
-  auto add = [&](const std::string& table, const std::string& column) {
-    for (const ColumnCandidate& c : out) {
-      if (c.table == table && c.column == column) return;
-    }
-    out.push_back({table, column});
-  };
-  auto scan = [&](const sql::Expr& e) {
-    if (e.kind() != ExprKind::kColumnRef) return;
-    const auto& ref = static_cast<const sql::ColumnRef&>(e);
-    add(ref.table(), ref.column());
-  };
-  for (const sql::SelectItem& item : q.core.items) {
-    sql::WalkExprs(*item.expr, scan, /*into_subqueries=*/false);
-  }
-  if (q.core.where != nullptr) {
-    sql::WalkExprs(*q.core.where, scan, /*into_subqueries=*/false);
-  }
-  if (out.empty() && q.core.from->kind() == sql::TableRefKind::kBaseTable) {
-    const auto& base = static_cast<const sql::BaseTableRef&>(*q.core.from);
-    std::optional<std::string> col = backend->FirstColumnOf(base.name());
-    if (col.has_value()) add("", *col);
-  }
-  return out;
-}
-
-/// Q with `pred` conjoined onto its WHERE clause.
-std::unique_ptr<SelectStmt> WithConjunct(const SelectStmt& q, ExprPtr pred) {
-  sql::StmtPtr cloned = q.Clone();
-  auto owned = std::unique_ptr<SelectStmt>(
-      static_cast<SelectStmt*>(cloned.release()));
-  if (owned->core.where == nullptr) {
-    owned->core.where = std::move(pred);
-  } else {
-    owned->core.where = std::make_unique<sql::BinaryExpr>(
-        sql::BinaryOp::kAnd, std::move(owned->core.where), std::move(pred));
-  }
-  return owned;
-}
-
-/// Rows rendered to sortable strings (the backend's canonical "v|v|...|"
-/// encoding); false on error or server death — no verdict either way.
-bool RunRows(fuzz::DbBackend* backend, const SelectStmt& q,
-             std::vector<std::string>* out) {
-  fuzz::StmtOutcome r = backend->Execute(q, /*want_rows=*/true);
-  if (r.status != fuzz::StmtOutcome::Status::kOk) return false;
-  for (std::string& line : r.rows) out->push_back(std::move(line));
-  return true;
-}
-
-}  // namespace
 
 bool TlpOracle::Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
                       fuzz::LogicBugInfo* out) {
   if (stmt.type() != sql::StatementType::kSelect) return false;
   const auto& q = static_cast<const SelectStmt&>(stmt);
-  if (!IsEligible(q)) return false;
+  if (!oracle::IsRowPartitionEligible(q)) return false;
 
   // Nested no-op under the harness's bracket; does the pause/disarm work
   // when the oracle is driven directly (triage replay, tests).
   fuzz::OracleSession session(backend);
-
-  std::vector<ColumnCandidate> columns = CollectColumns(q, backend);
-  if (columns.empty()) return false;
 
   std::string query_sql;
   q.PrintTo(&query_sql);
 
   // phi depends only on the query text, so every worker / rerun / triage
   // replay partitions the same query the same way.
-  Rng rng(Fnv1a64(query_sql));
-  const ColumnCandidate& col = columns[rng.NextBelow(columns.size())];
-  static const sql::BinaryOp kOps[] = {sql::BinaryOp::kLt, sql::BinaryOp::kEq,
-                                       sql::BinaryOp::kGt};
-  const sql::BinaryOp op = kOps[rng.NextBelow(3)];
-  const int64_t k = rng.NextInRange(-8, 8);
+  std::optional<SyntheticPredicate> phi =
+      oracle::ChoosePredicate(q, backend, Fnv1a64(query_sql));
+  if (!phi.has_value()) return false;
 
-  auto phi = [&]() -> ExprPtr {
-    return std::make_unique<sql::BinaryExpr>(
-        op, std::make_unique<sql::ColumnRef>(col.table, col.column),
-        sql::Literal::Int(k));
-  };
-
-  std::unique_ptr<SelectStmt> part_true = WithConjunct(q, phi());
-  std::unique_ptr<SelectStmt> part_false = WithConjunct(
-      q, std::make_unique<sql::UnaryExpr>(sql::UnaryOp::kNot, phi()));
-  std::unique_ptr<SelectStmt> part_null = WithConjunct(
-      q, std::make_unique<sql::IsNullExpr>(phi(), /*negated=*/false));
+  std::unique_ptr<SelectStmt> part_true = oracle::WithConjunct(q, phi->MakeExpr());
+  std::unique_ptr<SelectStmt> part_false =
+      oracle::WithConjunct(q, oracle::Negate(phi->MakeExpr()));
+  std::unique_ptr<SelectStmt> part_null =
+      oracle::WithConjunct(q, oracle::IsNull(phi->MakeExpr()));
 
   std::vector<std::string> original;
   std::vector<std::string> partitioned;
   // Any partition erroring (e.g. the synthesized predicate hits a dialect
   // restriction) means no verdict, not a bug.
-  if (!RunRows(backend, q, &original) ||
-      !RunRows(backend, *part_true, &partitioned) ||
-      !RunRows(backend, *part_false, &partitioned) ||
-      !RunRows(backend, *part_null, &partitioned)) {
+  if (!oracle::RunRows(backend, q, &original) ||
+      !oracle::RunRows(backend, *part_true, &partitioned) ||
+      !oracle::RunRows(backend, *part_false, &partitioned) ||
+      !oracle::RunRows(backend, *part_null, &partitioned)) {
     return false;
   }
 
@@ -163,14 +56,12 @@ bool TlpOracle::Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
   std::sort(partitioned.begin(), partitioned.end());
   if (original == partitioned) return false;
 
-  std::string phi_sql;
-  phi()->PrintTo(&phi_sql);
   out->check = "tlp";
   out->query = query_sql;
   out->detail = "TLP partition mismatch: original " +
                 std::to_string(original.size()) + " row(s), partitions sum " +
                 std::to_string(partitioned.size()) + " row(s); phi = " +
-                phi_sql;
+                phi->ToSql();
   out->fingerprint = Fnv1a64(query_sql, Fnv1a64("tlp"));
   return true;
 }

@@ -1,16 +1,18 @@
 #include "triage/triage.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "persist/io.h"
 #include "sql/statement_type.h"
-#include "triage/tlp_oracle.h"
+#include "triage/oracle_suite.h"
 #include "util/hash.h"
 
 namespace lego::triage {
@@ -39,6 +41,13 @@ std::string CrashReplayKey(const minidb::CrashInfo& crash) {
 
 std::string LogicReplayKey(const fuzz::LogicBugInfo& logic) {
   return "logic:" + logic.check + ":" + Hex16(logic.fingerprint);
+}
+
+/// "tlp" -> "LOGIC-TLP": synthetic bug id for a logic-oracle finding.
+std::string LogicBugId(const std::string& check) {
+  std::string id = "LOGIC-";
+  for (char c : check) id += static_cast<char>(std::toupper(c));
+  return id;
 }
 
 std::string TriggerOf(const TriagedBug& bug, const faults::BugEngine& engine) {
@@ -157,8 +166,12 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
   }
 
   // --- logic captures ---
-  TlpOracle tlp;
-  reducer.harness().set_logic_oracle(&tlp);
+  // Replay under the full suite so captures from any oracle reproduce; the
+  // per-capture `check` key still pins the finding to its original oracle.
+  std::string suite_error;
+  std::unique_ptr<OracleSuite> suite =
+      OracleSuite::FromSpec("tlp,norec,clause", &suite_error);
+  reducer.harness().set_logic_oracle(suite.get());
   for (size_t i = 0; i < result.captured_logic_cases.size(); ++i) {
     ++report.logic_captures;
     const fuzz::TestCase& tc = result.captured_logic_cases[i];
@@ -193,8 +206,7 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
       bug.repro = tc.Clone();
     }
     bug.reduced_statements = static_cast<int>(bug.repro.size());
-    bug.signature =
-        BugSignature{"LOGIC-TLP", TypeFingerprint(bug.repro)};
+    bug.signature = BugSignature{LogicBugId(check), TypeFingerprint(bug.repro)};
     replay_keys.emplace(bug.signature.Key(), replay_key);
     if (!Insert(&report.bugs, &seen, std::move(bug))) ++report.duplicates;
   }

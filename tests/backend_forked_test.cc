@@ -219,10 +219,10 @@ TEST(GoldenCampaignTest, SerialInProcessLegoPglite) {
   options.snapshot_every = 200;
 
   CampaignResult result = RunCampaign(&fuzzer, &harness, options);
-  EXPECT_EQ(result.edges, 460u);
-  EXPECT_EQ(result.affinities.size(), 118u);
-  EXPECT_EQ(result.statements_executed, 4845);
-  EXPECT_EQ(result.statement_errors, 3882);
+  EXPECT_EQ(result.edges, 484u);
+  EXPECT_EQ(result.affinities.size(), 119u);
+  EXPECT_EQ(result.statements_executed, 4833);
+  EXPECT_EQ(result.statement_errors, 3890);
   EXPECT_EQ(result.crashes_total, 0);
 }
 
@@ -236,11 +236,11 @@ TEST(GoldenCampaignTest, SerialInProcessSquirrelMarialite) {
   options.snapshot_every = 150;
 
   CampaignResult result = RunCampaign(&fuzzer, &harness, options);
-  EXPECT_EQ(result.edges, 268u);
+  EXPECT_EQ(result.edges, 264u);
   EXPECT_EQ(result.affinities.size(), 18u);
-  EXPECT_EQ(result.statements_executed, 6585);
-  EXPECT_EQ(result.statement_errors, 989);
-  EXPECT_EQ(result.crashes_total, 93);
+  EXPECT_EQ(result.statements_executed, 6541);
+  EXPECT_EQ(result.statement_errors, 1003);
+  EXPECT_EQ(result.crashes_total, 118);
   EXPECT_EQ(result.bug_ids,
             (std::set<std::string>{"MA-DML-01", "MA-DML-03", "MA-OPT-01",
                                    "MA-OPT-02", "MA-OPT-06", "MA-OPT-07",
