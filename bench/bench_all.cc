@@ -1,7 +1,9 @@
 // One-shot benchmark sweep writing a machine-readable BENCH_<date>.json:
 // campaign throughput (execs/sec) and coverage per fuzzer/profile, per-oracle
-// overhead against a no-oracle baseline, rule-coverage feedback overhead, and
-// raw parser throughput with the grammar-rule probes detached vs armed.
+// overhead against a no-oracle baseline, rule-coverage feedback overhead,
+// concurrent-backend throughput at 1/2/4 sessions (scheduler overhead vs the
+// serial in-process baseline), and raw parser throughput with the
+// grammar-rule probes detached vs armed.
 //
 //   ./bench/bench_all [--quick] [--out FILE]
 //
@@ -48,11 +50,12 @@ struct CampaignRow {
 /// One serial campaign with optional oracle spec / rule feedback, timed.
 CampaignRow TimedCampaign(const std::string& fuzzer_name,
                           const std::string& profile_name, int executions,
-                          const std::string& oracle_spec, bool rule_coverage) {
+                          const std::string& oracle_spec, bool rule_coverage,
+                          const fuzz::BackendOptions& backend = {}) {
   const minidb::DialectProfile* profile =
       minidb::DialectProfile::ByName(profile_name);
   auto fuzzer = MakeFuzzer(fuzzer_name, *profile, kSeed);
-  fuzz::ExecutionHarness harness(*profile);
+  fuzz::ExecutionHarness harness(*profile, backend);
   std::unique_ptr<triage::OracleSuite> suite;
   if (!oracle_spec.empty()) {
     std::string error;
@@ -166,6 +169,29 @@ int main(int argc, char** argv) {
     oracle_rows.emplace_back(spec, row);
   }
 
+  // Concurrent backend: throughput at 1/2/4 session threads plus the
+  // scheduler/locking overhead against the serial in-process baseline.
+  // sessions=1 routes through the plain serial path, so its delta isolates
+  // backend-construction cost; 2/4 add epoch scheduling, row locks, and the
+  // history log.
+  std::vector<std::pair<int, CampaignRow>> concurrent_rows;
+  for (int sessions : {1, 2, 4}) {
+    lego::fuzz::BackendOptions copts;
+    copts.kind = lego::fuzz::BackendKind::kConcurrent;
+    copts.sessions = sessions;
+    copts.concurrency_seed = kSeed;
+    CampaignRow row = TimedCampaign("lego", "pglite", execs, "", false, copts);
+    double overhead =
+        baseline.seconds > 0
+            ? (row.seconds - baseline.seconds) / baseline.seconds * 100.0
+            : 0;
+    std::printf(
+        "  concurrent x%-2d       %7.0f execs/s  (%+.1f%% vs serial, "
+        "%zu edges)\n",
+        sessions, ExecsPerSec(row), overhead, row.edges);
+    concurrent_rows.emplace_back(sessions, row);
+  }
+
   // Rule-coverage feedback overhead (same baseline).
   CampaignRow rules_on = TimedCampaign("lego", "pglite", execs, "", true);
   double rules_overhead =
@@ -233,6 +259,21 @@ int main(int argc, char** argv) {
                  "\"logic_flags\": %d}%s\n",
                  spec.c_str(), r.seconds, ExecsPerSec(r), overhead,
                  r.logic_flags, i + 1 < oracle_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"concurrent\": [\n");
+  for (size_t i = 0; i < concurrent_rows.size(); ++i) {
+    const auto& [sessions, r] = concurrent_rows[i];
+    double overhead =
+        baseline.seconds > 0
+            ? (r.seconds - baseline.seconds) / baseline.seconds * 100.0
+            : 0;
+    std::fprintf(f,
+                 "    {\"sessions\": %d, \"seconds\": %.3f, "
+                 "\"execs_per_sec\": %.1f, \"scheduler_overhead_pct\": "
+                 "%.1f, \"edges\": %zu}%s\n",
+                 sessions, r.seconds, ExecsPerSec(r), overhead, r.edges,
+                 i + 1 < concurrent_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,

@@ -4,8 +4,8 @@
 //   ./examples/fuzz_campaign_cli [profile] [fuzzer] [executions] [seed]
 //                                [--workers N] [--reduce] [--repro-dir DIR]
 //                                [--oracle LIST] [--rule-coverage]
-//                                [--backend=inproc|forked]
-//                                [--max-stmt-ms N]
+//                                [--backend=inproc|forked|concurrent]
+//                                [--max-stmt-ms N] [--sessions N]
 //
 //   profile : pglite | mylite | marialite | comdlite       (default pglite)
 //   fuzzer  : lego | lego- | squirrel | sqlancer | sqlsmith (default lego)
@@ -18,9 +18,17 @@
 //   --tlp       : shorthand for --oracle=tlp (combines: appends to LIST)
 //   --rule-coverage : grammar-rule coverage as a secondary feedback signal
 //                 (parser production hit-set; rare-rule corpus weighting)
-//   --backend B : execution backend — inproc (embedded minidb) or forked
+//   --backend B : execution backend — inproc (embedded minidb), forked,
+//                 or concurrent (N true session threads per case under a
+//                 seeded deterministic interleaving scheduler)
 //                 (crash-isolated child per worker)         (default inproc)
 //   --max-stmt-ms N : forked only — kill a statement after N ms wall clock
+//   --sessions N : concurrent only — session threads per test case
+//                 (default 2); the per-case interleaving seed is derived
+//                 from the campaign seed and execution index
+//   --planted-lost-update / --planted-dirty-read : test-only; plant an
+//                 isolation defect in the concurrent lock discipline that
+//                 the iso oracle should catch (demo of --oracle=iso)
 //                 and record it as a hang                   (default off)
 //   --reduce    : ddmin-minimize each unique crash after the campaign
 //   --repro-dir DIR : write one deterministic .sql repro per unique bug
@@ -120,7 +128,8 @@ int main(int argc, char** argv) {
       }
       std::optional<fuzz::BackendKind> kind = fuzz::ParseBackendKind(value);
       if (!kind.has_value()) {
-        std::fprintf(stderr, "unknown backend '%s' (inproc | forked)\n",
+        std::fprintf(stderr,
+                     "unknown backend '%s' (inproc | forked | concurrent)\n",
                      value.c_str());
         return 1;
       }
@@ -133,6 +142,18 @@ int main(int argc, char** argv) {
       backend.max_stmt_ms = std::atoi(argv[++i]);
     } else if (arg.rfind("--max-stmt-ms=", 0) == 0) {
       backend.max_stmt_ms = std::atoi(arg.c_str() + 14);
+    } else if (arg == "--sessions") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--sessions needs a value\n");
+        return 1;
+      }
+      backend.sessions = std::atoi(argv[++i]);
+    } else if (arg.rfind("--sessions=", 0) == 0) {
+      backend.sessions = std::atoi(arg.c_str() + 11);
+    } else if (arg == "--planted-lost-update") {
+      backend.planted_lost_update = true;
+    } else if (arg == "--planted-dirty-read") {
+      backend.planted_dirty_read = true;
     } else if (arg == "--planted-crash") {
       planted_crash = true;
     } else if (arg == "--planted-hang") {
@@ -275,6 +296,9 @@ int main(int argc, char** argv) {
   int executions = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 10000;
   uint64_t seed =
       pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 1;
+  // Interleavings are part of the campaign's deterministic identity: the
+  // concurrent backend derives each case's scheduler seed from this.
+  backend.concurrency_seed = seed;
 
   const minidb::DialectProfile* profile =
       minidb::DialectProfile::ByName(profile_name);
@@ -396,6 +420,11 @@ int main(int argc, char** argv) {
                 fuzz::BackendKindName(backend.kind).data());
     if (backend.max_stmt_ms > 0) {
       std::printf(" (watchdog %d ms)", backend.max_stmt_ms);
+    }
+    if (backend.kind == fuzz::BackendKind::kConcurrent) {
+      std::printf(" (%d sessions)", backend.sessions);
+      if (backend.planted_lost_update) std::printf(" (planted lost-update)");
+      if (backend.planted_dirty_read) std::printf(" (planted dirty-read)");
     }
     if (backend.max_child_mem_mb > 0) {
       std::printf(" (mem cap %d MB)", backend.max_child_mem_mb);

@@ -1,0 +1,176 @@
+#ifndef LEGO_CONCURRENCY_ENGINE_H_
+#define LEGO_CONCURRENCY_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "concurrency/history.h"
+#include "concurrency/scheduler.h"
+#include "minidb/database.h"
+#include "minidb/heap_table.h"
+#include "minidb/lock_manager.h"
+#include "sql/ast.h"
+
+namespace lego::concurrency {
+
+/// Thrown inside a session thread when its transaction must abort (deadlock
+/// victim or forced stall-break). Unwinds cleanly through the executor —
+/// minidb code is exception-neutral — and is caught at the engine's
+/// statement loop, which rolls back via the undo log.
+struct TxnAbortException {};
+
+/// Drives N sessions as real threads over ONE shared minidb::Database,
+/// token-serialized by the EpochScheduler so exactly one session executes at
+/// a time and the interleaving is a pure function of the scheduler seed.
+///
+/// The engine hooks the storage layer twice:
+///  - as minidb::RowObserver (thread-local per session thread): every row
+///    read/write is a schedule point and a strict-2PL lock acquisition
+///    (S for SELECT reads, X for UPDATE/DELETE reads and all mutations),
+///    an undo-log append, and a history event;
+///  - as minidb::TxnHook (installed on the Database): BEGIN/COMMIT/ROLLBACK
+///    run the engine's transactions (locks + undo) instead of minidb's
+///    serial snapshot transactions, which cannot nest across sessions.
+///
+/// Session state (the Database's SessionState) is swapped in/out at every
+/// token handoff, so each session observes its own settings/trace while the
+/// shared catalog carries the data. DDL is screened at the statement level
+/// and the catalog is additionally frozen by the backend, so the set of
+/// tables/indexes is fixed for the whole concurrent phase.
+class ConcurrentEngine : public minidb::TxnHook, public minidb::RowObserver {
+ public:
+  struct Options {
+    int sessions = 2;
+    uint64_t seed = 1;
+    /// Planted defect: UPDATE/DELETE reads take S instead of X and write
+    /// mutations skip their X locks — the classic unprotected
+    /// read-modify-write (lost update).
+    bool planted_lost_update = false;
+    /// Planted defect: S-mode read locking is skipped entirely, so reads
+    /// observe uncommitted (dirty) versions.
+    bool planted_dirty_read = false;
+    /// Invoked at the start of each session thread (sid) — the backend
+    /// installs its thread-local coverage map here.
+    std::function<void(int)> on_thread_start;
+  };
+
+  struct RunStats {
+    int executed = 0;       // statements that ran without error
+    int errors = 0;         // statement-level errors (incl. rejected types)
+    int deadlocks = 0;      // transactions aborted as deadlock victims
+    bool crashed = false;
+    std::optional<minidb::CrashInfo> crash;
+    uint64_t trace_digest = 0;
+    uint64_t history_digest = 0;
+    int epochs = 0;
+    int switches = 0;
+  };
+
+  ConcurrentEngine(minidb::Database* db, Options options);
+  ~ConcurrentEngine() override;
+
+  ConcurrentEngine(const ConcurrentEngine&) = delete;
+  ConcurrentEngine& operator=(const ConcurrentEngine&) = delete;
+
+  /// Runs one script per session concurrently (scripts are parsed
+  /// beforehand; statements are borrowed, not owned). Blocks until every
+  /// session finishes or a crash aborts the run.
+  RunStats Run(const std::vector<std::vector<const sql::Statement*>>& scripts);
+
+  const History& history() const { return history_; }
+
+  // --- minidb::TxnHook -----------------------------------------------------
+  Status Begin(minidb::Database& db) override;
+  Status Commit(minidb::Database& db) override;
+  Status Rollback(minidb::Database& db) override;
+  Status Savepoint(minidb::Database& db, const std::string& n) override;
+  Status Release(minidb::Database& db, const std::string& n) override;
+  Status RollbackTo(minidb::Database& db, const std::string& n) override;
+
+  // --- minidb::RowObserver -------------------------------------------------
+  void OnInsert(minidb::HeapTable* table) override;
+  void OnUpdate(minidb::HeapTable* table, minidb::RowId id) override;
+  void OnDelete(minidb::HeapTable* table, minidb::RowId id) override;
+  void OnRead(const minidb::HeapTable* table, minidb::RowId id) override;
+
+ private:
+  struct UndoRecord {
+    enum class Kind : uint8_t { kInsert, kUpdate, kDelete };
+    Kind kind = Kind::kInsert;
+    std::string table;
+    minidb::HeapTable* heap = nullptr;
+    minidb::RowId rid;
+    minidb::Row old_row;        // update/delete pre-image
+    uint64_t old_version = 0;   // versions_ entry before this write
+  };
+
+  struct SessionCtx {
+    int sid = 0;
+    std::vector<const sql::Statement*> script;
+    minidb::SessionState db_session;  // parked session state (swap slot)
+    bool swapped_in = false;
+
+    uint64_t txn = 0;
+    bool txn_open = false;
+    bool in_explicit = false;
+    sql::StatementType current_type = sql::StatementType::kSelect;
+    std::vector<UndoRecord> undo;
+
+    int executed = 0;
+    int errors = 0;
+    int deadlocks = 0;
+  };
+
+  static bool AllowedInSession(sql::StatementType type);
+
+  /// Calling session thread's context (set for the thread's lifetime).
+  static thread_local SessionCtx* tls_ctx_;
+
+  SessionCtx& Ctx();                // calling thread's session
+  void SessionMain(SessionCtx* ctx);
+  void ExecuteOne(SessionCtx& ctx, const sql::Statement& stmt);
+
+  void SwapIn(SessionCtx& ctx);
+  void SwapOut(SessionCtx& ctx);
+  /// Statement/row-op schedule point: release token, park, resume.
+  void SchedulePoint(SessionCtx& ctx);
+
+  void BeginTxn(SessionCtx& ctx);
+  void CommitTxn(SessionCtx& ctx);
+  void RollbackTxn(SessionCtx& ctx);
+  void ApplyUndo(SessionCtx& ctx);
+  void WakeGranted(const std::vector<uint64_t>& txns);
+
+  /// Strict-2PL acquisition with scheduler integration; throws
+  /// TxnAbortException on deadlock / forced stall-break.
+  void AcquireLock(SessionCtx& ctx, const minidb::LockKey& key,
+                   minidb::LockMode mode);
+
+  const std::string& TableName(const minidb::HeapTable* heap);
+  static std::string KeyString(const std::string& table, minidb::RowId id);
+
+  minidb::Database* db_;
+  Options options_;
+  EpochScheduler scheduler_;
+  minidb::LockManager locks_;
+  History history_;
+
+  std::vector<SessionCtx> ctxs_;
+  std::map<uint64_t, int> txn_sid_;
+  uint64_t next_txn_ = 1;
+  uint64_t next_version_ = 1;
+  std::map<std::string, std::map<minidb::RowId, uint64_t>> versions_;
+  std::map<const minidb::HeapTable*, std::string> table_names_;
+
+  bool crashed_ = false;
+  std::optional<minidb::CrashInfo> crash_;
+};
+
+}  // namespace lego::concurrency
+
+#endif  // LEGO_CONCURRENCY_ENGINE_H_

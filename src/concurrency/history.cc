@@ -1,0 +1,49 @@
+#include "concurrency/history.h"
+
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace lego::concurrency {
+namespace {
+
+const char* TypeName(Event::Type t) {
+  switch (t) {
+    case Event::Type::kBegin: return "begin";
+    case Event::Type::kRead: return "read";
+    case Event::Type::kWrite: return "write";
+    case Event::Type::kCommit: return "commit";
+    case Event::Type::kAbort: return "abort";
+  }
+  return "?";
+}
+
+}  // namespace
+
+uint64_t History::Digest() const {
+  uint64_t h = Fnv1a64("history");
+  for (const Event& e : events_) {
+    h = HashMix(h, static_cast<uint64_t>(e.type));
+    h = HashMix(h, static_cast<uint64_t>(e.session));
+    h = HashMix(h, e.txn);
+    h = HashMix(h, Fnv1a64(e.key));
+    h = HashMix(h, e.version);
+    h = HashMix(h, e.prev_version);
+  }
+  return h;
+}
+
+std::string History::Render() const {
+  std::ostringstream out;
+  for (const Event& e : events_) {
+    out << "s" << e.session << " t" << e.txn << " " << TypeName(e.type);
+    if (!e.key.empty()) {
+      out << " " << e.key << " v" << e.version;
+      if (e.type == Event::Type::kWrite) out << " prev" << e.prev_version;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lego::concurrency

@@ -1,0 +1,72 @@
+#ifndef LEGO_CONCURRENCY_HISTORY_H_
+#define LEGO_CONCURRENCY_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lego::concurrency {
+
+/// One entry of an execution history, in the style of Elle/Adya: the total
+/// order of transaction events the token-serialized engine actually
+/// performed, with version observations attached to reads and writes.
+///
+/// Versions are global write timestamps: version 0 is the initial (setup)
+/// state of every key; each write produces a fresh version and records the
+/// version it overwrote (`prev_version`), so the checker can reconstruct
+/// per-key version chains without trusting commit order. Rolled-back writes
+/// have their versions restored, so `prev_version` pointers among committed
+/// writes always skip aborted versions.
+struct Event {
+  enum class Type : uint8_t { kBegin, kRead, kWrite, kCommit, kAbort };
+
+  Type type = Type::kBegin;
+  int session = 0;
+  uint64_t txn = 0;
+  std::string key;             // "table:page:slot"; empty for txn markers
+  uint64_t version = 0;        // version observed (read) / produced (write)
+  uint64_t prev_version = 0;   // writes: version overwritten
+};
+
+/// Append-only event log for one concurrent case. Only the scheduler's token
+/// holder appends, so no internal locking is needed and the event order is
+/// exactly the serialized execution order.
+class History {
+ public:
+  void Begin(int session, uint64_t txn) {
+    events_.push_back({Event::Type::kBegin, session, txn, {}, 0, 0});
+  }
+  void Read(int session, uint64_t txn, std::string key, uint64_t version) {
+    events_.push_back(
+        {Event::Type::kRead, session, txn, std::move(key), version, 0});
+  }
+  void Write(int session, uint64_t txn, std::string key, uint64_t version,
+             uint64_t prev_version) {
+    events_.push_back({Event::Type::kWrite, session, txn, std::move(key),
+                       version, prev_version});
+  }
+  void Commit(int session, uint64_t txn) {
+    events_.push_back({Event::Type::kCommit, session, txn, {}, 0, 0});
+  }
+  void Abort(int session, uint64_t txn) {
+    events_.push_back({Event::Type::kAbort, session, txn, {}, 0, 0});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Order- and content-sensitive hash of the whole log; the determinism
+  /// tests compare this across reruns and resume boundaries.
+  uint64_t Digest() const;
+
+  /// Human-readable rendering, one event per line (repro artifacts, tests).
+  std::string Render() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace lego::concurrency
+
+#endif  // LEGO_CONCURRENCY_HISTORY_H_

@@ -1,0 +1,289 @@
+#include "concurrency/history_checker.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace lego::concurrency {
+namespace {
+
+struct TxnInfo {
+  bool committed = false;          // no commit event => treated as aborted
+  size_t commit_idx = 0;           // event index of the commit
+  std::map<std::string, size_t> first_write;  // key -> event index
+  std::map<std::string, std::set<uint64_t>> writes;  // key -> versions
+};
+
+struct Extract {
+  std::map<uint64_t, TxnInfo> txns;
+  std::map<uint64_t, uint64_t> writer_of;     // version -> txn (version > 0)
+  std::map<uint64_t, size_t> write_idx;       // version -> event index
+  // last (final) version each txn produced per key
+  std::map<uint64_t, std::map<std::string, uint64_t>> final_version;
+};
+
+Extract Scan(const History& h) {
+  Extract x;
+  const auto& ev = h.events();
+  for (size_t i = 0; i < ev.size(); ++i) {
+    const Event& e = ev[i];
+    TxnInfo& t = x.txns[e.txn];
+    switch (e.type) {
+      case Event::Type::kBegin:
+      case Event::Type::kAbort:
+        break;
+      case Event::Type::kCommit:
+        t.committed = true;
+        t.commit_idx = i;
+        break;
+      case Event::Type::kRead:
+        break;
+      case Event::Type::kWrite:
+        if (!t.first_write.count(e.key)) t.first_write[e.key] = i;
+        t.writes[e.key].insert(e.version);
+        x.writer_of[e.version] = e.txn;
+        x.write_idx[e.version] = i;
+        x.final_version[e.txn][e.key] = e.version;
+        break;
+    }
+  }
+  return x;
+}
+
+bool Committed(const Extract& x, uint64_t txn) {
+  auto it = x.txns.find(txn);
+  return it != x.txns.end() && it->second.committed;
+}
+
+std::string TxnList(const std::vector<uint64_t>& cycle) {
+  std::ostringstream out;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i) out << " -> ";
+    out << "t" << cycle[i];
+  }
+  return out.str();
+}
+
+/// Finds any cycle in `edges` (adjacency per txn); returns it as a txn list
+/// (closing node repeated), or empty if acyclic.
+std::vector<uint64_t> FindCycle(
+    const std::map<uint64_t, std::set<uint64_t>>& edges) {
+  std::map<uint64_t, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<uint64_t> path;
+  std::vector<uint64_t> found;
+
+  std::function<bool(uint64_t)> dfs = [&](uint64_t u) {
+    color[u] = 1;
+    path.push_back(u);
+    auto it = edges.find(u);
+    if (it != edges.end()) {
+      for (uint64_t v : it->second) {
+        if (color[v] == 1) {
+          // Close the cycle from the first occurrence of v on the path.
+          size_t start = 0;
+          while (path[start] != v) ++start;
+          found.assign(path.begin() + static_cast<ptrdiff_t>(start),
+                       path.end());
+          found.push_back(v);
+          return true;
+        }
+        if (color[v] == 0 && dfs(v)) return true;
+      }
+    }
+    color[u] = 2;
+    path.pop_back();
+    return false;
+  };
+  for (const auto& [u, _] : edges) {
+    if (color[u] == 0 && dfs(u)) return found;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<Anomaly> CheckHistory(const History& h) {
+  const auto& ev = h.events();
+  Extract x = Scan(h);
+
+  // --- iso-lost-update -----------------------------------------------------
+  // Two distinct committed transactions each read the same version v of key
+  // k *before their own first write to k* (the read that feeds the RMW), and
+  // both wrote k. Under correct X-locking the second writer's read must see
+  // the first writer's committed version, so this cannot happen.
+  {
+    // (key, version) -> txns that performed a pre-write read of it
+    std::map<std::pair<std::string, uint64_t>, std::set<uint64_t>> rmw_reads;
+    for (size_t i = 0; i < ev.size(); ++i) {
+      const Event& e = ev[i];
+      if (e.type != Event::Type::kRead) continue;
+      if (!Committed(x, e.txn)) continue;
+      const TxnInfo& t = x.txns[e.txn];
+      auto fw = t.first_write.find(e.key);
+      if (fw == t.first_write.end() || i >= fw->second) continue;
+      auto& readers = rmw_reads[{e.key, e.version}];
+      readers.insert(e.txn);
+      if (readers.size() >= 2) {
+        std::ostringstream d;
+        d << "committed txns ";
+        for (uint64_t txn : readers) d << "t" << txn << " ";
+        d << "each read version " << e.version << " of " << e.key
+          << " and then wrote it";
+        return Anomaly{"iso-lost-update", e.key, d.str()};
+      }
+    }
+  }
+
+  // --- iso-dirty-read ------------------------------------------------------
+  // A committed transaction observed a version before its writer committed.
+  for (size_t i = 0; i < ev.size(); ++i) {
+    const Event& e = ev[i];
+    if (e.type != Event::Type::kRead || e.version == 0) continue;
+    if (!Committed(x, e.txn)) continue;
+    auto w = x.writer_of.find(e.version);
+    if (w == x.writer_of.end() || w->second == e.txn) continue;
+    if (!Committed(x, w->second)) continue;  // aborted writer => iso-g1a
+    if (i < x.txns[w->second].commit_idx) {
+      std::ostringstream d;
+      d << "t" << e.txn << " read version " << e.version << " of " << e.key
+        << " before its writer t" << w->second << " committed";
+      return Anomaly{"iso-dirty-read", e.key, d.str()};
+    }
+  }
+
+  // --- iso-g1a (aborted read) ----------------------------------------------
+  for (const Event& e : ev) {
+    if (e.type != Event::Type::kRead || e.version == 0) continue;
+    if (!Committed(x, e.txn)) continue;
+    auto w = x.writer_of.find(e.version);
+    if (w == x.writer_of.end() || w->second == e.txn) continue;
+    if (!Committed(x, w->second)) {
+      std::ostringstream d;
+      d << "t" << e.txn << " read version " << e.version << " of " << e.key
+        << " written by aborted t" << w->second;
+      return Anomaly{"iso-g1a", e.key, d.str()};
+    }
+  }
+
+  // --- iso-g1b (intermediate read) -----------------------------------------
+  for (const Event& e : ev) {
+    if (e.type != Event::Type::kRead || e.version == 0) continue;
+    if (!Committed(x, e.txn)) continue;
+    auto w = x.writer_of.find(e.version);
+    if (w == x.writer_of.end() || w->second == e.txn) continue;
+    if (!Committed(x, w->second)) continue;
+    auto fv = x.final_version[w->second].find(e.key);
+    if (fv != x.final_version[w->second].end() && fv->second != e.version) {
+      std::ostringstream d;
+      d << "t" << e.txn << " read intermediate version " << e.version
+        << " of " << e.key << " (t" << w->second << "'s final is v"
+        << fv->second << ")";
+      return Anomaly{"iso-g1b", e.key, d.str()};
+    }
+  }
+
+  // --- iso-non-repeatable-read ---------------------------------------------
+  // One committed transaction read the same key twice (before any write of
+  // its own to it) and saw different versions.
+  {
+    std::map<std::pair<uint64_t, std::string>, uint64_t> first_seen;
+    for (size_t i = 0; i < ev.size(); ++i) {
+      const Event& e = ev[i];
+      if (e.type != Event::Type::kRead) continue;
+      if (!Committed(x, e.txn)) continue;
+      const TxnInfo& t = x.txns[e.txn];
+      auto fw = t.first_write.find(e.key);
+      if (fw != t.first_write.end() && i >= fw->second) continue;
+      auto [it, inserted] = first_seen.insert({{e.txn, e.key}, e.version});
+      if (!inserted && it->second != e.version) {
+        std::ostringstream d;
+        d << "t" << e.txn << " read " << e.key << " twice: v" << it->second
+          << " then v" << e.version;
+        return Anomaly{"iso-non-repeatable-read", e.key, d.str()};
+      }
+    }
+  }
+
+  // --- dependency edges among committed transactions -----------------------
+  std::map<uint64_t, std::set<uint64_t>> ww_wr;
+  std::map<uint64_t, std::set<uint64_t>> all_edges;
+  // rw edges with their key, for write-skew pairing: (reader, writer) -> keys
+  std::map<std::pair<uint64_t, uint64_t>, std::set<std::string>> rw_keys;
+
+  for (const Event& e : ev) {
+    if (e.type == Event::Type::kWrite && Committed(x, e.txn) &&
+        e.prev_version != 0) {
+      // ww: overwrote another committed txn's version.
+      auto w = x.writer_of.find(e.prev_version);
+      if (w != x.writer_of.end() && w->second != e.txn &&
+          Committed(x, w->second)) {
+        ww_wr[w->second].insert(e.txn);
+        all_edges[w->second].insert(e.txn);
+      }
+    }
+    if (e.type == Event::Type::kRead && Committed(x, e.txn) &&
+        e.version != 0) {
+      // wr: read another committed txn's version.
+      auto w = x.writer_of.find(e.version);
+      if (w != x.writer_of.end() && w->second != e.txn &&
+          Committed(x, w->second)) {
+        ww_wr[w->second].insert(e.txn);
+        all_edges[w->second].insert(e.txn);
+      }
+    }
+    if (e.type == Event::Type::kRead && Committed(x, e.txn)) {
+      // rw: someone committed-wrote the immediate successor of the version
+      // this txn read.
+      for (const auto& [version, txn] : x.writer_of) {
+        if (txn == e.txn || !Committed(x, txn)) continue;
+        const auto& evw = ev[x.write_idx.at(version)];
+        if (evw.key == e.key && evw.prev_version == e.version) {
+          all_edges[e.txn].insert(txn);
+          rw_keys[{e.txn, txn}].insert(e.key);
+        }
+      }
+    }
+  }
+
+  // --- iso-g1c: cycle in ww ∪ wr -------------------------------------------
+  if (auto cycle = FindCycle(ww_wr); !cycle.empty()) {
+    return Anomaly{"iso-g1c", "", "ww/wr dependency cycle: " + TxnList(cycle)};
+  }
+
+  // --- iso-write-skew: pure rw 2-cycle over distinct keys ------------------
+  for (const auto& [pair, keys1] : rw_keys) {
+    auto [t1, t2] = pair;
+    if (t1 >= t2) continue;  // examine each unordered pair once
+    auto back = rw_keys.find({t2, t1});
+    if (back == rw_keys.end()) continue;
+    for (const std::string& k1 : keys1) {
+      // Exclude keys the reader itself wrote (that shape is lost-update
+      // territory, caught above).
+      if (x.txns[t1].writes.count(k1)) continue;
+      for (const std::string& k2 : back->second) {
+        if (k1 == k2) continue;
+        if (x.txns[t2].writes.count(k2)) continue;
+        std::ostringstream d;
+        d << "t" << t1 << " read " << k1 << " / wrote " << k2 << "; t" << t2
+          << " read " << k2 << " / wrote " << k1 << "; both committed";
+        return Anomaly{"iso-write-skew", k1, d.str()};
+      }
+    }
+  }
+
+  // --- iso-g2: cycle in ww ∪ wr ∪ rw with at least one rw edge -------------
+  // Pure ww∪wr cycles were returned as iso-g1c above, so any cycle here
+  // necessarily uses an rw (anti-dependency) edge.
+  if (auto cycle = FindCycle(all_edges); !cycle.empty()) {
+    return Anomaly{"iso-g2",
+                   "", "dependency cycle with anti-dependency: " +
+                           TxnList(cycle)};
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace lego::concurrency

@@ -1,0 +1,46 @@
+#ifndef LEGO_CONCURRENCY_HISTORY_CHECKER_H_
+#define LEGO_CONCURRENCY_HISTORY_CHECKER_H_
+
+#include <optional>
+#include <string>
+
+#include "concurrency/history.h"
+
+namespace lego::concurrency {
+
+/// An isolation anomaly found in a history. `id` is the lowercase anomaly
+/// class ("iso-dirty-read", "iso-lost-update", ...); the oracle layer
+/// uppercases it into the campaign-facing `ISO-<ANOMALY>` bug id.
+struct Anomaly {
+  std::string id;
+  std::string key;     // representative key involved (may be empty for cycles)
+  std::string detail;  // human-readable evidence
+};
+
+/// Checks a history against serializability-adjacent anomaly classes and
+/// returns the first (most specific) one found, in this fixed order:
+///
+///   iso-lost-update          two committed txns both read version v of k and
+///                            both wrote k (the classic unprotected RMW race)
+///   iso-dirty-read           a committed txn observed a version before its
+///                            writer committed
+///   iso-g1a                  aborted read: observed a version whose writer
+///                            rolled back
+///   iso-g1b                  intermediate read: observed a non-final version
+///                            of another txn's writes to a key
+///   iso-non-repeatable-read  one txn read k twice and saw different versions
+///                            it did not write itself
+///   iso-g1c                  cycle in ww ∪ wr among committed txns
+///   iso-write-skew           pure rw 2-cycle over distinct keys
+///   iso-g2                   cycle in ww ∪ wr ∪ rw with at least one rw edge
+///
+/// Lost update precedes dirty read deliberately: the planted lost-update
+/// defect (skipped X locks) also produces dirty-read observations, and the
+/// more specific classification should win. The checker is pure — it never
+/// consults the engine, so it can be conformance-tested on hand-written
+/// histories.
+std::optional<Anomaly> CheckHistory(const History& history);
+
+}  // namespace lego::concurrency
+
+#endif  // LEGO_CONCURRENCY_HISTORY_CHECKER_H_

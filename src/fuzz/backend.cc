@@ -1,5 +1,6 @@
 #include "fuzz/backend.h"
 
+#include "fuzz/backend_concurrent.h"
 #include "fuzz/backend_forked.h"
 #include "fuzz/backend_inproc.h"
 
@@ -8,6 +9,7 @@ namespace lego::fuzz {
 std::optional<BackendKind> ParseBackendKind(std::string_view name) {
   if (name == "inproc") return BackendKind::kInProcess;
   if (name == "forked") return BackendKind::kForked;
+  if (name == "concurrent") return BackendKind::kConcurrent;
   return std::nullopt;
 }
 
@@ -15,6 +17,7 @@ std::string_view BackendKindName(BackendKind kind) {
   switch (kind) {
     case BackendKind::kInProcess: return "inproc";
     case BackendKind::kForked: return "forked";
+    case BackendKind::kConcurrent: return "concurrent";
   }
   return "?";
 }
@@ -26,6 +29,8 @@ std::unique_ptr<DbBackend> MakeBackend(const minidb::DialectProfile& profile,
       return std::make_unique<InProcessBackend>(profile);
     case BackendKind::kForked:
       return std::make_unique<ForkedBackend>(profile, options);
+    case BackendKind::kConcurrent:
+      return std::make_unique<ConcurrentBackend>(profile, options);
   }
   return nullptr;
 }

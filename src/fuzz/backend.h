@@ -26,6 +26,11 @@ enum class BackendKind {
   /// shared-memory coverage export, and automatic respawn — the paper's
   /// "crash kills the server, not the fuzzer" process model.
   kForked,
+  /// minidb in-process with N true concurrent session threads per test
+  /// case, token-serialized by a seeded epoch scheduler (every interleaving
+  /// replays bit-identically from its seed) with row-level S/X locking and
+  /// an isolation-anomaly history log.
+  kConcurrent,
 };
 
 struct BackendOptions {
@@ -49,10 +54,23 @@ struct BackendOptions {
   /// campaign then parks the worker and redistributes its remaining budget
   /// at the next round barrier instead of spinning or aborting.
   int spawn_failure_limit = 8;
+  /// Concurrent only: number of session threads per test case (>= 2 for
+  /// actual concurrency; 1 degrades to serial in-process execution).
+  int sessions = 2;
+  /// Concurrent only: campaign-level interleaving seed. The per-case
+  /// scheduler seed is HashMix(concurrency_seed, execution index), so every
+  /// case replays its interleaving bit-identically — including across a
+  /// checkpoint/resume boundary, since the execution counter is persisted.
+  uint64_t concurrency_seed = 1;
+  /// Concurrent only, planted isolation defects for oracle validation:
+  /// skip X locks on writes (lost updates) / skip S locks on reads (dirty
+  /// reads).
+  bool planted_lost_update = false;
+  bool planted_dirty_read = false;
 };
 
-/// Parses "inproc" / "forked" (as accepted by --backend=). Returns nullopt
-/// for anything else.
+/// Parses "inproc" / "forked" / "concurrent" (as accepted by --backend=).
+/// Returns nullopt for anything else.
 std::optional<BackendKind> ParseBackendKind(std::string_view name);
 std::string_view BackendKindName(BackendKind kind);
 

@@ -1,0 +1,72 @@
+#include "fuzz/backend_concurrent.h"
+
+#include <utility>
+
+#include "coverage/coverage.h"
+#include "minidb/catalog.h"
+
+namespace lego::fuzz {
+
+ConcurrentBackend::ConcurrentBackend(const minidb::DialectProfile& profile,
+                                     const BackendOptions& options)
+    : InProcessBackend(profile), options_(options) {}
+
+ConcurrentBackend::CaseResult ConcurrentBackend::RunCase(
+    const MultiSessionCase& mcase, uint64_t seed) {
+  CaseResult result;
+
+  // Phase 1 — serial setup: schema/DCL/COPY statements run through the
+  // ordinary in-process path (fault hook armed, coverage collecting).
+  for (const sql::StmtPtr& stmt : mcase.setup.statements()) {
+    StmtOutcome out = Execute(*stmt, /*want_rows=*/false);
+    if (out.status == StmtOutcome::Status::kOk) {
+      ++result.setup_executed;
+    } else {
+      ++result.setup_errors;
+    }
+    if (out.server_died()) {
+      result.stats.crashed = true;
+      result.stats.crash = out.crash;
+      return result;
+    }
+  }
+
+  // Phase 2 — concurrent sessions over the frozen catalog. All session
+  // threads route probe hits into this thread's run map; the scheduler's
+  // run token serializes them, so the map only ever has one writer.
+  concurrency::ConcurrentEngine::Options opts;
+  opts.sessions = static_cast<int>(mcase.sessions.size());
+  opts.seed = seed;
+  opts.planted_lost_update = options_.planted_lost_update;
+  opts.planted_dirty_read = options_.planted_dirty_read;
+  cov::CoverageMap* run_map = cov::CoverageRuntime::active_map();
+  opts.on_thread_start = [run_map](int) {
+    cov::CoverageRuntime::SetActiveMap(run_map);
+  };
+
+  std::vector<std::vector<const sql::Statement*>> scripts;
+  scripts.reserve(mcase.sessions.size());
+  for (const TestCase& session : mcase.sessions) {
+    std::vector<const sql::Statement*> script;
+    script.reserve(session.statements().size());
+    for (const sql::StmtPtr& stmt : session.statements()) {
+      script.push_back(stmt.get());
+    }
+    scripts.push_back(std::move(script));
+  }
+
+  minidb::Database& db = database();
+  db.catalog().set_ddl_frozen(true);
+  engine_ = std::make_unique<concurrency::ConcurrentEngine>(&db,
+                                                            std::move(opts));
+  result.stats = engine_->Run(scripts);
+  db.catalog().set_ddl_frozen(false);
+  return result;
+}
+
+const concurrency::History& ConcurrentBackend::history() const {
+  static const concurrency::History kEmpty;
+  return engine_ != nullptr ? engine_->history() : kEmpty;
+}
+
+}  // namespace lego::fuzz

@@ -1,0 +1,50 @@
+#ifndef LEGO_FUZZ_BACKEND_CONCURRENT_H_
+#define LEGO_FUZZ_BACKEND_CONCURRENT_H_
+
+#include <memory>
+
+#include "concurrency/engine.h"
+#include "concurrency/history.h"
+#include "fuzz/backend_inproc.h"
+#include "fuzz/multi_case.h"
+
+namespace lego::fuzz {
+
+/// In-process backend that executes N-session cases concurrently: the setup
+/// script of a MultiSessionCase runs serially (DDL allowed), then the
+/// catalog is frozen and one thread per session drives the shared engine
+/// under the seeded epoch scheduler with strict-2PL row locking. Everything
+/// a serial harness needs (Reset / Execute / oracle bracket / coverage
+/// scope) is inherited from InProcessBackend, so single-session execution
+/// through this backend is the ordinary serial path.
+class ConcurrentBackend : public InProcessBackend {
+ public:
+  ConcurrentBackend(const minidb::DialectProfile& profile,
+                    const BackendOptions& options);
+
+  std::string_view name() const override { return "concurrent"; }
+
+  struct CaseResult {
+    concurrency::ConcurrentEngine::RunStats stats;
+    int setup_executed = 0;
+    int setup_errors = 0;
+  };
+
+  /// Runs one split case under interleaving seed `seed`. Caller must have
+  /// called Reset() first (fresh engine state + backend setup script); the
+  /// case's own setup statements then run serially before the session
+  /// threads start. The history stays valid until the next RunCase/Reset.
+  CaseResult RunCase(const MultiSessionCase& mcase, uint64_t seed);
+
+  const concurrency::History& history() const;
+
+ private:
+  BackendOptions options_;
+  /// Engine of the most recent RunCase (holds the history the isolation
+  /// oracle reads).
+  std::unique_ptr<concurrency::ConcurrentEngine> engine_;
+};
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_BACKEND_CONCURRENT_H_

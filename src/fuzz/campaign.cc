@@ -307,6 +307,8 @@ Status SaveWorkerTallies(const WorkerState& s, persist::StateWriter* w) {
     w->WriteString(info.query);
     w->WriteString(info.detail);
     w->WriteU64(info.fingerprint);
+    w->WriteU64(info.interleave_seed);
+    w->WriteI64(info.sessions);
     SaveTestCase(tc->second, w);
   }
   w->EndChunk();
@@ -359,6 +361,8 @@ Status LoadWorkerTallies(persist::StateReader* r, WorkerState* s) {
     info.query = r->ReadString();
     info.detail = r->ReadString();
     info.fingerprint = r->ReadU64();
+    info.interleave_seed = r->ReadU64();
+    info.sessions = static_cast<int>(r->ReadI64());
     LEGO_ASSIGN_OR_RETURN(TestCase tc, LoadTestCase(r));
     s->unique_logic.emplace(fp, std::move(info));
     s->logic_cases.emplace(fp, std::move(tc));

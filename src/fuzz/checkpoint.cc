@@ -136,6 +136,8 @@ Status SaveCampaignResult(const CampaignResult& result,
     w->WriteString(bug.query);
     w->WriteString(bug.detail);
     w->WriteU64(bug.fingerprint);
+    w->WriteU64(bug.interleave_seed);
+    w->WriteI64(bug.sessions);
   }
 
   w->EndChunk();
@@ -221,6 +223,8 @@ Status LoadCampaignResult(persist::StateReader* r, CampaignResult* result) {
     bug.query = r->ReadString();
     bug.detail = r->ReadString();
     bug.fingerprint = r->ReadU64();
+    bug.interleave_seed = r->ReadU64();
+    bug.sessions = static_cast<int>(r->ReadI64());
     loaded.captured_logic_bugs.push_back(std::move(bug));
   }
 

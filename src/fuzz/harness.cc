@@ -1,6 +1,9 @@
 #include "fuzz/harness.h"
 
+#include "fuzz/backend_concurrent.h"
+#include "fuzz/multi_case.h"
 #include "persist/io.h"
+#include "util/hash.h"
 
 namespace lego::fuzz {
 
@@ -14,6 +17,10 @@ ExecutionHarness::ExecutionHarness(const minidb::DialectProfile& profile,
       backend_(MakeBackend(profile, backend)) {}
 
 ExecResult ExecutionHarness::Run(const TestCase& tc) {
+  if (backend_options_.kind == BackendKind::kConcurrent &&
+      backend_options_.sessions > 1) {
+    return RunConcurrent(tc);
+  }
   ExecResult result;
   ++executions_;
 
@@ -44,9 +51,15 @@ ExecResult ExecutionHarness::Run(const TestCase& tc) {
     ++result.errors;
   }
 
+  MergeRunFeedback(tc, &result);
+  return result;
+}
+
+void ExecutionHarness::MergeRunFeedback(const TestCase& tc,
+                                        ExecResult* result) {
   const cov::CoverageMap& run_map = backend_->FinishRun();
-  result.new_coverage = global_coverage_.MergeDetectNew(run_map);
-  result.total_edges = global_coverage_.CoveredEdges();
+  result->new_coverage = global_coverage_.MergeDetectNew(run_map);
+  result->total_edges = global_coverage_.CoveredEdges();
   if (shared_coverage_ != nullptr) shared_coverage_->MergeDetectNew(run_map);
   if (rule_coverage_enabled_) {
     // Fuzzers emit ASTs, so parsing is not otherwise on the execution path;
@@ -54,12 +67,50 @@ ExecResult ExecutionHarness::Run(const TestCase& tc) {
     // doubles as a continuous Print -> Parse round-trip check).
     cov::RuleMap rule_map;
     cov::CollectRules(tc.ToSql(), &rule_map);
-    result.new_rules = global_rules_.MergeDetectNew(rule_map);
-    result.total_rules = global_rules_.CoveredRules();
+    result->new_rules = global_rules_.MergeDetectNew(rule_map);
+    result->total_rules = global_rules_.CoveredRules();
     if (shared_rule_coverage_ != nullptr) {
       shared_rule_coverage_->MergeDetectNew(rule_map);
     }
   }
+}
+
+ExecResult ExecutionHarness::RunConcurrent(const TestCase& tc) {
+  ExecResult result;
+  ++executions_;
+
+  // One seed pins the whole concurrent execution: it drives both the
+  // session split and the interleaving scheduler. Deriving it from the
+  // persisted execution counter keeps replay stable across
+  // checkpoint/resume; triage overrides it to re-run a specific
+  // interleaving.
+  uint64_t seed = forced_interleave_seed_.value_or(HashMix(
+      backend_options_.concurrency_seed, static_cast<uint64_t>(executions_)));
+  result.interleave_seed = seed;
+
+  auto* backend = static_cast<ConcurrentBackend*>(backend_.get());
+  backend->Reset();
+  MultiSessionCase mcase = SplitForSessions(tc, backend_options_.sessions,
+                                            seed);
+  ConcurrentBackend::CaseResult cr = backend->RunCase(mcase, seed);
+  result.executed = cr.setup_executed + cr.stats.executed;
+  result.errors = cr.setup_errors + cr.stats.errors;
+  result.deadlocks = cr.stats.deadlocks;
+  result.trace_digest = cr.stats.trace_digest;
+  result.history_digest = cr.stats.history_digest;
+  result.interleave_switches = cr.stats.switches;
+  if (cr.stats.crashed) {
+    result.crashed = true;
+    if (cr.stats.crash.has_value()) result.crash = *cr.stats.crash;
+  } else if (logic_oracle_ != nullptr &&
+             logic_oracle_->CheckHistory(backend->history(), &result.logic)) {
+    result.logic_bug = true;
+    result.logic.query = mcase.ToSql();
+    result.logic.interleave_seed = seed;
+    result.logic.sessions = static_cast<int>(mcase.sessions.size());
+  }
+
+  MergeRunFeedback(tc, &result);
   return result;
 }
 

@@ -2,8 +2,10 @@
 #define LEGO_FUZZ_HARNESS_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "concurrency/history.h"
 #include "coverage/coverage.h"
 #include "coverage/rule_coverage.h"
 #include "faults/bug_engine.h"
@@ -21,6 +23,12 @@ struct LogicBugInfo {
   std::string detail;  // human-readable mismatch description
   /// Dedup key (oracle-computed, deterministic for a given query shape).
   uint64_t fingerprint = 0;
+  /// Concurrent findings only: the interleaving seed and session count that
+  /// reproduce the anomaly (0/0 for serial metamorphic findings). Together
+  /// with `query` (the split multi-session script) they pin the execution
+  /// bit-for-bit.
+  uint64_t interleave_seed = 0;
+  int sessions = 0;
 };
 
 /// Metamorphic test oracle consulted after each successfully executed
@@ -42,6 +50,16 @@ class LogicOracle {
   /// detected.
   virtual bool Check(DbBackend* backend, const sql::Statement& stmt,
                      LogicBugInfo* out) = 0;
+  /// Checks the begin/read/write/commit/abort history of one concurrent
+  /// case. Returns true and fills `out` when the history exhibits an
+  /// isolation anomaly. Default: no history checking (serial metamorphic
+  /// oracles ignore interleavings).
+  virtual bool CheckHistory(const concurrency::History& history,
+                            LogicBugInfo* out) {
+    (void)history;
+    (void)out;
+    return false;
+  }
 };
 
 /// Outcome of executing one test case.
@@ -57,6 +75,14 @@ struct ExecResult {
   int errors = 0;     // statements rejected (syntax/semantic/runtime)
   size_t total_edges = 0;  // campaign-global edge count after this run
   size_t total_rules = 0;  // campaign-global rule count after this run
+  /// Concurrent backend only: the seed that drove session splitting and the
+  /// interleaving scheduler, plus the digests that make "same (seed, case)
+  /// => same execution" a testable equality.
+  uint64_t interleave_seed = 0;
+  uint64_t trace_digest = 0;
+  uint64_t history_digest = 0;
+  int interleave_switches = 0;
+  int deadlocks = 0;
 };
 
 /// Execution harness (the AFL++ persistent-mode stand-in): runs each test
@@ -107,8 +133,18 @@ class ExecutionHarness {
   LogicOracle* logic_oracle() const { return logic_oracle_; }
 
   /// Executes `tc` in a fresh backend session. Coverage accumulates into
-  /// the campaign-global map; `new_coverage` reflects it.
+  /// the campaign-global map; `new_coverage` reflects it. Concurrent
+  /// backends route through the multi-session path: the case is split by
+  /// the per-case interleaving seed and run as N scheduler-serialized
+  /// session threads.
   ExecResult Run(const TestCase& tc);
+
+  /// Triage replay: pin the interleaving seed for subsequent Run() calls on
+  /// a concurrent backend instead of deriving it from the execution counter
+  /// (nullopt restores derived seeds). No effect on serial backends.
+  void set_forced_interleave_seed(std::optional<uint64_t> seed) {
+    forced_interleave_seed_ = seed;
+  }
 
   /// Total distinct edges ("branches") covered so far.
   size_t CoveredEdges() const { return global_coverage_.CoveredEdges(); }
@@ -145,6 +181,12 @@ class ExecutionHarness {
   Status LoadState(persist::StateReader* r);
 
  private:
+  /// Multi-session execution path (backend kind kConcurrent, sessions > 1).
+  ExecResult RunConcurrent(const TestCase& tc);
+  /// Shared tail of both paths: classify/merge the run coverage map and the
+  /// optional grammar-rule signal into `result`.
+  void MergeRunFeedback(const TestCase& tc, ExecResult* result);
+
   BackendOptions backend_options_;
   std::unique_ptr<DbBackend> backend_;
   cov::GlobalCoverage global_coverage_;
@@ -153,6 +195,7 @@ class ExecutionHarness {
   cov::SharedRuleCoverage* shared_rule_coverage_ = nullptr;
   bool rule_coverage_enabled_ = false;
   LogicOracle* logic_oracle_ = nullptr;
+  std::optional<uint64_t> forced_interleave_seed_;
   int executions_ = 0;
 };
 

@@ -1,0 +1,123 @@
+#include "fuzz/multi_case.h"
+
+#include <utility>
+
+#include "sql/parser.h"
+#include "sql/statement_type.h"
+#include "util/random.h"
+
+namespace lego::fuzz {
+namespace {
+
+bool GoesToSetup(sql::StatementType type) {
+  switch (sql::CategoryOf(type)) {
+    case sql::StatementCategory::kDml:
+      return type == sql::StatementType::kCopy;
+    case sql::StatementCategory::kDql:
+    case sql::StatementCategory::kTcl:
+      return false;
+    default:
+      return true;  // DDL, DCL, utility
+  }
+}
+
+bool IsBlockOpen(sql::StatementType type) {
+  return type == sql::StatementType::kBegin;
+}
+
+bool IsBlockClose(sql::StatementType type) {
+  return type == sql::StatementType::kCommit ||
+         type == sql::StatementType::kRollback;
+}
+
+/// Parses one TCL statement from `sql_text` ("BEGIN" / "COMMIT").
+sql::StmtPtr ParseTcl(const char* sql_text) {
+  auto parsed = sql::Parser::ParseScript(sql_text);
+  if (!parsed.ok() || parsed->empty()) return nullptr;
+  return std::move(parsed->front());
+}
+
+}  // namespace
+
+std::string MultiSessionCase::ToSql() const {
+  std::string out = "-- setup\n";
+  out += setup.ToSql();
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    out += "-- session " + std::to_string(i) + "\n";
+    out += sessions[i].ToSql();
+  }
+  return out;
+}
+
+MultiSessionCase SplitForSessions(const TestCase& tc, int n, uint64_t seed) {
+  MultiSessionCase mc;
+  mc.sessions.resize(static_cast<size_t>(n < 1 ? 1 : n));
+  Rng rng(seed);
+
+  std::vector<sql::StmtPtr>* setup = mc.setup.mutable_statements();
+  auto session_of = [&](size_t sid) {
+    return mc.sessions[sid].mutable_statements();
+  };
+
+  constexpr int kMaxContentionClones = 4;
+  int clones = 0;
+  size_t block_session = 0;  // target while inside an explicit txn block
+  bool in_block = false;
+
+  for (const sql::StmtPtr& stmt : tc.statements()) {
+    sql::StatementType type = stmt->type();
+    if (GoesToSetup(type)) {
+      setup->push_back(stmt->Clone());
+      continue;
+    }
+    size_t sid;
+    if (in_block) {
+      sid = block_session;
+      if (IsBlockClose(type)) in_block = false;
+    } else {
+      sid = static_cast<size_t>(rng.NextBelow(mc.sessions.size()));
+      if (IsBlockOpen(type)) {
+        in_block = true;
+        block_session = sid;
+      }
+    }
+    session_of(sid)->push_back(stmt->Clone());
+
+    // Contention by construction: duplicate a few writes into another
+    // session so row-level conflicts actually occur.
+    bool is_write = type == sql::StatementType::kUpdate ||
+                    type == sql::StatementType::kDelete;
+    if (is_write && !in_block && mc.sessions.size() > 1 &&
+        clones < kMaxContentionClones) {
+      size_t other =
+          static_cast<size_t>(rng.NextBelow(mc.sessions.size() - 1));
+      if (other >= sid) ++other;
+      session_of(other)->push_back(stmt->Clone());
+      ++clones;
+    }
+  }
+
+  // Seeded transaction wrapping: half the sessions run their script as one
+  // explicit transaction. (Sessions that already open their own blocks are
+  // left alone — a stray nested BEGIN would just error.)
+  for (TestCase& session : mc.sessions) {
+    if (session.empty()) continue;
+    bool has_tcl = false;
+    for (const sql::StmtPtr& s : session.statements()) {
+      if (sql::CategoryOf(s->type()) == sql::StatementCategory::kTcl) {
+        has_tcl = true;
+        break;
+      }
+    }
+    if (has_tcl || !rng.NextBool(0.5)) continue;
+    sql::StmtPtr begin = ParseTcl("BEGIN;");
+    sql::StmtPtr commit = ParseTcl("COMMIT;");
+    if (!begin || !commit) continue;
+    auto* stmts = session.mutable_statements();
+    stmts->insert(stmts->begin(), std::move(begin));
+    stmts->push_back(std::move(commit));
+  }
+  return mc;
+}
+
+}  // namespace lego::fuzz

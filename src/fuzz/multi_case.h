@@ -1,0 +1,44 @@
+#ifndef LEGO_FUZZ_MULTI_CASE_H_
+#define LEGO_FUZZ_MULTI_CASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/testcase.h"
+
+namespace lego::fuzz {
+
+/// A test case split for concurrent execution: a serial setup script (all
+/// schema/statement types the concurrent phase cannot run) plus one
+/// statement script per session.
+struct MultiSessionCase {
+  TestCase setup;
+  std::vector<TestCase> sessions;
+
+  /// Renders the whole case with "-- setup" / "-- session N" markers; this
+  /// is what repro artifacts and logic-bug reports record.
+  std::string ToSql() const;
+};
+
+/// Deterministically splits `tc` into a MultiSessionCase for `n` sessions,
+/// driven by `seed` (the same seed that drives the interleaving scheduler,
+/// so a (case, seed) pair fully determines a concurrent execution):
+///
+///  - DDL, DCL, COPY, and utility statements go to the serial setup script
+///    in original order — the concurrent phase runs against a frozen
+///    catalog.
+///  - DML/DQL/TCL statements are dealt to sessions seeded-randomly, except
+///    that explicit transaction blocks (BEGIN .. COMMIT/ROLLBACK) stay
+///    contiguous in one session.
+///  - A few UPDATE/DELETE statements are cloned into a second session
+///    (bounded per case), so concurrent cases have write-write and
+///    read-write contention by construction.
+///  - Each session is wrapped in a synthesized BEGIN/COMMIT with probability
+///    1/2, so both autocommit and multi-statement-transaction interleavings
+///    are explored.
+MultiSessionCase SplitForSessions(const TestCase& tc, int n, uint64_t seed);
+
+}  // namespace lego::fuzz
+
+#endif  // LEGO_FUZZ_MULTI_CASE_H_

@@ -22,7 +22,13 @@ PrivMask MaskOf(sql::Privilege p) {
   return 0;
 }
 
+Status Catalog::FrozenError() const {
+  return Status::TransactionError(
+      "DDL is disabled during concurrent execution");
+}
+
 Status Catalog::CreateTable(TableInfo table) {
+  if (ddl_frozen_) return FrozenError();
   if (tables_.count(table.name) || views_.count(table.name)) {
     return Status::AlreadyExists("relation '" + table.name +
                                  "' already exists");
@@ -54,6 +60,7 @@ bool Catalog::HasTable(const std::string& name) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  if (ddl_frozen_) return FrozenError();
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -86,6 +93,7 @@ Status Catalog::DropTable(const std::string& name) {
 
 Status Catalog::RenameTable(const std::string& old_name,
                             const std::string& new_name) {
+  if (ddl_frozen_) return FrozenError();
   auto it = tables_.find(old_name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + old_name + "' does not exist");
@@ -118,6 +126,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 Status Catalog::CreateIndex(IndexInfo index) {
+  if (ddl_frozen_) return FrozenError();
   if (indexes_.count(index.name)) {
     return Status::AlreadyExists("index '" + index.name + "' already exists");
   }
@@ -144,6 +153,7 @@ bool Catalog::HasIndex(const std::string& name) const {
 }
 
 Status Catalog::DropIndex(const std::string& name) {
+  if (ddl_frozen_) return FrozenError();
   auto it = indexes_.find(name);
   if (it == indexes_.end()) {
     return Status::NotFound("index '" + name + "' does not exist");
@@ -173,6 +183,7 @@ std::vector<IndexInfo*> Catalog::IndexesOf(const std::string& table) {
 }
 
 Status Catalog::CreateView(ViewInfo view, bool or_replace) {
+  if (ddl_frozen_) return FrozenError();
   if (tables_.count(view.name)) {
     return Status::AlreadyExists("relation '" + view.name +
                                  "' already exists");
@@ -199,6 +210,7 @@ bool Catalog::HasView(const std::string& name) const {
 }
 
 Status Catalog::DropView(const std::string& name) {
+  if (ddl_frozen_) return FrozenError();
   if (views_.erase(name) == 0) {
     return Status::NotFound("view '" + name + "' does not exist");
   }
@@ -213,6 +225,7 @@ std::vector<std::string> Catalog::ViewNames() const {
 }
 
 Status Catalog::CreateTrigger(TriggerInfo trigger) {
+  if (ddl_frozen_) return FrozenError();
   if (triggers_.count(trigger.name)) {
     return Status::AlreadyExists("trigger '" + trigger.name +
                                  "' already exists");
@@ -229,6 +242,7 @@ bool Catalog::HasTrigger(const std::string& name) const {
 }
 
 Status Catalog::DropTrigger(const std::string& name) {
+  if (ddl_frozen_) return FrozenError();
   if (triggers_.erase(name) == 0) {
     return Status::NotFound("trigger '" + name + "' does not exist");
   }
@@ -256,6 +270,7 @@ std::vector<const TriggerInfo*> Catalog::TriggersFor(
 }
 
 Status Catalog::CreateRule(RuleInfo rule, bool or_replace) {
+  if (ddl_frozen_) return FrozenError();
   if (!tables_.count(rule.table)) {
     return Status::NotFound("table '" + rule.table + "' does not exist");
   }
@@ -276,6 +291,7 @@ bool Catalog::HasRule(const std::string& name) const {
 }
 
 Status Catalog::DropRule(const std::string& name) {
+  if (ddl_frozen_) return FrozenError();
   if (rules_.erase(name) == 0) {
     return Status::NotFound("rule '" + name + "' does not exist");
   }
@@ -300,6 +316,7 @@ std::vector<std::string> Catalog::RuleNames() const {
 }
 
 Status Catalog::CreateSequence(SequenceInfo seq) {
+  if (ddl_frozen_) return FrozenError();
   if (sequences_.count(seq.name)) {
     return Status::AlreadyExists("sequence '" + seq.name +
                                  "' already exists");
@@ -322,6 +339,7 @@ bool Catalog::HasSequence(const std::string& name) const {
 }
 
 Status Catalog::DropSequence(const std::string& name) {
+  if (ddl_frozen_) return FrozenError();
   if (sequences_.erase(name) == 0) {
     return Status::NotFound("sequence '" + name + "' does not exist");
   }
@@ -329,6 +347,7 @@ Status Catalog::DropSequence(const std::string& name) {
 }
 
 Status Catalog::CreateUser(const std::string& name, bool if_not_exists) {
+  if (ddl_frozen_) return FrozenError();
   if (users_.count(name)) {
     if (if_not_exists) return Status::OK();
     return Status::AlreadyExists("user '" + name + "' already exists");
@@ -338,6 +357,7 @@ Status Catalog::CreateUser(const std::string& name, bool if_not_exists) {
 }
 
 Status Catalog::DropUser(const std::string& name, bool if_exists) {
+  if (ddl_frozen_) return FrozenError();
   if (!users_.count(name)) {
     if (if_exists) return Status::OK();
     return Status::NotFound("user '" + name + "' does not exist");
@@ -377,6 +397,7 @@ bool Catalog::HasPrivilege(const std::string& user, const std::string& table,
 }
 
 void Catalog::DropTemporaryTables() {
+  if (ddl_frozen_) return;
   std::vector<std::string> doomed;
   for (const auto& [name, info] : tables_) {
     if (info.temporary) doomed.push_back(name);

@@ -171,7 +171,20 @@ class Catalog {
   /// Drops all temporary tables (DISCARD TEMP / session reset).
   void DropTemporaryTables();
 
+  /// While frozen, every schema change (create/drop/rename of any object
+  /// kind) fails with a transaction error. The concurrent backend freezes
+  /// the catalog for the multi-session phase: sessions share table/index
+  /// structures by name, and row-level locking does not cover DDL. This
+  /// also catches DDL nested inside trigger/rule bodies, which the
+  /// backend's statement-type screen cannot see.
+  void set_ddl_frozen(bool frozen) { ddl_frozen_ = frozen; }
+  bool ddl_frozen() const { return ddl_frozen_; }
+
  private:
+  /// Error returned by all mutating schema entry points while frozen.
+  Status FrozenError() const;
+
+  bool ddl_frozen_ = false;
   std::map<std::string, TableInfo> tables_;
   std::map<std::string, IndexInfo> indexes_;
   std::map<std::string, ViewInfo> views_;

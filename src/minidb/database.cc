@@ -127,6 +127,7 @@ void Database::ResetAll() {
 }
 
 Status Database::TxnBegin() {
+  if (txn_hook_ != nullptr) return txn_hook_->Begin(*this);
   if (session_.in_transaction) {
     return Status::TransactionError("a transaction is already in progress");
   }
@@ -136,6 +137,7 @@ Status Database::TxnBegin() {
 }
 
 Status Database::TxnCommit() {
+  if (txn_hook_ != nullptr) return txn_hook_->Commit(*this);
   if (!session_.in_transaction) {
     return Status::TransactionError("no transaction in progress");
   }
@@ -146,6 +148,7 @@ Status Database::TxnCommit() {
 }
 
 Status Database::TxnRollback() {
+  if (txn_hook_ != nullptr) return txn_hook_->Rollback(*this);
   if (!session_.in_transaction) {
     return Status::TransactionError("no transaction in progress");
   }
@@ -157,6 +160,7 @@ Status Database::TxnRollback() {
 }
 
 Status Database::TxnSavepoint(const std::string& name) {
+  if (txn_hook_ != nullptr) return txn_hook_->Savepoint(*this, name);
   if (!session_.in_transaction) {
     return Status::TransactionError("SAVEPOINT requires a transaction");
   }
@@ -165,6 +169,7 @@ Status Database::TxnSavepoint(const std::string& name) {
 }
 
 Status Database::TxnRelease(const std::string& name) {
+  if (txn_hook_ != nullptr) return txn_hook_->Release(*this, name);
   for (auto it = savepoints_.rbegin(); it != savepoints_.rend(); ++it) {
     if (it->first == name) {
       // Release this savepoint and everything nested inside it.
@@ -176,6 +181,7 @@ Status Database::TxnRelease(const std::string& name) {
 }
 
 Status Database::TxnRollbackTo(const std::string& name) {
+  if (txn_hook_ != nullptr) return txn_hook_->RollbackTo(*this, name);
   for (auto it = savepoints_.rbegin(); it != savepoints_.rend(); ++it) {
     if (it->first == name) {
       catalog_ = it->second;  // keep the savepoint itself (SQL semantics)

@@ -63,6 +63,22 @@ struct CrashInfo {
 
 class Database;
 
+/// Transaction-control interception seam. When installed, BEGIN / COMMIT /
+/// ROLLBACK / SAVEPOINT delegate here instead of the built-in snapshot
+/// transactions — the concurrency engine substitutes its undo-log + lock
+/// based transactions while sharing one Database across session threads.
+/// Never installed on the serial path.
+class TxnHook {
+ public:
+  virtual ~TxnHook() = default;
+  virtual Status Begin(Database& db) = 0;
+  virtual Status Commit(Database& db) = 0;
+  virtual Status Rollback(Database& db) = 0;
+  virtual Status Savepoint(Database& db, const std::string& name) = 0;
+  virtual Status Release(Database& db, const std::string& name) = 0;
+  virtual Status RollbackTo(Database& db, const std::string& name) = 0;
+};
+
 /// Oracle interface consulted after each successfully executed statement.
 /// Implemented by faults::BugEngine.
 class FaultHook {
@@ -125,6 +141,8 @@ class Database {
 
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() const { return fault_hook_; }
+  void set_txn_hook(TxnHook* hook) { txn_hook_ = hook; }
+  TxnHook* txn_hook() const { return txn_hook_; }
   const std::optional<CrashInfo>& last_crash() const { return last_crash_; }
 
  private:
@@ -142,6 +160,7 @@ class Database {
   Catalog catalog_;
   SessionState session_;
   FaultHook* fault_hook_ = nullptr;
+  TxnHook* txn_hook_ = nullptr;
   std::optional<CrashInfo> last_crash_;
 
   /// Snapshot-based transactions: BEGIN copies the catalog; ROLLBACK

@@ -2,9 +2,43 @@
 
 namespace lego::minidb {
 
-RowId HeapTable::Insert(Row row) {
+namespace {
+thread_local RowObserver* tls_row_observer = nullptr;
+}  // namespace
+
+RowObserver* RowHooks::Get() { return tls_row_observer; }
+void RowHooks::Set(RowObserver* observer) { tls_row_observer = observer; }
+
+HeapTable::Page HeapTable::MakePage() {
+  Page page;
+  // Full-capacity reservation: slot storage never relocates, so references
+  // held across a concurrent park stay valid.
+  page.rows.reserve(kRowsPerPage);
+  page.live.reserve(kRowsPerPage);
+  return page;
+}
+
+RowId HeapTable::PeekInsert() const {
   if (pages_.empty() || pages_.back().rows.size() >= kRowsPerPage) {
-    pages_.emplace_back();
+    return RowId{static_cast<uint32_t>(pages_.size()), 0};
+  }
+  const Page& page = pages_.back();
+  if (dead_slots_ > 0) {
+    for (size_t i = 0; i < page.rows.size(); ++i) {
+      if (!page.live[i]) {
+        return RowId{static_cast<uint32_t>(pages_.size() - 1),
+                     static_cast<uint32_t>(i)};
+      }
+    }
+  }
+  return RowId{static_cast<uint32_t>(pages_.size() - 1),
+               static_cast<uint32_t>(page.rows.size())};
+}
+
+RowId HeapTable::Insert(Row row) {
+  if (RowObserver* o = RowHooks::Get()) o->OnInsert(this);
+  if (pages_.empty() || pages_.back().rows.size() >= kRowsPerPage) {
+    pages_.push_back(MakePage());
   }
   Page& page = pages_.back();
   // Reuse a tombstoned slot on the tail page first.
@@ -28,6 +62,7 @@ RowId HeapTable::Insert(Row row) {
 }
 
 bool HeapTable::Delete(RowId id) {
+  if (RowObserver* o = RowHooks::Get()) o->OnDelete(this, id);
   if (id.page >= pages_.size()) return false;
   Page& page = pages_[id.page];
   if (id.slot >= page.rows.size() || !page.live[id.slot]) return false;
@@ -39,6 +74,7 @@ bool HeapTable::Delete(RowId id) {
 }
 
 bool HeapTable::Update(RowId id, Row row) {
+  if (RowObserver* o = RowHooks::Get()) o->OnUpdate(this, id);
   if (id.page >= pages_.size()) return false;
   Page& page = pages_[id.page];
   if (id.slot >= page.rows.size() || !page.live[id.slot]) return false;
@@ -50,7 +86,31 @@ const Row* HeapTable::Get(RowId id) const {
   if (id.page >= pages_.size()) return nullptr;
   const Page& page = pages_[id.page];
   if (id.slot >= page.rows.size() || !page.live[id.slot]) return nullptr;
+  if (RowObserver* o = RowHooks::Get()) {
+    o->OnRead(this, id);
+    // Re-check: the observer may have parked this thread and (under a
+    // planted isolation defect) the row may have died meanwhile.
+    if (!page.live[id.slot]) return nullptr;
+  }
   return &page.rows[id.slot];
+}
+
+const Row* HeapTable::RawRow(RowId id) const {
+  if (id.page >= pages_.size()) return nullptr;
+  const Page& page = pages_[id.page];
+  if (id.slot >= page.rows.size() || !page.live[id.slot]) return nullptr;
+  return &page.rows[id.slot];
+}
+
+bool HeapTable::ResurrectAt(RowId id, Row row) {
+  if (id.page >= pages_.size()) return false;
+  Page& page = pages_[id.page];
+  if (id.slot >= page.rows.size() || page.live[id.slot]) return false;
+  page.rows[id.slot] = std::move(row);
+  page.live[id.slot] = 1;
+  ++live_rows_;
+  --dead_slots_;
+  return true;
 }
 
 void HeapTable::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
@@ -58,6 +118,10 @@ void HeapTable::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
     const Page& page = pages_[p];
     for (uint32_t s = 0; s < page.rows.size(); ++s) {
       if (!page.live[s]) continue;
+      if (RowObserver* o = RowHooks::Get()) {
+        o->OnRead(this, RowId{p, s});
+        if (!page.live[s]) continue;  // died while parked (planted defects)
+      }
       if (!fn(RowId{p, s}, page.rows[s])) return;
     }
   }
@@ -69,12 +133,12 @@ double HeapTable::DeadFraction() const {
 }
 
 void HeapTable::Vacuum() {
-  std::vector<Page> compacted;
+  std::deque<Page> compacted;
   for (Page& page : pages_) {
     for (size_t i = 0; i < page.rows.size(); ++i) {
       if (!page.live[i]) continue;
       if (compacted.empty() || compacted.back().rows.size() >= kRowsPerPage) {
-        compacted.emplace_back();
+        compacted.push_back(MakePage());
       }
       compacted.back().rows.push_back(std::move(page.rows[i]));
       compacted.back().live.push_back(1);

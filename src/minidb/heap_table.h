@@ -1,6 +1,7 @@
 #ifndef LEGO_MINIDB_HEAP_TABLE_H_
 #define LEGO_MINIDB_HEAP_TABLE_H_
 
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -8,10 +9,59 @@
 
 namespace lego::minidb {
 
+class HeapTable;
+
+/// Row-operation observer: the concurrency layer's seam into the storage
+/// engine. Hooks fire *before* the heap mutates (so an observer can park the
+/// calling thread, take row locks, and record undo/history state with the
+/// pre-image still intact) and before each row read. Installed per thread
+/// via RowHooks — serial sessions never install one, so the single-session
+/// engine pays one thread-local load per row operation and nothing else.
+class RowObserver {
+ public:
+  virtual ~RowObserver() = default;
+  /// About to insert a row into `table`. The observer may predict the slot
+  /// with HeapTable::PeekInsert(); the prediction stays valid until control
+  /// returns (the heap cannot change in between on this thread).
+  virtual void OnInsert(HeapTable* table) = 0;
+  /// About to update/delete the slot (which may be dead; the mutation then
+  /// fails after the hook returns, exactly as it would have before).
+  virtual void OnUpdate(HeapTable* table, RowId id) = 0;
+  virtual void OnDelete(HeapTable* table, RowId id) = 0;
+  /// About to read a live row (point lookup or scan visit).
+  virtual void OnRead(const HeapTable* table, RowId id) = 0;
+};
+
+/// Thread-local observer installation. Each concurrent session thread
+/// installs the engine's observer for its own lifetime; everything else in
+/// the process (serial backends, setup scripts, tests) sees nullptr.
+struct RowHooks {
+  static RowObserver* Get();
+  static void Set(RowObserver* observer);
+};
+
+/// Clears the calling thread's row observer for a scope (rollback/undo
+/// application and index rebuilds must not re-enter the observer).
+class RowHookClearScope {
+ public:
+  RowHookClearScope() : saved_(RowHooks::Get()) { RowHooks::Set(nullptr); }
+  ~RowHookClearScope() { RowHooks::Set(saved_); }
+  RowHookClearScope(const RowHookClearScope&) = delete;
+  RowHookClearScope& operator=(const RowHookClearScope&) = delete;
+
+ private:
+  RowObserver* saved_;
+};
+
 /// Page-structured row store. Rows live in fixed-capacity pages with a
 /// per-slot liveness bit; deletes tombstone slots and VACUUM compacts pages.
 /// The structure deliberately mirrors a slotted-page heap so scans, row ids,
 /// and vacuum behave like a real engine's.
+///
+/// Pages are kept in a deque and each page's row vector is reserved at full
+/// capacity up front, so growing the heap never relocates existing rows —
+/// a concurrent session parked mid-scan can hold references across other
+/// sessions' inserts.
 class HeapTable {
  public:
   static constexpr uint32_t kRowsPerPage = 64;
@@ -28,6 +78,10 @@ class HeapTable {
   /// page; returns its location.
   RowId Insert(Row row);
 
+  /// The RowId the next Insert would choose, without mutating. Valid until
+  /// the heap changes.
+  RowId PeekInsert() const;
+
   /// Tombstones the slot. Returns false if already dead or out of range.
   bool Delete(RowId id);
 
@@ -36,6 +90,14 @@ class HeapTable {
 
   /// Fetches a live row; returns nullptr for dead/out-of-range slots.
   const Row* Get(RowId id) const;
+
+  /// Like Get, but without firing the row observer (undo application and
+  /// observers themselves read through this).
+  const Row* RawRow(RowId id) const;
+
+  /// Restores `row` into a tombstoned slot (undo of a delete). Returns
+  /// false if the slot is live or out of range.
+  bool ResurrectAt(RowId id, Row row);
 
   /// Invokes `fn(id, row)` for every live row in physical order; stops early
   /// if fn returns false.
@@ -63,7 +125,9 @@ class HeapTable {
     std::vector<uint8_t> live;    // 1 = live, 0 = tombstone
   };
 
-  std::vector<Page> pages_;
+  static Page MakePage();
+
+  std::deque<Page> pages_;
   size_t live_rows_ = 0;
   size_t dead_slots_ = 0;
 };

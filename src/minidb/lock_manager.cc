@@ -1,0 +1,170 @@
+#include "minidb/lock_manager.h"
+
+#include <algorithm>
+
+namespace lego::minidb {
+
+bool LockManager::Compatible(const LockState& state, uint64_t txn,
+                             LockMode mode) {
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlock(uint64_t txn, const LockKey& key,
+                                LockMode mode) const {
+  // DFS over the wait-for graph starting from the transactions `txn` would
+  // wait on. An edge u -> v exists when u's pending request conflicts with
+  // a lock v holds. If the walk reaches `txn`, enqueueing would close a
+  // cycle.
+  std::vector<uint64_t> stack;
+  std::set<uint64_t> seen;
+  auto push_conflicting_holders = [&](const LockKey& k, uint64_t waiter,
+                                      LockMode m) {
+    auto it = locks_.find(k);
+    if (it == locks_.end()) return;
+    for (const auto& [holder, held_mode] : it->second.holders) {
+      if (holder == waiter) continue;
+      if (m == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+        if (seen.insert(holder).second) stack.push_back(holder);
+      }
+    }
+  };
+  push_conflicting_holders(key, txn, mode);
+  while (!stack.empty()) {
+    uint64_t u = stack.back();
+    stack.pop_back();
+    if (u == txn) return true;
+    auto wit = waiting_.find(u);
+    if (wit == waiting_.end()) continue;
+    auto lit = locks_.find(wit->second);
+    if (lit == locks_.end()) continue;
+    LockMode wmode = LockMode::kShared;
+    for (const Waiter& w : lit->second.queue) {
+      if (w.txn == u) {
+        wmode = w.mode;
+        break;
+      }
+    }
+    push_conflicting_holders(wit->second, u, wmode);
+  }
+  return false;
+}
+
+LockManager::Acquire LockManager::Request(uint64_t txn, const LockKey& key,
+                                          LockMode mode) {
+  LockState& state = locks_[key];
+  auto held = state.holders.find(txn);
+  if (held != state.holders.end()) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Acquire::kGranted;  // re-entrant (X covers S)
+    }
+    // S -> X upgrade: immediate when sole holder, otherwise wait like any
+    // conflicting request (the upgrade completes via PromoteWaiters).
+    if (state.holders.size() == 1) {
+      held->second = LockMode::kExclusive;
+      return Acquire::kGranted;
+    }
+  }
+  if (held == state.holders.end() && Compatible(state, txn, mode) &&
+      state.queue.empty()) {
+    // Fresh grant; an S request never jumps a non-empty queue (no waiter
+    // starvation, keeps grant order deterministic).
+    state.holders.emplace(txn, mode);
+    held_[txn].insert(key);
+    return Acquire::kGranted;
+  }
+  if (WouldDeadlock(txn, key, mode)) return Acquire::kDeadlock;
+  state.queue.push_back(Waiter{txn, mode});
+  waiting_[txn] = key;
+  return Acquire::kWouldBlock;
+}
+
+void LockManager::PromoteWaiters(const LockKey& key,
+                                 std::vector<uint64_t>* granted) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  LockState& state = it->second;
+  // Grant-any-compatible scan in queue order: a head X waiter blocks
+  // everything behind it; a run of S waiters is granted together.
+  for (size_t i = 0; i < state.queue.size();) {
+    const Waiter w = state.queue[i];
+    bool is_upgrade = state.holders.count(w.txn) > 0;
+    bool ok = is_upgrade ? state.holders.size() == 1
+                         : Compatible(state, w.txn, w.mode);
+    if (!ok) {
+      if (w.mode == LockMode::kExclusive) break;
+      ++i;
+      continue;
+    }
+    state.holders[w.txn] = w.mode;
+    held_[w.txn].insert(key);
+    waiting_.erase(w.txn);
+    granted->push_back(w.txn);
+    state.queue.erase(state.queue.begin() + static_cast<ptrdiff_t>(i));
+  }
+  if (state.holders.empty() && state.queue.empty()) locks_.erase(it);
+}
+
+std::vector<uint64_t> LockManager::ReleaseAll(uint64_t txn) {
+  std::vector<uint64_t> granted;
+  // Cancel a pending wait first so this txn cannot be re-granted below.
+  auto wit = waiting_.find(txn);
+  if (wit != waiting_.end()) {
+    auto lit = locks_.find(wit->second);
+    if (lit != locks_.end()) {
+      auto& q = lit->second.queue;
+      q.erase(std::remove_if(q.begin(), q.end(),
+                             [&](const Waiter& w) { return w.txn == txn; }),
+              q.end());
+    }
+    waiting_.erase(wit);
+  }
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    // std::set iteration gives a deterministic key order, so promotions are
+    // reproducible run over run.
+    std::set<LockKey> keys = std::move(hit->second);
+    held_.erase(hit);
+    for (const LockKey& key : keys) {
+      auto lit = locks_.find(key);
+      if (lit == locks_.end()) continue;
+      lit->second.holders.erase(txn);
+      PromoteWaiters(key, &granted);
+    }
+  }
+  std::sort(granted.begin(), granted.end());
+  granted.erase(std::unique(granted.begin(), granted.end()), granted.end());
+  return granted;
+}
+
+bool LockManager::Holds(uint64_t txn, const LockKey& key,
+                        LockMode mode) const {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return false;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return false;
+  return mode == LockMode::kShared || h->second == LockMode::kExclusive;
+}
+
+size_t LockManager::HeldCount(uint64_t txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+const LockKey* LockManager::WaitingOn(uint64_t txn) const {
+  auto it = waiting_.find(txn);
+  return it == waiting_.end() ? nullptr : &it->second;
+}
+
+void LockManager::Clear() {
+  locks_.clear();
+  held_.clear();
+  waiting_.clear();
+}
+
+}  // namespace lego::minidb

@@ -1,0 +1,33 @@
+#include "triage/iso_oracle.h"
+
+#include <optional>
+
+#include "concurrency/history_checker.h"
+#include "util/hash.h"
+
+namespace lego::triage {
+
+bool IsolationOracle::Check(fuzz::DbBackend* backend,
+                            const sql::Statement& stmt,
+                            fuzz::LogicBugInfo* out) {
+  (void)backend;
+  (void)stmt;
+  (void)out;
+  return false;
+}
+
+bool IsolationOracle::CheckHistory(const concurrency::History& history,
+                                   fuzz::LogicBugInfo* out) {
+  std::optional<concurrency::Anomaly> anomaly =
+      concurrency::CheckHistory(history);
+  if (!anomaly.has_value()) return false;
+  out->check = anomaly->id;  // e.g. "iso-lost-update"
+  out->detail = anomaly->detail;
+  // Dedup on (anomaly class, row key): the same unprotected code path found
+  // through different statements/interleavings is one bug.
+  out->fingerprint =
+      HashMix(Fnv1a64(anomaly->id), Fnv1a64(anomaly->key));
+  return true;
+}
+
+}  // namespace lego::triage

@@ -1,0 +1,28 @@
+#ifndef LEGO_TRIAGE_ISO_ORACLE_H_
+#define LEGO_TRIAGE_ISO_ORACLE_H_
+
+#include "fuzz/harness.h"
+
+namespace lego::triage {
+
+/// Isolation-anomaly oracle for concurrent cases: runs the Elle-style
+/// history checker over one concurrent execution's begin/read/write/
+/// commit/abort log and converts the first anomaly found into a logic-bug
+/// finding ("iso-lost-update", "iso-dirty-read", ...). Statement-level
+/// Check() is a no-op — this oracle only sees complete histories, so it
+/// composes with the metamorphic members of an OracleSuite instead of
+/// competing with them.
+class IsolationOracle : public fuzz::LogicOracle {
+ public:
+  std::string_view name() const override { return "iso"; }
+
+  bool Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
+             fuzz::LogicBugInfo* out) override;
+
+  bool CheckHistory(const concurrency::History& history,
+                    fuzz::LogicBugInfo* out) override;
+};
+
+}  // namespace lego::triage
+
+#endif  // LEGO_TRIAGE_ISO_ORACLE_H_

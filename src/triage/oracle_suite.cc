@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "triage/clause_oracle.h"
+#include "triage/iso_oracle.h"
 #include "triage/norec_oracle.h"
 #include "triage/tlp_oracle.h"
 
@@ -29,10 +30,12 @@ std::unique_ptr<OracleSuite> OracleSuite::FromSpec(std::string_view spec,
       suite->oracles_.push_back(std::make_unique<NoRecOracle>());
     } else if (item == "clause") {
       suite->oracles_.push_back(std::make_unique<ClauseOracle>());
+    } else if (item == "iso") {
+      suite->oracles_.push_back(std::make_unique<IsolationOracle>());
     } else {
       if (error != nullptr) {
         *error = "unknown oracle '" + std::string(item) +
-                 "' (known: tlp, norec, clause)";
+                 "' (known: tlp, norec, clause, iso)";
       }
       return nullptr;
     }
@@ -48,6 +51,14 @@ bool OracleSuite::Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
                         fuzz::LogicBugInfo* out) {
   for (const auto& oracle : oracles_) {
     if (oracle->Check(backend, stmt, out)) return true;
+  }
+  return false;
+}
+
+bool OracleSuite::CheckHistory(const concurrency::History& history,
+                               fuzz::LogicBugInfo* out) {
+  for (const auto& oracle : oracles_) {
+    if (oracle->CheckHistory(history, out)) return true;
   }
   return false;
 }

@@ -18,10 +18,10 @@ namespace lego::triage {
 /// nested no-op under it.
 class OracleSuite : public fuzz::LogicOracle {
  public:
-  /// Builds a suite from a comma-separated spec, e.g. "tlp,norec,clause".
-  /// Known names: tlp, norec, clause. Duplicates collapse (first position
-  /// wins); empty items are ignored. Returns nullptr and fills *error on an
-  /// unknown name or an all-empty spec.
+  /// Builds a suite from a comma-separated spec, e.g. "tlp,norec,clause,iso".
+  /// Known names: tlp, norec, clause, iso. Duplicates collapse (first
+  /// position wins); empty items are ignored. Returns nullptr and fills
+  /// *error on an unknown name or an all-empty spec.
   static std::unique_ptr<OracleSuite> FromSpec(std::string_view spec,
                                                std::string* error);
 
@@ -29,6 +29,9 @@ class OracleSuite : public fuzz::LogicOracle {
 
   bool Check(fuzz::DbBackend* backend, const sql::Statement& stmt,
              fuzz::LogicBugInfo* out) override;
+
+  bool CheckHistory(const concurrency::History& history,
+                    fuzz::LogicBugInfo* out) override;
 
   /// Member names in check order (for CLI/stat display).
   std::vector<std::string> MemberNames() const;

@@ -10,6 +10,7 @@
 #include <memory>
 #include <utility>
 
+#include "fuzz/multi_case.h"
 #include "persist/io.h"
 #include "sql/statement_type.h"
 #include "triage/oracle_suite.h"
@@ -44,8 +45,10 @@ std::string LogicReplayKey(const fuzz::LogicBugInfo& logic) {
 }
 
 /// "tlp" -> "LOGIC-TLP": synthetic bug id for a logic-oracle finding.
+/// Isolation anomalies keep their own namespace: "iso-lost-update" ->
+/// "ISO-LOST-UPDATE" (no LOGIC- prefix — the anomaly class IS the bug id).
 std::string LogicBugId(const std::string& check) {
-  std::string id = "LOGIC-";
+  std::string id = check.rfind("iso-", 0) == 0 ? "" : "LOGIC-";
   for (char c : check) id += static_cast<char>(std::toupper(c));
   return id;
 }
@@ -90,6 +93,20 @@ std::string RenderArtifact(const TriagedBug& bug,
   if (bug.is_logic) {
     out += "-- oracle: " + bug.logic.check + " (wrong result, no crash)\n";
     out += "-- detail: " + bug.logic.detail + "\n";
+    if (bug.logic.sessions > 1) {
+      out += "-- sessions: " + std::to_string(bug.logic.sessions) + "\n";
+      out += "-- interleave-seed: " + std::to_string(bug.logic.interleave_seed) +
+             "\n";
+      out += "-- statements: " + std::to_string(bug.reduced_statements) +
+             " (reduced from " + std::to_string(bug.original_statements) +
+             ")\n";
+      // Render the exact split the seed produces: the multi-session script
+      // with "-- session N" markers is the actual reproducer.
+      out += fuzz::SplitForSessions(bug.repro, bug.logic.sessions,
+                                    bug.logic.interleave_seed)
+                 .ToSql();
+      return out;
+    }
   } else {
     out += "-- crash: " + bug.crash.kind + " in " + bug.crash.component +
            " (stack hash " + Hex16(bug.crash.stack_hash) + ")\n";
@@ -170,7 +187,7 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
   // per-capture `check` key still pins the finding to its original oracle.
   std::string suite_error;
   std::unique_ptr<OracleSuite> suite =
-      OracleSuite::FromSpec("tlp,norec,clause", &suite_error);
+      OracleSuite::FromSpec("tlp,norec,clause,iso", &suite_error);
   reducer.harness().set_logic_oracle(suite.get());
   for (size_t i = 0; i < result.captured_logic_cases.size(); ++i) {
     ++report.logic_captures;
@@ -185,25 +202,52 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
     }
     bug.original_statements = static_cast<int>(tc.size());
     const std::string check = bug.logic.check;
+    // Isolation findings are a function of (case, interleaving): pin the
+    // captured seed so every replay during reduction re-runs the exact
+    // interleaving that exhibited the anomaly.
+    const bool is_iso = check.rfind("iso-", 0) == 0;
+    if (is_iso) {
+      reducer.harness().set_forced_interleave_seed(bug.logic.interleave_seed);
+    }
     auto keep = [&](const fuzz::TestCase& cand) {
       fuzz::ExecResult r = reducer.harness().Run(cand);
       if (!r.logic_bug || r.logic.check != check) return false;
       bug.logic = r.logic;  // track the surviving (possibly simpler) finding
       return true;
     };
+    bool reproduced;
     if (options.reduce) {
       std::optional<fuzz::TestCase> red = reducer.ReduceWhile(tc, keep);
-      if (!red.has_value()) {
-        ++report.not_reproduced;
-        continue;
-      }
-      bug.repro = std::move(*red);
+      reproduced = red.has_value();
+      if (reproduced) bug.repro = std::move(*red);
     } else {
-      if (!keep(tc)) {
-        ++report.not_reproduced;
-        continue;
+      reproduced = keep(tc);
+      if (reproduced) bug.repro = tc.Clone();
+    }
+    if (reproduced && is_iso) {
+      // Second minimization axis: the interleaving itself. Statement-level
+      // ddmin is done; now probe a few sibling seeds and keep the
+      // reproducing interleaving with the fewest session switches (the
+      // concurrent analogue of "fewest statements").
+      const uint64_t base = bug.logic.interleave_seed;
+      int best_switches = -1;
+      fuzz::LogicBugInfo best = bug.logic;
+      for (uint64_t k = 0; k <= 8; ++k) {
+        uint64_t cand = k == 0 ? base : HashMix(base, k);
+        reducer.harness().set_forced_interleave_seed(cand);
+        fuzz::ExecResult r = reducer.harness().Run(bug.repro);
+        if (!r.logic_bug || r.logic.check != check) continue;
+        if (best_switches < 0 || r.interleave_switches < best_switches) {
+          best_switches = r.interleave_switches;
+          best = r.logic;
+        }
       }
-      bug.repro = tc.Clone();
+      bug.logic = best;
+    }
+    if (is_iso) reducer.harness().set_forced_interleave_seed(std::nullopt);
+    if (!reproduced) {
+      ++report.not_reproduced;
+      continue;
     }
     bug.reduced_statements = static_cast<int>(bug.repro.size());
     bug.signature = BugSignature{LogicBugId(check), TypeFingerprint(bug.repro)};

@@ -1,0 +1,244 @@
+#include "concurrency/history_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "concurrency/history.h"
+
+namespace lego::concurrency {
+namespace {
+
+// Hand-written Adya-style histories, one per anomaly class: the checker is
+// pure, so its classification can be conformance-tested without running the
+// engine at all.
+
+TEST(HistoryCheckerTest, EmptyHistoryIsClean) {
+  History h;
+  EXPECT_FALSE(CheckHistory(h).has_value());
+}
+
+TEST(HistoryCheckerTest, SerialReadModifyWriteIsClean) {
+  History h;
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Commit(0, 1);
+  h.Begin(1, 2);
+  h.Read(1, 2, "t:0:0", 1);
+  h.Write(1, 2, "t:0:0", 2, 1);
+  h.Commit(1, 2);
+  EXPECT_FALSE(CheckHistory(h).has_value());
+}
+
+TEST(HistoryCheckerTest, ConcurrentDisjointWritesAreClean) {
+  History h;
+  h.Begin(0, 1);
+  h.Begin(1, 2);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Write(1, 2, "t:0:1", 2, 0);
+  h.Commit(0, 1);
+  h.Commit(1, 2);
+  EXPECT_FALSE(CheckHistory(h).has_value());
+}
+
+TEST(HistoryCheckerTest, ReadingOwnWriteIsClean) {
+  History h;
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Read(0, 1, "t:0:0", 1);
+  h.Commit(0, 1);
+  EXPECT_FALSE(CheckHistory(h).has_value());
+}
+
+TEST(HistoryCheckerTest, RolledBackWriteLeavesNoTrace) {
+  // The undo path restores versions, so a later committed write records
+  // prev_version 0, skipping the aborted version entirely.
+  History h;
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Abort(0, 1);
+  h.Begin(1, 2);
+  h.Write(1, 2, "t:0:0", 2, 0);
+  h.Commit(1, 2);
+  EXPECT_FALSE(CheckHistory(h).has_value());
+}
+
+TEST(HistoryCheckerTest, DetectsLostUpdate) {
+  // Both committed txns read version 0 of the key before writing it: the
+  // second write clobbers the first without having seen it.
+  History h;
+  h.Begin(0, 1);
+  h.Begin(1, 2);
+  h.Read(0, 1, "t:0:0", 0);
+  h.Read(1, 2, "t:0:0", 0);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Commit(0, 1);
+  h.Write(1, 2, "t:0:0", 2, 0);
+  h.Commit(1, 2);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-lost-update");
+  EXPECT_EQ(anomaly->key, "t:0:0");
+}
+
+TEST(HistoryCheckerTest, DetectsDirtyRead) {
+  History h;
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Begin(1, 2);
+  h.Read(1, 2, "t:0:0", 1);  // t1 has not committed yet
+  h.Commit(1, 2);
+  h.Commit(0, 1);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-dirty-read");
+}
+
+TEST(HistoryCheckerTest, DetectsG1aAbortedRead) {
+  History h;
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Begin(1, 2);
+  h.Read(1, 2, "t:0:0", 1);
+  h.Commit(1, 2);
+  h.Abort(0, 1);  // the observed version never existed
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-g1a");
+}
+
+TEST(HistoryCheckerTest, DetectsG1bIntermediateRead) {
+  History h;
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Write(0, 1, "t:0:0", 2, 1);
+  h.Commit(0, 1);
+  h.Begin(1, 2);
+  h.Read(1, 2, "t:0:0", 1);  // v1 was never t1's final state
+  h.Commit(1, 2);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-g1b");
+}
+
+TEST(HistoryCheckerTest, DetectsNonRepeatableRead) {
+  History h;
+  h.Begin(1, 2);
+  h.Read(1, 2, "t:0:0", 0);
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Commit(0, 1);
+  h.Read(1, 2, "t:0:0", 1);  // same key, different version
+  h.Commit(1, 2);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-non-repeatable-read");
+}
+
+TEST(HistoryCheckerTest, DetectsG1cWriteCycle) {
+  // t1 -ww-> t2 on key a and t2 -ww-> t1 on key b: a pure write cycle, no
+  // reads at all.
+  History h;
+  h.Begin(0, 1);
+  h.Begin(1, 2);
+  h.Write(0, 1, "a:0:0", 1, 0);
+  h.Write(1, 2, "a:0:0", 2, 1);
+  h.Write(1, 2, "b:0:0", 3, 0);
+  h.Write(0, 1, "b:0:0", 4, 3);
+  h.Commit(0, 1);
+  h.Commit(1, 2);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-g1c");
+}
+
+TEST(HistoryCheckerTest, DetectsWriteSkew) {
+  // Each txn reads the key the other writes; neither writes what it read.
+  History h;
+  h.Begin(0, 1);
+  h.Begin(1, 2);
+  h.Read(0, 1, "a:0:0", 0);
+  h.Read(1, 2, "b:0:0", 0);
+  h.Write(0, 1, "b:0:0", 1, 0);
+  h.Write(1, 2, "a:0:0", 2, 0);
+  h.Commit(0, 1);
+  h.Commit(1, 2);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-write-skew");
+}
+
+TEST(HistoryCheckerTest, DetectsG2AntiDependencyCycle) {
+  // t1 -rw-> t2 (t2 overwrote the version of a that t1 read) and
+  // t2 -wr-> t1 (t1 read t2's committed write of b): a cycle with exactly
+  // one anti-dependency edge — G2 but not write skew (t1 never wrote).
+  History h;
+  h.Begin(0, 1);
+  h.Begin(1, 2);
+  h.Read(0, 1, "a:0:0", 0);
+  h.Write(1, 2, "a:0:0", 1, 0);
+  h.Write(1, 2, "b:0:0", 2, 0);
+  h.Commit(1, 2);
+  h.Read(0, 1, "b:0:0", 2);  // after t2's commit: not a dirty read
+  h.Commit(0, 1);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-g2");
+}
+
+TEST(HistoryCheckerTest, LostUpdateWinsOverDirtyRead) {
+  // The planted lost-update defect also produces dirty observations; the
+  // more specific classification must win.
+  History h;
+  h.Begin(0, 1);
+  h.Begin(1, 2);
+  h.Read(0, 1, "t:0:0", 0);
+  h.Read(1, 2, "t:0:0", 0);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Read(1, 2, "t:0:0", 1);  // dirty: t1 not committed yet
+  h.Write(1, 2, "t:0:0", 2, 1);
+  h.Commit(0, 1);
+  h.Commit(1, 2);
+  auto anomaly = CheckHistory(h);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_EQ(anomaly->id, "iso-lost-update");
+}
+
+TEST(HistoryCheckerTest, UncommittedReaderNeverFlags) {
+  // Anomalies are defined over committed transactions: a txn that aborted
+  // after observing something dirty is not an anomaly.
+  History h;
+  h.Begin(0, 1);
+  h.Write(0, 1, "t:0:0", 1, 0);
+  h.Begin(1, 2);
+  h.Read(1, 2, "t:0:0", 1);
+  h.Abort(1, 2);
+  h.Commit(0, 1);
+  EXPECT_FALSE(CheckHistory(h).has_value());
+}
+
+TEST(HistoryDigestTest, DigestIsOrderAndContentSensitive) {
+  History a;
+  a.Begin(0, 1);
+  a.Write(0, 1, "t:0:0", 1, 0);
+  a.Commit(0, 1);
+
+  History b;  // same events, same order
+  b.Begin(0, 1);
+  b.Write(0, 1, "t:0:0", 1, 0);
+  b.Commit(0, 1);
+  EXPECT_EQ(a.Digest(), b.Digest());
+
+  History c;  // different version
+  c.Begin(0, 1);
+  c.Write(0, 1, "t:0:0", 2, 0);
+  c.Commit(0, 1);
+  EXPECT_NE(a.Digest(), c.Digest());
+
+  History d;  // reordered
+  d.Write(0, 1, "t:0:0", 1, 0);
+  d.Begin(0, 1);
+  d.Commit(0, 1);
+  EXPECT_NE(a.Digest(), d.Digest());
+}
+
+}  // namespace
+}  // namespace lego::concurrency

@@ -1,0 +1,142 @@
+#include "minidb/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace lego::minidb {
+namespace {
+
+using Acquire = LockManager::Acquire;
+
+LockKey K(const char* table, uint32_t page = 0, uint32_t slot = 0) {
+  return LockKey{table, RowId{page, slot}};
+}
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kShared), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kShared), Acquire::kGranted);
+  EXPECT_TRUE(lm.Holds(1, K("t"), LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, K("t"), LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveConflictsBlock) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kExclusive), Acquire::kWouldBlock);
+  EXPECT_EQ(lm.Request(3, K("t"), LockMode::kShared), Acquire::kWouldBlock);
+  ASSERT_NE(lm.WaitingOn(2), nullptr);
+  EXPECT_EQ(*lm.WaitingOn(2), K("t"));
+}
+
+TEST(LockManagerTest, ReentrantHoldAndXCoversS) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kShared), Acquire::kGranted);
+  EXPECT_EQ(lm.HeldCount(1), 1u);
+}
+
+TEST(LockManagerTest, SoleHolderUpgradesInPlace) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kShared), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_TRUE(lm.Holds(1, K("t"), LockMode::kExclusive));
+  // The upgraded X now blocks others.
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kShared), Acquire::kWouldBlock);
+}
+
+TEST(LockManagerTest, ReleaseGrantsWaitersInQueueOrder) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(3, K("t"), LockMode::kShared), Acquire::kWouldBlock);
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kShared), Acquire::kWouldBlock);
+  std::vector<uint64_t> granted = lm.ReleaseAll(1);
+  // Both S waiters become grantable at once; wake order is ascending txn.
+  ASSERT_EQ(granted.size(), 2u);
+  EXPECT_EQ(granted[0], 2u);
+  EXPECT_EQ(granted[1], 3u);
+  EXPECT_TRUE(lm.Holds(2, K("t"), LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(3, K("t"), LockMode::kShared));
+}
+
+TEST(LockManagerTest, SharedNeverJumpsAnXWaiter) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kShared), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kExclusive), Acquire::kWouldBlock);
+  // A later S must queue behind the waiting X, not join holder 1 — otherwise
+  // a stream of readers starves the writer forever.
+  EXPECT_EQ(lm.Request(3, K("t"), LockMode::kShared), Acquire::kWouldBlock);
+  std::vector<uint64_t> granted = lm.ReleaseAll(1);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 2u);
+  EXPECT_TRUE(lm.Holds(2, K("t"), LockMode::kExclusive));
+  // Releasing the writer finally admits the queued reader.
+  granted = lm.ReleaseAll(2);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 3u);
+}
+
+TEST(LockManagerTest, TwoTxnCycleIsDeadlock) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("a"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("b"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(1, K("b"), LockMode::kExclusive), Acquire::kWouldBlock);
+  // 2 -> a would close the cycle 1 -> b -> 2 -> a -> 1: requester dies.
+  EXPECT_EQ(lm.Request(2, K("a"), LockMode::kExclusive), Acquire::kDeadlock);
+  // The victim was never enqueued; releasing it unblocks nothing by itself,
+  // but releasing its locks grants txn 1's pending wait.
+  std::vector<uint64_t> granted = lm.ReleaseAll(2);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 1u);
+  EXPECT_TRUE(lm.Holds(1, K("b"), LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ThreeTxnCycleIsDeadlock) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("a"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("b"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(3, K("c"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(1, K("b"), LockMode::kExclusive), Acquire::kWouldBlock);
+  EXPECT_EQ(lm.Request(2, K("c"), LockMode::kExclusive), Acquire::kWouldBlock);
+  EXPECT_EQ(lm.Request(3, K("a"), LockMode::kExclusive), Acquire::kDeadlock);
+}
+
+TEST(LockManagerTest, ConcurrentUpgradeDeadlocks) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kShared), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kShared), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kExclusive), Acquire::kWouldBlock);
+  // Both S holders upgrading can never both proceed: the second must die.
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kExclusive), Acquire::kDeadlock);
+  std::vector<uint64_t> granted = lm.ReleaseAll(2);
+  // With txn 2 gone, txn 1 is sole holder and its queued upgrade is granted.
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 1u);
+  EXPECT_TRUE(lm.Holds(1, K("t"), LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReleaseCancelsPendingWait) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t"), LockMode::kExclusive), Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("t"), LockMode::kExclusive), Acquire::kWouldBlock);
+  EXPECT_EQ(lm.Request(3, K("t"), LockMode::kExclusive), Acquire::kWouldBlock);
+  // Txn 2 aborts while parked: its queue entry must vanish so txn 3 is next.
+  EXPECT_TRUE(lm.ReleaseAll(2).empty());
+  EXPECT_EQ(lm.WaitingOn(2), nullptr);
+  std::vector<uint64_t> granted = lm.ReleaseAll(1);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 3u);
+}
+
+TEST(LockManagerTest, DistinctKeysDoNotConflict) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, K("t", 0, 0), LockMode::kExclusive),
+            Acquire::kGranted);
+  EXPECT_EQ(lm.Request(2, K("t", 0, 1), LockMode::kExclusive),
+            Acquire::kGranted);
+  EXPECT_EQ(lm.Request(3, K("u", 0, 0), LockMode::kExclusive),
+            Acquire::kGranted);
+}
+
+}  // namespace
+}  // namespace lego::minidb
