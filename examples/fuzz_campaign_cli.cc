@@ -12,9 +12,12 @@
 //   executions : campaign budget (total, across workers)    (default 10000)
 //   seed    : RNG seed (worker w derives seed + w)          (default 1)
 //   --workers N : parallel worker threads                   (default 1)
-//   --oracle LIST : arm metamorphic logic-bug oracles, comma-separated
-//                 from tlp | norec | clause, checked in the given order
-//                 with first-finding-wins (e.g. --oracle=tlp,norec,clause)
+//   --oracle LIST : arm logic-bug oracles, comma-separated from
+//                 tlp | norec | clause | iso | dur, checked in the given
+//                 order with first-finding-wins. "dur" is the durability
+//                 oracle: it needs --backend=forked --storage=paged and
+//                 adjudicates every child death against a shadow replay
+//                 (DUR-LOST-COMMIT / DUR-PHANTOM / DUR-RECOVERY-FAIL)
 //   --tlp       : shorthand for --oracle=tlp (combines: appends to LIST)
 //   --rule-coverage : grammar-rule coverage as a secondary feedback signal
 //                 (parser production hit-set; rare-rule corpus weighting)
@@ -59,6 +62,16 @@
 //                 the schedule is deterministic per (seed, hit index)
 //   --chaos-fp NAME=SPEC : arm one failpoint precisely (repeatable);
 //                 SPEC = off | always | prob:P | nth:N | kill:N
+//   --storage S : execution storage — mem (historical in-memory database)
+//                 or paged (buffer pool + WAL under --db-dir; recovery on
+//                 reopen; mem stays bit-identical)          (default mem)
+//   --db-dir DIR : paged only — on-disk database directory. Treated as a
+//                 scratch dir: wiped on engine reset and removed when the
+//                 tool exits; parallel worker w uses DIR/w<w>
+//   --pool-frames N : paged only — buffer-pool frame budget  (default 64)
+//   --planted-skip-fsync : test-only; the paged engine skips the commit
+//                 fsync, so a kill:N storage schedule loses acknowledged
+//                 commits (demo of --oracle=dur)
 //   --max-child-mem-mb N : forked only — RLIMIT_AS cap per child; an
 //                 allocation over it dies as a REAL-OOM crash  (default off)
 //   --max-child-cpu-s N : forked only — RLIMIT_CPU cap per child; a spin
@@ -83,6 +96,7 @@
 #include "fuzz/harness.h"
 #include "lego/lego_fuzzer.h"
 #include "minidb/database.h"
+#include "minidb/env.h"
 #include "minidb/eval.h"
 #include "triage/oracle_suite.h"
 #include "triage/triage.h"
@@ -188,6 +202,42 @@ int main(int argc, char** argv) {
       chaos_fps.emplace_back(argv[++i]);
     } else if (arg.rfind("--chaos-fp=", 0) == 0) {
       chaos_fps.emplace_back(arg.substr(11));
+    } else if (arg == "--storage" || arg.rfind("--storage=", 0) == 0) {
+      std::string value;
+      if (arg == "--storage") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--storage needs a value\n");
+          return 1;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(10);
+      }
+      std::optional<fuzz::StorageKind> kind = fuzz::ParseStorageKind(value);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "unknown storage '%s' (mem | paged)\n",
+                     value.c_str());
+        return 1;
+      }
+      backend.storage = *kind;
+    } else if (arg == "--db-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--db-dir needs a value\n");
+        return 1;
+      }
+      backend.db_dir = argv[++i];
+    } else if (arg.rfind("--db-dir=", 0) == 0) {
+      backend.db_dir = arg.substr(9);
+    } else if (arg == "--pool-frames") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--pool-frames needs a value\n");
+        return 1;
+      }
+      backend.pool_frames = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--pool-frames=", 0) == 0) {
+      backend.pool_frames = static_cast<size_t>(std::atoi(arg.c_str() + 14));
+    } else if (arg == "--planted-skip-fsync") {
+      backend.planted_skip_fsync = true;
     } else if (arg == "--max-child-mem-mb") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--max-child-mem-mb needs a value\n");
@@ -352,7 +402,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  fuzz::ExecutionHarness harness(*profile, backend);
   if (tlp) {
     if (!oracle_spec.empty()) oracle_spec += ',';
     oracle_spec += "tlp";
@@ -366,6 +415,29 @@ int main(int argc, char** argv) {
                    oracle_error.c_str());
       return 1;
     }
+  }
+  if (backend.storage == fuzz::StorageKind::kPaged &&
+      backend.db_dir.empty()) {
+    std::fprintf(stderr, "--storage=paged requires --db-dir\n");
+    return 1;
+  }
+  if (oracle_suite != nullptr && oracle_suite->durability_requested()) {
+    if (backend.storage != fuzz::StorageKind::kPaged ||
+        backend.kind != fuzz::BackendKind::kForked) {
+      std::fprintf(stderr,
+                   "--oracle=dur requires --backend=forked --storage=paged\n");
+      return 1;
+    }
+    backend.durability_check = true;
+  }
+  // The durability oracle stamps its repro messages with the fault schedule
+  // that produced them, so a DUR-* finding is replayable from its artifact.
+  for (const std::string& spec : chaos_fps) {
+    if (!backend.chaos_note.empty()) backend.chaos_note += ' ';
+    backend.chaos_note += spec;
+  }
+  fuzz::ExecutionHarness harness(*profile, backend);
+  if (oracle_suite != nullptr && !oracle_suite->MemberNames().empty()) {
     harness.set_logic_oracle(oracle_suite.get());
   }
   const bool oracles_armed = oracle_suite != nullptr;
@@ -413,6 +485,12 @@ int main(int argc, char** argv) {
               workers == 1 ? "" : "s");
   // Only announce non-default backends, keeping the default in-process
   // output byte-identical to the historical tool.
+  if (backend.storage == fuzz::StorageKind::kPaged) {
+    std::printf("storage: paged (%zu frames, dir %s%s%s)\n",
+                backend.pool_frames, backend.db_dir.c_str(),
+                backend.durability_check ? ", durability oracle" : "",
+                backend.planted_skip_fsync ? ", planted skip-fsync" : "");
+  }
   if (backend.kind != fuzz::BackendKind::kInProcess ||
       backend.max_stmt_ms > 0) {
     std::printf("backend: %.*s",
@@ -550,6 +628,11 @@ int main(int argc, char** argv) {
     }
     std::printf("  corpus exported    : %zu seeds -> %s\n",
                 result.corpus_export.size(), export_corpus.c_str());
+  }
+  // --db-dir is a scratch directory by contract (see the usage comment):
+  // every run starts from ResetFresh, so nothing in it outlives the tool.
+  if (!backend.db_dir.empty()) {
+    (void)minidb::Env::Posix()->RemoveDirRecursive(backend.db_dir);
   }
   if (!result.state_status.ok()) {
     std::fprintf(stderr, "state error: %s\n",

@@ -47,6 +47,11 @@ FailpointState g_failpoints[] = {
     {"minidb.insert_alloc"},  // row materialization allocation fails
     {"minidb.select_alloc"},  // result-set allocation fails
     {"backend.spawn"},        // fork-server pipe/fork setup fails
+    {"env.write"},            // storage Env: page/log write fails (per chunk)
+    {"env.sync"},             // storage Env: fsync fails
+    {"wal.append"},           // WAL: record append into the log buffer fails
+    {"pager.flush"},          // buffer pool: dirty-page write-back fails
+    {"wal.recover"},          // WAL: record read during recovery fails
 };
 
 FailpointState* Find(std::string_view name) {
@@ -206,6 +211,12 @@ uint64_t HitCount(std::string_view name) {
 uint64_t FireCount(std::string_view name) {
   const FailpointState* fp = Find(name);
   return fp == nullptr ? 0 : fp->fires.load(std::memory_order_relaxed);
+}
+
+FailpointMode ModeOf(std::string_view name) {
+  const FailpointState* fp = Find(name);
+  if (fp == nullptr) return FailpointMode::kOff;
+  return static_cast<FailpointMode>(fp->mode.load(std::memory_order_relaxed));
 }
 
 std::vector<FailpointInfo> Snapshot() {

@@ -85,6 +85,11 @@ void DisarmAll();
 uint64_t HitCount(std::string_view name);
 uint64_t FireCount(std::string_view name);
 
+/// Current mode of one failpoint (kOff for unknown names). The durability
+/// checker consults this to tell an *injected* recovery failure (expected
+/// while wal.recover / env sites are armed) from a genuine DUR-RECOVERY-FAIL.
+FailpointMode ModeOf(std::string_view name);
+
 /// Counter snapshot for end-of-run reporting.
 std::vector<FailpointInfo> Snapshot();
 

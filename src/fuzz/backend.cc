@@ -22,11 +22,25 @@ std::string_view BackendKindName(BackendKind kind) {
   return "?";
 }
 
+std::optional<StorageKind> ParseStorageKind(std::string_view name) {
+  if (name == "mem") return StorageKind::kMem;
+  if (name == "paged") return StorageKind::kPaged;
+  return std::nullopt;
+}
+
+std::string_view StorageKindName(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kMem: return "mem";
+    case StorageKind::kPaged: return "paged";
+  }
+  return "?";
+}
+
 std::unique_ptr<DbBackend> MakeBackend(const minidb::DialectProfile& profile,
                                        const BackendOptions& options) {
   switch (options.kind) {
     case BackendKind::kInProcess:
-      return std::make_unique<InProcessBackend>(profile);
+      return std::make_unique<InProcessBackend>(profile, options);
     case BackendKind::kForked:
       return std::make_unique<ForkedBackend>(profile, options);
     case BackendKind::kConcurrent:

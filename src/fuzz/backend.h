@@ -33,8 +33,41 @@ enum class BackendKind {
   kConcurrent,
 };
 
+/// Which storage engine the backend's server runs on.
+enum class StorageKind {
+  /// Purely in-memory catalog (the historical engine). Campaigns through it
+  /// are bit-identical to every release before the paged engine existed.
+  kMem,
+  /// Paged on-disk storage: heap snapshots + redo WAL under `db_dir`, with
+  /// ARIES-lite recovery. Enables the durability oracle for forked backends.
+  kPaged,
+};
+
+/// Parses "mem" / "paged" (as accepted by --storage=).
+std::optional<StorageKind> ParseStorageKind(std::string_view name);
+std::string_view StorageKindName(StorageKind kind);
+
 struct BackendOptions {
   BackendKind kind = BackendKind::kInProcess;
+  /// Storage engine of the server. kPaged requires `db_dir`.
+  StorageKind storage = StorageKind::kMem;
+  /// Paged only: directory holding MANIFEST / snap.<lsn> / wal.<lsn>. The
+  /// backend owns its lifecycle: created on first Reset, wiped per session,
+  /// recovered after a child death when the durability oracle is armed.
+  std::string db_dir;
+  /// Paged only: buffer-pool frame budget for snapshot I/O.
+  size_t pool_frames = 64;
+  /// Forked+paged only: after every child death at a storage failpoint the
+  /// parent re-runs recovery over `db_dir` and checks that every
+  /// acknowledged-before-death effect is readable and nothing unacknowledged
+  /// leaked in; violations surface as DUR-* findings.
+  bool durability_check = false;
+  /// Planted durability defect: the child's WAL acknowledges commits without
+  /// fsync, so a SIGKILL genuinely loses them (--planted-skip-fsync).
+  bool planted_skip_fsync = false;
+  /// Free-form chaos/kill-schedule description recorded into DUR-* crash
+  /// messages so reproducer artifacts carry the schedule that triggered them.
+  std::string chaos_note;
   /// Forked only: per-statement wall-clock watchdog in milliseconds. When a
   /// statement exceeds it the child is killed and the statement is reported
   /// as a hang (CrashInfo kind "HANG"). 0 disables the watchdog.

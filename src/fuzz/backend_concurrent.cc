@@ -4,12 +4,43 @@
 
 #include "coverage/coverage.h"
 #include "minidb/catalog.h"
+#include "minidb/env.h"
 
 namespace lego::fuzz {
+namespace {
+
+/// Concurrent session threads mutate heaps outside the storage engine's
+/// single-threaded statement bracket, so paged storage is not sound here;
+/// execution always runs in memory (see the class comment).
+BackendOptions ForceMemStorage(BackendOptions options) {
+  options.storage = StorageKind::kMem;
+  return options;
+}
+
+}  // namespace
 
 ConcurrentBackend::ConcurrentBackend(const minidb::DialectProfile& profile,
                                      const BackendOptions& options)
-    : InProcessBackend(profile), options_(options) {}
+    : InProcessBackend(profile, ForceMemStorage(options)), options_(options) {
+  if (!options_.db_dir.empty()) {
+    (void)minidb::Env::Posix()->CreateDir(options_.db_dir);
+  }
+}
+
+ConcurrentBackend::~ConcurrentBackend() {
+  if (!options_.db_dir.empty()) {
+    (void)minidb::Env::Posix()->RemoveDirRecursive(options_.db_dir);
+  }
+}
+
+void ConcurrentBackend::Reset() {
+  if (!options_.db_dir.empty()) {
+    minidb::Env* env = minidb::Env::Posix();
+    (void)env->RemoveDirRecursive(options_.db_dir);
+    (void)env->CreateDir(options_.db_dir);
+  }
+  InProcessBackend::Reset();
+}
 
 ConcurrentBackend::CaseResult ConcurrentBackend::RunCase(
     const MultiSessionCase& mcase, uint64_t seed) {

@@ -17,12 +17,22 @@ namespace lego::fuzz {
 /// a serial harness needs (Reset / Execute / oracle bracket / coverage
 /// scope) is inherited from InProcessBackend, so single-session execution
 /// through this backend is the ordinary serial path.
+/// Storage note: the paged engine's statement bracket is single-threaded
+/// (thread-local observer installation), so StorageKind::kPaged is forced
+/// back to kMem here — concurrent cases always execute in memory. The
+/// backend still owns its per-worker on-disk directory lifecycle when a
+/// `db_dir` is configured: created up front, wiped on every Reset, removed
+/// on destruction, so campaign-level --db-dir plumbing behaves uniformly
+/// across backends (and the dir is ready if paged concurrency lands later).
 class ConcurrentBackend : public InProcessBackend {
  public:
   ConcurrentBackend(const minidb::DialectProfile& profile,
                     const BackendOptions& options);
+  ~ConcurrentBackend() override;
 
   std::string_view name() const override { return "concurrent"; }
+
+  void Reset() override;
 
   struct CaseResult {
     concurrency::ConcurrentEngine::RunStats stats;

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "chaos/failpoint.h"
+#include "minidb/storage_engine.h"
 #include "sql/parser.h"
 #include "sql/statement_type.h"
 #include "util/hash.h"
@@ -153,6 +154,11 @@ std::string DeathKind(int wstatus) {
   }
   if (WIFEXITED(wstatus)) {
     if (WEXITSTATUS(wstatus) == kOomExitCode) return "OOM";
+    if (WEXITSTATUS(wstatus) == minidb::kStorageFailExitCode) {
+      // Storage panic: the child refused to acknowledge a commit it could
+      // not make durable. Own bucket so the durability oracle can claim it.
+      return "STORAGE";
+    }
     return "EXIT-" + std::to_string(WEXITSTATUS(wstatus));
   }
   return "UNKNOWN";
@@ -424,11 +430,33 @@ ForkedBackend::Wait ForkedBackend::RoundTrip(uint8_t type,
   return RecvMsg(deadline_ms, code, resp);
 }
 
+bool ForkedBackend::DurabilityArmed() const {
+  return options_.storage == StorageKind::kPaged &&
+         options_.durability_check && !options_.db_dir.empty();
+}
+
+std::optional<minidb::CrashInfo> ForkedBackend::ApplyDurabilityVerdict(
+    minidb::CrashInfo crash) {
+  if (!DurabilityArmed() ||
+      (crash.kind != "SIGKILL" && crash.kind != "STORAGE")) {
+    return crash;  // ineligible death: normal REAL-* handling
+  }
+  DurabilityVerdict verdict = dur_.CheckAfterDeath(
+      profile_, minidb::Env::Posix(), options_.db_dir, options_.chaos_note);
+  dur_.AbandonSession();
+  if (!verdict.checked) return crash;  // uncheckable: pass the death through
+  if (verdict.ok) return std::nullopt;  // invariant held: injected, not a bug
+  return verdict.crash;
+}
+
 void ForkedBackend::Reset() {
   // A death that never got surfaced (e.g. the run's last statement crashed
   // under the oracle bracket) is dropped here; the next occurrence will be
   // caught on a plain Execute.
   pending_death_.reset();
+  // Deaths during reset wipe/rebuild the directory mid-flight, so they are
+  // never durability-checkable; the shadow restarts on a clean session.
+  dur_.AbandonSession();
 
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (!alive_) Spawn();
@@ -447,6 +475,7 @@ void ForkedBackend::Reset() {
     Wait w = RoundTrip(kReqReset, setup_script(), deadline, &code, &resp);
     if (w == Wait::kData && code == kRespOk) {
       reset_failure_.reset();
+      if (DurabilityArmed()) dur_.BeginSession(setup_script());
       return;
     }
     if (w == Wait::kTimeout) {
@@ -488,9 +517,11 @@ StmtOutcome ForkedBackend::Execute(const sql::Statement& stmt,
     return out;
   }
 
+  const std::string sql_text = sql::ToSql(stmt);
   std::string payload;
   payload.push_back(want_rows ? 1 : 0);
-  payload += sql::ToSql(stmt);
+  payload += sql_text;
+  if (DurabilityArmed()) dur_.SetInflight(sql_text);
 
   uint8_t code = 0;
   std::string resp;
@@ -499,6 +530,7 @@ StmtOutcome ForkedBackend::Execute(const sql::Statement& stmt,
 
   if (w == Wait::kTimeout) {
     KillChild();
+    dur_.AbandonSession();  // watchdog kills stay HANG, never DUR
     minidb::CrashInfo hang;
     hang.bug_id = "HANG";
     hang.kind = "HANG";
@@ -518,18 +550,28 @@ StmtOutcome ForkedBackend::Execute(const sql::Statement& stmt,
     return out;
   }
   if (w == Wait::kDead) {
-    minidb::CrashInfo crash = ReapAsCrash(stmt.type());
+    // The durability oracle adjudicates chaos-injected deaths: a SIGKILL or
+    // storage panic whose recovered directory matches the acked shadow is
+    // the schedule doing its job (suppressed); a mismatch is a DUR-* bug.
+    std::optional<minidb::CrashInfo> crash =
+        ApplyDurabilityVerdict(ReapAsCrash(stmt.type()));
+    if (!crash.has_value()) {
+      out.status = StmtOutcome::Status::kError;
+      return out;
+    }
     if (in_oracle()) {
       // Surfaced by the next non-oracle Execute so the finding isn't lost,
       // while the oracle itself just sees a no-verdict query failure.
-      pending_death_ = crash;
+      pending_death_ = *crash;
       out.status = StmtOutcome::Status::kError;
       return out;
     }
     out.status = StmtOutcome::Status::kCrash;
-    out.crash = crash;
+    out.crash = *crash;
     return out;
   }
+
+  if (DurabilityArmed()) dur_.RecordAcked(sql_text);
 
   switch (code) {
     case kRespOk: {
@@ -608,6 +650,20 @@ void ForkedBackend::ChildLoop() {
   faults::BugEngine engine(profile_.name);
   db.set_fault_hook(&engine);
 
+  // Paged storage: the child owns its db directory's lifecycle. Panic mode
+  // is what makes the durability oracle sound — a commit that cannot be
+  // made durable exits with kStorageFailExitCode *before* the statement is
+  // acknowledged, so the parent's shadow never records it.
+  std::unique_ptr<minidb::StorageEngine> storage;
+  if (options_.storage == StorageKind::kPaged && !options_.db_dir.empty()) {
+    minidb::StorageEngine::Options so;
+    so.dir = options_.db_dir;
+    so.pool_frames = options_.pool_frames;
+    so.skip_fsync = options_.planted_skip_fsync;
+    so.panic_on_storage_error = true;
+    storage = std::make_unique<minidb::StorageEngine>(so);
+  }
+
   // Oracle bracket state (mirrors InProcessBackend's).
   cov::CoverageMap* oracle_saved_map = nullptr;
   minidb::FaultHook* oracle_saved_hook = nullptr;
@@ -638,12 +694,29 @@ void ForkedBackend::ChildLoop() {
         // Same choreography as InProcessBackend::Reset, with the run map in
         // shared memory so the parent sees coverage even if we die.
         db.ResetAll();
+        if (storage != nullptr && !storage->ResetFresh(&db).ok()) {
+          _exit(minidb::kStorageFailExitCode);
+        }
         engine.ResetSession();
         shm_->Reset();
         cov::CoverageRuntime::SetActiveMap(shm_);
         if (!payload.empty()) {
           db.set_fault_hook(nullptr);
-          (void)db.ExecuteScript(payload);
+          if (storage == nullptr) {
+            (void)db.ExecuteScript(payload);
+          } else {
+            // Per-statement bracket: setup state must be logged so recovery
+            // after a mid-run kill reproduces it.
+            auto stmts = sql::Parser::ParseScript(payload);
+            if (stmts.ok()) {
+              for (const sql::StmtPtr& stmt : stmts.value()) {
+                storage->BeginStatement(&db);
+                auto st = db.Execute(*stmt);
+                (void)storage->EndStatement(&db, *stmt, st.ok());
+                if (!st.ok() && st.status().IsCrash()) break;
+              }
+            }
+          }
           db.session().type_trace.clear();
           db.session().feature_trace.clear();
           db.set_fault_hook(&engine);
@@ -665,7 +738,11 @@ void ForkedBackend::ChildLoop() {
         }
         // A real defect below this line kills us mid-statement — that *is*
         // the feature: the parent maps our death into a CrashInfo.
+        if (storage != nullptr) storage->BeginStatement(&db);
         auto st = db.Execute(*(*stmts)[0]);
+        if (storage != nullptr) {
+          (void)storage->EndStatement(&db, *(*stmts)[0], st.ok());
+        }
         if (st.ok()) {
           std::string rows;
           if (want_rows) {

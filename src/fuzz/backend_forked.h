@@ -8,6 +8,7 @@
 #include <string>
 
 #include "fuzz/backend.h"
+#include "fuzz/durability.h"
 
 namespace lego::fuzz {
 
@@ -24,6 +25,15 @@ namespace lego::fuzz {
 /// minimize real crashes exactly like synthetic ones — and respawns a fresh
 /// child at the next Reset. With max_stmt_ms > 0, a statement exceeding the
 /// watchdog is killed and reported as a hang (bug_id "HANG") the same way.
+///
+/// With StorageKind::kPaged the child runs its engine on paged storage under
+/// `db_dir` (fresh generation per Reset; panic mode — a commit that cannot
+/// be made durable exits with kStorageFailExitCode instead of acking). When
+/// `durability_check` is armed the parent shadows every acknowledged
+/// statement and, after a SIGKILL / storage-panic death, recovers the dead
+/// child's directory out-of-process: a chaos-injected death whose recovered
+/// state matches the shadow is suppressed (the schedule worked, no bug); a
+/// mismatch becomes a DUR-* finding that rides the normal triage pipeline.
 ///
 /// Spawn the initial child before starting worker threads (constructing the
 /// backend does this) — respawns later may fork from a threaded process,
@@ -73,6 +83,16 @@ class ForkedBackend : public DbBackend {
   /// executing a statement of type `type` ("" context for non-Execute ops).
   minidb::CrashInfo ReapAsCrash(sql::StatementType type);
 
+  /// Paged + durability oracle armed (and a db dir to recover).
+  bool DurabilityArmed() const;
+  /// Post-mortem durability check for an eligible death (SIGKILL or the
+  /// storage panic exit). Returns the CrashInfo the caller should surface:
+  /// nullopt = verdict passed, suppress the chaos-injected death entirely;
+  /// otherwise either the DUR-* finding or the original crash (ineligible
+  /// or uncheckable deaths pass through).
+  std::optional<minidb::CrashInfo> ApplyDurabilityVerdict(
+      minidb::CrashInfo crash);
+
   bool SendMsg(uint8_t type, const std::string& payload);
   /// Waits for a full response frame. deadline_ms < 0 blocks (still
   /// noticing child death); on kTimeout the child is left running.
@@ -111,6 +131,9 @@ class ForkedBackend : public DbBackend {
   /// Set when Reset could not produce a live child (e.g. the setup script
   /// itself kills the engine); Execute then reports this crash.
   std::optional<minidb::CrashInfo> reset_failure_;
+
+  /// Parent-side shadow of the child's acked statements (durability oracle).
+  DurabilityTracker dur_;
 };
 
 }  // namespace lego::fuzz

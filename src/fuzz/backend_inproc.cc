@@ -2,16 +2,30 @@
 
 #include <utility>
 
+#include "sql/parser.h"
+
 namespace lego::fuzz {
 
-InProcessBackend::InProcessBackend(const minidb::DialectProfile& profile)
+InProcessBackend::InProcessBackend(const minidb::DialectProfile& profile,
+                                   const BackendOptions& options)
     : profile_(profile), db_(&profile), bug_engine_(profile.name) {
   db_.set_fault_hook(&bug_engine_);
+  if (options.storage == StorageKind::kPaged && !options.db_dir.empty()) {
+    minidb::StorageEngine::Options so;
+    so.dir = options.db_dir;
+    so.pool_frames = options.pool_frames;
+    so.skip_fsync = options.planted_skip_fsync;
+    // In-process: a storage failure must not kill the fuzzer. The engine
+    // degrades (stops logging) and the campaign keeps fuzzing in memory.
+    so.panic_on_storage_error = false;
+    storage_ = std::make_unique<minidb::StorageEngine>(so);
+  }
 }
 
 InProcessBackend::~InProcessBackend() {
   // Never leave a probe sink pointing at a dead map.
   if (collecting_) cov::CoverageRuntime::SetActiveMap(nullptr);
+  if (storage_ != nullptr) db_.set_storage_hook(nullptr);
 }
 
 void InProcessBackend::Reset() {
@@ -19,6 +33,7 @@ void InProcessBackend::Reset() {
   // coverage scope, then the setup script *inside* it with the oracle
   // disarmed and the trace cleared afterwards.
   db_.ResetAll();
+  if (storage_ != nullptr) (void)storage_->ResetFresh(&db_);
   bug_engine_.ResetSession();
 
   run_map_.Reset();
@@ -27,7 +42,20 @@ void InProcessBackend::Reset() {
 
   if (!setup_script().empty()) {
     db_.set_fault_hook(nullptr);
-    (void)db_.ExecuteScript(setup_script());
+    if (storage_ == nullptr) {
+      (void)db_.ExecuteScript(setup_script());
+    } else {
+      // Per-statement bracket so the setup state is logged and recoverable.
+      auto stmts = sql::Parser::ParseScript(setup_script());
+      if (stmts.ok()) {
+        for (const sql::StmtPtr& stmt : stmts.value()) {
+          storage_->BeginStatement(&db_);
+          auto st = db_.Execute(*stmt);
+          (void)storage_->EndStatement(&db_, *stmt, st.ok());
+          if (!st.ok() && st.status().IsCrash()) break;
+        }
+      }
+    }
     db_.session().type_trace.clear();
     db_.session().feature_trace.clear();
     db_.set_fault_hook(&bug_engine_);
@@ -38,7 +66,9 @@ void InProcessBackend::Reset() {
 StmtOutcome InProcessBackend::Execute(const sql::Statement& stmt,
                                       bool want_rows) {
   StmtOutcome out;
+  if (storage_ != nullptr) storage_->BeginStatement(&db_);
   auto st = db_.Execute(stmt);
+  if (storage_ != nullptr) (void)storage_->EndStatement(&db_, stmt, st.ok());
   if (st.ok()) {
     out.status = StmtOutcome::Status::kOk;
     if (want_rows) {

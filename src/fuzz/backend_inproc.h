@@ -1,10 +1,12 @@
 #ifndef LEGO_FUZZ_BACKEND_INPROC_H_
 #define LEGO_FUZZ_BACKEND_INPROC_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "fuzz/backend.h"
+#include "minidb/storage_engine.h"
 
 namespace lego::fuzz {
 
@@ -12,9 +14,16 @@ namespace lego::fuzz {
 /// campaigns through this backend are bit-identical to the pre-seam harness
 /// (same operation order around reset, setup script, coverage scope, and
 /// oracle bracket).
+///
+/// With StorageKind::kPaged the same execution path additionally runs behind
+/// a StorageEngine (fresh on-disk generation per Reset, statement bracket
+/// around every Execute). The mem path constructs no engine and stays
+/// bit-identical. An in-process storage failure degrades the engine (it
+/// stops logging) instead of killing the fuzzer.
 class InProcessBackend : public DbBackend {
  public:
-  explicit InProcessBackend(const minidb::DialectProfile& profile);
+  explicit InProcessBackend(const minidb::DialectProfile& profile,
+                            const BackendOptions& options = {});
   ~InProcessBackend() override;
 
   std::string_view name() const override { return "inproc"; }
@@ -30,6 +39,9 @@ class InProcessBackend : public DbBackend {
   /// schema before driving an oracle by hand, planting evaluator bugs, ...).
   minidb::Database& database() { return db_; }
 
+  /// Paged mode only; nullptr on the mem path.
+  minidb::StorageEngine* storage_engine() { return storage_.get(); }
+
  protected:
   void DoSnapshotForOracle() override;
   void DoRestoreForOracle() override;
@@ -38,6 +50,7 @@ class InProcessBackend : public DbBackend {
   const minidb::DialectProfile& profile_;
   minidb::Database db_;
   faults::BugEngine bug_engine_;
+  std::unique_ptr<minidb::StorageEngine> storage_;
   cov::CoverageMap run_map_;
   bool collecting_ = false;
 

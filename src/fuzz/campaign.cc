@@ -390,8 +390,14 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     // Same profile *and* backend: a forked-backend campaign gets one child
     // process per worker, all spawned here — before the worker threads
     // start, so the initial forks come from a single-threaded parent.
+    // Paged storage gets a per-worker subdirectory so workers never share a
+    // WAL/snapshot generation.
+    BackendOptions worker_backend = harness->backend_options();
+    if (!worker_backend.db_dir.empty()) {
+      worker_backend.db_dir += "/w" + std::to_string(w);
+    }
     states[w].harness = std::make_unique<ExecutionHarness>(
-        harness->profile(), harness->backend_options());
+        harness->profile(), worker_backend);
     states[w].harness->set_setup_script(harness->setup_script());
     states[w].harness->set_rule_coverage(harness->rule_coverage());
     // Oracles are stateless (LogicOracle contract), so sharing the

@@ -1,0 +1,144 @@
+#include "fuzz/durability.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "chaos/failpoint.h"
+#include "minidb/storage_engine.h"
+#include "minidb/storage_serde.h"
+#include "sql/parser.h"
+#include "util/hash.h"
+
+namespace lego::fuzz {
+namespace {
+
+/// True while any failpoint that can corrupt or fail recovery reads is
+/// armed — an unreadable directory is then the chaos schedule at work, not
+/// a durability bug.
+bool RecoveryFaultsArmed() {
+  for (const char* site : {"wal.recover", "env.write", "env.sync"}) {
+    if (chaos::ModeOf(site) != chaos::FailpointMode::kOff) return true;
+  }
+  return false;
+}
+
+void ExecuteShadowSql(minidb::Database* db, const std::string& sql) {
+  auto stmts = sql::Parser::ParseScript(sql + ";");
+  if (!stmts.ok()) return;
+  for (const sql::StmtPtr& stmt : stmts.value()) {
+    (void)db->Execute(*stmt);
+  }
+}
+
+minidb::CrashInfo MakeDurCrash(const std::string& bug_id, std::string message,
+                               const std::string& chaos_note) {
+  minidb::CrashInfo crash;
+  crash.bug_id = bug_id;
+  crash.component = "storage";
+  crash.kind = "DURABILITY";
+  crash.stack_hash = Fnv1a64(bug_id);
+  if (!chaos_note.empty()) message += " [schedule: " + chaos_note + "]";
+  crash.message = std::move(message);
+  return crash;
+}
+
+}  // namespace
+
+void DurabilityTracker::BeginSession(std::string setup_script) {
+  in_session_ = true;
+  setup_ = std::move(setup_script);
+  acked_.clear();
+  inflight_.reset();
+}
+
+void DurabilityTracker::RecordAcked(std::string sql) {
+  if (!in_session_) return;
+  acked_.push_back(std::move(sql));
+  inflight_.reset();
+}
+
+uint64_t DurabilityTracker::ShadowDigest(const minidb::DialectProfile& profile,
+                                         size_t acked_prefix,
+                                         bool with_inflight) const {
+  minidb::Database db(&profile);
+  if (!setup_.empty()) ExecuteShadowSql(&db, setup_);
+  for (size_t i = 0; i < acked_prefix && i < acked_.size(); ++i) {
+    ExecuteShadowSql(&db, acked_[i]);
+  }
+  if (with_inflight && inflight_.has_value()) {
+    ExecuteShadowSql(&db, *inflight_);
+  }
+  // Uncommitted work must be invisible after recovery: the no-steal WAL
+  // never held it, so the durable state is the shadow with the open
+  // transaction rolled back.
+  if (db.session().in_transaction) ExecuteShadowSql(&db, "ROLLBACK");
+  return minidb::StateDigest(db.catalog());
+}
+
+DurabilityVerdict DurabilityTracker::CheckAfterDeath(
+    const minidb::DialectProfile& profile, minidb::Env* env,
+    const std::string& dir, const std::string& chaos_note) const {
+  DurabilityVerdict verdict;
+  if (!in_session_ || dir.empty() || !env->FileExists(dir + "/MANIFEST")) {
+    return verdict;  // not checkable: reset-phase death or no engine yet
+  }
+  verdict.checked = true;
+
+  minidb::Database recovered(&profile);
+  minidb::WalLoadStats wal_stats;
+  Status status =
+      minidb::StorageEngine::RecoverInto(env, dir, &recovered, &wal_stats);
+  if (!status.ok()) {
+    if (RecoveryFaultsArmed()) {
+      // The injected fault fired during the verification read itself;
+      // nothing can be concluded this death.
+      verdict.checked = false;
+      return verdict;
+    }
+    verdict.ok = false;
+    verdict.crash = MakeDurCrash(
+        "DUR-RECOVERY-FAIL",
+        "recovery failed on engine-written directory: " + status.message(),
+        chaos_note);
+    return verdict;
+  }
+
+  const uint64_t recovered_digest = minidb::StateDigest(recovered.catalog());
+  const uint64_t acked_digest = ShadowDigest(profile, acked_.size(), false);
+  if (recovered_digest == acked_digest) return verdict;
+  if (inflight_.has_value() &&
+      recovered_digest == ShadowDigest(profile, acked_.size(), true)) {
+    return verdict;
+  }
+
+  // Mismatch: scan shadow prefixes backwards to tell a lost commit (state
+  // rolled back to an earlier acknowledged point) from a phantom. Bounded —
+  // each probe re-executes the prefix, and deep losses are conclusive after
+  // a few steps anyway.
+  constexpr size_t kMaxPrefixProbes = 32;
+  const size_t lo =
+      acked_.size() > kMaxPrefixProbes ? acked_.size() - kMaxPrefixProbes : 0;
+  for (size_t k = acked_.size(); k-- > lo;) {
+    if (recovered_digest == ShadowDigest(profile, k, false)) {
+      verdict.ok = false;
+      verdict.crash = MakeDurCrash(
+          "DUR-LOST-COMMIT",
+          "recovered state matches only the first " + std::to_string(k) +
+              " of " + std::to_string(acked_.size()) +
+              " acknowledged statements; acknowledged effects were lost",
+          chaos_note);
+      return verdict;
+    }
+  }
+
+  verdict.ok = false;
+  verdict.crash = MakeDurCrash(
+      "DUR-PHANTOM",
+      "recovered state matches no acknowledged shadow (acked=" +
+          std::to_string(acked_.size()) +
+          (inflight_.has_value() ? ", one statement in flight)" : ")"),
+      chaos_note);
+  return verdict;
+}
+
+}  // namespace lego::fuzz

@@ -308,6 +308,33 @@ const RuleInfo* Catalog::RuleFor(const std::string& table,
   return nullptr;
 }
 
+std::vector<std::string> Catalog::SequenceNames() const {
+  std::vector<std::string> names;
+  names.reserve(sequences_.size());
+  for (const auto& [name, info] : sequences_) names.push_back(name);
+  return names;
+}
+
+const IndexInfo* Catalog::FindIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+const TriggerInfo* Catalog::FindTrigger(const std::string& name) const {
+  auto it = triggers_.find(name);
+  return it == triggers_.end() ? nullptr : &it->second;
+}
+
+const RuleInfo* Catalog::FindRule(const std::string& name) const {
+  auto it = rules_.find(name);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+const SequenceInfo* Catalog::FindSequence(const std::string& name) const {
+  auto it = sequences_.find(name);
+  return it == sequences_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string> Catalog::RuleNames() const {
   std::vector<std::string> names;
   names.reserve(rules_.size());

@@ -168,6 +168,18 @@ class Catalog {
   bool HasPrivilege(const std::string& user, const std::string& table,
                     PrivMask mask) const;
 
+  // --- serde surface (const views for snapshot serialization) ---
+  std::vector<std::string> SequenceNames() const;
+  const IndexInfo* FindIndex(const std::string& name) const;
+  const TriggerInfo* FindTrigger(const std::string& name) const;
+  const RuleInfo* FindRule(const std::string& name) const;
+  const SequenceInfo* FindSequence(const std::string& name) const;
+  const std::set<std::string>& users() const { return users_; }
+  const std::map<std::string, std::map<std::string, PrivMask>>& privileges()
+      const {
+    return privileges_;
+  }
+
   /// Drops all temporary tables (DISCARD TEMP / session reset).
   void DropTemporaryTables();
 

@@ -133,6 +133,7 @@ Status Database::TxnBegin() {
   }
   txn_snapshot_ = catalog_;
   session_.in_transaction = true;
+  if (storage_hook_ != nullptr) storage_hook_->OnTxnBegin(*this);
   return Status::OK();
 }
 
@@ -144,6 +145,7 @@ Status Database::TxnCommit() {
   txn_snapshot_.reset();
   savepoints_.clear();
   session_.in_transaction = false;
+  if (storage_hook_ != nullptr) storage_hook_->OnTxnCommit(*this);
   return Status::OK();
 }
 
@@ -156,6 +158,7 @@ Status Database::TxnRollback() {
   txn_snapshot_.reset();
   savepoints_.clear();
   session_.in_transaction = false;
+  if (storage_hook_ != nullptr) storage_hook_->OnTxnRollback(*this);
   return Status::OK();
 }
 
@@ -165,6 +168,7 @@ Status Database::TxnSavepoint(const std::string& name) {
     return Status::TransactionError("SAVEPOINT requires a transaction");
   }
   savepoints_.emplace_back(name, catalog_);
+  if (storage_hook_ != nullptr) storage_hook_->OnTxnSavepoint(*this, name);
   return Status::OK();
 }
 
@@ -174,6 +178,7 @@ Status Database::TxnRelease(const std::string& name) {
     if (it->first == name) {
       // Release this savepoint and everything nested inside it.
       savepoints_.erase(it.base() - 1, savepoints_.end());
+      if (storage_hook_ != nullptr) storage_hook_->OnTxnRelease(*this, name);
       return Status::OK();
     }
   }
@@ -186,6 +191,7 @@ Status Database::TxnRollbackTo(const std::string& name) {
     if (it->first == name) {
       catalog_ = it->second;  // keep the savepoint itself (SQL semantics)
       savepoints_.erase(it.base(), savepoints_.end());
+      if (storage_hook_ != nullptr) storage_hook_->OnTxnRollbackTo(*this, name);
       return Status::OK();
     }
   }

@@ -79,6 +79,24 @@ class TxnHook {
   virtual Status RollbackTo(Database& db, const std::string& name) = 0;
 };
 
+/// Durability notification seam. Installed by the paged storage engine so
+/// the built-in snapshot transactions report their outcomes: the engine
+/// buffers redo records per statement and needs to know when a transaction
+/// boundary commits them (flush + fsync), discards them, or partially
+/// unwinds them (savepoints). Notifications fire only on the *success* path
+/// of each transaction-control operation, after the catalog reflects it.
+/// Never installed on the in-memory storage path.
+class StorageHook {
+ public:
+  virtual ~StorageHook() = default;
+  virtual void OnTxnBegin(Database& db) = 0;
+  virtual void OnTxnCommit(Database& db) = 0;
+  virtual void OnTxnRollback(Database& db) = 0;
+  virtual void OnTxnSavepoint(Database& db, const std::string& name) = 0;
+  virtual void OnTxnRelease(Database& db, const std::string& name) = 0;
+  virtual void OnTxnRollbackTo(Database& db, const std::string& name) = 0;
+};
+
 /// Oracle interface consulted after each successfully executed statement.
 /// Implemented by faults::BugEngine.
 class FaultHook {
@@ -143,6 +161,8 @@ class Database {
   FaultHook* fault_hook() const { return fault_hook_; }
   void set_txn_hook(TxnHook* hook) { txn_hook_ = hook; }
   TxnHook* txn_hook() const { return txn_hook_; }
+  void set_storage_hook(StorageHook* hook) { storage_hook_ = hook; }
+  StorageHook* storage_hook() const { return storage_hook_; }
   const std::optional<CrashInfo>& last_crash() const { return last_crash_; }
 
  private:
@@ -161,6 +181,7 @@ class Database {
   SessionState session_;
   FaultHook* fault_hook_ = nullptr;
   TxnHook* txn_hook_ = nullptr;
+  StorageHook* storage_hook_ = nullptr;
   std::optional<CrashInfo> last_crash_;
 
   /// Snapshot-based transactions: BEGIN copies the catalog; ROLLBACK

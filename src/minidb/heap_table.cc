@@ -4,10 +4,16 @@ namespace lego::minidb {
 
 namespace {
 thread_local RowObserver* tls_row_observer = nullptr;
+thread_local StorageObserver* tls_storage_observer = nullptr;
 }  // namespace
 
 RowObserver* RowHooks::Get() { return tls_row_observer; }
 void RowHooks::Set(RowObserver* observer) { tls_row_observer = observer; }
+
+StorageObserver* StorageHooks::Get() { return tls_storage_observer; }
+void StorageHooks::Set(StorageObserver* observer) {
+  tls_storage_observer = observer;
+}
 
 HeapTable::Page HeapTable::MakePage() {
   Page page;
@@ -49,16 +55,20 @@ RowId HeapTable::Insert(Row row) {
         page.live[i] = 1;
         ++live_rows_;
         --dead_slots_;
-        return RowId{static_cast<uint32_t>(pages_.size() - 1),
-                     static_cast<uint32_t>(i)};
+        const RowId id{static_cast<uint32_t>(pages_.size() - 1),
+                       static_cast<uint32_t>(i)};
+        if (StorageObserver* s = StorageHooks::Get()) s->OnPut(this, id);
+        return id;
       }
     }
   }
   page.rows.push_back(std::move(row));
   page.live.push_back(1);
   ++live_rows_;
-  return RowId{static_cast<uint32_t>(pages_.size() - 1),
-               static_cast<uint32_t>(page.rows.size() - 1)};
+  const RowId id{static_cast<uint32_t>(pages_.size() - 1),
+                 static_cast<uint32_t>(page.rows.size() - 1)};
+  if (StorageObserver* s = StorageHooks::Get()) s->OnPut(this, id);
+  return id;
 }
 
 bool HeapTable::Delete(RowId id) {
@@ -70,6 +80,7 @@ bool HeapTable::Delete(RowId id) {
   page.rows[id.slot].clear();
   --live_rows_;
   ++dead_slots_;
+  if (StorageObserver* s = StorageHooks::Get()) s->OnErase(this, id);
   return true;
 }
 
@@ -79,6 +90,7 @@ bool HeapTable::Update(RowId id, Row row) {
   Page& page = pages_[id.page];
   if (id.slot >= page.rows.size() || !page.live[id.slot]) return false;
   page.rows[id.slot] = std::move(row);
+  if (StorageObserver* s = StorageHooks::Get()) s->OnPut(this, id);
   return true;
 }
 
@@ -110,6 +122,7 @@ bool HeapTable::ResurrectAt(RowId id, Row row) {
   page.live[id.slot] = 1;
   ++live_rows_;
   --dead_slots_;
+  if (StorageObserver* s = StorageHooks::Get()) s->OnStructural(this);
   return true;
 }
 
@@ -146,12 +159,67 @@ void HeapTable::Vacuum() {
   }
   pages_ = std::move(compacted);
   dead_slots_ = 0;
+  if (StorageObserver* s = StorageHooks::Get()) s->OnStructural(this);
 }
 
 void HeapTable::Clear() {
   pages_.clear();
   live_rows_ = 0;
   dead_slots_ = 0;
+  if (StorageObserver* s = StorageHooks::Get()) s->OnStructural(this);
+}
+
+void HeapTable::VisitSlots(
+    const std::function<void(RowId, bool, const Row&)>& fn) const {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    const Page& page = pages_[p];
+    for (uint32_t s = 0; s < page.rows.size(); ++s) {
+      fn(RowId{p, s}, page.live[s] != 0, page.rows[s]);
+    }
+  }
+}
+
+void HeapTable::AppendRawPage() { pages_.push_back(MakePage()); }
+
+void HeapTable::AppendRawSlot(Row row, bool live) {
+  if (pages_.empty() || pages_.back().rows.size() >= kRowsPerPage) {
+    pages_.push_back(MakePage());
+  }
+  Page& page = pages_.back();
+  page.rows.push_back(std::move(row));
+  page.live.push_back(live ? 1 : 0);
+  if (live) {
+    ++live_rows_;
+  } else {
+    ++dead_slots_;
+  }
+}
+
+void HeapTable::ApplyPut(RowId id, Row row) {
+  while (pages_.size() <= id.page) pages_.push_back(MakePage());
+  Page& page = pages_[id.page];
+  while (page.rows.size() <= id.slot && page.rows.size() < kRowsPerPage) {
+    page.rows.emplace_back();
+    page.live.push_back(0);
+    ++dead_slots_;
+  }
+  if (id.slot >= page.rows.size()) return;  // malformed record; skip
+  if (!page.live[id.slot]) {
+    page.live[id.slot] = 1;
+    ++live_rows_;
+    --dead_slots_;
+  }
+  page.rows[id.slot] = std::move(row);
+}
+
+void HeapTable::ApplyDelete(RowId id) {
+  if (id.page >= pages_.size()) return;
+  Page& page = pages_[id.page];
+  if (id.slot >= page.rows.size() || !page.live[id.slot]) return;
+  page.live[id.slot] = 0;
+  page.rows[id.slot].clear();
+  --live_rows_;
+  ++dead_slots_;
 }
 
 }  // namespace lego::minidb

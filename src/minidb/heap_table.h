@@ -53,6 +53,33 @@ class RowHookClearScope {
   RowObserver* saved_;
 };
 
+/// Storage-engine mutation observer: the paged-durability layer's seam into
+/// the heap. Unlike RowObserver (which fires *before* a mutation so the
+/// concurrency engine can park/lock), these hooks fire *after* a successful
+/// mutation, when the post-image is in place — exactly what a physiological
+/// redo record needs. Installed per thread via StorageHooks only between a
+/// storage engine's BeginStatement/EndStatement bracket; every other code
+/// path pays one thread-local load per mutation and nothing else.
+class StorageObserver {
+ public:
+  virtual ~StorageObserver() = default;
+  /// A slot was written (insert or in-place update). The post-image is
+  /// readable via table->RawRow(id) until control returns.
+  virtual void OnPut(const HeapTable* table, RowId id) = 0;
+  /// A live slot was tombstoned.
+  virtual void OnErase(const HeapTable* table, RowId id) = 0;
+  /// The page layout changed wholesale (Clear, Vacuum, ResurrectAt) — slot
+  /// identities are no longer stable, so per-op redo is off the table and
+  /// the statement must be logged logically.
+  virtual void OnStructural(const HeapTable* table) = 0;
+};
+
+/// Thread-local storage-observer installation (same pattern as RowHooks).
+struct StorageHooks {
+  static StorageObserver* Get();
+  static void Set(StorageObserver* observer);
+};
+
 /// Page-structured row store. Rows live in fixed-capacity pages with a
 /// per-slot liveness bit; deletes tombstone slots and VACUUM compacts pages.
 /// The structure deliberately mirrors a slotted-page heap so scans, row ids,
@@ -118,6 +145,33 @@ class HeapTable {
 
   /// Drops all rows and pages.
   void Clear();
+
+  // --- storage-engine surface (snapshot serde + WAL redo) ---
+
+  /// Invokes `fn(id, live, row)` for every *allocated* slot (including
+  /// tombstones, whose rows are empty) in physical order. Snapshot serde
+  /// walks this so a deserialized heap reproduces the slot layout exactly —
+  /// RowIds recorded in WAL redo records stay valid.
+  void VisitSlots(
+      const std::function<void(RowId, bool, const Row&)>& fn) const;
+
+  /// Starts a fresh physical page (snapshot load). Needed because redo can
+  /// leave partially-filled *middle* pages, so the loader must reproduce
+  /// page boundaries explicitly rather than re-packing slots.
+  void AppendRawPage();
+
+  /// Appends one raw slot at the next physical position of the last page
+  /// (snapshot load); rolls to a new page only at full capacity.
+  void AppendRawSlot(Row row, bool live);
+
+  /// Redo application of a physiological put: writes `row` at exactly `id`,
+  /// creating pages/slots (as tombstones) up to it if needed. Idempotent —
+  /// replaying the same record twice converges on the same state. Fires no
+  /// observers (recovery runs outside any statement bracket).
+  void ApplyPut(RowId id, Row row);
+
+  /// Redo application of a physiological erase: tombstones `id` if live.
+  void ApplyDelete(RowId id);
 
  private:
   struct Page {

@@ -1,0 +1,680 @@
+#include "minidb/storage_engine.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "minidb/storage_serde.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+#include "util/hash.h"
+
+namespace lego::minidb {
+
+namespace {
+
+constexpr uint32_t kSnapMagic = 0x504e534cU;  // 'LSNP' little-endian
+constexpr uint32_t kSnapVersion = 1;
+/// Data pages carry [u64 lsn][u32 chunk_len][bytes].
+constexpr size_t kPageDataCap = kPageSize - sizeof(uint64_t) - sizeof(uint32_t);
+
+void EncodeU32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void EncodeU64(char* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t DecodeU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t DecodeU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool IsTclType(sql::StatementType t) {
+  switch (t) {
+    case sql::StatementType::kBegin:
+    case sql::StatementType::kCommit:
+    case sql::StatementType::kRollback:
+    case sql::StatementType::kSavepoint:
+    case sql::StatementType::kRelease:
+    case sql::StatementType::kRollbackTo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Statements that mutate session context later logical replays depend on
+/// (SET role switches the privilege-relevant user; settings feed
+/// current_setting()). Logged logically outside the transaction buffer,
+/// mirroring their non-transactional semantics.
+bool IsSessionContextType(sql::StatementType t) {
+  switch (t) {
+    case sql::StatementType::kSet:
+    case sql::StatementType::kPragma:
+    case sql::StatementType::kAlterSystem:
+    case sql::StatementType::kDiscard:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+StorageEngine::StorageEngine(Options options)
+    : options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : Env::Posix()),
+      wal_(env_) {
+  if (options_.pool_frames == 0) options_.pool_frames = 1;
+}
+
+std::string StorageEngine::SnapPath(uint64_t lsn) const {
+  return options_.dir + "/snap." + std::to_string(lsn);
+}
+
+std::string StorageEngine::WalPath(uint64_t lsn) const {
+  return options_.dir + "/wal." + std::to_string(lsn);
+}
+
+Status StorageEngine::WriteManifest(const ManifestInfo& info) {
+  persist::StateWriter w;
+  w.WriteU64(info.snapshot_lsn);
+  return env_->WriteFileAtomic(ManifestPath(), w.EnvelopedBytes());
+}
+
+StatusOr<StorageEngine::ManifestInfo> StorageEngine::ReadManifest(
+    Env* env, const std::string& dir) {
+  auto bytes = env->ReadFile(dir + "/MANIFEST");
+  if (!bytes.ok()) return bytes.status();
+  auto reader = persist::StateReader::FromEnvelope(std::move(bytes).ValueOrDie());
+  if (!reader.ok()) return reader.status();
+  ManifestInfo info;
+  info.snapshot_lsn = reader.value().ReadU64();
+  if (!reader.value().ok()) return reader.value().status();
+  return info;
+}
+
+Status StorageEngine::ResetFresh(Database* db) {
+  db->set_storage_hook(nullptr);
+  LEGO_RETURN_IF_ERROR(env_->RemoveDirRecursive(options_.dir));
+  LEGO_RETURN_IF_ERROR(env_->CreateDir(options_.dir));
+  LEGO_RETURN_IF_ERROR(WriteManifest(ManifestInfo{0}));
+  LEGO_RETURN_IF_ERROR(wal_.Open(WalPath(0), /*truncate=*/true));
+  lsn_ = 1;
+  degraded_ = false;
+  in_txn_ = false;
+  txn_buffer_.clear();
+  savepoint_marks_.clear();
+  commits_since_checkpoint_ = 0;
+  checkpoint_pending_ = false;
+  in_statement_ = false;
+  db->ResetAll();
+  db->set_storage_hook(this);
+  return Status::OK();
+}
+
+Status StorageEngine::OpenOrRecover(Database* db) {
+  if (!env_->FileExists(ManifestPath())) return ResetFresh(db);
+  db->set_storage_hook(nullptr);
+
+  auto manifest = ReadManifest(env_, options_.dir);
+  if (!manifest.ok()) return manifest.status();
+  const uint64_t snap_lsn = manifest.value().snapshot_lsn;
+
+  db->ResetAll();
+  uint64_t max_lsn = snap_lsn;
+  if (snap_lsn > 0) {
+    Catalog loaded;
+    BufferPool::Stats pool_stats;
+    LEGO_RETURN_IF_ERROR(LoadSnapshot(env_, SnapPath(snap_lsn),
+                                      options_.pool_frames, &loaded,
+                                      &pool_stats));
+    db->catalog() = std::move(loaded);
+    stats_.pool.hits += pool_stats.hits;
+    stats_.pool.misses += pool_stats.misses;
+    stats_.pool.evictions += pool_stats.evictions;
+    stats_.pool.writebacks += pool_stats.writebacks;
+  }
+
+  WalLoadStats wstats;
+  auto records = WalManager::Load(env_, WalPath(snap_lsn), &wstats);
+  if (!records.ok()) return records.status();
+  LEGO_RETURN_IF_ERROR(ReplayInto(db, records.value()));
+  for (const WalRecord& rec : records.value()) {
+    if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+  }
+  stats_.recovered_records += wstats.records;
+  stats_.recovered_commits += wstats.commits;
+  stats_.torn_records += wstats.torn_records;
+  stats_.torn_tail_bytes += wstats.torn_tail_bytes;
+
+  // Tail repair: a torn or uncommitted suffix must not survive under new
+  // appends (a later kCommit would resurrect it), so rewrite the log with
+  // exactly the kept records.
+  if (wstats.torn_records > 0 || wstats.torn_tail_bytes > 0) {
+    LEGO_RETURN_IF_ERROR(wal_.Open(WalPath(snap_lsn), /*truncate=*/true));
+    for (const WalRecord& rec : records.value()) {
+      LEGO_RETURN_IF_ERROR(wal_.Append(rec));
+    }
+    LEGO_RETURN_IF_ERROR(wal_.Flush());
+  } else {
+    LEGO_RETURN_IF_ERROR(wal_.Open(WalPath(snap_lsn), /*truncate=*/false));
+  }
+
+  // Sweep strays from interrupted checkpoints (snap.tmp, orphaned
+  // generations the manifest never flipped to).
+  auto listing = env_->ListDir(options_.dir);
+  if (listing.ok()) {
+    const std::string keep_snap = "snap." + std::to_string(snap_lsn);
+    const std::string keep_wal = "wal." + std::to_string(snap_lsn);
+    for (const std::string& name : listing.value()) {
+      if (name == "MANIFEST" || name == keep_snap || name == keep_wal) {
+        continue;
+      }
+      (void)env_->RemoveFile(options_.dir + "/" + name);
+    }
+  }
+
+  lsn_ = max_lsn + 1;
+  degraded_ = false;
+  in_txn_ = false;
+  txn_buffer_.clear();
+  savepoint_marks_.clear();
+  commits_since_checkpoint_ = 0;
+  checkpoint_pending_ = false;
+  in_statement_ = false;
+  db->set_storage_hook(this);
+  return Status::OK();
+}
+
+Status StorageEngine::RecoverInto(Env* env, const std::string& dir,
+                                  Database* db, WalLoadStats* wal_stats) {
+  auto manifest = ReadManifest(env, dir);
+  if (!manifest.ok()) return manifest.status();
+  const uint64_t snap_lsn = manifest.value().snapshot_lsn;
+  db->ResetAll();
+  if (snap_lsn > 0) {
+    Catalog loaded;
+    LEGO_RETURN_IF_ERROR(LoadSnapshot(env, dir + "/snap." +
+                                               std::to_string(snap_lsn),
+                                      /*pool_frames=*/64, &loaded, nullptr));
+    db->catalog() = std::move(loaded);
+  }
+  auto records = WalManager::Load(
+      env, dir + "/wal." + std::to_string(snap_lsn), wal_stats);
+  if (!records.ok()) return records.status();
+  return ReplayInto(db, records.value());
+}
+
+Status StorageEngine::WriteSnapshot(const Database& db, uint64_t lsn,
+                                    BufferPool::Stats* pool_stats) {
+  persist::StateWriter w;
+  SerializeCatalog(db.catalog(), &w);
+  const std::string& blob = w.buffer();
+
+  const std::string tmp = options_.dir + "/snap.tmp";
+  auto file_or = env_->OpenPagedFile(tmp, /*truncate=*/true);
+  if (!file_or.ok()) return file_or.status();
+  std::unique_ptr<PagedFile> file = std::move(file_or).ValueOrDie();
+  BufferPool pool(file.get(), options_.pool_frames);
+
+  const uint64_t data_pages = (blob.size() + kPageDataCap - 1) / kPageDataCap;
+  auto fail = [&](const Status& s) {
+    (void)env_->RemoveFile(tmp);
+    return s;
+  };
+
+  {
+    auto frame = pool.Pin(0);
+    if (!frame.ok()) return fail(frame.status());
+    char* p = frame.value();
+    std::memset(p, 0, kPageSize);
+    EncodeU32(p, kSnapMagic);
+    EncodeU32(p + 4, kSnapVersion);
+    EncodeU64(p + 8, lsn);
+    EncodeU64(p + 16, data_pages);
+    EncodeU64(p + 24, blob.size());
+    EncodeU64(p + 32, Fnv1a64(blob));
+    pool.Unpin(0, /*dirty=*/true);
+  }
+  for (uint64_t i = 0; i < data_pages; ++i) {
+    const size_t off = i * kPageDataCap;
+    const size_t len = std::min(kPageDataCap, blob.size() - off);
+    auto frame = pool.Pin(i + 1);
+    if (!frame.ok()) return fail(frame.status());
+    char* p = frame.value();
+    std::memset(p, 0, kPageSize);
+    EncodeU64(p, lsn);  // every page is LSN-stamped
+    EncodeU32(p + 8, static_cast<uint32_t>(len));
+    std::memcpy(p + 12, blob.data() + off, len);
+    pool.Unpin(i + 1, /*dirty=*/true);
+  }
+  Status s = pool.FlushAll();
+  if (pool_stats != nullptr) *pool_stats = pool.stats();
+  if (!s.ok()) return fail(s);
+  file.reset();
+  return env_->RenameFile(tmp, SnapPath(lsn));
+}
+
+Status StorageEngine::LoadSnapshot(Env* env, const std::string& path,
+                                   size_t pool_frames, Catalog* out,
+                                   BufferPool::Stats* pool_stats) {
+  auto file_or = env->OpenPagedFile(path, /*truncate=*/false);
+  if (!file_or.ok()) return file_or.status();
+  std::unique_ptr<PagedFile> file = std::move(file_or).ValueOrDie();
+  BufferPool pool(file.get(), pool_frames);
+
+  uint64_t lsn = 0;
+  uint64_t data_pages = 0;
+  uint64_t blob_len = 0;
+  uint64_t blob_hash = 0;
+  {
+    auto frame = pool.Pin(0);
+    if (!frame.ok()) return frame.status();
+    const char* p = frame.value();
+    const uint32_t magic = DecodeU32(p);
+    const uint32_t version = DecodeU32(p + 4);
+    lsn = DecodeU64(p + 8);
+    data_pages = DecodeU64(p + 16);
+    blob_len = DecodeU64(p + 24);
+    blob_hash = DecodeU64(p + 32);
+    pool.Unpin(0, false);
+    if (magic != kSnapMagic) {
+      return Status::Internal("snapshot magic mismatch in " + path);
+    }
+    if (version != kSnapVersion) {
+      return Status::Internal("snapshot version mismatch in " + path);
+    }
+    if (blob_len > data_pages * kPageDataCap) {
+      return Status::Internal("snapshot length overruns its pages: " + path);
+    }
+  }
+
+  std::string blob;
+  blob.reserve(blob_len);
+  for (uint64_t i = 0; i < data_pages; ++i) {
+    auto frame = pool.Pin(i + 1);
+    if (!frame.ok()) return frame.status();
+    const char* p = frame.value();
+    const uint64_t page_lsn = DecodeU64(p);
+    const uint32_t len = DecodeU32(p + 8);
+    if (page_lsn != lsn || len > kPageDataCap) {
+      pool.Unpin(i + 1, false);
+      return Status::Internal("snapshot page " + std::to_string(i + 1) +
+                              " is stamped with the wrong LSN: " + path);
+    }
+    blob.append(p + 12, len);
+    pool.Unpin(i + 1, false);
+  }
+  if (pool_stats != nullptr) *pool_stats = pool.stats();
+  if (blob.size() != blob_len || Fnv1a64(blob) != blob_hash) {
+    return Status::Internal("snapshot payload hash mismatch: " + path);
+  }
+  persist::StateReader reader = persist::StateReader::FromPayload(std::move(blob));
+  return DeserializeCatalog(&reader, out);
+}
+
+void StorageEngine::RebuildIndexes(Catalog* catalog) {
+  for (const std::string& name : catalog->IndexNames()) {
+    IndexInfo* ix = catalog->GetIndex(name).value();
+    auto table_or = catalog->GetTable(ix->table);
+    if (!table_or.ok()) continue;
+    TableInfo* table = table_or.value();
+    ix->tree.Clear();
+    if (ix->columns.empty()) continue;
+    const int col = table->schema.FindColumn(ix->columns[0]);
+    if (col < 0) continue;
+    table->heap.Scan([&](RowId rid, const Row& row) {
+      if (static_cast<size_t>(col) < row.size()) ix->tree.Insert(row[col], rid);
+      return true;
+    });
+  }
+}
+
+Status StorageEngine::ReplayInto(Database* db,
+                                 const std::vector<WalRecord>& recs) {
+  for (const WalRecord& rec : recs) {
+    switch (rec.type) {
+      case WalRecordType::kLogical: {
+        // Logical replay re-executes the statement; it may consult indexes,
+        // which physio replay leaves stale — rebuild first.
+        RebuildIndexes(&db->catalog());
+        if (!rec.user.empty()) db->session().current_user = rec.user;
+        auto stmts = sql::Parser::ParseScript(rec.text + ";");
+        if (!stmts.ok()) {
+          return Status::Internal("WAL logical record failed to parse: " +
+                                  stmts.status().message());
+        }
+        for (const sql::StmtPtr& stmt : stmts.value()) {
+          // Errors are part of the deterministic original behavior (a
+          // statement can be logged with partial effects).
+          (void)db->Execute(*stmt);
+        }
+        break;
+      }
+      case WalRecordType::kPut: {
+        auto table = db->catalog().GetTable(rec.table);
+        if (table.ok()) table.value()->heap.ApplyPut(rec.rid, rec.row);
+        break;
+      }
+      case WalRecordType::kErase: {
+        auto table = db->catalog().GetTable(rec.table);
+        if (table.ok()) table.value()->heap.ApplyDelete(rec.rid);
+        break;
+      }
+      case WalRecordType::kSeqSet: {
+        auto seq = db->catalog().GetSequence(rec.text);
+        if (seq.ok()) {
+          seq.value()->current = rec.seq_current;
+          seq.value()->started = rec.seq_started;
+        }
+        break;
+      }
+      case WalRecordType::kCommit:
+        break;
+    }
+  }
+  RebuildIndexes(&db->catalog());
+  return Status::OK();
+}
+
+Status StorageEngine::Checkpoint(Database* db) {
+  if (in_txn_) {
+    checkpoint_pending_ = true;
+    return Status::OK();
+  }
+  auto old_manifest = ReadManifest(env_, options_.dir);
+  const uint64_t old_lsn =
+      old_manifest.ok() ? old_manifest.value().snapshot_lsn : 0;
+  const uint64_t snap_lsn = lsn_++;
+
+  BufferPool::Stats pool_stats;
+  LEGO_RETURN_IF_ERROR(WriteSnapshot(*db, snap_lsn, &pool_stats));
+  stats_.pool.hits += pool_stats.hits;
+  stats_.pool.misses += pool_stats.misses;
+  stats_.pool.evictions += pool_stats.evictions;
+  stats_.pool.writebacks += pool_stats.writebacks;
+
+  // New (empty) log first, manifest flip second: until the flip, recovery
+  // still reads the old generation, which stays complete.
+  WalManager fresh(env_);
+  Status s = fresh.Open(WalPath(snap_lsn), /*truncate=*/true);
+  if (!s.ok()) {
+    (void)env_->RemoveFile(SnapPath(snap_lsn));
+    return s;
+  }
+  s = WriteManifest(ManifestInfo{snap_lsn});
+  if (!s.ok()) {
+    (void)env_->RemoveFile(SnapPath(snap_lsn));
+    (void)env_->RemoveFile(WalPath(snap_lsn));
+    return s;
+  }
+  wal_ = std::move(fresh);
+  if (old_lsn != snap_lsn) {
+    (void)env_->RemoveFile(WalPath(old_lsn));
+    if (old_lsn > 0) (void)env_->RemoveFile(SnapPath(old_lsn));
+  }
+  ++stats_.checkpoints;
+  commits_since_checkpoint_ = 0;
+  checkpoint_pending_ = false;
+  return Status::OK();
+}
+
+void StorageEngine::HandleStorageFailure(const Status& status) {
+  if (options_.panic_on_storage_error) {
+    std::fprintf(stderr, "storage: commit not durable, exiting: %s\n",
+                 status.message().c_str());
+    std::fflush(stderr);
+    _exit(kStorageFailExitCode);
+  }
+  degraded_ = true;
+}
+
+Status StorageEngine::CommitBatch(std::vector<WalRecord> records) {
+  if (records.empty()) return Status::OK();
+  for (const WalRecord& rec : records) {
+    Status s = wal_.Append(rec);
+    if (!s.ok()) {
+      HandleStorageFailure(s);
+      return Status::OK();
+    }
+  }
+  Status s = wal_.Commit(lsn_++, options_.skip_fsync);
+  if (!s.ok()) {
+    HandleStorageFailure(s);
+    return Status::OK();
+  }
+  ++stats_.commits;
+  stats_.wal_records += records.size() + 1;
+  ++commits_since_checkpoint_;
+  return Status::OK();
+}
+
+Status StorageEngine::MaybeAutoCheckpoint(Database* db) {
+  if (in_txn_ || degraded_) return Status::OK();
+  if (!checkpoint_pending_ &&
+      commits_since_checkpoint_ < options_.checkpoint_every_commits) {
+    return Status::OK();
+  }
+  // A failed checkpoint leaves the previous generation fully valid, so the
+  // engine keeps running on the old WAL; it will simply retry later.
+  Status s = Checkpoint(db);
+  if (!s.ok()) commits_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+void StorageEngine::BeginStatement(Database* db) {
+  if (degraded_) return;
+  structural_ = false;
+  unknown_heap_ = false;
+  stmt_records_.clear();
+  stmt_user_ = db->session().current_user;
+  schema_fp_before_ = SchemaFingerprint(db->catalog());
+  seq_before_.clear();
+  for (const std::string& name : db->catalog().SequenceNames()) {
+    const SequenceInfo* seq = db->catalog().FindSequence(name);
+    seq_before_[name] = {seq->current, seq->started};
+  }
+  table_names_.clear();
+  temp_tables_.clear();
+  for (const std::string& name : db->catalog().TableNames()) {
+    const TableInfo* t = db->catalog().GetTable(name).value();
+    if (t->temporary) {
+      temp_tables_.insert(&t->heap);
+    } else {
+      table_names_[&t->heap] = name;
+    }
+  }
+  in_statement_ = true;
+  StorageHooks::Set(this);
+}
+
+Status StorageEngine::EndStatement(Database* db, const sql::Statement& stmt,
+                                   bool executed_ok) {
+  StorageHooks::Set(nullptr);
+  if (!in_statement_) return Status::OK();
+  in_statement_ = false;
+  if (degraded_) return Status::OK();
+
+  const sql::StatementType type = stmt.type();
+  if (IsTclType(type)) {
+    // Buffer management already happened through the StorageHook
+    // notifications the transaction-control path fired.
+    stmt_records_.clear();
+    return Status::OK();
+  }
+
+  if (IsSessionContextType(type)) {
+    stmt_records_.clear();
+    if (!executed_ok) return Status::OK();
+    WalRecord rec;
+    rec.type = WalRecordType::kLogical;
+    rec.lsn = lsn_++;
+    rec.text = sql::ToSql(stmt);
+    rec.user = stmt_user_;
+    std::vector<WalRecord> batch;
+    batch.push_back(std::move(rec));
+    LEGO_RETURN_IF_ERROR(CommitBatch(std::move(batch)));
+    return MaybeAutoCheckpoint(db);
+  }
+
+  if (type == sql::StatementType::kCheckpoint) {
+    // CHECKPOINT changes no durable state, so it must be handled before the
+    // state_changed early-return below.
+    stmt_records_.clear();
+    if (!executed_ok) return Status::OK();
+    return Checkpoint(db);  // defers itself (checkpoint_pending_) in a txn
+  }
+
+  const uint64_t schema_fp_after = SchemaFingerprint(db->catalog());
+  const bool schema_changed = schema_fp_after != schema_fp_before_;
+
+  std::vector<WalRecord> seq_records;
+  for (const std::string& name : db->catalog().SequenceNames()) {
+    const SequenceInfo* seq = db->catalog().FindSequence(name);
+    auto it = seq_before_.find(name);
+    if (it != seq_before_.end() &&
+        it->second == std::make_pair(seq->current, seq->started)) {
+      continue;
+    }
+    WalRecord rec;
+    rec.type = WalRecordType::kSeqSet;
+    rec.text = name;
+    rec.seq_current = seq->current;
+    rec.seq_started = seq->started;
+    seq_records.push_back(std::move(rec));
+  }
+
+  const bool state_changed = !stmt_records_.empty() || structural_ ||
+                             unknown_heap_ || schema_changed ||
+                             !seq_records.empty();
+  if (!state_changed) return Status::OK();
+
+  const bool physio_ok = !structural_ && !unknown_heap_ && !schema_changed;
+  std::vector<WalRecord> records;
+  if (physio_ok) {
+    records = std::move(stmt_records_);
+    for (WalRecord& rec : seq_records) records.push_back(std::move(rec));
+  } else {
+    WalRecord rec;
+    rec.type = WalRecordType::kLogical;
+    rec.text = sql::ToSql(stmt);
+    rec.user = stmt_user_;
+    records.push_back(std::move(rec));
+  }
+  stmt_records_.clear();
+  for (WalRecord& rec : records) rec.lsn = lsn_++;
+
+  if (in_txn_) {
+    for (WalRecord& rec : records) txn_buffer_.push_back(std::move(rec));
+    return Status::OK();
+  }
+  LEGO_RETURN_IF_ERROR(CommitBatch(std::move(records)));
+  return MaybeAutoCheckpoint(db);
+}
+
+void StorageEngine::OnPut(const HeapTable* table, RowId id) {
+  if (!in_statement_) return;
+  if (temp_tables_.count(table) > 0) return;
+  auto it = table_names_.find(table);
+  if (it == table_names_.end()) {
+    unknown_heap_ = true;
+    return;
+  }
+  const Row* row = table->RawRow(id);
+  if (row == nullptr) {
+    structural_ = true;  // cannot capture a post-image: fall back to logical
+    return;
+  }
+  WalRecord rec;
+  rec.type = WalRecordType::kPut;
+  rec.table = it->second;
+  rec.rid = id;
+  rec.row = *row;
+  stmt_records_.push_back(std::move(rec));
+}
+
+void StorageEngine::OnErase(const HeapTable* table, RowId id) {
+  if (!in_statement_) return;
+  if (temp_tables_.count(table) > 0) return;
+  auto it = table_names_.find(table);
+  if (it == table_names_.end()) {
+    unknown_heap_ = true;
+    return;
+  }
+  WalRecord rec;
+  rec.type = WalRecordType::kErase;
+  rec.table = it->second;
+  rec.rid = id;
+  stmt_records_.push_back(std::move(rec));
+}
+
+void StorageEngine::OnStructural(const HeapTable* table) {
+  if (!in_statement_) return;
+  if (temp_tables_.count(table) > 0) return;
+  if (table_names_.count(table) == 0) {
+    unknown_heap_ = true;
+    return;
+  }
+  structural_ = true;
+}
+
+void StorageEngine::OnTxnBegin(Database& db) {
+  (void)db;
+  in_txn_ = true;
+  txn_buffer_.clear();
+  savepoint_marks_.clear();
+}
+
+void StorageEngine::OnTxnCommit(Database& db) {
+  in_txn_ = false;
+  savepoint_marks_.clear();
+  std::vector<WalRecord> batch = std::move(txn_buffer_);
+  txn_buffer_.clear();
+  (void)CommitBatch(std::move(batch));
+  (void)MaybeAutoCheckpoint(&db);
+}
+
+void StorageEngine::OnTxnRollback(Database& db) {
+  (void)db;
+  in_txn_ = false;
+  txn_buffer_.clear();
+  savepoint_marks_.clear();
+}
+
+void StorageEngine::OnTxnSavepoint(Database& db, const std::string& name) {
+  (void)db;
+  savepoint_marks_.emplace_back(name, txn_buffer_.size());
+}
+
+void StorageEngine::OnTxnRelease(Database& db, const std::string& name) {
+  (void)db;
+  for (auto it = savepoint_marks_.rbegin(); it != savepoint_marks_.rend();
+       ++it) {
+    if (it->first == name) {
+      // Drop this mark and everything nested inside it; records are kept
+      // (RELEASE merges work into the enclosing scope).
+      savepoint_marks_.erase(it.base() - 1, savepoint_marks_.end());
+      return;
+    }
+  }
+}
+
+void StorageEngine::OnTxnRollbackTo(Database& db, const std::string& name) {
+  (void)db;
+  for (auto it = savepoint_marks_.rbegin(); it != savepoint_marks_.rend();
+       ++it) {
+    if (it->first == name) {
+      txn_buffer_.resize(it->second);
+      // Keep the mark itself (SQL semantics: the savepoint survives).
+      savepoint_marks_.erase(it.base(), savepoint_marks_.end());
+      return;
+    }
+  }
+}
+
+}  // namespace lego::minidb

@@ -1,0 +1,197 @@
+#ifndef LEGO_MINIDB_STORAGE_ENGINE_H_
+#define LEGO_MINIDB_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minidb/buffer_pool.h"
+#include "minidb/database.h"
+#include "minidb/env.h"
+#include "minidb/wal.h"
+
+namespace lego::minidb {
+
+/// Exit code a forked child uses when the paged storage layer cannot make a
+/// commit durable (WAL append/flush/fsync failure in panic mode). Reserved
+/// next to faults::kOomExitCode (86); the parent maps it to the durability
+/// oracle instead of a generic crash.
+inline constexpr int kStorageFailExitCode = 87;
+
+/// ARIES-lite paged storage engine: redo-only WAL (no-steal, deferred
+/// write), LSN-stamped page snapshots, checkpointing, and crash recovery
+/// tolerating a torn log tail.
+///
+/// The engine lives *beside* the in-memory Database rather than under it:
+/// execution always runs on the in-memory catalog (so `--storage=mem`
+/// behavior is bit-identical), and the engine observes each statement
+/// through the StorageObserver/StorageHook seams to derive redo records.
+///
+/// Per statement, effects are classified:
+///  - *physiological* — only row puts/erases on known non-temporary tables,
+///    no schema change: each effect becomes a kPut/kErase carrying the full
+///    post-image (idempotent on replay), plus kSeqSet for moved sequences.
+///  - *logical* — schema changes, structural heap rewrites (VACUUM,
+///    TRUNCATE), or mutations of tables born this statement: one kLogical
+///    record re-executes the statement's SQL at recovery (execution is
+///    deterministic; the record carries the session user it ran as).
+/// SET/PRAGMA/ALTER SYSTEM/DISCARD are also logged logically — they mutate
+/// session context that later logical replays depend on — and bypass the
+/// transaction buffer, mirroring their non-transactional semantics.
+///
+/// Commit protocol: autocommit statements append their records plus a
+/// kCommit marker and fsync before the statement is acknowledged; inside
+/// BEGIN the records buffer in memory and reach the WAL only at COMMIT
+/// (ROLLBACK discards, savepoints truncate). So an acknowledged effect is
+/// always synced, and a crash at any point loses at most unacknowledged
+/// work — the invariant the durability oracle checks.
+///
+/// Directory layout: MANIFEST (atomic; snapshot LSN, 0 = none),
+/// snap.<lsn> (paged image streamed through the BufferPool), wal.<lsn>
+/// (rotated at checkpoint).
+class StorageEngine : public StorageHook, public StorageObserver {
+ public:
+  struct Options {
+    Env* env = nullptr;  // nullptr → Env::Posix()
+    std::string dir;
+    size_t pool_frames = 64;
+    uint64_t checkpoint_every_commits = 128;
+    /// Planted defect: acknowledge commits without fsync (--planted-skip-
+    /// fsync). Committed batches stay in the user-space log buffer and a
+    /// SIGKILL genuinely loses them.
+    bool skip_fsync = false;
+    /// Forked child: a commit that cannot be made durable _exit()s with
+    /// kStorageFailExitCode before acknowledging. In-process: the engine
+    /// degrades (stops logging, flags degraded()) instead.
+    bool panic_on_storage_error = false;
+  };
+
+  struct Stats {
+    uint64_t commits = 0;
+    uint64_t checkpoints = 0;
+    uint64_t wal_records = 0;
+    uint64_t recovered_records = 0;
+    uint64_t recovered_commits = 0;
+    uint64_t torn_records = 0;
+    uint64_t torn_tail_bytes = 0;
+    BufferPool::Stats pool;
+  };
+
+  explicit StorageEngine(Options options);
+
+  // --- lifecycle ---
+
+  /// Wipes the directory and starts a fresh generation (manifest LSN 0 +
+  /// empty WAL); resets `*db`. The cheap per-case reset.
+  Status ResetFresh(Database* db);
+
+  /// Loads the manifest/snapshot, replays the WAL into `*db` (truncating a
+  /// torn or uncommitted tail, counted in stats), and reopens the WAL for
+  /// appending. Idempotent: recovering twice yields the same state.
+  Status OpenOrRecover(Database* db);
+
+  /// Writes snap.<lsn> through the buffer pool, rotates the WAL, flips the
+  /// manifest, and removes the previous generation. Deferred while a
+  /// transaction is open.
+  Status Checkpoint(Database* db);
+
+  /// Pure-read recovery into `*db` for out-of-process verification (the
+  /// parent-side durability checker reads a dead child's directory without
+  /// disturbing it). Installs nothing and repairs nothing.
+  static Status RecoverInto(Env* env, const std::string& dir, Database* db,
+                            WalLoadStats* wal_stats);
+
+  // --- statement bracket (wrapped around every Database::Execute) ---
+
+  void BeginStatement(Database* db);
+  /// Classifies and logs the statement's captured effects. `executed_ok`
+  /// is the statement's status; errored statements with captured partial
+  /// effects are still logged (their replay is deterministic).
+  Status EndStatement(Database* db, const sql::Statement& stmt,
+                      bool executed_ok);
+
+  bool degraded() const { return degraded_; }
+  uint64_t lsn() const { return lsn_; }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  Env* env() const { return env_; }
+
+  // --- StorageObserver (fires between Begin/EndStatement only) ---
+  void OnPut(const HeapTable* table, RowId id) override;
+  void OnErase(const HeapTable* table, RowId id) override;
+  void OnStructural(const HeapTable* table) override;
+
+  // --- StorageHook (transaction boundaries, success path only) ---
+  void OnTxnBegin(Database& db) override;
+  void OnTxnCommit(Database& db) override;
+  void OnTxnRollback(Database& db) override;
+  void OnTxnSavepoint(Database& db, const std::string& name) override;
+  void OnTxnRelease(Database& db, const std::string& name) override;
+  void OnTxnRollbackTo(Database& db, const std::string& name) override;
+
+ private:
+  struct ManifestInfo {
+    uint64_t snapshot_lsn = 0;  // 0 = no snapshot yet
+  };
+
+  std::string ManifestPath() const { return options_.dir + "/MANIFEST"; }
+  std::string SnapPath(uint64_t lsn) const;
+  std::string WalPath(uint64_t lsn) const;
+
+  Status WriteManifest(const ManifestInfo& info);
+  static StatusOr<ManifestInfo> ReadManifest(Env* env, const std::string& dir);
+
+  /// Serializes the catalog into snap.tmp via the buffer pool and renames
+  /// it into place.
+  Status WriteSnapshot(const Database& db, uint64_t lsn,
+                       BufferPool::Stats* pool_stats);
+  static Status LoadSnapshot(Env* env, const std::string& path,
+                             size_t pool_frames, Catalog* out,
+                             BufferPool::Stats* pool_stats);
+
+  /// Applies loaded WAL records on top of the (snapshot) state in `*db`.
+  static Status ReplayInto(Database* db, const std::vector<WalRecord>& recs);
+  static void RebuildIndexes(Catalog* catalog);
+
+  /// Flushes `records` + a kCommit marker to the WAL and syncs (unless the
+  /// skip-fsync plant is armed). On failure: panic or degrade.
+  Status CommitBatch(std::vector<WalRecord> records);
+  /// Panic (_exit(kStorageFailExitCode)) or set degraded_, per options.
+  void HandleStorageFailure(const Status& status);
+  Status MaybeAutoCheckpoint(Database* db);
+
+  /// Snapshot of sequence positions taken at BeginStatement.
+  using SeqSnapshot = std::map<std::string, std::pair<int64_t, bool>>;
+
+  Options options_;
+  Env* env_;
+  WalManager wal_;
+  uint64_t lsn_ = 1;
+  bool degraded_ = false;
+  Stats stats_;
+
+  // Transaction buffer (no-steal: records reach the WAL only at commit).
+  bool in_txn_ = false;
+  std::vector<WalRecord> txn_buffer_;
+  std::vector<std::pair<std::string, size_t>> savepoint_marks_;
+  uint64_t commits_since_checkpoint_ = 0;
+  bool checkpoint_pending_ = false;
+
+  // Per-statement capture state.
+  bool in_statement_ = false;
+  bool structural_ = false;
+  bool unknown_heap_ = false;
+  uint64_t schema_fp_before_ = 0;
+  std::string stmt_user_;
+  SeqSnapshot seq_before_;
+  std::map<const HeapTable*, std::string> table_names_;
+  std::set<const HeapTable*> temp_tables_;
+  std::vector<WalRecord> stmt_records_;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_STORAGE_ENGINE_H_

@@ -1,0 +1,49 @@
+#ifndef LEGO_MINIDB_STORAGE_SERDE_H_
+#define LEGO_MINIDB_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "minidb/catalog.h"
+#include "persist/io.h"
+
+namespace lego::minidb {
+
+/// Serialization of durable database state (the catalog and everything it
+/// owns) for the paged storage engine's snapshots, plus the two digests the
+/// durability oracle compares.
+///
+/// Two modes share one walk:
+///  - *full*: every non-temporary object including heap contents (exact slot
+///    layout, tombstones and partial pages preserved so WAL RowIds stay
+///    valid), sequence positions, ANALYZE stats. This is the snapshot
+///    payload; StateDigest() hashes it.
+///  - *schema*: object definitions only — no heap rows, no sequence
+///    position — but *including* temporary tables. The storage engine
+///    fingerprints this before/after each statement to detect schema changes
+///    that physiological redo records cannot express.
+
+/// Scalar value serde (shared by snapshots and WAL records).
+void SerializeValue(const Value& v, persist::StateWriter* w);
+Value DeserializeValue(persist::StateReader* r);
+
+void SerializeRow(const Row& row, persist::StateWriter* w);
+Row DeserializeRow(persist::StateReader* r);
+
+/// Serializes the full durable state of `catalog` (mode: full).
+void SerializeCatalog(const Catalog& catalog, persist::StateWriter* w);
+
+/// Rebuilds `*out` (must be empty) from a full-mode payload, including
+/// rebuilding index trees from the loaded heaps.
+Status DeserializeCatalog(persist::StateReader* r, Catalog* out);
+
+/// Fnv1a64 of the full-mode blob: the durable-state digest the durability
+/// oracle compares across crash/recovery.
+uint64_t StateDigest(const Catalog& catalog);
+
+/// Fnv1a64 of the schema-mode blob; cheap enough to take per statement.
+uint64_t SchemaFingerprint(const Catalog& catalog);
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_STORAGE_SERDE_H_

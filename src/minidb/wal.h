@@ -1,0 +1,92 @@
+#ifndef LEGO_MINIDB_WAL_H_
+#define LEGO_MINIDB_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minidb/env.h"
+#include "minidb/row.h"
+
+namespace lego::minidb {
+
+/// Redo-record kinds. The log is redo-only (no-steal, deferred write): only
+/// effects of statements the engine decided to keep are ever appended, so
+/// recovery never needs undo.
+enum class WalRecordType : uint8_t {
+  kLogical = 1,  // re-execute `text` as SQL (schema changes, structural ops)
+  kPut = 2,      // physiological: full post-image of (table, rid)
+  kErase = 3,    // physiological: tombstone (table, rid)
+  kSeqSet = 4,   // sequence position after the statement
+  kCommit = 5,   // batch boundary: everything since the previous kCommit is
+                 // atomic; recovery discards a tail without one
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCommit;
+  uint64_t lsn = 0;
+  std::string text;   // kLogical: SQL text; kSeqSet: sequence name
+  std::string user;   // kLogical: session user the statement executed as
+  std::string table;  // kPut/kErase
+  RowId rid;          // kPut/kErase
+  Row row;            // kPut
+  int64_t seq_current = 0;  // kSeqSet
+  bool seq_started = false;
+};
+
+struct WalLoadStats {
+  uint64_t records = 0;           // records returned (up to the last commit)
+  uint64_t commits = 0;           // kCommit markers seen
+  uint64_t torn_records = 0;      // parsed but past the last commit (dropped)
+  uint64_t torn_tail_bytes = 0;   // unparseable suffix (counted, not fatal)
+};
+
+/// Append side of the write-ahead log. Records are framed
+/// [u32 len][u64 fnv1a hash][payload] and accumulate in the Env log's
+/// user-space buffer; Commit() appends the kCommit marker and pushes the
+/// whole batch through Sync() — commit *is* the sync. `wal.append` covers
+/// the framing path, env.write/env.sync fire inside Sync.
+class WalManager {
+ public:
+  explicit WalManager(Env* env) : env_(env) {}
+
+  Status Open(const std::string& path, bool truncate);
+  bool is_open() const { return log_ != nullptr; }
+  const std::string& path() const { return path_; }
+  void Close() { log_.reset(); }
+
+  Status Append(const WalRecord& rec);
+
+  /// Appends the commit marker and syncs. `skip_sync` is the planted
+  /// skip-fsync defect: the batch stays in the user-space buffer and a
+  /// SIGKILL genuinely loses it.
+  Status Commit(uint64_t lsn, bool skip_sync);
+
+  /// Pushes the buffer and fsyncs without a commit marker (tail repair
+  /// after recovery rewrites the kept records).
+  Status Flush();
+
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t synced_bytes() const {
+    return log_ ? log_->SyncedBytes() : 0;
+  }
+
+  /// Replays `path` into records. Stops cleanly at a torn/corrupt tail
+  /// (counted in stats, not an error) and drops any parsed records after
+  /// the last kCommit. `wal.recover` fires per record read. A missing file
+  /// is an empty log.
+  static StatusOr<std::vector<WalRecord>> Load(Env* env,
+                                               const std::string& path,
+                                               WalLoadStats* stats);
+
+ private:
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<WritableLog> log_;
+  uint64_t appended_records_ = 0;
+};
+
+}  // namespace lego::minidb
+
+#endif  // LEGO_MINIDB_WAL_H_

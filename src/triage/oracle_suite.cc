@@ -32,15 +32,21 @@ std::unique_ptr<OracleSuite> OracleSuite::FromSpec(std::string_view spec,
       suite->oracles_.push_back(std::make_unique<ClauseOracle>());
     } else if (item == "iso") {
       suite->oracles_.push_back(std::make_unique<IsolationOracle>());
+    } else if (item == "dur") {
+      // The durability oracle is not a per-statement metamorphic check: it
+      // runs in the backend's death path (crash-recovery verification) and
+      // surfaces DUR-* findings through crash triage. Accepting it here just
+      // records the request; the harness arms the backend accordingly.
+      suite->durability_ = true;
     } else {
       if (error != nullptr) {
         *error = "unknown oracle '" + std::string(item) +
-                 "' (known: tlp, norec, clause, iso)";
+                 "' (known: tlp, norec, clause, iso, dur)";
       }
       return nullptr;
     }
   }
-  if (suite->oracles_.empty()) {
+  if (suite->oracles_.empty() && !suite->durability_) {
     if (error != nullptr) *error = "empty oracle spec";
     return nullptr;
   }

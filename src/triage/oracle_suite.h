@@ -19,9 +19,11 @@ namespace lego::triage {
 class OracleSuite : public fuzz::LogicOracle {
  public:
   /// Builds a suite from a comma-separated spec, e.g. "tlp,norec,clause,iso".
-  /// Known names: tlp, norec, clause, iso. Duplicates collapse (first
-  /// position wins); empty items are ignored. Returns nullptr and fills
-  /// *error on an unknown name or an all-empty spec.
+  /// Known names: tlp, norec, clause, iso, dur. Duplicates collapse (first
+  /// position wins); empty items are ignored. "dur" adds no member — it sets
+  /// durability_requested() and the harness arms the backend-level check.
+  /// Returns nullptr and fills *error on an unknown name or an all-empty
+  /// spec.
   static std::unique_ptr<OracleSuite> FromSpec(std::string_view spec,
                                                std::string* error);
 
@@ -36,8 +38,13 @@ class OracleSuite : public fuzz::LogicOracle {
   /// Member names in check order (for CLI/stat display).
   std::vector<std::string> MemberNames() const;
 
+  /// True when the spec asked for the backend-level durability oracle
+  /// ("dur"); the caller wires BackendOptions::durability_check from it.
+  bool durability_requested() const { return durability_; }
+
  private:
   std::vector<std::unique_ptr<fuzz::LogicOracle>> oracles_;
+  bool durability_ = false;
 };
 
 }  // namespace lego::triage

@@ -110,6 +110,9 @@ std::string RenderArtifact(const TriagedBug& bug,
   } else {
     out += "-- crash: " + bug.crash.kind + " in " + bug.crash.component +
            " (stack hash " + Hex16(bug.crash.stack_hash) + ")\n";
+    if (bug.crash.kind == "DURABILITY" && !bug.crash.message.empty()) {
+      out += "-- verdict: " + bug.crash.message + "\n";
+    }
     if (const faults::BugDef* def = engine.FindBug(bug.crash.bug_id)) {
       std::string trigger;
       for (sql::StatementType t : def->sequence) {

@@ -1,0 +1,205 @@
+// WAL append/replay contract tests: roundtrip of every record kind, the
+// commit-is-the-boundary rule (records past the last kCommit are dropped),
+// torn-tail truncation counted but not fatal, corrupt-frame detection, and
+// idempotent double recovery — all against the in-memory Env whose
+// SimulateCrash/TruncateFileTail make torn states constructible.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "minidb/env.h"
+#include "minidb/wal.h"
+
+namespace lego::minidb {
+namespace {
+
+WalRecord Logical(uint64_t lsn, const std::string& text) {
+  WalRecord rec;
+  rec.type = WalRecordType::kLogical;
+  rec.lsn = lsn;
+  rec.text = text;
+  rec.user = "admin";
+  return rec;
+}
+
+WalRecord Put(uint64_t lsn, const std::string& table, uint64_t page,
+              uint32_t slot) {
+  WalRecord rec;
+  rec.type = WalRecordType::kPut;
+  rec.lsn = lsn;
+  rec.table = table;
+  rec.rid.page = page;
+  rec.rid.slot = slot;
+  return rec;
+}
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(env_.CreateDir("db").ok()); }
+
+  static constexpr const char* kPath = "db/wal.0";
+  MemEnv env_;
+};
+
+TEST_F(WalRecoveryTest, AppendCommitLoadRoundtrip) {
+  WalManager wal(&env_);
+  ASSERT_TRUE(wal.Open(kPath, /*truncate=*/true).ok());
+  ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
+  ASSERT_TRUE(wal.Append(Put(2, "t", 0, 0)).ok());
+  WalRecord seq;
+  seq.type = WalRecordType::kSeqSet;
+  seq.lsn = 3;
+  seq.text = "s";
+  seq.seq_current = 41;
+  seq.seq_started = true;
+  ASSERT_TRUE(wal.Append(seq).ok());
+  WalRecord erase;
+  erase.type = WalRecordType::kErase;
+  erase.lsn = 4;
+  erase.table = "t";
+  erase.rid.page = 0;
+  erase.rid.slot = 0;
+  ASSERT_TRUE(wal.Append(erase).ok());
+  ASSERT_TRUE(wal.Commit(5, /*skip_sync=*/false).ok());
+
+  WalLoadStats stats;
+  auto loaded = WalManager::Load(&env_, kPath, &stats);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 5u);
+  EXPECT_EQ(stats.commits, 1u);
+  EXPECT_EQ(stats.torn_records, 0u);
+  EXPECT_EQ(stats.torn_tail_bytes, 0u);
+  const std::vector<WalRecord>& recs = loaded.value();
+  EXPECT_EQ(recs[0].type, WalRecordType::kLogical);
+  EXPECT_EQ(recs[0].text, "CREATE TABLE t (a INT)");
+  EXPECT_EQ(recs[0].user, "admin");
+  EXPECT_EQ(recs[1].type, WalRecordType::kPut);
+  EXPECT_EQ(recs[1].table, "t");
+  EXPECT_EQ(recs[2].type, WalRecordType::kSeqSet);
+  EXPECT_EQ(recs[2].seq_current, 41);
+  EXPECT_TRUE(recs[2].seq_started);
+  EXPECT_EQ(recs[3].type, WalRecordType::kErase);
+  EXPECT_EQ(recs[4].type, WalRecordType::kCommit);
+}
+
+TEST_F(WalRecoveryTest, MissingFileIsEmptyLog) {
+  WalLoadStats stats;
+  auto loaded = WalManager::Load(&env_, "db/nope", &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(WalRecoveryTest, RecordsAfterLastCommitAreDropped) {
+  WalManager wal(&env_);
+  ASSERT_TRUE(wal.Open(kPath, true).ok());
+  ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
+  ASSERT_TRUE(wal.Commit(2, false).ok());
+  // A fully-written but uncommitted batch: appended AND synced (tail
+  // repair does this), yet recovery must still treat it as not-happened.
+  ASSERT_TRUE(wal.Append(Logical(3, "DROP TABLE t")).ok());
+  ASSERT_TRUE(wal.Flush().ok());
+
+  WalLoadStats stats;
+  auto loaded = WalManager::Load(&env_, kPath, &stats);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().back().type, WalRecordType::kCommit);
+  EXPECT_EQ(stats.torn_records, 1u);
+}
+
+TEST_F(WalRecoveryTest, UnsyncedBatchDiesWithTheProcess) {
+  WalManager wal(&env_);
+  ASSERT_TRUE(wal.Open(kPath, true).ok());
+  ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
+  ASSERT_TRUE(wal.Commit(2, false).ok());
+  ASSERT_TRUE(wal.Append(Logical(3, "CREATE TABLE u (b INT)")).ok());
+  ASSERT_TRUE(wal.Commit(4, /*skip_sync=*/true).ok());  // the planted defect
+  env_.SimulateCrash();
+
+  WalLoadStats stats;
+  auto loaded = WalManager::Load(&env_, kPath, &stats);
+  ASSERT_TRUE(loaded.ok());
+  // Only the synced batch survived — exactly the lost-commit signal the
+  // durability oracle exists to catch.
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].text, "CREATE TABLE t (a INT)");
+}
+
+TEST_F(WalRecoveryTest, TornTailIsCountedNotFatal) {
+  WalManager wal(&env_);
+  ASSERT_TRUE(wal.Open(kPath, true).ok());
+  ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
+  ASSERT_TRUE(wal.Commit(2, false).ok());
+  ASSERT_TRUE(wal.Append(Logical(3, "CREATE TABLE u (b INT)")).ok());
+  ASSERT_TRUE(wal.Commit(4, false).ok());
+  // Rip bytes off the end mid-frame: a crash landing inside a chunked
+  // write leaves exactly this shape.
+  env_.TruncateFileTail(kPath, 7);
+
+  WalLoadStats stats;
+  auto loaded = WalManager::Load(&env_, kPath, &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_GT(stats.torn_tail_bytes, 0u);
+}
+
+TEST_F(WalRecoveryTest, CorruptPayloadStopsAtLastGoodCommit) {
+  WalManager wal(&env_);
+  ASSERT_TRUE(wal.Open(kPath, true).ok());
+  ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
+  ASSERT_TRUE(wal.Commit(2, false).ok());
+  ASSERT_TRUE(wal.Append(Logical(3, "CREATE TABLE u (b INT)")).ok());
+  ASSERT_TRUE(wal.Commit(4, false).ok());
+  // Flip one payload byte in the second batch: the frame hash must reject
+  // it and recovery keeps the first batch only.
+  auto content = env_.ReadFile(kPath);
+  ASSERT_TRUE(content.ok());
+  std::string bytes = content.value();
+  bytes[bytes.size() - 3] ^= 0x40;
+  ASSERT_TRUE(env_.WriteFileAtomic(kPath, bytes).ok());
+
+  WalLoadStats stats;
+  auto loaded = WalManager::Load(&env_, kPath, &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_GT(stats.torn_tail_bytes, 0u);
+}
+
+TEST_F(WalRecoveryTest, DoubleRecoveryIsIdempotent) {
+  WalManager wal(&env_);
+  ASSERT_TRUE(wal.Open(kPath, true).ok());
+  ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
+  ASSERT_TRUE(wal.Append(Put(2, "t", 0, 0)).ok());
+  ASSERT_TRUE(wal.Commit(3, false).ok());
+  ASSERT_TRUE(wal.Append(Logical(4, "INSERT INTO t VALUES (1)")).ok());
+  env_.SimulateCrash();
+
+  WalLoadStats first_stats;
+  auto first = WalManager::Load(&env_, kPath, &first_stats);
+  ASSERT_TRUE(first.ok());
+  WalLoadStats second_stats;
+  auto second = WalManager::Load(&env_, kPath, &second_stats);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first.value().size(), second.value().size());
+  for (size_t i = 0; i < first.value().size(); ++i) {
+    EXPECT_EQ(first.value()[i].type, second.value()[i].type);
+    EXPECT_EQ(first.value()[i].lsn, second.value()[i].lsn);
+    EXPECT_EQ(first.value()[i].text, second.value()[i].text);
+  }
+  EXPECT_EQ(first_stats.records, second_stats.records);
+  EXPECT_EQ(first_stats.torn_tail_bytes, second_stats.torn_tail_bytes);
+}
+
+TEST_F(WalRecoveryTest, SyncedBytesTracksDurablePrefix) {
+  WalManager wal(&env_);
+  ASSERT_TRUE(wal.Open(kPath, true).ok());
+  ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
+  EXPECT_EQ(wal.synced_bytes(), 0u);
+  ASSERT_TRUE(wal.Commit(2, false).ok());
+  EXPECT_GT(wal.synced_bytes(), 0u);
+  EXPECT_EQ(wal.appended_records(), 2u);
+}
+
+}  // namespace
+}  // namespace lego::minidb
