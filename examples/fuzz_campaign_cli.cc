@@ -555,6 +555,25 @@ int main(int argc, char** argv) {
                 result.fuzzer_stats.import_skipped,
                 result.fuzzer_stats.import_skipped == 1 ? "y" : "ies");
   }
+  if (backend.storage == fuzz::StorageKind::kPaged) {
+    const fuzz::BackendStorageStats& ss = result.storage;
+    std::printf("  buffer pool        : %.1f%% hit rate (%llu hits, "
+                "%llu misses), %llu eviction(s), %llu writeback(s)\n",
+                100.0 * ss.pool_hit_rate(),
+                static_cast<unsigned long long>(ss.pool_hits),
+                static_cast<unsigned long long>(ss.pool_misses),
+                static_cast<unsigned long long>(ss.pool_evictions),
+                static_cast<unsigned long long>(ss.pool_writebacks));
+    std::printf("  write-ahead log    : %llu record(s), %llu byte(s), "
+                "%llu fsync(s), %llu steal flush(es)\n",
+                static_cast<unsigned long long>(ss.wal_records),
+                static_cast<unsigned long long>(ss.wal_bytes),
+                static_cast<unsigned long long>(ss.fsyncs),
+                static_cast<unsigned long long>(ss.steal_flushes));
+    std::printf("  durability         : %llu commit(s), %llu checkpoint(s)\n",
+                static_cast<unsigned long long>(ss.commits),
+                static_cast<unsigned long long>(ss.checkpoints));
+  }
   if (result.checkpoints_failed > 0 || result.checkpoint_fallbacks > 0 ||
       result.workers_parked > 0) {
     std::printf("  self-healing       : %d checkpoint write(s) failed, "

@@ -1,5 +1,6 @@
 #include "concurrency/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <thread>
@@ -58,11 +59,59 @@ void ConcurrentEngine::SwapOut(SessionCtx& ctx) {
 }
 
 void ConcurrentEngine::SchedulePoint(SessionCtx& ctx) {
+  ReleaseLatches(ctx);  // latches never span a park
   if (ctx.swapped_in) SwapOut(ctx);
   if (scheduler_.Arrive(ctx.sid) == EpochScheduler::Wake::kShutdown) {
     throw ShutdownException{};
   }
   SwapIn(ctx);
+}
+
+std::mutex* ConcurrentEngine::LatchFor(const PageKey& key) {
+  std::unique_ptr<std::mutex>& slot = page_latches_[key];
+  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  return slot.get();
+}
+
+void ConcurrentEngine::LatchPage(SessionCtx& ctx,
+                                 const minidb::HeapTable* heap,
+                                 minidb::RowId id) {
+  const PageKey key{heap, minidb::HeapTable::LatchPageOf(id)};
+  for (const auto& held : ctx.latches) {
+    if (held.first == key) return;
+  }
+  if (!ctx.latches.empty() && key < ctx.latches.back().first) {
+    // Out-of-order request: restart the crab in PageKey order. The session
+    // holds the scheduler token, so dropping and retaking is atomic with
+    // respect to every other session.
+    std::vector<PageKey> want;
+    want.reserve(ctx.latches.size() + 1);
+    for (auto it = ctx.latches.rbegin(); it != ctx.latches.rend(); ++it) {
+      want.push_back(it->first);
+      it->second->unlock();
+    }
+    want.push_back(key);
+    std::sort(want.begin(), want.end());
+    ctx.latches.clear();
+    for (const PageKey& k : want) {
+      std::mutex* m = LatchFor(k);
+      m->lock();
+      ++ctx.latch_acquires;
+      ctx.latches.emplace_back(k, m);
+    }
+    return;
+  }
+  std::mutex* m = LatchFor(key);
+  m->lock();
+  ++ctx.latch_acquires;
+  ctx.latches.emplace_back(key, m);
+}
+
+void ConcurrentEngine::ReleaseLatches(SessionCtx& ctx) {
+  for (auto it = ctx.latches.rbegin(); it != ctx.latches.rend(); ++it) {
+    it->second->unlock();
+  }
+  ctx.latches.clear();
 }
 
 const std::string& ConcurrentEngine::TableName(const minidb::HeapTable* heap) {
@@ -104,6 +153,7 @@ void ConcurrentEngine::WakeGranted(const std::vector<uint64_t>& txns) {
 }
 
 void ConcurrentEngine::CommitTxn(SessionCtx& ctx) {
+  ReleaseLatches(ctx);
   history_.Commit(ctx.sid, ctx.txn);
   WakeGranted(locks_.ReleaseAll(ctx.txn));
   ctx.undo.clear();
@@ -114,8 +164,11 @@ void ConcurrentEngine::CommitTxn(SessionCtx& ctx) {
 
 void ConcurrentEngine::ApplyUndo(SessionCtx& ctx) {
   // Undo application must not re-enter the observer (no locks, no schedule
-  // points, no history inside a rollback).
+  // points, no history inside a rollback) and must not feed the storage
+  // engine's WAL capture (the concurrent phase logs via checkpoint, not
+  // per-statement records).
   minidb::RowHookClearScope no_hooks;
+  minidb::StorageHookClearScope no_storage_hooks;
   std::map<std::string, minidb::HeapTable*> touched;
   for (auto it = ctx.undo.rbegin(); it != ctx.undo.rend(); ++it) {
     UndoRecord& rec = *it;
@@ -162,6 +215,7 @@ void ConcurrentEngine::ApplyUndo(SessionCtx& ctx) {
 }
 
 void ConcurrentEngine::RollbackTxn(SessionCtx& ctx) {
+  ReleaseLatches(ctx);
   ApplyUndo(ctx);
   history_.Abort(ctx.sid, ctx.txn);
   WakeGranted(locks_.ReleaseAll(ctx.txn));
@@ -182,6 +236,7 @@ void ConcurrentEngine::AcquireLock(SessionCtx& ctx,
     case minidb::LockManager::Acquire::kWouldBlock:
       break;
   }
+  ReleaseLatches(ctx);  // about to park: latches never span a wait
   SwapOut(ctx);
   EpochScheduler::Wake w = scheduler_.BlockOnLock(ctx.sid);
   if (w == EpochScheduler::Wake::kShutdown) throw ShutdownException{};
@@ -264,6 +319,9 @@ void ConcurrentEngine::OnRead(const minidb::HeapTable* table,
   bool skip = options_.planted_dirty_read &&
               mode == minidb::LockMode::kShared;
   if (!skip) AcquireLock(ctx, minidb::LockKey{name, id}, mode);
+  // Latch below the row lock: the heap will decode this row's page into
+  // its shared cache right after this hook returns.
+  LatchPage(ctx, table, id);
   uint64_t version = 0;
   auto t = versions_.find(name);
   if (t != versions_.end()) {
@@ -281,6 +339,7 @@ void ConcurrentEngine::OnUpdate(minidb::HeapTable* table, minidb::RowId id) {
   if (!options_.planted_lost_update) {
     AcquireLock(ctx, minidb::LockKey{name, id}, minidb::LockMode::kExclusive);
   }
+  LatchPage(ctx, table, id);
   const minidb::Row* old = table->RawRow(id);
   if (old == nullptr) return;  // dead slot; the mutation itself will fail
   uint64_t prev = versions_[name].count(id) ? versions_[name][id] : 0;
@@ -299,6 +358,7 @@ void ConcurrentEngine::OnDelete(minidb::HeapTable* table, minidb::RowId id) {
   if (!options_.planted_lost_update) {
     AcquireLock(ctx, minidb::LockKey{name, id}, minidb::LockMode::kExclusive);
   }
+  LatchPage(ctx, table, id);
   const minidb::Row* old = table->RawRow(id);
   if (old == nullptr) return;
   uint64_t prev = versions_[name].count(id) ? versions_[name][id] : 0;
@@ -327,6 +387,7 @@ void ConcurrentEngine::OnInsert(minidb::HeapTable* table) {
       rid = again;
     }
   }
+  LatchPage(ctx, table, rid);
   uint64_t prev = versions_[name].count(rid) ? versions_[name][rid] : 0;
   ctx.undo.push_back({UndoRecord::Kind::kInsert, name, table, rid, {}, prev});
   uint64_t version = next_version_++;
@@ -379,11 +440,13 @@ void ConcurrentEngine::SessionMain(SessionCtx* ctx) {
       ExecuteOne(*ctx, *stmt);
     }
     if (ctx->txn_open) RollbackTxn(*ctx);  // end-of-script: abandon open txn
+    ReleaseLatches(*ctx);
     if (ctx->swapped_in) SwapOut(*ctx);
     scheduler_.Finish(ctx->sid);
   } catch (const ShutdownException&) {
-    // Crash or abort: exit without touching shared state; the database is
-    // reset by the backend before its next use.
+    // Crash or abort: exit without holding latches or touching shared
+    // engine state; the database is reset by the backend before next use.
+    ReleaseLatches(*ctx);
   }
   minidb::RowHooks::Set(nullptr);
   tls_ctx_ = nullptr;
@@ -412,6 +475,7 @@ ConcurrentEngine::RunStats ConcurrentEngine::Run(
     stats.executed += ctx.executed;
     stats.errors += ctx.errors;
     stats.deadlocks += ctx.deadlocks;
+    stats.page_latch_acquires += ctx.latch_acquires;
   }
   stats.crashed = crashed_;
   stats.crash = crash_;

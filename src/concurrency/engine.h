@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "concurrency/history.h"
@@ -42,6 +45,15 @@ struct TxnAbortException {};
 /// shared catalog carries the data. DDL is screened at the statement level
 /// and the catalog is additionally frozen by the backend, so the set of
 /// tables/indexes is fixed for the whole concurrent phase.
+///
+/// Beneath row-level 2PL sits a page-latch layer (PR 9): before a session
+/// touches a heap row it latches that row's logical page — a real
+/// std::mutex per (heap, page), acquired in (heap, page-id) order while the
+/// session holds the scheduler token and released before every yield
+/// (schedule points, lock waits) and at transaction resolution. Because
+/// latches never span a park, they cannot deadlock; their job is latch
+/// discipline over the shared paged heaps and explicit happens-before edges
+/// for TSan on the page-cache accesses the token alone serializes.
 class ConcurrentEngine : public minidb::TxnHook, public minidb::RowObserver {
  public:
   struct Options {
@@ -69,6 +81,7 @@ class ConcurrentEngine : public minidb::TxnHook, public minidb::RowObserver {
     uint64_t history_digest = 0;
     int epochs = 0;
     int switches = 0;
+    uint64_t page_latch_acquires = 0;  // page latches taken across the run
   };
 
   ConcurrentEngine(minidb::Database* db, Options options);
@@ -109,6 +122,9 @@ class ConcurrentEngine : public minidb::TxnHook, public minidb::RowObserver {
     uint64_t old_version = 0;   // versions_ entry before this write
   };
 
+  /// Identifies one latchable logical heap page.
+  using PageKey = std::pair<const minidb::HeapTable*, uint32_t>;
+
   struct SessionCtx {
     int sid = 0;
     std::vector<const sql::Statement*> script;
@@ -121,9 +137,14 @@ class ConcurrentEngine : public minidb::TxnHook, public minidb::RowObserver {
     sql::StatementType current_type = sql::StatementType::kSelect;
     std::vector<UndoRecord> undo;
 
+    /// Page latches this session holds, sorted by PageKey (the acquisition
+    /// order). Always empty while parked.
+    std::vector<std::pair<PageKey, std::mutex*>> latches;
+
     int executed = 0;
     int errors = 0;
     int deadlocks = 0;
+    uint64_t latch_acquires = 0;
   };
 
   static bool AllowedInSession(sql::StatementType type);
@@ -147,9 +168,19 @@ class ConcurrentEngine : public minidb::TxnHook, public minidb::RowObserver {
   void WakeGranted(const std::vector<uint64_t>& txns);
 
   /// Strict-2PL acquisition with scheduler integration; throws
-  /// TxnAbortException on deadlock / forced stall-break.
+  /// TxnAbortException on deadlock / forced stall-break. Drops any held
+  /// page latches before parking on a contended lock.
   void AcquireLock(SessionCtx& ctx, const minidb::LockKey& key,
                    minidb::LockMode mode);
+
+  /// Latches the logical page holding `id` (idempotent if already held).
+  /// An out-of-order request restarts the whole acquisition in PageKey
+  /// order — safe because the caller holds the scheduler token throughout.
+  void LatchPage(SessionCtx& ctx, const minidb::HeapTable* heap,
+                 minidb::RowId id);
+  /// Unlocks every held latch in reverse order. Must run before any yield.
+  void ReleaseLatches(SessionCtx& ctx);
+  std::mutex* LatchFor(const PageKey& key);
 
   const std::string& TableName(const minidb::HeapTable* heap);
   static std::string KeyString(const std::string& table, minidb::RowId id);
@@ -166,6 +197,9 @@ class ConcurrentEngine : public minidb::TxnHook, public minidb::RowObserver {
   uint64_t next_version_ = 1;
   std::map<std::string, std::map<minidb::RowId, uint64_t>> versions_;
   std::map<const minidb::HeapTable*, std::string> table_names_;
+  /// Latch registry, created on first touch. Only mutated while holding the
+  /// scheduler token, so the map itself needs no lock of its own.
+  std::map<PageKey, std::unique_ptr<std::mutex>> page_latches_;
 
   bool crashed_ = false;
   std::optional<minidb::CrashInfo> crash_;

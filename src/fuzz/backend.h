@@ -107,6 +107,42 @@ struct BackendOptions {
 std::optional<BackendKind> ParseBackendKind(std::string_view name);
 std::string_view BackendKindName(BackendKind kind);
 
+/// Storage-layer counters a backend reports for campaign observability
+/// (all zeros on the mem path). Runtime telemetry only: never serialized
+/// into checkpoints and excluded from ResultDigest, so enabling it cannot
+/// perturb campaign determinism.
+struct BackendStorageStats {
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_writebacks = 0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t steal_flushes = 0;
+  uint64_t commits = 0;
+  uint64_t checkpoints = 0;
+
+  double pool_hit_rate() const {
+    const uint64_t total = pool_hits + pool_misses;
+    return total == 0 ? 0.0 : static_cast<double>(pool_hits) /
+                                  static_cast<double>(total);
+  }
+
+  void Add(const BackendStorageStats& o) {
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    pool_evictions += o.pool_evictions;
+    pool_writebacks += o.pool_writebacks;
+    wal_records += o.wal_records;
+    wal_bytes += o.wal_bytes;
+    fsyncs += o.fsyncs;
+    steal_flushes += o.steal_flushes;
+    commits += o.commits;
+    checkpoints += o.checkpoints;
+  }
+};
+
 /// Outcome of executing one statement through a backend session.
 struct StmtOutcome {
   enum class Status {
@@ -188,6 +224,12 @@ class DbBackend {
   /// forked spawn circuit breaker opened). Reset becomes a no-op and
   /// Execute reports errors; campaigns treat the worker as parked.
   virtual bool broken() const { return false; }
+
+  /// Cumulative storage-layer counters for this backend's server (pool
+  /// traffic, WAL volume, fsyncs). Zeros for mem-storage backends. Forked
+  /// backends poll their child, so deaths may drop the tail since the last
+  /// poll — this is observability, not accounting.
+  virtual BackendStorageStats storage_stats() { return {}; }
 
   /// Oracle bracket (prefer the OracleSession guard). Nested brackets are
   /// reference-counted; only the outermost does work.

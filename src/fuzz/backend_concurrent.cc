@@ -7,21 +7,10 @@
 #include "minidb/env.h"
 
 namespace lego::fuzz {
-namespace {
-
-/// Concurrent session threads mutate heaps outside the storage engine's
-/// single-threaded statement bracket, so paged storage is not sound here;
-/// execution always runs in memory (see the class comment).
-BackendOptions ForceMemStorage(BackendOptions options) {
-  options.storage = StorageKind::kMem;
-  return options;
-}
-
-}  // namespace
 
 ConcurrentBackend::ConcurrentBackend(const minidb::DialectProfile& profile,
                                      const BackendOptions& options)
-    : InProcessBackend(profile, ForceMemStorage(options)), options_(options) {
+    : InProcessBackend(profile, options), options_(options) {
   if (!options_.db_dir.empty()) {
     (void)minidb::Env::Posix()->CreateDir(options_.db_dir);
   }
@@ -92,6 +81,16 @@ ConcurrentBackend::CaseResult ConcurrentBackend::RunCase(
                                                             std::move(opts));
   result.stats = engine_->Run(scripts);
   db.catalog().set_ddl_frozen(false);
+
+  // Paged mode: the session threads wrote the shared pager-backed heaps
+  // outside the storage engine's per-statement WAL capture (thread-local,
+  // disarmed on those threads). Re-establish durability by checkpointing
+  // the final state — snapshot plus WAL rotation — once the interleaving is
+  // fully resolved.
+  minidb::StorageEngine* storage = storage_engine();
+  if (storage != nullptr && !result.stats.crashed) {
+    (void)storage->Checkpoint(&db);
+  }
   return result;
 }
 

@@ -17,13 +17,17 @@ namespace lego::fuzz {
 /// a serial harness needs (Reset / Execute / oracle bracket / coverage
 /// scope) is inherited from InProcessBackend, so single-session execution
 /// through this backend is the ordinary serial path.
-/// Storage note: the paged engine's statement bracket is single-threaded
-/// (thread-local observer installation), so StorageKind::kPaged is forced
-/// back to kMem here — concurrent cases always execute in memory. The
-/// backend still owns its per-worker on-disk directory lifecycle when a
-/// `db_dir` is configured: created up front, wiped on every Reset, removed
-/// on destruction, so campaign-level --db-dir plumbing behaves uniformly
-/// across backends (and the dir is ready if paged concurrency lands later).
+///
+/// Storage note (PR 9): with StorageKind::kPaged the session threads share
+/// the same pager-backed heaps as the serial phases — page latches inside
+/// the ConcurrentEngine serialize their page-cache traffic beneath row 2PL.
+/// The storage engine's per-statement WAL capture is thread-local and stays
+/// disarmed on session threads, and its transaction hooks are shadowed by
+/// the engine's TxnHook, so the concurrent phase is made durable by a
+/// checkpoint (snapshot + WAL rotation) when the case finishes instead of
+/// per-statement logging. The backend owns its per-worker on-disk directory
+/// lifecycle when `db_dir` is configured: created up front, wiped on every
+/// Reset, removed on destruction.
 class ConcurrentBackend : public InProcessBackend {
  public:
   ConcurrentBackend(const minidb::DialectProfile& profile,

@@ -30,12 +30,14 @@ constexpr uint8_t kReqExecute = 2;   // payload: [u8 want_rows][sql text]
 constexpr uint8_t kReqOracleBegin = 3;
 constexpr uint8_t kReqOracleEnd = 4;
 constexpr uint8_t kReqFirstCol = 5;  // payload: table name
+constexpr uint8_t kReqStorageStats = 6;
 
 // Response codes (child -> parent).
 constexpr uint8_t kRespOk = 0;     // Execute-ok payload: encoded rows
 constexpr uint8_t kRespError = 1;  // statement rejected
 constexpr uint8_t kRespCrash = 2;  // payload: encoded CrashInfo (synthetic)
 constexpr uint8_t kRespCol = 3;    // payload: [u8 found][column name]
+constexpr uint8_t kRespStats = 4;  // payload: 10 x u64, see EncodeStorageStats
 
 // Generous ceiling for protocol ops that run no fuzzer-chosen SQL (Reset
 // runs only the trusted setup script). A child that cannot answer within
@@ -105,6 +107,28 @@ bool DecodeCrash(const std::string& payload, minidb::CrashInfo* crash) {
   return r.U64(&crash->stack_hash) && r.Str(&crash->bug_id) &&
          r.Str(&crash->component) && r.Str(&crash->kind) &&
          r.Str(&crash->message);
+}
+
+void EncodeStorageStats(std::string* out, const BackendStorageStats& s) {
+  PutU64(out, s.pool_hits);
+  PutU64(out, s.pool_misses);
+  PutU64(out, s.pool_evictions);
+  PutU64(out, s.pool_writebacks);
+  PutU64(out, s.wal_records);
+  PutU64(out, s.wal_bytes);
+  PutU64(out, s.fsyncs);
+  PutU64(out, s.steal_flushes);
+  PutU64(out, s.commits);
+  PutU64(out, s.checkpoints);
+}
+
+bool DecodeStorageStats(const std::string& payload, BackendStorageStats* s) {
+  Reader r(payload);
+  return r.U64(&s->pool_hits) && r.U64(&s->pool_misses) &&
+         r.U64(&s->pool_evictions) && r.U64(&s->pool_writebacks) &&
+         r.U64(&s->wal_records) && r.U64(&s->wal_bytes) && r.U64(&s->fsyncs) &&
+         r.U64(&s->steal_flushes) && r.U64(&s->commits) &&
+         r.U64(&s->checkpoints);
 }
 
 bool WriteAll(int fd, const char* data, size_t n) {
@@ -239,6 +263,7 @@ bool ForkedBackend::TrySpawn() {
   child_pid_ = pid;
   alive_ = true;
   ++spawn_count_;
+  storage_last_poll_ = {};  // fresh child: cumulative counters restart at 0
   return true;
 }
 
@@ -611,7 +636,41 @@ const cov::CoverageMap& ForkedBackend::FinishRun() {
   // everything it reported before dying), so a plain copy is race-free.
   std::memcpy(&run_map_, shm_, sizeof(run_map_));
   run_map_.ClassifyCounts();
+  PollStorageStats();
   return run_map_;
+}
+
+void ForkedBackend::PollStorageStats() {
+  if (options_.storage != StorageKind::kPaged || !alive_) return;
+  uint8_t code = 0;
+  std::string resp;
+  if (RoundTrip(kReqStorageStats, "", kControlDeadlineMs, &code, &resp) !=
+          Wait::kData ||
+      code != kRespStats) {
+    return;  // dead or stats-less child: keep the total as-is
+  }
+  BackendStorageStats current;
+  if (!DecodeStorageStats(resp, &current)) return;
+  BackendStorageStats delta = current;
+  // Child counters are monotonic per child lifetime; subtract the previous
+  // poll to get this window's contribution.
+  delta.pool_hits -= storage_last_poll_.pool_hits;
+  delta.pool_misses -= storage_last_poll_.pool_misses;
+  delta.pool_evictions -= storage_last_poll_.pool_evictions;
+  delta.pool_writebacks -= storage_last_poll_.pool_writebacks;
+  delta.wal_records -= storage_last_poll_.wal_records;
+  delta.wal_bytes -= storage_last_poll_.wal_bytes;
+  delta.fsyncs -= storage_last_poll_.fsyncs;
+  delta.steal_flushes -= storage_last_poll_.steal_flushes;
+  delta.commits -= storage_last_poll_.commits;
+  delta.checkpoints -= storage_last_poll_.checkpoints;
+  storage_last_poll_ = current;
+  storage_total_.Add(delta);
+}
+
+BackendStorageStats ForkedBackend::storage_stats() {
+  PollStorageStats();
+  return storage_total_;
 }
 
 std::optional<std::string> ForkedBackend::FirstColumnOf(
@@ -791,6 +850,28 @@ void ForkedBackend::ChildLoop() {
           resp += (*t)->schema.columns.front().name;
         }
         reply(kRespCol, resp);
+        break;
+      }
+      case kReqStorageStats: {
+        if (storage == nullptr) {
+          reply(kRespError, "");
+          break;
+        }
+        const minidb::StorageEngine::Stats s = storage->stats();
+        BackendStorageStats bs;
+        bs.pool_hits = s.pool.hits;
+        bs.pool_misses = s.pool.misses;
+        bs.pool_evictions = s.pool.evictions;
+        bs.pool_writebacks = s.pool.writebacks;
+        bs.wal_records = s.wal_records;
+        bs.wal_bytes = s.wal_bytes;
+        bs.fsyncs = s.fsyncs;
+        bs.steal_flushes = s.steal_flushes;
+        bs.commits = s.commits;
+        bs.checkpoints = s.checkpoints;
+        std::string resp;
+        EncodeStorageStats(&resp, bs);
+        reply(kRespStats, resp);
         break;
       }
       default:

@@ -52,6 +52,10 @@ class ForkedBackend : public DbBackend {
   StmtOutcome Execute(const sql::Statement& stmt, bool want_rows) override;
   const cov::CoverageMap& FinishRun() override;
   std::optional<std::string> FirstColumnOf(const std::string& table) override;
+  /// Polls the live child's cumulative storage counters and folds the delta
+  /// since the previous poll into the backend total. FinishRun also polls,
+  /// so a child death loses at most its final case's tail.
+  BackendStorageStats storage_stats() override;
 
   /// Children spawned over this backend's lifetime (1 + respawns).
   int spawn_count() const { return spawn_count_; }
@@ -134,6 +138,12 @@ class ForkedBackend : public DbBackend {
 
   /// Parent-side shadow of the child's acked statements (durability oracle).
   DurabilityTracker dur_;
+
+  /// Storage telemetry: child counters are cumulative per child lifetime;
+  /// the parent folds per-poll deltas into the total and rebases on spawn.
+  void PollStorageStats();
+  BackendStorageStats storage_total_;
+  BackendStorageStats storage_last_poll_;
 };
 
 }  // namespace lego::fuzz

@@ -97,6 +97,23 @@ const cov::CoverageMap& InProcessBackend::FinishRun() {
   return run_map_;
 }
 
+BackendStorageStats InProcessBackend::storage_stats() {
+  BackendStorageStats out;
+  if (storage_ == nullptr) return out;
+  const minidb::StorageEngine::Stats s = storage_->stats();
+  out.pool_hits = s.pool.hits;
+  out.pool_misses = s.pool.misses;
+  out.pool_evictions = s.pool.evictions;
+  out.pool_writebacks = s.pool.writebacks;
+  out.wal_records = s.wal_records;
+  out.wal_bytes = s.wal_bytes;
+  out.fsyncs = s.fsyncs;
+  out.steal_flushes = s.steal_flushes;
+  out.commits = s.commits;
+  out.checkpoints = s.checkpoints;
+  return out;
+}
+
 std::optional<std::string> InProcessBackend::FirstColumnOf(
     const std::string& table) {
   auto t = db_.catalog().GetTable(table);

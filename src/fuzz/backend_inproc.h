@@ -34,6 +34,7 @@ class InProcessBackend : public DbBackend {
   StmtOutcome Execute(const sql::Statement& stmt, bool want_rows) override;
   const cov::CoverageMap& FinishRun() override;
   std::optional<std::string> FirstColumnOf(const std::string& table) override;
+  BackendStorageStats storage_stats() override;
 
   /// Direct engine access for tests and embedded tooling (populating a
   /// schema before driving an oracle by hand, planting evaluator bugs, ...).

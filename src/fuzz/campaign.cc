@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <condition_variable>
 #include <cstdio>
 #include <filesystem>
@@ -184,6 +185,7 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
 
   result.edges = harness->CoveredEdges();
   result.rules = harness->CoveredRules();
+  result.storage = harness->backend().storage_stats();
   if (result.coverage_curve.empty() ||
       result.coverage_curve.back().first != result.executions) {
     result.coverage_curve.emplace_back(result.executions, result.edges);
@@ -232,6 +234,34 @@ class RoundBarrier {
   int waiting_ = 0;
   uint64_t phase_ = 0;
 };
+
+/// Removes per-worker scratch directories (`<db_dir>/w<N>`) under a paged
+/// campaign's db_dir. Each worker wipes *inside* its own directory on every
+/// Reset, but an abnormal exit (SIGKILL, test-runner timeout, crash in the
+/// parent) leaves the last generation's directories behind; a follow-up
+/// campaign reusing the same db_dir would inherit them. Swept before the
+/// worker pool spawns — healing leftovers from any earlier run, including
+/// one with a wider pool — and again at campaign teardown once every
+/// backend has been destroyed.
+void RemoveWorkerScratchDirs(const std::string& db_dir) {
+  if (db_dir.empty()) return;
+  namespace fsys = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fsys::directory_iterator(db_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 2 || name[0] != 'w') continue;
+    bool digits = true;
+    for (size_t i = 1; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (!digits) continue;
+    std::error_code rm_ec;
+    fsys::remove_all(entry.path(), rm_ec);
+  }
+}
 
 /// Everything one worker owns plus its tallies. Workers write only their
 /// own slot during a round; barrier completions read all slots.
@@ -379,6 +409,10 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
   const int workers = options.num_workers;
   const int sync_every = std::max(1, options.sync_every);
   const bool persisting = Persisting(options);
+
+  // Heal scratch dirs a previous abnormal exit left behind before any
+  // worker claims its own.
+  RemoveWorkerScratchDirs(harness->backend_options().db_dir);
 
   std::vector<WorkerState> states(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
@@ -820,6 +854,7 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       }
     }
     if (s.harness->backend().broken()) ++merged.workers_parked;
+    merged.storage.Add(s.harness->backend().storage_stats());
     FuzzerStats fs = s.fuzzer->stats();
     merged.fuzzer_stats.corpus_seeds += fs.corpus_seeds;
     merged.fuzzer_stats.affinity_pairs += fs.affinity_pairs;
@@ -886,6 +921,12 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
       merged.state_status = std::move(saved);
     }
   }
+
+  // Teardown: release every worker backend (child processes, open WAL
+  // handles), then sweep the scratch directories they ran in.
+  const std::string scratch_root = harness->backend_options().db_dir;
+  states.clear();
+  RemoveWorkerScratchDirs(scratch_root);
   return merged;
 }
 

@@ -124,6 +124,12 @@ struct CampaignResult {
   int checkpoints_failed = 0;
   int checkpoint_fallbacks = 0;
   int workers_parked = 0;
+
+  /// Storage-layer telemetry summed over every worker backend at campaign
+  /// end: buffer-pool traffic (hit rate, evictions), WAL volume, fsyncs.
+  /// All zeros on --storage=mem. Runtime-only like the counters above:
+  /// never serialized and excluded from ResultDigest.
+  BackendStorageStats storage;
 };
 
 /// Runs `fuzzer` against `harness` for the configured budget.

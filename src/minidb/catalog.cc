@@ -33,8 +33,25 @@ Status Catalog::CreateTable(TableInfo table) {
     return Status::AlreadyExists("relation '" + table.name +
                                  "' already exists");
   }
+  if (page_store_ != nullptr && !table.temporary) {
+    table.heap.AttachStore(page_store_);
+  }
   tables_.emplace(table.name, std::move(table));
   return Status::OK();
+}
+
+void Catalog::set_page_store(PageStore* store) {
+  page_store_ = store;
+  if (store == nullptr) return;
+  for (auto& [name, table] : tables_) {
+    if (!table.temporary) table.heap.AttachStore(store);
+  }
+}
+
+void Catalog::CollectChainPages(std::set<uint32_t>* live) const {
+  for (const auto& [name, table] : tables_) {
+    table.heap.CollectChainPages(live);
+  }
 }
 
 StatusOr<TableInfo*> Catalog::GetTable(const std::string& name) {

@@ -183,6 +183,20 @@ class Catalog {
   /// Drops all temporary tables (DISCARD TEMP / session reset).
   void DropTemporaryTables();
 
+  /// Routes every non-temporary heap (existing and future) through `store`
+  /// (paged mode). Catalog copies share the pointer, so snapshot copies
+  /// stay paged and copy-on-write keeps their chains intact. Temporary
+  /// tables stay memory-resident — they are session state, not durable
+  /// state, and the snapshot serde already skips them. nullptr detaches
+  /// nothing (attachment is one-way for a catalog generation; a fresh
+  /// generation starts from a fresh Catalog).
+  void set_page_store(PageStore* store);
+  PageStore* page_store() const { return page_store_; }
+
+  /// Mark phase of the page-store sweep: every physical page id reachable
+  /// from a (non-temporary) heap chain.
+  void CollectChainPages(std::set<uint32_t>* live) const;
+
   /// While frozen, every schema change (create/drop/rename of any object
   /// kind) fails with a transaction error. The concurrent backend freezes
   /// the catalog for the multi-session phase: sessions share table/index
@@ -197,6 +211,7 @@ class Catalog {
   Status FrozenError() const;
 
   bool ddl_frozen_ = false;
+  PageStore* page_store_ = nullptr;  // not owned; null = memory mode
   std::map<std::string, TableInfo> tables_;
   std::map<std::string, IndexInfo> indexes_;
   std::map<std::string, ViewInfo> views_;

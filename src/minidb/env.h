@@ -17,6 +17,13 @@ namespace lego::minidb {
 /// buffer pool, the snapshot format, and the benchmarks.
 inline constexpr size_t kPageSize = 8192;
 
+/// Exit code a forked child uses when the paged storage layer cannot make a
+/// commit durable (WAL append/flush/fsync failure in panic mode) or cannot
+/// complete a page read/write the heap depends on. Reserved next to
+/// faults::kOomExitCode (86); the parent maps it to the durability oracle
+/// instead of a generic crash.
+inline constexpr int kStorageFailExitCode = 87;
+
 /// Append-only log file handle (WAL). Appends accumulate in a *user-space*
 /// buffer; Sync() pushes the buffer to the file in bounded chunks (each
 /// chunk passing the `env.write` failpoint) and then fsyncs (`env.sync`).

@@ -1,8 +1,10 @@
 #ifndef LEGO_MINIDB_HEAP_TABLE_H_
 #define LEGO_MINIDB_HEAP_TABLE_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "minidb/row.h"
@@ -10,6 +12,7 @@
 namespace lego::minidb {
 
 class HeapTable;
+class PageStore;
 
 /// Row-operation observer: the concurrency layer's seam into the storage
 /// engine. Hooks fire *before* the heap mutates (so an observer can park the
@@ -56,18 +59,24 @@ class RowHookClearScope {
 /// Storage-engine mutation observer: the paged-durability layer's seam into
 /// the heap. Unlike RowObserver (which fires *before* a mutation so the
 /// concurrency engine can park/lock), these hooks fire *after* a successful
-/// mutation, when the post-image is in place — exactly what a physiological
-/// redo record needs. Installed per thread via StorageHooks only between a
-/// storage engine's BeginStatement/EndStatement bracket; every other code
-/// path pays one thread-local load per mutation and nothing else.
+/// mutation, when the post-image is in place — and carry the slot's
+/// before-image, which is exactly what a physiological redo+undo record
+/// needs under the steal policy. Installed per thread via StorageHooks only
+/// between a storage engine's BeginStatement/EndStatement bracket; every
+/// other code path pays one thread-local load per mutation and nothing
+/// else (before-images are only materialized while a hook is armed).
 class StorageObserver {
  public:
   virtual ~StorageObserver() = default;
   /// A slot was written (insert or in-place update). The post-image is
-  /// readable via table->RawRow(id) until control returns.
-  virtual void OnPut(const HeapTable* table, RowId id) = 0;
-  /// A live slot was tombstoned.
-  virtual void OnErase(const HeapTable* table, RowId id) = 0;
+  /// readable via table->RawRow(id) until control returns. `before` is the
+  /// slot's pre-image when it was live (an update); nullptr when the put
+  /// created the slot (an insert — undo re-tombstones it).
+  virtual void OnPut(const HeapTable* table, RowId id, const Row* before) = 0;
+  /// A live slot was tombstoned; `before` is the erased row (the undo
+  /// image).
+  virtual void OnErase(const HeapTable* table, RowId id,
+                       const Row& before) = 0;
   /// The page layout changed wholesale (Clear, Vacuum, ResurrectAt) — slot
   /// identities are no longer stable, so per-op redo is off the table and
   /// the statement must be logged logically.
@@ -80,22 +89,56 @@ struct StorageHooks {
   static void Set(StorageObserver* observer);
 };
 
+/// Clears the calling thread's storage observer for a scope (undo
+/// application in the concurrency engine must not log its compensating
+/// heap operations as new redo records).
+class StorageHookClearScope {
+ public:
+  StorageHookClearScope() : saved_(StorageHooks::Get()) {
+    StorageHooks::Set(nullptr);
+  }
+  ~StorageHookClearScope() { StorageHooks::Set(saved_); }
+  StorageHookClearScope(const StorageHookClearScope&) = delete;
+  StorageHookClearScope& operator=(const StorageHookClearScope&) = delete;
+
+ private:
+  StorageObserver* saved_;
+};
+
 /// Page-structured row store. Rows live in fixed-capacity pages with a
 /// per-slot liveness bit; deletes tombstone slots and VACUUM compacts pages.
 /// The structure deliberately mirrors a slotted-page heap so scans, row ids,
 /// and vacuum behave like a real engine's.
 ///
-/// Pages are kept in a deque and each page's row vector is reserved at full
-/// capacity up front, so growing the heap never relocates existing rows —
-/// a concurrent session parked mid-scan can hold references across other
-/// sessions' inserts.
+/// The heap runs in one of two modes with identical slot semantics (same
+/// RowIds, same scan order, same tombstone-reuse policy — digests match):
+///
+///  - *Memory mode* (default): pages are a deque of row vectors, each
+///    reserved at full capacity up front so growing the heap never
+///    relocates existing rows — a concurrent session parked mid-scan can
+///    hold references across other sessions' inserts. This path is
+///    bit-identical to the pre-paged engine.
+///
+///  - *Paged mode* (after AttachStore): row payloads live in a PageStore —
+///    each logical page serialized as a blob chunked across 8 KiB physical
+///    pages under the shared BufferPool — and only per-page metadata (the
+///    chain of physical page ids, the slot liveness bitmap, the
+///    copy-on-write epoch) stays resident. A one-page decoded cache gives
+///    mutations and scans page locality; switching pages flushes the cache
+///    back through the pool, applying copy-on-write when a snapshot
+///    transaction shares the chain. Pointers returned by Get()/RawRow()
+///    point into the cache and are valid only until the next operation on
+///    this table — every executor call site copies immediately.
 class HeapTable {
  public:
   static constexpr uint32_t kRowsPerPage = 64;
 
   HeapTable() = default;
 
-  /// Deep copy (used by snapshot-based transactions).
+  /// Deep copy (used by snapshot-based transactions). In paged mode this
+  /// copies only resident metadata — chains are *shared* with the copy
+  /// (copy-on-write keeps them consistent) and the decoded cache is copied
+  /// as-is, so a dirty page's latest content travels with the snapshot.
   HeapTable(const HeapTable&) = default;
   HeapTable& operator=(const HeapTable&) = default;
   HeapTable(HeapTable&&) = default;
@@ -106,7 +149,7 @@ class HeapTable {
   RowId Insert(Row row);
 
   /// The RowId the next Insert would choose, without mutating. Valid until
-  /// the heap changes.
+  /// the heap changes. Reads only resident metadata in paged mode.
   RowId PeekInsert() const;
 
   /// Tombstones the slot. Returns false if already dead or out of range.
@@ -134,7 +177,9 @@ class HeapTable {
   size_t LiveRowCount() const { return live_rows_; }
 
   /// Number of allocated pages.
-  size_t PageCount() const { return pages_.size(); }
+  size_t PageCount() const {
+    return store_ != nullptr ? ppages_.size() : pages_.size();
+  }
 
   /// Fraction of allocated slots that are dead (0 when empty).
   double DeadFraction() const;
@@ -151,7 +196,8 @@ class HeapTable {
   /// Invokes `fn(id, live, row)` for every *allocated* slot (including
   /// tombstones, whose rows are empty) in physical order. Snapshot serde
   /// walks this so a deserialized heap reproduces the slot layout exactly —
-  /// RowIds recorded in WAL redo records stay valid.
+  /// RowIds recorded in WAL redo records stay valid. In paged mode the
+  /// row reference is valid only for the duration of the callback.
   void VisitSlots(
       const std::function<void(RowId, bool, const Row&)>& fn) const;
 
@@ -173,15 +219,73 @@ class HeapTable {
   /// Redo application of a physiological erase: tombstones `id` if live.
   void ApplyDelete(RowId id);
 
+  // --- paged mode ---
+
+  /// Routes this heap's row storage through `store`: existing in-memory
+  /// pages are serialized into chains and released, and every subsequent
+  /// operation reads/writes pager frames. Slot layout is preserved exactly.
+  void AttachStore(PageStore* store);
+
+  bool paged() const { return store_ != nullptr; }
+
+  /// Adds every physical page id reachable from this heap's chains to
+  /// `live` (the storage engine's checkpoint mark phase).
+  void CollectChainPages(std::set<uint32_t>* live) const;
+
+  /// The logical page a RowId maps to — the latch key the concurrency
+  /// engine guards row operations with in paged mode.
+  static uint32_t LatchPageOf(RowId id) { return id.page; }
+
  private:
   struct Page {
     std::vector<Row> rows;        // size == live.size()
     std::vector<uint8_t> live;    // 1 = live, 0 = tombstone
   };
 
+  /// Paged-mode resident metadata of one logical page. Row payloads live in
+  /// the PageStore under `chain`; the liveness bitmap stays resident so
+  /// liveness checks and PeekInsert never touch the pager.
+  struct PagedPage {
+    std::vector<uint32_t> chain;
+    std::vector<uint8_t> live;
+    uint32_t slots = 0;
+    /// PageStore::cow_epoch() as of the last chain write; a flush under an
+    /// older epoch while cow is active copy-on-writes to a fresh chain.
+    uint64_t cow_epoch = 0;
+  };
+
   static Page MakePage();
 
+  // Paged-mode internals (all no-ops / unreachable in memory mode).
+  static constexpr uint32_t kNoCachedPage = UINT32_MAX;
+  /// Decodes logical page `p` into the cache, flushing the previous cached
+  /// page first.
+  void LoadPage(uint32_t p) const;
+  /// Serializes the cached page back through the store if dirty, applying
+  /// copy-on-write when the chain is shared with a snapshot.
+  void FlushCache() const;
+  std::string EncodeCachedPage() const;
+
+  RowId PagedInsert(Row row);
+  bool PagedDelete(RowId id);
+  bool PagedUpdate(RowId id, Row row);
+  const Row* PagedGetSlot(RowId id) const;
+
+  // Memory mode.
   std::deque<Page> pages_;
+
+  // Paged mode. Mutable because cache write-back from const readers updates
+  // chains (copy-on-write swaps page ids) and cow epochs — the logical row
+  // content never changes from a const member.
+  PageStore* store_ = nullptr;
+  mutable std::vector<PagedPage> ppages_;
+  /// One-page decoded cache. Mutable: reads route through it. In concurrent
+  /// mode every access happens under the scheduler token, so there is no
+  /// data race despite the shared Database.
+  mutable uint32_t cached_page_ = kNoCachedPage;
+  mutable std::vector<Row> cached_rows_;
+  mutable bool cached_dirty_ = false;
+
   size_t live_rows_ = 0;
   size_t dead_slots_ = 0;
 };

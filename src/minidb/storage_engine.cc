@@ -98,6 +98,32 @@ StatusOr<StorageEngine::ManifestInfo> StorageEngine::ReadManifest(
   return info;
 }
 
+Status StorageEngine::AttachPageStore(Database* db) {
+  // Fold the dying generation's counters into the engine totals first so
+  // per-campaign stats survive per-case resets.
+  if (page_store_ != nullptr) {
+    const BufferPool::Stats ps = page_store_->pool_stats();
+    stats_.pool.hits += ps.hits;
+    stats_.pool.misses += ps.misses;
+    stats_.pool.evictions += ps.evictions;
+    stats_.pool.writebacks += ps.writebacks;
+    const PageStore::Stats& pg = page_store_->stats();
+    stats_.pages.blob_reads += pg.blob_reads;
+    stats_.pages.blob_writes += pg.blob_writes;
+    stats_.pages.cow_writes += pg.cow_writes;
+    stats_.pages.pages_allocated += pg.pages_allocated;
+    stats_.pages.pages_swept += pg.pages_swept;
+    stats_.pages.sweeps += pg.sweeps;
+    page_store_.reset();
+  }
+  page_store_ = std::make_unique<PageStore>(env_, HeapPagesPath(),
+                                            options_.pool_frames,
+                                            options_.panic_on_storage_error);
+  LEGO_RETURN_IF_ERROR(page_store_->Open(/*truncate=*/true));
+  db->catalog().set_page_store(page_store_.get());
+  return Status::OK();
+}
+
 Status StorageEngine::ResetFresh(Database* db) {
   db->set_storage_hook(nullptr);
   LEGO_RETURN_IF_ERROR(env_->RemoveDirRecursive(options_.dir));
@@ -107,12 +133,18 @@ Status StorageEngine::ResetFresh(Database* db) {
   lsn_ = 1;
   degraded_ = false;
   in_txn_ = false;
+  txn_id_ = 0;
+  next_txn_id_ = 1;
+  txn_streamed_ = false;
+  txn_logical_mode_ = false;
+  last_streamed_lsn_ = 0;
   txn_buffer_.clear();
   savepoint_marks_.clear();
   commits_since_checkpoint_ = 0;
   checkpoint_pending_ = false;
   in_statement_ = false;
   db->ResetAll();
+  LEGO_RETURN_IF_ERROR(AttachPageStore(db));
   db->set_storage_hook(this);
   return Status::OK();
 }
@@ -143,19 +175,27 @@ Status StorageEngine::OpenOrRecover(Database* db) {
   WalLoadStats wstats;
   auto records = WalManager::Load(env_, WalPath(snap_lsn), &wstats);
   if (!records.ok()) return records.status();
-  LEGO_RETURN_IF_ERROR(ReplayInto(db, records.value()));
+  std::vector<uint64_t> loser_txns;
+  uint64_t undo_count = 0;
+  LEGO_RETURN_IF_ERROR(
+      ReplayInto(db, records.value(), &loser_txns, &undo_count));
+  uint64_t max_txn = 0;
   for (const WalRecord& rec : records.value()) {
     if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+    if (rec.txn_id > max_txn) max_txn = rec.txn_id;
   }
   stats_.recovered_records += wstats.records;
   stats_.recovered_commits += wstats.commits;
-  stats_.torn_records += wstats.torn_records;
+  stats_.loser_records += wstats.loser_records;
   stats_.torn_tail_bytes += wstats.torn_tail_bytes;
+  stats_.undo_applied += undo_count;
+  lsn_ = max_lsn + 1;
 
-  // Tail repair: a torn or uncommitted suffix must not survive under new
-  // appends (a later kCommit would resurrect it), so rewrite the log with
-  // exactly the kept records.
-  if (wstats.torn_records > 0 || wstats.torn_tail_bytes > 0) {
+  // Tail repair: only a physically unparseable suffix forces a rewrite.
+  // Uncommitted records are legitimate log content under the steal policy —
+  // the losers pass undid them, and the kAbort markers appended below keep
+  // every future recovery unwinding them at this same position.
+  if (wstats.torn_tail_bytes > 0) {
     LEGO_RETURN_IF_ERROR(wal_.Open(WalPath(snap_lsn), /*truncate=*/true));
     for (const WalRecord& rec : records.value()) {
       LEGO_RETURN_IF_ERROR(wal_.Append(rec));
@@ -165,6 +205,21 @@ Status StorageEngine::OpenOrRecover(Database* db) {
     LEGO_RETURN_IF_ERROR(wal_.Open(WalPath(snap_lsn), /*truncate=*/false));
   }
 
+  // Compensate losers at their undo position. Without these, a later
+  // recovery would unwind the loser at end-of-log — where a committed
+  // transaction may have reused its row ids. No sync needed: the log is
+  // append-ordered, so if anything later becomes durable, these markers
+  // are durable first.
+  for (uint64_t txn : loser_txns) {
+    WalRecord rec;
+    rec.type = WalRecordType::kAbort;
+    rec.lsn = lsn_++;
+    rec.txn_id = txn;
+    rec.deferred = false;
+    LEGO_RETURN_IF_ERROR(wal_.Append(rec));
+    ++stats_.wal_records;
+  }
+
   // Sweep strays from interrupted checkpoints (snap.tmp, orphaned
   // generations the manifest never flipped to).
   auto listing = env_->ListDir(options_.dir);
@@ -172,21 +227,27 @@ Status StorageEngine::OpenOrRecover(Database* db) {
     const std::string keep_snap = "snap." + std::to_string(snap_lsn);
     const std::string keep_wal = "wal." + std::to_string(snap_lsn);
     for (const std::string& name : listing.value()) {
-      if (name == "MANIFEST" || name == keep_snap || name == keep_wal) {
+      if (name == "MANIFEST" || name == keep_snap || name == keep_wal ||
+          name == "heap.pages") {
         continue;
       }
       (void)env_->RemoveFile(options_.dir + "/" + name);
     }
   }
 
-  lsn_ = max_lsn + 1;
   degraded_ = false;
   in_txn_ = false;
+  txn_id_ = 0;
+  next_txn_id_ = max_txn + 1;
+  txn_streamed_ = false;
+  txn_logical_mode_ = false;
+  last_streamed_lsn_ = 0;
   txn_buffer_.clear();
   savepoint_marks_.clear();
   commits_since_checkpoint_ = 0;
   checkpoint_pending_ = false;
   in_statement_ = false;
+  LEGO_RETURN_IF_ERROR(AttachPageStore(db));
   db->set_storage_hook(this);
   return Status::OK();
 }
@@ -207,7 +268,7 @@ Status StorageEngine::RecoverInto(Env* env, const std::string& dir,
   auto records = WalManager::Load(
       env, dir + "/wal." + std::to_string(snap_lsn), wal_stats);
   if (!records.ok()) return records.status();
-  return ReplayInto(db, records.value());
+  return ReplayInto(db, records.value(), nullptr, nullptr);
 }
 
 Status StorageEngine::WriteSnapshot(const Database& db, uint64_t lsn,
@@ -336,10 +397,54 @@ void StorageEngine::RebuildIndexes(Catalog* catalog) {
 }
 
 Status StorageEngine::ReplayInto(Database* db,
-                                 const std::vector<WalRecord>& recs) {
-  for (const WalRecord& rec : recs) {
+                                 const std::vector<WalRecord>& recs,
+                                 std::vector<uint64_t>* loser_txns,
+                                 uint64_t* undo_count) {
+  // Pass 1: which transactions resolved to commit. For the autocommit
+  // pseudo-transaction (txn 0), each batch is immediately followed by its
+  // own marker, so "a txn-0 kCommit exists later in the log" is exactly
+  // "this batch's marker survived" — the log is append-ordered and torn
+  // only at the tail.
+  std::set<uint64_t> committed;
+  size_t last_txn0_commit = 0;
+  bool has_txn0_commit = false;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].type != WalRecordType::kCommit) continue;
+    if (recs[i].txn_id == 0) {
+      last_txn0_commit = i;
+      has_txn0_commit = true;
+    } else {
+      committed.insert(recs[i].txn_id);
+    }
+  }
+  auto deferred_committed = [&](const WalRecord& rec, size_t pos) {
+    if (rec.txn_id == 0) return has_txn0_commit && pos < last_txn0_commit;
+    return committed.count(rec.txn_id) > 0;
+  };
+
+  // Pass 2: redo in order; undo aborted streams at their positions.
+  // `pending` holds each open transaction's streamed records in log order.
+  std::map<uint64_t, std::vector<const WalRecord*>> pending;
+  auto undo_one = [&](const WalRecord* r) {
+    auto table = db->catalog().GetTable(r->table);
+    if (!table.ok()) return;
+    if (r->type == WalRecordType::kPut) {
+      if (r->has_before) {
+        table.value()->heap.ApplyPut(r->rid, r->before);
+      } else {
+        table.value()->heap.ApplyDelete(r->rid);  // undo insert: re-tombstone
+      }
+    } else if (r->type == WalRecordType::kErase) {
+      table.value()->heap.ApplyPut(r->rid, r->row);  // undo delete: restore
+    }
+    if (undo_count != nullptr) ++*undo_count;
+  };
+
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const WalRecord& rec = recs[i];
     switch (rec.type) {
       case WalRecordType::kLogical: {
+        if (!deferred_committed(rec, i)) break;
         // Logical replay re-executes the statement; it may consult indexes,
         // which physio replay leaves stale — rebuild first.
         RebuildIndexes(&db->catalog());
@@ -357,16 +462,21 @@ Status StorageEngine::ReplayInto(Database* db,
         break;
       }
       case WalRecordType::kPut: {
+        if (rec.deferred && !deferred_committed(rec, i)) break;
         auto table = db->catalog().GetTable(rec.table);
         if (table.ok()) table.value()->heap.ApplyPut(rec.rid, rec.row);
+        if (!rec.deferred) pending[rec.txn_id].push_back(&rec);
         break;
       }
       case WalRecordType::kErase: {
+        if (rec.deferred && !deferred_committed(rec, i)) break;
         auto table = db->catalog().GetTable(rec.table);
         if (table.ok()) table.value()->heap.ApplyDelete(rec.rid);
+        if (!rec.deferred) pending[rec.txn_id].push_back(&rec);
         break;
       }
       case WalRecordType::kSeqSet: {
+        if (!deferred_committed(rec, i)) break;
         auto seq = db->catalog().GetSequence(rec.text);
         if (seq.ok()) {
           seq.value()->current = rec.seq_current;
@@ -375,9 +485,46 @@ Status StorageEngine::ReplayInto(Database* db,
         break;
       }
       case WalRecordType::kCommit:
+        if (rec.txn_id != 0) pending.erase(rec.txn_id);  // winner: no undo
         break;
+      case WalRecordType::kAbort: {
+        auto it = pending.find(rec.txn_id);
+        if (it != pending.end()) {
+          for (auto r = it->second.rbegin(); r != it->second.rend(); ++r) {
+            undo_one(*r);
+          }
+          pending.erase(it);
+        }
+        break;
+      }
+      case WalRecordType::kAbortTo: {
+        auto it = pending.find(rec.txn_id);
+        if (it != pending.end()) {
+          std::vector<const WalRecord*>& stream = it->second;
+          while (!stream.empty() && stream.back()->lsn > rec.undo_upto) {
+            undo_one(stream.back());
+            stream.pop_back();
+          }
+        }
+        break;
+      }
     }
   }
+
+  // Losers pass: transactions that never resolved. Undo their streams in
+  // reverse LSN order across transactions (interleaved streams must unwind
+  // newest-first).
+  std::vector<const WalRecord*> losers;
+  for (auto& [txn, stream] : pending) {
+    if (loser_txns != nullptr) loser_txns->push_back(txn);
+    losers.insert(losers.end(), stream.begin(), stream.end());
+  }
+  std::sort(losers.begin(), losers.end(),
+            [](const WalRecord* a, const WalRecord* b) {
+              return a->lsn > b->lsn;
+            });
+  for (const WalRecord* r : losers) undo_one(r);
+
   RebuildIndexes(&db->catalog());
   return Status::OK();
 }
@@ -418,6 +565,16 @@ Status StorageEngine::Checkpoint(Database* db) {
     (void)env_->RemoveFile(WalPath(old_lsn));
     if (old_lsn > 0) (void)env_->RemoveFile(SnapPath(old_lsn));
   }
+
+  // Outside any transaction exactly one catalog copy exists, so every page
+  // chain not reachable from it is garbage (copy-on-write leftovers,
+  // VACUUM/TRUNCATE/DROP residue) — reclaim.
+  if (page_store_ != nullptr) {
+    std::set<uint32_t> live;
+    db->catalog().CollectChainPages(&live);
+    page_store_->Sweep(live);
+  }
+
   ++stats_.checkpoints;
   commits_since_checkpoint_ = 0;
   checkpoint_pending_ = false;
@@ -434,22 +591,34 @@ void StorageEngine::HandleStorageFailure(const Status& status) {
   degraded_ = true;
 }
 
-Status StorageEngine::CommitBatch(std::vector<WalRecord> records) {
-  if (records.empty()) return Status::OK();
-  for (const WalRecord& rec : records) {
-    Status s = wal_.Append(rec);
-    if (!s.ok()) {
-      HandleStorageFailure(s);
-      return Status::OK();
-    }
+bool StorageEngine::AppendRecord(const WalRecord& rec) {
+  const uint64_t before = wal_.buffered_bytes() + wal_.synced_bytes();
+  Status s = wal_.Append(rec);
+  if (!s.ok()) {
+    HandleStorageFailure(s);
+    return false;
   }
-  Status s = wal_.Commit(lsn_++, options_.skip_fsync);
+  ++stats_.wal_records;
+  stats_.wal_bytes += wal_.buffered_bytes() + wal_.synced_bytes() - before;
+  return true;
+}
+
+Status StorageEngine::CommitBatch(std::vector<WalRecord> records,
+                                  uint64_t txn_id) {
+  if (records.empty() && txn_id == 0) return Status::OK();
+  for (const WalRecord& rec : records) {
+    if (!AppendRecord(rec)) return Status::OK();
+  }
+  const uint64_t before = wal_.buffered_bytes() + wal_.synced_bytes();
+  Status s = wal_.Commit(lsn_++, txn_id, options_.skip_fsync);
   if (!s.ok()) {
     HandleStorageFailure(s);
     return Status::OK();
   }
+  ++stats_.wal_records;  // the kCommit marker
+  stats_.wal_bytes += wal_.buffered_bytes() + wal_.synced_bytes() - before;
+  if (!options_.skip_fsync) ++stats_.fsyncs;
   ++stats_.commits;
-  stats_.wal_records += records.size() + 1;
   ++commits_since_checkpoint_;
   return Status::OK();
 }
@@ -465,6 +634,25 @@ Status StorageEngine::MaybeAutoCheckpoint(Database* db) {
   Status s = Checkpoint(db);
   if (!s.ok()) commits_since_checkpoint_ = 0;
   return Status::OK();
+}
+
+StorageEngine::Stats StorageEngine::stats() const {
+  Stats s = stats_;
+  if (page_store_ != nullptr) {
+    const BufferPool::Stats ps = page_store_->pool_stats();
+    s.pool.hits += ps.hits;
+    s.pool.misses += ps.misses;
+    s.pool.evictions += ps.evictions;
+    s.pool.writebacks += ps.writebacks;
+    const PageStore::Stats& pg = page_store_->stats();
+    s.pages.blob_reads += pg.blob_reads;
+    s.pages.blob_writes += pg.blob_writes;
+    s.pages.cow_writes += pg.cow_writes;
+    s.pages.pages_allocated += pg.pages_allocated;
+    s.pages.pages_swept += pg.pages_swept;
+    s.pages.sweeps += pg.sweeps;
+  }
+  return s;
 }
 
 void StorageEngine::BeginStatement(Database* db) {
@@ -518,7 +706,7 @@ Status StorageEngine::EndStatement(Database* db, const sql::Statement& stmt,
     rec.user = stmt_user_;
     std::vector<WalRecord> batch;
     batch.push_back(std::move(rec));
-    LEGO_RETURN_IF_ERROR(CommitBatch(std::move(batch)));
+    LEGO_RETURN_IF_ERROR(CommitBatch(std::move(batch), /*txn_id=*/0));
     return MaybeAutoCheckpoint(db);
   }
 
@@ -555,6 +743,40 @@ Status StorageEngine::EndStatement(Database* db, const sql::Statement& stmt,
   if (!state_changed) return Status::OK();
 
   const bool physio_ok = !structural_ && !unknown_heap_ && !schema_changed;
+
+  if (in_txn_ && physio_ok && !txn_logical_mode_) {
+    // Steal path: stream this statement's physiological records to the log
+    // now, before commit is certain — their before-images make them
+    // undoable. Sequence updates cannot be undone, so they join the
+    // deferred commit-time suffix instead.
+    for (WalRecord& rec : stmt_records_) {
+      rec.lsn = lsn_++;
+      rec.txn_id = txn_id_;
+      rec.deferred = false;
+      if (!AppendRecord(rec)) {
+        stmt_records_.clear();
+        return Status::OK();
+      }
+      last_streamed_lsn_ = rec.lsn;
+      txn_streamed_ = true;
+    }
+    stmt_records_.clear();
+    for (WalRecord& rec : seq_records) {
+      rec.lsn = lsn_++;
+      txn_buffer_.push_back(std::move(rec));
+    }
+    if (wal_.buffered_bytes() >= options_.steal_flush_bytes) {
+      Status s = wal_.Flush();
+      if (!s.ok()) {
+        HandleStorageFailure(s);
+        return Status::OK();
+      }
+      ++stats_.steal_flushes;
+      ++stats_.fsyncs;
+    }
+    return Status::OK();
+  }
+
   std::vector<WalRecord> records;
   if (physio_ok) {
     records = std::move(stmt_records_);
@@ -570,14 +792,19 @@ Status StorageEngine::EndStatement(Database* db, const sql::Statement& stmt,
   for (WalRecord& rec : records) rec.lsn = lsn_++;
 
   if (in_txn_) {
+    // A logical record cannot be undone: it and everything after it in this
+    // transaction defer to commit time (recovery drops them as a unit if
+    // the transaction loses).
+    if (!physio_ok) txn_logical_mode_ = true;
     for (WalRecord& rec : records) txn_buffer_.push_back(std::move(rec));
     return Status::OK();
   }
-  LEGO_RETURN_IF_ERROR(CommitBatch(std::move(records)));
+  LEGO_RETURN_IF_ERROR(CommitBatch(std::move(records), /*txn_id=*/0));
   return MaybeAutoCheckpoint(db);
 }
 
-void StorageEngine::OnPut(const HeapTable* table, RowId id) {
+void StorageEngine::OnPut(const HeapTable* table, RowId id,
+                          const Row* before) {
   if (!in_statement_) return;
   if (temp_tables_.count(table) > 0) return;
   auto it = table_names_.find(table);
@@ -595,10 +822,15 @@ void StorageEngine::OnPut(const HeapTable* table, RowId id) {
   rec.table = it->second;
   rec.rid = id;
   rec.row = *row;
+  if (before != nullptr) {
+    rec.has_before = true;
+    rec.before = *before;
+  }
   stmt_records_.push_back(std::move(rec));
 }
 
-void StorageEngine::OnErase(const HeapTable* table, RowId id) {
+void StorageEngine::OnErase(const HeapTable* table, RowId id,
+                            const Row& before) {
   if (!in_statement_) return;
   if (temp_tables_.count(table) > 0) return;
   auto it = table_names_.find(table);
@@ -610,6 +842,7 @@ void StorageEngine::OnErase(const HeapTable* table, RowId id) {
   rec.type = WalRecordType::kErase;
   rec.table = it->second;
   rec.rid = id;
+  rec.row = before;  // the undo image
   stmt_records_.push_back(std::move(rec));
 }
 
@@ -626,36 +859,82 @@ void StorageEngine::OnStructural(const HeapTable* table) {
 void StorageEngine::OnTxnBegin(Database& db) {
   (void)db;
   in_txn_ = true;
+  txn_id_ = next_txn_id_++;
+  txn_streamed_ = false;
+  txn_logical_mode_ = false;
+  last_streamed_lsn_ = 0;
   txn_buffer_.clear();
   savepoint_marks_.clear();
+  if (page_store_ != nullptr) {
+    // The transaction snapshot was copied just before this hook fired; from
+    // now until resolution, flushing a page the snapshot shares must
+    // copy-on-write.
+    page_store_->BumpCowEpoch();
+    page_store_->SetCowActive(true);
+  }
 }
 
 void StorageEngine::OnTxnCommit(Database& db) {
+  const uint64_t txn = txn_id_;
+  const bool streamed = txn_streamed_;
   in_txn_ = false;
+  txn_id_ = 0;
+  txn_streamed_ = false;
+  txn_logical_mode_ = false;
+  last_streamed_lsn_ = 0;
   savepoint_marks_.clear();
   std::vector<WalRecord> batch = std::move(txn_buffer_);
   txn_buffer_.clear();
-  (void)CommitBatch(std::move(batch));
+  if (page_store_ != nullptr) page_store_->SetCowActive(false);
+  if (!batch.empty() || streamed) {
+    for (WalRecord& rec : batch) {
+      rec.txn_id = txn;
+      rec.deferred = true;
+    }
+    (void)CommitBatch(std::move(batch), txn);
+  }
   (void)MaybeAutoCheckpoint(&db);
 }
 
 void StorageEngine::OnTxnRollback(Database& db) {
   (void)db;
+  const uint64_t txn = txn_id_;
+  const bool streamed = txn_streamed_;
   in_txn_ = false;
+  txn_id_ = 0;
+  txn_streamed_ = false;
+  txn_logical_mode_ = false;
+  last_streamed_lsn_ = 0;
   txn_buffer_.clear();
   savepoint_marks_.clear();
+  if (page_store_ != nullptr) page_store_->SetCowActive(false);
+  if (streamed && !degraded_) {
+    // Recovery must unwind the streamed prefix. No sync needed: if the
+    // marker is lost, everything after it is lost too, and the losers pass
+    // undoes the stream at the same position.
+    WalRecord rec;
+    rec.type = WalRecordType::kAbort;
+    rec.lsn = lsn_++;
+    rec.txn_id = txn;
+    rec.deferred = false;
+    (void)AppendRecord(rec);
+  }
 }
 
 void StorageEngine::OnTxnSavepoint(Database& db, const std::string& name) {
   (void)db;
-  savepoint_marks_.emplace_back(name, txn_buffer_.size());
+  savepoint_marks_.push_back(
+      SavepointMark{name, txn_buffer_.size(), last_streamed_lsn_});
+  // The savepoint took another catalog copy; pages flushed from here on
+  // must not overwrite chains that copy shares.
+  if (page_store_ != nullptr) page_store_->BumpCowEpoch();
 }
 
 void StorageEngine::OnTxnRelease(Database& db, const std::string& name) {
   (void)db;
   for (auto it = savepoint_marks_.rbegin(); it != savepoint_marks_.rend();
        ++it) {
-    if (it->first == name) {
+    if (it->name == name) {
       // Drop this mark and everything nested inside it; records are kept
       // (RELEASE merges work into the enclosing scope).
       savepoint_marks_.erase(it.base() - 1, savepoint_marks_.end());
@@ -668,12 +947,28 @@ void StorageEngine::OnTxnRollbackTo(Database& db, const std::string& name) {
   (void)db;
   for (auto it = savepoint_marks_.rbegin(); it != savepoint_marks_.rend();
        ++it) {
-    if (it->first == name) {
-      txn_buffer_.resize(it->second);
-      // Keep the mark itself (SQL semantics: the savepoint survives).
-      savepoint_marks_.erase(it.base(), savepoint_marks_.end());
-      return;
+    if (it->name != name) continue;
+    txn_buffer_.resize(it->buffer_size);
+    if (txn_streamed_ && last_streamed_lsn_ > it->last_streamed_lsn &&
+        !degraded_) {
+      // Streamed records past the savepoint are already in the log; tell
+      // recovery to unwind exactly that suffix.
+      WalRecord rec;
+      rec.type = WalRecordType::kAbortTo;
+      rec.lsn = lsn_++;
+      rec.txn_id = txn_id_;
+      rec.deferred = false;
+      rec.undo_upto = it->last_streamed_lsn;
+      (void)AppendRecord(rec);
     }
+    last_streamed_lsn_ = it->last_streamed_lsn;
+    // Keep the mark itself (SQL semantics: the savepoint survives).
+    savepoint_marks_.erase(it.base(), savepoint_marks_.end());
+    // The catalog was just restored from the savepoint copy; its pages
+    // carry pre-bump epochs, so future flushes keep copy-on-writing away
+    // from the chains the outer snapshot still references.
+    if (page_store_ != nullptr) page_store_->BumpCowEpoch();
+    return;
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -11,47 +12,63 @@
 #include "minidb/buffer_pool.h"
 #include "minidb/database.h"
 #include "minidb/env.h"
+#include "minidb/page_store.h"
 #include "minidb/wal.h"
 
 namespace lego::minidb {
 
-/// Exit code a forked child uses when the paged storage layer cannot make a
-/// commit durable (WAL append/flush/fsync failure in panic mode). Reserved
-/// next to faults::kOomExitCode (86); the parent maps it to the durability
-/// oracle instead of a generic crash.
-inline constexpr int kStorageFailExitCode = 87;
-
-/// ARIES-lite paged storage engine: redo-only WAL (no-steal, deferred
-/// write), LSN-stamped page snapshots, checkpointing, and crash recovery
-/// tolerating a torn log tail.
+/// ARIES-lite paged storage engine. Since PR 9 it is the *source of truth*
+/// for row storage: every non-temporary heap routes its rows through a
+/// PageStore ("heap.pages" — slotted logical pages chunked across 8 KiB
+/// physical pages under one BufferPool), so reads are served from pager
+/// frames and working sets larger than `pool_frames` genuinely evict and
+/// reload through Env. The in-memory execution path (`--storage=mem`) never
+/// constructs an engine and is bit-identical to before.
 ///
-/// The engine lives *beside* the in-memory Database rather than under it:
-/// execution always runs on the in-memory catalog (so `--storage=mem`
-/// behavior is bit-identical), and the engine observes each statement
-/// through the StorageObserver/StorageHook seams to derive redo records.
+/// Logging is steal/undo: physiological records carry both the post-image
+/// (redo) and the before-image (undo), so records of *open* transactions
+/// stream to the WAL mid-transaction — and flush once the log buffer passes
+/// `steal_flush_bytes` — instead of buffering unboundedly until COMMIT.
+/// Recovery is redo-then-undo: replay every record in order (deferred
+/// records only when their transaction's kCommit marker is present), undo
+/// aborted streams at their kAbort/kAbortTo positions, then unwind losers —
+/// streamed records of transactions that never resolved — in reverse LSN
+/// order via their before-images, appending compensating kAbort markers so
+/// a second crash recovers identically.
 ///
 /// Per statement, effects are classified:
 ///  - *physiological* — only row puts/erases on known non-temporary tables,
-///    no schema change: each effect becomes a kPut/kErase carrying the full
-///    post-image (idempotent on replay), plus kSeqSet for moved sequences.
+///    no schema change: each effect becomes a kPut/kErase (idempotent on
+///    replay), plus kSeqSet for moved sequences.
 ///  - *logical* — schema changes, structural heap rewrites (VACUUM,
 ///    TRUNCATE), or mutations of tables born this statement: one kLogical
-///    record re-executes the statement's SQL at recovery (execution is
-///    deterministic; the record carries the session user it ran as).
-/// SET/PRAGMA/ALTER SYSTEM/DISCARD are also logged logically — they mutate
-/// session context that later logical replays depend on — and bypass the
+///    record re-executes the statement's SQL at recovery.
+/// Logical records cannot be undone, so they are always *deferred*
+/// (buffered until commit is certain); once a transaction logs one, the
+/// rest of that transaction defers too — mixing streamed records after a
+/// dropped logical prefix would undo against the wrong heap layout.
+/// SET/PRAGMA/ALTER SYSTEM/DISCARD are logged logically outside the
 /// transaction buffer, mirroring their non-transactional semantics.
 ///
 /// Commit protocol: autocommit statements append their records plus a
-/// kCommit marker and fsync before the statement is acknowledged; inside
-/// BEGIN the records buffer in memory and reach the WAL only at COMMIT
-/// (ROLLBACK discards, savepoints truncate). So an acknowledged effect is
-/// always synced, and a crash at any point loses at most unacknowledged
-/// work — the invariant the durability oracle checks.
+/// kCommit marker and fsync before the statement is acknowledged; a
+/// transaction streams physiological records as it goes, appends the
+/// deferred suffix plus kCommit(txn) at COMMIT, and fsyncs then. An
+/// acknowledged effect is always synced; a crash loses at most
+/// unacknowledged work — the invariant the durability oracle checks.
+///
+/// Snapshot transactions over shared pages are kept sound by the
+/// PageStore's copy-on-write epoch: the engine bumps the epoch at BEGIN,
+/// SAVEPOINT, and ROLLBACK TO, and arms cow for the transaction's duration,
+/// so a heap flushing a dirty page the snapshot shares writes a fresh chain
+/// instead of overwriting. Orphaned chains are reclaimed by a mark-and-
+/// sweep at checkpoint.
 ///
 /// Directory layout: MANIFEST (atomic; snapshot LSN, 0 = none),
 /// snap.<lsn> (paged image streamed through the BufferPool), wal.<lsn>
-/// (rotated at checkpoint).
+/// (rotated at checkpoint), heap.pages (the PageStore backing file — a
+/// runtime cache of the live heaps, truncated and rebuilt at recovery;
+/// durability lives in snapshot + WAL).
 class StorageEngine : public StorageHook, public StorageObserver {
  public:
   struct Options {
@@ -59,6 +76,9 @@ class StorageEngine : public StorageHook, public StorageObserver {
     std::string dir;
     size_t pool_frames = 64;
     uint64_t checkpoint_every_commits = 128;
+    /// Mid-transaction WAL push threshold (the steal policy's bound on
+    /// buffered log bytes).
+    size_t steal_flush_bytes = 64 * 1024;
     /// Planted defect: acknowledge commits without fsync (--planted-skip-
     /// fsync). Committed batches stay in the user-space log buffer and a
     /// SIGKILL genuinely loses them.
@@ -75,32 +95,48 @@ class StorageEngine : public StorageHook, public StorageObserver {
     uint64_t wal_records = 0;
     uint64_t recovered_records = 0;
     uint64_t recovered_commits = 0;
-    uint64_t torn_records = 0;
+    /// Uncommitted records found in the log at recovery (losers + aborted
+    /// streams — undo candidates, not corruption).
+    uint64_t loser_records = 0;
+    /// Undo operations applied (recovery losers pass + abort positions).
+    uint64_t undo_applied = 0;
     uint64_t torn_tail_bytes = 0;
+    /// Mid-transaction WAL pushes forced by steal_flush_bytes.
+    uint64_t steal_flushes = 0;
+    /// Bytes pushed to the log (appended frames, synced or not).
+    uint64_t wal_bytes = 0;
+    /// Log fsyncs issued (commit syncs + steal flushes).
+    uint64_t fsyncs = 0;
+    /// Combined pager traffic: snapshot read/write pools plus the heap
+    /// PageStore's pool (merged by stats()).
     BufferPool::Stats pool;
+    /// Heap PageStore counters (blob I/O, cow writes, sweeps).
+    PageStore::Stats pages;
   };
 
   explicit StorageEngine(Options options);
 
   // --- lifecycle ---
 
-  /// Wipes the directory and starts a fresh generation (manifest LSN 0 +
-  /// empty WAL); resets `*db`. The cheap per-case reset.
+  /// Wipes the directory and starts a fresh generation (manifest LSN 0,
+  /// empty WAL, empty page store); resets `*db` and routes its heaps
+  /// through the page store. The cheap per-case reset.
   Status ResetFresh(Database* db);
 
-  /// Loads the manifest/snapshot, replays the WAL into `*db` (truncating a
-  /// torn or uncommitted tail, counted in stats), and reopens the WAL for
-  /// appending. Idempotent: recovering twice yields the same state.
+  /// Loads the manifest/snapshot, replays the WAL into `*db` redo-then-undo
+  /// (appending kAbort markers for losers, repairing a torn tail), reopens
+  /// the WAL for appending, and re-paginates the recovered heaps through a
+  /// fresh page store. Idempotent: recovering twice yields the same state.
   Status OpenOrRecover(Database* db);
 
   /// Writes snap.<lsn> through the buffer pool, rotates the WAL, flips the
-  /// manifest, and removes the previous generation. Deferred while a
-  /// transaction is open.
+  /// manifest, removes the previous generation, and sweeps orphaned page
+  /// chains. Deferred while a transaction is open.
   Status Checkpoint(Database* db);
 
   /// Pure-read recovery into `*db` for out-of-process verification (the
   /// parent-side durability checker reads a dead child's directory without
-  /// disturbing it). Installs nothing and repairs nothing.
+  /// disturbing it). Installs nothing, repairs nothing, appends nothing.
   static Status RecoverInto(Env* env, const std::string& dir, Database* db,
                             WalLoadStats* wal_stats);
 
@@ -113,15 +149,20 @@ class StorageEngine : public StorageHook, public StorageObserver {
   Status EndStatement(Database* db, const sql::Statement& stmt,
                       bool executed_ok);
 
-  bool degraded() const { return degraded_; }
+  bool degraded() const {
+    return degraded_ ||
+           (page_store_ != nullptr && page_store_->degraded());
+  }
   uint64_t lsn() const { return lsn_; }
-  const Stats& stats() const { return stats_; }
+  /// Counter snapshot with the heap page store's pool/blob stats merged in.
+  Stats stats() const;
   const Options& options() const { return options_; }
   Env* env() const { return env_; }
+  PageStore* page_store() const { return page_store_.get(); }
 
   // --- StorageObserver (fires between Begin/EndStatement only) ---
-  void OnPut(const HeapTable* table, RowId id) override;
-  void OnErase(const HeapTable* table, RowId id) override;
+  void OnPut(const HeapTable* table, RowId id, const Row* before) override;
+  void OnErase(const HeapTable* table, RowId id, const Row& before) override;
   void OnStructural(const HeapTable* table) override;
 
   // --- StorageHook (transaction boundaries, success path only) ---
@@ -137,9 +178,18 @@ class StorageEngine : public StorageHook, public StorageObserver {
     uint64_t snapshot_lsn = 0;  // 0 = no snapshot yet
   };
 
+  /// Savepoint bookmark: how much of the deferred buffer and the streamed
+  /// prefix belongs to the enclosing scope.
+  struct SavepointMark {
+    std::string name;
+    size_t buffer_size = 0;
+    uint64_t last_streamed_lsn = 0;
+  };
+
   std::string ManifestPath() const { return options_.dir + "/MANIFEST"; }
   std::string SnapPath(uint64_t lsn) const;
   std::string WalPath(uint64_t lsn) const;
+  std::string HeapPagesPath() const { return options_.dir + "/heap.pages"; }
 
   Status WriteManifest(const ManifestInfo& info);
   static StatusOr<ManifestInfo> ReadManifest(Env* env, const std::string& dir);
@@ -152,13 +202,28 @@ class StorageEngine : public StorageHook, public StorageObserver {
                              size_t pool_frames, Catalog* out,
                              BufferPool::Stats* pool_stats);
 
-  /// Applies loaded WAL records on top of the (snapshot) state in `*db`.
-  static Status ReplayInto(Database* db, const std::vector<WalRecord>& recs);
+  /// Redo-then-undo replay of loaded WAL records on top of the (snapshot)
+  /// state in `*db`. Deferred records apply only when their transaction
+  /// committed; streamed records apply unconditionally and are unwound at
+  /// kAbort/kAbortTo positions or, for losers, at end of log in reverse LSN
+  /// order. `loser_txns` (optional) receives the ids of transactions whose
+  /// streams were unwound by the losers pass; `undo_count` (optional)
+  /// counts undo operations applied.
+  static Status ReplayInto(Database* db, const std::vector<WalRecord>& recs,
+                           std::vector<uint64_t>* loser_txns,
+                           uint64_t* undo_count);
   static void RebuildIndexes(Catalog* catalog);
 
-  /// Flushes `records` + a kCommit marker to the WAL and syncs (unless the
-  /// skip-fsync plant is armed). On failure: panic or degrade.
-  Status CommitBatch(std::vector<WalRecord> records);
+  /// (Re)creates the page store over heap.pages and routes the catalog's
+  /// non-temporary heaps through it.
+  Status AttachPageStore(Database* db);
+
+  /// Flushes `records` + a kCommit(txn_id) marker to the WAL and syncs
+  /// (unless the skip-fsync plant is armed). On failure: panic or degrade.
+  Status CommitBatch(std::vector<WalRecord> records, uint64_t txn_id);
+  /// Appends one record, tracking stats; false on failure (after applying
+  /// the failure policy).
+  bool AppendRecord(const WalRecord& rec);
   /// Panic (_exit(kStorageFailExitCode)) or set degraded_, per options.
   void HandleStorageFailure(const Status& status);
   Status MaybeAutoCheckpoint(Database* db);
@@ -169,14 +234,21 @@ class StorageEngine : public StorageHook, public StorageObserver {
   Options options_;
   Env* env_;
   WalManager wal_;
+  std::unique_ptr<PageStore> page_store_;
   uint64_t lsn_ = 1;
   bool degraded_ = false;
   Stats stats_;
 
-  // Transaction buffer (no-steal: records reach the WAL only at commit).
+  // Transaction state. Streamed records are already in the log; the buffer
+  // holds the deferred suffix (sequence updates, post-logical records).
   bool in_txn_ = false;
+  uint64_t txn_id_ = 0;        // current transaction, 0 = none
+  uint64_t next_txn_id_ = 1;
+  bool txn_streamed_ = false;  // any record streamed for this txn
+  bool txn_logical_mode_ = false;  // a logical record forced full deferral
+  uint64_t last_streamed_lsn_ = 0;
   std::vector<WalRecord> txn_buffer_;
-  std::vector<std::pair<std::string, size_t>> savepoint_marks_;
+  std::vector<SavepointMark> savepoint_marks_;
   uint64_t commits_since_checkpoint_ = 0;
   bool checkpoint_pending_ = false;
 

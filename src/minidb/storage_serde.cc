@@ -56,17 +56,38 @@ void SerializeHeap(const HeapTable& heap, persist::StateWriter* w) {
   w->WriteU64(heap.PageCount());
   // Per-page slot lists: page boundaries are preserved exactly (WAL redo can
   // leave partially-filled middle pages, so re-packing would shift RowIds).
-  std::vector<std::vector<std::pair<bool, const Row*>>> pages(heap.PageCount());
+  // Rows are copied out — a paged heap serves VisitSlots from a transient
+  // one-page decode buffer, so references do not survive the walk.
+  std::vector<std::vector<std::pair<bool, Row>>> pages(heap.PageCount());
   heap.VisitSlots([&](RowId id, bool live, const Row& row) {
-    pages[id.page].push_back({live, &row});
+    pages[id.page].push_back({live, row});
   });
   for (const auto& page : pages) {
     w->WriteU32(static_cast<uint32_t>(page.size()));
     for (const auto& [live, row] : page) {
       w->WriteBool(live);
-      if (live) SerializeRow(*row, w);
+      if (live) SerializeRow(row, w);
     }
   }
+  w->EndChunk();
+}
+
+/// Digest-mode heap walk: live rows only, keyed by RowId. Tombstones and
+/// page structure are deliberately excluded — crash recovery's losers pass
+/// undoes an uncommitted insert by re-tombstoning its slot, so a recovered
+/// heap can carry trailing tombstones (even whole tombstone-only pages)
+/// that the oracle's shadow re-execution, which rolls back via catalog
+/// snapshot, never materializes. Live rows and their slots match exactly in
+/// both; structural residue does not.
+void SerializeHeapLiveRows(const HeapTable& heap, persist::StateWriter* w) {
+  w->BeginChunk(kHeapTag);
+  w->WriteU64(heap.LiveRowCount());
+  heap.VisitSlots([&](RowId id, bool live, const Row& row) {
+    if (!live) return;
+    w->WriteU32(id.page);
+    w->WriteU32(id.slot);
+    SerializeRow(row, w);
+  });
   w->EndChunk();
 }
 
@@ -93,11 +114,19 @@ Status DeserializeHeap(persist::StateReader* r, HeapTable* out) {
   return r->ExitChunk();
 }
 
-/// One walk drives both digests; `full` selects snapshot mode (heap
-/// contents, sequence positions, temp tables excluded) vs schema mode
-/// (definitions only, temp tables included).
-void SerializeCatalogBlob(const Catalog& catalog, bool full,
+/// One walk drives the snapshot payload and both digests:
+///  - kFull: snapshot mode — exact heap slot layout, sequence positions,
+///    temp tables excluded.
+///  - kSchema: definitions only, temp tables included (the per-statement
+///    schema fingerprint).
+///  - kDigest: like kFull but heaps contribute live rows only (see
+///    SerializeHeapLiveRows) — the durable-state digest the durability
+///    oracle compares across crash/recovery.
+enum class BlobMode { kSchema, kFull, kDigest };
+
+void SerializeCatalogBlob(const Catalog& catalog, BlobMode mode,
                           persist::StateWriter* w) {
+  const bool full = mode != BlobMode::kSchema;
   w->BeginChunk(kCatalogTag);
 
   std::vector<const TableInfo*> tables;
@@ -116,7 +145,8 @@ void SerializeCatalogBlob(const Catalog& catalog, bool full,
     SerializeSchema(t->schema, w);
     w->WriteU64(t->index_names.size());
     for (const std::string& ix : t->index_names) w->WriteString(ix);
-    if (full) SerializeHeap(t->heap, w);
+    if (mode == BlobMode::kFull) SerializeHeap(t->heap, w);
+    if (mode == BlobMode::kDigest) SerializeHeapLiveRows(t->heap, w);
     w->EndChunk();
   }
 
@@ -255,7 +285,7 @@ Row DeserializeRow(persist::StateReader* r) {
 }
 
 void SerializeCatalog(const Catalog& catalog, persist::StateWriter* w) {
-  SerializeCatalogBlob(catalog, /*full=*/true, w);
+  SerializeCatalogBlob(catalog, BlobMode::kFull, w);
 }
 
 Status DeserializeCatalog(persist::StateReader* r, Catalog* out) {
@@ -436,13 +466,13 @@ Status DeserializeCatalog(persist::StateReader* r, Catalog* out) {
 
 uint64_t StateDigest(const Catalog& catalog) {
   persist::StateWriter w;
-  SerializeCatalogBlob(catalog, /*full=*/true, &w);
+  SerializeCatalogBlob(catalog, BlobMode::kDigest, &w);
   return Fnv1a64(w.buffer());
 }
 
 uint64_t SchemaFingerprint(const Catalog& catalog) {
   persist::StateWriter w;
-  SerializeCatalogBlob(catalog, /*full=*/false, &w);
+  SerializeCatalogBlob(catalog, BlobMode::kSchema, &w);
   return Fnv1a64(w.buffer());
 }
 

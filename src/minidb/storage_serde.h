@@ -37,8 +37,11 @@ void SerializeCatalog(const Catalog& catalog, persist::StateWriter* w);
 /// rebuilding index trees from the loaded heaps.
 Status DeserializeCatalog(persist::StateReader* r, Catalog* out);
 
-/// Fnv1a64 of the full-mode blob: the durable-state digest the durability
-/// oracle compares across crash/recovery.
+/// Fnv1a64 of the digest-mode blob (full mode, but heaps contribute live
+/// rows only — no tombstones or page structure): the durable-state digest
+/// the durability oracle compares across crash/recovery. Live-rows-only
+/// because the losers undo pass re-tombstones uncommitted inserts, leaving
+/// structural residue the oracle's shadow rollback never produces.
 uint64_t StateDigest(const Catalog& catalog);
 
 /// Fnv1a64 of the schema-mode blob; cheap enough to take per statement.

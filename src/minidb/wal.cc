@@ -17,6 +17,8 @@ constexpr size_t kFrameHeader = sizeof(uint32_t) + sizeof(uint64_t);
 void EncodeRecord(const WalRecord& rec, persist::StateWriter* w) {
   w->WriteU8(static_cast<uint8_t>(rec.type));
   w->WriteU64(rec.lsn);
+  w->WriteU64(rec.txn_id);
+  w->WriteBool(rec.deferred);
   switch (rec.type) {
     case WalRecordType::kLogical:
       w->WriteString(rec.text);
@@ -27,11 +29,14 @@ void EncodeRecord(const WalRecord& rec, persist::StateWriter* w) {
       w->WriteU32(rec.rid.page);
       w->WriteU32(rec.rid.slot);
       SerializeRow(rec.row, w);
+      w->WriteBool(rec.has_before);
+      if (rec.has_before) SerializeRow(rec.before, w);
       break;
     case WalRecordType::kErase:
       w->WriteString(rec.table);
       w->WriteU32(rec.rid.page);
       w->WriteU32(rec.rid.slot);
+      SerializeRow(rec.row, w);  // before-image for the losers pass
       break;
     case WalRecordType::kSeqSet:
       w->WriteString(rec.text);
@@ -39,6 +44,10 @@ void EncodeRecord(const WalRecord& rec, persist::StateWriter* w) {
       w->WriteBool(rec.seq_started);
       break;
     case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kAbortTo:
+      w->WriteU64(rec.undo_upto);
       break;
   }
 }
@@ -48,6 +57,8 @@ StatusOr<WalRecord> DecodeRecord(std::string payload) {
   WalRecord rec;
   rec.type = static_cast<WalRecordType>(r.ReadU8());
   rec.lsn = r.ReadU64();
+  rec.txn_id = r.ReadU64();
+  rec.deferred = r.ReadBool();
   switch (rec.type) {
     case WalRecordType::kLogical:
       rec.text = r.ReadString();
@@ -58,11 +69,14 @@ StatusOr<WalRecord> DecodeRecord(std::string payload) {
       rec.rid.page = r.ReadU32();
       rec.rid.slot = r.ReadU32();
       rec.row = DeserializeRow(&r);
+      rec.has_before = r.ReadBool();
+      if (rec.has_before) rec.before = DeserializeRow(&r);
       break;
     case WalRecordType::kErase:
       rec.table = r.ReadString();
       rec.rid.page = r.ReadU32();
       rec.rid.slot = r.ReadU32();
+      rec.row = DeserializeRow(&r);
       break;
     case WalRecordType::kSeqSet:
       rec.text = r.ReadString();
@@ -70,6 +84,10 @@ StatusOr<WalRecord> DecodeRecord(std::string payload) {
       rec.seq_started = r.ReadBool();
       break;
     case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kAbortTo:
+      rec.undo_upto = r.ReadU64();
       break;
     default:
       return Status::Internal("unknown WAL record type");
@@ -121,10 +139,11 @@ Status WalManager::Append(const WalRecord& rec) {
   return Status::OK();
 }
 
-Status WalManager::Commit(uint64_t lsn, bool skip_sync) {
+Status WalManager::Commit(uint64_t lsn, uint64_t txn_id, bool skip_sync) {
   WalRecord rec;
   rec.type = WalRecordType::kCommit;
   rec.lsn = lsn;
+  rec.txn_id = txn_id;
   LEGO_RETURN_IF_ERROR(Append(rec));
   // Planted defect --planted-skip-fsync: acknowledge without pushing the
   // user-space buffer to the file. The durability oracle must catch this.
@@ -172,8 +191,10 @@ StatusOr<std::vector<WalRecord>> WalManager::Load(Env* env,
     }
   }
   st->torn_tail_bytes = data.size() - pos;
-  st->torn_records = records.size() - last_commit_count;
-  records.resize(last_commit_count);
+  // Steal: complete records past the last commit are *kept* — they belong
+  // to transactions that never committed, and the caller's losers pass
+  // unwinds their effects with the before-images they carry.
+  st->loser_records = records.size() - last_commit_count;
   st->records = records.size();
   st->commits = commits_kept;
   return records;

@@ -152,6 +152,59 @@ TEST(ConcurrentCampaignTest, CleanEngineFlagsNoAnomalies) {
   EXPECT_EQ(result.logic_bugs_total, 0);
 }
 
+TEST(ConcurrentCampaignTest, CleanEngineOnPagedStorageFlagsNoAnomalies) {
+  // Sessions share pager-backed heaps behind page latches; the lock
+  // discipline (and therefore the iso oracle's verdict) must be unaffected
+  // by rows living in pool frames instead of private heap vectors.
+  const std::string dir = ScratchDir("paged_iso");
+  BackendOptions backend = ConcurrentOptions(3);
+  backend.storage = StorageKind::kPaged;
+  backend.db_dir = dir;
+  backend.pool_frames = 8;
+
+  auto fuzzer = MakeLego(3);
+  ExecutionHarness harness(minidb::DialectProfile::PgLite(), backend);
+  std::string suite_error;
+  auto suite = triage::OracleSuite::FromSpec("iso", &suite_error);
+  ASSERT_NE(suite, nullptr) << suite_error;
+  harness.set_logic_oracle(suite.get());
+
+  CampaignOptions options;
+  options.max_executions = 500;
+  std::vector<TestCase> seeds = RmwSeeds();
+  options.import_seeds = &seeds;
+  CampaignResult result = RunCampaign(fuzzer.get(), &harness, options);
+  EXPECT_EQ(result.logic_bugs_total, 0);
+  EXPECT_GT(result.storage.commits, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConcurrentCampaignTest, PagedInterleavingsReplayDeterministically) {
+  // Trace-digest determinism on shared paged storage: the same seed must
+  // produce byte-identical campaign results across reruns even though page
+  // latches and pool eviction now sit under the interleavings.
+  const std::string dir = ScratchDir("paged_det");
+  auto run = [&]() {
+    BackendOptions backend = ConcurrentOptions(9);
+    backend.storage = StorageKind::kPaged;
+    backend.db_dir = dir;
+    backend.pool_frames = 8;
+    auto fuzzer = MakeLego(9);
+    ExecutionHarness harness(minidb::DialectProfile::PgLite(), backend);
+    CampaignOptions options;
+    options.max_executions = 300;
+    std::vector<TestCase> seeds = RmwSeeds();
+    options.import_seeds = &seeds;
+    return RunCampaign(fuzzer.get(), &harness, options);
+  };
+  CampaignResult first = run();
+  CampaignResult second = run();
+  EXPECT_EQ(ResultDigest(first), ResultDigest(second));
+  EXPECT_EQ(first.statements_executed, second.statements_executed);
+  EXPECT_EQ(first.edges, second.edges);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ConcurrentCampaignTest, ResumeIsBitIdenticalToUninterrupted) {
   // Interruption emulated by budget (same load path a SIGKILLed process
   // takes on restart): interleaving seeds derive from the persisted

@@ -1,8 +1,9 @@
 // WAL append/replay contract tests: roundtrip of every record kind, the
-// commit-is-the-boundary rule (records past the last kCommit are dropped),
-// torn-tail truncation counted but not fatal, corrupt-frame detection, and
-// idempotent double recovery — all against the in-memory Env whose
-// SimulateCrash/TruncateFileTail make torn states constructible.
+// steal rule (complete records past the last kCommit are *kept* as undo
+// candidates and counted as losers), torn-tail truncation counted but not
+// fatal, corrupt-frame detection, and idempotent double recovery — all
+// against the in-memory Env whose SimulateCrash/TruncateFileTail make torn
+// states constructible.
 
 #include <string>
 #include <vector>
@@ -61,14 +62,14 @@ TEST_F(WalRecoveryTest, AppendCommitLoadRoundtrip) {
   erase.rid.page = 0;
   erase.rid.slot = 0;
   ASSERT_TRUE(wal.Append(erase).ok());
-  ASSERT_TRUE(wal.Commit(5, /*skip_sync=*/false).ok());
+  ASSERT_TRUE(wal.Commit(5, /*txn_id=*/0, false).ok());
 
   WalLoadStats stats;
   auto loaded = WalManager::Load(&env_, kPath, &stats);
   ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded.value().size(), 5u);
   EXPECT_EQ(stats.commits, 1u);
-  EXPECT_EQ(stats.torn_records, 0u);
+  EXPECT_EQ(stats.loser_records, 0u);
   EXPECT_EQ(stats.torn_tail_bytes, 0u);
   const std::vector<WalRecord>& recs = loaded.value();
   EXPECT_EQ(recs[0].type, WalRecordType::kLogical);
@@ -90,31 +91,33 @@ TEST_F(WalRecoveryTest, MissingFileIsEmptyLog) {
   EXPECT_TRUE(loaded.value().empty());
 }
 
-TEST_F(WalRecoveryTest, RecordsAfterLastCommitAreDropped) {
+TEST_F(WalRecoveryTest, RecordsAfterLastCommitAreKeptAsLosers) {
   WalManager wal(&env_);
   ASSERT_TRUE(wal.Open(kPath, true).ok());
   ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
-  ASSERT_TRUE(wal.Commit(2, false).ok());
-  // A fully-written but uncommitted batch: appended AND synced (tail
-  // repair does this), yet recovery must still treat it as not-happened.
+  ASSERT_TRUE(wal.Commit(2, /*txn_id=*/0, false).ok());
+  // A fully-written but uncommitted batch: under the steal policy Load
+  // returns it (the caller's redo/undo passes decide what applies) and
+  // counts it as a loser candidate.
   ASSERT_TRUE(wal.Append(Logical(3, "DROP TABLE t")).ok());
   ASSERT_TRUE(wal.Flush().ok());
 
   WalLoadStats stats;
   auto loaded = WalManager::Load(&env_, kPath, &stats);
   ASSERT_TRUE(loaded.ok());
-  ASSERT_EQ(loaded.value().size(), 2u);
-  EXPECT_EQ(loaded.value().back().type, WalRecordType::kCommit);
-  EXPECT_EQ(stats.torn_records, 1u);
+  ASSERT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value()[1].type, WalRecordType::kCommit);
+  EXPECT_EQ(loaded.value().back().type, WalRecordType::kLogical);
+  EXPECT_EQ(stats.loser_records, 1u);
 }
 
 TEST_F(WalRecoveryTest, UnsyncedBatchDiesWithTheProcess) {
   WalManager wal(&env_);
   ASSERT_TRUE(wal.Open(kPath, true).ok());
   ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
-  ASSERT_TRUE(wal.Commit(2, false).ok());
+  ASSERT_TRUE(wal.Commit(2, /*txn_id=*/0, false).ok());
   ASSERT_TRUE(wal.Append(Logical(3, "CREATE TABLE u (b INT)")).ok());
-  ASSERT_TRUE(wal.Commit(4, /*skip_sync=*/true).ok());  // the planted defect
+  ASSERT_TRUE(wal.Commit(4, /*txn_id=*/0, true).ok());  // the planted defect
   env_.SimulateCrash();
 
   WalLoadStats stats;
@@ -130,9 +133,9 @@ TEST_F(WalRecoveryTest, TornTailIsCountedNotFatal) {
   WalManager wal(&env_);
   ASSERT_TRUE(wal.Open(kPath, true).ok());
   ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
-  ASSERT_TRUE(wal.Commit(2, false).ok());
+  ASSERT_TRUE(wal.Commit(2, /*txn_id=*/0, false).ok());
   ASSERT_TRUE(wal.Append(Logical(3, "CREATE TABLE u (b INT)")).ok());
-  ASSERT_TRUE(wal.Commit(4, false).ok());
+  ASSERT_TRUE(wal.Commit(4, /*txn_id=*/0, false).ok());
   // Rip bytes off the end mid-frame: a crash landing inside a chunked
   // write leaves exactly this shape.
   env_.TruncateFileTail(kPath, 7);
@@ -140,7 +143,10 @@ TEST_F(WalRecoveryTest, TornTailIsCountedNotFatal) {
   WalLoadStats stats;
   auto loaded = WalManager::Load(&env_, kPath, &stats);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().size(), 2u);
+  // The torn frame was the second kCommit, so its batch's record survives
+  // as a loser candidate.
+  EXPECT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(stats.loser_records, 1u);
   EXPECT_GT(stats.torn_tail_bytes, 0u);
 }
 
@@ -148,11 +154,12 @@ TEST_F(WalRecoveryTest, CorruptPayloadStopsAtLastGoodCommit) {
   WalManager wal(&env_);
   ASSERT_TRUE(wal.Open(kPath, true).ok());
   ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
-  ASSERT_TRUE(wal.Commit(2, false).ok());
+  ASSERT_TRUE(wal.Commit(2, /*txn_id=*/0, false).ok());
   ASSERT_TRUE(wal.Append(Logical(3, "CREATE TABLE u (b INT)")).ok());
-  ASSERT_TRUE(wal.Commit(4, false).ok());
-  // Flip one payload byte in the second batch: the frame hash must reject
-  // it and recovery keeps the first batch only.
+  ASSERT_TRUE(wal.Commit(4, /*txn_id=*/0, false).ok());
+  // Flip one payload byte in the final frame (the second kCommit): the
+  // frame hash must reject it, so recovery keeps everything before it —
+  // including that batch's record, now a loser candidate.
   auto content = env_.ReadFile(kPath);
   ASSERT_TRUE(content.ok());
   std::string bytes = content.value();
@@ -162,7 +169,8 @@ TEST_F(WalRecoveryTest, CorruptPayloadStopsAtLastGoodCommit) {
   WalLoadStats stats;
   auto loaded = WalManager::Load(&env_, kPath, &stats);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(stats.loser_records, 1u);
   EXPECT_GT(stats.torn_tail_bytes, 0u);
 }
 
@@ -171,7 +179,7 @@ TEST_F(WalRecoveryTest, DoubleRecoveryIsIdempotent) {
   ASSERT_TRUE(wal.Open(kPath, true).ok());
   ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
   ASSERT_TRUE(wal.Append(Put(2, "t", 0, 0)).ok());
-  ASSERT_TRUE(wal.Commit(3, false).ok());
+  ASSERT_TRUE(wal.Commit(3, /*txn_id=*/0, false).ok());
   ASSERT_TRUE(wal.Append(Logical(4, "INSERT INTO t VALUES (1)")).ok());
   env_.SimulateCrash();
 
@@ -196,7 +204,7 @@ TEST_F(WalRecoveryTest, SyncedBytesTracksDurablePrefix) {
   ASSERT_TRUE(wal.Open(kPath, true).ok());
   ASSERT_TRUE(wal.Append(Logical(1, "CREATE TABLE t (a INT)")).ok());
   EXPECT_EQ(wal.synced_bytes(), 0u);
-  ASSERT_TRUE(wal.Commit(2, false).ok());
+  ASSERT_TRUE(wal.Commit(2, /*txn_id=*/0, false).ok());
   EXPECT_GT(wal.synced_bytes(), 0u);
   EXPECT_EQ(wal.appended_records(), 2u);
 }
