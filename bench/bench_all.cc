@@ -14,6 +14,11 @@
 // baseline (WAL bytes/fsyncs from the Env counters), reports the buffer
 // pool's hit rate under a bulk-load workload, and measures cold recovery
 // (snapshot load + WAL replay) of a multi-thousand-page database.
+//
+// The fleet section shards one campaign across 1/2/4 worker processes via
+// the fleet coordinator: aggregate execs/sec per worker count, the
+// coordination tax (1-worker fleet vs the same shards run serially
+// in-process), and distill-cycle latency for corpus redistribution.
 
 #include <chrono>
 #include <cstdio>
@@ -26,6 +31,8 @@
 
 #include "bench_util.h"
 #include "coverage/rule_coverage.h"
+#include "fleet/fleet.h"
+#include "fleet/shard.h"
 #include "fuzz/campaign.h"
 #include "fuzz/harness.h"
 #include "minidb/database.h"
@@ -290,6 +297,46 @@ LargerThanRamBench TimedLargerThanRam(int rows, int scans) {
   return bench;
 }
 
+// --- fleet coordinator ----------------------------------------------------
+
+struct FleetBenchRow {
+  int workers = 0;
+  double seconds = 0;
+  int64_t executions = 0;
+  int distill_cycles = 0;
+  double distill_seconds = 0;
+};
+
+fleet::FleetConfig FleetBenchConfig(int shards, int budget, int distill_every) {
+  fleet::FleetConfig config;
+  config.profile = "pglite";
+  config.fuzzer = "lego";
+  config.base_seed = kSeed;
+  config.num_shards = shards;
+  config.shard_budget = budget;
+  config.distill_every = distill_every;
+  return config;
+}
+
+FleetBenchRow TimedFleet(int workers, int shards, int budget,
+                         int distill_every) {
+  fleet::FleetOptions options;
+  options.config = FleetBenchConfig(shards, budget, distill_every);
+  options.num_workers = workers;
+  options.fleet_dir = "bench_fleet_w" + std::to_string(workers) + "_d" +
+                      std::to_string(distill_every);
+  (void)minidb::Env::Posix()->RemoveDirRecursive(options.fleet_dir);
+  fleet::FleetResult result = fleet::RunFleet(options);
+  FleetBenchRow row;
+  row.workers = workers;
+  row.seconds = result.elapsed_seconds;
+  row.executions = result.executions;
+  row.distill_cycles = result.distill_cycles;
+  row.distill_seconds = result.distill_seconds;
+  (void)minidb::Env::Posix()->RemoveDirRecursive(options.fleet_dir);
+  return row;
+}
+
 }  // namespace
 }  // namespace lego::bench
 
@@ -456,6 +503,58 @@ int main(int argc, char** argv) {
   std::printf("  parser %.0f scripts/s detached, %.0f armed (%+.1f%%)\n",
               iters / detached, iters / armed, probe_overhead);
 
+  // Fleet coordinator: the same shard set run serially in-process is the
+  // zero-coordination baseline; a 1-worker fleet adds fork + pipes + journal
+  // (the coordination tax), and 2/4 workers show aggregate scaling.
+  const int fleet_shards = 8;
+  const int fleet_budget = quick ? 250 : 1000;
+  double serial_shards_seconds = 0;
+  {
+    lego::fleet::FleetConfig config =
+        FleetBenchConfig(fleet_shards, fleet_budget, 0);
+    std::vector<lego::fuzz::TestCase> pool;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < fleet_shards; ++s) {
+      auto outcome = lego::fleet::ExecuteShard(config, s, pool, nullptr, {});
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "fleet bench shard failed: %s\n",
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+    }
+    serial_shards_seconds = SecondsSince(t0);
+  }
+  std::vector<FleetBenchRow> fleet_rows;
+  for (int workers : {1, 2, 4}) {
+    FleetBenchRow row =
+        TimedFleet(workers, fleet_shards, fleet_budget, /*distill_every=*/0);
+    double rate = row.seconds > 0
+                      ? static_cast<double>(row.executions) / row.seconds
+                      : 0;
+    double speedup = !fleet_rows.empty() && row.seconds > 0
+                         ? fleet_rows.front().seconds / row.seconds
+                         : 1.0;
+    std::printf("  fleet x%-2d workers    %7.0f execs/s  (%.2fx vs 1 worker)\n",
+                workers, rate, speedup);
+    fleet_rows.push_back(row);
+  }
+  const double coordinator_overhead_pct =
+      serial_shards_seconds > 0
+          ? (fleet_rows.front().seconds - serial_shards_seconds) /
+                serial_shards_seconds * 100.0
+          : 0;
+  FleetBenchRow fleet_distill =
+      TimedFleet(1, fleet_shards, fleet_budget, /*distill_every=*/2);
+  const double distill_cycle_seconds =
+      fleet_distill.distill_cycles > 0
+          ? fleet_distill.distill_seconds / fleet_distill.distill_cycles
+          : 0;
+  std::printf(
+      "  fleet coordination   %+6.1f%% vs serial shards; distill %d cycles, "
+      "%.3f s/cycle\n",
+      coordinator_overhead_pct, fleet_distill.distill_cycles,
+      distill_cycle_seconds);
+
   // Machine-readable dump.
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -553,8 +652,35 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  \"parser_probes\": {\"iters\": %d, "
                "\"detached_scripts_per_sec\": %.1f, "
-               "\"armed_scripts_per_sec\": %.1f, \"overhead_pct\": %.1f}\n",
+               "\"armed_scripts_per_sec\": %.1f, \"overhead_pct\": %.1f},\n",
                iters, iters / detached, iters / armed, probe_overhead);
+  std::fprintf(f,
+               "  \"fleet\": {\n"
+               "    \"shards\": %d,\n"
+               "    \"shard_budget\": %d,\n"
+               "    \"serial_shards_seconds\": %.3f,\n"
+               "    \"coordinator_overhead_pct\": %.1f,\n"
+               "    \"workers\": [\n",
+               fleet_shards, fleet_budget, serial_shards_seconds,
+               coordinator_overhead_pct);
+  for (size_t i = 0; i < fleet_rows.size(); ++i) {
+    const FleetBenchRow& r = fleet_rows[i];
+    std::fprintf(
+        f,
+        "      {\"workers\": %d, \"seconds\": %.3f, \"execs_per_sec\": "
+        "%.1f, \"speedup_vs_1\": %.2f}%s\n",
+        r.workers, r.seconds,
+        r.seconds > 0 ? static_cast<double>(r.executions) / r.seconds : 0.0,
+        r.seconds > 0 ? fleet_rows.front().seconds / r.seconds : 1.0,
+        i + 1 < fleet_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n"
+               "    \"distill\": {\"every\": 2, \"cycles\": %d, "
+               "\"total_seconds\": %.3f, \"seconds_per_cycle\": %.3f}\n"
+               "  }\n",
+               fleet_distill.distill_cycles, fleet_distill.distill_seconds,
+               distill_cycle_seconds);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());

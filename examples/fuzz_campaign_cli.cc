@@ -79,6 +79,9 @@
 //   --max-child-fsize-mb N : forked only — RLIMIT_FSIZE cap per child
 //                 (REAL-FSIZE)                                  (default off)
 
+#include <csignal>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -101,8 +104,32 @@
 #include "triage/oracle_suite.h"
 #include "triage/triage.h"
 
+namespace {
+
+/// SIGTERM/SIGINT request a graceful drain: the campaign finishes the
+/// in-flight test case, writes its final checkpoint/corpus/triage output
+/// through the normal end-of-run path, and the tool exits 0 — instead of
+/// dying mid-round and stranding a torn ckpt_r<N>/ dir for the resume
+/// fallback to clean up.
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) { g_stop_requested.store(true); }
+
+void InstallStopHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace lego;  // NOLINT(build/namespaces)
+
+  InstallStopHandlers();
 
   // Split args into flags (anywhere) and positionals.
   int workers = 1;
@@ -448,6 +475,7 @@ int main(int argc, char** argv) {
   }
   fuzz::CampaignOptions options;
   options.max_executions = executions;
+  options.stop_flag = &g_stop_requested;
   options.snapshot_every = std::max(1, executions / 10);
   options.num_workers = workers;
   options.state_dir = state_dir;
@@ -518,6 +546,11 @@ int main(int argc, char** argv) {
   fuzz::CampaignResult result =
       fuzz::RunCampaign(fuzzer.get(), &harness, options);
 
+  if (result.stopped_early) {
+    std::printf("\ncampaign: stop signal received; drained after %d "
+                "executions (state flushed)\n",
+                result.executions);
+  }
   std::printf("\ncoverage curve (executions -> branches):\n");
   for (const auto& [execs, edges] : result.coverage_curve) {
     std::printf("  %7d  %6zu\n", execs, edges);

@@ -52,6 +52,10 @@ FailpointState g_failpoints[] = {
     {"wal.append"},           // WAL: record append into the log buffer fails
     {"pager.flush"},          // buffer pool: dirty-page write-back fails
     {"wal.recover"},          // WAL: record read during recovery fails
+    {"fleet.heartbeat"},      // fleet worker: lease heartbeat send suppressed
+    {"fleet.result_write"},   // fleet worker: shard result envelope corrupted
+    {"fleet.lease_grant"},    // fleet coordinator: lease grant deferred
+    {"fleet.journal_write"},  // fleet coordinator: journal write fails
 };
 
 FailpointState* Find(std::string_view name) {

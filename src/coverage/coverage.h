@@ -112,6 +112,17 @@ class GlobalCoverage {
   /// terminology).
   size_t CoveredEdges() const { return covered_edges_; }
 
+  /// Unions another accumulated bitmap into this one — the fleet
+  /// coordinator folds per-worker shard coverage into a campaign-wide map
+  /// this way. The edge counter is recomputed from the merged bitmap.
+  void MergeFrom(const GlobalCoverage& other) {
+    covered_edges_ = 0;
+    for (size_t i = 0; i < virgin_.size(); ++i) {
+      virgin_[i] |= other.virgin_[i];
+      covered_edges_ += (virgin_[i] != 0);
+    }
+  }
+
   /// Checkpointing: the full virgin bitmap round-trips; the edge counter is
   /// recomputed on load (it is derived state).
   Status SaveState(persist::StateWriter* w) const;

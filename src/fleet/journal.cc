@@ -1,0 +1,270 @@
+#include "fleet/journal.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "chaos/failpoint.h"
+#include "fuzz/state.h"
+#include "persist/io.h"
+
+namespace lego::fleet {
+namespace {
+
+constexpr char kFingerprintChunk[5] = "FLFP";
+constexpr char kDataChunk[5] = "FLET";
+
+void SaveFingerprint(const FleetConfig& config, persist::StateWriter* w) {
+  w->BeginChunk(persist::ChunkTag(kFingerprintChunk));
+  w->WriteString(config.profile);
+  w->WriteString(config.fuzzer);
+  w->WriteU64(config.base_seed);
+  w->WriteU32(static_cast<uint32_t>(config.num_shards));
+  w->WriteU32(static_cast<uint32_t>(config.shard_budget));
+  w->WriteString(config.oracle_spec);
+  w->WriteBool(config.rule_coverage);
+  w->WriteString(std::string(fuzz::BackendKindName(config.backend.kind)));
+  w->WriteString(std::string(fuzz::StorageKindName(config.backend.storage)));
+  w->WriteU32(static_cast<uint32_t>(config.progress_every));
+  w->WriteU32(static_cast<uint32_t>(config.distill_every));
+  w->EndChunk();
+}
+
+Status CheckFingerprint(const FleetConfig& config, persist::StateReader* r) {
+  LEGO_RETURN_IF_ERROR(r->EnterChunk(persist::ChunkTag(kFingerprintChunk)));
+  const std::string profile = r->ReadString();
+  const std::string fuzzer = r->ReadString();
+  const uint64_t base_seed = r->ReadU64();
+  const int num_shards = static_cast<int>(r->ReadU32());
+  const int shard_budget = static_cast<int>(r->ReadU32());
+  const std::string oracle_spec = r->ReadString();
+  const bool rule_coverage = r->ReadBool();
+  const std::string backend = r->ReadString();
+  const std::string storage = r->ReadString();
+  const int progress_every = static_cast<int>(r->ReadU32());
+  const int distill_every = static_cast<int>(r->ReadU32());
+  LEGO_RETURN_IF_ERROR(r->ExitChunk());
+  if (!r->ok()) return r->status();
+  if (profile != config.profile || fuzzer != config.fuzzer ||
+      base_seed != config.base_seed || num_shards != config.num_shards ||
+      shard_budget != config.shard_budget ||
+      oracle_spec != config.oracle_spec ||
+      rule_coverage != config.rule_coverage ||
+      backend != fuzz::BackendKindName(config.backend.kind) ||
+      storage != fuzz::StorageKindName(config.backend.storage) ||
+      progress_every != config.progress_every ||
+      distill_every != config.distill_every) {
+    return Status::InvalidArgument(
+        "fleet journal: campaign fingerprint mismatch (journal is from "
+        "profile=" +
+        profile + " fuzzer=" + fuzzer + " seed=" + std::to_string(base_seed) +
+        " shards=" + std::to_string(num_shards) + ")");
+  }
+  return Status::OK();
+}
+
+void SaveCrashMap(const FleetResult& result, persist::StateWriter* w) {
+  w->WriteU64(result.crashes.size());
+  for (const auto& [hash, crash] : result.crashes) {
+    w->WriteU64(hash);
+    w->WriteString(crash.bug_id);
+    w->WriteString(crash.component);
+    w->WriteString(crash.kind);
+    w->WriteU64(crash.stack_hash);
+    w->WriteString(crash.message);
+    w->WriteString(result.crash_origins.count(hash)
+                       ? result.crash_origins.at(hash)
+                       : std::string());
+    fuzz::SaveTestCase(result.crash_cases.at(hash), w);
+  }
+}
+
+Status LoadCrashMap(persist::StateReader* r, FleetResult* result) {
+  const uint64_t count = r->ReadU64();
+  if (!r->CheckCount(count, 8)) {
+    return Status::Internal("fleet journal: corrupt crash map");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t hash = r->ReadU64();
+    minidb::CrashInfo crash;
+    crash.bug_id = r->ReadString();
+    crash.component = r->ReadString();
+    crash.kind = r->ReadString();
+    crash.stack_hash = r->ReadU64();
+    crash.message = r->ReadString();
+    const std::string origin = r->ReadString();
+    auto tc = fuzz::LoadTestCase(r);
+    if (!tc.ok()) return tc.status();
+    result->crashes.emplace(hash, std::move(crash));
+    result->crash_cases.emplace(hash, std::move(*tc));
+    if (!origin.empty()) result->crash_origins.emplace(hash, origin);
+  }
+  return Status::OK();
+}
+
+void SaveLogicMap(const FleetResult& result, persist::StateWriter* w) {
+  w->WriteU64(result.logic.size());
+  for (const auto& [fp, bug] : result.logic) {
+    w->WriteU64(fp);
+    w->WriteString(bug.check);
+    w->WriteString(bug.query);
+    w->WriteString(bug.detail);
+    w->WriteU64(bug.fingerprint);
+    w->WriteU64(bug.interleave_seed);
+    w->WriteU32(static_cast<uint32_t>(bug.sessions));
+    w->WriteString(result.logic_origins.count(fp)
+                       ? result.logic_origins.at(fp)
+                       : std::string());
+    fuzz::SaveTestCase(result.logic_cases.at(fp), w);
+  }
+}
+
+Status LoadLogicMap(persist::StateReader* r, FleetResult* result) {
+  const uint64_t count = r->ReadU64();
+  if (!r->CheckCount(count, 8)) {
+    return Status::Internal("fleet journal: corrupt logic map");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t fp = r->ReadU64();
+    fuzz::LogicBugInfo bug;
+    bug.check = r->ReadString();
+    bug.query = r->ReadString();
+    bug.detail = r->ReadString();
+    bug.fingerprint = r->ReadU64();
+    bug.interleave_seed = r->ReadU64();
+    bug.sessions = static_cast<int>(r->ReadU32());
+    const std::string origin = r->ReadString();
+    auto tc = fuzz::LoadTestCase(r);
+    if (!tc.ok()) return tc.status();
+    result->logic.emplace(fp, std::move(bug));
+    result->logic_cases.emplace(fp, std::move(*tc));
+    if (!origin.empty()) result->logic_origins.emplace(fp, origin);
+  }
+  return Status::OK();
+}
+
+void SaveCases(const std::vector<fuzz::TestCase>& cases,
+               persist::StateWriter* w) {
+  w->WriteU64(cases.size());
+  for (const auto& tc : cases) fuzz::SaveTestCase(tc, w);
+}
+
+Status LoadCases(persist::StateReader* r, std::vector<fuzz::TestCase>* out) {
+  const uint64_t count = r->ReadU64();
+  if (!r->CheckCount(count, 1)) {
+    return Status::Internal("fleet journal: corrupt case count");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    auto tc = fuzz::LoadTestCase(r);
+    if (!tc.ok()) return tc.status();
+    out->push_back(std::move(*tc));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string JournalPath(const std::string& fleet_dir) {
+  return fleet_dir + "/" + kJournalFile;
+}
+
+Status SaveJournal(const std::string& fleet_dir, const FleetConfig& config,
+                   const FleetResult& result) {
+  // The failpoint sits before serialization so `kill:N` models a coordinator
+  // lost at its most vulnerable moment: state assembled, nothing durable yet.
+  if (LEGO_FAILPOINT("fleet.journal_write")) {
+    return Status::Internal("fleet journal: injected write failure");
+  }
+  persist::StateWriter w;
+  SaveFingerprint(config, &w);
+  w.BeginChunk(persist::ChunkTag(kDataChunk));
+  w.WriteU64(result.shards_done.size());
+  for (int shard : result.shards_done) {
+    w.WriteU32(static_cast<uint32_t>(shard));
+  }
+  w.WriteI64(result.executions);
+  w.WriteI64(result.statements_executed);
+  w.WriteI64(result.statement_errors);
+  w.WriteI64(static_cast<int64_t>(result.crashes_total));
+  w.WriteI64(static_cast<int64_t>(result.logic_bugs_total));
+  w.WriteU64(result.rules);
+  w.WriteU32(static_cast<uint32_t>(result.shards_requeued));
+  w.WriteU32(static_cast<uint32_t>(result.leases_expired));
+  w.WriteU32(static_cast<uint32_t>(result.results_rejected));
+  w.WriteU32(static_cast<uint32_t>(result.duplicate_results));
+  w.WriteU32(static_cast<uint32_t>(result.distill_cycles));
+  w.WriteDouble(result.distill_seconds);
+  SaveCrashMap(result, &w);
+  SaveLogicMap(result, &w);
+  SaveCases(result.corpus, &w);
+  SaveCases(result.corpus_pending, &w);
+  const fuzz::BackendStorageStats& s = result.storage;
+  w.WriteU64(s.pool_hits);
+  w.WriteU64(s.pool_misses);
+  w.WriteU64(s.pool_evictions);
+  w.WriteU64(s.pool_writebacks);
+  w.WriteU64(s.wal_records);
+  w.WriteU64(s.wal_bytes);
+  w.WriteU64(s.fsyncs);
+  w.WriteU64(s.steal_flushes);
+  w.WriteU64(s.commits);
+  w.WriteU64(s.checkpoints);
+  w.EndChunk();
+  LEGO_RETURN_IF_ERROR(result.coverage.SaveState(&w));
+  return w.WriteFileAtomic(JournalPath(fleet_dir));
+}
+
+Status LoadJournal(const std::string& fleet_dir, const FleetConfig& config,
+                   FleetResult* result) {
+  const std::string path = JournalPath(fleet_dir);
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::NotFound("fleet journal: no " + path);
+  }
+  auto reader = persist::StateReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  persist::StateReader& r = *reader;
+  LEGO_RETURN_IF_ERROR(CheckFingerprint(config, &r));
+  LEGO_RETURN_IF_ERROR(r.EnterChunk(persist::ChunkTag(kDataChunk)));
+  const uint64_t done_count = r.ReadU64();
+  if (!r.CheckCount(done_count, 4)) {
+    return Status::Internal("fleet journal: corrupt done-set");
+  }
+  for (uint64_t i = 0; i < done_count; ++i) {
+    result->shards_done.insert(static_cast<int>(r.ReadU32()));
+  }
+  result->executions = r.ReadI64();
+  result->statements_executed = r.ReadI64();
+  result->statement_errors = r.ReadI64();
+  result->crashes_total = static_cast<int>(r.ReadI64());
+  result->logic_bugs_total = static_cast<int>(r.ReadI64());
+  result->rules = r.ReadU64();
+  result->shards_requeued = static_cast<int>(r.ReadU32());
+  result->leases_expired = static_cast<int>(r.ReadU32());
+  result->results_rejected = static_cast<int>(r.ReadU32());
+  result->duplicate_results = static_cast<int>(r.ReadU32());
+  result->distill_cycles = static_cast<int>(r.ReadU32());
+  result->distill_seconds = r.ReadDouble();
+  LEGO_RETURN_IF_ERROR(LoadCrashMap(&r, result));
+  LEGO_RETURN_IF_ERROR(LoadLogicMap(&r, result));
+  LEGO_RETURN_IF_ERROR(LoadCases(&r, &result->corpus));
+  LEGO_RETURN_IF_ERROR(LoadCases(&r, &result->corpus_pending));
+  fuzz::BackendStorageStats& s = result->storage;
+  s.pool_hits = r.ReadU64();
+  s.pool_misses = r.ReadU64();
+  s.pool_evictions = r.ReadU64();
+  s.pool_writebacks = r.ReadU64();
+  s.wal_records = r.ReadU64();
+  s.wal_bytes = r.ReadU64();
+  s.fsyncs = r.ReadU64();
+  s.steal_flushes = r.ReadU64();
+  s.commits = r.ReadU64();
+  s.checkpoints = r.ReadU64();
+  LEGO_RETURN_IF_ERROR(r.ExitChunk());
+  LEGO_RETURN_IF_ERROR(result->coverage.LoadState(&r));
+  if (!r.ok()) return r.status();
+  return Status::OK();
+}
+
+}  // namespace lego::fleet

@@ -1,0 +1,132 @@
+#include "fleet/protocol.h"
+
+#include <errno.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace lego::fleet {
+namespace {
+
+/// Writes exactly n bytes, retrying EINTR.
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("fleet pipe write: ") +
+                              strerror(errno));
+    }
+    if (w == 0) return Status::Internal("fleet pipe write: zero write");
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly n bytes. NotFound on immediate EOF (nothing read yet),
+/// Internal on torn reads / stop-flag abort.
+Status ReadAll(int fd, char* data, size_t n, const std::atomic<bool>* stop) {
+  size_t off = 0;
+  while (off < n) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return Status::Internal("fleet pipe read: stop requested");
+    }
+    ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("fleet pipe read: ") +
+                              strerror(errno));
+    }
+    if (r == 0) {
+      if (off == 0) return Status::NotFound("fleet pipe closed");
+      return Status::Internal("fleet pipe read: torn frame");
+    }
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, MsgType type, std::string_view payload) {
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    return Status::Internal("fleet frame too large");
+  }
+  std::string frame;
+  frame.reserve(4 + 1 + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size() + 1));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload.data(), payload.size());
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Status RecvFrame(int fd, uint8_t* type, std::string* payload,
+                 const std::atomic<bool>* stop) {
+  char len_bytes[4];
+  Status st = ReadAll(fd, len_bytes, sizeof(len_bytes), stop);
+  if (!st.ok()) return st;
+  uint32_t len = 0;
+  std::memcpy(&len, len_bytes, sizeof(len));
+  if (len == 0 || len > kMaxFrameBytes) {
+    return Status::Internal("fleet frame: bad length prefix");
+  }
+  std::string body(len, '\0');
+  st = ReadAll(fd, body.data(), body.size(), stop);
+  if (!st.ok()) {
+    // EOF mid-body is a torn frame, not a clean close.
+    if (st.code() == StatusCode::kNotFound) {
+      return Status::Internal("fleet pipe read: torn frame");
+    }
+    return st;
+  }
+  *type = static_cast<uint8_t>(body[0]);
+  payload->assign(body.data() + 1, body.size() - 1);
+  return Status::OK();
+}
+
+bool FrameBuffer::Next(uint8_t* type, std::string* payload) {
+  if (overflowed_ || buf_.size() < 4) return false;
+  uint32_t len = 0;
+  std::memcpy(&len, buf_.data(), sizeof(len));
+  if (len == 0 || len > kMaxFrameBytes) {
+    overflowed_ = true;
+    return false;
+  }
+  if (buf_.size() < 4 + static_cast<size_t>(len)) return false;
+  *type = static_cast<uint8_t>(buf_[4]);
+  payload->assign(buf_.data() + 5, len - 1);
+  buf_.erase(0, 4 + static_cast<size_t>(len));
+  return true;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, sizeof(v));
+  out->append(b, sizeof(b));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, sizeof(v));
+  out->append(b, sizeof(b));
+}
+
+uint32_t ReadU32(std::string_view bytes, size_t offset) {
+  uint32_t v = 0;
+  if (offset + sizeof(v) <= bytes.size()) {
+    std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  }
+  return v;
+}
+
+uint64_t ReadU64(std::string_view bytes, size_t offset) {
+  uint64_t v = 0;
+  if (offset + sizeof(v) <= bytes.size()) {
+    std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  }
+  return v;
+}
+
+}  // namespace lego::fleet

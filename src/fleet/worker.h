@@ -1,0 +1,33 @@
+#ifndef LEGO_FLEET_WORKER_H_
+#define LEGO_FLEET_WORKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace lego::fleet {
+
+/// Everything a forked worker needs, fixed at fork time.
+struct WorkerContext {
+  FleetConfig config;
+  int slot = 0;
+  int cmd_fd = -1;   // coordinator -> worker (lease grants, shutdown)
+  int resp_fd = -1;  // worker -> coordinator (hello, heartbeats, results)
+  /// Failpoint specs to arm in this process (re-armed per incarnation, so
+  /// counter-based modes like kill:N restart from hit 0 on every respawn).
+  std::vector<std::string> chaos_specs;
+  uint64_t chaos_seed = 0;
+};
+
+/// Worker process main loop: announce readiness, then serve leases until a
+/// shutdown frame, pipe EOF (coordinator died — workers must not outlive
+/// it), or SIGTERM (drain: finish the in-flight case, ship a partial
+/// result, exit). Never returns to the caller's code path — the return
+/// value is the process exit code.
+int WorkerMain(const WorkerContext& ctx);
+
+}  // namespace lego::fleet
+
+#endif  // LEGO_FLEET_WORKER_H_

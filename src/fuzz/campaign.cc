@@ -113,6 +113,11 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
 
   for (int i = result.executions; !stopped && i < options.max_executions;
        ++i) {
+    if (options.stop_flag != nullptr &&
+        options.stop_flag->load(std::memory_order_relaxed)) {
+      result.stopped_early = true;
+      break;
+    }
     if (harness->backend().broken()) {
       std::fprintf(stderr,
                    "campaign: backend broken (spawn circuit open); stopping "
@@ -153,6 +158,10 @@ CampaignResult RunSerialCampaign(Fuzzer* fuzzer, ExecutionHarness* harness,
     }
     fuzzer->OnResult(tc, exec);
 
+    if (options.on_progress && options.progress_every > 0 &&
+        result.executions % options.progress_every == 0) {
+      options.on_progress(result.executions);
+    }
     if (options.snapshot_every > 0 &&
         result.executions % options.snapshot_every == 0) {
       result.coverage_curve.emplace_back(result.executions,
@@ -596,6 +605,12 @@ CampaignResult RunParallelCampaign(Fuzzer* prototype,
     for (const WorkerState& s : states) {
       total_execs += s.executions;
       total_stmts += s.statements_executed + s.statement_errors;
+    }
+    if (options.on_progress) options.on_progress(total_execs);
+    if (options.stop_flag != nullptr &&
+        options.stop_flag->load(std::memory_order_relaxed)) {
+      merged.stopped_early = true;
+      stop.store(true);
     }
     if (options.stop_when_all_bugs_found) {
       std::set<std::string> bugs;

@@ -1,6 +1,9 @@
 #ifndef LEGO_FUZZ_CAMPAIGN_H_
 #define LEGO_FUZZ_CAMPAIGN_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -67,6 +70,21 @@ struct CampaignOptions {
   /// Corrupt entries skipped by a tolerant --import-corpus (set by the CLI
   /// alongside import_seeds; surfaced in FuzzerStats::import_skipped).
   size_t import_skipped = 0;
+
+  /// Cooperative external stop (graceful shutdown). When non-null and the
+  /// pointee becomes true, the campaign finishes the in-flight test case,
+  /// drains normally through the usual end-of-campaign path — final
+  /// checkpoint included — and returns with stopped_early set. Serial
+  /// campaigns observe the flag between executions; parallel campaigns at
+  /// round barriers. Not owned; must outlive RunCampaign.
+  const std::atomic<bool>* stop_flag = nullptr;
+  /// Progress hook, invoked from the campaign with the total executions so
+  /// far: every `progress_every` executions on the serial path, at every
+  /// round barrier (single-threaded, in the completion handler) on the
+  /// parallel path. Fleet workers hang lease heartbeats off this.
+  std::function<void(int64_t executions)> on_progress;
+  /// Serial-path cadence for on_progress, in executions.
+  int progress_every = 64;
 };
 
 /// Aggregated campaign outcome: everything the paper's tables/figures need.
@@ -124,6 +142,9 @@ struct CampaignResult {
   int checkpoints_failed = 0;
   int checkpoint_fallbacks = 0;
   int workers_parked = 0;
+  /// True when options.stop_flag cut the campaign short (runtime-only,
+  /// like the counters above: never serialized, excluded from ResultDigest).
+  bool stopped_early = false;
 
   /// Storage-layer telemetry summed over every worker backend at campaign
   /// end: buffer-pool traffic (hit rate, evictions), WAL volume, fsyncs.

@@ -149,6 +149,13 @@ class ExecutionHarness {
   /// Total distinct edges ("branches") covered so far.
   size_t CoveredEdges() const { return global_coverage_.CoveredEdges(); }
 
+  /// The accumulated campaign bitmap itself (read-only). Fleet workers ship
+  /// this home in their result envelope so the coordinator can merge exact
+  /// fleet-wide edge coverage instead of guessing from per-shard counts.
+  const cov::GlobalCoverage& global_coverage() const {
+    return global_coverage_;
+  }
+
   /// Total distinct grammar rules covered so far (0 unless enabled).
   size_t CoveredRules() const { return global_rules_.CoveredRules(); }
 

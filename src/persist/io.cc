@@ -194,6 +194,36 @@ StatusOr<StateReader> StateReader::FromFileLenient(const std::string& path,
   return StateReader(bytes.substr(kHeaderSize, take));
 }
 
+Status ProbeEnvelope(std::string_view bytes, uint32_t* version) {
+  if (bytes.size() < kHeaderSize + kTrailerSize) {
+    return Status::InvalidArgument("envelope truncated: " +
+                                   std::to_string(bytes.size()) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a lego state envelope (bad magic)");
+  }
+  const uint32_t v = LoadU32(bytes.data() + 4);
+  if (version != nullptr) *version = v;
+  if (v != kFormatVersion) {
+    return Status::Unsupported("state format version " + std::to_string(v) +
+                               " (expected " +
+                               std::to_string(kFormatVersion) + ")");
+  }
+  const uint64_t payload_size = LoadU64(bytes.data() + 8);
+  if (payload_size != bytes.size() - kHeaderSize - kTrailerSize) {
+    return Status::InvalidArgument(
+        "envelope truncated: payload declares " +
+        std::to_string(payload_size) + " bytes, frame holds " +
+        std::to_string(bytes.size() - kHeaderSize - kTrailerSize));
+  }
+  const std::string_view payload = bytes.substr(kHeaderSize, payload_size);
+  if (LoadU64(bytes.data() + kHeaderSize + payload_size) !=
+      Fnv1a64(payload)) {
+    return Status::InvalidArgument("envelope corrupt (checksum mismatch)");
+  }
+  return Status::OK();
+}
+
 StatusOr<StateReader> StateReader::FromEnvelope(std::string bytes) {
   if (bytes.size() < kHeaderSize + kTrailerSize) {
     return Status::InvalidArgument("state file truncated: " +

@@ -68,6 +68,14 @@ class StateWriter {
 /// by a crash. Shares the persist.* failpoints with state writes.
 Status WriteTextFileAtomic(const std::string& path, std::string_view content);
 
+/// Cheap envelope validation without constructing a reader: checks magic,
+/// format version, declared payload size (truncation), and checksum over
+/// in-memory enveloped bytes. On success *version (if non-null) receives
+/// the format version. The fleet coordinator probes worker result frames
+/// this way, so a torn or poisoned envelope is rejected — with a precise
+/// reason — before any payload byte is parsed.
+Status ProbeEnvelope(std::string_view bytes, uint32_t* version = nullptr);
+
 /// Deserializer over a validated payload. All reads are bounds-checked
 /// against the innermost open chunk; any overrun, tag mismatch, or envelope
 /// corruption surfaces as a non-OK status() rather than UB. After a failed

@@ -1,5 +1,7 @@
 #include "triage/triage.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
@@ -83,6 +85,28 @@ std::map<std::string, std::string> LoadManifestLines(
 }
 
 }  // namespace
+
+std::string OriginString(const std::string& worker,
+                         const fuzz::BackendOptions& backend) {
+  char host[256] = "unknown-host";
+  if (gethostname(host, sizeof(host)) != 0) {
+    std::snprintf(host, sizeof(host), "unknown-host");
+  }
+  host[sizeof(host) - 1] = '\0';
+  std::string out;
+  if (!worker.empty()) {
+    out += worker;
+    out += '@';
+  }
+  out += host;
+  out += ':';
+  out += std::to_string(static_cast<long long>(getpid()));
+  out += '/';
+  out += fuzz::BackendKindName(backend.kind);
+  out += '/';
+  out += fuzz::StorageKindName(backend.storage);
+  return out;
+}
 
 std::string RenderArtifact(const TriagedBug& bug,
                            const minidb::DialectProfile& profile,
@@ -269,6 +293,9 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
 
   if (!options.repro_dir.empty()) {
     std::filesystem::create_directories(options.repro_dir);
+    const std::string default_origin =
+        options.origin.empty() ? OriginString("", options.backend)
+                               : options.origin;
     for (TriagedBug& bug : report.bugs) {
       const std::string file =
           bug.signature.bug_id + "-" +
@@ -293,18 +320,27 @@ TriageReport TriageCampaign(const fuzz::CampaignResult& result,
               ? key_it->second
               : (bug.is_logic ? LogicReplayKey(bug.logic)
                               : CrashReplayKey(bug.crash));
+      // Origin of the capture: the worker that found it (fleet), else the
+      // campaign process itself. Appended as the final column so readers
+      // keyed on earlier fields keep parsing rows from either era.
+      std::string row_origin = default_origin;
+      const auto& origins =
+          bug.is_logic ? options.logic_origins : options.crash_origins;
+      auto origin_it = origins.find(bug.is_logic ? bug.logic.fingerprint
+                                                 : bug.crash.stack_hash);
+      if (origin_it != origins.end()) row_origin = origin_it->second;
       manifest[replay_key] =
           replay_key + '\t' + bug.signature.Key() + '\t' +
           TriggerOf(bug, reducer.harness().bug_engine()) + '\t' + file + '\t' +
           std::to_string(options.campaign_seed) + '\t' +
-          std::to_string(persist::kFormatVersion);
+          std::to_string(persist::kFormatVersion) + '\t' + row_origin;
     }
     // Rewrite rather than append: entries stay sorted by replay key and
     // duplicates cannot accumulate across reruns. Written atomically so an
     // interrupted triage leaves the previous manifest intact instead of a
     // truncated one (which would silently forget triaged bugs).
     std::string mf = "# replay-key\tsignature\ttrigger\tartifact\tcampaign-seed"
-                     "\tstate-version\n";
+                     "\tstate-version\torigin\n";
     for (const auto& [key, line] : manifest) {
       mf += line;
       mf += '\n';

@@ -1,6 +1,8 @@
 #ifndef LEGO_TRIAGE_TRIAGE_H_
 #define LEGO_TRIAGE_TRIAGE_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,7 +29,25 @@ struct TriageOptions {
   /// Recorded per-bug in the repro-dir manifest so an artifact can be tied
   /// back to the campaign that produced it.
   uint64_t campaign_seed = 0;
+  /// Origin stamp for manifest rows: which process found the bug. Empty
+  /// derives a default from this process (`<host>:<pid>/<backend>/<storage>`
+  /// via OriginString). The fleet coordinator stamps collected repros with
+  /// the finding worker instead, via the per-capture maps below.
+  std::string origin;
+  /// Per-capture origin overrides, keyed by crash stack hash / logic
+  /// fingerprint (the identities captures carry into triage). Captures not
+  /// listed fall back to `origin`.
+  std::map<uint64_t, std::string> crash_origins;
+  std::map<uint64_t, std::string> logic_origins;
 };
+
+/// Canonical origin stamp: `<worker>@<host>:<pid>/<backend>/<storage>` when
+/// `worker` is non-empty (fleet workers), `<host>:<pid>/<backend>/<storage>`
+/// otherwise. Kept to one manifest column so the tab-separated layout stays
+/// backward-readable (old readers key on the first field and ignore columns
+/// they don't know).
+std::string OriginString(const std::string& worker,
+                         const fuzz::BackendOptions& backend);
 
 /// Name of the manifest written alongside reproducers in repro_dir. One
 /// tab-separated line per triaged bug: replay key (crash identity /
